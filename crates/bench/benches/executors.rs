@@ -1,0 +1,82 @@
+//! Criterion benchmarks of the three executors (Figure 5's bars) and the
+//! GCTD ablations (Figure 6 plus the §2.3 / Relation-1 design knobs)
+//! on the test-preset workloads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use matc_benchsuite::{all, by_name, Preset};
+use matc_frontend::parser::parse_program;
+use matc_gctd::{GctdOptions, InterferenceOptions};
+use matc_vm::compile::{compile, lower_for_mcc};
+use matc_vm::{Interp, MccVm, PlannedVm};
+
+fn ast_of(name: &str) -> matc_frontend::ast::Program {
+    let srcs = by_name(name).unwrap().sources(Preset::Test);
+    let refs: Vec<&str> = srcs.iter().map(|s| s.as_str()).collect();
+    parse_program(refs).unwrap()
+}
+
+fn executors(c: &mut Criterion) {
+    let mut g = c.benchmark_group("executors");
+    g.sample_size(10);
+    for bench in all() {
+        let ast = ast_of(bench.name);
+        let compiled = compile(&ast, GctdOptions::default()).unwrap();
+        let mcc_ir = lower_for_mcc(&ast).unwrap();
+        g.bench_with_input(
+            BenchmarkId::new("mat2c", bench.name),
+            &compiled,
+            |b, compiled| b.iter(|| PlannedVm::new(compiled).run().unwrap()),
+        );
+        g.bench_with_input(BenchmarkId::new("mcc", bench.name), &mcc_ir, |b, ir| {
+            b.iter(|| MccVm::new(ir).run().unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("interp", bench.name), &ast, |b, ast| {
+            b.iter(|| Interp::new(ast).run().unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn ablations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    // The design knobs DESIGN.md calls out, on the storage-heavy fiff.
+    let ast = ast_of("fiff");
+    let configs: Vec<(&str, GctdOptions)> = vec![
+        ("full", GctdOptions::default()),
+        (
+            "no_phi_coalescing",
+            GctdOptions {
+                interference: InterferenceOptions {
+                    operator_semantics: true,
+                    phi_coalescing: false,
+                },
+                ..GctdOptions::default()
+            },
+        ),
+        (
+            "no_symbolic_criterion",
+            GctdOptions {
+                symbolic_criterion: false,
+                ..GctdOptions::default()
+            },
+        ),
+        (
+            "no_gctd",
+            GctdOptions {
+                coalesce: false,
+                ..GctdOptions::default()
+            },
+        ),
+    ];
+    for (label, opts) in configs {
+        let compiled = compile(&ast, opts).unwrap();
+        g.bench_with_input(BenchmarkId::new("fiff", label), &compiled, |b, compiled| {
+            b.iter(|| PlannedVm::new(compiled).run().unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, executors, ablations);
+criterion_main!(benches);

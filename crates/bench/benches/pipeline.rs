@@ -1,0 +1,115 @@
+//! Criterion benchmarks for every compiler stage, per benchmark program:
+//! parse, lower+SSA, classic passes, type inference, and the GCTD pass
+//! itself — plus the end-to-end pipeline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use matc_benchsuite::{all, Preset};
+use matc_frontend::parser::parse_program;
+use matc_gctd::{plan_program, GctdOptions};
+use matc_ir::build_ssa;
+use matc_passes::optimize_program;
+use matc_typeinf::infer_program;
+use matc_vm::compile::compile;
+
+fn sources(bench: &matc_benchsuite::Benchmark) -> Vec<String> {
+    bench.sources(Preset::Test)
+}
+
+fn parse(c: &mut Criterion) {
+    let mut g = c.benchmark_group("parse");
+    g.sample_size(20);
+    for bench in all() {
+        let srcs = sources(bench);
+        g.bench_with_input(BenchmarkId::from_parameter(bench.name), &srcs, |b, srcs| {
+            b.iter(|| {
+                let refs: Vec<&str> = srcs.iter().map(|s| s.as_str()).collect();
+                parse_program(refs).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn ssa_and_passes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lower_ssa_passes");
+    g.sample_size(20);
+    for bench in all() {
+        let srcs = sources(bench);
+        let refs: Vec<&str> = srcs.iter().map(|s| s.as_str()).collect();
+        let ast = parse_program(refs).unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(bench.name), &ast, |b, ast| {
+            b.iter(|| {
+                let mut ir = build_ssa(ast).unwrap();
+                optimize_program(&mut ir);
+                ir
+            })
+        });
+    }
+    g.finish();
+}
+
+fn type_inference(c: &mut Criterion) {
+    let mut g = c.benchmark_group("typeinf");
+    g.sample_size(20);
+    for bench in all() {
+        let srcs = sources(bench);
+        let refs: Vec<&str> = srcs.iter().map(|s| s.as_str()).collect();
+        let ast = parse_program(refs).unwrap();
+        let mut ir = build_ssa(&ast).unwrap();
+        optimize_program(&mut ir);
+        g.bench_with_input(BenchmarkId::from_parameter(bench.name), &ir, |b, ir| {
+            b.iter(|| infer_program(ir))
+        });
+    }
+    g.finish();
+}
+
+fn gctd_pass(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gctd");
+    g.sample_size(20);
+    for bench in all() {
+        let srcs = sources(bench);
+        let refs: Vec<&str> = srcs.iter().map(|s| s.as_str()).collect();
+        let ast = parse_program(refs).unwrap();
+        let mut ir = build_ssa(&ast).unwrap();
+        optimize_program(&mut ir);
+        let types = infer_program(&ir);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(bench.name),
+            &(ir, types),
+            |b, (ir, types)| {
+                b.iter(|| {
+                    let mut t = types.clone();
+                    plan_program(ir, &mut t, GctdOptions::default())
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn end_to_end(c: &mut Criterion) {
+    let mut g = c.benchmark_group("compile_end_to_end");
+    g.sample_size(10);
+    for bench in all() {
+        let srcs = sources(bench);
+        g.bench_with_input(BenchmarkId::from_parameter(bench.name), &srcs, |b, srcs| {
+            b.iter(|| {
+                let refs: Vec<&str> = srcs.iter().map(|s| s.as_str()).collect();
+                let ast = parse_program(refs).unwrap();
+                compile(&ast, GctdOptions::default()).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    parse,
+    ssa_and_passes,
+    type_inference,
+    gctd_pass,
+    end_to_end
+);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Prints Table-2-style plan statistics under each GCTD design knob
+//! (the ablations DESIGN.md calls out): full GCTD, no operator-semantics
+//! conflicts (§2.3, unsound — plan shape only), no φ-coalescing
+//! (§2.2.1), no symbolic Relation-1 criterion, and no coalescing at all
+//! (Figure 6's baseline).
+
+use matc_bench::{compile_bench, preset_from_args, print_table};
+use matc_benchsuite::all;
+use matc_gctd::{GctdOptions, InterferenceOptions};
+
+fn main() {
+    let preset = preset_from_args();
+    let base = GctdOptions::default();
+    let knobs: Vec<(&str, GctdOptions)> = vec![
+        ("full", base),
+        (
+            "no-opsem",
+            GctdOptions {
+                interference: InterferenceOptions {
+                    operator_semantics: false,
+                    phi_coalescing: true,
+                },
+                ..base
+            },
+        ),
+        (
+            "no-phi",
+            GctdOptions {
+                interference: InterferenceOptions {
+                    operator_semantics: true,
+                    phi_coalescing: false,
+                },
+                ..base
+            },
+        ),
+        (
+            "no-symbolic",
+            GctdOptions {
+                symbolic_criterion: false,
+                ..base
+            },
+        ),
+        (
+            "no-gctd",
+            GctdOptions {
+                coalesce: false,
+                ..base
+            },
+        ),
+    ];
+    let mut rows = Vec::new();
+    for bench in all() {
+        let mut row = vec![bench.name.to_string()];
+        for (_, opts) in &knobs {
+            let c = compile_bench(bench, preset, *opts);
+            let s = c.plans.total_stats();
+            row.push(format!(
+                "{}/{} ({})",
+                s.static_subsumed, s.dynamic_subsumed, s.slots
+            ));
+        }
+        rows.push(row);
+    }
+    print_table(
+        "GCTD ablations: subsumed s/d (slots) per design knob",
+        &[
+            "Benchmark",
+            "full",
+            "no-opsem",
+            "no-phi",
+            "no-symbolic",
+            "no-gctd",
+        ],
+        &rows,
+    );
+    println!("\nno-opsem is unsound by construction (plan shape shown for comparison only)");
+}

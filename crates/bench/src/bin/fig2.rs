@@ -1,0 +1,42 @@
+//! Regenerates Figure 2: average stack and stack+heap (dynamic program
+//! data) levels for the mcc and mat2c codes, with the paper's relative
+//! reduction percentages and kcore-min values.
+
+use matc_bench::{preset_from_args, print_table, relative_reduction_pct, run_benchmark};
+use matc_benchsuite::all;
+
+fn main() {
+    let preset = preset_from_args();
+    let mut rows = Vec::new();
+    for bench in all() {
+        let r = run_benchmark(bench, preset);
+        rows.push(vec![
+            r.name.to_string(),
+            format!("{:.1}", r.mcc.avg_stack_kb),
+            format!("{:.1}", r.planned.avg_stack_kb),
+            format!("{:.1}", r.mcc.avg_dyn_kb),
+            format!("{:.1}", r.planned.avg_dyn_kb),
+            format!(
+                "{:+.1}%",
+                relative_reduction_pct(r.mcc.avg_dyn_kb, r.planned.avg_dyn_kb)
+            ),
+            format!("{:.3}", r.mcc.kcore_min),
+            format!("{:.3}", r.planned.kcore_min),
+        ]);
+    }
+    print_table(
+        "Figure 2: Average Stack, and Stack+Heap Levels (KB)",
+        &[
+            "Benchmark",
+            "mcc stack",
+            "mat2c stack",
+            "mcc dyn",
+            "mat2c dyn",
+            "dyn reduction",
+            "mcc kcore-min",
+            "mat2c kcore-min",
+        ],
+        &rows,
+    );
+    println!("\ndyn reduction = (mcc - mat2c) / mat2c, as annotated above the paper's bars");
+}

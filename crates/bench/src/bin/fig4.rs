@@ -1,0 +1,26 @@
+//! Regenerates Figure 4: average resident-set levels.
+
+use matc_bench::{preset_from_args, print_table, relative_reduction_pct, run_benchmark};
+use matc_benchsuite::all;
+
+fn main() {
+    let preset = preset_from_args();
+    let mut rows = Vec::new();
+    for bench in all() {
+        let r = run_benchmark(bench, preset);
+        rows.push(vec![
+            r.name.to_string(),
+            format!("{:.0}", r.mcc.avg_rss_kb),
+            format!("{:.0}", r.planned.avg_rss_kb),
+            format!(
+                "{:+.1}%",
+                relative_reduction_pct(r.mcc.avg_rss_kb, r.planned.avg_rss_kb)
+            ),
+        ]);
+    }
+    print_table(
+        "Figure 4: Average Resident Set Levels (KB)",
+        &["Benchmark", "mcc RSS", "mat2c RSS", "reduction"],
+        &rows,
+    );
+}

@@ -1,0 +1,32 @@
+//! Regenerates Figure 5: comparative execution times of the mcc code,
+//! the mat2c code, and the interpreter, with mat2c-over-mcc speedups.
+
+use matc_bench::{preset_from_args, print_table, run_benchmark};
+use matc_benchsuite::all;
+
+fn main() {
+    let preset = preset_from_args();
+    let mut rows = Vec::new();
+    for bench in all() {
+        let r = run_benchmark(bench, preset);
+        let speedup = r.mcc.wall.as_secs_f64() / r.planned.wall.as_secs_f64().max(1e-9);
+        rows.push(vec![
+            r.name.to_string(),
+            format!("{:.4}", r.mcc.wall.as_secs_f64()),
+            format!("{:.4}", r.planned.wall.as_secs_f64()),
+            format!("{:.4}", r.interp.wall.as_secs_f64()),
+            format!("{:.2}x", speedup),
+        ]);
+    }
+    print_table(
+        "Figure 5: Comparative Execution Times (seconds)",
+        &[
+            "Benchmark",
+            "mcc",
+            "mat2c",
+            "interp",
+            "mat2c speedup over mcc",
+        ],
+        &rows,
+    );
+}

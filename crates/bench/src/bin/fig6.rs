@@ -1,0 +1,34 @@
+//! Regenerates Figure 6: the effect of the GCTD pass on mat2c execution
+//! times (coalescing on vs off; all other optimizations active in both).
+
+use matc_bench::{preset_from_args, print_table, run_benchmark};
+use matc_benchsuite::all;
+
+fn main() {
+    let preset = preset_from_args();
+    let mut rows = Vec::new();
+    for bench in all() {
+        let r = run_benchmark(bench, preset);
+        let speedup = r.planned_nogctd.wall.as_secs_f64() / r.planned.wall.as_secs_f64().max(1e-9);
+        rows.push(vec![
+            r.name.to_string(),
+            format!("{:.4}", r.planned_nogctd.wall.as_secs_f64()),
+            format!("{:.4}", r.planned.wall.as_secs_f64()),
+            format!("{:.2}x", speedup),
+            format!("{:.1}", r.planned_nogctd.avg_dyn_kb),
+            format!("{:.1}", r.planned.avg_dyn_kb),
+        ]);
+    }
+    print_table(
+        "Figure 6: Effect of Coalescing on Execution Times",
+        &[
+            "Benchmark",
+            "without GCTD (s)",
+            "with GCTD (s)",
+            "speedup",
+            "dyn KB w/o",
+            "dyn KB w/",
+        ],
+        &rows,
+    );
+}

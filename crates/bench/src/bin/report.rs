@@ -1,0 +1,176 @@
+//! Runs the complete evaluation once and prints every artifact
+//! (Tables 1–2, Figures 2–6) — the one-shot version of the per-artifact
+//! binaries, for EXPERIMENTS.md capture.
+
+use matc_bench::{
+    compile_bench, preset_from_args, print_table, relative_reduction_pct, run_benchmark,
+};
+use matc_benchsuite::all;
+use matc_gctd::GctdOptions;
+
+fn main() {
+    let preset = preset_from_args();
+    println!("preset: {preset:?}\n");
+
+    // ---------------- Table 1 ----------------
+    let rows: Vec<Vec<String>> = all()
+        .iter()
+        .map(|b| {
+            vec![
+                b.name.to_string(),
+                format!(
+                    "{}{}",
+                    b.synopsis,
+                    if b.three_dimensional { " •" } else { "" }
+                ),
+                b.origin.to_string(),
+                b.m_files().to_string(),
+                b.source_lines().to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table 1: Benchmark Suite Description",
+        &["Benchmark", "Synopsis", "Origin", "M-Files", "Lines"],
+        &rows,
+    );
+    println!();
+
+    // ---------------- Table 2 ----------------
+    let mut t2 = Vec::new();
+    for bench in all() {
+        let compiled = compile_bench(bench, preset, GctdOptions::default());
+        let s = compiled.plans.total_stats();
+        t2.push(vec![
+            bench.name.to_string(),
+            format!("{}/{}", s.static_subsumed, s.dynamic_subsumed),
+            s.original_vars.to_string(),
+            format!("{:.2}", s.stack_bytes_saved as f64 / 1024.0),
+        ]);
+    }
+    print_table(
+        "Table 2: Array Storage Coalescing Reductions",
+        &[
+            "Benchmark",
+            "Static/Dynamic Variable Reduction",
+            "Original Variable Count",
+            "Storage Reduction (KB)",
+        ],
+        &t2,
+    );
+    println!();
+
+    // ---------------- One measured run per benchmark ----------------
+    let runs: Vec<_> = all().iter().map(|b| run_benchmark(b, preset)).collect();
+
+    let mut f2 = Vec::new();
+    let mut f3 = Vec::new();
+    let mut f4 = Vec::new();
+    let mut f5 = Vec::new();
+    let mut f6 = Vec::new();
+    for r in &runs {
+        f2.push(vec![
+            r.name.to_string(),
+            format!("{:.1}", r.mcc.avg_stack_kb),
+            format!("{:.1}", r.planned.avg_stack_kb),
+            format!("{:.1}", r.mcc.avg_dyn_kb),
+            format!("{:.1}", r.planned.avg_dyn_kb),
+            format!(
+                "{:+.1}%",
+                relative_reduction_pct(r.mcc.avg_dyn_kb, r.planned.avg_dyn_kb)
+            ),
+            format!("{:.3}", r.mcc.kcore_min),
+            format!("{:.3}", r.planned.kcore_min),
+        ]);
+        f3.push(vec![
+            r.name.to_string(),
+            format!("{:.0}", r.mcc.avg_vsize_kb),
+            format!("{:.0}", r.planned.avg_vsize_kb),
+            format!(
+                "{:+.1}%",
+                relative_reduction_pct(r.mcc.avg_vsize_kb, r.planned.avg_vsize_kb)
+            ),
+        ]);
+        f4.push(vec![
+            r.name.to_string(),
+            format!("{:.0}", r.mcc.avg_rss_kb),
+            format!("{:.0}", r.planned.avg_rss_kb),
+            format!(
+                "{:+.1}%",
+                relative_reduction_pct(r.mcc.avg_rss_kb, r.planned.avg_rss_kb)
+            ),
+        ]);
+        f5.push(vec![
+            r.name.to_string(),
+            format!("{:.4}", r.mcc.wall.as_secs_f64()),
+            format!("{:.4}", r.planned.wall.as_secs_f64()),
+            format!("{:.4}", r.interp.wall.as_secs_f64()),
+            format!(
+                "{:.2}x",
+                r.mcc.wall.as_secs_f64() / r.planned.wall.as_secs_f64().max(1e-9)
+            ),
+        ]);
+        f6.push(vec![
+            r.name.to_string(),
+            format!("{:.4}", r.planned_nogctd.wall.as_secs_f64()),
+            format!("{:.4}", r.planned.wall.as_secs_f64()),
+            format!(
+                "{:.2}x",
+                r.planned_nogctd.wall.as_secs_f64() / r.planned.wall.as_secs_f64().max(1e-9)
+            ),
+            format!("{:.1}", r.planned_nogctd.avg_dyn_kb),
+            format!("{:.1}", r.planned.avg_dyn_kb),
+        ]);
+    }
+    print_table(
+        "Figure 2: Average Stack, and Stack+Heap Levels (KB)",
+        &[
+            "Benchmark",
+            "mcc stack",
+            "mat2c stack",
+            "mcc dyn",
+            "mat2c dyn",
+            "dyn reduction",
+            "mcc kcore-min",
+            "mat2c kcore-min",
+        ],
+        &f2,
+    );
+    println!();
+    print_table(
+        "Figure 3: Average Virtual Memory Levels (KB)",
+        &["Benchmark", "mcc VM", "mat2c VM", "reduction"],
+        &f3,
+    );
+    println!();
+    print_table(
+        "Figure 4: Average Resident Set Levels (KB)",
+        &["Benchmark", "mcc RSS", "mat2c RSS", "reduction"],
+        &f4,
+    );
+    println!();
+    print_table(
+        "Figure 5: Comparative Execution Times (seconds)",
+        &[
+            "Benchmark",
+            "mcc",
+            "mat2c",
+            "interp",
+            "mat2c speedup over mcc",
+        ],
+        &f5,
+    );
+    println!();
+    print_table(
+        "Figure 6: Effect of Coalescing on Execution Times",
+        &[
+            "Benchmark",
+            "without GCTD (s)",
+            "with GCTD (s)",
+            "speedup",
+            "dyn KB w/o",
+            "dyn KB w/",
+        ],
+        &f6,
+    );
+}

@@ -1,0 +1,29 @@
+//! Regenerates Table 1: the benchmark suite description.
+
+use matc_bench::print_table;
+use matc_benchsuite::all;
+
+fn main() {
+    let rows: Vec<Vec<String>> = all()
+        .iter()
+        .map(|b| {
+            vec![
+                b.name.to_string(),
+                format!(
+                    "{}{}",
+                    b.synopsis,
+                    if b.three_dimensional { " •" } else { "" }
+                ),
+                b.origin.to_string(),
+                b.m_files().to_string(),
+                b.source_lines().to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table 1: Benchmark Suite Description",
+        &["Benchmark", "Synopsis", "Origin", "M-Files", "Lines"],
+        &rows,
+    );
+    println!("\n• benchmarks involve three-dimensional arrays");
+}

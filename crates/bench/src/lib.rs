@@ -1,0 +1,262 @@
+//! # matc-bench
+//!
+//! The experiment harness regenerating every table and figure of the
+//! PLDI 2003 evaluation (§4). Each `src/bin/*` binary prints one
+//! artifact:
+//!
+//! | binary  | artifact | content |
+//! |---------|----------|---------|
+//! | `table1` | Table 1 | benchmark suite description |
+//! | `table2` | Table 2 | array storage coalescing reductions |
+//! | `fig2`   | Figure 2 | average stack and stack+heap levels |
+//! | `fig3`   | Figure 3 | average virtual-memory levels |
+//! | `fig4`   | Figure 4 | average resident-set levels |
+//! | `fig5`   | Figure 5 | comparative execution times |
+//! | `fig6`   | Figure 6 | effect of coalescing on execution times |
+//!
+//! Pass `--preset test` for CI-scale sizes (default: `paper`). All
+//! binaries print aligned tables plus the relative percentages the paper
+//! annotates above its bars.
+
+#![warn(missing_docs)]
+
+use matc_benchsuite::{Benchmark, Preset};
+use matc_frontend::parser::parse_program;
+use matc_gctd::{GctdOptions, PlanStats};
+use matc_vm::compile::{compile, lower_for_mcc, Compiled};
+use matc_vm::{Interp, MccVm, PlannedVm};
+use std::time::{Duration, Instant};
+
+/// Metrics from one executor run.
+#[derive(Debug, Clone)]
+pub struct ExecMetrics {
+    /// Wall-clock time.
+    pub wall: Duration,
+    /// Time-weighted average stack segment (KB).
+    pub avg_stack_kb: f64,
+    /// Time-weighted average dynamic program data: stack + heap (KB).
+    pub avg_dyn_kb: f64,
+    /// Time-weighted average virtual memory (KB).
+    pub avg_vsize_kb: f64,
+    /// Time-weighted average resident set (KB).
+    pub avg_rss_kb: f64,
+    /// kcore-min for this run (§4.5.2.1).
+    pub kcore_min: f64,
+    /// Program output (all executors must agree).
+    pub output: String,
+}
+
+/// One benchmark measured under every executor.
+#[derive(Debug, Clone)]
+pub struct BenchRun {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// The MATLAB-interpreter model.
+    pub interp: ExecMetrics,
+    /// The mcc model.
+    pub mcc: ExecMetrics,
+    /// mat2c with GCTD.
+    pub planned: ExecMetrics,
+    /// mat2c without GCTD (Figure 6 baseline).
+    pub planned_nogctd: ExecMetrics,
+    /// Aggregate GCTD statistics (Table 2).
+    pub plan_stats: PlanStats,
+}
+
+fn kb(bytes: f64) -> f64 {
+    bytes / 1024.0
+}
+
+fn parse_bench(bench: &Benchmark, preset: Preset) -> matc_frontend::ast::Program {
+    let sources = bench.sources(preset);
+    let refs: Vec<&str> = sources.iter().map(|s| s.as_str()).collect();
+    parse_program(refs).unwrap_or_else(|e| panic!("{}: parse error: {e}", bench.name))
+}
+
+/// Compiles a benchmark with the given GCTD options.
+pub fn compile_bench(bench: &Benchmark, preset: Preset, options: GctdOptions) -> Compiled {
+    let ast = parse_bench(bench, preset);
+    compile(&ast, options).unwrap_or_else(|e| panic!("{}: compile error: {e}", bench.name))
+}
+
+/// Runs one benchmark under all four executor configurations.
+///
+/// # Panics
+///
+/// Panics on compile or run-time errors, on output divergence between
+/// executors, and on storage-plan violations — the measurements are only
+/// meaningful for sound runs.
+pub fn run_benchmark(bench: &Benchmark, preset: Preset) -> BenchRun {
+    let ast = parse_bench(bench, preset);
+
+    // Interpreter.
+    let t0 = Instant::now();
+    let mut interp = Interp::new(&ast);
+    let interp_out = interp
+        .run()
+        .unwrap_or_else(|e| panic!("{}: interp: {e}", bench.name));
+    let interp_wall = t0.elapsed();
+    let interp_m = metrics(&interp.mem, interp_wall, interp_out);
+
+    // mcc model.
+    let mcc_ir = lower_for_mcc(&ast).unwrap();
+    let t0 = Instant::now();
+    let mut mcc = MccVm::new(&mcc_ir);
+    let mcc_out = mcc
+        .run()
+        .unwrap_or_else(|e| panic!("{}: mcc: {e}", bench.name));
+    let mcc_wall = t0.elapsed();
+    let mcc_m = metrics(&mcc.mem, mcc_wall, mcc_out);
+
+    // mat2c with GCTD.
+    let compiled = compile(&ast, GctdOptions::default()).unwrap();
+    let t0 = Instant::now();
+    let mut planned = PlannedVm::new(&compiled);
+    let planned_out = planned
+        .run()
+        .unwrap_or_else(|e| panic!("{}: planned: {e}", bench.name));
+    let planned_wall = t0.elapsed();
+    assert_eq!(
+        planned.plan_violations, 0,
+        "{}: plan violations",
+        bench.name
+    );
+    let planned_m = metrics(&planned.mem, planned_wall, planned_out);
+
+    // mat2c without GCTD.
+    let compiled_off = compile(
+        &ast,
+        GctdOptions {
+            coalesce: false,
+            ..GctdOptions::default()
+        },
+    )
+    .unwrap();
+    let t0 = Instant::now();
+    let mut off = PlannedVm::new(&compiled_off);
+    let off_out = off
+        .run()
+        .unwrap_or_else(|e| panic!("{}: planned(no gctd): {e}", bench.name));
+    let off_wall = t0.elapsed();
+    let off_m = metrics(&off.mem, off_wall, off_out);
+
+    assert_eq!(
+        interp_m.output, mcc_m.output,
+        "{}: mcc diverged",
+        bench.name
+    );
+    assert_eq!(
+        interp_m.output, planned_m.output,
+        "{}: planned diverged",
+        bench.name
+    );
+    assert_eq!(
+        interp_m.output, off_m.output,
+        "{}: no-gctd diverged",
+        bench.name
+    );
+
+    BenchRun {
+        name: bench.name,
+        interp: interp_m,
+        mcc: mcc_m,
+        planned: planned_m,
+        planned_nogctd: off_m,
+        plan_stats: compiled.plans.total_stats(),
+    }
+}
+
+fn metrics(mem: &matc_runtime::MemRecorder, wall: Duration, output: String) -> ExecMetrics {
+    ExecMetrics {
+        wall,
+        avg_stack_kb: kb(mem.avg_stack()),
+        avg_dyn_kb: kb(mem.avg_dynamic_data()),
+        avg_vsize_kb: kb(mem.avg_vsize()),
+        avg_rss_kb: kb(mem.avg_rss()),
+        kcore_min: mem.kcore_min(wall),
+        output,
+    }
+}
+
+/// Parses the common `--preset {test|paper}` CLI argument (also honors
+/// `MATC_PRESET=test`).
+pub fn preset_from_args() -> Preset {
+    let args: Vec<String> = std::env::args().collect();
+    for w in args.windows(2) {
+        if w[0] == "--preset" && w[1] == "test" {
+            return Preset::Test;
+        }
+    }
+    if std::env::var("MATC_PRESET").as_deref() == Ok("test") {
+        return Preset::Test;
+    }
+    Preset::Paper
+}
+
+/// The relative reduction the paper annotates above its bars:
+/// `(baseline - ours) / ours`, in percent (e.g. 100% = baseline is twice
+/// ours).
+pub fn relative_reduction_pct(baseline: f64, ours: f64) -> f64 {
+    if ours <= 0.0 {
+        return 0.0;
+    }
+    (baseline - ours) / ours * 100.0
+}
+
+/// Renders a header + aligned rows; first column left-aligned, the rest
+/// right-aligned.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("{title}");
+    println!("{}", "=".repeat(title.len()));
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let fmt_row = |cells: &[String]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                if i == 0 {
+                    format!("{:<w$}", c, w = widths[i])
+                } else {
+                    format!("{:>w$}", c, w = widths[i])
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let head: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    println!("{}", fmt_row(&head));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1)))
+    );
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matc_benchsuite::by_name;
+
+    #[test]
+    fn run_benchmark_produces_consistent_metrics() {
+        let r = run_benchmark(by_name("clos").unwrap(), Preset::Test);
+        assert!(!r.planned.output.is_empty());
+        assert!(r.planned.avg_dyn_kb > 0.0);
+        assert!(r.mcc.avg_dyn_kb > 0.0);
+        assert!(r.plan_stats.original_vars > 0);
+    }
+
+    #[test]
+    fn relative_reduction_math() {
+        assert_eq!(relative_reduction_pct(200.0, 100.0), 100.0);
+        assert_eq!(relative_reduction_pct(100.0, 100.0), 0.0);
+        assert!(relative_reduction_pct(90.0, 100.0) < 0.0);
+    }
+}

@@ -1,0 +1,97 @@
+//! Executes every experiment binary at the test preset and checks it
+//! exits cleanly and prints the rows its table promises — a panic in
+//! any report generator (divergence assert, plan violation, missing
+//! benchmark) fails here long before a full paper-preset run.
+
+use std::process::Command;
+
+fn run(bin: &str) -> String {
+    let out = Command::new(bin)
+        .args(["--preset", "test"])
+        .output()
+        .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+    assert!(
+        out.status.success(),
+        "{bin} failed (status {:?}):\n{}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+const BENCH_NAMES: [&str; 11] = [
+    "adpt", "capr", "clos", "crni", "diff", "dich", "edit", "fdtd", "fiff", "nb1d", "nb3d",
+];
+
+fn assert_all_benchmarks_listed(out: &str, bin: &str) {
+    for name in BENCH_NAMES {
+        assert!(out.contains(name), "{bin} output missing {name}:\n{out}");
+    }
+}
+
+#[test]
+fn table1_lists_every_benchmark() {
+    let out = run(env!("CARGO_BIN_EXE_table1"));
+    assert_all_benchmarks_listed(&out, "table1");
+}
+
+#[test]
+fn table2_reports_subsumption_columns() {
+    let out = run(env!("CARGO_BIN_EXE_table2"));
+    assert_all_benchmarks_listed(&out, "table2");
+    assert!(out.contains('/'), "table2 lacks s/d columns:\n{out}");
+}
+
+#[test]
+fn fig2_dynamic_data_averages() {
+    let out = run(env!("CARGO_BIN_EXE_fig2"));
+    assert_all_benchmarks_listed(&out, "fig2");
+}
+
+#[test]
+fn fig3_virtual_memory() {
+    let out = run(env!("CARGO_BIN_EXE_fig3"));
+    assert_all_benchmarks_listed(&out, "fig3");
+}
+
+#[test]
+fn fig4_resident_sets() {
+    let out = run(env!("CARGO_BIN_EXE_fig4"));
+    assert_all_benchmarks_listed(&out, "fig4");
+}
+
+#[test]
+fn fig5_execution_times() {
+    let out = run(env!("CARGO_BIN_EXE_fig5"));
+    assert_all_benchmarks_listed(&out, "fig5");
+}
+
+#[test]
+fn fig6_gctd_effect() {
+    let out = run(env!("CARGO_BIN_EXE_fig6"));
+    assert_all_benchmarks_listed(&out, "fig6");
+}
+
+#[test]
+fn report_prints_summary() {
+    let out = run(env!("CARGO_BIN_EXE_report"));
+    assert_all_benchmarks_listed(&out, "report");
+}
+
+#[test]
+fn strategies_compares_colorings() {
+    let out = run(env!("CARGO_BIN_EXE_strategies"));
+    assert_all_benchmarks_listed(&out, "strategies");
+}
+
+#[test]
+fn ablations_prints_every_knob() {
+    let out = run(env!("CARGO_BIN_EXE_ablations"));
+    assert_all_benchmarks_listed(&out, "ablations");
+    for knob in ["full", "no-opsem", "no-phi", "no-symbolic", "no-gctd"] {
+        assert!(
+            out.contains(knob),
+            "ablations missing column {knob}:\n{out}"
+        );
+    }
+}

@@ -1,0 +1,39 @@
+function [total, cnt] = adpt(a, b, tol)
+% Adaptive quadrature by Simpson's rule with an explicit interval
+% stack held in growing arrays (the FALCON formulation is iterative).
+lo(1) = a;
+hi(1) = b;
+top = 1;
+total = 0;
+cnt = 0;
+while top > 0
+  x1 = lo(top);
+  x2 = hi(top);
+  top = top - 1;
+  m = (x1 + x2) / 2;
+  s1 = simp(x1, x2);
+  s2 = simp(x1, m) + simp(m, x2);
+  cnt = cnt + 1;
+  if abs(s2 - s1) <= 15 * tol * (x2 - x1)
+    total = total + s2 + (s2 - s1) / 15;
+  else
+    top = top + 1;
+    lo(top) = x1;
+    hi(top) = m;
+    top = top + 1;
+    lo(top) = m;
+    hi(top) = x2;
+  end
+end
+end
+
+function s = simp(x1, x2)
+% Simpson's rule on one panel.
+m = (x1 + x2) / 2;
+s = (x2 - x1) / 6 * (humps(x1) + 4 * humps(m) + humps(x2));
+end
+
+function y = humps(x)
+% The classic two-bump integrand.
+y = 1 ./ ((x - 0.3) .^ 2 + 0.01) + 1 ./ ((x - 0.9) .^ 2 + 0.04) - 6;
+end

@@ -1,0 +1,7 @@
+function adpt_driver
+% Driver for the adaptive quadrature benchmark (FALCON suite).
+% Integrates the humps-like function over [0, 1] to a tight tolerance.
+tol = @TOL@;
+[q, cnt] = adpt(0, 1, tol);
+fprintf('integral = %.8f\n', q);
+fprintf('panels   = %d\n', cnt);

@@ -1,0 +1,20 @@
+function [cap, iters] = capacitor(w, h, n, tol)
+% Capacitance per unit length of a rectangular inner conductor of
+% half-width w and half-height h centered in a unit square outer
+% shield, by solving Laplace's equation with Gauss-Seidel (SOR).
+hx = 0.5 / n;
+hy = 0.5 / n;
+iw = round(w / hx);
+ih = round(h / hy);
+f = zeros(n + 1, n + 1);
+f = setedge(f, iw, ih);
+omega = 2 / (1 + sin(pi / n));
+err = 1;
+iters = 0;
+hist = [];
+while err > tol
+  [f, err] = seidel(f, n, iw, ih, omega);
+  iters = iters + 1;
+  hist(iters) = err;
+end
+cap = gquad(f, n, hx, hy);

@@ -1,0 +1,8 @@
+function capr_driver
+% Driver for the transmission-line capacitance benchmark
+% (Chalmers University of Technology).
+n = @N@;
+tol = 1e-6;
+[cap, iters] = capacitor(0.2, 0.4, n, tol);
+fprintf('capacitance = %.6e\n', cap);
+fprintf('iterations  = %d\n', iters);

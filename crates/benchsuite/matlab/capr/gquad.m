@@ -1,0 +1,11 @@
+function cap = gquad(f, n, hx, hy)
+% Gauss-type quadrature of the normal field on the shield boundary,
+% scaled by 4 for the full cross-section and by eps0 = 8.854e-12.
+q = 0;
+for i = 1:n+1
+  q = q + f(i, n) * hy;
+end
+for j = 1:n+1
+  q = q + f(n, j) * hx;
+end
+cap = 4 * 8.854e-12 * q / (hx * hy * n);

@@ -1,0 +1,18 @@
+function [f, err] = seidel(f, n, iw, ih, omega)
+% One SOR sweep over the free points; err is the largest update.
+err = 0;
+for i = 2:n
+  for j = 2:n
+    if i <= iw + 1 && j <= ih + 1
+      continue
+    end
+    old = f(i, j);
+    v = 0.25 * (f(i - 1, j) + f(i + 1, j) + f(i, j - 1) + f(i, j + 1));
+    new = old + omega * (v - old);
+    f(i, j) = new;
+    d = abs(new - old);
+    if d > err
+      err = d;
+    end
+  end
+end

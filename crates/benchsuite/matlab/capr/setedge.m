@@ -1,0 +1,7 @@
+function f = setedge(f, iw, ih)
+% Fixes the inner conductor at potential 1 (outer shield stays 0).
+for i = 1:iw+1
+  for j = 1:ih+1
+    f(i, j) = 1;
+  end
+end

@@ -1,0 +1,6 @@
+function clos_driver
+% Driver for the transitive-closure benchmark (OTTER suite).
+n = @N@;
+g = rand(n, n) > 0.95;
+r = closure(g + eye(n, n), n);
+fprintf('reachable pairs = %d\n', sum(sum(r)));

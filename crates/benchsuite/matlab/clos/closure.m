@@ -1,0 +1,9 @@
+function r = closure(g, n)
+% Boolean transitive closure by repeated squaring of the adjacency
+% matrix (OTTER formulation: whole-matrix operations only).
+r = g > 0;
+k = 1;
+while k < n
+  r = (r * r) > 0;
+  k = k * 2;
+end

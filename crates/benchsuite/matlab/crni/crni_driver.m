@@ -1,0 +1,7 @@
+function crni_driver
+% Driver for the Crank-Nicolson heat-equation benchmark (FALCON).
+nx = @NX@;
+nt = @NT@;
+u = crnich(1.0, nx, nt);
+fprintf('u(mid) = %.8f\n', u(round(nx / 2)));
+fprintf('sum(u) = %.8f\n', sum(u));

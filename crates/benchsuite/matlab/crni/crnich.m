@@ -1,0 +1,27 @@
+function u = crnich(c, nx, nt)
+% Crank-Nicolson scheme for u_t = c u_xx on a rod with fixed ends,
+% one tridiagonal solve per time step.
+h = 1 / (nx - 1);
+k = 1 / nt;
+r = c * c * k / (h * h);
+% Initial condition: sin profile; boundaries 0.
+u = zeros(nx, 1);
+for i = 2:nx-1
+  u(i) = sin(pi * h * (i - 1)) + sin(3 * pi * h * (i - 1));
+end
+% Constant tridiagonal coefficients.
+a = zeros(nx, 1);
+b = zeros(nx, 1);
+c2 = zeros(nx, 1);
+d = zeros(nx, 1);
+for i = 1:nx
+  a(i) = 2 + 2 / r;
+  b(i) = -1;
+  c2(i) = -1;
+end
+for t = 1:nt
+  for i = 2:nx-1
+    d(i) = u(i - 1) + u(i + 1) + (2 / r - 2) * u(i);
+  end
+  u = trisolve(a, b, c2, d, nx);
+end

@@ -1,0 +1,15 @@
+function x = trisolve(a, b, c, d, n)
+% Thomas algorithm for the interior unknowns 2..n-1; ends stay 0.
+w = zeros(n, 1);
+g = zeros(n, 1);
+x = zeros(n, 1);
+w(2) = a(2);
+g(2) = d(2) / w(2);
+for i = 3:n-1
+  w(i) = a(i) - b(i) * c(i - 1) / w(i - 1);
+  g(i) = (d(i) - b(i) * g(i - 1)) / w(i);
+end
+x(n - 1) = g(n - 1);
+for i = n-2:-1:2
+  x(i) = g(i) - c(i) * x(i + 1) / w(i);
+end

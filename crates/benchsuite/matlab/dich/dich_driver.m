@@ -1,0 +1,7 @@
+function dich_driver
+% Driver for the Dirichlet/Laplace benchmark (FALCON suite).
+n = @N@;
+iters = @ITERS@;
+u = dirich(n, iters);
+fprintf('u(center) = %.8f\n', u(round(n / 2), round(n / 2)));
+fprintf('checksum  = %.8f\n', sum(sum(u)));

@@ -1,0 +1,15 @@
+function u = dirich(n, iters)
+% Jacobi iteration for Laplace's equation on the unit square with a
+% hot top edge, whole-array updates (FALCON's formulation).
+u = zeros(n, n);
+top = zeros(1, n);
+for j = 1:n
+  top(j) = sin(pi * (j - 1) / (n - 1));
+end
+u(1, :) = top;
+for it = 1:iters
+  v = u;
+  v(2:n-1, 2:n-1) = 0.25 * (u(1:n-2, 2:n-1) + u(3:n, 2:n-1) + u(2:n-1, 1:n-2) + u(2:n-1, 3:n));
+  u = v;
+  u(1, :) = top;
+end

@@ -1,0 +1,8 @@
+function diff_driver
+% Driver for the two-slit diffraction benchmark (MathWorks Central
+% File Exchange).
+npts = @N@;
+inten = young(npts);
+[peak, at] = max(inten);
+fprintf('peak intensity = %.6f at %d\n', peak, at);
+fprintf('mean intensity = %.6f\n', mean(inten));

@@ -1,0 +1,25 @@
+function inten = young(npts)
+% Intensity pattern on a screen behind two slits: superpose complex
+% amplitudes from both slits at each screen point.
+lambda = 500e-9;
+d = 1e-3;
+screen = 1;
+width = 0.02;
+x = linspace(-width / 2, width / 2, npts);
+r1 = sqrt((x - d / 2) .^ 2 + screen ^ 2);
+r2 = sqrt((x + d / 2) .^ 2 + screen ^ 2);
+k = 2 * pi / lambda;
+a1 = cos(k * r1) + sqrt(-1) * sin(k * r1);
+a2 = cos(k * r2) + sqrt(-1) * sin(k * r2);
+amp = a1 ./ r1 + a2 ./ r2;
+inten = real(amp .* conj(amp));
+hist = [];
+m = mean(inten);
+j = 0;
+for i = 1:npts
+  if inten(i) > m
+    j = j + 1;
+    hist(j) = inten(i);
+  end
+end
+inten = inten * (mean(hist) / m);

@@ -1,0 +1,8 @@
+function edit_driver
+% Driver for the edit-distance benchmark (MathWorks Central File
+% Exchange). Builds two pseudo-random strings and compares them.
+n = @N@;
+s = mkstring(n, 1);
+t = mkstring(n + 5, 2);
+d = editdist(s, t);
+fprintf('distance = %d\n', d);

@@ -1,0 +1,41 @@
+function d = editdist(s, t)
+% Levenshtein distance by dynamic programming.
+m = length(s);
+n = length(t);
+dp = zeros(m + 1, n + 1);
+for i = 1:m+1
+  dp(i, 1) = i - 1;
+end
+for j = 1:n+1
+  dp(1, j) = j - 1;
+end
+for i = 2:m+1
+  for j = 2:n+1
+    cost = 1;
+    if s(i - 1) == t(j - 1)
+      cost = 0;
+    end
+    best = dp(i - 1, j - 1) + cost;
+    del = dp(i - 1, j) + 1;
+    if del < best
+      best = del;
+    end
+    ins = dp(i, j - 1) + 1;
+    if ins < best
+      best = ins;
+    end
+    dp(i, j) = best;
+  end
+end
+d = dp(m + 1, n + 1);
+end
+
+function s = mkstring(n, seedv)
+% A pseudo-random lowercase string built by repeated growth.
+s = [];
+x = seedv;
+for i = 1:n
+  x = mod(x * 75 + 74, 65537);
+  s(i) = 97 + mod(x, 26);
+end
+end

@@ -1,0 +1,21 @@
+function energy = fdtd(n, steps)
+% Yee-scheme leapfrog updates of the six three-dimensional field
+% components in a perfectly conducting cavity.
+ex = zeros(n, n, n);
+ey = zeros(n, n, n);
+ez = zeros(n, n, n);
+hx = zeros(n, n, n);
+hy = zeros(n, n, n);
+hz = zeros(n, n, n);
+c = 0.5;
+m = round(n / 2);
+ez(m, m, m) = 1;
+for t = 1:steps
+  hx(1:n, 1:n-1, 1:n-1) = hx(1:n, 1:n-1, 1:n-1) - c * (ez(1:n, 2:n, 1:n-1) - ez(1:n, 1:n-1, 1:n-1) - ey(1:n, 1:n-1, 2:n) + ey(1:n, 1:n-1, 1:n-1));
+  hy(1:n-1, 1:n, 1:n-1) = hy(1:n-1, 1:n, 1:n-1) - c * (ex(1:n-1, 1:n, 2:n) - ex(1:n-1, 1:n, 1:n-1) - ez(2:n, 1:n, 1:n-1) + ez(1:n-1, 1:n, 1:n-1));
+  hz(1:n-1, 1:n-1, 1:n) = hz(1:n-1, 1:n-1, 1:n) - c * (ey(2:n, 1:n-1, 1:n) - ey(1:n-1, 1:n-1, 1:n) - ex(1:n-1, 2:n, 1:n) + ex(1:n-1, 1:n-1, 1:n));
+  ex(1:n-1, 2:n, 2:n) = ex(1:n-1, 2:n, 2:n) + c * (hz(1:n-1, 2:n, 2:n) - hz(1:n-1, 1:n-1, 2:n) - hy(1:n-1, 2:n, 2:n) + hy(1:n-1, 2:n, 1:n-1));
+  ey(2:n, 1:n-1, 2:n) = ey(2:n, 1:n-1, 2:n) + c * (hx(2:n, 1:n-1, 2:n) - hx(2:n, 1:n-1, 1:n-1) - hz(2:n, 1:n-1, 2:n) + hz(1:n-1, 1:n-1, 2:n));
+  ez(2:n, 2:n, 1:n-1) = ez(2:n, 2:n, 1:n-1) + c * (hy(2:n, 2:n, 1:n-1) - hy(1:n-1, 2:n, 1:n-1) - hx(2:n, 2:n, 1:n-1) + hx(2:n, 1:n-1, 1:n-1));
+end
+energy = sum(sum(sum(ex .^ 2 + ey .^ 2 + ez .^ 2 + hx .^ 2 + hy .^ 2 + hz .^ 2)));

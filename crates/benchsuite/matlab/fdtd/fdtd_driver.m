@@ -1,0 +1,7 @@
+function fdtd_driver
+% Driver for the 3-D FDTD benchmark (Chalmers University of
+% Technology). Propagates an impulse in a cubic cavity.
+n = @N@;
+steps = @STEPS@;
+e = fdtd(n, steps);
+fprintf('field energy = %.8f\n', e);

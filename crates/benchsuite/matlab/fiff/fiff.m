@@ -1,0 +1,20 @@
+function u = fiff(n, steps)
+% Explicit second-order scheme for the 2-D wave equation with fixed
+% boundary, whole-array updates over three time levels.
+u0 = zeros(n, n);
+u1 = zeros(n, n);
+for i = 2:n-1
+  for j = 2:n-1
+    u1(i, j) = sin(pi * (i - 1) / (n - 1)) * sin(pi * (j - 1) / (n - 1));
+  end
+end
+u0 = u1;
+c = 0.25;
+for t = 1:steps
+  lap = zeros(n, n);
+  lap(2:n-1, 2:n-1) = u1(1:n-2, 2:n-1) + u1(3:n, 2:n-1) + u1(2:n-1, 1:n-2) + u1(2:n-1, 3:n) - 4 * u1(2:n-1, 2:n-1);
+  u2 = 2 * u1 - u0 + c * lap;
+  u0 = u1;
+  u1 = u2;
+end
+u = u1;

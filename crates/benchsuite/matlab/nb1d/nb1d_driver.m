@@ -1,0 +1,7 @@
+function nb1d_driver
+% Driver for the one-dimensional N-body benchmark (OTTER suite).
+n = @N@;
+steps = @STEPS@;
+[x, hist] = nbody1d(n, steps);
+fprintf('spread   = %.8f\n', max(x) - min(x));
+fprintf('tracked  = %d\n', numel(hist));

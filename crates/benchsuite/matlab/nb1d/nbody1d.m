@@ -1,0 +1,29 @@
+function [x, hist] = nbody1d(n, steps)
+% Leapfrog integration of n gravitating bodies on a line; the first
+% body's trajectory is recorded in a growing history vector.
+x = zeros(n, 1);
+v = zeros(n, 1);
+m = zeros(n, 1);
+for i = 1:n
+  x(i) = i - n / 2;
+  m(i) = 1 + mod(i, 3);
+end
+dt = 0.01;
+soft = 0.1;
+hist = [];
+for t = 1:steps
+  f = zeros(n, 1);
+  for i = 1:n
+    fi = 0;
+    for j = 1:n
+      if j ~= i
+        dx = x(j) - x(i);
+        fi = fi + m(j) * dx / (abs(dx) ^ 3 + soft);
+      end
+    end
+    f(i) = fi;
+  end
+  v = v + dt * f;
+  x = x + dt * v;
+  hist(t) = x(1);
+end

@@ -1,0 +1,8 @@
+function nb3d_driver
+% Driver for the three-dimensional N-body benchmark (nb1d modified to
+% vectorized 3-D form with n x n x 3 interaction arrays).
+n = @N@;
+steps = @STEPS@;
+[p, hist] = nbody3d(n, steps);
+fprintf('radius  = %.8f\n', sqrt(max(sum((p .* p)'))));
+fprintf('tracked = %d\n', numel(hist));

@@ -1,0 +1,29 @@
+function [p, hist] = nbody3d(n, steps)
+% Vectorized 3-D N-body with pairwise displacements held in an
+% n x n x 3 array (the three-dimensional-array benchmark of Table 1).
+p = zeros(n, 3);
+v = zeros(n, 3);
+for i = 1:n
+  p(i, 1) = cos(i);
+  p(i, 2) = sin(i);
+  p(i, 3) = 0.1 * i;
+end
+dt = 0.005;
+soft = 0.05;
+hist = [];
+d = zeros(n, n, 3);
+for t = 1:steps
+  for k = 1:3
+    col = p(:, k);
+    d(:, :, k) = col * ones(1, n) - ones(n, 1) * col';
+  end
+  r2 = d(:, :, 1) .^ 2 + d(:, :, 2) .^ 2 + d(:, :, 3) .^ 2 + soft;
+  w = 1 ./ (r2 .* sqrt(r2));
+  a = zeros(n, 3);
+  for k = 1:3
+    a(:, k) = sum((d(:, :, k) .* w)')';
+  end
+  v = v - dt * a;
+  p = p + dt * v;
+  hist(t) = p(1, 1);
+end

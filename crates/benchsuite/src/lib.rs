@@ -1,0 +1,283 @@
+//! # matc-benchsuite
+//!
+//! The 11-program benchmark corpus of *Static Array Storage Optimization
+//! in MATLAB* (PLDI 2003), Table 1, reimplemented in the `matc` MATLAB
+//! subset. Each program keeps the original FALCON-style organization
+//! (a driver M-file invoking the kernel) and the original numerical
+//! method; problem sizes are parameterized by [`Preset`] — `Paper` for
+//! evaluation-scale runs (e.g. `fiff` on 451 × 451 grids), `Test` for
+//! fast CI-scale runs.
+//!
+//! The published suites are not redistributable; these are faithful
+//! reimplementations from the algorithm descriptions (see DESIGN.md §1).
+//!
+//! ```
+//! use matc_benchsuite::{all, by_name, Preset};
+//!
+//! assert_eq!(all().len(), 11);
+//! let fiff = by_name("fiff").unwrap();
+//! let sources = fiff.sources(Preset::Test);
+//! assert!(sources[0].contains("fiff_driver"));
+//! ```
+
+#![warn(missing_docs)]
+
+/// Problem-size presets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Preset {
+    /// Small sizes for fast differential tests.
+    Test,
+    /// Evaluation-scale sizes comparable to the paper's runs.
+    Paper,
+}
+
+/// One benchmark program.
+#[derive(Debug, Clone, Copy)]
+pub struct Benchmark {
+    /// Short name (the paper's Table 1 identifier).
+    pub name: &'static str,
+    /// One-line synopsis (Table 1).
+    pub synopsis: &'static str,
+    /// Source suite (Table 1).
+    pub origin: &'static str,
+    /// Whether the benchmark manipulates three-dimensional arrays
+    /// (Table 1's • marker).
+    pub three_dimensional: bool,
+    /// `(file name, template text)` pairs; the driver comes first.
+    files: &'static [(&'static str, &'static str)],
+    /// `@TOKEN@` substitutions for the test preset.
+    test_subst: &'static [(&'static str, &'static str)],
+    /// `@TOKEN@` substitutions for the paper preset.
+    paper_subst: &'static [(&'static str, &'static str)],
+}
+
+impl Benchmark {
+    /// The M-file sources with sizes substituted, driver first.
+    pub fn sources(&self, preset: Preset) -> Vec<String> {
+        let subst = match preset {
+            Preset::Test => self.test_subst,
+            Preset::Paper => self.paper_subst,
+        };
+        self.files
+            .iter()
+            .map(|(_, text)| {
+                let mut s = (*text).to_string();
+                for (token, value) in subst {
+                    s = s.replace(token, value);
+                }
+                debug_assert!(!s.contains('@'), "unsubstituted token in {}", self.name);
+                s
+            })
+            .collect()
+    }
+
+    /// The M-file names, driver first.
+    pub fn file_names(&self) -> Vec<&'static str> {
+        self.files.iter().map(|(n, _)| *n).collect()
+    }
+
+    /// The number of M-files (Table 1).
+    pub fn m_files(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Nonempty, noncomment source lines across all M-files (Table 1's
+    /// "Lines" column).
+    pub fn source_lines(&self) -> usize {
+        self.files
+            .iter()
+            .flat_map(|(_, text)| text.lines())
+            .filter(|l| {
+                let t = l.trim();
+                !t.is_empty() && !t.starts_with('%')
+            })
+            .count()
+    }
+}
+
+macro_rules! files {
+    ($dir:literal, $($f:literal),+ $(,)?) => {
+        &[$(($f, include_str!(concat!("../matlab/", $dir, "/", $f)))),+]
+    };
+}
+
+static BENCHMARKS: &[Benchmark] = &[
+    Benchmark {
+        name: "adpt",
+        synopsis: "Adaptive Quadrature by Simpson's Rule",
+        origin: "FALCON",
+        three_dimensional: false,
+        files: files!("adpt", "adpt_driver.m", "adpt.m"),
+        test_subst: &[("@TOL@", "1e-4")],
+        paper_subst: &[("@TOL@", "1e-12")],
+    },
+    Benchmark {
+        name: "capr",
+        synopsis: "Transmission Line Capacitance",
+        origin: "Chalmers University of Technology, Sweden",
+        three_dimensional: false,
+        files: files!(
+            "capr",
+            "capr_driver.m",
+            "capacitor.m",
+            "setedge.m",
+            "seidel.m",
+            "gquad.m"
+        ),
+        test_subst: &[("@N@", "10")],
+        paper_subst: &[("@N@", "40")],
+    },
+    Benchmark {
+        name: "clos",
+        synopsis: "Transitive Closure",
+        origin: "OTTER",
+        three_dimensional: false,
+        files: files!("clos", "clos_driver.m", "closure.m"),
+        test_subst: &[("@N@", "16")],
+        paper_subst: &[("@N@", "180")],
+    },
+    Benchmark {
+        name: "crni",
+        synopsis: "Crank-Nicholson Heat Equation Solver",
+        origin: "FALCON",
+        three_dimensional: false,
+        files: files!("crni", "crni_driver.m", "crnich.m", "trisolve.m"),
+        test_subst: &[("@NX@", "33"), ("@NT@", "16")],
+        paper_subst: &[("@NX@", "321"), ("@NT@", "128")],
+    },
+    Benchmark {
+        name: "diff",
+        synopsis: "Young's Two-Slit Diffraction Experiment",
+        origin: "The MathWorks Central File Exchange",
+        three_dimensional: false,
+        files: files!("diff", "diff_driver.m", "young.m"),
+        test_subst: &[("@N@", "128")],
+        paper_subst: &[("@N@", "8192")],
+    },
+    Benchmark {
+        name: "dich",
+        synopsis: "Dirichlet Solution to Laplace's Equation",
+        origin: "FALCON",
+        three_dimensional: false,
+        files: files!("dich", "dich_driver.m", "dirich.m"),
+        test_subst: &[("@N@", "16"), ("@ITERS@", "20")],
+        paper_subst: &[("@N@", "72"), ("@ITERS@", "240")],
+    },
+    Benchmark {
+        name: "edit",
+        synopsis: "Edit Distance",
+        origin: "The MathWorks Central File Exchange",
+        three_dimensional: false,
+        files: files!("edit", "edit_driver.m", "editdist.m"),
+        test_subst: &[("@N@", "12")],
+        paper_subst: &[("@N@", "110")],
+    },
+    Benchmark {
+        name: "fdtd",
+        synopsis: "Finite Difference Time Domain (FDTD) Technique",
+        origin: "Chalmers University of Technology, Sweden",
+        three_dimensional: true,
+        files: files!("fdtd", "fdtd_driver.m", "fdtd.m"),
+        test_subst: &[("@N@", "8"), ("@STEPS@", "4")],
+        paper_subst: &[("@N@", "28"), ("@STEPS@", "24")],
+    },
+    Benchmark {
+        name: "fiff",
+        synopsis: "Finite-Difference Solution to the Wave Equation",
+        origin: "FALCON",
+        three_dimensional: false,
+        files: files!("fiff", "fiff_driver.m", "fiff.m"),
+        test_subst: &[("@N@", "24"), ("@STEPS@", "8")],
+        paper_subst: &[("@N@", "451"), ("@STEPS@", "32")],
+    },
+    Benchmark {
+        name: "nb1d",
+        synopsis: "One-Dimensional N-Body Simulation",
+        origin: "OTTER",
+        three_dimensional: false,
+        files: files!("nb1d", "nb1d_driver.m", "nbody1d.m"),
+        test_subst: &[("@N@", "12"), ("@STEPS@", "8")],
+        paper_subst: &[("@N@", "96"), ("@STEPS@", "80")],
+    },
+    Benchmark {
+        name: "nb3d",
+        synopsis: "Three-Dimensional N-Body Simulation",
+        origin: "Modified nb1d",
+        three_dimensional: true,
+        files: files!("nb3d", "nb3d_driver.m", "nbody3d.m"),
+        test_subst: &[("@N@", "8"), ("@STEPS@", "6")],
+        paper_subst: &[("@N@", "56"), ("@STEPS@", "48")],
+    },
+];
+
+/// All 11 benchmarks in Table 1 order.
+pub fn all() -> &'static [Benchmark] {
+    BENCHMARKS
+}
+
+/// Lookup by Table 1 name.
+pub fn by_name(name: &str) -> Option<&'static Benchmark> {
+    BENCHMARKS.iter().find(|b| b.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eleven_benchmarks_in_table_order() {
+        let names: Vec<&str> = all().iter().map(|b| b.name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "adpt", "capr", "clos", "crni", "diff", "dich", "edit", "fdtd", "fiff", "nb1d",
+                "nb3d"
+            ]
+        );
+    }
+
+    #[test]
+    fn substitution_removes_all_tokens() {
+        for b in all() {
+            for preset in [Preset::Test, Preset::Paper] {
+                for src in b.sources(preset) {
+                    assert!(!src.contains('@'), "{}: unsubstituted token", b.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn m_file_counts_match_table1_structure() {
+        assert_eq!(by_name("capr").unwrap().m_files(), 5);
+        assert_eq!(by_name("crni").unwrap().m_files(), 3);
+        assert_eq!(by_name("clos").unwrap().m_files(), 2);
+    }
+
+    #[test]
+    fn three_dimensional_markers() {
+        assert!(by_name("fdtd").unwrap().three_dimensional);
+        assert!(by_name("nb3d").unwrap().three_dimensional);
+        assert!(!by_name("fiff").unwrap().three_dimensional);
+    }
+
+    #[test]
+    fn line_counts_are_plausible() {
+        for b in all() {
+            let lines = b.source_lines();
+            assert!(
+                (10..140).contains(&lines),
+                "{}: {} lines out of Table 1's ballpark",
+                b.name,
+                lines
+            );
+        }
+    }
+
+    #[test]
+    fn drivers_come_first() {
+        for b in all() {
+            assert!(b.file_names()[0].contains("driver"), "{}", b.name);
+        }
+    }
+}

@@ -1,0 +1,1486 @@
+/* mrt.c — the mat2c support runtime.
+ *
+ * Implements the MATLAB operation semantics the generated C calls into,
+ * mirroring the Rust reference runtime exactly: the same column-major
+ * layout, the same subsasgn growth rules (backward element moves, zero
+ * fill), the same column-geometry reductions, the same xorshift64*
+ * random stream, and the same fprintf rendering (including Rust-style
+ * `%e` exponents) so outputs are bit-comparable with the interpreter.
+ */
+#include "mrt.h"
+
+#include <math.h>
+#include <stdarg.h>
+#include <stdint.h>
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+
+/* ------------------------------------------------------------------ */
+/* Basics                                                              */
+/* ------------------------------------------------------------------ */
+
+static void die(const char *msg) {
+    fprintf(stderr, "mrt: %s\n", msg);
+    exit(70);
+}
+
+static size_t numel(const mrt_val *v) {
+    return (size_t)v->d0 * (size_t)v->d1 * (size_t)v->d2;
+}
+
+static int is_scalar(const mrt_val *v) { return numel(v) == 1; }
+static int is_vector(const mrt_val *v) {
+    return v->d2 == 1 && (v->d0 == 1 || v->d1 == 1);
+}
+
+void mrt_bind(mrt_val *v, double *buf, size_t cap) {
+    v->re = buf;
+    v->im = NULL;
+    v->d0 = 0; v->d1 = 0; v->d2 = 1;
+    v->cap = cap;
+    v->fixed = buf != NULL;
+    v->is_char = 0;
+}
+
+void mrt_free(mrt_val *v) {
+    if (!v->fixed && v->re) free(v->re);
+    if (v->im) free(v->im);
+    v->re = NULL; v->im = NULL; v->cap = 0;
+    v->d0 = 0; v->d1 = 0; v->d2 = 1;
+}
+
+void mrt_resize(mrt_val *v, size_t bytes) { (void)v; (void)bytes; }
+void mrt_grow(mrt_val *v, size_t bytes) { (void)v; (void)bytes; }
+
+/* Ensures capacity for n elements (and an imaginary buffer if wanted). */
+static void ensure(mrt_val *v, size_t n, int want_im) {
+    if (n > v->cap) {
+        if (v->fixed) die("storage plan violation: fixed buffer too small");
+        v->re = (double *)realloc(v->re, n * sizeof(double));
+        if (!v->re && n) die("out of memory");
+        if (v->im) {
+            v->im = (double *)realloc(v->im, n * sizeof(double));
+            if (!v->im && n) die("out of memory");
+        }
+        v->cap = n;
+    }
+    if (want_im && !v->im) {
+        size_t c = v->cap ? v->cap : n;
+        v->im = (double *)calloc(c ? c : 1, sizeof(double));
+        if (!v->im) die("out of memory");
+    }
+}
+
+static void set_dims(mrt_val *v, int d0, int d1, int d2) {
+    v->d0 = d0; v->d1 = d1; v->d2 = d2 ? d2 : 1;
+}
+
+/* Scratch values: heap-owned temporaries for op results. */
+static void scratch_init(mrt_val *v) {
+    v->re = NULL; v->im = NULL; v->cap = 0; v->fixed = 0; v->is_char = 0;
+    v->d0 = 0; v->d1 = 0; v->d2 = 1;
+}
+
+/* Copies src's contents into dst (capacity-managed). */
+static void assign(mrt_val *dst, const mrt_val *src) {
+    size_t n = numel(src);
+    ensure(dst, n, src->im != NULL);
+    memcpy(dst->re, src->re, n * sizeof(double));
+    if (src->im) {
+        ensure(dst, n, 1);
+        memcpy(dst->im, src->im, n * sizeof(double));
+    } else if (dst->im) {
+        free(dst->im);
+        dst->im = NULL;
+    }
+    set_dims(dst, src->d0, src->d1, src->d2);
+    dst->is_char = src->is_char;
+}
+
+/* Moves a scratch result into dst, freeing the scratch buffers. */
+static void commit(mrt_val *dst, mrt_val *scr) {
+    if (dst) {
+        assign(dst, scr);
+    }
+    free(scr->re);
+    free(scr->im);
+}
+
+/* Drops an all-zero imaginary part (the Rust `normalized`). */
+static void normalize(mrt_val *v) {
+    if (!v->im) return;
+    size_t n = numel(v);
+    for (size_t i = 0; i < n; i++)
+        if (v->im[i] != 0.0) return;
+    free(v->im);
+    v->im = NULL;
+}
+
+static double elem_im(const mrt_val *v, size_t i) {
+    return v->im ? v->im[i] : 0.0;
+}
+
+/* ------------------------------------------------------------------ */
+/* Immediates                                                          */
+/* ------------------------------------------------------------------ */
+
+/* Wide matrix literals wrap one immediate per element and all pointers
+ * must stay valid until the enclosing mrt_opv call, so the rotating
+ * pool is sized for the widest literal the emitter accepts. */
+#define POOL 4096
+static mrt_val pool[POOL];
+static int pool_next = 0;
+static int pool_ready = 0;
+
+const mrt_val *mrt_wrap(mrt_imm imm) {
+    if (!pool_ready) {
+        for (int i = 0; i < POOL; i++) scratch_init(&pool[i]);
+        pool_ready = 1;
+    }
+    mrt_val *v = &pool[pool_next];
+    pool_next = (pool_next + 1) % POOL;
+    v->is_char = 0;
+    switch (imm.tag) {
+    case 0:
+        ensure(v, 1, 0);
+        if (v->im) { free(v->im); v->im = NULL; }
+        v->re[0] = imm.num;
+        set_dims(v, 1, 1, 1);
+        break;
+    case 1:
+        ensure(v, 1, 1);
+        v->re[0] = 0.0;
+        v->im[0] = imm.num;
+        set_dims(v, 1, 1, 1);
+        break;
+    case 2: {
+        size_t n = strlen(imm.str);
+        ensure(v, n ? n : 1, 0);
+        if (v->im) { free(v->im); v->im = NULL; }
+        for (size_t i = 0; i < n; i++) v->re[i] = (double)(unsigned char)imm.str[i];
+        set_dims(v, 1, (int)n, 1);
+        v->is_char = 1;
+        break;
+    }
+    default:
+        if (v->im) { free(v->im); v->im = NULL; }
+        set_dims(v, 0, 0, 1);
+        break;
+    }
+    return v;
+}
+
+double mrt_scalar(const mrt_val *v) {
+    if (numel(v) < 1) die("scalar read of empty value");
+    return v->re[0];
+}
+
+int mrt_istrue(const mrt_val *v) {
+    size_t n = numel(v);
+    if (n == 0) return 0;
+    for (size_t i = 0; i < n; i++)
+        if (v->re[i] == 0.0 && elem_im(v, i) == 0.0) return 0;
+    return 1;
+}
+
+/* ------------------------------------------------------------------ */
+/* Random numbers — the Rust runtime's xorshift64* stream              */
+/* ------------------------------------------------------------------ */
+
+static uint64_t rng_state = 0x9E3779B97F4A7C15ULL;
+
+static double next_rand(void) {
+    rng_state ^= rng_state >> 12;
+    rng_state ^= rng_state << 25;
+    rng_state ^= rng_state >> 27;
+    uint64_t x = rng_state * 0x2545F4914F6CDD1DULL;
+    return (double)(x >> 11) / 9007199254740992.0; /* 2^53 */
+}
+
+/* ------------------------------------------------------------------ */
+/* Elementwise and matrix arithmetic                                   */
+/* ------------------------------------------------------------------ */
+
+static void ew_dims(const mrt_val *a, const mrt_val *b, int *d0, int *d1, int *d2) {
+    const mrt_val *shape = is_scalar(a) ? b : a;
+    if (!is_scalar(a) && !is_scalar(b) &&
+        (a->d0 != b->d0 || a->d1 != b->d1 || a->d2 != b->d2))
+        die("nonconformant elementwise operands");
+    *d0 = shape->d0; *d1 = shape->d1; *d2 = shape->d2;
+}
+
+typedef void (*ckernel)(double ar, double ai, double br, double bi,
+                        double *cr, double *ci);
+
+static void k_add(double ar, double ai, double br, double bi, double *cr, double *ci) {
+    *cr = ar + br; *ci = ai + bi;
+}
+static void k_sub(double ar, double ai, double br, double bi, double *cr, double *ci) {
+    *cr = ar - br; *ci = ai - bi;
+}
+static void k_mul(double ar, double ai, double br, double bi, double *cr, double *ci) {
+    *cr = ar * br - ai * bi; *ci = ar * bi + ai * br;
+}
+static void k_div(double ar, double ai, double br, double bi, double *cr, double *ci) {
+    double d = br * br + bi * bi;
+    *cr = (ar * br + ai * bi) / d;
+    *ci = (ai * br - ar * bi) / d;
+}
+static void k_pow(double ar, double ai, double br, double bi, double *cr, double *ci) {
+    if (ai == 0.0 && bi == 0.0) {
+        if (ar >= 0.0 || br == floor(br)) {
+            *cr = pow(ar, br); *ci = 0.0;
+            return;
+        }
+        double r = pow(-ar, br), th = 3.14159265358979323846 * br;
+        *cr = r * cos(th); *ci = r * sin(th);
+        return;
+    }
+    double r = sqrt(ar * ar + ai * ai);
+    if (r == 0.0) { *cr = 0.0; *ci = 0.0; return; }
+    double th = atan2(ai, ar);
+    double lr = log(r), li = th;
+    double er = br * lr - bi * li, ei = br * li + bi * lr;
+    double mag = exp(er);
+    *cr = mag * cos(ei); *ci = mag * sin(ei);
+}
+
+static void ew_op(mrt_val *out, const mrt_val *a, const mrt_val *b, ckernel k) {
+    int d0, d1, d2;
+    ew_dims(a, b, &d0, &d1, &d2);
+    size_t n = (size_t)d0 * d1 * d2;
+    int complex = a->im || b->im;
+    /* `.^` of a negative base with fractional exponent goes complex. */
+    if (k == k_pow && !complex) {
+        size_t sa = is_scalar(a), sb = is_scalar(b);
+        for (size_t i = 0; i < n; i++) {
+            double x = a->re[sa ? 0 : i], y = b->re[sb ? 0 : i];
+            if (x < 0.0 && y != floor(y)) { complex = 1; break; }
+        }
+    }
+    ensure(out, n, complex);
+    if (!complex && out->im) { free(out->im); out->im = NULL; }
+    int sa = is_scalar(a), sb = is_scalar(b);
+    for (size_t i = 0; i < n; i++) {
+        size_t ia = sa ? 0 : i, ib = sb ? 0 : i;
+        double cr, ci;
+        k(a->re[ia], elem_im(a, ia), b->re[ib], elem_im(b, ib), &cr, &ci);
+        out->re[i] = cr;
+        if (complex) out->im[i] = ci;
+    }
+    set_dims(out, d0, d1, d2);
+    normalize(out);
+}
+
+typedef int (*cmpkernel)(double ar, double ai, double br, double bi);
+static int c_eq(double ar, double ai, double br, double bi) { return ar == br && ai == bi; }
+static int c_ne(double ar, double ai, double br, double bi) { return ar != br || ai != bi; }
+static int c_lt(double ar, double ai, double br, double bi) { (void)ai; (void)bi; return ar < br; }
+static int c_le(double ar, double ai, double br, double bi) { (void)ai; (void)bi; return ar <= br; }
+static int c_gt(double ar, double ai, double br, double bi) { (void)ai; (void)bi; return ar > br; }
+static int c_ge(double ar, double ai, double br, double bi) { (void)ai; (void)bi; return ar >= br; }
+static int c_and(double ar, double ai, double br, double bi) {
+    return (ar != 0.0 || ai != 0.0) && (br != 0.0 || bi != 0.0);
+}
+static int c_or(double ar, double ai, double br, double bi) {
+    return (ar != 0.0 || ai != 0.0) || (br != 0.0 || bi != 0.0);
+}
+
+static void cmp_op(mrt_val *out, const mrt_val *a, const mrt_val *b, cmpkernel k) {
+    int d0, d1, d2;
+    ew_dims(a, b, &d0, &d1, &d2);
+    size_t n = (size_t)d0 * d1 * d2;
+    ensure(out, n, 0);
+    if (out->im) { free(out->im); out->im = NULL; }
+    int sa = is_scalar(a), sb = is_scalar(b);
+    for (size_t i = 0; i < n; i++) {
+        size_t ia = sa ? 0 : i, ib = sb ? 0 : i;
+        out->re[i] = k(a->re[ia], elem_im(a, ia), b->re[ib], elem_im(b, ib)) ? 1.0 : 0.0;
+    }
+    set_dims(out, d0, d1, d2);
+}
+
+static void matmul(mrt_val *out, const mrt_val *a, const mrt_val *b) {
+    if (is_scalar(a) || is_scalar(b)) { ew_op(out, a, b, k_mul); return; }
+    if (a->d2 != 1 || b->d2 != 1) die("matmul of N-D arrays");
+    int m = a->d0, kk = a->d1, k2 = b->d0, n = b->d1;
+    if (kk != k2) die("inner matrix dimensions must agree");
+    int complex = a->im || b->im;
+    size_t total = (size_t)m * n;
+    ensure(out, total, complex);
+    if (!complex && out->im) { free(out->im); out->im = NULL; }
+    for (size_t i = 0; i < total; i++) {
+        out->re[i] = 0.0;
+        if (complex) out->im[i] = 0.0;
+    }
+    /* Same loop order (and zero skip) as the Rust runtime. */
+    for (int j = 0; j < n; j++) {
+        for (int l = 0; l < kk; l++) {
+            double br = b->re[l + (size_t)kk * j], bi = elem_im(b, l + (size_t)kk * j);
+            if (br == 0.0 && bi == 0.0) continue;
+            for (int i = 0; i < m; i++) {
+                size_t ia = i + (size_t)m * l, io = i + (size_t)m * j;
+                double ar = a->re[ia], ai = elem_im(a, ia);
+                out->re[io] += ar * br - ai * bi;
+                if (complex) out->im[io] += ar * bi + ai * br;
+            }
+        }
+    }
+    set_dims(out, m, n, 1);
+    normalize(out);
+}
+
+static void transpose(mrt_val *out, const mrt_val *a, int conj) {
+    if (a->d2 != 1) die("transpose of an N-D array");
+    int h = a->d0, w = a->d1;
+    size_t n = (size_t)h * w;
+    ensure(out, n, a->im != NULL);
+    if (!a->im && out->im) { free(out->im); out->im = NULL; }
+    for (int c = 0; c < w; c++)
+        for (int r = 0; r < h; r++) {
+            size_t src = r + (size_t)h * c, dst = c + (size_t)w * r;
+            out->re[dst] = a->re[src];
+            if (a->im) out->im[dst] = conj ? -a->im[src] : a->im[src];
+        }
+    set_dims(out, w, h, 1);
+    if (out->im) normalize(out);
+}
+
+/* ------------------------------------------------------------------ */
+/* Indexing                                                            */
+/* ------------------------------------------------------------------ */
+
+/* Folds dims so exactly m subscripts apply (trailing dims collapse). */
+static void effective_dims(const mrt_val *a, int m, int *dims) {
+    int raw[3] = {a->d0, a->d1, a->d2};
+    if (m >= 3) {
+        dims[0] = raw[0]; dims[1] = raw[1]; dims[2] = raw[2];
+        return;
+    }
+    if (m == 2) {
+        dims[0] = raw[0];
+        dims[1] = raw[1] * raw[2];
+    } else {
+        dims[0] = raw[0] * raw[1] * raw[2];
+    }
+}
+
+static size_t sub_count(const mrt_val *s, int extent) {
+    return s ? numel(s) : (size_t)extent;
+}
+
+static size_t sub_index(const mrt_val *s, size_t k) {
+    if (!s) return k;
+    double x = s->re[k];
+    if (x < 1.0 || x != floor(x)) die("subscript must be a positive integer");
+    return (size_t)x - 1;
+}
+
+static void subsref(mrt_val *out, const mrt_val *a, int nsubs,
+                    const mrt_val *const *subs) {
+    if (nsubs == 1) {
+        const mrt_val *s = subs[0];
+        size_t n = numel(a);
+        if (!s) { /* a(:) — column of all elements */
+            ensure(out, n, a->im != NULL);
+            if (!a->im && out->im) { free(out->im); out->im = NULL; }
+            memcpy(out->re, a->re, n * sizeof(double));
+            if (a->im) memcpy(out->im, a->im, n * sizeof(double));
+            set_dims(out, (int)n, 1, 1);
+            return;
+        }
+        size_t m = numel(s);
+        ensure(out, m, a->im != NULL);
+        if (!a->im && out->im) { free(out->im); out->im = NULL; }
+        for (size_t k = 0; k < m; k++) {
+            size_t i = sub_index(s, k);
+            if (i >= n) die("index exceeds array elements");
+            out->re[k] = a->re[i];
+            if (a->im) out->im[k] = a->im[i];
+        }
+        /* Orientation: vector sources keep their orientation; matrix
+         * subscripts shape the result (as the Rust dispatcher). */
+        if (is_vector(a) || is_scalar(a)) {
+            if (a->d0 == 1) set_dims(out, 1, (int)m, 1);
+            else set_dims(out, (int)m, 1, 1);
+        } else if (!is_vector(s)) {
+            set_dims(out, s->d0, s->d1, s->d2);
+        } else {
+            set_dims(out, 1, (int)m, 1);
+        }
+        out->is_char = a->is_char;
+        return;
+    }
+    int dims[3] = {1, 1, 1};
+    effective_dims(a, nsubs, dims);
+    size_t lens[3], strides[3];
+    strides[0] = 1;
+    for (int k = 1; k < nsubs; k++) strides[k] = strides[k - 1] * (size_t)dims[k - 1];
+    size_t total = 1;
+    for (int k = 0; k < nsubs; k++) {
+        lens[k] = sub_count(subs[k], dims[k]);
+        total *= lens[k];
+    }
+    ensure(out, total, a->im != NULL);
+    if (!a->im && out->im) { free(out->im); out->im = NULL; }
+    size_t counter[3] = {0, 0, 0};
+    for (size_t e = 0; e < total; e++) {
+        size_t src = 0;
+        for (int k = 0; k < nsubs; k++) {
+            size_t i = subs[k] ? sub_index(subs[k], counter[k]) : counter[k];
+            if (i >= (size_t)dims[k]) die("index exceeds array extent");
+            src += i * strides[k];
+        }
+        out->re[e] = a->re[src];
+        if (a->im) out->im[e] = a->im[src];
+        for (int k = 0; k < nsubs; k++) {
+            if (++counter[k] < lens[k]) break;
+            counter[k] = 0;
+        }
+    }
+    if (nsubs == 2) set_dims(out, (int)lens[0], (int)lens[1], 1);
+    else set_dims(out, (int)lens[0], (int)lens[1], (int)lens[2]);
+    out->is_char = a->is_char;
+}
+
+/* Grows `v` in place from old dims to new dims (zero fill, backward
+ * element moves — §2.3.3.1). */
+static void grow_to(mrt_val *v, const int *old_dims, const int *new_dims) {
+    size_t old_n = (size_t)old_dims[0] * old_dims[1] * old_dims[2];
+    size_t new_n = (size_t)new_dims[0] * new_dims[1] * new_dims[2];
+    ensure(v, new_n, 0);
+    for (size_t i = old_n; i < new_n; i++) {
+        v->re[i] = 0.0;
+        if (v->im) v->im[i] = 0.0;
+    }
+    size_t old_strides[3] = {1, (size_t)old_dims[0],
+                             (size_t)old_dims[0] * old_dims[1]};
+    size_t new_strides[3] = {1, (size_t)new_dims[0],
+                             (size_t)new_dims[0] * new_dims[1]};
+    (void)old_strides;
+    for (size_t lin = old_n; lin-- > 0;) {
+        size_t rem = lin, dst = 0;
+        for (int k = 0; k < 3; k++) {
+            size_t d = (size_t)old_dims[k];
+            size_t sk = rem % d;
+            rem /= d;
+            dst += sk * new_strides[k];
+        }
+        if (dst != lin) {
+            v->re[dst] = v->re[lin];
+            v->re[lin] = 0.0;
+            if (v->im) { v->im[dst] = v->im[lin]; v->im[lin] = 0.0; }
+        }
+    }
+    set_dims(v, new_dims[0], new_dims[1], new_dims[2]);
+}
+
+static void subsasgn(mrt_val *dst, const mrt_val *a, const mrt_val *r,
+                     int nsubs, const mrt_val *const *subs) {
+    /* Work on dst holding a's value (callers pass dst == slot of a when
+     * the plan coalesced them; otherwise copy a in first). */
+    if (dst->re != a->re) assign(dst, a);
+    if (r->im) ensure(dst, numel(dst) ? numel(dst) : 1, 1);
+
+    if (nsubs == 1) {
+        const mrt_val *s = subs[0];
+        size_t n = numel(dst);
+        size_t count = s ? numel(s) : n;
+        size_t need = 0;
+        for (size_t k = 0; k < count; k++) {
+            size_t i = s ? sub_index(s, k) : k;
+            if (i + 1 > need) need = i + 1;
+        }
+        if (need > n) {
+            int old_dims[3] = {dst->d0, dst->d1, dst->d2};
+            int new_dims[3];
+            if (n == 0) {
+                new_dims[0] = 1; new_dims[1] = (int)need; new_dims[2] = 1;
+            } else if (dst->d0 == 1 && dst->d2 == 1) {
+                new_dims[0] = 1; new_dims[1] = (int)need; new_dims[2] = 1;
+            } else if (dst->d1 == 1 && dst->d2 == 1) {
+                new_dims[0] = (int)need; new_dims[1] = 1; new_dims[2] = 1;
+            } else {
+                die("linear index exceeds a non-vector");
+                return;
+            }
+            grow_to(dst, old_dims, new_dims);
+        }
+        int rs = is_scalar(r);
+        for (size_t k = 0; k < count; k++) {
+            size_t i = s ? sub_index(s, k) : k;
+            size_t e = rs ? 0 : k;
+            dst->re[i] = r->re[e];
+            if (r->im) dst->im[i] = r->im[e];
+            else if (dst->im) dst->im[i] = 0.0;
+        }
+        return;
+    }
+
+    int cur[3] = {1, 1, 1};
+    effective_dims(dst, nsubs, cur);
+    int nd[3] = {cur[0], cur[1], nsubs == 3 ? cur[2] : 1};
+    for (int k = 0; k < nsubs; k++) {
+        const mrt_val *s = subs[k];
+        if (!s) continue;
+        size_t m = numel(s);
+        for (size_t e = 0; e < m; e++) {
+            size_t i = sub_index(s, e);
+            if ((int)i + 1 > nd[k]) nd[k] = (int)i + 1;
+        }
+    }
+    int old_dims[3] = {cur[0], cur[1], nsubs == 3 ? cur[2] : 1};
+    if (nd[0] != old_dims[0] || nd[1] != old_dims[1] || nd[2] != old_dims[2])
+        grow_to(dst, old_dims, nd);
+
+    size_t lens[3], strides[3];
+    strides[0] = 1;
+    strides[1] = (size_t)nd[0];
+    strides[2] = (size_t)nd[0] * nd[1];
+    size_t total = 1;
+    for (int k = 0; k < nsubs; k++) {
+        lens[k] = sub_count(subs[k], cur[k]);
+        total *= lens[k];
+    }
+    int rs = is_scalar(r);
+    if (!rs && numel(r) != total) die("subsasgn value count mismatch");
+    size_t counter[3] = {0, 0, 0};
+    for (size_t e = 0; e < total; e++) {
+        size_t pos = 0;
+        for (int k = 0; k < nsubs; k++) {
+            size_t i = subs[k] ? sub_index(subs[k], counter[k]) : counter[k];
+            pos += i * strides[k];
+        }
+        size_t ri = rs ? 0 : e;
+        dst->re[pos] = r->re[ri];
+        if (r->im) dst->im[pos] = r->im[ri];
+        else if (dst->im) dst->im[pos] = 0.0;
+        for (int k = 0; k < nsubs; k++) {
+            if (++counter[k] < lens[k]) break;
+            counter[k] = 0;
+        }
+    }
+}
+
+static void range_op(mrt_val *out, double a, double step, double b) {
+    if (step == 0.0) die("range step cannot be zero");
+    double c = floor((b - a) / step) + 1.0;
+    size_t n = c > 0.0 ? (size_t)c : 0;
+    ensure(out, n ? n : 1, 0);
+    if (out->im) { free(out->im); out->im = NULL; }
+    for (size_t k = 0; k < n; k++) out->re[k] = a + step * (double)k;
+    set_dims(out, n ? 1 : 0, (int)n, 1);
+    if (!n) set_dims(out, 1, 0, 1);
+}
+
+/* ------------------------------------------------------------------ */
+/* Reductions (column geometry, forward order — as the Rust runtime)   */
+/* ------------------------------------------------------------------ */
+
+static void reduce_geometry(const mrt_val *a, size_t *cols, size_t *len) {
+    if (is_vector(a) || is_scalar(a)) {
+        *cols = 1; *len = numel(a);
+    } else {
+        *cols = (size_t)a->d1 * a->d2;
+        *len = (size_t)a->d0;
+    }
+}
+
+static void sum_op(mrt_val *out, const mrt_val *a, int mean) {
+    size_t cols, len;
+    reduce_geometry(a, &cols, &len);
+    ensure(out, cols ? cols : 1, a->im != NULL);
+    if (!a->im && out->im) { free(out->im); out->im = NULL; }
+    for (size_t c = 0; c < cols; c++) {
+        double sr = 0.0, si = 0.0;
+        for (size_t k = 0; k < len; k++) {
+            sr += a->re[c * len + k];
+            si += elem_im(a, c * len + k);
+        }
+        if (mean && len) { sr /= (double)len; si /= (double)len; }
+        out->re[c] = sr;
+        if (a->im) out->im[c] = si;
+    }
+    set_dims(out, cols == 1 ? 1 : 1, (int)cols, 1);
+    if (cols == 1) set_dims(out, 1, 1, 1);
+    if (out->im) normalize(out);
+}
+
+static void minmax1(mrt_val *vals, mrt_val *idxs, const mrt_val *a, int want_max) {
+    size_t cols, len;
+    reduce_geometry(a, &cols, &len);
+    if (len == 0) die("max/min of empty value");
+    ensure(vals, cols, 0);
+    if (idxs) ensure(idxs, cols, 0);
+    for (size_t c = 0; c < cols; c++) {
+        double best = a->re[c * len];
+        size_t bi = 0;
+        for (size_t k = 1; k < len; k++) {
+            double x = a->re[c * len + k];
+            int better = want_max ? (x > best) : (x < best);
+            if (better || best != best) { best = x; bi = k; }
+        }
+        vals->re[c] = best;
+        if (idxs) idxs->re[c] = (double)(bi + 1);
+    }
+    if (cols == 1) set_dims(vals, 1, 1, 1);
+    else set_dims(vals, 1, (int)cols, 1);
+    if (idxs) {
+        if (cols == 1) set_dims(idxs, 1, 1, 1);
+        else set_dims(idxs, 1, (int)cols, 1);
+    }
+}
+
+/* ------------------------------------------------------------------ */
+/* fprintf — matches the Rust renderer byte for byte                   */
+/* ------------------------------------------------------------------ */
+
+/* MATLAB renders non-finite values as NaN / Inf / -Inf in every
+ * conversion (unlike C's nan/inf). Returns 1 and fills buf if x is
+ * non-finite. */
+static int nonfinite_str(double x, char *buf, size_t cap) {
+    if (isnan(x)) { snprintf(buf, cap, "NaN"); return 1; }
+    if (isinf(x)) { snprintf(buf, cap, x > 0 ? "Inf" : "-Inf"); return 1; }
+    return 0;
+}
+
+/* Rust-style exponent: "1.5e-12" / "1.5e4" (no '+', no zero padding). */
+static void rust_exp_fixup(char *s) {
+    char *e = strchr(s, 'e');
+    if (!e) return;
+    char *p = e + 1;
+    char sign = 0;
+    if (*p == '+' || *p == '-') { sign = *p; p++; }
+    while (*p == '0' && *(p + 1) != '\0') p++;
+    char tail[64];
+    snprintf(tail, sizeof tail, "%s%s", sign == '-' ? "-" : "", p);
+    strcpy(e + 1, tail);
+}
+
+static void fmt_g(char *buf, size_t cap, double x, int prec) {
+    if (x == 0.0) { snprintf(buf, cap, "0"); return; }
+    double ax = fabs(x);
+    int exp10 = (int)floor(log10(ax));
+    if (exp10 < -4 || exp10 >= prec) {
+        snprintf(buf, cap, "%.*e", prec > 0 ? prec - 1 : 0, x);
+        /* trim mantissa zeros */
+        char *e = strchr(buf, 'e');
+        if (e) {
+            char exppart[32];
+            snprintf(exppart, sizeof exppart, "%s", e);
+            char *end = e - 1;
+            if (memchr(buf, '.', (size_t)(e - buf))) {
+                while (*end == '0') end--;
+                if (*end == '.') end--;
+            }
+            snprintf(end + 1, cap - (size_t)(end + 1 - buf), "%s", exppart);
+        }
+        rust_exp_fixup(buf);
+    } else {
+        int decimals = prec - 1 - exp10;
+        if (decimals < 0) decimals = 0;
+        snprintf(buf, cap, "%.*f", decimals, x);
+        if (strchr(buf, '.')) {
+            char *end = buf + strlen(buf) - 1;
+            while (*end == '0') *end-- = '\0';
+            if (*end == '.') *end = '\0';
+        }
+    }
+}
+
+/* One pass over the template, consuming queue elements. */
+static int render_once(const char *tpl, const mrt_val *const *args, int argc,
+                       size_t *qi, size_t qtotal) {
+    size_t consumed_at_entry = *qi;
+    /* Flattened element access across all argument values. */
+    for (const char *p = tpl; *p;) {
+        if (*p == '\\' && p[1]) {
+            p++;
+            switch (*p) {
+            case 'n': putchar('\n'); break;
+            case 't': putchar('\t'); break;
+            case 'r': putchar('\r'); break;
+            case '\\': putchar('\\'); break;
+            default: putchar('\\'); putchar(*p); break;
+            }
+            p++;
+            continue;
+        }
+        if (*p == '%' && p[1] == '%') { putchar('%'); p += 2; continue; }
+        if (*p != '%') { putchar(*p++); continue; }
+        p++;
+        int left = 0;
+        if (*p == '-') { left = 1; p++; }
+        int width = 0;
+        while (*p >= '0' && *p <= '9') width = width * 10 + (*p++ - '0');
+        int prec = -1;
+        if (*p == '.') {
+            p++;
+            prec = 0;
+            while (*p >= '0' && *p <= '9') prec = prec * 10 + (*p++ - '0');
+        }
+        char conv = *p ? *p++ : '\0';
+        /* Fetch the next queue element. */
+        double val = 0.0;
+        int is_char_elem = 0;
+        size_t seen = 0;
+        const mrt_val *owner = NULL;
+        size_t owner_off = 0;
+        for (int a = 0; a < argc && !owner; a++) {
+            size_t n = numel(args[a]);
+            if (*qi < seen + n) { owner = args[a]; owner_off = *qi - seen; }
+            seen += n;
+        }
+        if (owner) {
+            val = owner->re[owner_off];
+            is_char_elem = owner->is_char;
+        }
+        char text[256];
+        switch (conv) {
+        case 'd': case 'i': case 'u':
+            (*qi)++;
+            if (nonfinite_str(val, text, sizeof text)) break;
+            if (val == floor(val) && fabs(val) < 9.2e18)
+                snprintf(text, sizeof text, "%lld", (long long)val);
+            else
+                snprintf(text, sizeof text, "%g", val);
+            break;
+        case 'f':
+            (*qi)++;
+            if (nonfinite_str(val, text, sizeof text)) break;
+            snprintf(text, sizeof text, "%.*f", prec < 0 ? 6 : prec, val);
+            break;
+        case 'e':
+            (*qi)++;
+            if (nonfinite_str(val, text, sizeof text)) break;
+            snprintf(text, sizeof text, "%.*e", prec < 0 ? 6 : prec, val);
+            rust_exp_fixup(text);
+            break;
+        case 'g':
+            (*qi)++;
+            if (nonfinite_str(val, text, sizeof text)) break;
+            fmt_g(text, sizeof text, val, prec < 0 ? 6 : prec);
+            break;
+        case 'c':
+            (*qi)++;
+            snprintf(text, sizeof text, "%c", (int)val);
+            break;
+        case 's': {
+            size_t ti = 0;
+            while (owner && ti + 1 < sizeof text) {
+                text[ti++] = (char)(int)owner->re[owner_off];
+                (*qi)++;
+                int was_char = owner->is_char;
+                /* advance owner/offset */
+                owner = NULL;
+                size_t seen2 = 0;
+                for (int a = 0; a < argc && !owner; a++) {
+                    size_t n = numel(args[a]);
+                    if (*qi < seen2 + n) { owner = args[a]; owner_off = *qi - seen2; }
+                    seen2 += n;
+                }
+                if (!was_char) break;
+            }
+            text[ti] = '\0';
+            break;
+        }
+        default:
+            die("unsupported fprintf conversion");
+            return 0;
+        }
+        (void)is_char_elem;
+        int len = (int)strlen(text);
+        if (len < width) {
+            if (left) { fputs(text, stdout); for (int i = len; i < width; i++) putchar(' '); }
+            else { for (int i = len; i < width; i++) putchar(' '); fputs(text, stdout); }
+        } else {
+            fputs(text, stdout);
+        }
+    }
+    return *qi > consumed_at_entry || *qi >= qtotal;
+}
+
+static void do_fprintf(const mrt_val *const *args, int argc) {
+    if (argc < 1) die("fprintf needs a format");
+    const mrt_val *fmt = args[0];
+    static char tpl[4096];
+    size_t n = numel(fmt);
+    if (n >= sizeof tpl) die("format too long");
+    for (size_t i = 0; i < n; i++) tpl[i] = (char)(int)fmt->re[i];
+    tpl[n] = '\0';
+    size_t qtotal = 0;
+    for (int a = 1; a < argc; a++) qtotal += numel(args[a]);
+    size_t qi = 0;
+    for (;;) {
+        size_t before = qi;
+        if (!render_once(tpl, args + 1, argc - 1, &qi, qtotal)) break;
+        if (qi >= qtotal || qi == before) break;
+    }
+}
+
+/* One element, disp-style (matches the Rust fmt_elem/fmt_num pair). */
+static void fmt_cell(char *cell, size_t cap, double re, double im) {
+    char rp[64], ip[64];
+    if (!nonfinite_str(re, rp, sizeof rp)) {
+        if (re == floor(re) && fabs(re) < 1e15)
+            snprintf(rp, sizeof rp, "%lld", (long long)re);
+        else snprintf(rp, sizeof rp, "%.4f", re);
+    }
+    if (im == 0.0) { snprintf(cell, cap, "%s", rp); return; }
+    double aim = fabs(im);
+    if (!nonfinite_str(aim, ip, sizeof ip)) {
+        if (aim == floor(aim) && fabs(aim) < 1e15)
+            snprintf(ip, sizeof ip, "%lld", (long long)aim);
+        else snprintf(ip, sizeof ip, "%.4f", aim);
+    }
+    snprintf(cell, cap, "%s %c %si", rp, im < 0.0 ? '-' : '+', ip);
+}
+
+/* The value body the way `disp` prints it: Rust's display_string plus
+ * the single trailing newline the dispatcher appends. */
+static void display_body(const mrt_val *v) {
+    size_t n = numel(v);
+    if (n == 0) {
+        printf("     []\n");
+        return;
+    }
+    if (v->is_char && v->d0 == 1) {
+        for (size_t i = 0; i < n; i++) putchar((int)v->re[i]);
+        putchar('\n');
+        return;
+    }
+    char cell[160];
+    if (n == 1) {
+        fmt_cell(cell, sizeof cell, v->re[0], elem_im(v, 0));
+        printf("    %s\n", cell);
+        return;
+    }
+    size_t pages = v->d2 > 1 ? (size_t)v->d2 : 1;
+    for (size_t p = 0; p < pages; p++) {
+        if (pages > 1) printf("(:,:,%zu)\n", p + 1);
+        for (int r = 0; r < v->d0; r++) {
+            printf("   ");
+            for (int c = 0; c < v->d1; c++) {
+                size_t idx = (size_t)r + (size_t)v->d0 * c + (size_t)v->d0 * v->d1 * p;
+                fmt_cell(cell, sizeof cell, v->re[idx], elem_im(v, idx));
+                printf(" %10s", cell);
+            }
+            printf("\n");
+        }
+    }
+}
+
+void mrt_display(const char *name, const mrt_val *v) {
+    printf("%s =\n", name);
+    display_body(v);
+}
+
+/* ------------------------------------------------------------------ */
+/* Matrix-literal concatenation ([a b; c d])                           */
+/* ------------------------------------------------------------------ */
+
+#define MAXARGS 64
+
+/* Horizontal concatenation: equal heights, widths add. */
+static void hcat_into(mrt_val *out, const mrt_val *const *parts, int n) {
+    int h = parts[0]->d0;
+    long w = 0;
+    int want_im = 0, all_char = 1;
+    for (int i = 0; i < n; i++) {
+        if (parts[i]->d2 != 1) die("concatenation of >2-D arrays is not supported");
+        if (parts[i]->d0 != h) die("horizontal concatenation height mismatch");
+        w += parts[i]->d1;
+        if (parts[i]->im) want_im = 1;
+        if (!parts[i]->is_char) all_char = 0;
+    }
+    size_t total = (size_t)h * (size_t)w;
+    ensure(out, total ? total : 1, want_im);
+    size_t k = 0;
+    for (int i = 0; i < n; i++) {
+        size_t pn = numel(parts[i]);
+        memcpy(out->re + k, parts[i]->re, pn * sizeof(double));
+        if (want_im)
+            for (size_t j = 0; j < pn; j++) out->im[k + j] = elem_im(parts[i], j);
+        k += pn;
+    }
+    set_dims(out, h, (int)w, 1);
+    out->is_char = all_char;
+    if (out->im) normalize(out);
+}
+
+/* Vertical concatenation: equal widths, heights add. */
+static void vcat_into(mrt_val *out, const mrt_val *const *parts, int n) {
+    if (n == 1) {
+        assign(out, parts[0]);
+        return;
+    }
+    int w = parts[0]->d1;
+    long h = 0;
+    int want_im = 0, all_char = 1;
+    for (int i = 0; i < n; i++) {
+        if (parts[i]->d2 != 1) die("concatenation of >2-D arrays is not supported");
+        if (parts[i]->d1 != w) die("vertical concatenation width mismatch");
+        h += parts[i]->d0;
+        if (parts[i]->im) want_im = 1;
+        if (!parts[i]->is_char) all_char = 0;
+    }
+    size_t total = (size_t)h * (size_t)w;
+    ensure(out, total ? total : 1, want_im);
+    long row0 = 0;
+    for (int i = 0; i < n; i++) {
+        int ph = parts[i]->d0;
+        for (int c = 0; c < w; c++)
+            for (int r = 0; r < ph; r++) {
+                size_t di = (size_t)(row0 + r) + (size_t)h * c;
+                size_t si = (size_t)r + (size_t)ph * c;
+                out->re[di] = parts[i]->re[si];
+                if (want_im) out->im[di] = elem_im(parts[i], si);
+            }
+        row0 += ph;
+    }
+    set_dims(out, (int)h, w, 1);
+    out->is_char = all_char;
+    if (out->im) normalize(out);
+}
+
+/* "concat:<r1>,<r2>,...": the generated op name carries the grid's row
+ * lengths. Empty operands are skipped per row; all rows empty yields
+ * the 0x0 empty (the Rust matrix_build). */
+static void do_concat(mrt_val *scr, const char *spec, const mrt_val *const *a, int argc) {
+    /* Sized by argc — mrt_opv accepts arbitrarily wide literals. */
+    mrt_val *rows = (mrt_val *)malloc((size_t)argc * sizeof(mrt_val));
+    const mrt_val **rowrefs = (const mrt_val **)malloc((size_t)argc * sizeof(mrt_val *));
+    const mrt_val **parts = (const mrt_val **)malloc((size_t)argc * sizeof(mrt_val *));
+    if ((!rows || !rowrefs || !parts) && argc) die("out of memory");
+    int nrows = 0, k = 0;
+    const char *p = spec;
+    while (k < argc) {
+        int len;
+        if (*p) {
+            len = 0;
+            while (*p >= '0' && *p <= '9') len = len * 10 + (*p++ - '0');
+            if (*p == ',') p++;
+        } else {
+            len = argc - k; /* no spec: a single row */
+        }
+        int np = 0;
+        for (int i = 0; i < len && k < argc; i++, k++)
+            if (numel(a[k]) > 0) parts[np++] = a[k];
+        if (np == 0) continue;
+        scratch_init(&rows[nrows]);
+        hcat_into(&rows[nrows], parts, np);
+        rowrefs[nrows] = &rows[nrows];
+        nrows++;
+    }
+    if (nrows == 0) {
+        ensure(scr, 1, 0);
+        set_dims(scr, 0, 0, 1);
+    } else {
+        vcat_into(scr, rowrefs, nrows);
+        for (int i = 0; i < nrows; i++) {
+            free(rows[i].re);
+            free(rows[i].im);
+        }
+    }
+    free(rows);
+    free(rowrefs);
+    free(parts);
+}
+
+/* ------------------------------------------------------------------ */
+/* The dispatcher                                                      */
+/* ------------------------------------------------------------------ */
+
+static void fill_like(mrt_val *out, const mrt_val *const *args, int argc, double fill) {
+    int d[3] = {1, 1, 1};
+    if (argc == 1) {
+        int n = (int)mrt_scalar(args[0]);
+        d[0] = n < 0 ? 0 : n; d[1] = d[0];
+    } else if (argc >= 2) {
+        for (int k = 0; k < argc && k < 3; k++) {
+            int n = (int)mrt_scalar(args[k]);
+            d[k] = n < 0 ? 0 : n;
+        }
+    }
+    size_t n = (size_t)d[0] * d[1] * d[2];
+    ensure(out, n ? n : 1, 0);
+    if (out->im) { free(out->im); out->im = NULL; }
+    for (size_t i = 0; i < n; i++) out->re[i] = fill;
+    set_dims(out, d[0], d[1], d[2]);
+}
+
+typedef void (*map1)(double, double, double *, double *);
+static void m_sqrt(double r, double i, double *or_, double *oi) {
+    if (i == 0.0) {
+        if (r >= 0.0) { *or_ = sqrt(r); *oi = 0.0; }
+        else { *or_ = 0.0; *oi = sqrt(-r); }
+        return;
+    }
+    double m = sqrt(r * r + i * i);
+    double u = sqrt((m + r) / 2.0), v = sqrt((m - r) / 2.0);
+    *or_ = u; *oi = i < 0.0 ? -v : v;
+}
+static void m_abs(double r, double i, double *or_, double *oi) {
+    *or_ = i == 0.0 ? fabs(r) : sqrt(r * r + i * i); *oi = 0.0;
+}
+static void m_sin(double r, double i, double *or_, double *oi) {
+    if (i == 0.0) { *or_ = sin(r); *oi = 0.0; return; }
+    *or_ = sin(r) * cosh(i); *oi = cos(r) * sinh(i);
+}
+static void m_cos(double r, double i, double *or_, double *oi) {
+    if (i == 0.0) { *or_ = cos(r); *oi = 0.0; return; }
+    *or_ = cos(r) * cosh(i); *oi = -sin(r) * sinh(i);
+}
+static void m_tan(double r, double i, double *or_, double *oi) {
+    if (i == 0.0) { *or_ = tan(r); *oi = 0.0; return; }
+    double d = cos(2.0 * r) + cosh(2.0 * i);
+    *or_ = sin(2.0 * r) / d; *oi = sinh(2.0 * i) / d;
+}
+static void m_exp(double r, double i, double *or_, double *oi) {
+    double m = exp(r);
+    if (i == 0.0) { *or_ = m; *oi = 0.0; return; }
+    *or_ = m * cos(i); *oi = m * sin(i);
+}
+static void m_log(double r, double i, double *or_, double *oi) {
+    if (i == 0.0 && r > 0.0) { *or_ = log(r); *oi = 0.0; return; }
+    double m = sqrt(r * r + i * i);
+    *or_ = log(m); *oi = atan2(i, r);
+}
+static void m_floor(double r, double i, double *or_, double *oi) { *or_ = floor(r); *oi = floor(i); }
+static void m_ceil(double r, double i, double *or_, double *oi) { *or_ = ceil(r); *oi = ceil(i); }
+static void m_round(double r, double i, double *or_, double *oi) {
+    *or_ = r >= 0.0 ? floor(r + 0.5) : ceil(r - 0.5);
+    *oi = i >= 0.0 ? floor(i + 0.5) : ceil(i - 0.5);
+}
+static void m_fix(double r, double i, double *or_, double *oi) { *or_ = trunc(r); *oi = trunc(i); }
+static void m_atan(double r, double i, double *or_, double *oi) { (void)i; *or_ = atan(r); *oi = 0.0; }
+static void m_real(double r, double i, double *or_, double *oi) { (void)i; *or_ = r; *oi = 0.0; }
+static void m_imag(double r, double i, double *or_, double *oi) { (void)r; *or_ = i; *oi = 0.0; }
+static void m_conj(double r, double i, double *or_, double *oi) { *or_ = r; *oi = -i; }
+/* MATLAB sign: z / |z| for complex, the usual -1/0/1 for real. */
+static void m_sign(double r, double i, double *or_, double *oi) {
+    if (i == 0.0) {
+        *or_ = r > 0.0 ? 1.0 : (r < 0.0 ? -1.0 : 0.0);
+        *oi = 0.0;
+    } else {
+        double m = sqrt(r * r + i * i);
+        *or_ = r / m;
+        *oi = i / m;
+    }
+}
+
+static void apply_map(mrt_val *out, const mrt_val *a, map1 k, int forces_real) {
+    size_t n = numel(a);
+    /* sqrt of negative reals goes complex; probe first. */
+    int complex = a->im != NULL;
+    if (k == m_sqrt && !complex) {
+        for (size_t i = 0; i < n; i++)
+            if (a->re[i] < 0.0) { complex = 1; break; }
+    }
+    if (k == m_log && !complex) {
+        for (size_t i = 0; i < n; i++)
+            if (a->re[i] <= 0.0) { complex = 1; break; }
+    }
+    if (forces_real) complex = 0;
+    ensure(out, n ? n : 1, complex);
+    if (!complex && out->im) { free(out->im); out->im = NULL; }
+    for (size_t i = 0; i < n; i++) {
+        double r, m;
+        k(a->re[i], elem_im(a, i), &r, &m);
+        out->re[i] = r;
+        if (complex) out->im[i] = m;
+    }
+    set_dims(out, a->d0, a->d1, a->d2);
+    if (out->im) normalize(out);
+}
+
+static void dispatch(mrt_val *scr, const char *op, const mrt_val *const *a, int argc);
+
+void mrt_op(mrt_val *dst, const char *op, int argc, ...) {
+    const mrt_val *args[MAXARGS];
+    if (argc > MAXARGS) die("too many varargs operands (codegen should emit mrt_opv)");
+    va_list ap;
+    va_start(ap, argc);
+    for (int i = 0; i < argc && i < MAXARGS; i++)
+        args[i] = va_arg(ap, const mrt_val *);
+    va_end(ap);
+    mrt_opv(dst, op, argc, args);
+}
+
+void mrt_opv(mrt_val *dst, const char *op, int argc, const mrt_val *const *args) {
+    /* Effects. */
+    if (!strcmp(op, "fprintf")) { do_fprintf(args, argc); return; }
+    if (!strcmp(op, "disp")) {
+        if (argc >= 1) display_body(args[0]);
+        return;
+    }
+    if (!strcmp(op, "error")) {
+        fprintf(stderr, "error raised\n");
+        exit(69);
+    }
+
+    mrt_val scr;
+    scratch_init(&scr);
+
+    /* subsasgn may grow in place within dst's own buffer when the plan
+     * coalesced base and result — handle before generic dispatch. */
+    if (!strcmp(op, "subsasgn")) {
+        subsasgn(dst ? dst : &scr, args[0], args[1], argc - 2, &args[2]);
+        if (!dst) { free(scr.re); free(scr.im); }
+        return;
+    }
+
+    dispatch(&scr, op, args, argc);
+    commit(dst, &scr);
+}
+
+static void dispatch(mrt_val *scr, const char *op, const mrt_val *const *a, int argc) {
+    if (!strcmp(op, "copy")) { assign(scr, a[0]); return; }
+    if (!strncmp(op, "concat", 6)) {
+        do_concat(scr, op[6] == ':' ? op + 7 : "", a, argc);
+        return;
+    }
+    if (!strcmp(op, "bin_add")) { ew_op(scr, a[0], a[1], k_add); return; }
+    if (!strcmp(op, "bin_sub")) { ew_op(scr, a[0], a[1], k_sub); return; }
+    if (!strcmp(op, "bin_times")) { ew_op(scr, a[0], a[1], k_mul); return; }
+    if (!strcmp(op, "bin_mtimes")) { matmul(scr, a[0], a[1]); return; }
+    if (!strcmp(op, "bin_rdivide")) { ew_op(scr, a[0], a[1], k_div); return; }
+    if (!strcmp(op, "bin_ldivide")) { ew_op(scr, a[1], a[0], k_div); return; }
+    if (!strcmp(op, "bin_mrdivide")) {
+        if (!is_scalar(a[1])) die("matrix right division needs a scalar divisor (runtime)");
+        ew_op(scr, a[0], a[1], k_div);
+        return;
+    }
+    if (!strcmp(op, "bin_mldivide")) {
+        if (!is_scalar(a[0])) die("matrix left division unsupported in the C runtime");
+        ew_op(scr, a[1], a[0], k_div);
+        return;
+    }
+    if (!strcmp(op, "bin_power")) { ew_op(scr, a[0], a[1], k_pow); return; }
+    if (!strcmp(op, "bin_mpower")) {
+        if (!is_scalar(a[0]) || !is_scalar(a[1]))
+            die("matrix power unsupported in the C runtime");
+        ew_op(scr, a[0], a[1], k_pow);
+        return;
+    }
+    if (!strcmp(op, "bin_eq")) { cmp_op(scr, a[0], a[1], c_eq); return; }
+    if (!strcmp(op, "bin_ne")) { cmp_op(scr, a[0], a[1], c_ne); return; }
+    if (!strcmp(op, "bin_lt")) { cmp_op(scr, a[0], a[1], c_lt); return; }
+    if (!strcmp(op, "bin_le")) { cmp_op(scr, a[0], a[1], c_le); return; }
+    if (!strcmp(op, "bin_gt")) { cmp_op(scr, a[0], a[1], c_gt); return; }
+    if (!strcmp(op, "bin_ge")) { cmp_op(scr, a[0], a[1], c_ge); return; }
+    if (!strcmp(op, "bin_and")) { cmp_op(scr, a[0], a[1], c_and); return; }
+    if (!strcmp(op, "bin_or")) { cmp_op(scr, a[0], a[1], c_or); return; }
+    if (!strcmp(op, "un_uminus")) {
+        const mrt_val *zero = mrt_wrap(mrt_numv(0.0));
+        ew_op(scr, zero, a[0], k_sub);
+        return;
+    }
+    if (!strcmp(op, "un_uplus")) { assign(scr, a[0]); return; }
+    if (!strcmp(op, "un_not")) {
+        const mrt_val *zero = mrt_wrap(mrt_numv(0.0));
+        cmp_op(scr, a[0], zero, c_eq);
+        return;
+    }
+    if (!strcmp(op, "un_transpose")) { transpose(scr, a[0], 0); return; }
+    if (!strcmp(op, "un_ctranspose")) { transpose(scr, a[0], 1); return; }
+    if (!strcmp(op, "subsref")) { subsref(scr, a[0], argc - 1, &a[1]); return; }
+    if (!strcmp(op, "range")) {
+        range_op(scr, mrt_scalar(a[0]), 1.0, mrt_scalar(a[1]));
+        return;
+    }
+    if (!strcmp(op, "range3")) {
+        range_op(scr, mrt_scalar(a[0]), mrt_scalar(a[1]), mrt_scalar(a[2]));
+        return;
+    }
+    if (!strcmp(op, "zeros")) { fill_like(scr, a, argc, 0.0); return; }
+    if (!strcmp(op, "ones")) { fill_like(scr, a, argc, 1.0); return; }
+    if (!strcmp(op, "eye")) {
+        fill_like(scr, a, argc, 0.0);
+        int m = scr->d0 < scr->d1 ? scr->d0 : scr->d1;
+        for (int i = 0; i < m; i++) scr->re[i + (size_t)scr->d0 * i] = 1.0;
+        return;
+    }
+    if (!strcmp(op, "rand")) {
+        fill_like(scr, a, argc, 0.0);
+        size_t n = numel(scr);
+        for (size_t i = 0; i < n; i++) scr->re[i] = next_rand();
+        return;
+    }
+    if (!strcmp(op, "size")) {
+        if (argc >= 2) {
+            int k = (int)mrt_scalar(a[1]);
+            int d = k == 1 ? a[0]->d0 : (k == 2 ? a[0]->d1 : (k == 3 ? a[0]->d2 : 1));
+            ensure(scr, 1, 0);
+            scr->re[0] = (double)d;
+            set_dims(scr, 1, 1, 1);
+        } else {
+            int rank = a[0]->d2 > 1 ? 3 : 2;
+            ensure(scr, (size_t)rank, 0);
+            scr->re[0] = a[0]->d0;
+            scr->re[1] = a[0]->d1;
+            if (rank == 3) scr->re[2] = a[0]->d2;
+            set_dims(scr, 1, rank, 1);
+        }
+        return;
+    }
+    if (!strcmp(op, "numel")) {
+        ensure(scr, 1, 0);
+        scr->re[0] = (double)numel(a[0]);
+        set_dims(scr, 1, 1, 1);
+        return;
+    }
+    if (!strcmp(op, "length")) {
+        ensure(scr, 1, 0);
+        size_t n = numel(a[0]);
+        int m = a[0]->d0;
+        if (a[0]->d1 > m) m = a[0]->d1;
+        if (a[0]->d2 > m) m = a[0]->d2;
+        scr->re[0] = n == 0 ? 0.0 : (double)m;
+        set_dims(scr, 1, 1, 1);
+        return;
+    }
+    if (!strcmp(op, "ndims")) {
+        ensure(scr, 1, 0);
+        scr->re[0] = a[0]->d2 > 1 ? 3.0 : 2.0;
+        set_dims(scr, 1, 1, 1);
+        return;
+    }
+    if (!strcmp(op, "isempty")) {
+        ensure(scr, 1, 0);
+        scr->re[0] = numel(a[0]) == 0 ? 1.0 : 0.0;
+        set_dims(scr, 1, 1, 1);
+        return;
+    }
+    if (!strcmp(op, "istrue")) {
+        ensure(scr, 1, 0);
+        scr->re[0] = mrt_istrue(a[0]) ? 1.0 : 0.0;
+        set_dims(scr, 1, 1, 1);
+        return;
+    }
+    if (!strcmp(op, "range_count")) {
+        double x = mrt_scalar(a[0]), s = mrt_scalar(a[1]), y = mrt_scalar(a[2]);
+        if (s == 0.0) die("invalid for-loop range");
+        double c = floor((y - x) / s) + 1.0;
+        ensure(scr, 1, 0);
+        scr->re[0] = c > 0.0 ? c : 0.0;
+        set_dims(scr, 1, 1, 1);
+        return;
+    }
+    if (!strcmp(op, "loop_index")) {
+        double st = mrt_scalar(a[0]), sp = mrt_scalar(a[1]), k = mrt_scalar(a[3]);
+        ensure(scr, 1, 0);
+        scr->re[0] = st + sp * (k - 1.0);
+        set_dims(scr, 1, 1, 1);
+        return;
+    }
+    if (!strcmp(op, "sqrt")) { apply_map(scr, a[0], m_sqrt, 0); return; }
+    if (!strcmp(op, "abs")) { apply_map(scr, a[0], m_abs, 1); return; }
+    if (!strcmp(op, "sin")) { apply_map(scr, a[0], m_sin, 0); return; }
+    if (!strcmp(op, "cos")) { apply_map(scr, a[0], m_cos, 0); return; }
+    if (!strcmp(op, "tan")) { apply_map(scr, a[0], m_tan, 0); return; }
+    if (!strcmp(op, "atan")) { apply_map(scr, a[0], m_atan, 1); return; }
+    if (!strcmp(op, "exp")) { apply_map(scr, a[0], m_exp, 0); return; }
+    if (!strcmp(op, "log")) { apply_map(scr, a[0], m_log, 0); return; }
+    if (!strcmp(op, "floor")) { apply_map(scr, a[0], m_floor, 0); return; }
+    if (!strcmp(op, "ceil")) { apply_map(scr, a[0], m_ceil, 0); return; }
+    if (!strcmp(op, "round")) { apply_map(scr, a[0], m_round, 0); return; }
+    if (!strcmp(op, "fix")) { apply_map(scr, a[0], m_fix, 0); return; }
+    if (!strcmp(op, "real")) { apply_map(scr, a[0], m_real, 1); return; }
+    if (!strcmp(op, "imag")) { apply_map(scr, a[0], m_imag, 1); return; }
+    if (!strcmp(op, "conj")) { apply_map(scr, a[0], m_conj, 0); return; }
+    if (!strcmp(op, "sign")) { apply_map(scr, a[0], m_sign, 0); return; }
+    if (!strcmp(op, "sum")) { sum_op(scr, a[0], 0); return; }
+    if (!strcmp(op, "mean")) { sum_op(scr, a[0], 1); return; }
+    if (!strcmp(op, "max")) {
+        if (argc >= 2) {
+            int d0, d1, d2;
+            ew_dims(a[0], a[1], &d0, &d1, &d2);
+            size_t n = (size_t)d0 * d1 * d2;
+            ensure(scr, n ? n : 1, 0);
+            int sa = is_scalar(a[0]), sb = is_scalar(a[1]);
+            for (size_t i = 0; i < n; i++) {
+                double x = a[0]->re[sa ? 0 : i], y = a[1]->re[sb ? 0 : i];
+                scr->re[i] = (x > y || isnan(y)) ? x : y;
+            }
+            set_dims(scr, d0, d1, d2);
+        } else {
+            minmax1(scr, NULL, a[0], 1);
+        }
+        return;
+    }
+    if (!strcmp(op, "min")) {
+        if (argc >= 2) {
+            int d0, d1, d2;
+            ew_dims(a[0], a[1], &d0, &d1, &d2);
+            size_t n = (size_t)d0 * d1 * d2;
+            ensure(scr, n ? n : 1, 0);
+            int sa = is_scalar(a[0]), sb = is_scalar(a[1]);
+            for (size_t i = 0; i < n; i++) {
+                double x = a[0]->re[sa ? 0 : i], y = a[1]->re[sb ? 0 : i];
+                scr->re[i] = (x < y || isnan(y)) ? x : y;
+            }
+            set_dims(scr, d0, d1, d2);
+        } else {
+            minmax1(scr, NULL, a[0], 0);
+        }
+        return;
+    }
+    if (!strcmp(op, "mod")) {
+        int d0, d1, d2;
+        ew_dims(a[0], a[1], &d0, &d1, &d2);
+        size_t n = (size_t)d0 * d1 * d2;
+        ensure(scr, n ? n : 1, 0);
+        int sa = is_scalar(a[0]), sb = is_scalar(a[1]);
+        for (size_t i = 0; i < n; i++) {
+            double x = a[0]->re[sa ? 0 : i], y = a[1]->re[sb ? 0 : i];
+            scr->re[i] = y == 0.0 ? x : x - y * floor(x / y);
+        }
+        set_dims(scr, d0, d1, d2);
+        return;
+    }
+    if (!strcmp(op, "rem")) {
+        int d0, d1, d2;
+        ew_dims(a[0], a[1], &d0, &d1, &d2);
+        size_t n = (size_t)d0 * d1 * d2;
+        ensure(scr, n ? n : 1, 0);
+        int sa = is_scalar(a[0]), sb = is_scalar(a[1]);
+        for (size_t i = 0; i < n; i++) {
+            double x = a[0]->re[sa ? 0 : i], y = a[1]->re[sb ? 0 : i];
+            scr->re[i] = y == 0.0 ? (0.0 / 0.0) : x - y * trunc(x / y);
+        }
+        set_dims(scr, d0, d1, d2);
+        return;
+    }
+    if (!strcmp(op, "atan2")) {
+        int d0, d1, d2;
+        ew_dims(a[0], a[1], &d0, &d1, &d2);
+        size_t n = (size_t)d0 * d1 * d2;
+        ensure(scr, n ? n : 1, 0);
+        int sa = is_scalar(a[0]), sb = is_scalar(a[1]);
+        for (size_t i = 0; i < n; i++)
+            scr->re[i] = atan2(a[0]->re[sa ? 0 : i], a[1]->re[sb ? 0 : i]);
+        set_dims(scr, d0, d1, d2);
+        return;
+    }
+    if (!strcmp(op, "linspace")) {
+        double lo = mrt_scalar(a[0]), hi = mrt_scalar(a[1]);
+        size_t n = argc >= 3 ? (size_t)mrt_scalar(a[2]) : 100;
+        ensure(scr, n ? n : 1, 0);
+        for (size_t k = 0; k < n; k++) {
+            double t = n <= 1 ? 1.0 : (double)k / (double)(n - 1);
+            scr->re[k] = lo + (hi - lo) * t;
+        }
+        set_dims(scr, 1, (int)n, 1);
+        return;
+    }
+    if (!strcmp(op, "norm")) {
+        double acc = 0.0;
+        size_t n = numel(a[0]);
+        for (size_t i = 0; i < n; i++) {
+            double r = a[0]->re[i], m = elem_im(a[0], i);
+            acc += r * r + m * m;
+        }
+        ensure(scr, 1, 0);
+        scr->re[0] = sqrt(acc);
+        set_dims(scr, 1, 1, 1);
+        return;
+    }
+    if (!strcmp(op, "pi")) {
+        ensure(scr, 1, 0);
+        scr->re[0] = 3.14159265358979323846;
+        set_dims(scr, 1, 1, 1);
+        return;
+    }
+    if (!strcmp(op, "Inf")) {
+        ensure(scr, 1, 0);
+        scr->re[0] = 1.0 / 0.0;
+        set_dims(scr, 1, 1, 1);
+        return;
+    }
+    if (!strcmp(op, "eps")) {
+        ensure(scr, 1, 0);
+        scr->re[0] = 2.220446049250313e-16;
+        set_dims(scr, 1, 1, 1);
+        return;
+    }
+    if (!strcmp(op, "prod")) {
+        size_t cols, len;
+        reduce_geometry(a[0], &cols, &len);
+        ensure(scr, cols ? cols : 1, 0);
+        for (size_t c = 0; c < cols; c++) {
+            double p = 1.0;
+            for (size_t k = 0; k < len; k++) p *= a[0]->re[c * len + k];
+            scr->re[c] = p;
+        }
+        if (cols == 1) set_dims(scr, 1, 1, 1);
+        else set_dims(scr, 1, (int)cols, 1);
+        return;
+    }
+    if (!strcmp(op, "any") || !strcmp(op, "all")) {
+        int want_all = op[1] == 'l';
+        size_t cols, len;
+        reduce_geometry(a[0], &cols, &len);
+        ensure(scr, cols ? cols : 1, 0);
+        for (size_t c = 0; c < cols; c++) {
+            int acc = want_all ? 1 : 0;
+            for (size_t k = 0; k < len; k++) {
+                int nz = a[0]->re[c * len + k] != 0.0 || elem_im(a[0], c * len + k) != 0.0;
+                if (want_all) acc = acc && nz;
+                else acc = acc || nz;
+            }
+            scr->re[c] = acc ? 1.0 : 0.0;
+        }
+        if (cols == 1) set_dims(scr, 1, 1, 1);
+        else set_dims(scr, 1, (int)cols, 1);
+        return;
+    }
+    fprintf(stderr, "mrt: unimplemented operation `%s`\n", op);
+    exit(70);
+}
+
+void mrt_multi(const char *op, int argc, ...) {
+    const mrt_val *args[MAXARGS];
+    mrt_val *outs[MAXARGS];
+    if (argc > MAXARGS) die("too many operands (raise MAXARGS)");
+    va_list ap;
+    va_start(ap, argc);
+    for (int i = 0; i < argc && i < MAXARGS; i++)
+        args[i] = va_arg(ap, const mrt_val *);
+    int noutc = va_arg(ap, int);
+    for (int i = 0; i < noutc && i < MAXARGS; i++)
+        outs[i] = va_arg(ap, mrt_val *);
+    va_end(ap);
+
+    if (!strcmp(op, "size")) {
+        int d[3] = {args[0]->d0, args[0]->d1, args[0]->d2};
+        for (int k = 0; k < noutc; k++) {
+            mrt_val scr;
+            scratch_init(&scr);
+            ensure(&scr, 1, 0);
+            if (k + 1 < noutc) {
+                scr.re[0] = k < 3 ? (double)d[k] : 1.0;
+            } else {
+                double rest = 1.0;
+                for (int j = k; j < 3; j++) rest *= (double)d[j];
+                scr.re[0] = rest;
+            }
+            set_dims(&scr, 1, 1, 1);
+            commit(outs[k], &scr);
+        }
+        return;
+    }
+    if (!strcmp(op, "max") || !strcmp(op, "min")) {
+        mrt_val vals, idxs;
+        scratch_init(&vals);
+        scratch_init(&idxs);
+        minmax1(&vals, &idxs, args[0], op[1] == 'a');
+        commit(outs[0], &vals);
+        if (noutc > 1) commit(outs[1], &idxs);
+        else { free(idxs.re); free(idxs.im); }
+        return;
+    }
+    fprintf(stderr, "mrt: unimplemented multi-output `%s`\n", op);
+    exit(70);
+}

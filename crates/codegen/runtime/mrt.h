@@ -1,0 +1,63 @@
+/* mrt.h — the mat2c support runtime interface.
+ *
+ * The generated C manipulates `mrt_val` handles: a buffer of doubles
+ * (plus an optional imaginary buffer), the current extents, and a
+ * capacity. Stack groups bind fixed frame buffers (growth beyond the
+ * planned capacity aborts — a storage-plan violation); heap groups
+ * start unbound and are allocated/resized by the runtime.
+ */
+#ifndef MRT_H
+#define MRT_H
+
+#include <stddef.h>
+
+typedef struct {
+    double *re;   /* element buffer (column-major)            */
+    double *im;   /* imaginary parts, or NULL when real       */
+    int d0, d1, d2; /* extents (d2 == 1 for 2-D values)        */
+    size_t cap;   /* element capacity of `re` (and `im`)      */
+    int fixed;    /* 1: `re` is a frame buffer, never realloc */
+    int is_char;  /* char-class data (string literals)        */
+} mrt_val;
+
+/* A compile-time immediate: number, imaginary number, string or []. */
+typedef struct {
+    int tag;          /* 0 num, 1 imag, 2 str, 3 empty */
+    double num;
+    const char *str;
+} mrt_imm;
+
+#define mrt_numv(x)  ((mrt_imm){0, (x), 0})
+#define mrt_imagv(x) ((mrt_imm){1, (x), 0})
+#define mrt_strv(s)  ((mrt_imm){2, 0.0, (s)})
+#define mrt_emptyv() ((mrt_imm){3, 0.0, 0})
+
+#define MRT_NUMEL(v) ((size_t)(v).d0 * (size_t)(v).d1 * (size_t)(v).d2)
+#define MRT_COLON   ((const mrt_val *)0)
+#define MRT_NEEDED  ((size_t)0) /* resize guards are bookkeeping hints */
+
+/* Binds a value to a frame buffer of `cap` elements (NULL, 0 = heap). */
+void mrt_bind(mrt_val *v, double *buf, size_t cap);
+/* Releases a heap-bound value's storage. */
+void mrt_free(mrt_val *v);
+/* Resize guards emitted for the plan's +- / + annotations (hints; the
+ * runtime manages capacity per operation). */
+void mrt_resize(mrt_val *v, size_t bytes);
+void mrt_grow(mrt_val *v, size_t bytes);
+/* Executes one library operation: dst <- op(arg1..argN).
+ * Arguments are `const mrt_val *` (MRT_COLON marks `:` subscripts). */
+void mrt_op(mrt_val *dst, const char *op, int argc, ...);
+/* Array-argument form of mrt_op, for operand counts beyond the varargs
+ * convenience limit (e.g. wide matrix literals). */
+void mrt_opv(mrt_val *dst, const char *op, int argc, const mrt_val *const *args);
+/* Multi-output library call: op(args...) -> (out1..outM). */
+void mrt_multi(const char *op, int argc, ... /* args, int noutc, outs */);
+/* Materializes an immediate as a value (rotating temporary pool). */
+const mrt_val *mrt_wrap(mrt_imm imm);
+/* Scalar accessors. */
+double mrt_scalar(const mrt_val *v);
+int mrt_istrue(const mrt_val *v);
+/* `x = ...` echo of non-semicolon statements. */
+void mrt_display(const char *name, const mrt_val *v);
+
+#endif /* MRT_H */

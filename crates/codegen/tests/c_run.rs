@@ -1,0 +1,299 @@
+//! End-to-end validation of the C backend: every benchmark's generated
+//! C is **compiled with the host C compiler, linked against the `mrt`
+//! support runtime, executed, and its stdout compared with the reference
+//! interpreter's output**. The RNG streams are aligned, so outputs match
+//! exactly up to libm rounding in the last printed digit (compared with
+//! a tight numeric tolerance).
+//!
+//! Skipped silently when no C compiler exists on the host.
+
+use matc_benchsuite::{all, Preset};
+use matc_codegen::{emit_program, MRT_C, MRT_H};
+use matc_frontend::parser::parse_program;
+use matc_gctd::GctdOptions;
+use matc_vm::compile::compile;
+use matc_vm::Interp;
+use std::io::Write as _;
+use std::process::Command;
+
+fn find_cc() -> Option<&'static str> {
+    ["cc", "gcc", "clang"]
+        .into_iter()
+        .find(|&cc| {
+            Command::new(cc)
+                .arg("--version")
+                .output()
+                .map(|o| o.status.success())
+                .unwrap_or(false)
+        })
+        .map(|v| v as _)
+}
+
+/// Token-level comparison: exact match, or numeric tokens within a
+/// relative tolerance (libm vs Rust std can differ in the final ulp,
+/// which a fixed-precision print can surface).
+fn outputs_agree(a: &str, b: &str) -> bool {
+    if a == b {
+        return true;
+    }
+    let ta: Vec<&str> = a.split_whitespace().collect();
+    let tb: Vec<&str> = b.split_whitespace().collect();
+    if ta.len() != tb.len() {
+        return false;
+    }
+    for (x, y) in ta.iter().zip(&tb) {
+        if x == y {
+            continue;
+        }
+        match (x.parse::<f64>(), y.parse::<f64>()) {
+            (Ok(u), Ok(v)) => {
+                let scale = u.abs().max(v.abs()).max(1.0);
+                if (u - v).abs() / scale > 1e-9 {
+                    return false;
+                }
+            }
+            _ => return false,
+        }
+    }
+    true
+}
+
+#[test]
+fn generated_c_compiles_and_matches_interpreter() {
+    let Some(cc) = find_cc() else {
+        eprintln!("no C compiler found; skipping");
+        return;
+    };
+    let dir = std::env::temp_dir().join("matc-c-run");
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join("mrt.h"), MRT_H).unwrap();
+    std::fs::write(dir.join("mrt.c"), MRT_C).unwrap();
+
+    for bench in all() {
+        let sources = bench.sources(Preset::Test);
+        let refs: Vec<&str> = sources.iter().map(|s| s.as_str()).collect();
+        let ast = parse_program(refs).unwrap();
+
+        // Reference output.
+        let mut interp = Interp::new(&ast);
+        let want = interp.run().unwrap();
+
+        // Generate, compile, link, run.
+        let compiled = compile(&ast, GctdOptions::default()).unwrap();
+        let code = emit_program(&compiled);
+        let c_path = dir.join(format!("{}.c", bench.name));
+        let exe = dir.join(format!("{}.exe", bench.name));
+        let mut f = std::fs::File::create(&c_path).unwrap();
+        f.write_all(code.as_bytes()).unwrap();
+        let build = Command::new(cc)
+            .args(["-O1", "-std=c99", "-w", "-o"])
+            .arg(&exe)
+            .arg(&c_path)
+            .arg(dir.join("mrt.c"))
+            .arg("-lm")
+            .output()
+            .unwrap();
+        assert!(
+            build.status.success(),
+            "{}: C compilation failed:\n{}",
+            bench.name,
+            String::from_utf8_lossy(&build.stderr)
+        );
+        let run = Command::new(&exe).output().unwrap();
+        assert!(
+            run.status.success(),
+            "{}: generated binary failed (status {:?}):\n{}",
+            bench.name,
+            run.status.code(),
+            String::from_utf8_lossy(&run.stderr)
+        );
+        let got = String::from_utf8_lossy(&run.stdout);
+        assert!(
+            outputs_agree(&got, &want),
+            "{}: C output diverged\n--- C:\n{}\n--- interpreter:\n{}",
+            bench.name,
+            got,
+            want
+        );
+    }
+}
+
+/// Display/formatting paths the numeric benchmarks never exercise:
+/// matrix-literal concatenation (including block concat), `disp` of
+/// matrices and strings, variable echo, complex rendering, and
+/// MATLAB-style `NaN`/`Inf`/`-Inf` in every fprintf conversion. These
+/// must match the interpreter **byte for byte** (no libm involved).
+#[test]
+fn generated_c_matches_display_and_concat_paths() {
+    let Some(cc) = find_cc() else {
+        eprintln!("no C compiler found; skipping");
+        return;
+    };
+    let dir = std::env::temp_dir().join("matc-c-run-disp");
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join("mrt.h"), MRT_H).unwrap();
+    std::fs::write(dir.join("mrt.c"), MRT_C).unwrap();
+
+    let programs: &[(&str, &str)] = &[
+        (
+            "concat",
+            "a = [1 2; 3 4];\nb = [a [5; 6]];\ndisp(b);\nc = [a; 7 8];\ndisp(c);\nd = [[] 1 2];\ndisp(d);\n",
+        ),
+        (
+            "echo",
+            "y = [1.5 2; 3 4.25]\nz = 7\ndisp(5.5);\ndisp('hello');\ndisp([]);\n",
+        ),
+        (
+            "nonfinite",
+            "x = 1/0;\ndisp(x);\ndisp(-1/0);\ndisp(0/0);\nfprintf('%f %d %e %g\\n', 0/0, 1/0, -1/0, 0/0);\ndisp([1/0 2; 0/0 4]);\n",
+        ),
+        (
+            "complex_disp",
+            "disp([1+2i 3-4i]);\ndisp(sqrt(-4));\nw = 1 - 1i\n",
+        ),
+        (
+            "nan_minmax",
+            "a = [2 0/0];\nb = [0/0 5];\nfprintf('%g %g | %g %g\\n', max(a, b), min(a, b));\nfprintf('%g %g\\n', max(2, 0/0), min(0/0, 7));\n",
+        ),
+    ];
+    for (name, src) in programs {
+        let ast = parse_program([*src]).unwrap();
+        let mut interp = Interp::new(&ast);
+        let want = interp.run().unwrap();
+
+        let compiled = compile(&ast, GctdOptions::default()).unwrap();
+        let code = emit_program(&compiled);
+        let c_path = dir.join(format!("{name}.c"));
+        let exe = dir.join(format!("{name}.exe"));
+        std::fs::write(&c_path, code).unwrap();
+        let build = Command::new(cc)
+            .args(["-O1", "-std=c99", "-w", "-o"])
+            .arg(&exe)
+            .arg(&c_path)
+            .arg(dir.join("mrt.c"))
+            .arg("-lm")
+            .output()
+            .unwrap();
+        assert!(
+            build.status.success(),
+            "{name}: C compilation failed:\n{}",
+            String::from_utf8_lossy(&build.stderr)
+        );
+        let run = Command::new(&exe).output().unwrap();
+        assert!(run.status.success(), "{name}: binary failed");
+        let got = String::from_utf8_lossy(&run.stdout);
+        assert_eq!(got, want, "{name}: C display output diverged");
+    }
+}
+
+/// The `--no-gctd` baseline emits all-heap C (every variable its own
+/// slot); it must still reproduce the interpreter bit for bit on
+/// representative benchmarks (Figure 6's baseline is *correct*, just
+/// wasteful).
+#[test]
+fn generated_c_without_gctd_matches_interpreter() {
+    let Some(cc) = find_cc() else {
+        eprintln!("no C compiler found; skipping");
+        return;
+    };
+    let dir = std::env::temp_dir().join("matc-c-run-nogctd");
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join("mrt.h"), MRT_H).unwrap();
+    std::fs::write(dir.join("mrt.c"), MRT_C).unwrap();
+
+    let opts = GctdOptions {
+        coalesce: false,
+        ..GctdOptions::default()
+    };
+    for name in ["fiff", "crni", "edit"] {
+        let bench = matc_benchsuite::by_name(name).unwrap();
+        let sources = bench.sources(Preset::Test);
+        let refs: Vec<&str> = sources.iter().map(|s| s.as_str()).collect();
+        let ast = parse_program(refs).unwrap();
+        let mut interp = Interp::new(&ast);
+        let want = interp.run().unwrap();
+
+        let compiled = compile(&ast, opts).unwrap();
+        let code = emit_program(&compiled);
+        let c_path = dir.join(format!("{name}.c"));
+        let exe = dir.join(format!("{name}.exe"));
+        std::fs::write(&c_path, code).unwrap();
+        let build = Command::new(cc)
+            .args(["-O1", "-std=c99", "-w", "-o"])
+            .arg(&exe)
+            .arg(&c_path)
+            .arg(dir.join("mrt.c"))
+            .arg("-lm")
+            .output()
+            .unwrap();
+        assert!(
+            build.status.success(),
+            "{name}: no-GCTD C compilation failed:\n{}",
+            String::from_utf8_lossy(&build.stderr)
+        );
+        let run = Command::new(&exe).output().unwrap();
+        assert!(run.status.success(), "{name}: no-GCTD binary failed");
+        let got = String::from_utf8_lossy(&run.stdout);
+        assert!(
+            outputs_agree(&got, &want),
+            "{name}: no-GCTD C diverged\n--- C:\n{got}\n--- interpreter:\n{want}"
+        );
+    }
+}
+
+/// Matrix literals wider than the varargs convenience limit emit the
+/// `mrt_opv` array form; the wrapped-immediate pool must hold every
+/// element of the widest row simultaneously.
+#[test]
+fn generated_c_handles_wide_matrix_literals() {
+    let Some(cc) = find_cc() else {
+        eprintln!("no C compiler found; skipping");
+        return;
+    };
+    let dir = std::env::temp_dir().join("matc-c-run-wide");
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join("mrt.h"), MRT_H).unwrap();
+    std::fs::write(dir.join("mrt.c"), MRT_C).unwrap();
+
+    let mut src = String::from("w = [");
+    for i in 0..150 {
+        src.push_str(&format!("{} ", i % 7 + 1));
+    }
+    src.push_str("];\ndisp(sum(w));\nm = [");
+    for r in 0..4 {
+        for c in 0..30 {
+            src.push_str(&format!("{} ", (r * 13 + c) % 9 + 1));
+        }
+        src.push(';');
+    }
+    src.push_str("];\ndisp(sum(sum(m)));\ndisp(m(2, 17));\n");
+
+    let ast = parse_program([src.as_str()]).unwrap();
+    let mut interp = Interp::new(&ast);
+    let want = interp.run().unwrap();
+    let compiled = compile(&ast, GctdOptions::default()).unwrap();
+    let code = emit_program(&compiled);
+    assert!(
+        code.contains("mrt_opv"),
+        "wide literal not emitted via mrt_opv"
+    );
+    let c_path = dir.join("wide.c");
+    let exe = dir.join("wide.exe");
+    std::fs::write(&c_path, code).unwrap();
+    let build = Command::new(cc)
+        .args(["-O1", "-std=c99", "-w", "-o"])
+        .arg(&exe)
+        .arg(&c_path)
+        .arg(dir.join("mrt.c"))
+        .arg("-lm")
+        .output()
+        .unwrap();
+    assert!(
+        build.status.success(),
+        "wide-literal C compilation failed:\n{}",
+        String::from_utf8_lossy(&build.stderr)
+    );
+    let run = Command::new(&exe).output().unwrap();
+    assert!(run.status.success(), "wide-literal binary failed");
+    assert_eq!(String::from_utf8_lossy(&run.stdout), want);
+}

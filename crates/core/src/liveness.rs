@@ -1,0 +1,320 @@
+//! Liveness and availability dataflow (§2).
+//!
+//! The paper approximates Chaitin interference by considering variables
+//! that are simultaneously **live** ("a possible execution path from s to
+//! a use of w along which w is not redefined") and **available** ("a
+//! possible execution path from a definition of v to s") at each
+//! assignment. Both analyses here are the conservative may-variants the
+//! paper describes.
+
+use matc_ir::ids::{BlockId, VarId};
+use matc_ir::instr::InstrKind;
+use matc_ir::FuncIr;
+use std::collections::HashSet;
+
+/// Per-block liveness and availability sets for one SSA function.
+#[derive(Debug, Clone)]
+pub struct Dataflow {
+    /// Variables live at each block entry (φ inputs excluded, φ defs
+    /// included when used later).
+    pub live_in: Vec<HashSet<VarId>>,
+    /// Variables live at each block exit (φ uses of successors count as
+    /// live-out of the corresponding predecessor).
+    pub live_out: Vec<HashSet<VarId>>,
+    /// Variables available (possibly defined) at each block exit.
+    pub avail_out: Vec<HashSet<VarId>>,
+    /// Definition site of every variable: `(block, instruction index)`;
+    /// parameters use index 0 of the entry block and are flagged.
+    pub def_site: Vec<Option<(BlockId, usize)>>,
+    /// Whether the variable is a parameter (defined before instr 0).
+    pub is_param: Vec<bool>,
+    /// `reach[a]` contains `b` when a CFG path of length ≥ 1 leads from
+    /// `a` to `b`.
+    reach: Vec<HashSet<BlockId>>,
+}
+
+impl Dataflow {
+    /// Runs both analyses.
+    pub fn compute(func: &FuncIr) -> Dataflow {
+        let n = func.blocks.len();
+        let nv = func.vars.len();
+        let preds = func.predecessors();
+
+        // --- def sites ---
+        let mut def_site: Vec<Option<(BlockId, usize)>> = vec![None; nv];
+        let mut is_param = vec![false; nv];
+        for p in &func.params {
+            def_site[p.index()] = Some((func.entry, 0));
+            is_param[p.index()] = true;
+        }
+        for b in func.block_ids() {
+            for (i, instr) in func.block(b).instrs.iter().enumerate() {
+                for d in instr.defs() {
+                    def_site[d.index()] = Some((b, i));
+                }
+            }
+        }
+
+        // --- per-block use/def summaries for liveness ---
+        // `upward[b]`: used in b before any redefinition (φ uses excluded;
+        // they belong to predecessor edges). `defs[b]`: defined in b
+        // (including φ destinations).
+        let mut upward: Vec<HashSet<VarId>> = vec![HashSet::new(); n];
+        let mut defs: Vec<HashSet<VarId>> = vec![HashSet::new(); n];
+        // φ uses attributed to predecessor blocks.
+        let mut phi_out: Vec<HashSet<VarId>> = vec![HashSet::new(); n];
+        for b in func.block_ids() {
+            let blk = func.block(b);
+            for instr in &blk.instrs {
+                if let InstrKind::Phi { dst, args } = &instr.kind {
+                    defs[b.index()].insert(*dst);
+                    for (p, v) in args {
+                        phi_out[p.index()].insert(*v);
+                    }
+                    continue;
+                }
+                for u in instr.uses() {
+                    if !defs[b.index()].contains(&u) {
+                        upward[b.index()].insert(u);
+                    }
+                }
+                for d in instr.defs() {
+                    defs[b.index()].insert(d);
+                }
+            }
+            if let Some(c) = blk.term.used_var() {
+                if !defs[b.index()].contains(&c) {
+                    upward[b.index()].insert(c);
+                }
+            }
+        }
+
+        // --- backward liveness fixpoint ---
+        let mut live_in: Vec<HashSet<VarId>> = vec![HashSet::new(); n];
+        let mut live_out: Vec<HashSet<VarId>> = vec![HashSet::new(); n];
+        // Function outputs are live at the return block's exit.
+        let ret_blocks: Vec<BlockId> = func
+            .block_ids()
+            .filter(|b| func.block(*b).term.successors().is_empty())
+            .collect();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for bi in (0..func.blocks.len()).rev() {
+                let b = matc_ir::BlockId::new(bi);
+                let mut out: HashSet<VarId> = phi_out[b.index()].clone();
+                for s in func.block(b).term.successors() {
+                    for v in &live_in[s.index()] {
+                        out.insert(*v);
+                    }
+                }
+                if ret_blocks.contains(&b) {
+                    for o in &func.ssa_outs {
+                        out.insert(*o);
+                    }
+                }
+                let mut inn: HashSet<VarId> = upward[b.index()].clone();
+                for v in &out {
+                    if !defs[b.index()].contains(v) {
+                        inn.insert(*v);
+                    }
+                }
+                if out != live_out[b.index()] || inn != live_in[b.index()] {
+                    live_out[b.index()] = out;
+                    live_in[b.index()] = inn;
+                    changed = true;
+                }
+            }
+        }
+
+        // --- forward availability fixpoint (may-analysis: union) ---
+        let mut avail_out: Vec<HashSet<VarId>> = vec![HashSet::new(); n];
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for b in func.block_ids() {
+                let mut inn: HashSet<VarId> = HashSet::new();
+                if b == func.entry {
+                    for p in &func.params {
+                        inn.insert(*p);
+                    }
+                }
+                for p in &preds[b.index()] {
+                    for v in &avail_out[p.index()] {
+                        inn.insert(*v);
+                    }
+                }
+                let mut out = inn;
+                for v in &defs[b.index()] {
+                    out.insert(*v);
+                }
+                if out != avail_out[b.index()] {
+                    avail_out[b.index()] = out;
+                    changed = true;
+                }
+            }
+        }
+
+        // --- block reachability (paths of length >= 1) ---
+        let mut reach: Vec<HashSet<BlockId>> = vec![HashSet::new(); n];
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for b in func.block_ids() {
+                let succs = func.block(b).term.successors();
+                let mut add: Vec<BlockId> = Vec::new();
+                for s in &succs {
+                    if !reach[b.index()].contains(s) {
+                        add.push(*s);
+                    }
+                    for t in &reach[s.index()] {
+                        if !reach[b.index()].contains(t) {
+                            add.push(*t);
+                        }
+                    }
+                }
+                if !add.is_empty() {
+                    for t in add {
+                        reach[b.index()].insert(t);
+                    }
+                    changed = true;
+                }
+            }
+        }
+
+        Dataflow {
+            live_in,
+            live_out,
+            avail_out,
+            def_site,
+            is_param,
+            reach,
+        }
+    }
+
+    /// Whether `u` is *available at the definition of* `v` — the
+    /// control-flow clause of Relation 1 (§3.2): some execution path
+    /// leads from a definition of `u` to the definition of `v`.
+    /// Reflexive (`u` is available at its own definition).
+    pub fn available_at_def(&self, u: VarId, v: VarId) -> bool {
+        if u == v {
+            return true;
+        }
+        let (bu, iu) = match self.def_site[u.index()] {
+            Some(x) => x,
+            None => return false,
+        };
+        let (bv, iv) = match self.def_site[v.index()] {
+            Some(x) => x,
+            None => return false,
+        };
+        if bu == bv {
+            // Earlier in the same block, or any cycle back to the block.
+            let iu = if self.is_param[u.index()] { 0 } else { iu + 1 };
+            let iv_pos = if self.is_param[v.index()] { 0 } else { iv + 1 };
+            iu <= iv_pos || self.reach[bu.index()].contains(&bv)
+        } else {
+            self.reach[bu.index()].contains(&bv)
+        }
+    }
+
+    /// Whether block `a` can reach block `b` via ≥ 1 edge.
+    pub fn block_reaches(&self, a: BlockId, b: BlockId) -> bool {
+        self.reach[a.index()].contains(&b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matc_frontend::parser::parse_program;
+    use matc_ir::build_ssa;
+
+    fn flow(src: &str) -> (FuncIr, Dataflow) {
+        let ast = parse_program([src]).unwrap();
+        let prog = build_ssa(&ast).unwrap();
+        let f = prog.entry_func().clone();
+        let d = Dataflow::compute(&f);
+        (f, d)
+    }
+
+    fn var_named(f: &FuncIr, name: &str, version: u32) -> VarId {
+        f.vars
+            .iter()
+            .find(|(_, i)| i.name.as_deref() == Some(name) && i.ssa_version == version)
+            .map(|(v, _)| v)
+            .unwrap_or_else(|| panic!("no {name}.{version} in\n{f}"))
+    }
+
+    #[test]
+    fn outputs_live_at_exit() {
+        let (f, d) = flow("function y = f(x)\ny = x + 1;\n");
+        let y = f.ssa_outs[0];
+        let ret = f
+            .block_ids()
+            .find(|b| f.block(*b).term.successors().is_empty())
+            .unwrap();
+        assert!(
+            d.live_out[ret.index()].contains(&y),
+            "output live at function exit"
+        );
+        // x (the param) is live into the entry.
+        let x = f.params[0];
+        assert!(d.live_in[f.entry.index()].contains(&x));
+    }
+
+    #[test]
+    fn availability_follows_paths() {
+        let (f, d) = flow(
+            "function y = f(x)\na = x + 1;\nif x > 0\nb = a + 1;\nelse\nb = a + 2;\nend\ny = b;\n",
+        );
+        let a = var_named(&f, "a", 1);
+        let b1 = var_named(&f, "b", 1);
+        let b2 = var_named(&f, "b", 2);
+        assert!(d.available_at_def(a, b1), "a flows into the then-branch");
+        assert!(d.available_at_def(a, b2), "a flows into the else-branch");
+        assert!(!d.available_at_def(b1, a), "no path back from b to a");
+        assert!(
+            !d.available_at_def(b1, b2),
+            "disjoint branches: b.1 not available at b.2's def"
+        );
+    }
+
+    #[test]
+    fn loop_defs_available_at_themselves_via_backedge() {
+        let (f, d) = flow("function s = f(n)\ns = 0;\nfor i = 1:n\ns = s + 1;\nend\n");
+        // The loop body's s is available at its own def via the back edge.
+        let s_loop = var_named(&f, "s", 2);
+        assert!(d.available_at_def(s_loop, s_loop));
+    }
+
+    #[test]
+    fn same_block_ordering() {
+        let (f, d) = flow("function y = f(x)\na = x + 1;\nb = a * 2;\ny = b;\n");
+        let a = var_named(&f, "a", 1);
+        let b = var_named(&f, "b", 1);
+        assert!(d.available_at_def(a, b));
+        assert!(!d.available_at_def(b, a), "straight line: no path back");
+        let x = f.params[0];
+        assert!(d.available_at_def(x, a), "params available from entry");
+    }
+
+    #[test]
+    fn phi_uses_live_out_of_predecessors() {
+        let (f, d) = flow("function y = f(x)\nif x > 0\ny = 1;\nelse\ny = 2;\nend\n");
+        // Each arm's y must be live-out of its defining block (feeding
+        // the φ at the join).
+        let y1 = var_named(&f, "y", 1);
+        let (db, _) = d.def_site[y1.index()].unwrap();
+        assert!(d.live_out[db.index()].contains(&y1), "{f}");
+    }
+
+    #[test]
+    fn dead_temps_not_live_out() {
+        let (f, d) = flow("function y = f(x)\ny = x + 1;\ny = y * 2;\n");
+        let y1 = var_named(&f, "y", 1);
+        let (db, _) = d.def_site[y1.index()].unwrap();
+        // y.1 is consumed within the block; not live out.
+        assert!(!d.live_out[db.index()].contains(&y1));
+    }
+}

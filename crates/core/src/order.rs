@@ -1,0 +1,559 @@
+//! Phase 2: the storage-size partial order ⪯ and color-class
+//! decomposition (§3.2–3.3).
+//!
+//! Relation 1 orders two variables `u ⪯ v` when they have identical
+//! intrinsic types and either
+//!
+//! 1. both storage sizes are **statically estimable** with
+//!    `S(u) ≤ S(v)`, or
+//! 2. neither is estimable, `u` is **available at the definition of**
+//!    `v`, and the symbolic sizes satisfy `S(u) ≤ S(v)` (provable shape
+//!    algebra, plus the `subsasgn` growth guarantee of §2.3.3).
+//!
+//! `Decompose-color-class` then builds the directed graph of the order
+//! over a color class, condenses strongly connected components (equal
+//! sizes), and carves the condensation into a forest whose roots are
+//! maximal elements — each tree becomes one storage *group*.
+//!
+//! Note on edge orientation: the paper says roots have in-degree 0 *and*
+//! are maximal; we therefore direct edges from larger to smaller
+//! (`v → u` iff `S(u) ⪯ S(v)`), consistent with Lemma 1 (DESIGN.md §4).
+
+use crate::liveness::Dataflow;
+use matc_ir::ids::VarId;
+use matc_ir::instr::{InstrKind, Op, Operand};
+use matc_ir::FuncIr;
+use matc_typeinf::{ExprId, Intrinsic, ProgramTypes};
+use std::collections::{HashMap, HashSet};
+
+/// How a variable's storage size is known.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SizeClass {
+    /// Statically estimable (§3.2.1): the byte size is a compile-time
+    /// constant; the variable is stack-allocated.
+    Static(u64),
+    /// Statically inestimable (§3.2.2): the symbolic element count backs
+    /// the byte size `|s(u)|·|t(u)|`; heap-allocated.
+    Dynamic(ExprId),
+}
+
+/// Per-variable sizing facts used by the partial order.
+#[derive(Debug, Clone)]
+pub struct Sizing {
+    /// Size classification per variable.
+    pub class: Vec<Option<SizeClass>>,
+    /// Intrinsic type per variable.
+    pub intrinsic: Vec<Intrinsic>,
+    /// For `b = subsasgn(a, ...)` definitions: the array operand `a`
+    /// (the §2.3.3 growth guarantee `|s(a)| ≤ |s(b)|`).
+    pub grows_from: HashMap<VarId, VarId>,
+}
+
+impl Sizing {
+    /// Computes size classes for every occurring variable of `func`.
+    ///
+    /// Static estimability follows §3.2.1: explicit shape tuples, plus
+    /// φ-definitions whose inputs are all estimable (size = max).
+    pub fn compute(func: &FuncIr, fid: matc_ir::FuncId, types: &mut ProgramTypes) -> Sizing {
+        let nv = func.vars.len();
+        let mut class: Vec<Option<SizeClass>> = vec![None; nv];
+        let mut intrinsic = vec![Intrinsic::Complex; nv];
+        let mut grows_from = HashMap::new();
+
+        // Seed from inferred facts.
+        let mut phis: Vec<(VarId, Vec<VarId>)> = Vec::new();
+        let consider = |v: VarId,
+                        class: &mut Vec<Option<SizeClass>>,
+                        intrinsic: &mut Vec<Intrinsic>,
+                        types: &mut ProgramTypes| {
+            if class[v.index()].is_some() {
+                return;
+            }
+            if let Some(f) = types.facts(fid, v).cloned() {
+                intrinsic[v.index()] = f.intrinsic;
+                let bytes = f.intrinsic.byte_size();
+                class[v.index()] = Some(match f.shape.known_dims(&types.ctx) {
+                    Some(dims) => {
+                        let numel: i64 = dims.iter().product::<i64>().max(0);
+                        SizeClass::Static(numel as u64 * bytes)
+                    }
+                    None => {
+                        let n = f.shape.clone().numel(&mut types.ctx);
+                        SizeClass::Dynamic(n)
+                    }
+                });
+            }
+        };
+        for p in &func.params {
+            consider(*p, &mut class, &mut intrinsic, types);
+        }
+        for b in func.block_ids() {
+            for instr in &func.block(b).instrs {
+                for d in instr.defs() {
+                    consider(d, &mut class, &mut intrinsic, types);
+                }
+                match &instr.kind {
+                    InstrKind::Phi { dst, args } => {
+                        phis.push((*dst, args.iter().map(|(_, v)| *v).collect()));
+                    }
+                    InstrKind::Compute { dst, op, args } => {
+                        if matches!(op, Op::Subsasgn) {
+                            if let Some(Operand::Var(a)) = args.first() {
+                                grows_from.insert(*dst, *a);
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        // §3.2.1 case 2: φ of estimables is estimable at the max —
+        // iterate to cover φ-chains.
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for (dst, args) in &phis {
+                if matches!(class[dst.index()], Some(SizeClass::Static(_))) {
+                    continue;
+                }
+                let sizes: Option<Vec<u64>> = args
+                    .iter()
+                    .map(|v| match class.get(v.index()).copied().flatten() {
+                        Some(SizeClass::Static(s)) => Some(s),
+                        _ => None,
+                    })
+                    .collect();
+                if let Some(sizes) = sizes {
+                    if !sizes.is_empty() {
+                        class[dst.index()] =
+                            Some(SizeClass::Static(sizes.into_iter().max().unwrap()));
+                        changed = true;
+                    }
+                }
+            }
+        }
+        Sizing {
+            class,
+            intrinsic,
+            grows_from,
+        }
+    }
+
+    /// Relation 1: whether `S(u) ⪯ S(v)`.
+    pub fn size_le(
+        &self,
+        u: VarId,
+        v: VarId,
+        flow: &Dataflow,
+        prog_types: &mut ProgramTypes,
+    ) -> bool {
+        if self.intrinsic[u.index()] != self.intrinsic[v.index()] {
+            return false;
+        }
+        match (self.class[u.index()], self.class[v.index()]) {
+            // First criterion: both statically estimable.
+            (Some(SizeClass::Static(su)), Some(SizeClass::Static(sv))) => su <= sv,
+            // Second criterion: both inestimable, availability, and a
+            // provable symbolic ordering.
+            (Some(SizeClass::Dynamic(nu)), Some(SizeClass::Dynamic(nv))) => {
+                if !flow.available_at_def(u, v) {
+                    return false;
+                }
+                // Identical intrinsic types: |s(u)| <= |s(v)| suffices.
+                if nu == nv || { prog_types.ctx.provably_ge(nv, nu) } {
+                    return true;
+                }
+                // §2.3.3 growth guarantee: subsasgn chains only grow.
+                let mut cur = v;
+                let mut hops = 0;
+                while let Some(prev) = self.grows_from.get(&cur) {
+                    if *prev == u {
+                        return true;
+                    }
+                    cur = *prev;
+                    hops += 1;
+                    if hops > 64 {
+                        break;
+                    }
+                }
+                false
+            }
+            // "One situation where a and b won't share the same storage
+            // even if they don't interfere: if the size of only one of
+            // them can be statically estimated" (§3.2, Example 2).
+            _ => false,
+        }
+    }
+}
+
+/// One storage group produced by `Decompose-color-class`: the indices
+/// (into the input slice) of its members, with the root — the maximal
+/// element's SCC — listed first.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexGroup {
+    /// Member indices; `members[0]` belongs to the root SCC.
+    pub members: Vec<usize>,
+    /// The index of one maximal element (root SCC representative).
+    pub root: usize,
+}
+
+/// `Decompose-color-class` (§3.3) over `n` nodes related by `le(i, j)` ⇔
+/// `S(nodeᵢ) ⪯ S(nodeⱼ)`.
+///
+/// Builds the digraph with edges larger → smaller, condenses strongly
+/// connected components (Tarjan), and carves the condensation into a
+/// BFS forest rooted at the in-degree-0 components (the maximal
+/// elements); a component reachable from two maximal chains is assigned
+/// wholly to the first (the paper's tie-break for shared chain nodes).
+pub fn decompose_color_class(
+    n: usize,
+    mut le: impl FnMut(usize, usize) -> bool,
+) -> Vec<IndexGroup> {
+    // Edges big -> small: v -> u iff S(u) ⪯ S(v).
+    let mut succ: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for i in 0..n {
+        for (j, out) in succ.iter_mut().enumerate() {
+            if i != j && le(i, j) {
+                out.push(i);
+            }
+        }
+    }
+
+    let sccs = tarjan(n, &succ);
+    let ncomp = sccs.iter().copied().max().map_or(0, |m| m + 1);
+    let mut comp_members: Vec<Vec<usize>> = vec![Vec::new(); ncomp];
+    for (i, c) in sccs.iter().enumerate() {
+        comp_members[*c].push(i);
+    }
+    let mut cedges: Vec<HashSet<usize>> = vec![HashSet::new(); ncomp];
+    let mut indeg = vec![0usize; ncomp];
+    for (i, outs) in succ.iter().enumerate() {
+        for &j in outs {
+            let (ci, cj) = (sccs[i], sccs[j]);
+            if ci != cj && cedges[ci].insert(cj) {
+                indeg[cj] += 1;
+            }
+        }
+    }
+
+    // BFS forest from in-degree-0 roots; first tree claims each node.
+    let mut owner: Vec<Option<usize>> = vec![None; ncomp];
+    let mut roots: Vec<usize> = (0..ncomp).filter(|c| indeg[*c] == 0).collect();
+    roots.sort();
+    let mut queue = std::collections::VecDeque::new();
+    for &r in &roots {
+        if owner[r].is_none() {
+            owner[r] = Some(r);
+            queue.push_back(r);
+            while let Some(c) = queue.pop_front() {
+                let mut nexts: Vec<usize> = cedges[c].iter().copied().collect();
+                nexts.sort();
+                for d in nexts {
+                    if owner[d].is_none() {
+                        owner[d] = Some(r);
+                        queue.push_back(d);
+                    }
+                }
+            }
+        }
+    }
+
+    let mut by_root: HashMap<usize, Vec<usize>> = HashMap::new();
+    for c in 0..ncomp {
+        let root = owner[c].expect("every component reached from a root");
+        by_root.entry(root).or_default().extend(&comp_members[c]);
+    }
+    let mut keys: Vec<usize> = by_root.keys().copied().collect();
+    keys.sort();
+    keys.into_iter()
+        .map(|root| {
+            let mut members = by_root.remove(&root).unwrap();
+            let root_member = comp_members[root][0];
+            members.sort_by_key(|m| (*m != root_member, *m));
+            IndexGroup {
+                members,
+                root: root_member,
+            }
+        })
+        .collect()
+}
+
+/// Iterative Tarjan SCC; returns the component id of each node,
+/// numbered in reverse topological order of the condensation.
+fn tarjan(n: usize, succ: &[Vec<usize>]) -> Vec<usize> {
+    #[derive(Clone, Copy)]
+    struct NodeState {
+        index: i64,
+        lowlink: i64,
+        on_stack: bool,
+    }
+    let mut state = vec![
+        NodeState {
+            index: -1,
+            lowlink: -1,
+            on_stack: false
+        };
+        n
+    ];
+    let mut comp = vec![usize::MAX; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0i64;
+    let mut ncomp = 0usize;
+
+    // Iterative DFS with explicit frames.
+    for start in 0..n {
+        if state[start].index != -1 {
+            continue;
+        }
+        let mut frames: Vec<(usize, usize)> = vec![(start, 0)];
+        state[start].index = next_index;
+        state[start].lowlink = next_index;
+        next_index += 1;
+        stack.push(start);
+        state[start].on_stack = true;
+
+        while let Some(&mut (v, ref mut ei)) = frames.last_mut() {
+            if *ei < succ[v].len() {
+                let w = succ[v][*ei];
+                *ei += 1;
+                if state[w].index == -1 {
+                    state[w].index = next_index;
+                    state[w].lowlink = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    state[w].on_stack = true;
+                    frames.push((w, 0));
+                } else if state[w].on_stack {
+                    state[v].lowlink = state[v].lowlink.min(state[w].index);
+                }
+            } else {
+                frames.pop();
+                if let Some(&(parent, _)) = frames.last() {
+                    let low = state[v].lowlink;
+                    state[parent].lowlink = state[parent].lowlink.min(low);
+                }
+                if state[v].lowlink == state[v].index {
+                    loop {
+                        let w = stack.pop().expect("scc stack");
+                        state[w].on_stack = false;
+                        comp[w] = ncomp;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    ncomp += 1;
+                }
+            }
+        }
+    }
+    comp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matc_frontend::parser::parse_program;
+    use matc_ir::build_ssa;
+    use matc_typeinf::{infer_program, ProgramTypes};
+
+    /// Runs the pipeline and hands back the entry function's sizing,
+    /// dataflow, and a by-name variable lookup.
+    fn sized(src: &str) -> (matc_ir::IrProgram, ProgramTypes, Sizing, Dataflow) {
+        let ast = parse_program([src]).unwrap();
+        let mut ir = build_ssa(&ast).unwrap();
+        matc_passes::optimize_program(&mut ir);
+        let mut types = infer_program(&ir);
+        let fid = ir.entry.unwrap();
+        let sizing = Sizing::compute(ir.entry_func(), fid, &mut types);
+        let flow = Dataflow::compute(ir.entry_func());
+        (ir, types, sizing, flow)
+    }
+
+    fn var(ir: &matc_ir::IrProgram, name: &str) -> VarId {
+        ir.entry_func()
+            .vars
+            .iter()
+            .filter(|(_, i)| i.name.as_deref() == Some(name))
+            .map(|(v, _)| v)
+            .last()
+            .unwrap_or_else(|| panic!("no {name} in\n{}", ir.entry_func()))
+    }
+
+    #[test]
+    fn size_le_static_orders_by_bytes() {
+        let (ir, mut t, s, flow) = sized("a = rand(2, 2);\nb = rand(3, 3);\ndisp(a);\ndisp(b);\n");
+        let (a, b) = (var(&ir, "a"), var(&ir, "b"));
+        assert!(
+            matches!(s.class[a.index()], Some(SizeClass::Static(32))),
+            "{:?}",
+            s.class[a.index()]
+        );
+        assert!(matches!(s.class[b.index()], Some(SizeClass::Static(72))));
+        assert!(s.size_le(a, b, &flow, &mut t), "32 ≤ 72");
+        assert!(!s.size_le(b, a, &flow, &mut t), "72 ≰ 32");
+        assert!(s.size_le(a, a, &flow, &mut t), "reflexive");
+    }
+
+    #[test]
+    fn size_le_rejects_differing_intrinsics() {
+        // Identical element counts but REAL (8B) vs BOOLEAN (1B): Relation
+        // 1 requires identical intrinsic types.
+        let (ir, mut t, s, flow) = sized("a = rand(3, 3);\nb = zeros(3, 3);\ndisp(a);\ndisp(b);\n");
+        let (a, b) = (var(&ir, "a"), var(&ir, "b"));
+        assert_ne!(s.intrinsic[a.index()], s.intrinsic[b.index()]);
+        assert!(!s.size_le(a, b, &flow, &mut t));
+        assert!(!s.size_le(b, a, &flow, &mut t));
+    }
+
+    #[test]
+    fn size_le_never_mixes_static_and_dynamic() {
+        // §3.2 Example 2's remark: if the size of only one of them is
+        // statically estimable, they never share storage — in either
+        // direction, even when the dynamic one is "obviously" as large.
+        let (ir, mut t, s, flow) =
+            sized("function f(n)\na = rand(2, 2);\nb = rand(n, n);\ndisp(a);\ndisp(b);\n");
+        let (a, b) = (var(&ir, "a"), var(&ir, "b"));
+        assert!(matches!(s.class[a.index()], Some(SizeClass::Static(_))));
+        assert!(matches!(s.class[b.index()], Some(SizeClass::Dynamic(_))));
+        assert!(!s.size_le(a, b, &flow, &mut t));
+        assert!(!s.size_le(b, a, &flow, &mut t));
+    }
+
+    #[test]
+    fn size_le_dynamic_identical_shape_identity() {
+        // t1 = t0 - 1 reuses t0's shape expression: |s(t0)| = |s(t1)| by
+        // interned identity, so the order holds both ways (an SCC).
+        let (ir, mut t, s, flow) = sized("function t1 = f(t0)\nt1 = t0 - 1;\n");
+        let t0 = ir.entry_func().params[0];
+        let t1 = var(&ir, "t1");
+        assert!(matches!(s.class[t1.index()], Some(SizeClass::Dynamic(_))));
+        assert!(s.size_le(t0, t1, &flow, &mut t));
+        // The reverse fails the availability clause: t1's definition is
+        // never reached before t0's (the entry), so equal sizes alone do
+        // not make the order mutual here.
+        assert!(!flow.available_at_def(t1, t0));
+        assert!(!s.size_le(t1, t0, &flow, &mut t));
+    }
+
+    #[test]
+    fn size_le_subsasgn_growth_chain() {
+        // b = a; b(i, j) = 1 with symbolic extents: the §2.3.3 growth
+        // guarantee orders a ⪯ b even though no symbolic proof exists.
+        let (ir, mut t, s, flow) =
+            sized("function b = f(x, y, i, j)\na = eye(x, y);\nb = a;\nb(i, j) = 1;\n");
+        let a = var(&ir, "a");
+        let b = ir.entry_func().ssa_outs[0];
+        assert!(s.grows_from.contains_key(&b), "{:?}", s.grows_from);
+        assert!(s.size_le(a, b, &flow, &mut t), "growth chain a ⪯ b");
+        assert!(!s.size_le(b, a, &flow, &mut t), "not the reverse");
+    }
+
+    #[test]
+    fn size_le_requires_availability() {
+        // u and v defined on mutually exclusive branches: neither is
+        // available at the other's definition, so dynamic equality of
+        // sizes is not enough.
+        let (ir, mut t, s, flow) = sized(
+            "function f(c, n)\nif c > 0\n  u = rand(n, 1);\n  disp(u);\nelse\n  v = rand(n, 1);\n  disp(v);\nend\n",
+        );
+        let (u, v) = (var(&ir, "u"), var(&ir, "v"));
+        assert!(!flow.available_at_def(u, v));
+        assert!(!s.size_le(u, v, &flow, &mut t));
+    }
+
+    #[test]
+    fn phi_of_static_sizes_is_static_at_max() {
+        // §3.2.1 case 2: a φ joining 2×2 and 3×3 REAL arrays is
+        // statically estimable at 72 bytes.
+        let (ir, mut t, s, flow) = sized(
+            "function f(c)\nif c > 0\n  a = rand(2, 2);\nelse\n  a = rand(3, 3);\nend\ndisp(a);\n",
+        );
+        let f = ir.entry_func();
+        // Find the φ-defined version of a.
+        let mut phi_a = None;
+        for b in f.block_ids() {
+            for i in &f.block(b).instrs {
+                if let matc_ir::InstrKind::Phi { dst, .. } = &i.kind {
+                    phi_a = Some(*dst);
+                }
+            }
+        }
+        let phi_a = phi_a.expect("φ for a");
+        assert!(
+            matches!(s.class[phi_a.index()], Some(SizeClass::Static(72))),
+            "{:?}",
+            s.class[phi_a.index()]
+        );
+        let _ = (&flow, &mut t);
+    }
+
+    #[test]
+    fn tarjan_finds_cycles() {
+        // 0 -> 1 -> 2 -> 0 (one SCC) ; 3 -> 0 (own SCC)
+        let succ = vec![vec![1], vec![2], vec![0], vec![0]];
+        let comp = tarjan(4, &succ);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[1], comp[2]);
+        assert_ne!(comp[3], comp[0]);
+    }
+
+    #[test]
+    fn tarjan_dag_components_distinct() {
+        let succ = vec![vec![1, 2], vec![], vec![1]];
+        let comp = tarjan(3, &succ);
+        assert_ne!(comp[0], comp[1]);
+        assert_ne!(comp[0], comp[2]);
+        assert_ne!(comp[1], comp[2]);
+    }
+
+    #[test]
+    fn decompose_chain_is_one_group() {
+        // sizes 1 <= 2 <= 3: a single chain, one group rooted at the max.
+        let sizes = [1u64, 2, 3];
+        let groups = decompose_color_class(3, |i, j| sizes[i] <= sizes[j]);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].members.len(), 3);
+        assert_eq!(groups[0].root, 2, "the largest is maximal");
+    }
+
+    #[test]
+    fn decompose_incomparable_elements_split() {
+        // Two incomparable nodes: two singleton groups.
+        let groups = decompose_color_class(2, |_, _| false);
+        assert_eq!(groups.len(), 2);
+        assert!(groups.iter().all(|g| g.members.len() == 1));
+    }
+
+    #[test]
+    fn decompose_equal_sizes_form_scc() {
+        // All equal: one SCC, one group; Lemma 1's "all variables in an
+        // SCC have the same storage size".
+        let groups = decompose_color_class(3, |_, _| true);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].members.len(), 3);
+    }
+
+    #[test]
+    fn decompose_shared_node_goes_to_one_chain() {
+        // Two maxima (1, 2) both above node 0: node 0 joins exactly one.
+        // sizes: node0 = 1, node1 = 5, node2 = 5 (incomparable maxima).
+        let le = |i: usize, j: usize| matches!((i, j), (0, 1) | (0, 2));
+        let groups = decompose_color_class(3, le);
+        assert_eq!(groups.len(), 2);
+        let sizes: Vec<usize> = groups.iter().map(|g| g.members.len()).collect();
+        let mut sorted = sizes.clone();
+        sorted.sort();
+        assert_eq!(sorted, vec![1, 2], "shared node assigned wholly to one");
+    }
+
+    #[test]
+    fn decompose_diamond_single_root_claims_all() {
+        // 3 is above 1 and 2, which are above 0: one maximal element,
+        // one group containing everything.
+        let le = |i: usize, j: usize| matches!((i, j), (0, 1) | (0, 2) | (0, 3) | (1, 3) | (2, 3));
+        let groups = decompose_color_class(4, le);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0].root, 3);
+    }
+}

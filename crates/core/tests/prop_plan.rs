@@ -1,0 +1,286 @@
+//! Property-based validation of storage-plan **structural invariants**,
+//! independent of execution (the root `proptest_pipeline` test covers
+//! behavioral equivalence). For random programs and every planning
+//! configuration — the paper's defaults, each ablation, and each
+//! coloring strategy — the produced plan must satisfy:
+//!
+//! 1. every SSA definition is either a code immediate or bound to a slot;
+//! 2. two variables sharing a slot never interfere (Chaitin soundness);
+//! 3. stack slots are sized at their maximal member and hold no
+//!    dynamically-sized member (§3.2.1);
+//! 4. heap-slot definitions all carry an explicit resize annotation
+//!    (§3.2.2) — except under the no-coalescing baseline, which by
+//!    design resizes (`±`) every definition via the `resize_of` default.
+
+use matc_frontend::parser::parse_program;
+use matc_gctd::{
+    ColoringStrategy, Dataflow, GctdOptions, InterferenceGraph, InterferenceOptions, SizeClass,
+    Sizing, SlotKind, StoragePlan,
+};
+use matc_ir::build_ssa;
+use matc_ir::instr::InstrKind;
+use matc_ir::{FuncIr, IrProgram};
+use matc_typeinf::{infer_program, ProgramTypes};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Stmt {
+    /// `vD = rand(k, k)` — a fresh static array (k in 2..=4).
+    Fresh(usize, usize),
+    /// `vD = vA <op> vB` elementwise (all arrays kept 3x3-compatible by
+    /// re-freshing on use; mismatches only matter at run time, which
+    /// this test never reaches).
+    Ew(usize, usize, usize, u8),
+    /// `vD = vA * vB` matrix multiply.
+    MatMul(usize, usize, usize),
+    /// `vD(1, 2) = 7` indexed store (growth candidate).
+    Store(usize),
+    /// `wD = rand(n, n)` — symbolic (dynamic) array from the parameter.
+    SymFresh(usize),
+    /// `wD = wA + 1` — symbolic elementwise, shape-identity reuse.
+    SymEw(usize, usize),
+    /// `if vA(1, 1) > 0.5 ... else ... end` redefining vD both ways (φ).
+    Branch(usize, usize),
+    /// `for t = 1:3, vD = vD + vA; end` (loop-carried φ).
+    Loop(usize, usize),
+}
+
+const NV: usize = 4;
+const NW: usize = 3;
+
+fn render(stmts: &[Stmt]) -> String {
+    let mut b = String::from("function f(n)\n");
+    for i in 0..NV {
+        b.push_str(&format!("v{i} = rand(3, 3);\n"));
+    }
+    for i in 0..NW {
+        b.push_str(&format!("w{i} = rand(n, n);\n"));
+    }
+    for s in stmts {
+        match s {
+            Stmt::Fresh(d, k) => b.push_str(&format!("v{d} = rand({k}, {k});\n")),
+            Stmt::Ew(d, x, y, op) => {
+                let op = ["+", "-", ".*"][(*op as usize) % 3];
+                b.push_str(&format!("v{d} = v{x} {op} v{y};\n"));
+            }
+            Stmt::MatMul(d, x, y) => b.push_str(&format!("v{d} = v{x} * v{y};\n")),
+            Stmt::Store(d) => b.push_str(&format!("v{d}(1, 2) = 7;\n")),
+            Stmt::SymFresh(d) => b.push_str(&format!("w{d} = rand(n, n);\n")),
+            Stmt::SymEw(d, x) => b.push_str(&format!("w{d} = w{x} + 1;\n")),
+            Stmt::Branch(d, a) => b.push_str(&format!(
+                "if v{a}(1, 1) > 0.5\nv{d} = v{a} + 1;\nelse\nv{d} = v{a} - 1;\nend\n"
+            )),
+            Stmt::Loop(d, a) => b.push_str(&format!("for t = 1:3\nv{d} = v{d} + v{a};\nend\n")),
+        }
+    }
+    // Keep everything live at the end so nothing is trivially dead.
+    for i in 0..NV {
+        b.push_str(&format!("disp(sum(sum(v{i})));\n"));
+    }
+    for i in 0..NW {
+        b.push_str(&format!("disp(sum(sum(w{i})));\n"));
+    }
+    b
+}
+
+fn arb_stmt() -> impl Strategy<Value = Stmt> {
+    prop_oneof![
+        (0..NV, 2..5usize).prop_map(|(d, k)| Stmt::Fresh(d, k)),
+        (0..NV, 0..NV, 0..NV, any::<u8>()).prop_map(|(d, x, y, o)| Stmt::Ew(d, x, y, o)),
+        (0..NV, 0..NV, 0..NV).prop_map(|(d, x, y)| Stmt::MatMul(d, x, y)),
+        (0..NV).prop_map(Stmt::Store),
+        (0..NW).prop_map(Stmt::SymFresh),
+        (0..NW, 0..NW).prop_map(|(d, x)| Stmt::SymEw(d, x)),
+        (0..NV, 0..NV).prop_map(|(d, a)| Stmt::Branch(d, a)),
+        (0..NV, 0..NV).prop_map(|(d, a)| Stmt::Loop(d, a)),
+    ]
+}
+
+fn pipeline(src: &str) -> (IrProgram, ProgramTypes) {
+    let ast = parse_program([src]).unwrap();
+    let mut ir = build_ssa(&ast).unwrap();
+    matc_passes::optimize_program(&mut ir);
+    let types = infer_program(&ir);
+    (ir, types)
+}
+
+/// Checks the four structural invariants of one plan.
+fn check_plan(
+    func: &FuncIr,
+    plan: &StoragePlan,
+    graph: &InterferenceGraph,
+    sizing: &Sizing,
+    tag: &str,
+) {
+    // 1. Every definition is an immediate or planned.
+    for bid in func.block_ids() {
+        for instr in &func.block(bid).instrs {
+            for d in instr.defs() {
+                if matches!(instr.kind, InstrKind::Const { .. }) && graph.is_immediate(d) {
+                    assert!(
+                        plan.slot_of(d).is_none(),
+                        "{tag}: immediate {d:?} has a slot"
+                    );
+                } else {
+                    assert!(
+                        plan.slot_of(d).is_some(),
+                        "{tag}: definition {d:?} unplanned\n{func}"
+                    );
+                }
+            }
+        }
+    }
+    for p in &func.params {
+        assert!(plan.slot_of(*p).is_some(), "{tag}: param {p:?} unplanned");
+    }
+
+    for (si, slot) in plan.slots.iter().enumerate() {
+        // 2. Members are pairwise non-interfering.
+        for (i, &u) in slot.members.iter().enumerate() {
+            for &v in &slot.members[i + 1..] {
+                assert!(
+                    !graph.interferes(u, v),
+                    "{tag}: slot {si} holds interfering {u:?} and {v:?}\n{func}"
+                );
+            }
+        }
+        // 3. Stack slots: sized at the max member, no dynamic members.
+        if let SlotKind::Stack { bytes } = slot.kind {
+            let mut max_seen = 0;
+            for &m in &slot.members {
+                match sizing.class[m.index()] {
+                    Some(SizeClass::Static(b)) => {
+                        assert!(
+                            b <= bytes,
+                            "{tag}: slot {si} ({bytes}B) member {m:?} needs {b}B"
+                        );
+                        max_seen = max_seen.max(b);
+                    }
+                    Some(SizeClass::Dynamic(_)) => {
+                        panic!("{tag}: dynamic {m:?} in stack slot {si}")
+                    }
+                    None => {}
+                }
+            }
+            assert_eq!(
+                max_seen, bytes,
+                "{tag}: slot {si} over-allocated ({bytes}B for {max_seen}B max)"
+            );
+        }
+    }
+
+    // 4. Heap-slot definitions carry explicit resize annotations (the
+    // no-coalescing baseline relies on resize_of's ± default instead).
+    if tag == "no-gctd" {
+        return;
+    }
+    for bid in func.block_ids() {
+        for instr in &func.block(bid).instrs {
+            for d in instr.defs() {
+                if let Some(si) = plan.slot_of(d) {
+                    if plan.slots[si].kind == SlotKind::Heap
+                        && !matches!(instr.kind, InstrKind::Phi { .. })
+                    {
+                        assert!(
+                            plan.resize.contains_key(&d),
+                            "{tag}: heap def {d:?} lacks a resize annotation"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn configs() -> Vec<(&'static str, GctdOptions)> {
+    let base = GctdOptions::default();
+    vec![
+        ("default", base),
+        (
+            "no-phi",
+            GctdOptions {
+                interference: InterferenceOptions {
+                    operator_semantics: true,
+                    phi_coalescing: false,
+                },
+                ..base
+            },
+        ),
+        (
+            "no-symbolic",
+            GctdOptions {
+                symbolic_criterion: false,
+                ..base
+            },
+        ),
+        (
+            "size-ordered",
+            GctdOptions {
+                coloring: ColoringStrategy::SizeOrderedGreedy,
+                ..base
+            },
+        ),
+        (
+            "exhaustive",
+            GctdOptions {
+                coloring: ColoringStrategy::Exhaustive { max_nodes: 10 },
+                ..base
+            },
+        ),
+        (
+            "no-gctd",
+            GctdOptions {
+                coalesce: false,
+                ..base
+            },
+        ),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 32,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn plans_satisfy_structural_invariants(
+        stmts in proptest::collection::vec(arb_stmt(), 1..14)
+    ) {
+        let src = render(&stmts);
+        let (ir, mut types) = pipeline(&src);
+        let fid = ir.entry.unwrap();
+        let func = ir.entry_func();
+        for (tag, opts) in configs() {
+            let flow = Dataflow::compute(func);
+            let graph = {
+                let ftypes = &types.funcs[fid.index()];
+                InterferenceGraph::build(func, &flow, ftypes, &types, opts.interference)
+            };
+            let sizing = Sizing::compute(func, fid, &mut types);
+            let plan = matc_gctd::plan_function(func, fid, &mut types, opts);
+            check_plan(func, &plan, &graph, &sizing, tag);
+        }
+    }
+}
+
+/// The no-coalescing baseline puts every variable in its own slot.
+#[test]
+fn no_gctd_plans_are_singletons() {
+    let src = render(&[Stmt::Ew(0, 1, 2, 0), Stmt::Branch(3, 0), Stmt::Store(1)]);
+    let (ir, mut types) = pipeline(&src);
+    let fid = ir.entry.unwrap();
+    let func = ir.entry_func();
+    let plan = matc_gctd::plan_function(
+        func,
+        fid,
+        &mut types,
+        GctdOptions {
+            coalesce: false,
+            ..GctdOptions::default()
+        },
+    );
+    for (si, slot) in plan.slots.iter().enumerate() {
+        assert_eq!(slot.members.len(), 1, "slot {si} coalesced under no-gctd");
+    }
+}

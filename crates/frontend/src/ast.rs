@@ -1,0 +1,474 @@
+//! Abstract syntax tree for the MATLAB subset.
+//!
+//! The AST is deliberately surface-level: name resolution (variable vs.
+//! function), `end` rewriting and short-circuit lowering all happen in the
+//! IR lowering stage (`matc-ir`), so the tree mirrors what was written.
+
+use crate::span::Span;
+use std::fmt;
+
+/// Binary operators, including both matrix and elementwise forms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `+` — array addition (elementwise, scalar-expanding).
+    Add,
+    /// `-` — array subtraction.
+    Sub,
+    /// `*` — matrix multiplication (elementwise if either side scalar).
+    MatMul,
+    /// `.*` — elementwise multiplication.
+    ElemMul,
+    /// `/` — matrix right division (elementwise if divisor scalar).
+    MatDiv,
+    /// `./` — elementwise right division.
+    ElemDiv,
+    /// `\` — matrix left division.
+    MatLeftDiv,
+    /// `.\` — elementwise left division.
+    ElemLeftDiv,
+    /// `^` — matrix power.
+    MatPow,
+    /// `.^` — elementwise power.
+    ElemPow,
+    /// `==`
+    Eq,
+    /// `~=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&` — elementwise logical and.
+    And,
+    /// `|` — elementwise logical or.
+    Or,
+    /// `&&` — short-circuit and (scalar operands).
+    ShortAnd,
+    /// `||` — short-circuit or (scalar operands).
+    ShortOr,
+}
+
+impl BinOp {
+    /// The operator's MATLAB source spelling.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::MatMul => "*",
+            BinOp::ElemMul => ".*",
+            BinOp::MatDiv => "/",
+            BinOp::ElemDiv => "./",
+            BinOp::MatLeftDiv => "\\",
+            BinOp::ElemLeftDiv => ".\\",
+            BinOp::MatPow => "^",
+            BinOp::ElemPow => ".^",
+            BinOp::Eq => "==",
+            BinOp::Ne => "~=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "&",
+            BinOp::Or => "|",
+            BinOp::ShortAnd => "&&",
+            BinOp::ShortOr => "||",
+        }
+    }
+
+    /// Whether the operator always acts elementwise (so its result shape
+    /// equals the shape of its non-scalar operands).
+    pub fn is_elementwise(self) -> bool {
+        !matches!(
+            self,
+            BinOp::MatMul
+                | BinOp::MatDiv
+                | BinOp::MatLeftDiv
+                | BinOp::MatPow
+                | BinOp::ShortAnd
+                | BinOp::ShortOr
+        )
+    }
+
+    /// Whether the operator yields a logical (BOOLEAN) result.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq
+                | BinOp::Ne
+                | BinOp::Lt
+                | BinOp::Le
+                | BinOp::Gt
+                | BinOp::Ge
+                | BinOp::And
+                | BinOp::Or
+                | BinOp::ShortAnd
+                | BinOp::ShortOr
+        )
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// `-x`
+    Neg,
+    /// `+x`
+    Plus,
+    /// `~x`
+    Not,
+    /// `x'` — complex conjugate transpose.
+    CTranspose,
+    /// `x.'` — plain transpose.
+    Transpose,
+}
+
+impl UnOp {
+    /// The operator's MATLAB source spelling.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            UnOp::Neg => "-",
+            UnOp::Plus => "+",
+            UnOp::Not => "~",
+            UnOp::CTranspose => "'",
+            UnOp::Transpose => ".'",
+        }
+    }
+}
+
+impl fmt::Display for UnOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+/// An expression node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expr {
+    /// The expression's payload.
+    pub kind: ExprKind,
+    /// Source range.
+    pub span: Span,
+}
+
+impl Expr {
+    /// Creates an expression.
+    pub fn new(kind: ExprKind, span: Span) -> Self {
+        Expr { kind, span }
+    }
+
+    /// Creates a real numeric literal with a dummy span (for synthesized
+    /// nodes in tests and lowering).
+    pub fn number(v: f64) -> Self {
+        Expr::new(ExprKind::Number(v), Span::dummy())
+    }
+
+    /// Creates an identifier reference with a dummy span.
+    pub fn ident(name: impl Into<String>) -> Self {
+        Expr::new(ExprKind::Ident(name.into()), Span::dummy())
+    }
+}
+
+/// Expression payloads.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
+    /// Real numeric literal.
+    Number(f64),
+    /// Imaginary numeric literal (`2i` has value `2.0`).
+    ImagNumber(f64),
+    /// Character string literal.
+    Str(String),
+    /// A name: variable or zero-argument function call, resolved later.
+    Ident(String),
+    /// The `end` keyword inside an indexing context.
+    End,
+    /// A bare `:` inside an indexing context (whole dimension).
+    Colon,
+    /// `start:stop` or `start:step:stop`.
+    Range {
+        /// First element.
+        start: Box<Expr>,
+        /// Increment; `None` means 1.
+        step: Option<Box<Expr>>,
+        /// Inclusive upper bound.
+        stop: Box<Expr>,
+    },
+    /// Unary application.
+    Unary {
+        /// The operator.
+        op: UnOp,
+        /// The operand.
+        operand: Box<Expr>,
+    },
+    /// Binary application.
+    Binary {
+        /// The operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// `name(args)` — indexing or function call; the distinction is made
+    /// during IR lowering based on which names are in scope.
+    Apply {
+        /// The applied name.
+        name: String,
+        /// The arguments/subscripts.
+        args: Vec<Expr>,
+    },
+    /// A matrix literal `[r1c1 r1c2; r2c1 r2c2]`; rows may be ragged in
+    /// element count as long as widths agree at run time.
+    Matrix {
+        /// The rows, each a list of horizontally concatenated elements.
+        rows: Vec<Vec<Expr>>,
+    },
+}
+
+/// The target of an assignment.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LValue {
+    /// `x = ...`
+    Var(String),
+    /// `x(i, j) = ...` — indexed (subsasgn) assignment.
+    Index {
+        /// The assigned variable.
+        name: String,
+        /// The subscripts.
+        args: Vec<Expr>,
+    },
+    /// `~` in a multi-assignment output list: the value is discarded.
+    Ignore,
+}
+
+impl LValue {
+    /// The variable this lvalue writes, if any.
+    pub fn var_name(&self) -> Option<&str> {
+        match self {
+            LValue::Var(n) | LValue::Index { name: n, .. } => Some(n),
+            LValue::Ignore => None,
+        }
+    }
+}
+
+/// A statement node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stmt {
+    /// The statement's payload.
+    pub kind: StmtKind,
+    /// Source range.
+    pub span: Span,
+}
+
+impl Stmt {
+    /// Creates a statement.
+    pub fn new(kind: StmtKind, span: Span) -> Self {
+        Stmt { kind, span }
+    }
+}
+
+/// Statement payloads.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StmtKind {
+    /// `lhs = rhs` (optionally displayed when not `;`-terminated).
+    Assign {
+        /// Assignment target.
+        lhs: LValue,
+        /// Assigned value.
+        rhs: Expr,
+        /// Whether the result is echoed (no trailing semicolon).
+        display: bool,
+    },
+    /// `[a, b] = f(...)` — multiple-output call.
+    MultiAssign {
+        /// Output targets.
+        lhss: Vec<LValue>,
+        /// The called function's name.
+        func: String,
+        /// Call arguments.
+        args: Vec<Expr>,
+        /// Whether results are echoed.
+        display: bool,
+    },
+    /// A bare expression statement; its value is bound to `ans`.
+    ExprStmt {
+        /// The evaluated expression.
+        expr: Expr,
+        /// Whether the result is echoed.
+        display: bool,
+    },
+    /// `if`/`elseif`/`else` chain.
+    If {
+        /// `(condition, body)` arms in order: the `if` plus any `elseif`s.
+        arms: Vec<(Expr, Vec<Stmt>)>,
+        /// The `else` body, if present.
+        else_body: Option<Vec<Stmt>>,
+    },
+    /// `while cond ... end`.
+    While {
+        /// Loop condition.
+        cond: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// `for var = range ... end`.
+    For {
+        /// Loop variable.
+        var: String,
+        /// Iterated expression (typically a range; each column is one
+        /// iteration value in full MATLAB — we support ranges and vectors).
+        iter: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// `break`.
+    Break,
+    /// `continue`.
+    Continue,
+    /// `return`.
+    Return,
+}
+
+/// A user-defined function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    /// Function name.
+    pub name: String,
+    /// Output parameter names (`function [a,b] = f(...)`).
+    pub outs: Vec<String>,
+    /// Input parameter names.
+    pub params: Vec<String>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+    /// Source range of the header.
+    pub span: Span,
+}
+
+/// A parsed source file: either a script (bare statements) or one or more
+/// function definitions (a primary function plus subfunctions).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SourceFile {
+    /// Function definitions, in file order.
+    pub functions: Vec<Function>,
+    /// Script-level statements (empty for pure function files).
+    pub script: Vec<Stmt>,
+}
+
+/// A whole program: several source files merged, with a designated entry
+/// function.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    /// All functions from all files.
+    pub functions: Vec<Function>,
+    /// Name of the entry function.
+    pub entry: String,
+}
+
+impl Program {
+    /// Assembles a program from parsed files. The entry point is the
+    /// primary function of the first file (or a synthesized `main` holding
+    /// the first file's script statements).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `files` is empty or the first file is empty.
+    pub fn assemble(files: Vec<SourceFile>) -> Self {
+        assert!(!files.is_empty(), "no source files");
+        let mut functions = Vec::new();
+        let mut entry = None;
+        for (i, file) in files.into_iter().enumerate() {
+            if i == 0 {
+                if file.script.is_empty() {
+                    entry = file.functions.first().map(|f| f.name.clone());
+                } else {
+                    functions.push(Function {
+                        name: "main".to_string(),
+                        outs: vec![],
+                        params: vec![],
+                        body: file.script,
+                        span: Span::dummy(),
+                    });
+                    entry = Some("main".to_string());
+                }
+            }
+            functions.extend(file.functions);
+        }
+        Program {
+            functions,
+            entry: entry.expect("first file defines no function and no script"),
+        }
+    }
+
+    /// Looks up a function by name.
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+
+    /// The entry function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the entry name does not resolve (violated only by
+    /// hand-constructed programs).
+    pub fn entry_function(&self) -> &Function {
+        self.function(&self.entry)
+            .expect("entry function must exist")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binop_classification() {
+        assert!(BinOp::Add.is_elementwise());
+        assert!(!BinOp::MatMul.is_elementwise());
+        assert!(BinOp::Le.is_comparison());
+        assert!(!BinOp::Add.is_comparison());
+        assert_eq!(BinOp::ElemMul.symbol(), ".*");
+    }
+
+    #[test]
+    fn assemble_prefers_primary_function() {
+        let f = Function {
+            name: "kernel".into(),
+            outs: vec![],
+            params: vec![],
+            body: vec![],
+            span: Span::dummy(),
+        };
+        let p = Program::assemble(vec![SourceFile {
+            functions: vec![f],
+            script: vec![],
+        }]);
+        assert_eq!(p.entry, "kernel");
+        assert!(p.function("kernel").is_some());
+    }
+
+    #[test]
+    fn assemble_synthesizes_main_for_script() {
+        let s = Stmt::new(
+            StmtKind::ExprStmt {
+                expr: Expr::number(1.0),
+                display: false,
+            },
+            Span::dummy(),
+        );
+        let p = Program::assemble(vec![SourceFile {
+            functions: vec![],
+            script: vec![s],
+        }]);
+        assert_eq!(p.entry, "main");
+        assert_eq!(p.entry_function().body.len(), 1);
+    }
+}

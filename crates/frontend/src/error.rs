@@ -1,0 +1,52 @@
+//! Frontend diagnostics.
+
+use crate::span::Span;
+use std::fmt;
+
+/// An error produced while lexing or parsing MATLAB source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// Human-readable description, lowercase, no trailing punctuation.
+    pub message: String,
+    /// Where the error occurred.
+    pub span: Span,
+}
+
+impl ParseError {
+    /// Creates a parse error at `span`.
+    pub fn new(message: impl Into<String>, span: Span) -> Self {
+        ParseError {
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// Renders the error with line/column information resolved against
+    /// the original source text.
+    pub fn render(&self, src: &str) -> String {
+        let lc = crate::span::line_col(src, self.span.start);
+        format!("{}:{}: {}", lc.line, lc.col, self.message)
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at {}", self.message, self.span)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Convenience alias for frontend results.
+pub type Result<T> = std::result::Result<T, ParseError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_points_at_line() {
+        let err = ParseError::new("unexpected `)`", Span::new(8, 9));
+        assert_eq!(err.render("a = 1;\nb)"), "2:2: unexpected `)`");
+    }
+}

@@ -1,0 +1,547 @@
+//! Lexer for the MATLAB subset.
+//!
+//! Handles the MATLAB-specific lexical quirks:
+//!
+//! * `'` is **transpose** after a value-producing token and a **string
+//!   delimiter** elsewhere (`a'` vs `x = 'hi'`);
+//! * `%` comments run to end of line; `%{ ... %}` block comments are
+//!   recognized when the delimiters sit on their own lines;
+//! * `...` continues a logical line across a physical line break;
+//! * `1.*x` lexes as `1 .* x` (the dot binds to the operator, not the
+//!   number);
+//! * each token records whether whitespace preceded it, which the parser
+//!   needs for matrix-literal disambiguation (`[1 -2]` vs `[1 - 2]`).
+
+use crate::error::{ParseError, Result};
+use crate::span::Span;
+use crate::token::{keyword, Token, TokenKind};
+
+/// Tokenizes `src` into a vector of tokens ending with [`TokenKind::Eof`].
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on malformed input such as an unterminated
+/// string or an unrecognized character.
+///
+/// # Examples
+///
+/// ```
+/// use matc_frontend::lexer::lex;
+/// use matc_frontend::token::TokenKind;
+///
+/// let toks = lex("x = a' + 1;")?;
+/// assert!(toks.iter().any(|t| t.kind == TokenKind::Transpose));
+/// # Ok::<(), matc_frontend::error::ParseError>(())
+/// ```
+pub fn lex(src: &str) -> Result<Vec<Token>> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    tokens: Vec<Token>,
+    space_pending: bool,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+            tokens: Vec::new(),
+            space_pending: false,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, off: usize) -> Option<u8> {
+        self.bytes.get(self.pos + off).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn last_kind(&self) -> Option<&TokenKind> {
+        self.tokens.last().map(|t| &t.kind)
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize) {
+        let tok = Token {
+            kind,
+            span: Span::new(start as u32, self.pos as u32),
+            space_before: self.space_pending,
+        };
+        self.space_pending = false;
+        self.tokens.push(tok);
+    }
+
+    fn run(mut self) -> Result<Vec<Token>> {
+        while let Some(b) = self.peek() {
+            let start = self.pos;
+            match b {
+                b' ' | b'\t' | b'\r' => {
+                    self.pos += 1;
+                    self.space_pending = true;
+                }
+                b'\n' => {
+                    self.pos += 1;
+                    self.push(TokenKind::Newline, start);
+                }
+                b'%' => self.skip_comment()?,
+                b'.' => {
+                    if self.peek_at(1).is_some_and(|c| c.is_ascii_digit()) {
+                        self.number()?;
+                    } else {
+                        self.dot_operator(start)?;
+                    }
+                }
+                b'0'..=b'9' => self.number()?,
+                b'a'..=b'z' | b'A'..=b'Z' | b'_' => self.ident(start),
+                b'\'' => {
+                    if self.last_kind().is_some_and(|k| k.allows_postfix_quote())
+                        && !self.space_pending
+                    {
+                        self.pos += 1;
+                        self.push(TokenKind::Transpose, start);
+                    } else {
+                        self.string(start)?;
+                    }
+                }
+                b'+' => self.single(TokenKind::Plus),
+                b'-' => self.single(TokenKind::Minus),
+                b'*' => self.single(TokenKind::Star),
+                b'/' => self.single(TokenKind::Slash),
+                b'\\' => self.single(TokenKind::Backslash),
+                b'^' => self.single(TokenKind::Caret),
+                b'(' => self.single(TokenKind::LParen),
+                b')' => self.single(TokenKind::RParen),
+                b'[' => self.single(TokenKind::LBracket),
+                b']' => self.single(TokenKind::RBracket),
+                b',' => self.single(TokenKind::Comma),
+                b';' => self.single(TokenKind::Semi),
+                b':' => self.single(TokenKind::Colon),
+                b'=' => {
+                    if self.peek_at(1) == Some(b'=') {
+                        self.pos += 2;
+                        self.push(TokenKind::EqEq, start);
+                    } else {
+                        self.single(TokenKind::Assign);
+                    }
+                }
+                b'~' => {
+                    if self.peek_at(1) == Some(b'=') {
+                        self.pos += 2;
+                        self.push(TokenKind::NotEq, start);
+                    } else {
+                        self.single(TokenKind::Tilde);
+                    }
+                }
+                b'<' => {
+                    if self.peek_at(1) == Some(b'=') {
+                        self.pos += 2;
+                        self.push(TokenKind::Le, start);
+                    } else {
+                        self.single(TokenKind::Lt);
+                    }
+                }
+                b'>' => {
+                    if self.peek_at(1) == Some(b'=') {
+                        self.pos += 2;
+                        self.push(TokenKind::Ge, start);
+                    } else {
+                        self.single(TokenKind::Gt);
+                    }
+                }
+                b'&' => {
+                    if self.peek_at(1) == Some(b'&') {
+                        self.pos += 2;
+                        self.push(TokenKind::AmpAmp, start);
+                    } else {
+                        self.single(TokenKind::Amp);
+                    }
+                }
+                b'|' => {
+                    if self.peek_at(1) == Some(b'|') {
+                        self.pos += 2;
+                        self.push(TokenKind::PipePipe, start);
+                    } else {
+                        self.single(TokenKind::Pipe);
+                    }
+                }
+                other => {
+                    return Err(ParseError::new(
+                        format!("unrecognized character `{}`", other as char),
+                        Span::new(start as u32, start as u32 + 1),
+                    ));
+                }
+            }
+        }
+        let end = self.pos;
+        self.push(TokenKind::Eof, end);
+        Ok(self.tokens)
+    }
+
+    fn single(&mut self, kind: TokenKind) {
+        let start = self.pos;
+        self.pos += 1;
+        self.push(kind, start);
+    }
+
+    /// Lexes `.`-prefixed tokens: `.*`, `./`, `.\`, `.^`, `.'`, or `...`.
+    fn dot_operator(&mut self, start: usize) -> Result<()> {
+        match self.peek_at(1) {
+            Some(b'*') => {
+                self.pos += 2;
+                self.push(TokenKind::DotStar, start);
+            }
+            Some(b'/') => {
+                self.pos += 2;
+                self.push(TokenKind::DotSlash, start);
+            }
+            Some(b'\\') => {
+                self.pos += 2;
+                self.push(TokenKind::DotBackslash, start);
+            }
+            Some(b'^') => {
+                self.pos += 2;
+                self.push(TokenKind::DotCaret, start);
+            }
+            Some(b'\'') => {
+                self.pos += 2;
+                self.push(TokenKind::DotTranspose, start);
+            }
+            Some(b'.') if self.peek_at(2) == Some(b'.') => {
+                // Line continuation: skip the rest of the physical line
+                // *including* the newline, so the logical line continues.
+                self.pos += 3;
+                while let Some(c) = self.peek() {
+                    self.pos += 1;
+                    if c == b'\n' {
+                        break;
+                    }
+                }
+                self.space_pending = true;
+            }
+            _ => {
+                return Err(ParseError::new(
+                    "stray `.`",
+                    Span::new(start as u32, start as u32 + 1),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn skip_comment(&mut self) -> Result<()> {
+        // `%{` alone on a line begins a block comment ended by `%}`.
+        let line_start = self.tokens.is_empty()
+            || matches!(
+                self.last_kind(),
+                Some(TokenKind::Newline) | Some(TokenKind::Semi)
+            );
+        if line_start && self.peek_at(1) == Some(b'{') {
+            let open = self.pos;
+            self.pos += 2;
+            loop {
+                match self.peek() {
+                    None => {
+                        return Err(ParseError::new(
+                            "unterminated block comment",
+                            Span::new(open as u32, self.pos as u32),
+                        ));
+                    }
+                    Some(b'%') if self.peek_at(1) == Some(b'}') => {
+                        self.pos += 2;
+                        break;
+                    }
+                    _ => {
+                        self.pos += 1;
+                    }
+                }
+            }
+        } else {
+            while let Some(c) = self.peek() {
+                if c == b'\n' {
+                    break;
+                }
+                self.pos += 1;
+            }
+        }
+        self.space_pending = true;
+        Ok(())
+    }
+
+    fn ident(&mut self, start: usize) {
+        while self
+            .peek()
+            .is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_')
+        {
+            self.pos += 1;
+        }
+        let text = &self.src[start..self.pos];
+        let kind = keyword(text).unwrap_or_else(|| TokenKind::Ident(text.to_string()));
+        self.push(kind, start);
+    }
+
+    fn number(&mut self) -> Result<()> {
+        let start = self.pos;
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            // `1.*`, `1./`, `1.^`, `1.\` lex the dot as part of the
+            // operator, not the number. A dot followed by a digit (or
+            // nothing operator-like) belongs to the number.
+            let next = self.peek_at(1);
+            let dot_is_operator = matches!(
+                next,
+                Some(b'*') | Some(b'/') | Some(b'\\') | Some(b'^') | Some(b'\'')
+            );
+            if !dot_is_operator {
+                self.pos += 1;
+                while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                    self.pos += 1;
+                }
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            let mut off = 1;
+            if matches!(self.peek_at(1), Some(b'+') | Some(b'-')) {
+                off = 2;
+            }
+            if self.peek_at(off).is_some_and(|c| c.is_ascii_digit()) {
+                self.pos += off;
+                while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                    self.pos += 1;
+                }
+            }
+        }
+        let text = &self.src[start..self.pos];
+        let value: f64 = text.parse().map_err(|_| {
+            ParseError::new(
+                format!("malformed number `{text}`"),
+                Span::new(start as u32, self.pos as u32),
+            )
+        })?;
+        // Imaginary suffix: `2i`, `3.5j`. Only when not followed by more
+        // identifier characters (`2in` is an error MATLAB also rejects,
+        // but we let the identifier rule produce a clearer message).
+        if matches!(self.peek(), Some(b'i') | Some(b'j'))
+            && !self
+                .peek_at(1)
+                .is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_')
+        {
+            self.pos += 1;
+            self.push(TokenKind::ImagNumber(value), start);
+        } else {
+            self.push(TokenKind::Number(value), start);
+        }
+        Ok(())
+    }
+
+    fn string(&mut self, start: usize) -> Result<()> {
+        self.pos += 1; // opening quote
+        let mut text = String::new();
+        loop {
+            match self.bump() {
+                None | Some(b'\n') => {
+                    return Err(ParseError::new(
+                        "unterminated string",
+                        Span::new(start as u32, self.pos as u32),
+                    ));
+                }
+                Some(b'\'') => {
+                    if self.peek() == Some(b'\'') {
+                        // `''` inside a string is an escaped quote.
+                        text.push('\'');
+                        self.pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+                Some(c) => text.push(c as char),
+            }
+        }
+        self.push(TokenKind::Str(text), start);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::TokenKind as K;
+
+    fn kinds(src: &str) -> Vec<K> {
+        lex(src)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .filter(|k| *k != K::Eof)
+            .collect()
+    }
+
+    #[test]
+    fn basic_assignment() {
+        assert_eq!(
+            kinds("x = 3;"),
+            vec![K::Ident("x".into()), K::Assign, K::Number(3.0), K::Semi]
+        );
+    }
+
+    #[test]
+    fn transpose_vs_string() {
+        // After an identifier: transpose.
+        assert_eq!(kinds("a'"), vec![K::Ident("a".into()), K::Transpose]);
+        // After `=`: string.
+        assert_eq!(
+            kinds("x = 'hi'"),
+            vec![K::Ident("x".into()), K::Assign, K::Str("hi".into())]
+        );
+        // After `)`: transpose.
+        assert_eq!(
+            kinds("f(x)'"),
+            vec![
+                K::Ident("f".into()),
+                K::LParen,
+                K::Ident("x".into()),
+                K::RParen,
+                K::Transpose
+            ]
+        );
+        // With a space before, `'` starts a string (MATLAB rule).
+        assert_eq!(kinds("disp 'msg'").last().unwrap(), &K::Str("msg".into()));
+    }
+
+    #[test]
+    fn escaped_quote_in_string() {
+        assert_eq!(kinds("x = 'don''t'")[2], K::Str("don't".into()));
+    }
+
+    #[test]
+    fn unterminated_string_is_error() {
+        assert!(lex("x = 'oops").is_err());
+        assert!(lex("x = 'oops\n'").is_err());
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(kinds("2.5"), vec![K::Number(2.5)]);
+        assert_eq!(kinds(".5"), vec![K::Number(0.5)]);
+        assert_eq!(kinds("1e-3"), vec![K::Number(1e-3)]);
+        assert_eq!(kinds("1.5E+2"), vec![K::Number(150.0)]);
+        assert_eq!(kinds("3i"), vec![K::ImagNumber(3.0)]);
+        assert_eq!(kinds("2.5j"), vec![K::ImagNumber(2.5)]);
+    }
+
+    #[test]
+    fn dotted_operator_after_number() {
+        assert_eq!(
+            kinds("2.*x"),
+            vec![K::Number(2.0), K::DotStar, K::Ident("x".into())]
+        );
+        assert_eq!(
+            kinds("2.^x"),
+            vec![K::Number(2.0), K::DotCaret, K::Ident("x".into())]
+        );
+        // A plain `2.` followed by nothing special is the float 2.0.
+        assert_eq!(
+            kinds("2. + 1"),
+            vec![K::Number(2.0), K::Plus, K::Number(1.0)]
+        );
+    }
+
+    #[test]
+    fn comments_and_continuation() {
+        assert_eq!(
+            kinds("x = 1 % comment\ny = 2"),
+            vec![
+                K::Ident("x".into()),
+                K::Assign,
+                K::Number(1.0),
+                K::Newline,
+                K::Ident("y".into()),
+                K::Assign,
+                K::Number(2.0),
+            ]
+        );
+        // Continuation swallows the newline.
+        assert_eq!(
+            kinds("x = 1 + ...\n    2"),
+            vec![
+                K::Ident("x".into()),
+                K::Assign,
+                K::Number(1.0),
+                K::Plus,
+                K::Number(2.0),
+            ]
+        );
+    }
+
+    #[test]
+    fn block_comment() {
+        assert_eq!(
+            kinds("%{\nall skipped\n%}\nx = 1"),
+            vec![K::Newline, K::Ident("x".into()), K::Assign, K::Number(1.0)]
+        );
+        assert!(lex("%{\nnever closed").is_err());
+    }
+
+    #[test]
+    fn two_char_operators() {
+        assert_eq!(
+            kinds("a ~= b <= c && d || ~e"),
+            vec![
+                K::Ident("a".into()),
+                K::NotEq,
+                K::Ident("b".into()),
+                K::Le,
+                K::Ident("c".into()),
+                K::AmpAmp,
+                K::Ident("d".into()),
+                K::PipePipe,
+                K::Tilde,
+                K::Ident("e".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn space_before_flag() {
+        let toks = lex("[1 -2]").unwrap();
+        // tokens: [ 1 - 2 ]
+        assert_eq!(toks[2].kind, K::Minus);
+        assert!(toks[2].space_before);
+        assert!(!toks[3].space_before, "`2` hugs the minus");
+        let toks2 = lex("[1 - 2]").unwrap();
+        assert!(toks2[2].space_before);
+        assert!(toks2[3].space_before, "`2` is spaced: binary minus");
+    }
+
+    #[test]
+    fn keywords_lex_as_keywords() {
+        assert_eq!(kinds("for end while"), vec![K::For, K::End, K::While]);
+    }
+
+    #[test]
+    fn unrecognized_char() {
+        let err = lex("x = #").unwrap_err();
+        assert!(err.message.contains('#'));
+    }
+
+    #[test]
+    fn transpose_after_end_keyword() {
+        // `a(end)'` — transpose after `)` and `end` inside parens.
+        let ks = kinds("a(end)'");
+        assert_eq!(*ks.last().unwrap(), K::Transpose);
+    }
+}

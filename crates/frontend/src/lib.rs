@@ -1,0 +1,39 @@
+//! # matc-frontend
+//!
+//! Lexer, AST and parser for the MATLAB subset compiled by `matc`, the
+//! reproduction of *Static Array Storage Optimization in MATLAB*
+//! (Joisha & Banerjee, PLDI 2003).
+//!
+//! The subset covers everything the paper's 11-benchmark evaluation suite
+//! needs: function files with subfunctions and multiple outputs, scripts,
+//! `if`/`while`/`for` control flow, matrix literals, ranges, `end`-relative
+//! and colon indexing, the full elementwise/matrix operator set, and
+//! single-quoted strings.
+//!
+//! ## Example
+//!
+//! ```
+//! use matc_frontend::parser::parse_program;
+//!
+//! let program = parse_program([
+//!     "function driver\nx = kernel(8);\ndisp(x);\n",
+//!     "function y = kernel(n)\ny = zeros(n, n);\ny(1, 1) = 1;\n",
+//! ])?;
+//! assert_eq!(program.entry, "driver");
+//! # Ok::<(), matc_frontend::error::ParseError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod printer;
+pub mod span;
+pub mod token;
+
+pub use ast::{BinOp, Expr, ExprKind, Function, LValue, Program, SourceFile, Stmt, StmtKind, UnOp};
+pub use error::ParseError;
+pub use parser::{parse_expr, parse_file, parse_program};
+pub use span::Span;

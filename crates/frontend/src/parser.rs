@@ -1,0 +1,1276 @@
+//! Recursive-descent parser for the MATLAB subset.
+//!
+//! Precedence follows MATLAB's operator table (tightest first):
+//! postfix transpose and power, unary `- + ~`, multiplicative, additive,
+//! range `:`, comparisons, `&`, `|`, `&&`, `||`.
+//!
+//! Matrix literals are whitespace-sensitive: inside `[...]`, a `+` or `-`
+//! that is preceded by a space but not followed by one starts a new
+//! element (`[1 -2]` is a row of two), while a spaced operator continues
+//! the current element (`[1 - 2]` is a subtraction). The lexer records
+//! the necessary whitespace facts on each token.
+
+use crate::ast::*;
+use crate::error::{ParseError, Result};
+use crate::lexer::lex;
+use crate::span::Span;
+use crate::token::{Token, TokenKind};
+
+/// Parses a single MATLAB source file.
+///
+/// # Errors
+///
+/// Returns the first lexical or syntactic error encountered.
+///
+/// # Examples
+///
+/// ```
+/// use matc_frontend::parser::parse_file;
+///
+/// let file = parse_file("function y = twice(x)\ny = 2 * x;\n")?;
+/// assert_eq!(file.functions[0].name, "twice");
+/// # Ok::<(), matc_frontend::error::ParseError>(())
+/// ```
+pub fn parse_file(src: &str) -> Result<SourceFile> {
+    let tokens = lex(src)?;
+    Parser::new(tokens).file()
+}
+
+/// Parses a sequence of files and assembles them into a [`Program`] whose
+/// entry point is the first file's primary function (or its script body).
+///
+/// # Errors
+///
+/// Returns the first error from any file, or an error if `sources` is
+/// empty.
+pub fn parse_program<'a>(sources: impl IntoIterator<Item = &'a str>) -> Result<Program> {
+    let mut files = Vec::new();
+    for src in sources {
+        files.push(parse_file(src)?);
+    }
+    if files.is_empty() {
+        return Err(ParseError::new("no source files provided", Span::dummy()));
+    }
+    Ok(Program::assemble(files))
+}
+
+/// Parses a single expression, for tests and tools.
+///
+/// # Errors
+///
+/// Fails if the source is not exactly one expression.
+pub fn parse_expr(src: &str) -> Result<Expr> {
+    let tokens = lex(src)?;
+    let mut p = Parser::new(tokens);
+    let e = p.expr(&Ctx::default())?;
+    p.skip_separators();
+    p.expect_eof()?;
+    Ok(e)
+}
+
+/// Expression-parsing context flags.
+#[derive(Debug, Clone, Copy, Default)]
+struct Ctx {
+    /// Inside a matrix literal: whitespace may separate elements.
+    in_matrix: bool,
+    /// Inside index/call arguments: `end` and bare `:` are expressions.
+    in_index: bool,
+}
+
+impl Ctx {
+    fn index(self) -> Ctx {
+        Ctx {
+            in_matrix: false,
+            in_index: true,
+        }
+    }
+
+    fn matrix(self) -> Ctx {
+        Ctx {
+            in_matrix: true,
+            in_index: self.in_index,
+        }
+    }
+
+    fn grouped(self) -> Ctx {
+        Ctx {
+            in_matrix: false,
+            in_index: self.in_index,
+        }
+    }
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(tokens: Vec<Token>) -> Self {
+        Parser { tokens, pos: 0 }
+    }
+
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn peek_kind(&self) -> &TokenKind {
+        &self.peek().kind
+    }
+
+    fn peek_at(&self, off: usize) -> &Token {
+        &self.tokens[(self.pos + off).min(self.tokens.len() - 1)]
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at(&self, kind: &TokenKind) -> bool {
+        self.peek_kind() == kind
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.at(kind) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<Token> {
+        if self.at(kind) {
+            Ok(self.bump())
+        } else {
+            Err(self.unexpected(&format!("expected {}", kind.describe())))
+        }
+    }
+
+    fn expect_eof(&self) -> Result<()> {
+        if self.at(&TokenKind::Eof) {
+            Ok(())
+        } else {
+            Err(self.unexpected("expected end of input"))
+        }
+    }
+
+    fn unexpected(&self, what: &str) -> ParseError {
+        ParseError::new(
+            format!("{what}, found {}", self.peek_kind().describe()),
+            self.peek().span,
+        )
+    }
+
+    /// Skips statement separators: newlines, semicolons, commas.
+    fn skip_separators(&mut self) {
+        while matches!(
+            self.peek_kind(),
+            TokenKind::Newline | TokenKind::Semi | TokenKind::Comma
+        ) {
+            self.bump();
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Files, functions, statements
+    // ------------------------------------------------------------------
+
+    fn file(&mut self) -> Result<SourceFile> {
+        let mut file = SourceFile::default();
+        self.skip_separators();
+        if self.at(&TokenKind::Function) {
+            while self.at(&TokenKind::Function) {
+                file.functions.push(self.function()?);
+                self.skip_separators();
+            }
+            self.expect_eof()?;
+        } else {
+            file.script = self.stmt_list(&[TokenKind::Eof])?;
+            self.expect_eof()?;
+        }
+        Ok(file)
+    }
+
+    fn function(&mut self) -> Result<Function> {
+        let start = self.expect(&TokenKind::Function)?.span;
+        // Forms:
+        //   function name
+        //   function name(a, b)
+        //   function out = name(a, b)
+        //   function [o1, o2] = name(a, b)
+        let mut outs = Vec::new();
+        let name;
+        if self.at(&TokenKind::LBracket) {
+            self.bump();
+            loop {
+                let id = self.ident_name()?;
+                outs.push(id);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect(&TokenKind::RBracket)?;
+            self.expect(&TokenKind::Assign)?;
+            name = self.ident_name()?;
+        } else {
+            let first = self.ident_name()?;
+            if self.eat(&TokenKind::Assign) {
+                outs.push(first);
+                name = self.ident_name()?;
+            } else {
+                name = first;
+            }
+        }
+        let mut params = Vec::new();
+        if self.eat(&TokenKind::LParen) {
+            if !self.at(&TokenKind::RParen) {
+                loop {
+                    params.push(self.ident_name()?);
+                    if !self.eat(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+            }
+            self.expect(&TokenKind::RParen)?;
+        }
+        let header_end = self.peek().span;
+        // A function body runs to a matching `end` or to the next
+        // `function` keyword / end of file (MATLAB permits both styles).
+        let body = self.stmt_list(&[TokenKind::End, TokenKind::Function, TokenKind::Eof])?;
+        if self.at(&TokenKind::End) {
+            self.bump();
+        }
+        Ok(Function {
+            name,
+            outs,
+            params,
+            body,
+            span: start.merge(header_end),
+        })
+    }
+
+    fn ident_name(&mut self) -> Result<String> {
+        match self.peek_kind() {
+            TokenKind::Ident(s) => {
+                let s = s.clone();
+                self.bump();
+                Ok(s)
+            }
+            _ => Err(self.unexpected("expected identifier")),
+        }
+    }
+
+    /// Parses statements until one of `stops` is the current token
+    /// (the stop token is not consumed).
+    fn stmt_list(&mut self, stops: &[TokenKind]) -> Result<Vec<Stmt>> {
+        let mut stmts = Vec::new();
+        loop {
+            self.skip_separators();
+            if stops.iter().any(|s| self.at(s)) {
+                return Ok(stmts);
+            }
+            if self.at(&TokenKind::Eof) {
+                return Err(self.unexpected("unexpected end of input in block"));
+            }
+            stmts.push(self.stmt()?);
+        }
+    }
+
+    fn stmt(&mut self) -> Result<Stmt> {
+        let start = self.peek().span;
+        match self.peek_kind() {
+            TokenKind::If => self.if_stmt(),
+            TokenKind::While => self.while_stmt(),
+            TokenKind::For => self.for_stmt(),
+            TokenKind::Break => {
+                self.bump();
+                Ok(Stmt::new(StmtKind::Break, start))
+            }
+            TokenKind::Continue => {
+                self.bump();
+                Ok(Stmt::new(StmtKind::Continue, start))
+            }
+            TokenKind::Return => {
+                self.bump();
+                Ok(Stmt::new(StmtKind::Return, start))
+            }
+            TokenKind::LBracket if self.is_multi_assign() => self.multi_assign(),
+            _ => self.simple_stmt(),
+        }
+    }
+
+    /// Looks ahead from a `[` for a matching `]` followed by `=`
+    /// (multi-output assignment) without consuming anything.
+    fn is_multi_assign(&self) -> bool {
+        debug_assert!(self.at(&TokenKind::LBracket));
+        let mut depth = 0usize;
+        let mut i = 0usize;
+        loop {
+            let t = self.peek_at(i);
+            match &t.kind {
+                TokenKind::LBracket | TokenKind::LParen => depth += 1,
+                TokenKind::RParen => depth = depth.saturating_sub(1),
+                TokenKind::RBracket => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return self.peek_at(i + 1).kind == TokenKind::Assign;
+                    }
+                }
+                TokenKind::Eof | TokenKind::Newline => return false,
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+
+    fn multi_assign(&mut self) -> Result<Stmt> {
+        let start = self.expect(&TokenKind::LBracket)?.span;
+        let mut lhss = Vec::new();
+        loop {
+            if self.at(&TokenKind::Tilde) {
+                self.bump();
+                lhss.push(LValue::Ignore);
+            } else {
+                let name = self.ident_name()?;
+                if self.at(&TokenKind::LParen) {
+                    self.bump();
+                    let args = self.arg_list(&Ctx::default().index())?;
+                    self.expect(&TokenKind::RParen)?;
+                    lhss.push(LValue::Index { name, args });
+                } else {
+                    lhss.push(LValue::Var(name));
+                }
+            }
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect(&TokenKind::RBracket)?;
+        self.expect(&TokenKind::Assign)?;
+        let callee = self.ident_name()?;
+        let mut args = Vec::new();
+        if self.eat(&TokenKind::LParen) {
+            args = self.arg_list(&Ctx::default().index())?;
+            self.expect(&TokenKind::RParen)?;
+        }
+        let display = !self.at(&TokenKind::Semi);
+        let end = self.peek().span;
+        self.end_of_statement()?;
+        Ok(Stmt::new(
+            StmtKind::MultiAssign {
+                lhss,
+                func: callee,
+                args,
+                display,
+            },
+            start.merge(end),
+        ))
+    }
+
+    /// An assignment or a bare expression statement.
+    fn simple_stmt(&mut self) -> Result<Stmt> {
+        let start = self.peek().span;
+        let expr = self.expr(&Ctx::default())?;
+        if self.at(&TokenKind::Assign) {
+            self.bump();
+            let lhs = match expr.kind {
+                ExprKind::Ident(name) => LValue::Var(name),
+                ExprKind::Apply { name, args } => LValue::Index { name, args },
+                _ => {
+                    return Err(ParseError::new("invalid assignment target", expr.span));
+                }
+            };
+            let rhs = self.expr(&Ctx::default())?;
+            let display = !self.at(&TokenKind::Semi);
+            let end = rhs.span;
+            self.end_of_statement()?;
+            Ok(Stmt::new(
+                StmtKind::Assign { lhs, rhs, display },
+                start.merge(end),
+            ))
+        } else {
+            let display = !self.at(&TokenKind::Semi);
+            let end = expr.span;
+            self.end_of_statement()?;
+            Ok(Stmt::new(
+                StmtKind::ExprStmt { expr, display },
+                start.merge(end),
+            ))
+        }
+    }
+
+    fn end_of_statement(&mut self) -> Result<()> {
+        match self.peek_kind() {
+            TokenKind::Semi | TokenKind::Newline | TokenKind::Comma => {
+                self.bump();
+                Ok(())
+            }
+            TokenKind::Eof
+            | TokenKind::End
+            | TokenKind::Else
+            | TokenKind::Elseif
+            | TokenKind::Function => Ok(()),
+            _ => Err(self.unexpected("expected end of statement")),
+        }
+    }
+
+    fn if_stmt(&mut self) -> Result<Stmt> {
+        let start = self.expect(&TokenKind::If)?.span;
+        let mut arms = Vec::new();
+        let cond = self.expr(&Ctx::default())?;
+        let body = self.stmt_list(&[TokenKind::Elseif, TokenKind::Else, TokenKind::End])?;
+        arms.push((cond, body));
+        let mut else_body = None;
+        loop {
+            if self.eat(&TokenKind::Elseif) {
+                let c = self.expr(&Ctx::default())?;
+                let b = self.stmt_list(&[TokenKind::Elseif, TokenKind::Else, TokenKind::End])?;
+                arms.push((c, b));
+            } else if self.eat(&TokenKind::Else) {
+                else_body = Some(self.stmt_list(&[TokenKind::End])?);
+                break;
+            } else {
+                break;
+            }
+        }
+        let end = self.expect(&TokenKind::End)?.span;
+        Ok(Stmt::new(
+            StmtKind::If { arms, else_body },
+            start.merge(end),
+        ))
+    }
+
+    fn while_stmt(&mut self) -> Result<Stmt> {
+        let start = self.expect(&TokenKind::While)?.span;
+        let cond = self.expr(&Ctx::default())?;
+        let body = self.stmt_list(&[TokenKind::End])?;
+        let end = self.expect(&TokenKind::End)?.span;
+        Ok(Stmt::new(StmtKind::While { cond, body }, start.merge(end)))
+    }
+
+    fn for_stmt(&mut self) -> Result<Stmt> {
+        let start = self.expect(&TokenKind::For)?.span;
+        // MATLAB also allows `for (i = e)`.
+        let parens = self.eat(&TokenKind::LParen);
+        let var = self.ident_name()?;
+        self.expect(&TokenKind::Assign)?;
+        let iter = self.expr(&Ctx::default())?;
+        if parens {
+            self.expect(&TokenKind::RParen)?;
+        }
+        let body = self.stmt_list(&[TokenKind::End])?;
+        let end = self.expect(&TokenKind::End)?.span;
+        Ok(Stmt::new(
+            StmtKind::For { var, iter, body },
+            start.merge(end),
+        ))
+    }
+
+    // ------------------------------------------------------------------
+    // Expressions
+    // ------------------------------------------------------------------
+
+    fn expr(&mut self, ctx: &Ctx) -> Result<Expr> {
+        self.short_or(ctx)
+    }
+
+    fn short_or(&mut self, ctx: &Ctx) -> Result<Expr> {
+        let mut lhs = self.short_and(ctx)?;
+        while self.at(&TokenKind::PipePipe) {
+            self.bump();
+            let rhs = self.short_and(ctx)?;
+            let span = lhs.span.merge(rhs.span);
+            lhs = Expr::new(
+                ExprKind::Binary {
+                    op: BinOp::ShortOr,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
+                span,
+            );
+        }
+        Ok(lhs)
+    }
+
+    fn short_and(&mut self, ctx: &Ctx) -> Result<Expr> {
+        let mut lhs = self.elem_or(ctx)?;
+        while self.at(&TokenKind::AmpAmp) {
+            self.bump();
+            let rhs = self.elem_or(ctx)?;
+            let span = lhs.span.merge(rhs.span);
+            lhs = Expr::new(
+                ExprKind::Binary {
+                    op: BinOp::ShortAnd,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
+                span,
+            );
+        }
+        Ok(lhs)
+    }
+
+    fn elem_or(&mut self, ctx: &Ctx) -> Result<Expr> {
+        let mut lhs = self.elem_and(ctx)?;
+        while self.at(&TokenKind::Pipe) {
+            self.bump();
+            let rhs = self.elem_and(ctx)?;
+            let span = lhs.span.merge(rhs.span);
+            lhs = Expr::new(
+                ExprKind::Binary {
+                    op: BinOp::Or,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
+                span,
+            );
+        }
+        Ok(lhs)
+    }
+
+    fn elem_and(&mut self, ctx: &Ctx) -> Result<Expr> {
+        let mut lhs = self.comparison(ctx)?;
+        while self.at(&TokenKind::Amp) {
+            self.bump();
+            let rhs = self.comparison(ctx)?;
+            let span = lhs.span.merge(rhs.span);
+            lhs = Expr::new(
+                ExprKind::Binary {
+                    op: BinOp::And,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
+                span,
+            );
+        }
+        Ok(lhs)
+    }
+
+    fn comparison(&mut self, ctx: &Ctx) -> Result<Expr> {
+        let mut lhs = self.range(ctx)?;
+        loop {
+            let op = match self.peek_kind() {
+                TokenKind::EqEq => BinOp::Eq,
+                TokenKind::NotEq => BinOp::Ne,
+                TokenKind::Lt => BinOp::Lt,
+                TokenKind::Le => BinOp::Le,
+                TokenKind::Gt => BinOp::Gt,
+                TokenKind::Ge => BinOp::Ge,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.range(ctx)?;
+            let span = lhs.span.merge(rhs.span);
+            lhs = Expr::new(
+                ExprKind::Binary {
+                    op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
+                span,
+            );
+        }
+    }
+
+    /// `a:b` or `a:b:c`. In an index context a *bare* `:` is handled by
+    /// the argument parser, not here.
+    fn range(&mut self, ctx: &Ctx) -> Result<Expr> {
+        let first = self.additive(ctx)?;
+        if !self.at(&TokenKind::Colon) {
+            return Ok(first);
+        }
+        self.bump();
+        let second = self.additive(ctx)?;
+        if self.at(&TokenKind::Colon) {
+            self.bump();
+            let third = self.additive(ctx)?;
+            let span = first.span.merge(third.span);
+            Ok(Expr::new(
+                ExprKind::Range {
+                    start: Box::new(first),
+                    step: Some(Box::new(second)),
+                    stop: Box::new(third),
+                },
+                span,
+            ))
+        } else {
+            let span = first.span.merge(second.span);
+            Ok(Expr::new(
+                ExprKind::Range {
+                    start: Box::new(first),
+                    step: None,
+                    stop: Box::new(second),
+                },
+                span,
+            ))
+        }
+    }
+
+    /// Whether, in matrix context, the upcoming `+`/`-` acts as an
+    /// element separator rather than a binary operator. The MATLAB rule:
+    /// space before the sign, none after it (`[1 -2]`), and what follows
+    /// can begin an operand.
+    fn sign_starts_new_element(&self) -> bool {
+        let t = self.peek();
+        if !t.space_before {
+            return false;
+        }
+        let next = self.peek_at(1);
+        if next.space_before {
+            return false;
+        }
+        matches!(
+            next.kind,
+            TokenKind::Ident(_)
+                | TokenKind::Number(_)
+                | TokenKind::ImagNumber(_)
+                | TokenKind::Str(_)
+                | TokenKind::LParen
+                | TokenKind::LBracket
+        )
+    }
+
+    fn additive(&mut self, ctx: &Ctx) -> Result<Expr> {
+        let mut lhs = self.multiplicative(ctx)?;
+        loop {
+            let op = match self.peek_kind() {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => return Ok(lhs),
+            };
+            if ctx.in_matrix && self.sign_starts_new_element() {
+                return Ok(lhs);
+            }
+            self.bump();
+            let rhs = self.multiplicative(ctx)?;
+            let span = lhs.span.merge(rhs.span);
+            lhs = Expr::new(
+                ExprKind::Binary {
+                    op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
+                span,
+            );
+        }
+    }
+
+    fn multiplicative(&mut self, ctx: &Ctx) -> Result<Expr> {
+        let mut lhs = self.unary(ctx)?;
+        loop {
+            let op = match self.peek_kind() {
+                TokenKind::Star => BinOp::MatMul,
+                TokenKind::DotStar => BinOp::ElemMul,
+                TokenKind::Slash => BinOp::MatDiv,
+                TokenKind::DotSlash => BinOp::ElemDiv,
+                TokenKind::Backslash => BinOp::MatLeftDiv,
+                TokenKind::DotBackslash => BinOp::ElemLeftDiv,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.unary(ctx)?;
+            let span = lhs.span.merge(rhs.span);
+            lhs = Expr::new(
+                ExprKind::Binary {
+                    op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
+                span,
+            );
+        }
+    }
+
+    fn unary(&mut self, ctx: &Ctx) -> Result<Expr> {
+        let start = self.peek().span;
+        let op = match self.peek_kind() {
+            TokenKind::Minus => Some(UnOp::Neg),
+            TokenKind::Plus => Some(UnOp::Plus),
+            TokenKind::Tilde => Some(UnOp::Not),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let operand = self.unary(ctx)?;
+            let span = start.merge(operand.span);
+            Ok(Expr::new(
+                ExprKind::Unary {
+                    op,
+                    operand: Box::new(operand),
+                },
+                span,
+            ))
+        } else {
+            self.power(ctx)
+        }
+    }
+
+    /// Power and postfix transpose. MATLAB makes `^` bind tighter than
+    /// unary minus (`-2^2 == -4`) and right operands may carry a sign
+    /// (`2^-1`). Power associates left-to-right in MATLAB.
+    fn power(&mut self, ctx: &Ctx) -> Result<Expr> {
+        let mut lhs = self.postfix(ctx)?;
+        loop {
+            let op = match self.peek_kind() {
+                TokenKind::Caret => BinOp::MatPow,
+                TokenKind::DotCaret => BinOp::ElemPow,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            // Allow a signed exponent.
+            let rhs = match self.peek_kind() {
+                TokenKind::Minus => {
+                    let s = self.bump().span;
+                    let operand = self.postfix(ctx)?;
+                    let span = s.merge(operand.span);
+                    Expr::new(
+                        ExprKind::Unary {
+                            op: UnOp::Neg,
+                            operand: Box::new(operand),
+                        },
+                        span,
+                    )
+                }
+                TokenKind::Plus => {
+                    self.bump();
+                    self.postfix(ctx)?
+                }
+                _ => self.postfix(ctx)?,
+            };
+            let span = lhs.span.merge(rhs.span);
+            lhs = Expr::new(
+                ExprKind::Binary {
+                    op,
+                    lhs: Box::new(lhs),
+                    rhs: Box::new(rhs),
+                },
+                span,
+            );
+        }
+    }
+
+    fn postfix(&mut self, ctx: &Ctx) -> Result<Expr> {
+        let mut e = self.primary(ctx)?;
+        loop {
+            match self.peek_kind() {
+                TokenKind::Transpose => {
+                    let end = self.bump().span;
+                    let span = e.span.merge(end);
+                    e = Expr::new(
+                        ExprKind::Unary {
+                            op: UnOp::CTranspose,
+                            operand: Box::new(e),
+                        },
+                        span,
+                    );
+                }
+                TokenKind::DotTranspose => {
+                    let end = self.bump().span;
+                    let span = e.span.merge(end);
+                    e = Expr::new(
+                        ExprKind::Unary {
+                            op: UnOp::Transpose,
+                            operand: Box::new(e),
+                        },
+                        span,
+                    );
+                }
+                _ => return Ok(e),
+            }
+        }
+    }
+
+    fn primary(&mut self, ctx: &Ctx) -> Result<Expr> {
+        let t = self.peek().clone();
+        match t.kind {
+            TokenKind::Number(v) => {
+                self.bump();
+                Ok(Expr::new(ExprKind::Number(v), t.span))
+            }
+            TokenKind::ImagNumber(v) => {
+                self.bump();
+                Ok(Expr::new(ExprKind::ImagNumber(v), t.span))
+            }
+            TokenKind::Str(ref s) => {
+                let s = s.clone();
+                self.bump();
+                Ok(Expr::new(ExprKind::Str(s), t.span))
+            }
+            TokenKind::End if ctx.in_index => {
+                self.bump();
+                Ok(Expr::new(ExprKind::End, t.span))
+            }
+            TokenKind::Ident(ref name) => {
+                let name = name.clone();
+                self.bump();
+                if self.at(&TokenKind::LParen) && !self.peek().space_before {
+                    // `a(...)`: indexing or call; resolved in lowering.
+                    self.bump();
+                    let args = self.arg_list(&ctx.index())?;
+                    let end = self.expect(&TokenKind::RParen)?.span;
+                    Ok(Expr::new(ExprKind::Apply { name, args }, t.span.merge(end)))
+                } else {
+                    Ok(Expr::new(ExprKind::Ident(name), t.span))
+                }
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let inner = self.expr(&ctx.grouped())?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(inner)
+            }
+            TokenKind::LBracket => self.matrix(ctx),
+            _ => Err(self.unexpected("expected expression")),
+        }
+    }
+
+    /// Parses call/index arguments, allowing a bare `:` per argument.
+    fn arg_list(&mut self, ctx: &Ctx) -> Result<Vec<Expr>> {
+        let mut args = Vec::new();
+        if self.at(&TokenKind::RParen) {
+            return Ok(args);
+        }
+        loop {
+            if self.at(&TokenKind::Colon)
+                && matches!(self.peek_at(1).kind, TokenKind::Comma | TokenKind::RParen)
+            {
+                let span = self.bump().span;
+                args.push(Expr::new(ExprKind::Colon, span));
+            } else {
+                args.push(self.expr(ctx)?);
+            }
+            if !self.eat(&TokenKind::Comma) {
+                return Ok(args);
+            }
+        }
+    }
+
+    /// Parses a matrix literal `[ ... ]`.
+    fn matrix(&mut self, ctx: &Ctx) -> Result<Expr> {
+        let start = self.expect(&TokenKind::LBracket)?.span;
+        let mctx = ctx.matrix();
+        let mut rows: Vec<Vec<Expr>> = Vec::new();
+        let mut row: Vec<Expr> = Vec::new();
+        loop {
+            // Newlines inside brackets separate rows (like `;`).
+            match self.peek_kind() {
+                TokenKind::RBracket => {
+                    let end = self.bump().span;
+                    if !row.is_empty() {
+                        rows.push(row);
+                    }
+                    return Ok(Expr::new(ExprKind::Matrix { rows }, start.merge(end)));
+                }
+                TokenKind::Semi | TokenKind::Newline => {
+                    self.bump();
+                    if !row.is_empty() {
+                        rows.push(std::mem::take(&mut row));
+                    }
+                }
+                TokenKind::Comma => {
+                    self.bump();
+                }
+                TokenKind::Eof => {
+                    return Err(self.unexpected("unterminated matrix literal"));
+                }
+                _ => {
+                    row.push(self.expr(&mctx)?);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn expr(src: &str) -> Expr {
+        parse_expr(src).unwrap_or_else(|e| panic!("parse `{src}`: {}", e.render(src)))
+    }
+
+    fn stmt_of(src: &str) -> Stmt {
+        let f = parse_file(src).unwrap_or_else(|e| panic!("{}", e.render(src)));
+        assert_eq!(f.script.len(), 1, "expected one statement in `{src}`");
+        f.script.into_iter().next().unwrap()
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        let e = expr("a + b * c");
+        match e.kind {
+            ExprKind::Binary {
+                op: BinOp::Add,
+                rhs,
+                ..
+            } => {
+                assert!(matches!(
+                    rhs.kind,
+                    ExprKind::Binary {
+                        op: BinOp::MatMul,
+                        ..
+                    }
+                ));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unary_minus_binds_looser_than_power() {
+        // -2^2 parses as -(2^2).
+        let e = expr("-2^2");
+        match e.kind {
+            ExprKind::Unary {
+                op: UnOp::Neg,
+                operand,
+            } => {
+                assert!(matches!(
+                    operand.kind,
+                    ExprKind::Binary {
+                        op: BinOp::MatPow,
+                        ..
+                    }
+                ));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn signed_exponent() {
+        let e = expr("2^-1");
+        assert!(matches!(
+            e.kind,
+            ExprKind::Binary {
+                op: BinOp::MatPow,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn range_with_step() {
+        let e = expr("4:-1:1");
+        match e.kind {
+            ExprKind::Range { start, step, stop } => {
+                assert!(matches!(start.kind, ExprKind::Number(v) if v == 4.0));
+                assert!(step.is_some());
+                assert!(matches!(stop.kind, ExprKind::Number(v) if v == 1.0));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn range_binds_looser_than_add() {
+        // 1:n+1 is 1:(n+1).
+        let e = expr("1:n+1");
+        match e.kind {
+            ExprKind::Range { stop, .. } => {
+                assert!(matches!(stop.kind, ExprKind::Binary { op: BinOp::Add, .. }));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn comparison_of_ranges() {
+        let e = expr("x < 1:3");
+        assert!(matches!(e.kind, ExprKind::Binary { op: BinOp::Lt, .. }));
+    }
+
+    #[test]
+    fn apply_with_colon_and_end() {
+        let e = expr("a(:, end-1)");
+        match e.kind {
+            ExprKind::Apply { name, args } => {
+                assert_eq!(name, "a");
+                assert_eq!(args.len(), 2);
+                assert!(matches!(args[0].kind, ExprKind::Colon));
+                assert!(matches!(
+                    args[1].kind,
+                    ExprKind::Binary { op: BinOp::Sub, .. }
+                ));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn end_outside_index_is_error() {
+        assert!(parse_expr("end + 1").is_err());
+    }
+
+    #[test]
+    fn matrix_rows_and_whitespace() {
+        // `[1 -2; 3 4]` is a 2x2 with elements 1, -2 / 3, 4.
+        let e = expr("[1 -2; 3 4]");
+        match e.kind {
+            ExprKind::Matrix { rows } => {
+                assert_eq!(rows.len(), 2);
+                assert_eq!(rows[0].len(), 2);
+                assert!(matches!(
+                    rows[0][1].kind,
+                    ExprKind::Unary { op: UnOp::Neg, .. }
+                ));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        // `[1 - 2]` is a single element (subtraction).
+        let e2 = expr("[1 - 2]");
+        match e2.kind {
+            ExprKind::Matrix { rows } => {
+                assert_eq!(rows.len(), 1);
+                assert_eq!(rows[0].len(), 1);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn matrix_newline_separates_rows() {
+        let e = expr("[1 2\n3 4]");
+        match e.kind {
+            ExprKind::Matrix { rows } => assert_eq!(rows.len(), 2),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let e = expr("[]");
+        assert!(matches!(e.kind, ExprKind::Matrix { rows } if rows.is_empty()));
+    }
+
+    #[test]
+    fn transpose_chains() {
+        let e = expr("a'*b");
+        match e.kind {
+            ExprKind::Binary {
+                op: BinOp::MatMul,
+                lhs,
+                ..
+            } => {
+                assert!(matches!(
+                    lhs.kind,
+                    ExprKind::Unary {
+                        op: UnOp::CTranspose,
+                        ..
+                    }
+                ));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn assignment_forms() {
+        let s = stmt_of("x = 1;\n");
+        assert!(matches!(
+            s.kind,
+            StmtKind::Assign {
+                lhs: LValue::Var(_),
+                display: false,
+                ..
+            }
+        ));
+
+        let s2 = stmt_of("a(i, j) = v\n");
+        match s2.kind {
+            StmtKind::Assign {
+                lhs: LValue::Index { name, args },
+                display,
+                ..
+            } => {
+                assert_eq!(name, "a");
+                assert_eq!(args.len(), 2);
+                assert!(display);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multi_assignment() {
+        let s = stmt_of("[q, r] = qr_decomp(a);\n");
+        match s.kind {
+            StmtKind::MultiAssign {
+                lhss, func, args, ..
+            } => {
+                assert_eq!(lhss.len(), 2);
+                assert_eq!(func, "qr_decomp");
+                assert_eq!(args.len(), 1);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multi_assignment_with_ignore() {
+        let s = stmt_of("[~, n] = size(a);\n");
+        match s.kind {
+            StmtKind::MultiAssign { lhss, .. } => {
+                assert_eq!(lhss[0], LValue::Ignore);
+                assert_eq!(lhss[1], LValue::Var("n".into()));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn matrix_expr_stmt_is_not_multi_assign() {
+        let s = stmt_of("[1, 2];\n");
+        assert!(matches!(s.kind, StmtKind::ExprStmt { .. }));
+    }
+
+    #[test]
+    fn if_elseif_else() {
+        let s = stmt_of("if x < 1\n a = 1;\nelseif x < 2\n a = 2;\nelse\n a = 3;\nend\n");
+        match s.kind {
+            StmtKind::If { arms, else_body } => {
+                assert_eq!(arms.len(), 2);
+                assert!(else_body.is_some());
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn while_and_for() {
+        let s = stmt_of("while k < 10\n k = k + 1;\nend\n");
+        assert!(matches!(s.kind, StmtKind::While { .. }));
+
+        let s2 = stmt_of("for i = 1:n\n s = s + i;\nend\n");
+        match s2.kind {
+            StmtKind::For { var, iter, body } => {
+                assert_eq!(var, "i");
+                assert!(matches!(iter.kind, ExprKind::Range { .. }));
+                assert_eq!(body.len(), 1);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn function_forms() {
+        let f = parse_file("function r = area(w, h)\nr = w * h;\n").unwrap();
+        assert_eq!(f.functions.len(), 1);
+        let func = &f.functions[0];
+        assert_eq!(func.name, "area");
+        assert_eq!(func.outs, vec!["r"]);
+        assert_eq!(func.params, vec!["w", "h"]);
+
+        let f2 = parse_file("function [m, s] = stats(x)\nm = x;\ns = x;\n").unwrap();
+        assert_eq!(f2.functions[0].outs.len(), 2);
+
+        let f3 = parse_file("function go\nx = 1;\n").unwrap();
+        assert!(f3.functions[0].outs.is_empty());
+        assert!(f3.functions[0].params.is_empty());
+    }
+
+    #[test]
+    fn subfunctions() {
+        let src = "function y = f(x)\ny = g(x) + 1;\nend\nfunction y = g(x)\ny = 2 * x;\nend\n";
+        let f = parse_file(src).unwrap();
+        assert_eq!(f.functions.len(), 2);
+        assert_eq!(f.functions[1].name, "g");
+    }
+
+    #[test]
+    fn script_file() {
+        let f = parse_file("x = 1;\ny = x + 2;\ndisp(y);\n").unwrap();
+        assert!(f.functions.is_empty());
+        assert_eq!(f.script.len(), 3);
+    }
+
+    #[test]
+    fn program_assembly() {
+        let p = parse_program([
+            "function main_driver\nx = kernel(3);\n",
+            "function y = kernel(n)\ny = n * 2;\n",
+        ])
+        .unwrap();
+        assert_eq!(p.entry, "main_driver");
+        assert_eq!(p.functions.len(), 2);
+    }
+
+    #[test]
+    fn comma_separated_statements() {
+        let f = parse_file("a = 1, b = 2; c = 3\n").unwrap();
+        assert_eq!(f.script.len(), 3);
+        match &f.script[0].kind {
+            StmtKind::Assign { display, .. } => assert!(*display),
+            other => panic!("unexpected: {other:?}"),
+        }
+        match &f.script[1].kind {
+            StmtKind::Assign { display, .. } => assert!(!*display),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn break_continue_return() {
+        let f = parse_file("for i = 1:3\nif i > 1\nbreak\nend\ncontinue\nend\nreturn\n").unwrap();
+        assert_eq!(f.script.len(), 2);
+    }
+
+    #[test]
+    fn call_without_parens_stays_ident() {
+        // `x = size;` parses `size` as an identifier; lowering decides
+        // whether it is a zero-arg call.
+        let s = stmt_of("x = foo;\n");
+        match s.kind {
+            StmtKind::Assign { rhs, .. } => {
+                assert!(matches!(rhs.kind, ExprKind::Ident(_)));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nested_indexing_calls() {
+        let e = expr("a(b(i), c(j) + 1)");
+        match e.kind {
+            ExprKind::Apply { args, .. } => assert_eq!(args.len(), 2),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_error_reports_position() {
+        let err = parse_file("x = (1 + ;\n").unwrap_err();
+        assert!(err.render("x = (1 + ;\n").starts_with("1:"));
+    }
+
+    #[test]
+    fn logical_precedence() {
+        // a | b & c  parses as  a | (b & c)
+        let e = expr("a | b & c");
+        match e.kind {
+            ExprKind::Binary {
+                op: BinOp::Or, rhs, ..
+            } => {
+                assert!(matches!(rhs.kind, ExprKind::Binary { op: BinOp::And, .. }));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_subsasgn_rhs_parses() {
+        // Shrinkage syntax parses; lowering rejects it (paper §2.3.3).
+        let s = stmt_of("a(2) = [];\n");
+        match s.kind {
+            StmtKind::Assign { rhs, .. } => {
+                assert!(matches!(rhs.kind, ExprKind::Matrix { rows } if rows.is_empty()));
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,322 @@
+//! Pretty-printer: renders an AST back to MATLAB source.
+//!
+//! Used by tests (parse → print → parse round-trips) and by tools that
+//! want to show normalized benchmark sources.
+
+use crate::ast::*;
+use std::fmt::Write as _;
+
+/// Renders a whole source file.
+pub fn print_file(file: &SourceFile) -> String {
+    let mut out = String::new();
+    for stmt in &file.script {
+        print_stmt(&mut out, stmt, 0);
+    }
+    for f in &file.functions {
+        print_function(&mut out, f);
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a single function definition.
+pub fn print_function(out: &mut String, f: &Function) {
+    out.push_str("function ");
+    match f.outs.len() {
+        0 => {}
+        1 => {
+            let _ = write!(out, "{} = ", f.outs[0]);
+        }
+        _ => {
+            let _ = write!(out, "[{}] = ", f.outs.join(", "));
+        }
+    }
+    out.push_str(&f.name);
+    if !f.params.is_empty() {
+        let _ = write!(out, "({})", f.params.join(", "));
+    }
+    out.push('\n');
+    for stmt in &f.body {
+        print_stmt(out, stmt, 1);
+    }
+    out.push_str("end\n");
+}
+
+fn indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("  ");
+    }
+}
+
+/// Renders one statement at the given indentation level.
+pub fn print_stmt(out: &mut String, stmt: &Stmt, level: usize) {
+    indent(out, level);
+    match &stmt.kind {
+        StmtKind::Assign { lhs, rhs, display } => {
+            print_lvalue(out, lhs);
+            out.push_str(" = ");
+            print_expr(out, rhs);
+            out.push_str(if *display { "\n" } else { ";\n" });
+        }
+        StmtKind::MultiAssign {
+            lhss,
+            func,
+            args,
+            display,
+        } => {
+            out.push('[');
+            for (i, l) in lhss.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                print_lvalue(out, l);
+            }
+            let _ = write!(out, "] = {func}(");
+            print_args(out, args);
+            out.push(')');
+            out.push_str(if *display { "\n" } else { ";\n" });
+        }
+        StmtKind::ExprStmt { expr, display } => {
+            print_expr(out, expr);
+            out.push_str(if *display { "\n" } else { ";\n" });
+        }
+        StmtKind::If { arms, else_body } => {
+            for (i, (cond, body)) in arms.iter().enumerate() {
+                if i > 0 {
+                    indent(out, level);
+                }
+                out.push_str(if i == 0 { "if " } else { "elseif " });
+                print_expr(out, cond);
+                out.push('\n');
+                for s in body {
+                    print_stmt(out, s, level + 1);
+                }
+            }
+            if let Some(body) = else_body {
+                indent(out, level);
+                out.push_str("else\n");
+                for s in body {
+                    print_stmt(out, s, level + 1);
+                }
+            }
+            indent(out, level);
+            out.push_str("end\n");
+        }
+        StmtKind::While { cond, body } => {
+            out.push_str("while ");
+            print_expr(out, cond);
+            out.push('\n');
+            for s in body {
+                print_stmt(out, s, level + 1);
+            }
+            indent(out, level);
+            out.push_str("end\n");
+        }
+        StmtKind::For { var, iter, body } => {
+            let _ = write!(out, "for {var} = ");
+            print_expr(out, iter);
+            out.push('\n');
+            for s in body {
+                print_stmt(out, s, level + 1);
+            }
+            indent(out, level);
+            out.push_str("end\n");
+        }
+        StmtKind::Break => out.push_str("break\n"),
+        StmtKind::Continue => out.push_str("continue\n"),
+        StmtKind::Return => out.push_str("return\n"),
+    }
+}
+
+fn print_lvalue(out: &mut String, lv: &LValue) {
+    match lv {
+        LValue::Var(n) => out.push_str(n),
+        LValue::Index { name, args } => {
+            out.push_str(name);
+            out.push('(');
+            print_args(out, args);
+            out.push(')');
+        }
+        LValue::Ignore => out.push('~'),
+    }
+}
+
+fn print_args(out: &mut String, args: &[Expr]) {
+    for (i, a) in args.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        print_expr(out, a);
+    }
+}
+
+/// Renders an expression, fully parenthesizing compound subterms so the
+/// output re-parses with identical structure.
+pub fn print_expr(out: &mut String, e: &Expr) {
+    match &e.kind {
+        ExprKind::Number(v) => {
+            let _ = write!(out, "{v}");
+        }
+        ExprKind::ImagNumber(v) => {
+            let _ = write!(out, "{v}i");
+        }
+        ExprKind::Str(s) => {
+            let _ = write!(out, "'{}'", s.replace('\'', "''"));
+        }
+        ExprKind::Ident(n) => out.push_str(n),
+        ExprKind::End => out.push_str("end"),
+        ExprKind::Colon => out.push(':'),
+        ExprKind::Range { start, step, stop } => {
+            print_atomized(out, start);
+            out.push(':');
+            if let Some(s) = step {
+                print_atomized(out, s);
+                out.push(':');
+            }
+            print_atomized(out, stop);
+        }
+        ExprKind::Unary { op, operand } => match op {
+            UnOp::CTranspose | UnOp::Transpose => {
+                // A quote straight after a string literal's closing
+                // quote would re-lex as an escaped quote ('str'' …), so
+                // string operands are always parenthesized.
+                if matches!(operand.kind, ExprKind::Str(_)) {
+                    out.push('(');
+                    print_expr(out, operand);
+                    out.push(')');
+                } else {
+                    print_atomized(out, operand);
+                }
+                out.push_str(op.symbol());
+            }
+            _ => {
+                out.push_str(op.symbol());
+                print_atomized(out, operand);
+            }
+        },
+        ExprKind::Binary { op, lhs, rhs } => {
+            print_atomized(out, lhs);
+            let _ = write!(out, " {} ", op.symbol());
+            print_atomized(out, rhs);
+        }
+        ExprKind::Apply { name, args } => {
+            out.push_str(name);
+            out.push('(');
+            print_args(out, args);
+            out.push(')');
+        }
+        ExprKind::Matrix { rows } => {
+            out.push('[');
+            for (i, row) in rows.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("; ");
+                }
+                for (j, el) in row.iter().enumerate() {
+                    if j > 0 {
+                        out.push_str(", ");
+                    }
+                    print_expr(out, el);
+                }
+            }
+            out.push(']');
+        }
+    }
+}
+
+/// Prints `e` wrapped in parentheses when it is a compound expression.
+fn print_atomized(out: &mut String, e: &Expr) {
+    let atomic = matches!(
+        e.kind,
+        ExprKind::Number(_)
+            | ExprKind::ImagNumber(_)
+            | ExprKind::Str(_)
+            | ExprKind::Ident(_)
+            | ExprKind::End
+            | ExprKind::Colon
+            | ExprKind::Apply { .. }
+            | ExprKind::Matrix { .. }
+    );
+    if atomic {
+        print_expr(out, e);
+    } else {
+        out.push('(');
+        print_expr(out, e);
+        out.push(')');
+    }
+}
+
+/// Renders an expression to a fresh string.
+pub fn expr_to_string(e: &Expr) -> String {
+    let mut s = String::new();
+    print_expr(&mut s, e);
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_expr, parse_file};
+
+    fn round_trip_expr(src: &str) {
+        let e1 = parse_expr(src).unwrap();
+        let printed = expr_to_string(&e1);
+        let e2 = parse_expr(&printed).unwrap_or_else(|err| panic!("reparse `{printed}`: {err}"));
+        // Compare structurally, ignoring spans.
+        assert_eq!(
+            strip(&e1),
+            strip(&e2),
+            "round trip changed `{src}` -> `{printed}`"
+        );
+    }
+
+    fn strip(e: &Expr) -> String {
+        // A span-insensitive structural fingerprint.
+        format!("{:?}", Printable(e))
+    }
+
+    struct Printable<'a>(&'a Expr);
+    impl std::fmt::Debug for Printable<'_> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "{}", expr_to_string(self.0))
+        }
+    }
+
+    #[test]
+    fn expr_round_trips() {
+        for src in [
+            "a + b * c",
+            "-2^2",
+            "x(1, end)",
+            "[1, 2; 3, 4]",
+            "a'",
+            "1:2:9",
+            "f(g(x), y) ./ z",
+            "~(a <= b) & c",
+            "'it''s'",
+            "2.5e-3 + 1i",
+        ] {
+            round_trip_expr(src);
+        }
+    }
+
+    #[test]
+    fn string_transpose_reparses() {
+        // `'str''` would re-lex as an escaped quote; the printer must
+        // parenthesize the string operand of a transpose.
+        round_trip_expr("('abc')'");
+        round_trip_expr("('it''s')' + 1");
+        let e = parse_expr("('abc')'").unwrap();
+        assert_eq!(expr_to_string(&e), "('abc')'");
+    }
+
+    #[test]
+    fn function_round_trips() {
+        let src = "function [m, s] = stats(x, n)\nm = sum(x) / n;\nif m > 0\ns = m;\nelse\ns = -m;\nend\n";
+        let f1 = parse_file(src).unwrap();
+        let printed = print_file(&f1);
+        let f2 = parse_file(&printed).unwrap();
+        assert_eq!(f1.functions.len(), f2.functions.len());
+        assert_eq!(f1.functions[0].outs, f2.functions[0].outs);
+        assert_eq!(f1.functions[0].body.len(), f2.functions[0].body.len());
+    }
+}

@@ -1,0 +1,140 @@
+//! Source locations.
+//!
+//! Every token and AST node carries a [`Span`] identifying the byte range
+//! it was parsed from, so diagnostics throughout the compiler can point at
+//! the offending MATLAB source.
+
+use std::fmt;
+
+/// A half-open byte range `[start, end)` into a source file.
+///
+/// # Examples
+///
+/// ```
+/// use matc_frontend::span::Span;
+///
+/// let s = Span::new(4, 9);
+/// assert_eq!(s.len(), 5);
+/// assert!(Span::new(0, 0).is_empty());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: u32,
+    /// Byte offset one past the last character.
+    pub end: u32,
+}
+
+impl Span {
+    /// Creates a span covering `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end`.
+    pub fn new(start: u32, end: u32) -> Self {
+        assert!(start <= end, "span start {start} exceeds end {end}");
+        Span { start, end }
+    }
+
+    /// A zero-width span at offset 0, used for synthesized nodes.
+    pub fn dummy() -> Self {
+        Span { start: 0, end: 0 }
+    }
+
+    /// The number of bytes covered.
+    pub fn len(&self) -> u32 {
+        self.end - self.start
+    }
+
+    /// Whether the span covers zero bytes.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    ///
+    /// ```
+    /// use matc_frontend::span::Span;
+    /// let a = Span::new(2, 5);
+    /// let b = Span::new(8, 11);
+    /// assert_eq!(a.merge(b), Span::new(2, 11));
+    /// ```
+    pub fn merge(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+/// A line/column position computed from a byte offset, for diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LineCol {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
+}
+
+/// Computes the 1-based line and column of byte `offset` within `src`.
+///
+/// Offsets past the end of `src` report the position just past the final
+/// character.
+///
+/// # Examples
+///
+/// ```
+/// use matc_frontend::span::{line_col, LineCol};
+/// let src = "a = 1;\nb = 2;";
+/// assert_eq!(line_col(src, 0), LineCol { line: 1, col: 1 });
+/// assert_eq!(line_col(src, 7), LineCol { line: 2, col: 1 });
+/// ```
+pub fn line_col(src: &str, offset: u32) -> LineCol {
+    let offset = (offset as usize).min(src.len());
+    let mut line = 1;
+    let mut col = 1;
+    for b in src.as_bytes()[..offset].iter() {
+        if *b == b'\n' {
+            line += 1;
+            col = 1;
+        } else {
+            col += 1;
+        }
+    }
+    LineCol { line, col }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_is_commutative() {
+        let a = Span::new(1, 4);
+        let b = Span::new(3, 10);
+        assert_eq!(a.merge(b), b.merge(a));
+        assert_eq!(a.merge(b), Span::new(1, 10));
+    }
+
+    #[test]
+    fn line_col_tracks_newlines() {
+        let src = "xy\nabc\n";
+        assert_eq!(line_col(src, 1), LineCol { line: 1, col: 2 });
+        assert_eq!(line_col(src, 3), LineCol { line: 2, col: 1 });
+        assert_eq!(line_col(src, 6), LineCol { line: 2, col: 4 });
+        // Past the end clamps.
+        assert_eq!(line_col(src, 99), LineCol { line: 3, col: 1 });
+    }
+
+    #[test]
+    #[should_panic(expected = "span start")]
+    fn invalid_span_panics() {
+        let _ = Span::new(5, 2);
+    }
+}

@@ -1,0 +1,251 @@
+//! Token definitions for the MATLAB lexer.
+
+use crate::span::Span;
+use std::fmt;
+
+/// The kind of a lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// An identifier such as `x` or `my_fun`.
+    Ident(String),
+    /// A numeric literal, e.g. `3`, `2.5`, `1e-3`.
+    Number(f64),
+    /// An imaginary numeric literal, e.g. `2i`, `1.5j`.
+    ImagNumber(f64),
+    /// A single-quoted character string, e.g. `'hello'`.
+    Str(String),
+
+    /// `function`
+    Function,
+    /// `if`
+    If,
+    /// `elseif`
+    Elseif,
+    /// `else`
+    Else,
+    /// `for`
+    For,
+    /// `while`
+    While,
+    /// `break`
+    Break,
+    /// `continue`
+    Continue,
+    /// `return`
+    Return,
+    /// `end` (block terminator and index keyword)
+    End,
+
+    // Operators.
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `\` (left division)
+    Backslash,
+    /// `^`
+    Caret,
+    /// `.*`
+    DotStar,
+    /// `./`
+    DotSlash,
+    /// `.\`
+    DotBackslash,
+    /// `.^`
+    DotCaret,
+    /// `'` (complex conjugate transpose)
+    Transpose,
+    /// `.'` (plain transpose)
+    DotTranspose,
+    /// `==`
+    EqEq,
+    /// `~=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&`
+    Amp,
+    /// `|`
+    Pipe,
+    /// `&&`
+    AmpAmp,
+    /// `||`
+    PipePipe,
+    /// `~`
+    Tilde,
+    /// `=`
+    Assign,
+    /// `:`
+    Colon,
+
+    // Punctuation.
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// A line break that terminates a statement.
+    Newline,
+
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Whether this token may directly precede a transpose operator
+    /// (i.e. a `'` after it is transpose, not the start of a string).
+    pub fn allows_postfix_quote(&self) -> bool {
+        matches!(
+            self,
+            TokenKind::Ident(_)
+                | TokenKind::Number(_)
+                | TokenKind::ImagNumber(_)
+                | TokenKind::Str(_)
+                | TokenKind::RParen
+                | TokenKind::RBracket
+                | TokenKind::Transpose
+                | TokenKind::DotTranspose
+                | TokenKind::End
+        )
+    }
+
+    /// A short human-readable name used in error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => format!("identifier `{s}`"),
+            TokenKind::Number(n) => format!("number `{n}`"),
+            TokenKind::ImagNumber(n) => format!("imaginary number `{n}i`"),
+            TokenKind::Str(s) => format!("string '{s}'"),
+            TokenKind::Function => "`function`".into(),
+            TokenKind::If => "`if`".into(),
+            TokenKind::Elseif => "`elseif`".into(),
+            TokenKind::Else => "`else`".into(),
+            TokenKind::For => "`for`".into(),
+            TokenKind::While => "`while`".into(),
+            TokenKind::Break => "`break`".into(),
+            TokenKind::Continue => "`continue`".into(),
+            TokenKind::Return => "`return`".into(),
+            TokenKind::End => "`end`".into(),
+            TokenKind::Plus => "`+`".into(),
+            TokenKind::Minus => "`-`".into(),
+            TokenKind::Star => "`*`".into(),
+            TokenKind::Slash => "`/`".into(),
+            TokenKind::Backslash => "`\\`".into(),
+            TokenKind::Caret => "`^`".into(),
+            TokenKind::DotStar => "`.*`".into(),
+            TokenKind::DotSlash => "`./`".into(),
+            TokenKind::DotBackslash => "`.\\`".into(),
+            TokenKind::DotCaret => "`.^`".into(),
+            TokenKind::Transpose => "`'`".into(),
+            TokenKind::DotTranspose => "`.'`".into(),
+            TokenKind::EqEq => "`==`".into(),
+            TokenKind::NotEq => "`~=`".into(),
+            TokenKind::Lt => "`<`".into(),
+            TokenKind::Le => "`<=`".into(),
+            TokenKind::Gt => "`>`".into(),
+            TokenKind::Ge => "`>=`".into(),
+            TokenKind::Amp => "`&`".into(),
+            TokenKind::Pipe => "`|`".into(),
+            TokenKind::AmpAmp => "`&&`".into(),
+            TokenKind::PipePipe => "`||`".into(),
+            TokenKind::Tilde => "`~`".into(),
+            TokenKind::Assign => "`=`".into(),
+            TokenKind::Colon => "`:`".into(),
+            TokenKind::LParen => "`(`".into(),
+            TokenKind::RParen => "`)`".into(),
+            TokenKind::LBracket => "`[`".into(),
+            TokenKind::RBracket => "`]`".into(),
+            TokenKind::Comma => "`,`".into(),
+            TokenKind::Semi => "`;`".into(),
+            TokenKind::Newline => "end of line".into(),
+            TokenKind::Eof => "end of input".into(),
+        }
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.describe())
+    }
+}
+
+/// A lexical token: a [`TokenKind`] plus the [`Span`] it was read from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// Where in the source it appeared.
+    pub span: Span,
+    /// Whether whitespace (or a comment) immediately preceded this token.
+    ///
+    /// MATLAB matrix literals are whitespace-sensitive: `[1 -2]` is a
+    /// two-element row while `[1 - 2]` is a subtraction. The parser uses
+    /// this flag to disambiguate.
+    pub space_before: bool,
+}
+
+impl Token {
+    /// Creates a token with no preceding whitespace.
+    pub fn new(kind: TokenKind, span: Span) -> Self {
+        Token {
+            kind,
+            span,
+            space_before: false,
+        }
+    }
+}
+
+/// Maps an identifier to its keyword token, if it is a reserved word.
+pub fn keyword(ident: &str) -> Option<TokenKind> {
+    Some(match ident {
+        "function" => TokenKind::Function,
+        "if" => TokenKind::If,
+        "elseif" => TokenKind::Elseif,
+        "else" => TokenKind::Else,
+        "for" => TokenKind::For,
+        "while" => TokenKind::While,
+        "break" => TokenKind::Break,
+        "continue" => TokenKind::Continue,
+        "return" => TokenKind::Return,
+        "end" => TokenKind::End,
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_round_trip() {
+        assert_eq!(keyword("for"), Some(TokenKind::For));
+        assert_eq!(keyword("forx"), None);
+        assert_eq!(keyword("End"), None, "keywords are case-sensitive");
+    }
+
+    #[test]
+    fn postfix_quote_context() {
+        assert!(TokenKind::Ident("a".into()).allows_postfix_quote());
+        assert!(TokenKind::RParen.allows_postfix_quote());
+        assert!(!TokenKind::Assign.allows_postfix_quote());
+        assert!(!TokenKind::Comma.allows_postfix_quote());
+        assert!(!TokenKind::LBracket.allows_postfix_quote());
+    }
+}

@@ -1,0 +1,32 @@
+//! The pretty-printer round-trips every benchmark of the suite: parse,
+//! print, reparse — structure must survive (spans aside).
+
+use matc_frontend::parser::parse_file;
+use matc_frontend::printer::print_file;
+
+#[test]
+fn all_benchmark_sources_round_trip() {
+    for bench in matc_benchsuite::all() {
+        for (src, name) in bench
+            .sources(matc_benchsuite::Preset::Test)
+            .iter()
+            .zip(bench.file_names())
+        {
+            let f1 = parse_file(src).unwrap_or_else(|e| panic!("{name}: {}", e.render(src)));
+            let printed = print_file(&f1);
+            let f2 = parse_file(&printed)
+                .unwrap_or_else(|e| panic!("{name} reprint: {}\n{printed}", e.render(&printed)));
+            assert_eq!(
+                f1.functions.len(),
+                f2.functions.len(),
+                "{name}: function count changed"
+            );
+            for (a, b) in f1.functions.iter().zip(&f2.functions) {
+                assert_eq!(a.name, b.name, "{name}");
+                assert_eq!(a.params, b.params, "{name}");
+                assert_eq!(a.outs, b.outs, "{name}");
+                assert_eq!(a.body.len(), b.body.len(), "{name}: {}", a.name);
+            }
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! Parse-error quality: failures carry the right location and a message
+//! a user can act on. These are the diagnostics mcc/mat2c users see
+//! first, so they are pinned like behavior.
+
+use matc_frontend::parser::parse_file;
+
+#[test]
+fn unterminated_string() {
+    match parse_file("x = 'abc;\n") {
+        Err(e) => assert!(e.render("x = 'abc;\n").contains("unterminated")),
+        Ok(_) => panic!("accepted unterminated string"),
+    }
+}
+
+#[test]
+fn missing_end_keyword() {
+    let src = "if x > 0\ny = 1;\n";
+    assert!(parse_file(src).is_err());
+}
+
+#[test]
+fn unbalanced_parens() {
+    assert!(parse_file("x = (1 + 2;\n").is_err());
+    assert!(parse_file("x = [1 2;\n").is_err());
+    assert!(parse_file("x = a(1, 2;\n").is_err());
+}
+
+#[test]
+fn error_location_points_at_offender() {
+    // The error span should be on line 3 where the bad token sits.
+    let src = "x = 1;\ny = 2;\nz = @@;\n";
+    match parse_file(src) {
+        Err(e) => {
+            let rendered = e.render(src);
+            assert!(rendered.contains("3:"), "wrong line in: {rendered}");
+        }
+        Ok(_) => panic!("accepted @@"),
+    }
+}
+
+#[test]
+fn incomplete_expression() {
+    assert!(parse_file("x = 1 +;\n").is_err());
+    assert!(parse_file("x = * 2;\n").is_err());
+}
+
+#[test]
+fn reserved_structure_misuse() {
+    assert!(parse_file("end = 3;\n").is_err(), "end as lvalue");
+    assert!(parse_file("for = 3;\n").is_err(), "for as lvalue");
+}

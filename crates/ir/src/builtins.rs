@@ -1,0 +1,320 @@
+//! The builtin function vocabulary shared by lowering, type inference,
+//! the GCTD pass, the VMs and the C backend.
+
+use std::fmt;
+
+/// A MATLAB builtin recognized by the compiler.
+///
+/// The set covers everything the PLDI 2003 benchmark suite uses plus two
+/// internal helpers (`RangeCount`, `IsTrue`) introduced by lowering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Builtin {
+    /// `zeros(...)` — array of zeros.
+    Zeros,
+    /// `ones(...)` — array of ones.
+    Ones,
+    /// `eye(...)` — identity matrix.
+    Eye,
+    /// `rand(...)` — uniform random array.
+    Rand,
+    /// `size(a)` / `size(a, d)` — array extents.
+    Size,
+    /// `length(a)` — largest extent.
+    Length,
+    /// `numel(a)` — element count.
+    Numel,
+    /// `ndims(a)` — dimensionality.
+    Ndims,
+    /// `disp(x)` — display without the variable name.
+    Disp,
+    /// `fprintf(fmt, ...)` — formatted output.
+    Fprintf,
+    /// `sqrt(x)` — elementwise square root (complex for negatives).
+    Sqrt,
+    /// `abs(x)` — elementwise magnitude.
+    Abs,
+    /// `sin(x)`
+    Sin,
+    /// `cos(x)`
+    Cos,
+    /// `tan(x)`
+    Tan,
+    /// `atan(x)`
+    Atan,
+    /// `atan2(y, x)`
+    Atan2,
+    /// `exp(x)`
+    Exp,
+    /// `log(x)` — natural log (complex for negatives).
+    Log,
+    /// `floor(x)`
+    Floor,
+    /// `ceil(x)`
+    Ceil,
+    /// `round(x)`
+    Round,
+    /// `fix(x)` — truncation toward zero.
+    Fix,
+    /// `mod(a, b)`
+    Mod,
+    /// `rem(a, b)`
+    Rem,
+    /// `max(a)` / `max(a, b)` — reduction or elementwise maximum.
+    Max,
+    /// `min(a)` / `min(a, b)`
+    Min,
+    /// `sum(a)` — column (or vector) sum.
+    Sum,
+    /// `prod(a)` — column (or vector) product.
+    Prod,
+    /// `mean(a)` — column (or vector) mean.
+    Mean,
+    /// `norm(a)` — 2-norm of a vector, Frobenius norm of a matrix.
+    Norm,
+    /// `real(x)`
+    Real,
+    /// `imag(x)`
+    Imag,
+    /// `conj(x)`
+    Conj,
+    /// `isempty(a)`
+    IsEmpty,
+    /// `any(a)`
+    Any,
+    /// `all(a)`
+    All,
+    /// `sign(x)`
+    Sign,
+    /// `linspace(a, b, n)`
+    Linspace,
+    /// `pi` — the constant π.
+    Pi,
+    /// `Inf` / `inf`
+    Inf,
+    /// `eps` — double-precision machine epsilon.
+    Eps,
+    /// `NaN` / `nan`
+    NaN,
+    /// `error(msg)` — abort execution with a message.
+    ErrorFn,
+    /// Internal: `range_count(start, step, stop)` — `for`-loop trip count.
+    RangeCount,
+    /// Internal: `istrue(x)` — MATLAB `if` truth (all elements nonzero,
+    /// nonempty), producing a scalar boolean.
+    IsTrue,
+    /// Internal: `loop_index(start, step, stop, k)` — the value of a
+    /// `for`-range variable at (1-based) iteration `k`. Carrying the
+    /// range endpoints lets type inference bound the variable by the
+    /// loop bounds, the way MAGICA bounds induction variables.
+    LoopIndex,
+}
+
+impl Builtin {
+    /// Resolves a source-level name to a builtin.
+    pub fn from_name(name: &str) -> Option<Builtin> {
+        use Builtin::*;
+        Some(match name {
+            "zeros" => Zeros,
+            "ones" => Ones,
+            "eye" => Eye,
+            "rand" => Rand,
+            "size" => Size,
+            "length" => Length,
+            "numel" => Numel,
+            "ndims" => Ndims,
+            "disp" => Disp,
+            "fprintf" => Fprintf,
+            "sqrt" => Sqrt,
+            "abs" => Abs,
+            "sin" => Sin,
+            "cos" => Cos,
+            "tan" => Tan,
+            "atan" => Atan,
+            "atan2" => Atan2,
+            "exp" => Exp,
+            "log" => Log,
+            "floor" => Floor,
+            "ceil" => Ceil,
+            "round" => Round,
+            "fix" => Fix,
+            "mod" => Mod,
+            "rem" => Rem,
+            "max" => Max,
+            "min" => Min,
+            "sum" => Sum,
+            "prod" => Prod,
+            "mean" => Mean,
+            "norm" => Norm,
+            "real" => Real,
+            "imag" => Imag,
+            "conj" => Conj,
+            "isempty" => IsEmpty,
+            "any" => Any,
+            "all" => All,
+            "sign" => Sign,
+            "linspace" => Linspace,
+            "pi" => Pi,
+            "inf" | "Inf" => Inf,
+            "eps" => Eps,
+            "nan" | "NaN" => NaN,
+            "error" => ErrorFn,
+            _ => return None,
+        })
+    }
+
+    /// The canonical source spelling.
+    pub fn name(self) -> &'static str {
+        use Builtin::*;
+        match self {
+            Zeros => "zeros",
+            Ones => "ones",
+            Eye => "eye",
+            Rand => "rand",
+            Size => "size",
+            Length => "length",
+            Numel => "numel",
+            Ndims => "ndims",
+            Disp => "disp",
+            Fprintf => "fprintf",
+            Sqrt => "sqrt",
+            Abs => "abs",
+            Sin => "sin",
+            Cos => "cos",
+            Tan => "tan",
+            Atan => "atan",
+            Atan2 => "atan2",
+            Exp => "exp",
+            Log => "log",
+            Floor => "floor",
+            Ceil => "ceil",
+            Round => "round",
+            Fix => "fix",
+            Mod => "mod",
+            Rem => "rem",
+            Max => "max",
+            Min => "min",
+            Sum => "sum",
+            Prod => "prod",
+            Mean => "mean",
+            Norm => "norm",
+            Real => "real",
+            Imag => "imag",
+            Conj => "conj",
+            IsEmpty => "isempty",
+            Any => "any",
+            All => "all",
+            Sign => "sign",
+            Linspace => "linspace",
+            Pi => "pi",
+            Inf => "Inf",
+            Eps => "eps",
+            NaN => "NaN",
+            ErrorFn => "error",
+            RangeCount => "range_count",
+            IsTrue => "istrue",
+            LoopIndex => "loop_index",
+        }
+    }
+
+    /// Whether the builtin maps elements independently, so its result has
+    /// the shape of its (non-scalar) argument and may be computed in place
+    /// in that argument (GCTD §2.3).
+    pub fn is_elementwise_map(self) -> bool {
+        use Builtin::*;
+        matches!(
+            self,
+            Sqrt | Abs
+                | Sin
+                | Cos
+                | Tan
+                | Atan
+                | Exp
+                | Log
+                | Floor
+                | Ceil
+                | Round
+                | Fix
+                | Real
+                | Imag
+                | Conj
+                | Sign
+        )
+    }
+
+    /// Whether the builtin always produces a scalar.
+    pub fn is_scalar_valued(self) -> bool {
+        use Builtin::*;
+        matches!(
+            self,
+            Length
+                | Numel
+                | Ndims
+                | Norm
+                | IsEmpty
+                | Pi
+                | Inf
+                | Eps
+                | NaN
+                | RangeCount
+                | IsTrue
+                | LoopIndex
+        )
+    }
+
+    /// Whether the builtin only performs I/O or control effects (its
+    /// "result", if requested, is empty).
+    pub fn is_effect(self) -> bool {
+        matches!(self, Builtin::Disp | Builtin::Fprintf | Builtin::ErrorFn)
+    }
+
+    /// Whether calls to this builtin may be removed when their result is
+    /// unused (pure) — dead-code elimination consults this.
+    pub fn is_pure(self) -> bool {
+        // `rand` advances the RNG stream; removing dead calls would change
+        // subsequent draws, so it is kept. Everything non-effect is pure.
+        !self.is_effect() && self != Builtin::Rand
+    }
+}
+
+impl fmt::Display for Builtin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for b in [
+            Builtin::Zeros,
+            Builtin::Fprintf,
+            Builtin::Sum,
+            Builtin::Pi,
+            Builtin::ErrorFn,
+        ] {
+            assert_eq!(Builtin::from_name(b.name()), Some(b));
+        }
+        assert_eq!(Builtin::from_name("no_such_fn"), None);
+    }
+
+    #[test]
+    fn internal_helpers_are_not_source_names() {
+        // range_count/istrue/loop_index are synthesized by lowering.
+        assert_eq!(Builtin::from_name("range_count"), None);
+        assert_eq!(Builtin::from_name("istrue"), None);
+        assert_eq!(Builtin::from_name("loop_index"), None);
+    }
+
+    #[test]
+    fn classification() {
+        assert!(Builtin::Sqrt.is_elementwise_map());
+        assert!(!Builtin::Sum.is_elementwise_map());
+        assert!(Builtin::Numel.is_scalar_valued());
+        assert!(Builtin::Disp.is_effect());
+        assert!(!Builtin::Rand.is_pure());
+        assert!(Builtin::Zeros.is_pure());
+    }
+}

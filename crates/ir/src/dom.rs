@@ -1,0 +1,260 @@
+//! Dominator tree and dominance frontiers.
+//!
+//! Implements Cooper, Harvey & Kennedy, *A Simple, Fast Dominance
+//! Algorithm* — the standard engineering choice for CFGs of this size —
+//! plus the dominance-frontier computation from the same paper, which
+//! drives φ-placement in SSA construction.
+
+use crate::cfg::FuncIr;
+use crate::ids::BlockId;
+
+/// The dominance information of one function.
+#[derive(Debug, Clone)]
+pub struct DomTree {
+    /// Immediate dominator of each block (`idom[entry] == entry`);
+    /// `None` for unreachable blocks.
+    idom: Vec<Option<BlockId>>,
+    /// Children in the dominator tree.
+    children: Vec<Vec<BlockId>>,
+    /// Dominance frontier of each block.
+    frontier: Vec<Vec<BlockId>>,
+    /// Reverse postorder of reachable blocks.
+    rpo: Vec<BlockId>,
+    /// rpo position of each block (usize::MAX for unreachable).
+    rpo_pos: Vec<usize>,
+}
+
+impl DomTree {
+    /// Computes dominators and dominance frontiers for `func`.
+    pub fn compute(func: &FuncIr) -> DomTree {
+        let n = func.blocks.len();
+        let rpo = func.reverse_postorder();
+        let mut rpo_pos = vec![usize::MAX; n];
+        for (i, b) in rpo.iter().enumerate() {
+            rpo_pos[b.index()] = i;
+        }
+        let preds = func.predecessors();
+
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        idom[func.entry.index()] = Some(func.entry);
+
+        // Iterate to a fixed point over reverse postorder.
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                let mut new_idom: Option<BlockId> = None;
+                for &p in &preds[b.index()] {
+                    if idom[p.index()].is_none() {
+                        continue; // not yet processed / unreachable
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, &rpo_pos, p, cur),
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom[b.index()] != Some(ni) {
+                        idom[b.index()] = Some(ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+
+        let mut children = vec![Vec::new(); n];
+        for &b in &rpo {
+            if b != func.entry {
+                if let Some(d) = idom[b.index()] {
+                    children[d.index()].push(b);
+                }
+            }
+        }
+
+        // Dominance frontiers (CHK): for each join point, walk up from
+        // each predecessor to the idom, adding the join to frontiers.
+        let mut frontier = vec![Vec::new(); n];
+        for &b in &rpo {
+            if preds[b.index()].len() >= 2 {
+                for &p in &preds[b.index()] {
+                    if idom[p.index()].is_none() {
+                        continue;
+                    }
+                    let mut runner = p;
+                    while Some(runner) != idom[b.index()] {
+                        if !frontier[runner.index()].contains(&b) {
+                            frontier[runner.index()].push(b);
+                        }
+                        runner = match idom[runner.index()] {
+                            Some(r) => r,
+                            None => break,
+                        };
+                    }
+                }
+            }
+        }
+
+        DomTree {
+            idom,
+            children,
+            frontier,
+            rpo,
+            rpo_pos,
+        }
+    }
+
+    /// The immediate dominator of `b` (`b` itself for the entry), or
+    /// `None` for unreachable blocks.
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        self.idom[b.index()]
+    }
+
+    /// Dominator-tree children of `b`.
+    pub fn children(&self, b: BlockId) -> &[BlockId] {
+        &self.children[b.index()]
+    }
+
+    /// The dominance frontier of `b`.
+    pub fn frontier(&self, b: BlockId) -> &[BlockId] {
+        &self.frontier[b.index()]
+    }
+
+    /// Reachable blocks in reverse postorder.
+    pub fn rpo(&self) -> &[BlockId] {
+        &self.rpo
+    }
+
+    /// Whether `a` dominates `b` (reflexive).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        if self.rpo_pos[b.index()] == usize::MAX {
+            return false;
+        }
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom[cur.index()] {
+                Some(d) if d != cur => cur = d,
+                _ => return false,
+            }
+        }
+    }
+}
+
+fn intersect(
+    idom: &[Option<BlockId>],
+    rpo_pos: &[usize],
+    mut a: BlockId,
+    mut b: BlockId,
+) -> BlockId {
+    while a != b {
+        while rpo_pos[a.index()] > rpo_pos[b.index()] {
+            a = idom[a.index()].expect("processed block has idom");
+        }
+        while rpo_pos[b.index()] > rpo_pos[a.index()] {
+            b = idom[b.index()].expect("processed block has idom");
+        }
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::FuncIr;
+    use crate::instr::Terminator;
+
+    /// Builds the classic diamond: 0 -> {1, 2} -> 3.
+    fn diamond() -> FuncIr {
+        let mut f = FuncIr::new("g");
+        let b0 = f.entry;
+        let b1 = f.add_block();
+        let b2 = f.add_block();
+        let b3 = f.add_block();
+        let c = f.new_temp();
+        f.block_mut(b0).term = Terminator::Branch {
+            cond: c,
+            then_bb: b1,
+            else_bb: b2,
+        };
+        f.block_mut(b1).term = Terminator::Jump(b3);
+        f.block_mut(b2).term = Terminator::Jump(b3);
+        f
+    }
+
+    #[test]
+    fn diamond_dominators() {
+        let f = diamond();
+        let dt = DomTree::compute(&f);
+        let (b0, b1, b2, b3) = (
+            BlockId::new(0),
+            BlockId::new(1),
+            BlockId::new(2),
+            BlockId::new(3),
+        );
+        assert_eq!(dt.idom(b1), Some(b0));
+        assert_eq!(dt.idom(b2), Some(b0));
+        assert_eq!(dt.idom(b3), Some(b0), "join dominated by fork, not arms");
+        assert!(dt.dominates(b0, b3));
+        assert!(!dt.dominates(b1, b3));
+        assert!(dt.dominates(b2, b2), "dominance is reflexive");
+    }
+
+    #[test]
+    fn diamond_frontiers() {
+        let f = diamond();
+        let dt = DomTree::compute(&f);
+        let b3 = BlockId::new(3);
+        assert_eq!(dt.frontier(BlockId::new(1)), &[b3]);
+        assert_eq!(dt.frontier(BlockId::new(2)), &[b3]);
+        assert!(dt.frontier(BlockId::new(0)).is_empty());
+    }
+
+    /// Loop: 0 -> 1(header) -> {2(body), 3(exit)}, 2 -> 1.
+    fn simple_loop() -> FuncIr {
+        let mut f = FuncIr::new("g");
+        let b0 = f.entry;
+        let b1 = f.add_block();
+        let b2 = f.add_block();
+        let b3 = f.add_block();
+        let c = f.new_temp();
+        f.block_mut(b0).term = Terminator::Jump(b1);
+        f.block_mut(b1).term = Terminator::Branch {
+            cond: c,
+            then_bb: b2,
+            else_bb: b3,
+        };
+        f.block_mut(b2).term = Terminator::Jump(b1);
+        f
+    }
+
+    #[test]
+    fn loop_header_in_own_body_frontier() {
+        let f = simple_loop();
+        let dt = DomTree::compute(&f);
+        let b1 = BlockId::new(1);
+        // The body's frontier contains the header (back edge) and the
+        // header's own frontier contains itself.
+        assert!(dt.frontier(BlockId::new(2)).contains(&b1));
+        assert!(dt.frontier(b1).contains(&b1));
+        assert_eq!(dt.idom(BlockId::new(3)), Some(b1));
+    }
+
+    #[test]
+    fn unreachable_blocks_have_no_idom() {
+        let mut f = diamond();
+        let dead = f.add_block();
+        let dt = DomTree::compute(&f);
+        assert_eq!(dt.idom(dead), None);
+        assert!(!dt.dominates(BlockId::new(0), dead));
+    }
+
+    #[test]
+    fn dominator_tree_children_partition() {
+        let f = diamond();
+        let dt = DomTree::compute(&f);
+        let kids = dt.children(BlockId::new(0));
+        assert_eq!(kids.len(), 3, "b1, b2, b3 all idom'd by b0");
+    }
+}

@@ -1,0 +1,193 @@
+//! Index newtypes for IR entities.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Creates an id from a raw index.
+            pub fn new(idx: usize) -> Self {
+                $name(u32::try_from(idx).expect("id overflow"))
+            }
+
+            /// The raw index.
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifies a variable within one function's variable table.
+    VarId,
+    "v"
+);
+id_type!(
+    /// Identifies a basic block within one function.
+    BlockId,
+    "bb"
+);
+id_type!(
+    /// Identifies a function within a [`crate::cfg::IrProgram`].
+    FuncId,
+    "fn"
+);
+
+/// A dense map from an id type to values, backed by a `Vec`.
+///
+/// # Examples
+///
+/// ```
+/// use matc_ir::ids::{DenseMap, VarId};
+///
+/// let mut sizes: DenseMap<VarId, u64> = DenseMap::new();
+/// let v = VarId::new(0);
+/// sizes.insert(v, 16);
+/// assert_eq!(sizes[v], 16);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DenseMap<K, V> {
+    items: Vec<Option<V>>,
+    _marker: std::marker::PhantomData<K>,
+}
+
+impl<K, V> Default for DenseMap<K, V> {
+    fn default() -> Self {
+        DenseMap {
+            items: Vec::new(),
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+/// Types usable as [`DenseMap`] keys.
+pub trait DenseKey: Copy {
+    /// The key's dense index.
+    fn dense_index(self) -> usize;
+}
+
+impl DenseKey for VarId {
+    fn dense_index(self) -> usize {
+        self.index()
+    }
+}
+impl DenseKey for BlockId {
+    fn dense_index(self) -> usize {
+        self.index()
+    }
+}
+impl DenseKey for FuncId {
+    fn dense_index(self) -> usize {
+        self.index()
+    }
+}
+
+impl<K: DenseKey, V> DenseMap<K, V> {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        DenseMap {
+            items: Vec::new(),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Inserts `value` at `key`, growing the backing store as needed.
+    /// Returns the previous value, if any.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        let i = key.dense_index();
+        if i >= self.items.len() {
+            self.items.resize_with(i + 1, || None);
+        }
+        self.items[i].replace(value)
+    }
+
+    /// Looks up `key`.
+    pub fn get(&self, key: K) -> Option<&V> {
+        self.items.get(key.dense_index()).and_then(|v| v.as_ref())
+    }
+
+    /// Mutable lookup.
+    pub fn get_mut(&mut self, key: K) -> Option<&mut V> {
+        self.items
+            .get_mut(key.dense_index())
+            .and_then(|v| v.as_mut())
+    }
+
+    /// Whether `key` has a value.
+    pub fn contains(&self, key: K) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Removes and returns the value at `key`.
+    pub fn remove(&mut self, key: K) -> Option<V> {
+        self.items.get_mut(key.dense_index()).and_then(|v| v.take())
+    }
+
+    /// Iterates over present `(index, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &V)> {
+        self.items
+            .iter()
+            .enumerate()
+            .filter_map(|(i, v)| v.as_ref().map(|v| (i, v)))
+    }
+
+    /// The number of present entries.
+    pub fn len(&self) -> usize {
+        self.items.iter().filter(|v| v.is_some()).count()
+    }
+
+    /// Whether no entries are present.
+    pub fn is_empty(&self) -> bool {
+        self.items.iter().all(|v| v.is_none())
+    }
+}
+
+impl<K: DenseKey, V> std::ops::Index<K> for DenseMap<K, V> {
+    type Output = V;
+
+    fn index(&self, key: K) -> &V {
+        self.get(key).expect("missing key in DenseMap")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_display() {
+        assert_eq!(VarId::new(3).to_string(), "v3");
+        assert_eq!(BlockId::new(0).to_string(), "bb0");
+        assert_eq!(format!("{:?}", FuncId::new(7)), "fn7");
+    }
+
+    #[test]
+    fn dense_map_grows() {
+        let mut m: DenseMap<VarId, &str> = DenseMap::new();
+        assert!(m.is_empty());
+        m.insert(VarId::new(5), "five");
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.get(VarId::new(5)), Some(&"five"));
+        assert_eq!(m.get(VarId::new(2)), None);
+        assert_eq!(m.insert(VarId::new(5), "FIVE"), Some("five"));
+        assert_eq!(m.remove(VarId::new(5)), Some("FIVE"));
+        assert!(m.is_empty());
+    }
+}

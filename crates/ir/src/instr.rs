@@ -1,0 +1,407 @@
+//! Single-operator (SO) form instructions.
+//!
+//! Every assignment carries at most one MATLAB operation on its right-hand
+//! side (§2.3 of the paper); the AST lowering introduces temporaries to
+//! reach this form, and code generation / the VMs map each instruction to
+//! one runtime operation.
+
+use crate::builtins::Builtin;
+use crate::ids::{BlockId, VarId};
+use matc_frontend::ast::{BinOp, UnOp};
+use matc_frontend::span::Span;
+use std::fmt;
+
+/// A compile-time constant.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Const {
+    /// A real scalar.
+    Num(f64),
+    /// An imaginary scalar (`Imag(2.0)` is `2i`).
+    Imag(f64),
+    /// A character row vector.
+    Str(String),
+    /// The empty array `[]`.
+    Empty,
+    /// A logical scalar (produced by constant folding of comparisons).
+    Bool(bool),
+}
+
+impl fmt::Display for Const {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Const::Num(v) => write!(f, "{v}"),
+            Const::Imag(v) => write!(f, "{v}i"),
+            Const::Str(s) => write!(f, "'{s}'"),
+            Const::Empty => write!(f, "[]"),
+            Const::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+/// An instruction operand: a variable or the magic colon subscript.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// A variable reference.
+    Var(VarId),
+    /// The `:` subscript (whole dimension); legal only as a subscript of
+    /// `subsref`/`subsasgn`.
+    ColonAll,
+}
+
+impl Operand {
+    /// The variable, if this operand is one.
+    pub fn as_var(self) -> Option<VarId> {
+        match self {
+            Operand::Var(v) => Some(v),
+            Operand::ColonAll => None,
+        }
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Var(v) => write!(f, "{v}"),
+            Operand::ColonAll => write!(f, ":"),
+        }
+    }
+}
+
+/// The single operation an SO-form assignment may carry.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// A binary MATLAB operator (short-circuit forms are lowered to
+    /// control flow and never appear here).
+    Bin(BinOp),
+    /// A unary MATLAB operator.
+    Un(UnOp),
+    /// `subsref(a, i1, ..., im)` — right-hand side indexing. The first
+    /// operand is the array, the rest are subscripts (vars or `:`).
+    Subsref,
+    /// `b = subsasgn(a, r, l1, ..., lm)` — left-hand side indexing in SSA
+    /// form. Operand 0 is the old array `a`, operand 1 the value `r`, the
+    /// rest are subscripts.
+    Subsasgn,
+    /// `start:stop` (operands: start, stop).
+    Range2,
+    /// `start:step:stop` (operands: start, step, stop).
+    Range3,
+    /// Matrix build `[...]`; `rows[k]` is the number of elements in row
+    /// `k` and operands are the elements in row-major source order.
+    MatrixBuild {
+        /// Elements per row.
+        rows: Vec<usize>,
+    },
+    /// A builtin call.
+    Builtin(Builtin),
+    /// A call to a user-defined function (resolved by name; the IR
+    /// program's function table owns the mapping).
+    Call(String),
+}
+
+impl Op {
+    /// A display name for dumps.
+    pub fn mnemonic(&self) -> String {
+        match self {
+            Op::Bin(b) => format!("bin[{}]", b.symbol()),
+            Op::Un(u) => format!("un[{}]", u.symbol()),
+            Op::Subsref => "subsref".into(),
+            Op::Subsasgn => "subsasgn".into(),
+            Op::Range2 => "range".into(),
+            Op::Range3 => "range3".into(),
+            Op::MatrixBuild { rows } => format!("matrix{rows:?}"),
+            Op::Builtin(b) => b.name().into(),
+            Op::Call(name) => format!("call {name}"),
+        }
+    }
+}
+
+/// One IR instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Instr {
+    /// The instruction payload.
+    pub kind: InstrKind,
+    /// Source location for diagnostics.
+    pub span: Span,
+}
+
+impl Instr {
+    /// Creates an instruction.
+    pub fn new(kind: InstrKind, span: Span) -> Self {
+        Instr { kind, span }
+    }
+
+    /// The variables defined by this instruction, in order.
+    pub fn defs(&self) -> Vec<VarId> {
+        match &self.kind {
+            InstrKind::Const { dst, .. }
+            | InstrKind::Copy { dst, .. }
+            | InstrKind::Compute { dst, .. }
+            | InstrKind::Phi { dst, .. } => vec![*dst],
+            InstrKind::CallMulti { dsts, .. } => dsts.clone(),
+            InstrKind::Display { .. } | InstrKind::Effect { .. } => vec![],
+        }
+    }
+
+    /// The variables used by this instruction.
+    pub fn uses(&self) -> Vec<VarId> {
+        match &self.kind {
+            InstrKind::Const { .. } => vec![],
+            InstrKind::Copy { src, .. } => vec![*src],
+            InstrKind::Compute { args, .. } => args.iter().filter_map(|o| o.as_var()).collect(),
+            InstrKind::Phi { args, .. } => args.iter().map(|(_, v)| *v).collect(),
+            InstrKind::CallMulti { args, .. } => args.iter().filter_map(|o| o.as_var()).collect(),
+            InstrKind::Display { value, .. } => vec![*value],
+            InstrKind::Effect { args, .. } => args.iter().filter_map(|o| o.as_var()).collect(),
+        }
+    }
+
+    /// Rewrites every used variable through `f` (definitions untouched).
+    pub fn map_uses(&mut self, mut f: impl FnMut(VarId) -> VarId) {
+        match &mut self.kind {
+            InstrKind::Const { .. } => {}
+            InstrKind::Copy { src, .. } => *src = f(*src),
+            InstrKind::Compute { args, .. }
+            | InstrKind::CallMulti { args, .. }
+            | InstrKind::Effect { args, .. } => {
+                for a in args {
+                    if let Operand::Var(v) = a {
+                        *v = f(*v);
+                    }
+                }
+            }
+            InstrKind::Phi { args, .. } => {
+                for (_, v) in args {
+                    *v = f(*v);
+                }
+            }
+            InstrKind::Display { value, .. } => *value = f(*value),
+        }
+    }
+
+    /// Whether this is a φ-instruction.
+    pub fn is_phi(&self) -> bool {
+        matches!(self.kind, InstrKind::Phi { .. })
+    }
+
+    /// Whether the instruction has observable effects beyond defining its
+    /// destinations (I/O, RNG state, run-time errors from user calls).
+    pub fn has_side_effects(&self) -> bool {
+        match &self.kind {
+            InstrKind::Display { .. } | InstrKind::Effect { .. } => true,
+            InstrKind::Compute { op, .. } => match op {
+                Op::Builtin(b) => !b.is_pure(),
+                // A user call may perform I/O; calls are never deleted.
+                Op::Call(_) => true,
+                _ => false,
+            },
+            InstrKind::CallMulti { .. } => true,
+            _ => false,
+        }
+    }
+}
+
+/// Instruction payloads.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InstrKind {
+    /// `dst <- constant`
+    Const {
+        /// Defined variable.
+        dst: VarId,
+        /// The constant value.
+        value: Const,
+    },
+    /// `dst <- src` — a copy. The copy-propagation pass removes most of
+    /// these before GCTD (§2.2).
+    Copy {
+        /// Defined variable.
+        dst: VarId,
+        /// Source variable.
+        src: VarId,
+    },
+    /// `dst <- op(args)` — the single-operator compute form.
+    Compute {
+        /// Defined variable.
+        dst: VarId,
+        /// The operation.
+        op: Op,
+        /// Operands (variables, plus `:` markers for subscripts).
+        args: Vec<Operand>,
+    },
+    /// `dst <- φ(pred₁: v₁, ..., predₖ: vₖ)`.
+    Phi {
+        /// Defined variable.
+        dst: VarId,
+        /// One incoming value per predecessor edge.
+        args: Vec<(BlockId, VarId)>,
+    },
+    /// `[d1, ..., dn] <- call f(args)` — multi-output user/builtin call.
+    CallMulti {
+        /// Defined variables.
+        dsts: Vec<VarId>,
+        /// Callee name (user function or builtin like `size`).
+        func: String,
+        /// Call arguments.
+        args: Vec<Operand>,
+    },
+    /// Echo `value` under the name `label` (a non-`;` statement).
+    Display {
+        /// The displayed variable.
+        value: VarId,
+        /// The variable name shown in the echo (`x = ...`).
+        label: String,
+    },
+    /// An effect-only builtin call (`disp`, `fprintf`, `error`).
+    Effect {
+        /// Which effect builtin.
+        builtin: Builtin,
+        /// Arguments.
+        args: Vec<Operand>,
+    },
+}
+
+/// A basic-block terminator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Terminator {
+    /// Unconditional jump.
+    Jump(BlockId),
+    /// Two-way branch on a scalar boolean variable.
+    Branch {
+        /// The condition (produced by `istrue` or a comparison).
+        cond: VarId,
+        /// Target when true.
+        then_bb: BlockId,
+        /// Target when false.
+        else_bb: BlockId,
+    },
+    /// Function return.
+    Return,
+}
+
+impl Terminator {
+    /// Successor blocks, in branch order.
+    pub fn successors(&self) -> Vec<BlockId> {
+        match self {
+            Terminator::Jump(b) => vec![*b],
+            Terminator::Branch {
+                then_bb, else_bb, ..
+            } => vec![*then_bb, *else_bb],
+            Terminator::Return => vec![],
+        }
+    }
+
+    /// The condition variable used, if any.
+    pub fn used_var(&self) -> Option<VarId> {
+        match self {
+            Terminator::Branch { cond, .. } => Some(*cond),
+            _ => None,
+        }
+    }
+
+    /// Rewrites successor block ids through `f`.
+    pub fn map_successors(&mut self, mut f: impl FnMut(BlockId) -> BlockId) {
+        match self {
+            Terminator::Jump(b) => *b = f(*b),
+            Terminator::Branch {
+                then_bb, else_bb, ..
+            } => {
+                *then_bb = f(*then_bb);
+                *else_bb = f(*else_bb);
+            }
+            Terminator::Return => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: usize) -> VarId {
+        VarId::new(i)
+    }
+
+    #[test]
+    fn defs_and_uses() {
+        let i = Instr::new(
+            InstrKind::Compute {
+                dst: v(0),
+                op: Op::Bin(BinOp::Add),
+                args: vec![Operand::Var(v(1)), Operand::Var(v(2))],
+            },
+            Span::dummy(),
+        );
+        assert_eq!(i.defs(), vec![v(0)]);
+        assert_eq!(i.uses(), vec![v(1), v(2)]);
+    }
+
+    #[test]
+    fn colon_operand_is_not_a_use() {
+        let i = Instr::new(
+            InstrKind::Compute {
+                dst: v(0),
+                op: Op::Subsref,
+                args: vec![Operand::Var(v(1)), Operand::ColonAll, Operand::Var(v(2))],
+            },
+            Span::dummy(),
+        );
+        assert_eq!(i.uses(), vec![v(1), v(2)]);
+    }
+
+    #[test]
+    fn map_uses_rewrites_phi_args() {
+        let mut i = Instr::new(
+            InstrKind::Phi {
+                dst: v(0),
+                args: vec![(BlockId::new(0), v(1)), (BlockId::new(1), v(2))],
+            },
+            Span::dummy(),
+        );
+        i.map_uses(|u| VarId::new(u.index() + 10));
+        assert_eq!(i.uses(), vec![v(11), v(12)]);
+        assert_eq!(i.defs(), vec![v(0)], "defs untouched");
+    }
+
+    #[test]
+    fn side_effects() {
+        let eff = Instr::new(
+            InstrKind::Effect {
+                builtin: Builtin::Disp,
+                args: vec![Operand::Var(v(1))],
+            },
+            Span::dummy(),
+        );
+        assert!(eff.has_side_effects());
+
+        let rand = Instr::new(
+            InstrKind::Compute {
+                dst: v(0),
+                op: Op::Builtin(Builtin::Rand),
+                args: vec![],
+            },
+            Span::dummy(),
+        );
+        assert!(rand.has_side_effects(), "rand advances RNG state");
+
+        let add = Instr::new(
+            InstrKind::Compute {
+                dst: v(0),
+                op: Op::Bin(BinOp::Add),
+                args: vec![Operand::Var(v(1)), Operand::Var(v(2))],
+            },
+            Span::dummy(),
+        );
+        assert!(!add.has_side_effects());
+    }
+
+    #[test]
+    fn terminator_successors() {
+        let t = Terminator::Branch {
+            cond: v(0),
+            then_bb: BlockId::new(1),
+            else_bb: BlockId::new(2),
+        };
+        assert_eq!(t.successors(), vec![BlockId::new(1), BlockId::new(2)]);
+        assert_eq!(Terminator::Return.successors(), vec![]);
+    }
+}

@@ -1,0 +1,442 @@
+//! SSA construction (Cytron et al.).
+//!
+//! φ-functions are placed on the iterated dominance frontier of each
+//! variable's definition sites; renaming walks the dominator tree with
+//! per-variable stacks of reaching definitions. Reads of variables with
+//! no reaching definition bind to a synthesized `[]` definition in the
+//! entry block (one per variable), mirroring how MATLAB auto-vivifies
+//! arrays grown by `subsasgn`.
+
+use crate::cfg::{FuncIr, VarInfo};
+use crate::dom::DomTree;
+use crate::ids::{BlockId, VarId};
+use crate::instr::{Const, Instr, InstrKind};
+use matc_frontend::span::Span;
+use std::collections::{HashMap, HashSet};
+
+/// Converts every function of a program to SSA form.
+pub fn ssa_construct_program(prog: &mut crate::cfg::IrProgram) {
+    for f in &mut prog.functions {
+        ssa_construct(f);
+    }
+}
+
+/// Converts `func` to SSA form in place.
+///
+/// After the call, `func.in_ssa` is true, `func.params` hold the SSA
+/// names of the parameters, and `func.ssa_outs` the SSA names carrying
+/// each declared output at the (unique) return block.
+///
+/// # Panics
+///
+/// Panics if `func` is already in SSA form.
+pub fn ssa_construct(func: &mut FuncIr) {
+    assert!(!func.in_ssa, "function already in SSA form");
+    let dt = DomTree::compute(func);
+    let n_orig = func.vars.len();
+
+    // ------------------------------------------------------------------
+    // 1. Definition sites per original variable.
+    // ------------------------------------------------------------------
+    let mut def_blocks: Vec<HashSet<BlockId>> = vec![HashSet::new(); n_orig];
+    for p in &func.params {
+        def_blocks[p.index()].insert(func.entry);
+    }
+    for b in func.block_ids() {
+        for instr in &func.block(b).instrs {
+            for d in instr.defs() {
+                def_blocks[d.index()].insert(b);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // 2. φ-placement on iterated dominance frontiers.
+    //    `phi_sites[b]` lists the original variables needing a φ at `b`.
+    // ------------------------------------------------------------------
+    let mut phi_sites: HashMap<BlockId, Vec<VarId>> = HashMap::new();
+    #[allow(clippy::needless_range_loop)] // index doubles as the VarId
+    for var_idx in 0..n_orig {
+        let v = VarId::new(var_idx);
+        if def_blocks[var_idx].is_empty() {
+            continue;
+        }
+        let mut work: Vec<BlockId> = def_blocks[var_idx].iter().copied().collect();
+        let mut has_phi: HashSet<BlockId> = HashSet::new();
+        while let Some(b) = work.pop() {
+            for &d in dt.frontier(b) {
+                if has_phi.insert(d) {
+                    phi_sites.entry(d).or_default().push(v);
+                    if !def_blocks[var_idx].contains(&d) {
+                        work.push(d);
+                    }
+                }
+            }
+        }
+    }
+    // Materialize placeholder φ instructions (args filled during
+    // renaming). Sort for determinism.
+    let preds = func.predecessors();
+    for (b, vars) in &mut phi_sites {
+        vars.sort();
+        let phis: Vec<Instr> = vars
+            .iter()
+            .map(|v| {
+                Instr::new(
+                    InstrKind::Phi {
+                        dst: *v, // rewritten during renaming
+                        args: Vec::new(),
+                    },
+                    Span::dummy(),
+                )
+            })
+            .collect();
+        let blk = func.block_mut(*b);
+        for (i, phi) in phis.into_iter().enumerate() {
+            blk.instrs.insert(i, phi);
+        }
+    }
+    // Remember which original variable each φ at each block is for.
+    let phi_origin: HashMap<BlockId, Vec<VarId>> = phi_sites;
+
+    // ------------------------------------------------------------------
+    // 3. Renaming via dominator-tree traversal.
+    // ------------------------------------------------------------------
+    struct Renamer<'d> {
+        dt: &'d DomTree,
+        preds: Vec<Vec<BlockId>>,
+        stacks: Vec<Vec<VarId>>,
+        versions: Vec<u32>,
+        undef_cache: HashMap<VarId, VarId>,
+        phi_origin: HashMap<BlockId, Vec<VarId>>,
+    }
+
+    impl Renamer<'_> {
+        fn fresh(&mut self, func: &mut FuncIr, origin: VarId) -> VarId {
+            self.versions[origin.index()] += 1;
+            let version = self.versions[origin.index()];
+            let name = func.vars.info(origin).name.clone();
+
+            func.vars.push(VarInfo {
+                name,
+                ssa_origin: Some(origin),
+                ssa_version: version,
+            })
+        }
+
+        fn top(&mut self, func: &mut FuncIr, origin: VarId) -> VarId {
+            if let Some(v) = self.stacks[origin.index()].last() {
+                return *v;
+            }
+            // Read of a never-defined (on this path) variable: bind to a
+            // synthesized `[]` definition shared across all such reads.
+            if let Some(v) = self.undef_cache.get(&origin) {
+                return *v;
+            }
+            let v = self.fresh(func, origin);
+            self.undef_cache.insert(origin, v);
+            v
+        }
+
+        fn rename_block(&mut self, func: &mut FuncIr, b: BlockId) {
+            let mut pushed: Vec<VarId> = Vec::new();
+
+            // Take instructions out to satisfy the borrow checker; the
+            // block is put back before recursing.
+            let mut instrs = std::mem::take(&mut func.block_mut(b).instrs);
+            for instr in &mut instrs {
+                if !instr.is_phi() {
+                    instr.map_uses(|u| self.top(func, u));
+                }
+                // Redefine destinations.
+                match &mut instr.kind {
+                    InstrKind::Const { dst, .. }
+                    | InstrKind::Copy { dst, .. }
+                    | InstrKind::Compute { dst, .. }
+                    | InstrKind::Phi { dst, .. } => {
+                        let origin = *dst;
+                        let new = self.fresh(func, origin);
+                        *dst = new;
+                        self.stacks[origin.index()].push(new);
+                        pushed.push(origin);
+                    }
+                    InstrKind::CallMulti { dsts, .. } => {
+                        for dst in dsts {
+                            let origin = *dst;
+                            let new = self.fresh(func, origin);
+                            *dst = new;
+                            self.stacks[origin.index()].push(new);
+                            pushed.push(origin);
+                        }
+                    }
+                    InstrKind::Display { .. } | InstrKind::Effect { .. } => {}
+                }
+            }
+            // Rename the branch condition.
+            let mut term = func.block_mut(b).term.clone();
+            if let crate::instr::Terminator::Branch { cond, .. } = &mut term {
+                *cond = self.top(func, *cond);
+            }
+            func.block_mut(b).term = term;
+            func.block_mut(b).instrs = instrs;
+
+            // Fill φ arguments in successors.
+            for s in func.block(b).term.successors() {
+                if let Some(origins) = self.phi_origin.get(&s).cloned() {
+                    for (i, origin) in origins.iter().enumerate() {
+                        let incoming = self.top(func, *origin);
+                        if let InstrKind::Phi { args, .. } = &mut func.block_mut(s).instrs[i].kind {
+                            args.push((b, incoming));
+                        }
+                    }
+                }
+            }
+            // φ-argument order must match predecessor enumeration for the
+            // verifier; we sort by predecessor id afterwards.
+            let _ = &self.preds;
+
+            // Recurse into dominator-tree children.
+            for &c in self.dt.children(b) {
+                self.rename_block(func, c);
+            }
+            // Pop this block's definitions.
+            for origin in pushed.into_iter().rev() {
+                self.stacks[origin.index()].pop();
+            }
+        }
+    }
+
+    let mut renamer = Renamer {
+        dt: &dt,
+        preds,
+        stacks: vec![Vec::new(); n_orig],
+        versions: vec![0; n_orig],
+        undef_cache: HashMap::new(),
+        phi_origin,
+    };
+
+    // Parameters define their variables at entry.
+    let param_origins: Vec<VarId> = func.params.clone();
+    let mut new_params = Vec::with_capacity(param_origins.len());
+    for p in &param_origins {
+        let v = renamer.fresh(func, *p);
+        renamer.stacks[p.index()].push(v);
+        new_params.push(v);
+    }
+
+    renamer.rename_block(func, func.entry);
+
+    // Outputs: the reaching definition at the unique return block. The
+    // return block is the one whose terminator is Return; renaming kept
+    // stacks only during traversal, so recompute by a dedicated pass:
+    // walk the dominator tree recording the reaching def of each output
+    // at the return block. Simpler: rerun a light renaming? Instead we
+    // capture during traversal below.
+    //
+    // (Implementation note: we re-do the traversal cheaply, tracking only
+    // output origins, to keep `rename_block` simple.)
+    let out_origins: Vec<VarId> = func.outs.clone();
+    let ssa_outs = compute_reaching_at_returns(
+        func,
+        &dt,
+        &out_origins,
+        &renamer.undef_cache,
+        &new_params,
+        &param_origins,
+    );
+
+    // Synthesized `[]` definitions for undefined reads, at entry top.
+    let mut inits: Vec<Instr> = renamer
+        .undef_cache
+        .values()
+        .map(|v| {
+            Instr::new(
+                InstrKind::Const {
+                    dst: *v,
+                    value: Const::Empty,
+                },
+                Span::dummy(),
+            )
+        })
+        .collect();
+    inits.sort_by_key(|i| i.defs()[0]);
+    let entry = func.entry;
+    let entry_blk = func.block_mut(entry);
+    let at = entry_blk.first_non_phi();
+    for (k, init) in inits.into_iter().enumerate() {
+        entry_blk.instrs.insert(at + k, init);
+    }
+
+    func.params = new_params;
+    func.ssa_outs = ssa_outs;
+    func.in_ssa = true;
+}
+
+/// Computes, for each output origin, its reaching SSA definition at the
+/// return block by walking the dominator tree once more.
+fn compute_reaching_at_returns(
+    func: &FuncIr,
+    dt: &DomTree,
+    out_origins: &[VarId],
+    undef_cache: &HashMap<VarId, VarId>,
+    new_params: &[VarId],
+    param_origins: &[VarId],
+) -> Vec<VarId> {
+    // Find the return block (unique by construction in lowering).
+    let ret_block = func
+        .block_ids()
+        .find(|b| {
+            matches!(func.block(*b).term, crate::instr::Terminator::Return) && dt.idom(*b).is_some()
+        })
+        .unwrap_or(func.entry);
+
+    // Walk the dominator tree maintaining stacks, but defs are now the
+    // *SSA* instructions: an SSA def of origin o pushes itself.
+    let mut stacks: HashMap<VarId, Vec<VarId>> = HashMap::new();
+    for (p, origin) in new_params.iter().zip(param_origins) {
+        stacks.entry(*origin).or_default().push(*p);
+    }
+    let mut result: Vec<Option<VarId>> = vec![None; out_origins.len()];
+
+    fn walk(
+        func: &FuncIr,
+        dt: &DomTree,
+        b: BlockId,
+        ret_block: BlockId,
+        stacks: &mut HashMap<VarId, Vec<VarId>>,
+        out_origins: &[VarId],
+        result: &mut Vec<Option<VarId>>,
+    ) {
+        let mut pushed: Vec<VarId> = Vec::new();
+        for instr in &func.block(b).instrs {
+            for d in instr.defs() {
+                if let Some(origin) = func.vars.info(d).ssa_origin {
+                    stacks.entry(origin).or_default().push(d);
+                    pushed.push(origin);
+                }
+            }
+        }
+        if b == ret_block {
+            for (i, o) in out_origins.iter().enumerate() {
+                result[i] = stacks.get(o).and_then(|s| s.last().copied());
+            }
+        }
+        for &c in dt.children(b) {
+            walk(func, dt, c, ret_block, stacks, out_origins, result);
+        }
+        for origin in pushed.into_iter().rev() {
+            stacks.get_mut(&origin).map(|s| s.pop());
+        }
+    }
+
+    walk(
+        func,
+        dt,
+        func.entry,
+        ret_block,
+        &mut stacks,
+        out_origins,
+        &mut result,
+    );
+
+    result
+        .into_iter()
+        .zip(out_origins)
+        .map(|(r, origin)| {
+            r.or_else(|| undef_cache.get(origin).copied())
+                .unwrap_or(*origin) // unassigned output with no reads: origin stays
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower_program;
+    use crate::verify::verify_func;
+    use matc_frontend::parser::parse_program;
+
+    fn ssa_of(src: &str) -> FuncIr {
+        let ast = parse_program([src]).unwrap();
+        let mut prog = lower_program(&ast).unwrap();
+        ssa_construct_program(&mut prog);
+        let f = prog.entry_func().clone();
+        verify_func(&f).unwrap_or_else(|e| panic!("invalid SSA: {e}\n{f}"));
+        f
+    }
+
+    #[test]
+    fn straight_line_gets_no_phis() {
+        let f = ssa_of("function y = f(a)\ny = a + 1;\ny = y * 2;\n");
+        let phis: usize = f.block_ids().map(|b| f.block(b).phis().count()).sum();
+        assert_eq!(phis, 0, "{f}");
+        // y was defined twice: two SSA versions exist.
+        let versions = f
+            .vars
+            .iter()
+            .filter(|(_, i)| i.name.as_deref() == Some("y") && i.ssa_origin.is_some())
+            .count();
+        assert_eq!(versions, 2, "{f}");
+    }
+
+    #[test]
+    fn diamond_join_gets_phi() {
+        let f = ssa_of("function y = f(x)\nif x > 0\ny = 1;\nelse\ny = 2;\nend\ny = y + 1;\n");
+        let phis: usize = f.block_ids().map(|b| f.block(b).phis().count()).sum();
+        assert!(phis >= 1, "join needs a phi for y:\n{f}");
+    }
+
+    #[test]
+    fn loop_carried_variable_gets_header_phi() {
+        let f = ssa_of("function s = f(n)\ns = 0;\nfor i = 1:n\ns = s + i;\nend\n");
+        // s and the loop counter both need φs at the loop header.
+        let phis: usize = f.block_ids().map(|b| f.block(b).phis().count()).sum();
+        assert!(phis >= 2, "{f}");
+    }
+
+    #[test]
+    fn ssa_outs_resolved() {
+        let f = ssa_of("function y = f(x)\nif x > 0\ny = 1;\nelse\ny = 2;\nend\n");
+        assert_eq!(f.ssa_outs.len(), 1);
+        let out = f.ssa_outs[0];
+        assert!(f.vars.info(out).ssa_origin.is_some(), "{f}");
+    }
+
+    #[test]
+    fn undefined_read_binds_to_empty_init() {
+        // `a` grows from nothing via subsasgn: reading it first binds to
+        // a synthesized [] at entry.
+        let f = ssa_of("function a = f(n)\nfor i = 1:n\na(i) = i;\nend\n");
+        let entry_has_empty = f.block(f.entry).instrs.iter().any(|ins| {
+            matches!(
+                &ins.kind,
+                InstrKind::Const {
+                    value: Const::Empty,
+                    ..
+                }
+            )
+        });
+        assert!(entry_has_empty, "{f}");
+    }
+
+    #[test]
+    fn params_become_ssa_names() {
+        let f = ssa_of("function y = f(x)\ny = x;\n");
+        for p in &f.params {
+            assert!(f.vars.info(*p).ssa_origin.is_some());
+        }
+    }
+
+    #[test]
+    fn phi_args_cover_all_predecessors() {
+        let f = ssa_of("function y = f(x)\ny = 0;\nwhile y < x\ny = y + 1;\nend\n");
+        let preds = f.predecessors();
+        for b in f.block_ids() {
+            for phi in f.block(b).phis() {
+                if let InstrKind::Phi { args, .. } = &phi.kind {
+                    assert_eq!(args.len(), preds[b.index()].len(), "phi arity at {b}:\n{f}");
+                }
+            }
+        }
+    }
+}

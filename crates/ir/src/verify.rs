@@ -1,0 +1,279 @@
+//! IR invariant checking.
+//!
+//! The verifier is run by tests after every transformation: it catches
+//! malformed CFGs (dangling block references), broken SSA (multiple
+//! definitions, uses not dominated by their definition, φ-argument /
+//! predecessor mismatches) and misplaced instructions (φ after non-φ,
+//! colon operands outside subscript positions).
+
+use crate::cfg::FuncIr;
+use crate::dom::DomTree;
+use crate::ids::{BlockId, VarId};
+use crate::instr::{InstrKind, Op, Operand};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// A verifier finding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerifyError(pub String);
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ir verification failed: {}", self.0)
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Verifies structural and (if applicable) SSA invariants of `func`.
+///
+/// # Errors
+///
+/// Returns the first violated invariant.
+pub fn verify_func(func: &FuncIr) -> Result<(), VerifyError> {
+    let nblocks = func.blocks.len();
+    let err = |m: String| Err(VerifyError(m));
+
+    // Block references in range; φs clustered at head; colon operands
+    // only in subscript positions of subsref/subsasgn.
+    for b in func.block_ids() {
+        let blk = func.block(b);
+        for s in blk.term.successors() {
+            if s.index() >= nblocks {
+                return err(format!("{b} terminator targets missing block {s}"));
+            }
+        }
+        let first_non_phi = blk.first_non_phi();
+        for (i, instr) in blk.instrs.iter().enumerate() {
+            if instr.is_phi() && i >= first_non_phi {
+                return err(format!("{b}: φ after non-φ instruction"));
+            }
+            for v in instr.uses().into_iter().chain(instr.defs()) {
+                if v.index() >= func.vars.len() {
+                    return err(format!("{b}: instruction references unknown {v}"));
+                }
+            }
+            if let InstrKind::Compute { op, args, .. } = &instr.kind {
+                let colon_ok_from = match op {
+                    Op::Subsref => 1,
+                    Op::Subsasgn => 2,
+                    _ => usize::MAX,
+                };
+                for (k, a) in args.iter().enumerate() {
+                    if matches!(a, Operand::ColonAll) && k < colon_ok_from {
+                        return err(format!(
+                            "{b}: `:` operand in non-subscript position of {}",
+                            op.mnemonic()
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    if !func.in_ssa {
+        return Ok(());
+    }
+
+    // --- SSA-only checks ---
+    let dt = DomTree::compute(func);
+    let preds = func.predecessors();
+
+    // Single definition point per variable. Definition positions are
+    // 1-based instruction indexes; parameters define at position 0,
+    // before every instruction of the entry block.
+    let mut def_site: HashMap<VarId, (BlockId, usize)> = HashMap::new();
+    for p in func.params.iter() {
+        if def_site.insert(*p, (func.entry, 0)).is_some() {
+            return err(format!("parameter {p} defined twice"));
+        }
+    }
+    for b in func.block_ids() {
+        if dt.idom(b).is_none() {
+            continue; // unreachable
+        }
+        for (i, instr) in func.block(b).instrs.iter().enumerate() {
+            for d in instr.defs() {
+                if def_site.insert(d, (b, i + 1)).is_some() {
+                    return err(format!("{d} has multiple definitions"));
+                }
+            }
+        }
+    }
+
+    // φ args match predecessors exactly.
+    for b in func.block_ids() {
+        if dt.idom(b).is_none() {
+            continue;
+        }
+        let expected: HashSet<BlockId> = preds[b.index()].iter().copied().collect();
+        for phi in func.block(b).phis() {
+            if let InstrKind::Phi { dst, args } = &phi.kind {
+                let got: HashSet<BlockId> = args.iter().map(|(p, _)| *p).collect();
+                if got != expected || args.len() != preds[b.index()].len() {
+                    return err(format!(
+                        "φ for {dst} at {b} has args from {got:?}, predecessors are {expected:?}"
+                    ));
+                }
+            }
+        }
+    }
+
+    // Every use dominated by its definition. φ uses count as uses at the
+    // end of the corresponding predecessor.
+    for b in func.block_ids() {
+        if dt.idom(b).is_none() {
+            continue;
+        }
+        for (i, instr) in func.block(b).instrs.iter().enumerate() {
+            if let InstrKind::Phi { args, .. } = &instr.kind {
+                for (p, v) in args {
+                    if let Some(&(db, _)) = def_site.get(v) {
+                        if !dt.dominates(db, *p) {
+                            return err(format!(
+                                "φ argument {v} (from {p}) not dominated by its definition in {db}"
+                            ));
+                        }
+                    } else {
+                        return err(format!("φ argument {v} has no definition"));
+                    }
+                }
+                continue;
+            }
+            for v in instr.uses() {
+                match def_site.get(&v) {
+                    None => {
+                        return err(format!(
+                            "{b}: use of {v} ({}) with no definition",
+                            func.vars.display_name(v)
+                        ));
+                    }
+                    Some(&(db, di)) => {
+                        let ok = if db == b {
+                            di <= i // def position is 1-based; use at instr i is position i+1
+                        } else {
+                            dt.dominates(db, b)
+                        };
+                        if !ok {
+                            return err(format!(
+                                "{b}: use of {} not dominated by its definition in {db}",
+                                func.vars.display_name(v)
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(c) = func.block(b).term.used_var() {
+            match def_site.get(&c) {
+                None => return err(format!("{b}: branch on undefined {c}")),
+                Some(&(db, _)) => {
+                    if db != b && !dt.dominates(db, b) {
+                        return err(format!("{b}: branch condition not dominated by def"));
+                    }
+                }
+            }
+        }
+    }
+
+    Ok(())
+}
+
+/// Verifies every function of a program.
+///
+/// # Errors
+///
+/// Returns the first violation, prefixed with the function name.
+pub fn verify_program(prog: &crate::cfg::IrProgram) -> Result<(), VerifyError> {
+    for f in &prog.functions {
+        verify_func(f).map_err(|e| VerifyError(format!("in `{}`: {}", f.name, e.0)))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::FuncIr;
+    use crate::instr::{Const, Instr, Terminator};
+    use matc_frontend::span::Span;
+
+    #[test]
+    fn catches_multiple_defs_in_ssa() {
+        let mut f = FuncIr::new("g");
+        let v = f.new_temp();
+        let entry = f.entry;
+        for _ in 0..2 {
+            f.block_mut(entry).instrs.push(Instr::new(
+                InstrKind::Const {
+                    dst: v,
+                    value: Const::Num(1.0),
+                },
+                Span::dummy(),
+            ));
+        }
+        f.in_ssa = true;
+        let e = verify_func(&f).unwrap_err();
+        assert!(e.0.contains("multiple definitions"), "{e}");
+    }
+
+    #[test]
+    fn catches_use_without_def() {
+        let mut f = FuncIr::new("g");
+        let v = f.new_temp();
+        let d = f.new_temp();
+        let entry = f.entry;
+        f.block_mut(entry).instrs.push(Instr::new(
+            InstrKind::Copy { dst: d, src: v },
+            Span::dummy(),
+        ));
+        f.in_ssa = true;
+        let e = verify_func(&f).unwrap_err();
+        assert!(e.0.contains("no definition"), "{e}");
+    }
+
+    #[test]
+    fn catches_dangling_block() {
+        let mut f = FuncIr::new("g");
+        let entry = f.entry;
+        f.block_mut(entry).term = Terminator::Jump(BlockId::new(9));
+        let e = verify_func(&f).unwrap_err();
+        assert!(e.0.contains("missing block"), "{e}");
+    }
+
+    #[test]
+    fn accepts_valid_non_ssa() {
+        let mut f = FuncIr::new("g");
+        let v = f.new_temp();
+        let entry = f.entry;
+        for _ in 0..2 {
+            f.block_mut(entry).instrs.push(Instr::new(
+                InstrKind::Const {
+                    dst: v,
+                    value: Const::Num(1.0),
+                },
+                Span::dummy(),
+            ));
+        }
+        // Not in SSA: double definition is fine.
+        assert!(verify_func(&f).is_ok());
+    }
+
+    #[test]
+    fn catches_misplaced_colon() {
+        let mut f = FuncIr::new("g");
+        let a = f.new_temp();
+        let d = f.new_temp();
+        let entry = f.entry;
+        f.block_mut(entry).instrs.push(Instr::new(
+            InstrKind::Compute {
+                dst: d,
+                op: Op::Bin(matc_frontend::ast::BinOp::Add),
+                args: vec![Operand::Var(a), Operand::ColonAll],
+            },
+            Span::dummy(),
+        ));
+        let e = verify_func(&f).unwrap_err();
+        assert!(e.0.contains("non-subscript"), "{e}");
+    }
+}

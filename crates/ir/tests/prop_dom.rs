@@ -1,0 +1,134 @@
+//! Dominator-tree correctness on random control flow: the CHK
+//! iterative algorithm's results are checked against the definitional
+//! naive computation (a dominates b iff deleting a disconnects b from
+//! the entry), and the dominance frontier against its definition.
+
+use matc_frontend::parser::parse_program;
+use matc_ir::dom::DomTree;
+use matc_ir::instr::Terminator;
+use matc_ir::{lower_program, BlockId, FuncIr};
+use proptest::prelude::*;
+
+/// Random structured control flow (the only kind the frontend makes —
+/// which is exactly what the compiler will ever see).
+fn arb_block(depth: u32) -> BoxedStrategy<String> {
+    let leaf = prop_oneof![
+        (0..3usize, 1..9i32).prop_map(|(v, k)| format!("v{v} = v{v} + {k};\n")),
+        Just("".to_string()),
+    ];
+    if depth == 0 {
+        return leaf.boxed();
+    }
+    let sub = arb_block(depth - 1);
+    prop_oneof![
+        leaf,
+        (0..3usize, sub.clone(), sub.clone())
+            .prop_map(|(v, a, b)| format!("if v{v} > 0\n{a}else\n{b}end\n")),
+        (0..3usize, sub.clone()).prop_map(|(v, a)| format!("if v{v} > 1\n{a}end\n")),
+        (sub.clone()).prop_map(|a| format!("for t = 1:3\n{a}end\n")),
+        (0..3usize, sub.clone())
+            .prop_map(|(v, a)| format!("while v{v} < 5\nv{v} = v{v} + 1;\n{a}end\n")),
+        (sub.clone()).prop_map(|a| format!("for t = 1:4\n{a}if t > 2\nbreak;\nend\nend\n")),
+        (sub.clone()).prop_map(|a| format!("for t = 1:4\nif t == 2\ncontinue;\nend\n{a}end\n")),
+    ]
+    .boxed()
+}
+
+fn successors(f: &FuncIr, b: BlockId) -> Vec<BlockId> {
+    match &f.block(b).term {
+        Terminator::Jump(t) => vec![*t],
+        Terminator::Branch {
+            then_bb, else_bb, ..
+        } => vec![*then_bb, *else_bb],
+        Terminator::Return => vec![],
+    }
+}
+
+/// Blocks reachable from `entry` without passing through `skip`.
+fn reachable_avoiding(f: &FuncIr, skip: Option<BlockId>) -> Vec<bool> {
+    let n = f.blocks.len();
+    let mut seen = vec![false; n];
+    if skip == Some(f.entry) {
+        return seen;
+    }
+    let mut stack = vec![f.entry];
+    seen[f.entry.index()] = true;
+    while let Some(b) = stack.pop() {
+        for s in successors(f, b) {
+            if Some(s) != skip && !seen[s.index()] {
+                seen[s.index()] = true;
+                stack.push(s);
+            }
+        }
+    }
+    seen
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+    #[test]
+    fn chk_matches_definitional_dominance(body in arb_block(3)) {
+        let src = format!("v0 = 1;\nv1 = 2;\nv2 = 3;\n{body}disp(v0 + v1 + v2);\n");
+        let ast = parse_program([src.as_str()]).unwrap();
+        let prog = lower_program(&ast).unwrap();
+        let f = prog.entry_func();
+        let dom = DomTree::compute(f);
+        let reach = reachable_avoiding(f, None);
+
+        for a in f.block_ids() {
+            if !reach[a.index()] {
+                continue;
+            }
+            let cut = reachable_avoiding(f, Some(a));
+            for b in f.block_ids() {
+                if !reach[b.index()] {
+                    continue;
+                }
+                // Definition: a dom b ⟺ every entry→b path passes a.
+                let dom_by_def = a == b || !cut[b.index()];
+                prop_assert_eq!(
+                    dom.dominates(a, b),
+                    dom_by_def,
+                    "dominates({:?}, {:?}) wrong in\n{}",
+                    a,
+                    b,
+                    f
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn frontier_matches_definition(body in arb_block(3)) {
+        // DF(a) = { y : a dominates a predecessor of y, a !sdom y }.
+        let src = format!("v0 = 1;\nv1 = 2;\nv2 = 3;\n{body}disp(v0 + v1 + v2);\n");
+        let ast = parse_program([src.as_str()]).unwrap();
+        let prog = lower_program(&ast).unwrap();
+        let f = prog.entry_func();
+        let dom = DomTree::compute(f);
+        let reach = reachable_avoiding(f, None);
+        let preds = f.predecessors();
+
+        for a in f.block_ids() {
+            if !reach[a.index()] {
+                continue;
+            }
+            let mut expect: Vec<BlockId> = f
+                .block_ids()
+                .filter(|y| {
+                    reach[y.index()]
+                        && preds[y.index()]
+                            .iter()
+                            .any(|p| reach[p.index()] && dom.dominates(a, *p))
+                        && !(a != *y && dom.dominates(a, *y))
+                })
+                .collect();
+            expect.sort();
+            let mut got: Vec<BlockId> = dom.frontier(a).to_vec();
+            got.sort();
+            got.dedup();
+            prop_assert_eq!(got, expect, "DF({:?}) wrong in\n{}", a, f);
+        }
+    }
+}

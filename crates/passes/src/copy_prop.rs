@@ -1,0 +1,122 @@
+//! Copy propagation (§2.2).
+//!
+//! The paper frees the CFG of copies *before* building the interference
+//! graph — instead of Chaitin-style iterated coalescing — by running copy
+//! propagation followed by dead-code elimination. In SSA this is
+//! straightforward: every use of a copy's destination is redirected to
+//! the (transitively resolved) source; the now-dead copies are removed by
+//! [`crate::dce`].
+
+use matc_ir::ids::VarId;
+use matc_ir::instr::{InstrKind, Terminator};
+use matc_ir::FuncIr;
+use std::collections::HashMap;
+
+/// Propagates copies in one SSA function. Returns the number of uses
+/// rewritten.
+///
+/// # Panics
+///
+/// Panics if `func` is not in SSA form (source resolution relies on
+/// single definitions).
+pub fn copy_propagate(func: &mut FuncIr) -> usize {
+    assert!(func.in_ssa, "copy propagation runs on SSA");
+    // dst -> src for every Copy.
+    let mut fwd: HashMap<VarId, VarId> = HashMap::new();
+    for b in func.block_ids() {
+        for instr in &func.block(b).instrs {
+            if let InstrKind::Copy { dst, src } = instr.kind {
+                fwd.insert(dst, src);
+            }
+        }
+    }
+    if fwd.is_empty() {
+        return 0;
+    }
+    // Transitive resolution (SSA guarantees acyclicity).
+    let resolve = |mut v: VarId| {
+        let mut hops = 0;
+        while let Some(s) = fwd.get(&v) {
+            v = *s;
+            hops += 1;
+            debug_assert!(hops <= fwd.len(), "copy cycle in SSA");
+        }
+        v
+    };
+    let mut rewritten = 0;
+    for b in func.block_ids() {
+        let mut blk = std::mem::take(func.block_mut(b));
+        for instr in &mut blk.instrs {
+            instr.map_uses(|u| {
+                let r = resolve(u);
+                if r != u {
+                    rewritten += 1;
+                }
+                r
+            });
+        }
+        if let Terminator::Branch { cond, .. } = &mut blk.term {
+            let r = resolve(*cond);
+            if r != *cond {
+                *cond = r;
+                rewritten += 1;
+            }
+        }
+        *func.block_mut(b) = blk;
+    }
+    // Outputs may be carried by copies.
+    for o in &mut func.ssa_outs {
+        let r = resolve(*o);
+        if r != *o {
+            *o = r;
+            rewritten += 1;
+        }
+    }
+    rewritten
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matc_frontend::parser::parse_program;
+    use matc_ir::{build_ssa, verify_func};
+
+    fn prepped(src: &str) -> FuncIr {
+        let ast = parse_program([src]).unwrap();
+        let prog = build_ssa(&ast).unwrap();
+        prog.entry_func().clone()
+    }
+
+    #[test]
+    fn propagates_through_chains() {
+        // y = x; z = y; out = z + 1  -->  out = x + 1
+        let mut f = prepped("function out = f(x)\ny = x;\nz = y;\nout = z + 1;\n");
+        let n = copy_propagate(&mut f);
+        assert!(n >= 2, "rewrote {n} uses:\n{f}");
+        verify_func(&f).unwrap();
+        // The add must now use the parameter directly.
+        let param = f.params[0];
+        let uses_param = f.block_ids().any(|b| {
+            f.block(b)
+                .instrs
+                .iter()
+                .any(|i| matches!(&i.kind, InstrKind::Compute { .. }) && i.uses().contains(&param))
+        });
+        assert!(uses_param, "{f}");
+    }
+
+    #[test]
+    fn output_copies_resolve() {
+        let mut f = prepped("function y = f(x)\ny = x;\n");
+        copy_propagate(&mut f);
+        assert_eq!(f.ssa_outs[0], f.params[0], "{f}");
+    }
+
+    #[test]
+    fn no_copies_is_noop() {
+        let mut f = prepped("function y = f(x)\ny = x + 1;\n");
+        let before = f.clone();
+        assert_eq!(copy_propagate(&mut f), 0);
+        assert_eq!(f, before);
+    }
+}

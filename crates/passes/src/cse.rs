@@ -1,0 +1,171 @@
+//! Global common-subexpression elimination (dominator-scoped value
+//! numbering).
+//!
+//! The paper's translator runs GCSE among its "over 20 passes" (§2.2,
+//! footnote 4). Pure computations with identical operation and operands
+//! are replaced by copies of the dominating occurrence; the copies are
+//! then removed by copy propagation + DCE, shrinking the variable count
+//! that Phase 1 sees.
+
+use matc_ir::dom::DomTree;
+use matc_ir::ids::{BlockId, VarId};
+use matc_ir::instr::{Const, InstrKind, Op, Operand};
+use matc_ir::FuncIr;
+use std::collections::HashMap;
+
+/// One scope level of available expressions.
+type Scope = Vec<ExprKey>;
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum ExprKey {
+    Compute(Op, Vec<Operand>),
+    Const(ConstKey),
+}
+
+/// A hashable stand-in for `Const` (f64 compared bitwise).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum ConstKey {
+    Num(u64),
+    Imag(u64),
+    Str(String),
+    Empty,
+    Bool(bool),
+}
+
+fn const_key(c: &Const) -> ConstKey {
+    match c {
+        Const::Num(v) => ConstKey::Num(v.to_bits()),
+        Const::Imag(v) => ConstKey::Imag(v.to_bits()),
+        Const::Str(s) => ConstKey::Str(s.clone()),
+        Const::Empty => ConstKey::Empty,
+        Const::Bool(b) => ConstKey::Bool(*b),
+    }
+}
+
+fn pure_op(op: &Op) -> bool {
+    match op {
+        Op::Builtin(b) => b.is_pure(),
+        Op::Call(_) => false,
+        _ => true,
+    }
+}
+
+/// Runs dominator-scoped value numbering on one SSA function. Returns the
+/// number of computations replaced by copies.
+///
+/// # Panics
+///
+/// Panics if `func` is not in SSA form.
+pub fn eliminate_common_subexpressions(func: &mut FuncIr) -> usize {
+    assert!(func.in_ssa, "CSE runs on SSA");
+    let dt = DomTree::compute(func);
+    let mut avail: HashMap<ExprKey, VarId> = HashMap::new();
+    let mut replaced = 0;
+    walk(func, &dt, func.entry, &mut avail, &mut replaced);
+    replaced
+}
+
+fn walk(
+    func: &mut FuncIr,
+    dt: &DomTree,
+    b: BlockId,
+    avail: &mut HashMap<ExprKey, VarId>,
+    replaced: &mut usize,
+) {
+    let mut scope: Scope = Vec::new();
+    let mut blk = std::mem::take(func.block_mut(b));
+    for instr in &mut blk.instrs {
+        let key = match &instr.kind {
+            InstrKind::Compute { op, args, .. } if pure_op(op) => {
+                Some(ExprKey::Compute(op.clone(), args.clone()))
+            }
+            InstrKind::Const { value, .. } => Some(ExprKey::Const(const_key(value))),
+            _ => None,
+        };
+        if let Some(key) = key {
+            let dst = instr.defs()[0];
+            if let Some(prev) = avail.get(&key) {
+                instr.kind = InstrKind::Copy { dst, src: *prev };
+                *replaced += 1;
+            } else {
+                avail.insert(key.clone(), dst);
+                scope.push(key);
+            }
+        }
+    }
+    *func.block_mut(b) = blk;
+    for &c in dt.children(b) {
+        walk(func, dt, c, avail, replaced);
+    }
+    for key in scope {
+        avail.remove(&key);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::copy_prop::copy_propagate;
+    use crate::dce::eliminate_dead_code;
+    use matc_frontend::parser::parse_program;
+    use matc_ir::{build_ssa, verify_func};
+
+    fn prepped(src: &str) -> FuncIr {
+        let ast = parse_program([src]).unwrap();
+        let prog = build_ssa(&ast).unwrap();
+        prog.entry_func().clone()
+    }
+
+    fn count_op(f: &FuncIr, needle: &str) -> usize {
+        f.to_string().matches(needle).count()
+    }
+
+    #[test]
+    fn dedupes_repeated_expression() {
+        let mut f = prepped("function y = f(a, b)\nu = a * b;\nv = a * b;\ny = u + v;\n");
+        let n = eliminate_common_subexpressions(&mut f);
+        assert!(n >= 1, "{f}");
+        copy_propagate(&mut f);
+        eliminate_dead_code(&mut f);
+        verify_func(&f).unwrap();
+        assert_eq!(count_op(&f, "bin[*]"), 1, "{f}");
+    }
+
+    #[test]
+    fn dedupes_constants() {
+        // Two `for` loops both materialize the constant 1.
+        let mut f = prepped("function s = f(n)\ns = 0;\nfor i = 1:n\ns = s + 1;\nend\n");
+        let n = eliminate_common_subexpressions(&mut f);
+        assert!(n >= 1, "several `1` literals collapse:\n{f}");
+    }
+
+    #[test]
+    fn respects_dominance() {
+        // The two branches compute a*b but neither dominates the other:
+        // no replacement may cross them.
+        let mut f =
+            prepped("function y = f(a, b, c)\nif c > 0\ny = a * b;\nelse\ny = a * b;\nend\n");
+        eliminate_common_subexpressions(&mut f);
+        copy_propagate(&mut f);
+        eliminate_dead_code(&mut f);
+        verify_func(&f).unwrap();
+        assert_eq!(count_op(&f, "bin[*]"), 2, "{f}");
+    }
+
+    #[test]
+    fn impure_not_deduped() {
+        let mut f = prepped("function y = f()\na = rand(2, 2);\nb = rand(2, 2);\ny = a + b;\n");
+        eliminate_common_subexpressions(&mut f);
+        assert_eq!(count_op(&f, "rand"), 2, "{f}");
+    }
+
+    #[test]
+    fn subsref_deduped_when_array_unchanged() {
+        let mut f = prepped("function y = f(a)\nu = a(1);\nv = a(1);\ny = u + v;\n");
+        let n = eliminate_common_subexpressions(&mut f);
+        assert!(n >= 1, "pure subsref dedupes in SSA:\n{f}");
+        copy_propagate(&mut f);
+        eliminate_dead_code(&mut f);
+        verify_func(&f).unwrap();
+    }
+}

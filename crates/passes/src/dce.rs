@@ -1,0 +1,148 @@
+//! Dead-code elimination.
+//!
+//! Standard SSA mark-and-sweep: roots are side-effecting instructions
+//! (I/O, RNG, calls), branch conditions and the function's outputs;
+//! everything transitively used from a root is live; the rest — including
+//! the copies left behind by [`crate::copy_prop`] and φs that only feed
+//! dead code — is deleted.
+
+use matc_ir::ids::VarId;
+use matc_ir::FuncIr;
+use std::collections::HashSet;
+
+/// Removes dead instructions from one SSA function. Returns how many
+/// instructions were deleted.
+pub fn eliminate_dead_code(func: &mut FuncIr) -> usize {
+    let mut live: HashSet<VarId> = HashSet::new();
+    let mut work: Vec<VarId> = Vec::new();
+
+    let mark = |v: VarId, live: &mut HashSet<VarId>, work: &mut Vec<VarId>| {
+        if live.insert(v) {
+            work.push(v);
+        }
+    };
+
+    // Roots.
+    for o in &func.ssa_outs {
+        mark(*o, &mut live, &mut work);
+    }
+    for b in func.block_ids() {
+        let blk = func.block(b);
+        for instr in &blk.instrs {
+            if instr.has_side_effects() {
+                for u in instr.uses() {
+                    mark(u, &mut live, &mut work);
+                }
+                // Side-effecting defs are kept, so their uses stay too;
+                // defs themselves need not be marked live to be kept.
+            }
+        }
+        if let Some(c) = blk.term.used_var() {
+            mark(c, &mut live, &mut work);
+        }
+    }
+
+    // Def lookup: var -> (block, index).
+    let mut def_of: Vec<Option<(usize, usize)>> = vec![None; func.vars.len()];
+    for b in func.block_ids() {
+        for (i, instr) in func.block(b).instrs.iter().enumerate() {
+            for d in instr.defs() {
+                def_of[d.index()] = Some((b.index(), i));
+            }
+        }
+    }
+
+    // Propagate liveness backwards through definitions.
+    while let Some(v) = work.pop() {
+        if let Some((bi, ii)) = def_of[v.index()] {
+            let instr = &func.blocks[bi].instrs[ii];
+            for u in instr.uses() {
+                if live.insert(u) {
+                    work.push(u);
+                }
+            }
+        }
+    }
+
+    // Sweep.
+    let mut removed = 0;
+    for b in func.block_ids() {
+        let blk = func.block_mut(b);
+        let before = blk.instrs.len();
+        blk.instrs.retain(|instr| {
+            instr.has_side_effects() || instr.defs().iter().any(|d| live.contains(d))
+        });
+        removed += before - blk.instrs.len();
+    }
+    removed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::copy_prop::copy_propagate;
+    use matc_frontend::parser::parse_program;
+    use matc_ir::instr::InstrKind;
+    use matc_ir::{build_ssa, verify_func};
+
+    fn prepped(src: &str) -> FuncIr {
+        let ast = parse_program([src]).unwrap();
+        let prog = build_ssa(&ast).unwrap();
+        prog.entry_func().clone()
+    }
+
+    #[test]
+    fn removes_unused_computation() {
+        let mut f = prepped("function y = f(x)\ndead = x * 2;\ny = x + 1;\n");
+        let n = eliminate_dead_code(&mut f);
+        assert!(n >= 1, "{f}");
+        verify_func(&f).unwrap();
+        let text = f.to_string();
+        assert!(!text.contains("dead"), "{text}");
+    }
+
+    #[test]
+    fn keeps_effects_and_rand() {
+        let mut f = prepped("function y = f(x)\nfprintf('hi\\n');\nunused = rand(3, 3);\ny = x;\n");
+        eliminate_dead_code(&mut f);
+        let text = f.to_string();
+        assert!(text.contains("fprintf"), "{text}");
+        assert!(text.contains("rand"), "rand advances RNG state: {text}");
+    }
+
+    #[test]
+    fn copies_then_dce_removes_copy_instrs() {
+        let mut f = prepped("function out = f(x)\ny = x;\nz = y;\nout = z + 1;\n");
+        copy_propagate(&mut f);
+        eliminate_dead_code(&mut f);
+        verify_func(&f).unwrap();
+        let copies: usize = f
+            .block_ids()
+            .map(|b| {
+                f.block(b)
+                    .instrs
+                    .iter()
+                    .filter(|i| matches!(i.kind, InstrKind::Copy { .. }))
+                    .count()
+            })
+            .sum();
+        assert_eq!(copies, 0, "{f}");
+    }
+
+    #[test]
+    fn dead_phi_removed() {
+        let mut f = prepped("function y = f(x)\nif x > 0\nd = 1;\nelse\nd = 2;\nend\ny = x;\n");
+        eliminate_dead_code(&mut f);
+        verify_func(&f).unwrap();
+        let phis: usize = f.block_ids().map(|b| f.block(b).phis().count()).sum();
+        assert_eq!(phis, 0, "phi for dead `d` must go:\n{f}");
+    }
+
+    #[test]
+    fn keeps_display_values_alive() {
+        let mut f = prepped("function f(x)\nv = x * 3\n");
+        eliminate_dead_code(&mut f);
+        let text = f.to_string();
+        assert!(text.contains("bin[*]"), "displayed value stays: {text}");
+    }
+}

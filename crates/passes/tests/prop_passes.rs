@@ -1,0 +1,67 @@
+//! Pass-pipeline properties on random structured programs: the
+//! optimizer is a **fixpoint** (a second run changes nothing), keeps
+//! the IR verifier happy, and never grows the instruction count.
+
+use matc_frontend::parser::parse_program;
+use matc_ir::build_ssa;
+use proptest::prelude::*;
+
+fn arb_stmt() -> impl Strategy<Value = String> {
+    prop_oneof![
+        (0..4usize, 1..9i32).prop_map(|(v, k)| format!("v{v} = {k};\n")),
+        (0..4usize, 0..4usize, 0..4usize).prop_map(|(d, a, b)| format!("v{d} = v{a} + v{b};\n")),
+        (0..4usize, 0..4usize).prop_map(|(d, a)| format!("v{d} = v{a} * 2;\n")),
+        (0..4usize).prop_map(|v| format!("v{v} = rand(2, 2);\n")),
+        (0..4usize, 0..4usize)
+            .prop_map(|(d, a)| format!("if v{a}(1) > 0\nv{d} = 1;\nelse\nv{d} = 2;\nend\n")),
+        (0..4usize).prop_map(|v| format!("for t = 1:3\nv{v} = v{v} + t;\nend\n")),
+        // Dead code fodder: a value never observed again.
+        (0..4usize).prop_map(|v| format!("dead{v} = v{v} .* 3;\n")),
+    ]
+}
+
+fn render(stmts: &[String]) -> String {
+    let mut src = String::new();
+    for i in 0..4 {
+        src.push_str(&format!("v{i} = {};\n", i + 1));
+    }
+    for s in stmts {
+        src.push_str(s);
+    }
+    src.push_str("disp(v0 + v1 + v2 + v3);\n");
+    src
+}
+
+fn instr_count(ir: &matc_ir::IrProgram) -> usize {
+    ir.functions
+        .iter()
+        .map(|f| {
+            f.block_ids()
+                .map(|b| f.block(b).instrs.len())
+                .sum::<usize>()
+        })
+        .sum()
+}
+
+fn render_ir(ir: &matc_ir::IrProgram) -> String {
+    ir.functions.iter().map(|f| f.to_string()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, .. ProptestConfig::default() })]
+
+    #[test]
+    fn optimizer_is_a_fixpoint(stmts in proptest::collection::vec(arb_stmt(), 0..10)) {
+        let src = render(&stmts);
+        let ast = parse_program([src.as_str()]).unwrap();
+        let mut ir = build_ssa(&ast).unwrap();
+        let before = instr_count(&ir);
+        matc_passes::optimize_program(&mut ir);
+        let after_one = instr_count(&ir);
+        prop_assert!(after_one <= before, "optimizer grew the program");
+        matc_ir::verify::verify_program(&ir).unwrap();
+        let printed_one = render_ir(&ir);
+        matc_passes::optimize_program(&mut ir);
+        prop_assert_eq!(printed_one, render_ir(&ir), "second run changed the IR");
+    }
+}

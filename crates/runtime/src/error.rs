@@ -1,0 +1,35 @@
+//! Run-time errors.
+
+use std::fmt;
+
+/// An error raised during MATLAB-semantics execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RtError {
+    /// Human-readable description, lowercase, no trailing punctuation.
+    pub message: String,
+}
+
+impl RtError {
+    /// Creates an error.
+    pub fn new(message: impl Into<String>) -> Self {
+        RtError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for RtError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for RtError {}
+
+/// Convenience alias for runtime results.
+pub type Result<T> = std::result::Result<T, RtError>;
+
+/// Shorthand error constructor.
+pub fn err<T>(message: impl Into<String>) -> Result<T> {
+    Err(RtError::new(message))
+}

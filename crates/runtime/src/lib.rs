@@ -1,0 +1,38 @@
+//! # matc-runtime
+//!
+//! The execution substrate shared by every `matc` executor: MATLAB array
+//! values with full operator semantics, a deterministic RNG, C-style
+//! output formatting, and the instrumented memory accounting behind the
+//! paper's Figures 2–4 (time-weighted averages per Equation 2,
+//! kcore-min, stack/heap segment models).
+//!
+//! This crate is deliberately independent of the compiler crates so the
+//! reference interpreter, the mcc-model VM and the GCTD-planned VM all
+//! execute the *same* semantics.
+//!
+//! ## Example
+//!
+//! ```
+//! use matc_runtime::value::Value;
+//! use matc_runtime::ops::{arith, linalg};
+//!
+//! let a = Value::from_parts(vec![2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+//! let b = arith::add(&a, &Value::scalar(1.0))?;
+//! let c = linalg::matmul(&a, &b)?;
+//! assert_eq!(c.dims(), &[2, 2]);
+//! # Ok::<(), matc_runtime::error::RtError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod format;
+pub mod mem;
+pub mod ops;
+pub mod rng;
+pub mod value;
+
+pub use error::{Result, RtError};
+pub use mem::{ImageModel, MemRecorder};
+pub use rng::Rng;
+pub use value::{Class, Value};

@@ -1,0 +1,244 @@
+//! Matrix-literal concatenation (`[a b; c d]`) and transposes.
+
+use crate::error::{err, Result};
+use crate::value::{Class, Value};
+
+/// Builds `[row₁; row₂; ...]` where each row is the horizontal
+/// concatenation of its elements. Empty operands are skipped, matching
+/// MATLAB.
+///
+/// # Errors
+///
+/// Fails on inconsistent heights within a row or widths across rows.
+pub fn matrix_build(rows: &[Vec<&Value>]) -> Result<Value> {
+    // Horizontal concat per row.
+    let mut row_vals: Vec<Value> = Vec::with_capacity(rows.len());
+    for row in rows {
+        let parts: Vec<&Value> = row.iter().copied().filter(|v| !v.is_empty()).collect();
+        if parts.is_empty() {
+            continue;
+        }
+        row_vals.push(hcat(&parts)?);
+    }
+    if row_vals.is_empty() {
+        return Ok(Value::empty());
+    }
+    let refs: Vec<&Value> = row_vals.iter().collect();
+    vcat(&refs)
+}
+
+/// Horizontal concatenation (equal heights, widths add).
+pub fn hcat(parts: &[&Value]) -> Result<Value> {
+    let h = parts[0].dims()[0];
+    let mut w = 0;
+    let mut complex = false;
+    let mut class = parts[0].class();
+    for p in parts {
+        if p.dims().len() != 2 {
+            return err("concatenation of >2-D arrays is not supported");
+        }
+        if p.dims()[0] != h {
+            return err(format!(
+                "horizontal concatenation height mismatch: {} vs {}",
+                h,
+                p.dims()[0]
+            ));
+        }
+        w += p.dims()[1];
+        complex |= p.is_complex();
+        if p.class() != class {
+            class = Class::Double;
+        }
+    }
+    // Column-major: columns of each part in order.
+    let n = h * w;
+    let mut re = Vec::with_capacity(n);
+    let mut im = if complex {
+        Some(Vec::with_capacity(n))
+    } else {
+        None
+    };
+    for p in parts {
+        re.extend_from_slice(p.re());
+        if let Some(im) = &mut im {
+            match p.im() {
+                Some(pim) => im.extend_from_slice(pim),
+                None => im.extend(std::iter::repeat_n(0.0, p.numel())),
+            }
+        }
+    }
+    Ok(match im {
+        Some(im) => Value::from_complex_parts(vec![h, w], re, im)
+            .normalized()
+            .with_class(class),
+        None => Value::from_parts(vec![h, w], re).with_class(class),
+    })
+}
+
+/// Vertical concatenation (equal widths, heights add).
+pub fn vcat(parts: &[&Value]) -> Result<Value> {
+    if parts.len() == 1 {
+        return Ok(parts[0].clone());
+    }
+    let w = parts[0].dims()[1];
+    let mut h = 0;
+    let mut complex = false;
+    let mut class = parts[0].class();
+    for p in parts {
+        if p.dims().len() != 2 {
+            return err("concatenation of >2-D arrays is not supported");
+        }
+        if p.dims()[1] != w {
+            return err(format!(
+                "vertical concatenation width mismatch: {} vs {}",
+                w,
+                p.dims()[1]
+            ));
+        }
+        h += p.dims()[0];
+        complex |= p.is_complex();
+        if p.class() != class {
+            class = Class::Double;
+        }
+    }
+    let n = h * w;
+    let mut re = vec![0.0; n];
+    let mut im = if complex { Some(vec![0.0; n]) } else { None };
+    let mut row0 = 0;
+    for p in parts {
+        let ph = p.dims()[0];
+        for c in 0..w {
+            for r in 0..ph {
+                let dst = (row0 + r) + h * c;
+                let src = r + ph * c;
+                re[dst] = p.re()[src];
+                if let Some(im) = &mut im {
+                    im[dst] = p.im().map_or(0.0, |s| s[src]);
+                }
+            }
+        }
+        row0 += ph;
+    }
+    Ok(match im {
+        Some(im) => Value::from_complex_parts(vec![h, w], re, im)
+            .normalized()
+            .with_class(class),
+        None => Value::from_parts(vec![h, w], re).with_class(class),
+    })
+}
+
+/// Plain transpose `a.'`.
+///
+/// # Errors
+///
+/// Fails for arrays of rank > 2.
+pub fn transpose(a: &Value) -> Result<Value> {
+    if a.dims().len() != 2 {
+        return err("transpose of an N-D array is not defined");
+    }
+    let (h, w) = (a.dims()[0], a.dims()[1]);
+    let n = a.numel();
+    let mut re = vec![0.0; n];
+    let mut im = a.im().map(|_| vec![0.0; n]);
+    for c in 0..w {
+        for r in 0..h {
+            let src = r + h * c;
+            let dst = c + w * r;
+            re[dst] = a.re()[src];
+            if let Some(im) = &mut im {
+                im[dst] = a.im().unwrap()[src];
+            }
+        }
+    }
+    Ok(match im {
+        Some(im) => Value::from_complex_parts(vec![w, h], re, im).with_class(a.class()),
+        None => Value::from_parts(vec![w, h], re).with_class(a.class()),
+    })
+}
+
+/// Complex-conjugate transpose `a'`.
+///
+/// # Errors
+///
+/// Fails for arrays of rank > 2.
+pub fn ctranspose(a: &Value) -> Result<Value> {
+    let t = transpose(a)?;
+    Ok(crate::ops::maps::conj(&t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_of_scalars() {
+        let (a, b, c) = (Value::scalar(1.0), Value::scalar(2.0), Value::scalar(3.0));
+        let m = matrix_build(&[vec![&a, &b, &c]]).unwrap();
+        assert_eq!(m.dims(), &[1, 3]);
+        assert_eq!(m.re(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn two_by_two_from_scalars() {
+        let vals: Vec<Value> = (1..=4).map(|i| Value::scalar(i as f64)).collect();
+        let m = matrix_build(&[vec![&vals[0], &vals[1]], vec![&vals[2], &vals[3]]]).unwrap();
+        assert_eq!(m.dims(), &[2, 2]);
+        // [1 2; 3 4] column-major: 1 3 2 4.
+        assert_eq!(m.re(), &[1.0, 3.0, 2.0, 4.0]);
+    }
+
+    #[test]
+    fn block_concatenation() {
+        let a = Value::from_parts(vec![2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Value::col(vec![9.0, 9.0]);
+        let m = matrix_build(&[vec![&a, &b]]).unwrap();
+        assert_eq!(m.dims(), &[2, 3]);
+        assert_eq!(m.re(), &[1.0, 2.0, 3.0, 4.0, 9.0, 9.0]);
+    }
+
+    #[test]
+    fn empty_operands_skipped() {
+        let a = Value::row(vec![1.0, 2.0]);
+        let e = Value::empty();
+        let m = matrix_build(&[vec![&e, &a]]).unwrap();
+        assert_eq!(m.re(), &[1.0, 2.0]);
+        assert!(matrix_build(&[vec![&e]]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn mismatches_error() {
+        let a = Value::row(vec![1.0, 2.0]);
+        let b = Value::row(vec![1.0, 2.0, 3.0]);
+        assert!(matrix_build(&[vec![&a], vec![&b]]).is_err());
+        let c = Value::col(vec![1.0, 2.0]);
+        assert!(matrix_build(&[vec![&a, &c]]).is_err());
+    }
+
+    #[test]
+    fn transpose_matrix() {
+        let a = Value::from_parts(vec![2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let t = transpose(&a).unwrap();
+        assert_eq!(t.dims(), &[3, 2]);
+        // a = [1 3 5; 2 4 6]; a.' = [1 2; 3 4; 5 6] -> col-major 1 3 5 2 4 6.
+        assert_eq!(t.re(), &[1.0, 3.0, 5.0, 2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn ctranspose_conjugates() {
+        let a = Value::from_complex_parts(vec![1, 2], vec![1.0, 2.0], vec![1.0, -1.0]);
+        let t = ctranspose(&a).unwrap();
+        assert_eq!(t.dims(), &[2, 1]);
+        assert_eq!(t.at(0), (1.0, -1.0));
+        assert_eq!(t.at(1), (2.0, 1.0));
+    }
+
+    #[test]
+    fn vcat_blocks() {
+        let a = Value::row(vec![1.0, 2.0]);
+        let b = Value::from_parts(vec![2, 2], vec![3.0, 5.0, 4.0, 6.0]);
+        let m = matrix_build(&[vec![&a], vec![&b]]).unwrap();
+        assert_eq!(m.dims(), &[3, 2]);
+        // [1 2; 3 4; 5 6] col-major: 1 3 5 2 4 6.
+        assert_eq!(m.re(), &[1.0, 3.0, 5.0, 2.0, 4.0, 6.0]);
+    }
+}

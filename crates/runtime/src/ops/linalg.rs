@@ -1,0 +1,303 @@
+//! Matrix operations: multiplication, power, and the division operators
+//! backed by LU factorization with partial pivoting.
+
+use crate::error::{err, Result};
+use crate::ops::arith;
+use crate::value::Value;
+
+/// `a * b` — matrix multiplication; elementwise when either side is
+/// scalar (§2.3's dual behavior of `*`).
+///
+/// # Errors
+///
+/// Fails on inner-dimension mismatches.
+pub fn matmul(a: &Value, b: &Value) -> Result<Value> {
+    if a.is_scalar() || b.is_scalar() {
+        return arith::elem_mul(a, b);
+    }
+    if a.dims().len() != 2 || b.dims().len() != 2 {
+        return err("matrix multiplication of N-D arrays is not defined");
+    }
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    let (k2, n) = (b.dims()[0], b.dims()[1]);
+    if k != k2 {
+        return err(format!(
+            "inner matrix dimensions must agree: {m}x{k} * {k2}x{n}"
+        ));
+    }
+    let complex = a.is_complex() || b.is_complex();
+    let mut re = vec![0.0; m * n];
+    let mut im = if complex {
+        Some(vec![0.0; m * n])
+    } else {
+        None
+    };
+    for j in 0..n {
+        for l in 0..k {
+            let (br, bi) = b.at(l + k * j);
+            if br == 0.0 && bi == 0.0 {
+                continue;
+            }
+            for i in 0..m {
+                let (ar, ai) = a.at(i + m * l);
+                re[i + m * j] += ar * br - ai * bi;
+                if let Some(im) = &mut im {
+                    im[i + m * j] += ar * bi + ai * br;
+                }
+            }
+        }
+    }
+    Ok(match im {
+        Some(im) => Value::from_complex_parts(vec![m, n], re, im).normalized(),
+        None => Value::from_parts(vec![m, n], re),
+    })
+}
+
+/// `a ^ b` — matrix power for square `a` and integral scalar `b`;
+/// elementwise power when both are scalars.
+///
+/// # Errors
+///
+/// Fails for non-square bases or unsupported exponents.
+pub fn matpow(a: &Value, b: &Value) -> Result<Value> {
+    if a.is_scalar() && b.is_scalar() {
+        return arith::elem_pow_auto(a, b);
+    }
+    let p = match b.as_scalar() {
+        Some(p) if p.fract() == 0.0 && p >= 0.0 => p as u64,
+        _ => {
+            return err("matrix power requires a nonnegative integer scalar exponent");
+        }
+    };
+    if a.dims().len() != 2 || a.dims()[0] != a.dims()[1] {
+        return err("matrix power requires a square matrix");
+    }
+    let n = a.dims()[0];
+    let mut result = identity(n);
+    let mut base = a.clone();
+    let mut e = p;
+    while e > 0 {
+        if e & 1 == 1 {
+            result = matmul(&result, &base)?;
+        }
+        e >>= 1;
+        if e > 0 {
+            base = matmul(&base, &base)?;
+        }
+    }
+    Ok(result)
+}
+
+fn identity(n: usize) -> Value {
+    let mut re = vec![0.0; n * n];
+    for i in 0..n {
+        re[i + n * i] = 1.0;
+    }
+    Value::from_parts(vec![n, n], re)
+}
+
+/// `a \ b` — left division: the solution of `a * x = b`. Scalar `a`
+/// degenerates to elementwise division.
+///
+/// # Errors
+///
+/// Fails for singular or non-square systems.
+pub fn left_div(a: &Value, b: &Value) -> Result<Value> {
+    if a.is_scalar() {
+        return arith::elem_div(b, a);
+    }
+    if a.is_complex() || b.is_complex() {
+        return err("complex linear solves are not supported");
+    }
+    if a.dims().len() != 2 || a.dims()[0] != a.dims()[1] {
+        return err("left division requires a square system");
+    }
+    let n = a.dims()[0];
+    if b.dims()[0] != n {
+        return err(format!(
+            "left division dimension mismatch: {n}x{n} \\ {}x{}",
+            b.dims()[0],
+            b.dims()[1]
+        ));
+    }
+    let nrhs = b.dims()[1];
+    // LU with partial pivoting on a copy.
+    let mut lu = a.re().to_vec();
+    let mut piv: Vec<usize> = (0..n).collect();
+    for k in 0..n {
+        // Pivot search.
+        let mut p = k;
+        let mut best = lu[k + n * k].abs();
+        for i in k + 1..n {
+            let v = lu[i + n * k].abs();
+            if v > best {
+                best = v;
+                p = i;
+            }
+        }
+        if best == 0.0 {
+            return err("matrix is singular to working precision");
+        }
+        if p != k {
+            for j in 0..n {
+                lu.swap(k + n * j, p + n * j);
+            }
+            piv.swap(k, p);
+        }
+        let d = lu[k + n * k];
+        for i in k + 1..n {
+            let f = lu[i + n * k] / d;
+            lu[i + n * k] = f;
+            for j in k + 1..n {
+                lu[i + n * j] -= f * lu[k + n * j];
+            }
+        }
+    }
+    // Solve for each right-hand side.
+    let mut x = vec![0.0; n * nrhs];
+    for r in 0..nrhs {
+        // Apply the permutation.
+        let mut y: Vec<f64> = (0..n).map(|i| b.re()[piv[i] + n * r]).collect();
+        // Forward substitution (unit lower).
+        for i in 1..n {
+            for j in 0..i {
+                y[i] -= lu[i + n * j] * y[j];
+            }
+        }
+        // Backward substitution.
+        for i in (0..n).rev() {
+            for j in i + 1..n {
+                y[i] -= lu[i + n * j] * y[j];
+            }
+            y[i] /= lu[i + n * i];
+        }
+        x[n * r..n * r + n].copy_from_slice(&y);
+    }
+    Ok(Value::from_parts(vec![n, nrhs], x))
+}
+
+/// `a / b` — right division `a * inv(b)`, computed as `(bᵀ \ aᵀ)ᵀ`.
+/// Scalar `b` degenerates to elementwise division.
+///
+/// # Errors
+///
+/// Fails for singular or non-square systems.
+pub fn right_div(a: &Value, b: &Value) -> Result<Value> {
+    if b.is_scalar() {
+        return arith::elem_div(a, b);
+    }
+    let at = crate::ops::concat::transpose(a)?;
+    let bt = crate::ops::concat::transpose(b)?;
+    let xt = left_div(&bt, &at)?;
+    crate::ops::concat::transpose(&xt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m22(a: f64, b: f64, c: f64, d: f64) -> Value {
+        // [a b; c d]
+        Value::from_parts(vec![2, 2], vec![a, c, b, d])
+    }
+
+    #[test]
+    fn matmul_basics() {
+        let a = m22(1.0, 2.0, 3.0, 4.0);
+        let b = m22(5.0, 6.0, 7.0, 8.0);
+        let c = matmul(&a, &b).unwrap();
+        // [1 2; 3 4][5 6; 7 8] = [19 22; 43 50]
+        assert_eq!(c.re(), &[19.0, 43.0, 22.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_rectangular() {
+        let a = Value::from_parts(vec![2, 3], vec![1.0, 4.0, 2.0, 5.0, 3.0, 6.0]);
+        let b = Value::from_parts(vec![3, 1], vec![1.0, 1.0, 1.0]);
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.dims(), &[2, 1]);
+        assert_eq!(c.re(), &[6.0, 15.0]);
+    }
+
+    #[test]
+    fn matmul_scalar_is_elementwise() {
+        let a = m22(1.0, 2.0, 3.0, 4.0);
+        let c = matmul(&a, &Value::scalar(2.0)).unwrap();
+        assert_eq!(c.re(), &[2.0, 6.0, 4.0, 8.0]);
+    }
+
+    #[test]
+    fn matmul_mismatch_errors() {
+        let a = m22(1.0, 2.0, 3.0, 4.0);
+        let b = Value::from_parts(vec![3, 1], vec![1.0, 1.0, 1.0]);
+        assert!(matmul(&a, &b).is_err());
+    }
+
+    #[test]
+    fn complex_matmul() {
+        // [i] * [i] (1x1 matrices treated as scalars) = -1.
+        let i = Value::complex_scalar(0.0, 1.0);
+        let c = matmul(&i, &i).unwrap();
+        assert_eq!(c.as_scalar(), Some(-1.0));
+    }
+
+    #[test]
+    fn matrix_power() {
+        let a = m22(1.0, 1.0, 1.0, 0.0); // Fibonacci matrix
+        let a5 = matpow(&a, &Value::scalar(5.0)).unwrap();
+        // a^5 = [8 5; 5 3]
+        assert_eq!(a5.re(), &[8.0, 5.0, 5.0, 3.0]);
+        let a0 = matpow(&a, &Value::scalar(0.0)).unwrap();
+        assert_eq!(a0.re(), &[1.0, 0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn linear_solve() {
+        // [2 1; 1 3] x = [3; 5] -> x = [0.8; 1.4]
+        let a = m22(2.0, 1.0, 1.0, 3.0);
+        let b = Value::col(vec![3.0, 5.0]);
+        let x = left_div(&a, &b).unwrap();
+        assert!((x.re()[0] - 0.8).abs() < 1e-12);
+        assert!((x.re()[1] - 1.4).abs() < 1e-12);
+        // Residual check.
+        let r = matmul(&a, &x).unwrap();
+        assert!((r.re()[0] - 3.0).abs() < 1e-12);
+        assert!((r.re()[1] - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Leading zero forces a row swap.
+        let a = m22(0.0, 1.0, 1.0, 0.0);
+        let b = Value::col(vec![2.0, 3.0]);
+        let x = left_div(&a, &b).unwrap();
+        assert_eq!(x.re(), &[3.0, 2.0]);
+    }
+
+    #[test]
+    fn singular_detected() {
+        let a = m22(1.0, 2.0, 2.0, 4.0);
+        let b = Value::col(vec![1.0, 2.0]);
+        assert!(left_div(&a, &b).is_err());
+    }
+
+    #[test]
+    fn right_division() {
+        // x = a / b solves x*b = a.
+        let a = Value::row(vec![3.0, 5.0]);
+        let b = m22(2.0, 1.0, 1.0, 3.0);
+        let x = right_div(&a, &b).unwrap();
+        let back = matmul(&x, &b).unwrap();
+        assert!((back.re()[0] - 3.0).abs() < 1e-12);
+        assert!((back.re()[1] - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scalar_divisions() {
+        let a = m22(2.0, 4.0, 6.0, 8.0);
+        let r = right_div(&a, &Value::scalar(2.0)).unwrap();
+        assert_eq!(r.re(), &[1.0, 3.0, 2.0, 4.0]);
+        let l = left_div(&Value::scalar(2.0), &a).unwrap();
+        assert_eq!(l.re(), &[1.0, 3.0, 2.0, 4.0]);
+    }
+}

@@ -1,0 +1,8 @@
+//! MATLAB operation semantics over [`crate::value::Value`].
+
+pub mod arith;
+pub mod concat;
+pub mod index;
+pub mod linalg;
+pub mod maps;
+pub mod reduce;

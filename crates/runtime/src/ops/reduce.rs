@@ -1,0 +1,239 @@
+//! Reductions: `sum`, `prod`, `mean`, `max`/`min` (1-argument forms),
+//! `any`, `all`, `norm`.
+//!
+//! MATLAB semantics: vectors reduce to scalars; matrices reduce
+//! column-wise to a row vector. All loops run **column-forward** and
+//! accumulate before writing, keeping the read-then-write discipline the
+//! planned VM's storage sharing assumes.
+
+use crate::error::{err, Result};
+use crate::value::{Class, Value};
+
+/// The shape of a columnwise reduction: `(columns, column_len, vector?)`.
+fn reduce_geometry(a: &Value) -> (usize, usize) {
+    if a.is_vector() || a.is_scalar() {
+        (1, a.numel())
+    } else {
+        let d = a.dims();
+        let rows = d[0];
+        let cols: usize = d[1..].iter().product();
+        (cols, rows)
+    }
+}
+
+fn reduce_with(
+    a: &Value,
+    init: (f64, f64),
+    fold: impl Fn((f64, f64), (f64, f64)) -> (f64, f64),
+    post: impl Fn((f64, f64), usize) -> (f64, f64),
+) -> Value {
+    let (cols, len) = reduce_geometry(a);
+    let mut re = Vec::with_capacity(cols);
+    let mut im = Vec::with_capacity(cols);
+    for c in 0..cols {
+        let mut acc = init;
+        for k in 0..len {
+            acc = fold(acc, a.at(c * len + k));
+        }
+        let (r, i) = post(acc, len);
+        re.push(r);
+        im.push(i);
+    }
+    let dims = if cols == 1 { vec![1, 1] } else { vec![1, cols] };
+    if a.is_complex() {
+        Value::from_complex_parts(dims, re, im).normalized()
+    } else {
+        Value::from_parts(dims, re)
+    }
+}
+
+/// `sum(a)` — vector → scalar; matrix → row of column sums.
+pub fn sum(a: &Value) -> Value {
+    reduce_with(a, (0.0, 0.0), |x, y| (x.0 + y.0, x.1 + y.1), |x, _| x)
+}
+
+/// `prod(a)`.
+pub fn prod(a: &Value) -> Value {
+    reduce_with(
+        a,
+        (1.0, 0.0),
+        |x, y| (x.0 * y.0 - x.1 * y.1, x.0 * y.1 + x.1 * y.0),
+        |x, _| x,
+    )
+}
+
+/// `mean(a)`.
+pub fn mean(a: &Value) -> Value {
+    reduce_with(
+        a,
+        (0.0, 0.0),
+        |x, y| (x.0 + y.0, x.1 + y.1),
+        |x, n| (x.0 / n as f64, x.1 / n as f64),
+    )
+}
+
+/// 1-argument `max(a)` with the index of the maximum (for `[m, i] =
+/// max(a)`).
+pub fn max1(a: &Value) -> Result<(Value, Value)> {
+    minmax(a, true)
+}
+
+/// 1-argument `min(a)` with the index of the minimum.
+pub fn min1(a: &Value) -> Result<(Value, Value)> {
+    minmax(a, false)
+}
+
+fn minmax(a: &Value, want_max: bool) -> Result<(Value, Value)> {
+    if a.is_empty() {
+        return Ok((Value::empty(), Value::empty()));
+    }
+    if a.is_complex() {
+        return err("max/min of complex values compares magnitudes; unsupported");
+    }
+    let (cols, len) = reduce_geometry(a);
+    let mut vals = Vec::with_capacity(cols);
+    let mut idxs = Vec::with_capacity(cols);
+    for c in 0..cols {
+        let mut best = a.re()[c * len];
+        let mut bi = 0usize;
+        for k in 1..len {
+            let x = a.re()[c * len + k];
+            let better = if want_max { x > best } else { x < best };
+            if better || best.is_nan() {
+                best = x;
+                bi = k;
+            }
+        }
+        vals.push(best);
+        idxs.push((bi + 1) as f64);
+    }
+    let dims = if cols == 1 { vec![1, 1] } else { vec![1, cols] };
+    Ok((
+        Value::from_parts(dims.clone(), vals),
+        Value::from_parts(dims, idxs),
+    ))
+}
+
+/// `any(a)`.
+pub fn any(a: &Value) -> Value {
+    reduce_with(
+        a,
+        (0.0, 0.0),
+        |x, y| {
+            if y.0 != 0.0 || y.1 != 0.0 {
+                (1.0, 0.0)
+            } else {
+                x
+            }
+        },
+        |x, _| x,
+    )
+    .with_class(Class::Logical)
+}
+
+/// `all(a)`.
+pub fn all(a: &Value) -> Value {
+    reduce_with(
+        a,
+        (1.0, 0.0),
+        |x, y| {
+            if y.0 == 0.0 && y.1 == 0.0 {
+                (0.0, 0.0)
+            } else {
+                x
+            }
+        },
+        |x, _| x,
+    )
+    .with_class(Class::Logical)
+}
+
+/// `norm(a)`: the 2-norm of a vector, the Frobenius norm of a matrix
+/// (MATLAB's `norm(A)` is the spectral norm; Frobenius is the documented
+/// substitution — the benchmarks use vector norms only).
+pub fn norm(a: &Value) -> Value {
+    let mut acc = 0.0;
+    for i in 0..a.numel() {
+        let (r, m) = a.at(i);
+        acc += r * r + m * m;
+    }
+    Value::scalar(acc.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m23() -> Value {
+        // [1 3 5; 2 4 6]
+        Value::from_parts(vec![2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0])
+    }
+
+    #[test]
+    fn vector_reductions_are_scalars() {
+        let v = Value::row(vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(sum(&v).as_scalar(), Some(10.0));
+        assert_eq!(prod(&v).as_scalar(), Some(24.0));
+        assert_eq!(mean(&v).as_scalar(), Some(2.5));
+    }
+
+    #[test]
+    fn matrix_reductions_are_rows() {
+        let m = m23();
+        let s = sum(&m);
+        assert_eq!(s.dims(), &[1, 3]);
+        assert_eq!(s.re(), &[3.0, 7.0, 11.0]);
+        let p = prod(&m);
+        assert_eq!(p.re(), &[2.0, 12.0, 30.0]);
+    }
+
+    #[test]
+    fn sum_of_sum_is_total() {
+        let m = m23();
+        assert_eq!(sum(&sum(&m)).as_scalar(), Some(21.0));
+    }
+
+    #[test]
+    fn minmax_with_indices() {
+        let v = Value::row(vec![3.0, 1.0, 4.0, 1.0, 5.0]);
+        let (m, i) = max1(&v).unwrap();
+        assert_eq!(m.as_scalar(), Some(5.0));
+        assert_eq!(i.as_scalar(), Some(5.0));
+        let (mn, mi) = min1(&v).unwrap();
+        assert_eq!(mn.as_scalar(), Some(1.0));
+        assert_eq!(mi.as_scalar(), Some(2.0), "first minimum wins");
+    }
+
+    #[test]
+    fn minmax_columnwise() {
+        let m = m23();
+        let (mx, idx) = max1(&m).unwrap();
+        assert_eq!(mx.re(), &[2.0, 4.0, 6.0]);
+        assert_eq!(idx.re(), &[2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn any_all() {
+        let v = Value::row(vec![0.0, 2.0, 0.0]);
+        assert_eq!(any(&v).as_scalar(), Some(1.0));
+        assert_eq!(all(&v).as_scalar(), Some(0.0));
+        let m = Value::from_parts(vec![2, 2], vec![1.0, 0.0, 3.0, 4.0]);
+        assert_eq!(any(&m).re(), &[1.0, 1.0]);
+        assert_eq!(all(&m).re(), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn complex_sum() {
+        let v = Value::from_complex_parts(vec![1, 2], vec![1.0, 2.0], vec![3.0, -3.0]);
+        let s = sum(&v);
+        assert_eq!(s.as_scalar(), Some(3.0), "imaginary parts cancel");
+    }
+
+    #[test]
+    fn norms() {
+        let v = Value::row(vec![3.0, 4.0]);
+        assert_eq!(norm(&v).as_scalar(), Some(5.0));
+        let c = Value::complex_scalar(3.0, 4.0);
+        assert_eq!(norm(&c).as_scalar(), Some(5.0));
+    }
+}

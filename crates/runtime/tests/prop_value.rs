@@ -1,0 +1,239 @@
+//! Property tests for the array-semantics laws the GCTD pass relies on.
+
+use matc_runtime::ops::index::{range, subsasgn, subsref, Sub};
+use matc_runtime::ops::{arith, concat};
+use matc_runtime::value::Value;
+use proptest::prelude::*;
+
+fn arb_matrix() -> impl Strategy<Value = Value> {
+    (1..5usize, 1..5usize).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-100.0..100.0f64, r * c)
+            .prop_map(move |data| Value::from_parts(vec![r, c], data))
+    })
+}
+
+/// Two matrices guaranteed to share one shape.
+fn arb_matrix_pair() -> impl Strategy<Value = (Value, Value)> {
+    (1..5usize, 1..5usize).prop_flat_map(|(r, c)| {
+        (
+            proptest::collection::vec(-100.0..100.0f64, r * c),
+            proptest::collection::vec(-100.0..100.0f64, r * c),
+        )
+            .prop_map(move |(x, y)| {
+                (
+                    Value::from_parts(vec![r, c], x),
+                    Value::from_parts(vec![r, c], y),
+                )
+            })
+    })
+}
+
+proptest! {
+    #[test]
+    fn transpose_is_an_involution(a in arb_matrix()) {
+        let t = concat::transpose(&a).unwrap();
+        let tt = concat::transpose(&t).unwrap();
+        prop_assert_eq!(tt, a);
+    }
+
+    #[test]
+    fn addition_commutes((a, b) in arb_matrix_pair()) {
+        let x = arith::add(&a, &b).unwrap();
+        let y = arith::add(&b, &a).unwrap();
+        prop_assert_eq!(x, y);
+    }
+
+    #[test]
+    fn scalar_expansion_matches_manual(a in arb_matrix(), s in -50.0..50.0f64) {
+        let sv = Value::scalar(s);
+        let x = arith::elem_mul(&a, &sv).unwrap();
+        for i in 0..a.numel() {
+            prop_assert!((x.re()[i] - a.re()[i] * s).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn subsasgn_then_subsref_reads_back(
+        a in arb_matrix(),
+        i in 1..7usize,
+        j in 1..7usize,
+        v in -100.0..100.0f64
+    ) {
+        // Growth allowed: writing beyond the extent expands; the read
+        // must return the written value and old elements must survive.
+        let old = a.clone();
+        let subs = [Sub::Indices(vec![i - 1]), Sub::Indices(vec![j - 1])];
+        let b = subsasgn(a, &Value::scalar(v), &subs).unwrap();
+        let got = subsref(&b, &subs).unwrap();
+        prop_assert_eq!(got.as_scalar(), Some(v));
+        // §2.3.3: all carried-over elements intact.
+        for (r0, c0) in (0..old.dims()[0]).flat_map(|r| (0..old.dims()[1]).map(move |c| (r, c))) {
+            if (r0, c0) == (i - 1, j - 1) {
+                continue;
+            }
+            let s = [Sub::Indices(vec![r0]), Sub::Indices(vec![c0])];
+            let was = subsref(&old, &s).unwrap().as_scalar().unwrap();
+            let now = subsref(&b, &s).unwrap().as_scalar().unwrap();
+            prop_assert_eq!(was, now, "element ({}, {}) moved", r0 + 1, c0 + 1);
+        }
+    }
+
+    #[test]
+    fn colon_gather_is_column_major(a in arb_matrix()) {
+        let all = subsref(&a, &[Sub::Colon]).unwrap();
+        prop_assert_eq!(all.re(), a.re());
+        prop_assert_eq!(all.dims(), &[a.numel(), 1]);
+    }
+
+    #[test]
+    fn permuting_subscript_round_trips(n in 1..6usize) {
+        // a(n:-1:1) reversed twice is the identity (the paper's §2.3.2
+        // permutation example).
+        let a = Value::row((1..=n).map(|x| x as f64).collect());
+        let rev = range(
+            &Value::scalar(n as f64),
+            Some(&Value::scalar(-1.0)),
+            &Value::scalar(1.0),
+        )
+        .unwrap();
+        let s = Sub::from_value(&rev).unwrap();
+        let r1 = subsref(&a, std::slice::from_ref(&s)).unwrap();
+        let r2 = subsref(&r1, &[s]).unwrap();
+        prop_assert_eq!(r2.re(), a.re());
+    }
+
+    #[test]
+    fn ew_assign_matches_allocating_add((a, b) in arb_matrix_pair()) {
+        let want = arith::add(&a, &b).unwrap();
+        let mut buf = a.clone();
+        prop_assert!(arith::ew_assign(&mut buf, &b, |x, y| x + y));
+        prop_assert_eq!(buf, want);
+    }
+
+    #[test]
+    fn hcat_then_slice_recovers(a in arb_matrix(), b in arb_matrix()) {
+        prop_assume!(a.dims()[0] == b.dims()[0]);
+        let m = concat::hcat(&[&a, &b]).unwrap();
+        let w1 = a.dims()[1];
+        let s = Sub::Indices((0..w1).collect());
+        let back = subsref(&m, &[Sub::Colon, s]).unwrap();
+        prop_assert_eq!(back.re(), a.re());
+    }
+
+    #[test]
+    fn range_length_formula(start in -10..10i32, step in 1..4i32, stop in -10..20i32) {
+        let r = range(
+            &Value::scalar(start as f64),
+            Some(&Value::scalar(step as f64)),
+            &Value::scalar(stop as f64),
+        )
+        .unwrap();
+        let expect = (((stop - start) as f64 / step as f64).floor() + 1.0).max(0.0) as usize;
+        prop_assert_eq!(r.numel(), expect);
+    }
+}
+
+/// Three matrices with multiplication-compatible shapes: (m×k), (k×n),
+/// plus a same-shape partner for the middle one.
+fn arb_matmul_triple() -> impl Strategy<Value = (Value, Value, Value)> {
+    (1..4usize, 1..4usize, 1..4usize).prop_flat_map(|(m, k, n)| {
+        (
+            proptest::collection::vec(-10.0..10.0f64, m * k),
+            proptest::collection::vec(-10.0..10.0f64, k * n),
+            proptest::collection::vec(-10.0..10.0f64, k * n),
+        )
+            .prop_map(move |(a, b, c)| {
+                (
+                    Value::from_parts(vec![m, k], a),
+                    Value::from_parts(vec![k, n], b),
+                    Value::from_parts(vec![k, n], c),
+                )
+            })
+    })
+}
+
+fn assert_close(a: &Value, b: &Value) {
+    assert_eq!(a.dims(), b.dims());
+    for i in 0..a.numel() {
+        let (x, _) = a.at(i);
+        let (y, _) = b.at(i);
+        assert!(
+            (x - y).abs() <= 1e-9 * x.abs().max(y.abs()).max(1.0),
+            "{x} vs {y}"
+        );
+    }
+}
+
+proptest! {
+    #[test]
+    fn matmul_distributes_over_addition((a, b, c) in arb_matmul_triple()) {
+        use matc_runtime::ops::linalg::matmul;
+        // A*(B + C) == A*B + A*C up to rounding.
+        let bc = arith::add(&b, &c).unwrap();
+        let lhs = matmul(&a, &bc).unwrap();
+        let ab = matmul(&a, &b).unwrap();
+        let ac = matmul(&a, &c).unwrap();
+        let rhs = arith::add(&ab, &ac).unwrap();
+        assert_close(&lhs, &rhs);
+    }
+
+    #[test]
+    fn matmul_transpose_law((a, b, _) in arb_matmul_triple()) {
+        use matc_runtime::ops::linalg::matmul;
+        // (A*B).' == B.' * A.'
+        let ab_t = concat::transpose(&matmul(&a, &b).unwrap()).unwrap();
+        let bt_at = matmul(
+            &concat::transpose(&b).unwrap(),
+            &concat::transpose(&a).unwrap(),
+        )
+        .unwrap();
+        assert_close(&ab_t, &bt_at);
+    }
+
+    #[test]
+    fn identity_is_neutral(a in arb_matrix()) {
+        use matc_runtime::ops::linalg::matmul;
+        let n = a.dims()[1];
+        // eye(n) as ones on the diagonal.
+        let mut e = vec![0.0; n * n];
+        for i in 0..n {
+            e[i + n * i] = 1.0;
+        }
+        let eye = Value::from_parts(vec![n, n], e);
+        let ae = matmul(&a, &eye).unwrap();
+        assert_close(&ae, &a);
+    }
+
+    #[test]
+    fn subsasgn_growth_preserves_and_zero_fills(
+        a in arb_matrix(),
+        gr in 1..4usize,
+        gc in 1..4usize,
+        v in -50.0..50.0f64,
+    ) {
+        // Store one element beyond both extents: old content must be
+        // preserved in place, the rest zero-filled (§2.3.3 semantics).
+        let (r0, c0) = (a.dims()[0], a.dims()[1]);
+        let (nr, nc) = (r0 + gr, c0 + gc);
+        let grown = subsasgn(
+            a.clone(),
+            &Value::scalar(v),
+            &[Sub::Indices(vec![nr - 1]), Sub::Indices(vec![nc - 1])],
+        )
+        .unwrap();
+        assert_eq!(grown.dims(), &[nr, nc]);
+        for c in 0..nc {
+            for r in 0..nr {
+                let got = grown.at(r + nr * c).0;
+                let want = if r < r0 && c < c0 {
+                    a.at(r + r0 * c).0
+                } else if r == nr - 1 && c == nc - 1 {
+                    v
+                } else {
+                    0.0
+                };
+                assert_eq!(got, want, "({r}, {c})");
+            }
+        }
+    }
+}

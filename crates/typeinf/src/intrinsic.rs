@@ -1,0 +1,133 @@
+//! The intrinsic-type lattice.
+//!
+//! The paper's MAGICA engine infers one of BOOLEAN, BYTE, INTEGER, REAL,
+//! COMPLEX, NONREAL or the abstract illegal type *i* for every variable
+//! (§3.1). Our lattice is the chain
+//!
+//! ```text
+//! Bool ⊑ Byte ⊑ Int ⊑ Real ⊑ Complex   (+ Illegal as ⊤-error)
+//! ```
+//!
+//! NONREAL — MAGICA's "anything but complex" — coincides with `Real` in a
+//! chain model and is represented by it (see DESIGN.md §4). The
+//! storage-size function |t| of §3.2 is [`Intrinsic::byte_size`]; phase 2
+//! of GCTD demands *identical* intrinsic types within a group precisely
+//! so the generated C needs no casts or realignment.
+
+use std::fmt;
+
+/// An intrinsic (element) type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Intrinsic {
+    /// Logical 0/1 (`BOOLEAN`), 1 byte.
+    Bool,
+    /// Character / small unsigned (`BYTE`), 1 byte.
+    Byte,
+    /// 32-bit integral values (`INTEGER`), 4 bytes.
+    Int,
+    /// Double-precision real (`REAL`, subsuming `NONREAL`), 8 bytes.
+    Real,
+    /// Double-precision complex (`COMPLEX`), 16 bytes.
+    Complex,
+    /// The abstract illegal type *i*: an intrinsic-type error was proven
+    /// possible. Treated as 16 bytes for conservative sizing.
+    Illegal,
+}
+
+impl Intrinsic {
+    /// The C storage size |t| in bytes of one element.
+    pub fn byte_size(self) -> u64 {
+        match self {
+            Intrinsic::Bool | Intrinsic::Byte => 1,
+            Intrinsic::Int => 4,
+            Intrinsic::Real => 8,
+            Intrinsic::Complex | Intrinsic::Illegal => 16,
+        }
+    }
+
+    /// Lattice join (least upper bound): the chain maximum.
+    pub fn join(self, other: Intrinsic) -> Intrinsic {
+        self.max(other)
+    }
+
+    /// The smallest intrinsic type able to represent the closed real
+    /// interval `[lo, hi]`, given whether all values are integral.
+    ///
+    /// ```
+    /// use matc_typeinf::intrinsic::Intrinsic;
+    ///
+    /// assert_eq!(Intrinsic::for_range(0.0, 1.0, true), Intrinsic::Bool);
+    /// assert_eq!(Intrinsic::for_range(0.0, 200.0, true), Intrinsic::Byte);
+    /// assert_eq!(Intrinsic::for_range(-5.0, 9.0, true), Intrinsic::Int);
+    /// assert_eq!(Intrinsic::for_range(0.0, 1.0, false), Intrinsic::Real);
+    /// ```
+    pub fn for_range(lo: f64, hi: f64, integral: bool) -> Intrinsic {
+        if !integral || !lo.is_finite() || !hi.is_finite() {
+            return Intrinsic::Real;
+        }
+        if lo >= 0.0 && hi <= 1.0 {
+            Intrinsic::Bool
+        } else if lo >= 0.0 && hi <= 255.0 {
+            Intrinsic::Byte
+        } else if lo >= i32::MIN as f64 && hi <= i32::MAX as f64 {
+            Intrinsic::Int
+        } else {
+            Intrinsic::Real
+        }
+    }
+
+    /// Whether values of this type may have a nonzero imaginary part.
+    pub fn is_complex(self) -> bool {
+        matches!(self, Intrinsic::Complex | Intrinsic::Illegal)
+    }
+}
+
+impl fmt::Display for Intrinsic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Intrinsic::Bool => "BOOLEAN",
+            Intrinsic::Byte => "BYTE",
+            Intrinsic::Int => "INTEGER",
+            Intrinsic::Real => "REAL",
+            Intrinsic::Complex => "COMPLEX",
+            Intrinsic::Illegal => "ILLEGAL",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_is_chain_max() {
+        assert_eq!(Intrinsic::Bool.join(Intrinsic::Real), Intrinsic::Real);
+        assert_eq!(Intrinsic::Int.join(Intrinsic::Byte), Intrinsic::Int);
+        assert_eq!(Intrinsic::Complex.join(Intrinsic::Bool), Intrinsic::Complex);
+        assert_eq!(
+            Intrinsic::Illegal.join(Intrinsic::Complex),
+            Intrinsic::Illegal
+        );
+    }
+
+    #[test]
+    fn sizes_match_c_mapping() {
+        assert_eq!(Intrinsic::Bool.byte_size(), 1);
+        assert_eq!(Intrinsic::Int.byte_size(), 4);
+        assert_eq!(Intrinsic::Real.byte_size(), 8);
+        assert_eq!(Intrinsic::Complex.byte_size(), 16);
+    }
+
+    #[test]
+    fn range_classification_edges() {
+        assert_eq!(Intrinsic::for_range(0.0, 255.0, true), Intrinsic::Byte);
+        assert_eq!(Intrinsic::for_range(0.0, 256.0, true), Intrinsic::Int);
+        assert_eq!(Intrinsic::for_range(-1.0, 1.0, true), Intrinsic::Int);
+        assert_eq!(
+            Intrinsic::for_range(f64::NEG_INFINITY, 0.0, true),
+            Intrinsic::Real
+        );
+        assert_eq!(Intrinsic::for_range(1e300, 1e301, true), Intrinsic::Real);
+    }
+}

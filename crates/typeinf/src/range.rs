@@ -1,0 +1,218 @@
+//! Scalar value ranges.
+//!
+//! A light interval analysis that feeds two consumers: intrinsic-type
+//! refinement (a value in `{0,1}` is BOOLEAN, in `[0,255]` BYTE, …, as in
+//! the paper's example where `eye`'s output and the constant 1 are both
+//! inferred BOOLEAN) and subscript reasoning (`subsref(a, e)` can be
+//! computed in place when `e` is a scalar — and bounds checks vanish when
+//! the range proves legality).
+
+use std::fmt;
+
+/// A closed interval `[lo, hi]` with an integrality flag.
+///
+/// `Range::top()` is `[-∞, +∞]`, non-integral.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Range {
+    /// Lower bound (may be `-∞`).
+    pub lo: f64,
+    /// Upper bound (may be `+∞`).
+    pub hi: f64,
+    /// Whether every value in the range is an integer.
+    pub integral: bool,
+}
+
+#[allow(clippy::should_implement_trait)] // add/sub/mul/neg mirror interval arithmetic
+impl Range {
+    /// The unconstrained range.
+    pub fn top() -> Range {
+        Range {
+            lo: f64::NEG_INFINITY,
+            hi: f64::INFINITY,
+            integral: false,
+        }
+    }
+
+    /// An exact value.
+    pub fn exact(v: f64) -> Range {
+        Range {
+            lo: v,
+            hi: v,
+            integral: v.fract() == 0.0 && v.is_finite(),
+        }
+    }
+
+    /// An interval with explicit integrality.
+    pub fn new(lo: f64, hi: f64, integral: bool) -> Range {
+        Range { lo, hi, integral }
+    }
+
+    /// The exact value, if the range is a finite point.
+    pub fn as_exact(&self) -> Option<f64> {
+        (self.lo == self.hi && self.lo.is_finite()).then_some(self.lo)
+    }
+
+    /// Interval-union join (for φ-nodes / joins).
+    pub fn join(self, other: Range) -> Range {
+        Range {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+            integral: self.integral && other.integral,
+        }
+    }
+
+    /// Widens against a previous iterate: bounds that grew go to ±∞.
+    /// Guarantees termination of the fixpoint loop.
+    pub fn widen(self, prev: Range) -> Range {
+        Range {
+            lo: if self.lo < prev.lo {
+                f64::NEG_INFINITY
+            } else {
+                self.lo
+            },
+            hi: if self.hi > prev.hi {
+                f64::INFINITY
+            } else {
+                self.hi
+            },
+            integral: self.integral && prev.integral,
+        }
+    }
+
+    /// Interval addition.
+    pub fn add(self, o: Range) -> Range {
+        Range {
+            lo: self.lo + o.lo,
+            hi: self.hi + o.hi,
+            integral: self.integral && o.integral,
+        }
+    }
+
+    /// Interval subtraction.
+    pub fn sub(self, o: Range) -> Range {
+        Range {
+            lo: self.lo - o.hi,
+            hi: self.hi - o.lo,
+            integral: self.integral && o.integral,
+        }
+    }
+
+    /// Interval multiplication.
+    pub fn mul(self, o: Range) -> Range {
+        let cands = [
+            self.lo * o.lo,
+            self.lo * o.hi,
+            self.hi * o.lo,
+            self.hi * o.hi,
+        ];
+        let lo = cands.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = cands.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Range {
+            lo: if lo.is_nan() { f64::NEG_INFINITY } else { lo },
+            hi: if hi.is_nan() { f64::INFINITY } else { hi },
+            integral: self.integral && o.integral,
+        }
+    }
+
+    /// Interval negation.
+    pub fn neg(self) -> Range {
+        Range {
+            lo: -self.hi,
+            hi: -self.lo,
+            integral: self.integral,
+        }
+    }
+
+    /// The range of a comparison/logical result.
+    pub fn boolean() -> Range {
+        Range {
+            lo: 0.0,
+            hi: 1.0,
+            integral: true,
+        }
+    }
+
+    /// Whether every value is ≥ 0.
+    pub fn nonneg(&self) -> bool {
+        self.lo >= 0.0
+    }
+
+    /// Whether the range proves the value is never negative *and* never
+    /// zero (useful for proving `sqrt`/`log` stay real).
+    pub fn positive(&self) -> bool {
+        self.lo > 0.0
+    }
+}
+
+impl Default for Range {
+    fn default() -> Self {
+        Range::top()
+    }
+}
+
+impl fmt::Display for Range {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}, {}]{}",
+            self.lo,
+            self.hi,
+            if self.integral { "ℤ" } else { "" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_detects_integrality() {
+        assert!(Range::exact(3.0).integral);
+        assert!(!Range::exact(3.5).integral);
+        assert_eq!(Range::exact(3.0).as_exact(), Some(3.0));
+        assert_eq!(Range::top().as_exact(), None);
+    }
+
+    #[test]
+    fn join_unions() {
+        let a = Range::exact(1.0);
+        let b = Range::exact(5.0);
+        let j = a.join(b);
+        assert_eq!((j.lo, j.hi), (1.0, 5.0));
+        assert!(j.integral);
+        let k = j.join(Range::exact(2.5));
+        assert!(!k.integral);
+    }
+
+    #[test]
+    fn widen_blows_growing_bounds() {
+        let prev = Range::new(0.0, 10.0, true);
+        let grown = Range::new(0.0, 11.0, true);
+        let w = grown.widen(prev);
+        assert_eq!(w.hi, f64::INFINITY);
+        assert_eq!(w.lo, 0.0, "stable bound survives widening");
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Range::new(1.0, 2.0, true);
+        let b = Range::new(-3.0, 4.0, true);
+        let s = a.add(b);
+        assert_eq!((s.lo, s.hi), (-2.0, 6.0));
+        let m = a.mul(b);
+        assert_eq!((m.lo, m.hi), (-6.0, 8.0));
+        let n = b.neg();
+        assert_eq!((n.lo, n.hi), (-4.0, 3.0));
+        let d = a.sub(b);
+        assert_eq!((d.lo, d.hi), (-3.0, 5.0));
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(Range::boolean().nonneg());
+        assert!(!Range::boolean().positive());
+        assert!(Range::new(0.5, 9.0, false).positive());
+        assert!(!Range::top().nonneg());
+    }
+}

@@ -1,0 +1,265 @@
+//! Shape tuples, possibly symbolic (§3.1–3.2).
+//!
+//! A shape is either an explicit tuple of (symbolic) extents or a
+//! rank-unknown shape identified by its symbolic element count. The
+//! storage size of §3.2 is `|s(u)|·|t(u)|`, where `|s(u)|` — the element
+//! count — is an interned [`ExprId`], so symbolically equivalent shapes
+//! compare equal by handle and `provably_ge` decides the ⪯ order's
+//! `S(u) ≤ S(v)` obligations.
+
+use crate::exprs::{ExprCtx, ExprId};
+use std::fmt;
+
+/// An inferred array shape.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Shape {
+    /// Known rank with per-dimension extents (rank ≥ 2 in MATLAB; a
+    /// scalar is `1 × 1`). Extents are interned symbolic expressions.
+    Tuple(Vec<ExprId>),
+    /// Unknown rank; the payload is a symbolic expression for the
+    /// element count, giving the shape an identity that elementwise
+    /// operations propagate (the paper's shape-expression reuse).
+    Any(ExprId),
+}
+
+impl Shape {
+    /// The `1 × 1` scalar shape.
+    pub fn scalar(cx: &mut ExprCtx) -> Shape {
+        let one = cx.constant(1);
+        Shape::Tuple(vec![one, one])
+    }
+
+    /// A `rows × cols` shape from constants.
+    pub fn matrix(cx: &mut ExprCtx, rows: i64, cols: i64) -> Shape {
+        let r = cx.constant(rows);
+        let c = cx.constant(cols);
+        Shape::Tuple(vec![r, c])
+    }
+
+    /// The `0 × 0` empty shape.
+    pub fn empty(cx: &mut ExprCtx) -> Shape {
+        Shape::matrix(cx, 0, 0)
+    }
+
+    /// A fresh completely-unknown shape.
+    pub fn fresh(cx: &mut ExprCtx, hint: &str) -> Shape {
+        Shape::Any(cx.fresh_sym(format!("|{hint}|"), true))
+    }
+
+    /// Whether the shape is provably `1 × 1`.
+    pub fn is_scalar(&self, cx: &ExprCtx) -> bool {
+        match self {
+            Shape::Tuple(dims) => dims.iter().all(|d| cx.as_const(*d) == Some(1)),
+            Shape::Any(_) => false,
+        }
+    }
+
+    /// Whether the shape is provably a vector (some dimension is 1 and
+    /// rank is 2). Scalars count as vectors.
+    pub fn is_vector(&self, cx: &ExprCtx) -> bool {
+        match self {
+            Shape::Tuple(dims) => {
+                dims.len() == 2 && dims.iter().any(|d| cx.as_const(*d) == Some(1))
+            }
+            Shape::Any(_) => false,
+        }
+    }
+
+    /// The rank (dimensionality ϱ), if known.
+    pub fn rank(&self) -> Option<usize> {
+        match self {
+            Shape::Tuple(d) => Some(d.len()),
+            Shape::Any(_) => None,
+        }
+    }
+
+    /// The symbolic element count `|s|`.
+    pub fn numel(&self, cx: &mut ExprCtx) -> ExprId {
+        match self {
+            Shape::Tuple(dims) => {
+                let mut acc = cx.constant(1);
+                for d in dims {
+                    acc = cx.mul(acc, *d);
+                }
+                acc
+            }
+            Shape::Any(e) => *e,
+        }
+    }
+
+    /// All extents as constants, if fully explicit (§3.2.1 case 1).
+    pub fn known_dims(&self, cx: &ExprCtx) -> Option<Vec<i64>> {
+        match self {
+            Shape::Tuple(dims) => dims.iter().map(|d| cx.as_const(*d)).collect(),
+            Shape::Any(_) => None,
+        }
+    }
+
+    /// Whether every extent is a compile-time constant.
+    pub fn is_explicit(&self, cx: &ExprCtx) -> bool {
+        self.known_dims(cx).is_some()
+    }
+
+    /// Unifies two shapes known (by operation semantics) to be equal at
+    /// run time — e.g. the operands of a non-scalar elementwise op. Picks
+    /// the more specific structure.
+    pub fn unify_equal(&self, other: &Shape, cx: &mut ExprCtx) -> Shape {
+        match (self, other) {
+            (Shape::Tuple(a), Shape::Tuple(b)) if a.len() == b.len() => {
+                let dims = a
+                    .iter()
+                    .zip(b)
+                    .map(|(x, y)| {
+                        // Prefer a constant extent when one side has it;
+                        // otherwise either identity works (they are equal
+                        // at run time by operation semantics).
+                        if cx.as_const(*y).is_some() && cx.as_const(*x).is_none() {
+                            *y
+                        } else {
+                            *x
+                        }
+                    })
+                    .collect();
+                Shape::Tuple(dims)
+            }
+            (Shape::Tuple(_), Shape::Any(_)) => self.clone(),
+            (Shape::Any(_), Shape::Tuple(_)) => other.clone(),
+            (Shape::Any(a), Shape::Any(_)) => Shape::Any(*a),
+            _ => self.clone(),
+        }
+    }
+
+    /// Joins two shapes that may differ at run time (φ-nodes). Equal
+    /// handles stay; differing extents become *fresh-free* only when one
+    /// side is constant-equal, otherwise the join degrades per dimension
+    /// to a `max` (a sound upper-bound identity is not required here —
+    /// only equality is ever *relied* on, so a lossy join is safe).
+    pub fn join(&self, other: &Shape, cx: &mut ExprCtx) -> Shape {
+        if self == other {
+            return self.clone();
+        }
+        match (self, other) {
+            (Shape::Tuple(a), Shape::Tuple(b)) if a.len() == b.len() => {
+                let dims = a
+                    .iter()
+                    .zip(b)
+                    .map(|(x, y)| if x == y { *x } else { cx.max(*x, *y) })
+                    .collect();
+                Shape::Tuple(dims)
+            }
+            _ => {
+                let na = self.clone().numel(cx);
+                let nb = other.clone().numel(cx);
+                Shape::Any(cx.max(na, nb))
+            }
+        }
+    }
+
+    /// Renders for diagnostics, e.g. `(3, n)` or `|rand|`.
+    pub fn render(&self, cx: &ExprCtx) -> String {
+        match self {
+            Shape::Tuple(dims) => {
+                let parts: Vec<String> = dims.iter().map(|d| cx.render(*d)).collect();
+                format!("({})", parts.join(", "))
+            }
+            Shape::Any(e) => format!("any[{}]", cx.render(*e)),
+        }
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Shape::Tuple(d) => write!(f, "tuple(rank {})", d.len()),
+            Shape::Any(_) => write!(f, "any"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_predicates() {
+        let mut cx = ExprCtx::new();
+        let s = Shape::scalar(&mut cx);
+        assert!(s.is_scalar(&cx));
+        assert!(s.is_vector(&cx));
+        assert!(s.is_explicit(&cx));
+        assert_eq!(s.rank(), Some(2));
+        let n = cx.fresh_sym("n", true);
+        let one = cx.constant(1);
+        let v = Shape::Tuple(vec![one, n]);
+        assert!(!v.is_scalar(&cx));
+        assert!(v.is_vector(&cx));
+        assert!(!v.is_explicit(&cx));
+    }
+
+    #[test]
+    fn numel_is_product() {
+        let mut cx = ExprCtx::new();
+        let m = Shape::matrix(&mut cx, 4, 5);
+        let n = m.numel(&mut cx);
+        assert_eq!(cx.as_const(n), Some(20));
+
+        let k = cx.fresh_sym("k", true);
+        let three = cx.constant(3);
+        let s = Shape::Tuple(vec![three, k]);
+        let ne = s.numel(&mut cx);
+        let expect = cx.mul(three, k);
+        assert_eq!(ne, expect);
+    }
+
+    #[test]
+    fn elementwise_shape_identity_reuse() {
+        // The paper's Example 1: t1 = t0 - 1.345 etc. all share s(t0).
+        let mut cx = ExprCtx::new();
+        let t0 = Shape::fresh(&mut cx, "t0");
+        let scalar = Shape::scalar(&mut cx);
+        // elementwise(t0, scalar) keeps t0's identity
+        let t1 = if scalar.is_scalar(&cx) {
+            t0.clone()
+        } else {
+            scalar.clone()
+        };
+        assert_eq!(t0, t1);
+        let n0 = t0.clone().numel(&mut cx);
+        let n1 = t1.clone().numel(&mut cx);
+        assert_eq!(n0, n1, "identical symbolic sizes");
+    }
+
+    #[test]
+    fn unify_prefers_constants() {
+        let mut cx = ExprCtx::new();
+        let n = cx.fresh_sym("n", true);
+        let three = cx.constant(3);
+        let four = cx.constant(4);
+        let a = Shape::Tuple(vec![n, four]);
+        let b = Shape::Tuple(vec![three, four]);
+        let u = a.unify_equal(&b, &mut cx);
+        assert_eq!(u, Shape::Tuple(vec![three, four]));
+    }
+
+    #[test]
+    fn join_equal_shapes_is_identity() {
+        let mut cx = ExprCtx::new();
+        let s = Shape::fresh(&mut cx, "x");
+        let j = s.join(&s.clone(), &mut cx);
+        assert_eq!(j, s);
+    }
+
+    #[test]
+    fn join_differing_tuples_takes_max() {
+        let mut cx = ExprCtx::new();
+        let a = Shape::matrix(&mut cx, 2, 3);
+        let b = Shape::matrix(&mut cx, 5, 3);
+        let j = a.join(&b, &mut cx);
+        if let Shape::Tuple(d) = j {
+            assert_eq!(cx.as_const(d[0]), Some(5));
+            assert_eq!(cx.as_const(d[1]), Some(3));
+        } else {
+            panic!("expected tuple");
+        }
+    }
+}

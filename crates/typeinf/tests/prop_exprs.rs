@@ -1,0 +1,104 @@
+//! Property tests for the symbolic-expression arena: every `provably_ge`
+//! claim must hold under evaluation for all admissible (nonnegative)
+//! assignments, and canonicalization must respect arithmetic identity.
+
+use matc_typeinf::exprs::{ExprCtx, ExprId};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Node {
+    Sym(u8),
+    Const(i8),
+    Add(usize, usize),
+    Mul(usize, usize),
+    Max(usize, usize),
+}
+
+fn node_strategy() -> impl Strategy<Value = Node> {
+    prop_oneof![
+        (0..3u8).prop_map(Node::Sym),
+        (0..8i8).prop_map(Node::Const),
+        (0..16usize, 0..16usize).prop_map(|(a, b)| Node::Add(a, b)),
+        (0..16usize, 0..16usize).prop_map(|(a, b)| Node::Mul(a, b)),
+        (0..16usize, 0..16usize).prop_map(|(a, b)| Node::Max(a, b)),
+    ]
+}
+
+fn build(cx: &mut ExprCtx, nodes: &[Node]) -> Vec<ExprId> {
+    let syms: Vec<ExprId> = (0..3)
+        .map(|i| cx.fresh_sym(format!("s{i}"), true))
+        .collect();
+    let mut pool: Vec<ExprId> = syms;
+    for n in nodes {
+        let id = match n {
+            Node::Sym(i) => pool[*i as usize % 3],
+            Node::Const(v) => cx.constant(*v as i64),
+            Node::Add(a, b) => {
+                let (x, y) = (pool[a % pool.len()], pool[b % pool.len()]);
+                cx.add(x, y)
+            }
+            Node::Mul(a, b) => {
+                let (x, y) = (pool[a % pool.len()], pool[b % pool.len()]);
+                cx.mul(x, y)
+            }
+            Node::Max(a, b) => {
+                let (x, y) = (pool[a % pool.len()], pool[b % pool.len()]);
+                cx.max(x, y)
+            }
+        };
+        pool.push(id);
+    }
+    pool
+}
+
+proptest! {
+    #[test]
+    fn provably_ge_is_sound(
+        nodes in proptest::collection::vec(node_strategy(), 1..20),
+        envs in proptest::collection::vec((0..50i64, 0..50i64, 0..50i64), 8)
+    ) {
+        let mut cx = ExprCtx::new();
+        let pool = build(&mut cx, &nodes);
+        for i in 0..pool.len().min(12) {
+            for j in 0..pool.len().min(12) {
+                let (a, b) = (pool[i], pool[j]);
+                if cx.provably_ge(a, b) {
+                    for (x, y, z) in &envs {
+                        let env = [*x, *y, *z];
+                        prop_assert!(
+                            cx.eval(a, &env) >= cx.eval(b, &env),
+                            "claimed {} >= {} but {:?} refutes",
+                            cx.render(a),
+                            cx.render(b),
+                            env
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn canonicalization_preserves_value(
+        nodes in proptest::collection::vec(node_strategy(), 1..20),
+        env in (0..50i64, 0..50i64, 0..50i64)
+    ) {
+        // add/mul built in either order evaluate identically and intern
+        // to the same handle.
+        let mut cx = ExprCtx::new();
+        let pool = build(&mut cx, &nodes);
+        let env = [env.0, env.1, env.2];
+        for w in pool.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            let ab = cx.add(a, b);
+            let ba = cx.add(b, a);
+            prop_assert_eq!(ab, ba);
+            prop_assert_eq!(cx.eval(ab, &env), cx.eval(a, &env) + cx.eval(b, &env));
+            let m1 = cx.mul(a, b);
+            let m2 = cx.mul(b, a);
+            prop_assert_eq!(m1, m2);
+            let mx1 = cx.max(a, b);
+            prop_assert_eq!(cx.eval(mx1, &env), cx.eval(a, &env).max(cx.eval(b, &env)));
+        }
+    }
+}

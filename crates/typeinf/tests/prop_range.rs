@@ -1,0 +1,70 @@
+//! Range-arithmetic soundness: for any concrete values inside two
+//! ranges, every interval operation's result must contain the concrete
+//! result — the containment property the inference's subscript-bound
+//! and growth reasoning (§3.2) relies on.
+
+use matc_typeinf::Range;
+use proptest::prelude::*;
+
+/// A random finite range plus a sample point inside it.
+fn arb_range_with_point() -> impl Strategy<Value = (Range, f64)> {
+    (-50i32..50, 0u8..20, any::<bool>(), 0.0..1.0f64).prop_map(|(lo, w, int, t)| {
+        let lo = lo as f64;
+        let hi = lo + w as f64;
+        let x = if int {
+            (lo + (w as f64 * t).floor()).min(hi)
+        } else {
+            lo + (hi - lo) * t
+        };
+        (Range::new(lo, hi, int), x)
+    })
+}
+
+fn contains(r: &Range, x: f64) -> bool {
+    r.lo <= x && x <= r.hi
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, .. ProptestConfig::default() })]
+
+    #[test]
+    fn add_is_sound(((a, x), (b, y)) in (arb_range_with_point(), arb_range_with_point())) {
+        prop_assert!(contains(&a.add(b), x + y));
+    }
+
+    #[test]
+    fn sub_is_sound(((a, x), (b, y)) in (arb_range_with_point(), arb_range_with_point())) {
+        prop_assert!(contains(&a.sub(b), x - y));
+    }
+
+    #[test]
+    fn mul_is_sound(((a, x), (b, y)) in (arb_range_with_point(), arb_range_with_point())) {
+        prop_assert!(contains(&a.mul(b), x * y));
+    }
+
+    #[test]
+    fn neg_is_sound((a, x) in arb_range_with_point()) {
+        prop_assert!(contains(&a.neg(), -x));
+    }
+
+    #[test]
+    fn join_contains_both_sides(((a, x), (b, y)) in (arb_range_with_point(), arb_range_with_point())) {
+        let j = a.join(b);
+        prop_assert!(contains(&j, x));
+        prop_assert!(contains(&j, y));
+    }
+
+    #[test]
+    fn widen_still_contains((a, x) in arb_range_with_point(), (b, _) in arb_range_with_point()) {
+        // Widening a against previous b must still cover a's points.
+        prop_assert!(contains(&a.widen(b), x));
+    }
+
+    #[test]
+    fn integrality_preserved_by_add(((a, _), (b, _)) in (arb_range_with_point(), arb_range_with_point())) {
+        let r = a.add(b);
+        if a.integral && b.integral {
+            prop_assert!(r.integral, "int + int lost integrality");
+        }
+    }
+}

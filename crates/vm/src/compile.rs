@@ -1,0 +1,119 @@
+//! The full `mat2c`-style compilation pipeline, producing executable IR
+//! plus GCTD storage plans.
+
+use matc_frontend::ast::Program;
+use matc_gctd::{plan_program, GctdOptions, ProgramPlan};
+use matc_ir::ids::FuncId;
+use matc_ir::lower::LowerError;
+use matc_ir::{build_ssa, ssa_destruct, IrProgram};
+use matc_passes::{optimize_program, OptStats};
+use matc_typeinf::{infer_program, ProgramTypes};
+
+/// A compiled program: out-of-SSA IR whose φs were replaced by copies
+/// filtered through the storage plan (coalesced copies vanish, §2.2.1).
+#[derive(Debug)]
+pub struct Compiled {
+    /// The executable IR (SSA-inverted).
+    pub ir: IrProgram,
+    /// Per-function storage plans.
+    pub plans: ProgramPlan,
+    /// Inference results (kept for the C backend).
+    pub types: ProgramTypes,
+    /// Optimization statistics.
+    pub opt_stats: OptStats,
+}
+
+/// Runs the mat2c pipeline: lower → SSA → classic passes → type
+/// inference → GCTD → SSA inversion.
+///
+/// # Errors
+///
+/// Returns lowering errors (undefined names, unsupported constructs).
+pub fn compile(ast: &Program, options: GctdOptions) -> Result<Compiled, LowerError> {
+    let mut ir = build_ssa(ast)?;
+    let opt_stats = optimize_program(&mut ir);
+    let mut types = infer_program(&ir);
+    let plans = plan_program(&ir, &mut types, options);
+    for (i, f) in ir.functions.iter_mut().enumerate() {
+        let plan = &plans.plans[i];
+        ssa_destruct(f, |dst, src| plan.share_storage(dst, src));
+    }
+    Ok(Compiled {
+        ir,
+        plans,
+        types,
+        opt_stats,
+    })
+}
+
+/// Lowers without optimization or planning — the execution substrate for
+/// the mcc-model VM, which performs *run-time* type dispatch over the
+/// unoptimized program (mcc does its own library-level optimization, not
+/// static array analysis).
+///
+/// # Errors
+///
+/// Returns lowering errors.
+pub fn lower_for_mcc(ast: &Program) -> Result<IrProgram, LowerError> {
+    let mut ir = build_ssa(ast)?;
+    for f in ir.functions.iter_mut() {
+        ssa_destruct(f, |_, _| false);
+    }
+    Ok(ir)
+}
+
+impl Compiled {
+    /// The entry function id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program has no entry.
+    pub fn entry(&self) -> FuncId {
+        self.ir.entry.expect("compiled program has an entry")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matc_frontend::parser::parse_program;
+
+    #[test]
+    fn pipeline_produces_phi_free_ir() {
+        let ast = parse_program([
+            "function f()\ns = 0;\nfor i = 1:10\ns = s + i;\nend\nfprintf('%d\\n', s);\n",
+        ])
+        .unwrap();
+        let c = compile(&ast, GctdOptions::default()).unwrap();
+        for f in &c.ir.functions {
+            assert!(!f.in_ssa);
+            for b in f.block_ids() {
+                assert_eq!(f.block(b).phis().count(), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn coalesced_phi_copies_vanish() {
+        let ast = parse_program([
+            "function f()\ns = 1;\nfor i = 1:10\ns = s + i;\nend\nfprintf('%d\\n', s);\n",
+        ])
+        .unwrap();
+        let with_plan = compile(&ast, GctdOptions::default()).unwrap();
+        let without = lower_for_mcc(&ast).unwrap();
+        let count_copies = |ir: &IrProgram| -> usize {
+            ir.functions
+                .iter()
+                .flat_map(|f| f.blocks.iter())
+                .flat_map(|b| b.instrs.iter())
+                .filter(|i| matches!(i.kind, matc_ir::InstrKind::Copy { .. }))
+                .count()
+        };
+        assert!(
+            count_copies(&with_plan.ir) < count_copies(&without),
+            "φ-coalescing must remove inversion copies: {} vs {}",
+            count_copies(&with_plan.ir),
+            count_copies(&without)
+        );
+    }
+}

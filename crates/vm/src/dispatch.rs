@@ -1,0 +1,527 @@
+//! Shared operation dispatch: one implementation of every builtin and IR
+//! operation, used by all three executors so their outputs are
+//! bit-identical (the differential-testing backbone).
+
+use matc_frontend::ast::{BinOp, UnOp};
+use matc_ir::instr::Op;
+use matc_ir::Builtin;
+use matc_runtime::error::{err, Result};
+use matc_runtime::ops::index::Sub;
+use matc_runtime::ops::{arith, concat, index, linalg, maps, reduce};
+use matc_runtime::value::{Class, Value};
+use matc_runtime::Rng;
+
+/// Mutable execution environment shared across ops: the RNG stream and
+/// the output sink.
+#[derive(Debug)]
+pub struct Shared {
+    /// Deterministic RNG (same stream in every executor).
+    pub rng: Rng,
+    /// Collected program output (`disp`, `fprintf`, echoes).
+    pub out: String,
+}
+
+impl Shared {
+    /// Creates an environment with the default seed.
+    pub fn new() -> Shared {
+        Shared {
+            rng: Rng::default(),
+            out: String::new(),
+        }
+    }
+
+    /// Creates an environment with an explicit RNG seed.
+    pub fn with_seed(seed: u64) -> Shared {
+        Shared {
+            rng: Rng::new(seed),
+            out: String::new(),
+        }
+    }
+}
+
+impl Default for Shared {
+    fn default() -> Self {
+        Shared::new()
+    }
+}
+
+/// An operand for [`eval_op`]: a value or the `:` subscript marker.
+#[derive(Debug, Clone, Copy)]
+pub enum Arg<'v> {
+    /// A concrete value.
+    Val(&'v Value),
+    /// The colon subscript.
+    Colon,
+}
+
+impl<'v> Arg<'v> {
+    fn value(&self) -> Result<&'v Value> {
+        match self {
+            Arg::Val(v) => Ok(v),
+            Arg::Colon => err("`:` is only valid as a subscript"),
+        }
+    }
+}
+
+fn subs_from(args: &[Arg<'_>]) -> Result<Vec<Sub>> {
+    args.iter()
+        .map(|a| match a {
+            Arg::Colon => Ok(Sub::Colon),
+            Arg::Val(v) => Sub::from_value(v),
+        })
+        .collect()
+}
+
+/// Evaluates a single-result IR operation.
+///
+/// # Errors
+///
+/// Propagates MATLAB semantic errors (conformance, bounds, singularity).
+pub fn eval_op(op: &Op, args: &[Arg<'_>], sh: &mut Shared) -> Result<Value> {
+    match op {
+        Op::Bin(b) => {
+            let x = args[0].value()?;
+            let y = args[1].value()?;
+            eval_binop(*b, x, y)
+        }
+        Op::Un(u) => {
+            let x = args[0].value()?;
+            eval_unop(*u, x)
+        }
+        Op::Subsref => {
+            let a = args[0].value()?;
+            let subs = subs_from(&args[1..])?;
+            let r = index::subsref(a, &subs)?;
+            // A single non-vector subscript shapes the result like the
+            // subscript (MATLAB a(v) with matrix v).
+            if subs.len() == 1 {
+                if let Arg::Val(v) = args[1] {
+                    if !v.is_vector() && v.class() != Class::Logical {
+                        return Ok(index::reshape_like(r, v.dims()));
+                    }
+                }
+            }
+            Ok(r)
+        }
+        Op::Subsasgn => {
+            let a = args[0].value()?.clone();
+            let r = args[1].value()?;
+            let subs = subs_from(&args[2..])?;
+            index::subsasgn(a, r, &subs)
+        }
+        Op::Range2 => {
+            let a = args[0].value()?;
+            let b = args[1].value()?;
+            index::range(a, None, b)
+        }
+        Op::Range3 => {
+            let a = args[0].value()?;
+            let s = args[1].value()?;
+            let b = args[2].value()?;
+            index::range(a, Some(s), b)
+        }
+        Op::MatrixBuild { rows } => {
+            let mut vals: Vec<&Value> = Vec::with_capacity(args.len());
+            for a in args {
+                vals.push(a.value()?);
+            }
+            let mut grid: Vec<Vec<&Value>> = Vec::with_capacity(rows.len());
+            let mut k = 0;
+            for &len in rows {
+                grid.push(vals[k..k + len].to_vec());
+                k += len;
+            }
+            concat::matrix_build(&grid)
+        }
+        Op::Builtin(b) => {
+            let mut vals: Vec<&Value> = Vec::with_capacity(args.len());
+            for a in args {
+                vals.push(a.value()?);
+            }
+            eval_builtin(*b, &vals, sh)
+        }
+        Op::Call(name) => err(format!(
+            "user call `{name}` must be handled by the executor"
+        )),
+    }
+}
+
+/// Evaluates a binary operator.
+pub fn eval_binop(b: BinOp, x: &Value, y: &Value) -> Result<Value> {
+    match b {
+        BinOp::Add => arith::add(x, y),
+        BinOp::Sub => arith::sub(x, y),
+        BinOp::MatMul => linalg::matmul(x, y),
+        BinOp::ElemMul => arith::elem_mul(x, y),
+        BinOp::MatDiv => linalg::right_div(x, y),
+        BinOp::ElemDiv => arith::elem_div(x, y),
+        BinOp::MatLeftDiv => linalg::left_div(x, y),
+        BinOp::ElemLeftDiv => arith::elem_left_div(x, y),
+        BinOp::MatPow => linalg::matpow(x, y),
+        BinOp::ElemPow => arith::elem_pow_auto(x, y),
+        BinOp::Eq => arith::eq(x, y),
+        BinOp::Ne => arith::ne(x, y),
+        BinOp::Lt => arith::lt(x, y),
+        BinOp::Le => arith::le(x, y),
+        BinOp::Gt => arith::gt(x, y),
+        BinOp::Ge => arith::ge(x, y),
+        BinOp::And => arith::and(x, y),
+        BinOp::Or => arith::or(x, y),
+        BinOp::ShortAnd => Ok(Value::logical(x.is_true() && y.is_true())),
+        BinOp::ShortOr => Ok(Value::logical(x.is_true() || y.is_true())),
+    }
+}
+
+/// Evaluates a unary operator.
+pub fn eval_unop(u: UnOp, x: &Value) -> Result<Value> {
+    match u {
+        UnOp::Neg => Ok(arith::neg(x)),
+        UnOp::Plus => Ok(x.clone()),
+        UnOp::Not => Ok(arith::not(x)),
+        UnOp::Transpose => concat::transpose(x),
+        UnOp::CTranspose => concat::ctranspose(x),
+    }
+}
+
+fn extents(args: &[&Value]) -> Result<Vec<usize>> {
+    match args.len() {
+        0 => Ok(vec![1, 1]),
+        1 => {
+            let n = args[0].as_extent()?;
+            Ok(vec![n, n])
+        }
+        _ => args.iter().map(|a| a.as_extent()).collect(),
+    }
+}
+
+/// Evaluates a single-output builtin call.
+///
+/// # Errors
+///
+/// Fails on arity or semantic errors; `error(...)` always fails with the
+/// user's message.
+pub fn eval_builtin(b: Builtin, args: &[&Value], sh: &mut Shared) -> Result<Value> {
+    use Builtin::*;
+    let one_arg = |name: &str| -> Result<&Value> {
+        args.first()
+            .copied()
+            .ok_or_else(|| matc_runtime::RtError::new(format!("`{name}` needs an argument")))
+    };
+    Ok(match b {
+        Zeros => Value::filled(extents(args)?, 0.0, Class::Double),
+        Ones => Value::filled(extents(args)?, 1.0, Class::Double),
+        Eye => {
+            let d = extents(args)?;
+            let (r, c) = (d[0], d.get(1).copied().unwrap_or(d[0]));
+            Value::eye(r, c)
+        }
+        Rand => {
+            let d = extents(args)?;
+            let n: usize = d.iter().product();
+            let mut re = Vec::with_capacity(n);
+            for _ in 0..n {
+                re.push(sh.rng.next_f64());
+            }
+            Value::from_parts(d, re)
+        }
+        Size => {
+            let a = one_arg("size")?;
+            if args.len() >= 2 {
+                let k = args[1].as_subscript()?;
+                let d = a.dims().get(k - 1).copied().unwrap_or(1);
+                Value::scalar(d as f64)
+            } else {
+                Value::row(a.dims().iter().map(|d| *d as f64).collect())
+            }
+        }
+        Length => Value::scalar(one_arg("length")?.length() as f64),
+        Numel => Value::scalar(one_arg("numel")?.numel() as f64),
+        Ndims => Value::scalar(one_arg("ndims")?.dims().len() as f64),
+        Disp => {
+            let a = one_arg("disp")?;
+            sh.out.push_str(&matc_runtime::format::display_string(a));
+            sh.out.push('\n');
+            Value::empty()
+        }
+        Fprintf => {
+            let fmt = one_arg("fprintf")?;
+            let rendered = matc_runtime::format::fprintf(fmt, &args[1..])?;
+            sh.out.push_str(&rendered);
+            Value::empty()
+        }
+        Sqrt => maps::sqrt(one_arg("sqrt")?),
+        Abs => maps::abs(one_arg("abs")?),
+        Sin => maps::sin(one_arg("sin")?),
+        Cos => maps::cos(one_arg("cos")?),
+        Tan => maps::tan(one_arg("tan")?),
+        Atan => maps::atan(one_arg("atan")?),
+        Atan2 => arith::atan2(args[0], args[1])?,
+        Exp => maps::exp(one_arg("exp")?),
+        Log => maps::log(one_arg("log")?),
+        Floor => maps::floor(one_arg("floor")?),
+        Ceil => maps::ceil(one_arg("ceil")?),
+        Round => maps::round(one_arg("round")?),
+        Fix => maps::fix(one_arg("fix")?),
+        Mod => arith::modulo(args[0], args[1])?,
+        Rem => arith::rem(args[0], args[1])?,
+        Max => {
+            if args.len() >= 2 {
+                arith::max2(args[0], args[1])?
+            } else {
+                reduce::max1(one_arg("max")?)?.0
+            }
+        }
+        Min => {
+            if args.len() >= 2 {
+                arith::min2(args[0], args[1])?
+            } else {
+                reduce::min1(one_arg("min")?)?.0
+            }
+        }
+        Sum => reduce::sum(one_arg("sum")?),
+        Prod => reduce::prod(one_arg("prod")?),
+        Mean => reduce::mean(one_arg("mean")?),
+        Norm => reduce::norm(one_arg("norm")?),
+        Real => maps::real(one_arg("real")?),
+        Imag => maps::imag(one_arg("imag")?),
+        Conj => maps::conj(one_arg("conj")?),
+        IsEmpty => Value::logical(one_arg("isempty")?.is_empty()),
+        Any => reduce::any(one_arg("any")?),
+        All => reduce::all(one_arg("all")?),
+        Sign => maps::sign(one_arg("sign")?),
+        Linspace => {
+            let a = args[0]
+                .as_scalar()
+                .ok_or_else(|| matc_runtime::RtError::new("linspace endpoints must be scalars"))?;
+            let b2 = args[1]
+                .as_scalar()
+                .ok_or_else(|| matc_runtime::RtError::new("linspace endpoints must be scalars"))?;
+            let n = if args.len() >= 3 {
+                args[2].as_extent()?
+            } else {
+                100
+            };
+            let mut re = Vec::with_capacity(n);
+            for k in 0..n {
+                let t = if n <= 1 {
+                    1.0
+                } else {
+                    k as f64 / (n - 1) as f64
+                };
+                re.push(a + (b2 - a) * t);
+            }
+            Value::from_parts(vec![1, n], re)
+        }
+        Pi => Value::scalar(std::f64::consts::PI),
+        Inf => Value::scalar(f64::INFINITY),
+        Eps => Value::scalar(f64::EPSILON),
+        NaN => Value::scalar(f64::NAN),
+        ErrorFn => {
+            let msg = args
+                .first()
+                .map(|v| matc_runtime::format::display_string(v))
+                .unwrap_or_else(|| "error".to_string());
+            return err(msg);
+        }
+        RangeCount => {
+            let a = args[0].as_scalar().unwrap_or(f64::NAN);
+            let s = args[1].as_scalar().unwrap_or(f64::NAN);
+            let b2 = args[2].as_scalar().unwrap_or(f64::NAN);
+            if s == 0.0 || !a.is_finite() || !s.is_finite() || !b2.is_finite() {
+                return err("invalid for-loop range");
+            }
+            Value::scalar((((b2 - a) / s).floor() + 1.0).max(0.0))
+        }
+        IsTrue => Value::logical(one_arg("istrue")?.is_true()),
+        LoopIndex => {
+            let a = args[0].as_scalar().unwrap_or(f64::NAN);
+            let s = args[1].as_scalar().unwrap_or(f64::NAN);
+            let k = args[3].as_scalar().unwrap_or(f64::NAN);
+            if !a.is_finite() || !s.is_finite() || !k.is_finite() {
+                return err("invalid for-loop index");
+            }
+            Value::scalar(a + s * (k - 1.0))
+        }
+    })
+}
+
+/// Evaluates a multi-output builtin (`[m, n] = size(a)`, `[v, i] =
+/// max(a)`).
+///
+/// # Errors
+///
+/// Fails for builtins without a multi-output form.
+pub fn eval_builtin_multi(
+    b: Builtin,
+    nouts: usize,
+    args: &[&Value],
+    sh: &mut Shared,
+) -> Result<Vec<Value>> {
+    use Builtin::*;
+    match b {
+        Size if nouts >= 2 => {
+            let a = args[0];
+            let d = a.dims();
+            let mut outs = Vec::with_capacity(nouts);
+            for k in 0..nouts {
+                let v = if k + 1 < nouts {
+                    d.get(k).copied().unwrap_or(1) as f64
+                } else {
+                    // The last output collects the remaining extents.
+                    d.get(k..)
+                        .map(|rest| rest.iter().product::<usize>())
+                        .unwrap_or(1) as f64
+                };
+                outs.push(Value::scalar(v));
+            }
+            Ok(outs)
+        }
+        Max if nouts == 2 => {
+            let (m, i) = reduce::max1(args[0])?;
+            Ok(vec![m, i])
+        }
+        Min if nouts == 2 => {
+            let (m, i) = reduce::min1(args[0])?;
+            Ok(vec![m, i])
+        }
+        _ if nouts <= 1 => {
+            let v = eval_builtin(b, args, sh)?;
+            Ok(vec![v])
+        }
+        _ => err(format!(
+            "builtin `{}` does not support {nouts} outputs",
+            b.name()
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let mut sh = Shared::new();
+        let z = eval_builtin(Builtin::Zeros, &[&Value::scalar(3.0)], &mut sh).unwrap();
+        assert_eq!(z.dims(), &[3, 3]);
+        let o = eval_builtin(
+            Builtin::Ones,
+            &[&Value::scalar(2.0), &Value::scalar(4.0)],
+            &mut sh,
+        )
+        .unwrap();
+        assert_eq!(o.dims(), &[2, 4]);
+        assert!(o.re().iter().all(|x| *x == 1.0));
+        let z3 = eval_builtin(
+            Builtin::Zeros,
+            &[
+                &Value::scalar(2.0),
+                &Value::scalar(3.0),
+                &Value::scalar(4.0),
+            ],
+            &mut sh,
+        )
+        .unwrap();
+        assert_eq!(z3.dims(), &[2, 3, 4]);
+    }
+
+    #[test]
+    fn rand_is_deterministic_per_seed() {
+        let mut a = Shared::with_seed(9);
+        let mut b = Shared::with_seed(9);
+        let x = eval_builtin(Builtin::Rand, &[&Value::scalar(2.0)], &mut a).unwrap();
+        let y = eval_builtin(Builtin::Rand, &[&Value::scalar(2.0)], &mut b).unwrap();
+        assert_eq!(x.re(), y.re());
+    }
+
+    #[test]
+    fn size_forms() {
+        let mut sh = Shared::new();
+        let a = Value::filled(vec![2, 5], 0.0, Class::Double);
+        let s = eval_builtin(Builtin::Size, &[&a], &mut sh).unwrap();
+        assert_eq!(s.re(), &[2.0, 5.0]);
+        let s2 = eval_builtin(Builtin::Size, &[&a, &Value::scalar(2.0)], &mut sh).unwrap();
+        assert_eq!(s2.as_scalar(), Some(5.0));
+        let s9 = eval_builtin(Builtin::Size, &[&a, &Value::scalar(9.0)], &mut sh).unwrap();
+        assert_eq!(s9.as_scalar(), Some(1.0), "trailing dims are 1");
+        let multi = eval_builtin_multi(Builtin::Size, 2, &[&a], &mut sh).unwrap();
+        assert_eq!(multi[0].as_scalar(), Some(2.0));
+        assert_eq!(multi[1].as_scalar(), Some(5.0));
+    }
+
+    #[test]
+    fn size_multi_folds_trailing() {
+        let mut sh = Shared::new();
+        let a = Value::filled(vec![2, 3, 4], 0.0, Class::Double);
+        let multi = eval_builtin_multi(Builtin::Size, 2, &[&a], &mut sh).unwrap();
+        assert_eq!(multi[1].as_scalar(), Some(12.0));
+    }
+
+    #[test]
+    fn output_sinks() {
+        let mut sh = Shared::new();
+        eval_builtin(Builtin::Disp, &[&Value::scalar(5.0)], &mut sh).unwrap();
+        eval_builtin(
+            Builtin::Fprintf,
+            &[&Value::string("%d!\n"), &Value::scalar(7.0)],
+            &mut sh,
+        )
+        .unwrap();
+        assert_eq!(sh.out, "    5\n7!\n");
+    }
+
+    #[test]
+    fn error_builtin_fails() {
+        let mut sh = Shared::new();
+        let e = eval_builtin(Builtin::ErrorFn, &[&Value::string("boom")], &mut sh).unwrap_err();
+        assert_eq!(e.message, "boom");
+    }
+
+    #[test]
+    fn op_subsref_with_colon() {
+        let mut sh = Shared::new();
+        let a = Value::from_parts(vec![2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let col2 = Value::scalar(2.0);
+        let r = eval_op(
+            &Op::Subsref,
+            &[Arg::Val(&a), Arg::Colon, Arg::Val(&col2)],
+            &mut sh,
+        )
+        .unwrap();
+        assert_eq!(r.re(), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn matrix_subscript_shapes_result() {
+        let mut sh = Shared::new();
+        let a = Value::row(vec![10.0, 20.0, 30.0, 40.0]);
+        let idx = Value::from_parts(vec![2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let r = eval_op(&Op::Subsref, &[Arg::Val(&a), Arg::Val(&idx)], &mut sh).unwrap();
+        assert_eq!(r.dims(), &[2, 2], "a(v) takes v's shape");
+    }
+
+    #[test]
+    fn linspace_endpoints() {
+        let mut sh = Shared::new();
+        let r = eval_builtin(
+            Builtin::Linspace,
+            &[
+                &Value::scalar(0.0),
+                &Value::scalar(1.0),
+                &Value::scalar(5.0),
+            ],
+            &mut sh,
+        )
+        .unwrap();
+        assert_eq!(r.re(), &[0.0, 0.25, 0.5, 0.75, 1.0]);
+    }
+
+    #[test]
+    fn max_multi_output() {
+        let mut sh = Shared::new();
+        let v = Value::row(vec![2.0, 9.0, 4.0]);
+        let outs = eval_builtin_multi(Builtin::Max, 2, &[&v], &mut sh).unwrap();
+        assert_eq!(outs[0].as_scalar(), Some(9.0));
+        assert_eq!(outs[1].as_scalar(), Some(2.0));
+    }
+}

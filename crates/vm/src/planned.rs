@@ -1,0 +1,681 @@
+//! The GCTD-planned VM — the `mat2c` execution model.
+//!
+//! Storage follows the [`StoragePlan`]: each function activation carries
+//! a fixed **stack frame** holding every stack slot at its maximal group
+//! size (§3.2.1), plus **heap slots** resized on the fly per the `∘`/`+`/
+//! `±` definition annotations (§3.2.2). Variables bound to the same slot
+//! genuinely share one buffer: elementwise updates whose destination
+//! shares its operand's slot mutate the buffer in place (Figure 1's
+//! specialization), and `subsasgn` grows within the slot.
+//!
+//! Soundness telemetry: if a definition ever needs more bytes than a
+//! `∘`-annotated slot holds (which a correct plan rules out), the VM
+//! grows the slot anyway and counts a **plan violation** — asserted zero
+//! by the test suite.
+
+use crate::compile::Compiled;
+use crate::dispatch::{self, Arg, Shared};
+use matc_frontend::ast::BinOp;
+use matc_gctd::{ResizeKind, SlotKind, StoragePlan};
+use matc_ir::ids::{FuncId, VarId};
+use matc_ir::instr::{InstrKind, Op, Operand, Terminator};
+use matc_ir::{Builtin, FuncIr};
+use matc_runtime::error::{err, Result};
+use matc_runtime::format;
+use matc_runtime::mem::{ImageModel, MemRecorder};
+use matc_runtime::ops::arith;
+use matc_runtime::value::Value;
+use std::collections::HashMap;
+
+/// One storage slot at run time.
+struct Slot {
+    value: Value,
+    /// Bytes charged to the heap for this slot (0 for stack slots and
+    /// unallocated heap slots).
+    charged: u64,
+    kind: SlotKind,
+    /// Whether any definition has written the slot yet.
+    initialized: bool,
+}
+
+/// One function activation.
+struct Frame {
+    slots: Vec<Slot>,
+    /// Immediates and unplanned temporaries (code literals, registers).
+    aux: HashMap<VarId, Value>,
+    stack_bytes: u64,
+}
+
+/// Borrows the current value of `v` from its slot or the immediates
+/// table — the zero-copy read path.
+fn operand_value<'a>(frame: &'a Frame, plan: &StoragePlan, v: VarId) -> Result<&'a Value> {
+    if let Some(val) = frame.aux.get(&v) {
+        return Ok(val);
+    }
+    match plan.slot_of(v) {
+        Some(i) if frame.slots[i].initialized => Ok(&frame.slots[i].value),
+        _ => err(format!("read of unset variable v{} (planned vm)", v.0)),
+    }
+}
+
+/// The planned executor.
+pub struct PlannedVm<'p> {
+    compiled: &'p Compiled,
+    /// Shared RNG + output.
+    pub shared: Shared,
+    /// Memory accounting under the mat2c image model.
+    pub mem: MemRecorder,
+    /// Definitions that outgrew a `∘` annotation or a stack slot —
+    /// zero for a sound plan.
+    pub plan_violations: u64,
+    call_depth: usize,
+}
+
+impl<'p> PlannedVm<'p> {
+    /// Creates an executor over a compiled program.
+    pub fn new(compiled: &'p Compiled) -> PlannedVm<'p> {
+        PlannedVm {
+            compiled,
+            shared: Shared::new(),
+            mem: MemRecorder::new(ImageModel::mat2c()),
+            plan_violations: 0,
+            call_depth: 0,
+        }
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.shared = Shared::with_seed(seed);
+        self
+    }
+
+    /// Runs the entry function; returns the collected output.
+    ///
+    /// # Errors
+    ///
+    /// Propagates run-time errors.
+    pub fn run(&mut self) -> Result<String> {
+        let entry = self.compiled.entry();
+        self.call(entry, vec![])?;
+        Ok(std::mem::take(&mut self.shared.out))
+    }
+
+    fn call(&mut self, fid: FuncId, args: Vec<Value>) -> Result<Vec<Value>> {
+        self.call_depth += 1;
+        // MATLAB's default RecursionLimit is 100; enforcing it also
+        // bounds the host stack in debug builds.
+        if self.call_depth > 100 {
+            self.call_depth -= 1;
+            return err("maximum recursion depth exceeded");
+        }
+        let func = self.compiled.ir.func(fid);
+        let plan = self.compiled.plans.plan(fid);
+
+        // Build the activation: one fixed stack frame for all stack
+        // slots, heap slots start unallocated.
+        let mut slots = Vec::with_capacity(plan.slots.len());
+        let mut stack_bytes = 0u64;
+        for info in &plan.slots {
+            if let SlotKind::Stack { bytes } = info.kind {
+                stack_bytes += bytes;
+            }
+            slots.push(Slot {
+                value: Value::empty(),
+                charged: 0,
+                kind: info.kind,
+                initialized: false,
+            });
+        }
+        stack_bytes += 96; // saved registers, return address, locals
+        self.mem.stack_push(stack_bytes);
+        let mut frame = Frame {
+            slots,
+            aux: HashMap::new(),
+            stack_bytes,
+        };
+        // Bind parameters.
+        for (p, v) in func.params.iter().zip(args) {
+            self.store(func, plan, &mut frame, *p, v)?;
+        }
+
+        let result = self.exec(func, plan, &mut frame);
+
+        // Tear down: free heap slots, pop the stack frame.
+        for s in &frame.slots {
+            if s.charged > 0 {
+                self.mem.heap_free(s.charged);
+            }
+        }
+        self.mem.stack_pop(frame.stack_bytes);
+        self.call_depth -= 1;
+        result
+    }
+
+    fn exec(
+        &mut self,
+        func: &'p FuncIr,
+        plan: &'p StoragePlan,
+        frame: &mut Frame,
+    ) -> Result<Vec<Value>> {
+        let mut block = func.entry;
+        let mut guard = 0u64;
+        loop {
+            guard += 1;
+            if guard > 500_000_000 {
+                return err("execution exceeded the instruction guard");
+            }
+            for instr in &func.block(block).instrs {
+                self.instr(func, plan, instr, frame)?;
+            }
+            match &func.block(block).term {
+                Terminator::Jump(b) => block = *b,
+                Terminator::Branch {
+                    cond,
+                    then_bb,
+                    else_bb,
+                } => {
+                    let c = self.read_operand(frame, plan, *cond)?;
+                    let t = c.is_true();
+                    self.mem.advance(1);
+                    block = if t { *then_bb } else { *else_bb };
+                }
+                Terminator::Return => {
+                    let outs = if func.ssa_outs.is_empty() {
+                        func.outs.clone()
+                    } else {
+                        func.ssa_outs.clone()
+                    };
+                    let mut vals = Vec::with_capacity(outs.len());
+                    for o in outs {
+                        vals.push(
+                            self.read_operand(frame, plan, o)
+                                .unwrap_or_else(|_| Value::empty()),
+                        );
+                    }
+                    return Ok(vals);
+                }
+            }
+        }
+    }
+
+    /// Stores `value` as the new definition of `v`, applying the slot
+    /// discipline and resize annotations.
+    fn store(
+        &mut self,
+        _func: &FuncIr,
+        plan: &StoragePlan,
+        frame: &mut Frame,
+        v: VarId,
+        value: Value,
+    ) -> Result<()> {
+        let Some(si) = plan.slot_of(v) else {
+            frame.aux.insert(v, value);
+            return Ok(());
+        };
+        // Size under the *planned* element type — the C backend declares
+        // BOOLEAN arrays as 1-byte, INTEGER as 4-byte, etc. (§3.2). A
+        // complex value landing in a non-complex slot is a plan bug.
+        let intrinsic = plan.slots[si].intrinsic;
+        let needed = if value.is_complex() && !intrinsic.is_complex() {
+            self.plan_violations += 1;
+            value.payload_bytes()
+        } else {
+            value.numel() as u64 * intrinsic.byte_size()
+        };
+        let slot = &mut frame.slots[si];
+        match slot.kind {
+            SlotKind::Stack { bytes } => {
+                if needed > bytes {
+                    self.plan_violations += 1;
+                }
+                slot.value = value;
+                slot.initialized = true;
+            }
+            SlotKind::Heap => {
+                match plan.resize_of(v) {
+                    ResizeKind::NoResize => {
+                        if slot.charged == 0 {
+                            slot.charged = self.mem.heap_alloc(needed);
+                        } else if needed > slot.charged {
+                            self.plan_violations += 1;
+                            slot.charged = self.mem.heap_realloc(slot.charged, needed);
+                        }
+                    }
+                    ResizeKind::Grow => {
+                        if slot.charged == 0 {
+                            slot.charged = self.mem.heap_alloc(needed);
+                        } else if needed + matc_runtime::mem::BLOCK_OVERHEAD > slot.charged {
+                            slot.charged = self.mem.heap_realloc(slot.charged, needed);
+                        }
+                    }
+                    ResizeKind::Resize => {
+                        if slot.charged == 0 {
+                            slot.charged = self.mem.heap_alloc(needed);
+                        } else if slot.charged != needed + matc_runtime::mem::BLOCK_OVERHEAD {
+                            slot.charged = self.mem.heap_realloc(slot.charged, needed);
+                        }
+                    }
+                }
+                slot.value = value;
+                slot.initialized = true;
+            }
+        }
+        Ok(())
+    }
+
+    fn instr(
+        &mut self,
+        func: &'p FuncIr,
+        plan: &'p StoragePlan,
+        instr: &'p matc_ir::Instr,
+        frame: &mut Frame,
+    ) -> Result<()> {
+        match &instr.kind {
+            InstrKind::Const { dst, value } => {
+                let v = crate::mcc::value_of_const(value);
+                self.mem.advance(1);
+                self.store(func, plan, frame, *dst, v)?;
+            }
+            InstrKind::Copy { dst, src } => {
+                // Copies between distinct slots materialize; same-slot
+                // copies were removed by the plan-aware SSA inversion.
+                let v = self.read_operand(frame, plan, *src)?;
+                self.mem.advance(v.numel() as u64);
+                self.store(func, plan, frame, *dst, v)?;
+            }
+            InstrKind::Compute { dst, op, args } => {
+                let result = self.compute(plan, frame, *dst, op, args)?;
+                self.mem.advance(result.numel() as u64);
+                self.store(func, plan, frame, *dst, result)?;
+            }
+            InstrKind::Phi { .. } => {
+                return err("planned vm executes non-SSA code; φ encountered");
+            }
+            InstrKind::CallMulti {
+                dsts,
+                func: name,
+                args,
+            } => {
+                let vals = self.gather(frame, plan, args)?;
+                if let Some(fid) = self.compiled.ir.by_name.get(name).copied() {
+                    let outs = self.call(fid, vals)?;
+                    for (d, o) in dsts.iter().zip(outs) {
+                        self.store(func, plan, frame, *d, o)?;
+                    }
+                } else if let Some(b) = Builtin::from_name(name) {
+                    let refs: Vec<&Value> = vals.iter().collect();
+                    let outs = dispatch::eval_builtin_multi(
+                        b,
+                        dsts.len().max(1),
+                        &refs,
+                        &mut self.shared,
+                    )?;
+                    self.mem.advance(4);
+                    for (d, o) in dsts.iter().zip(outs) {
+                        self.store(func, plan, frame, *d, o)?;
+                    }
+                } else {
+                    return err(format!("undefined function `{name}`"));
+                }
+            }
+            InstrKind::Display { value, label } => {
+                let v = self.read_operand(frame, plan, *value)?;
+                self.shared.out.push_str(&format::echo(label, &v));
+                self.mem.advance(4);
+            }
+            InstrKind::Effect { builtin, args } => {
+                let vals = self.gather(frame, plan, args)?;
+                let refs: Vec<&Value> = vals.iter().collect();
+                dispatch::eval_builtin(*builtin, &refs, &mut self.shared)?;
+                self.mem.advance(4);
+            }
+        }
+        Ok(())
+    }
+
+    fn read_operand(&self, frame: &Frame, plan: &StoragePlan, v: VarId) -> Result<Value> {
+        operand_value(frame, plan, v).cloned()
+    }
+
+    fn gather(
+        &mut self,
+        frame: &Frame,
+        plan: &StoragePlan,
+        args: &[Operand],
+    ) -> Result<Vec<Value>> {
+        args.iter()
+            .map(|a| match a {
+                Operand::Var(v) => self.read_operand(frame, plan, *v),
+                Operand::ColonAll => err("unexpected `:` outside subscripts"),
+            })
+            .collect()
+    }
+
+    /// Computes an operation, taking the allocation-free in-place path
+    /// when the destination shares its array operand's slot.
+    fn compute(
+        &mut self,
+        plan: &StoragePlan,
+        frame: &mut Frame,
+        dst: VarId,
+        op: &Op,
+        args: &[Operand],
+    ) -> Result<Value> {
+        // In-place elementwise: dst and first-or-second operand in the
+        // same slot, real data (Figure 1's generated-C specialization).
+        if let (Op::Bin(b), Some(dslot)) = (op, plan.slot_of(dst)) {
+            // (kernel, commutative, other-must-be-scalar): `*` and `/`
+            // are elementwise — hence in-place — only against a scalar
+            // operand (§2.3's dual semantics of `*`).
+            type InplaceKernel = (fn(f64, f64) -> f64, bool, bool);
+            let kernel: Option<InplaceKernel> = match b {
+                BinOp::Add => Some((|x, y| x + y, true, false)),
+                BinOp::Sub => Some((|x, y| x - y, false, false)),
+                BinOp::ElemMul => Some((|x, y| x * y, true, false)),
+                BinOp::ElemDiv => Some((|x, y| x / y, false, false)),
+                BinOp::MatMul => Some((|x, y| x * y, true, true)),
+                BinOp::MatDiv => Some((|x, y| x / y, false, true)),
+                _ => None,
+            };
+            if let Some((k, commutative, need_scalar)) = kernel {
+                let v0 = args[0].as_var();
+                let v1 = args[1].as_var();
+                let slot_of = |v: Option<VarId>| v.and_then(|v| plan.slot_of(v));
+                // dst in-place in operand 0?
+                let try_inplace = |frame: &mut Frame,
+                                   buf_var: VarId,
+                                   other_var: VarId|
+                 -> Result<Option<Value>> {
+                    if need_scalar {
+                        let other = if other_var == buf_var {
+                            &frame.slots[dslot].value
+                        } else {
+                            operand_value(frame, plan, other_var)?
+                        };
+                        if !other.is_scalar() {
+                            return Ok(None); // true matrix op: allocate
+                        }
+                    }
+                    let mut buf = std::mem::replace(&mut frame.slots[dslot].value, Value::empty());
+                    // `c = a op a`: the operand is the taken buffer itself.
+                    let done = if other_var == buf_var {
+                        let rhs = buf.clone();
+                        arith::ew_assign(&mut buf, &rhs, k)
+                    } else {
+                        let other = operand_value(frame, plan, other_var)?;
+                        arith::ew_assign(&mut buf, other, k)
+                    };
+                    if done {
+                        Ok(Some(buf))
+                    } else {
+                        frame.slots[dslot].value = buf;
+                        Ok(None)
+                    }
+                };
+                if slot_of(v0) == Some(dslot) && frame.slots[dslot].initialized {
+                    if let Some(r) = try_inplace(frame, v0.unwrap(), v1.unwrap())? {
+                        return Ok(r);
+                    }
+                } else if commutative
+                    && slot_of(v1) == Some(dslot)
+                    && frame.slots[dslot].initialized
+                {
+                    if let Some(r) = try_inplace(frame, v1.unwrap(), v0.unwrap())? {
+                        return Ok(r);
+                    }
+                }
+            }
+        }
+        // In-place subsasgn: move the array out of the shared slot and
+        // let the growth logic reuse its buffer.
+        if let (Op::Subsasgn, Some(dslot)) = (op, plan.slot_of(dst)) {
+            if let Some(Operand::Var(a)) = args.first() {
+                if plan.slot_of(*a) == Some(dslot) && frame.slots[dslot].initialized {
+                    let arr = std::mem::replace(&mut frame.slots[dslot].value, Value::empty());
+                    let r = self.read_operand(frame, plan, args[1].as_var().unwrap())?;
+                    let mut subs = Vec::with_capacity(args.len() - 2);
+                    for s in &args[2..] {
+                        subs.push(match s {
+                            Operand::ColonAll => matc_runtime::ops::index::Sub::Colon,
+                            Operand::Var(v) => matc_runtime::ops::index::Sub::from_value(
+                                &self.read_operand(frame, plan, *v)?,
+                            )?,
+                        });
+                    }
+                    return matc_runtime::ops::index::subsasgn(arr, &r, &subs);
+                }
+            }
+        }
+        if let Op::Call(name) = op {
+            let vals = self.gather(frame, plan, args)?;
+            let fid = *self
+                .compiled
+                .ir
+                .by_name
+                .get(name)
+                .ok_or_else(|| matc_runtime::RtError::new(format!("undefined `{name}`")))?;
+            let mut outs = self.call(fid, vals)?;
+            return outs
+                .drain(..)
+                .next()
+                .ok_or_else(|| matc_runtime::RtError::new(format!("`{name}` returned nothing")));
+        }
+        // General path: operands are borrowed straight from their slots.
+        let mut arg_refs: Vec<Arg<'_>> = Vec::with_capacity(args.len());
+        for a in args {
+            arg_refs.push(match a {
+                Operand::Var(v) => Arg::Val(operand_value(frame, plan, *v)?),
+                Operand::ColonAll => Arg::Colon,
+            });
+        }
+        dispatch::eval_op(op, &arg_refs, &mut self.shared)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile;
+    use crate::interp::Interp;
+    use matc_frontend::parser::parse_program;
+    use matc_gctd::GctdOptions;
+
+    fn run_both(srcs: &[&str]) -> (String, String, u64) {
+        let ast = parse_program(srcs.iter().copied()).unwrap();
+        let compiled = compile(&ast, GctdOptions::default()).unwrap();
+        let mut vm = PlannedVm::new(&compiled);
+        let got = vm.run().unwrap_or_else(|e| panic!("planned vm error: {e}"));
+        let mut interp = Interp::new(&ast);
+        let want = interp.run().unwrap_or_else(|e| panic!("interp error: {e}"));
+        (got, want, vm.plan_violations)
+    }
+
+    #[test]
+    fn matches_interpreter_on_loops() {
+        let (got, want, violations) = run_both(&[
+            "function f()\ns = 0;\nfor i = 1:100\ns = s + i * i;\nend\nfprintf('%d\\n', s);\n",
+        ]);
+        assert_eq!(got, want);
+        assert_eq!(violations, 0);
+    }
+
+    #[test]
+    fn matches_interpreter_on_arrays() {
+        let (got, want, violations) = run_both(&[
+            "function f()\na = rand(8, 8);\nb = a + 1;\nc = b .* b;\nd = c * c;\nfprintf('%.10f\\n', sum(sum(d)));\n",
+        ]);
+        assert_eq!(got, want);
+        assert_eq!(violations, 0);
+    }
+
+    #[test]
+    fn matches_interpreter_on_growth() {
+        let (got, want, violations) = run_both(&[
+            "function f()\na = [];\nfor i = 1:20\na(i) = i * 2;\nend\nfprintf('%d ', a);\nfprintf('\\n');\n",
+        ]);
+        assert_eq!(got, want);
+        assert_eq!(violations, 0);
+    }
+
+    #[test]
+    fn matches_interpreter_on_calls_and_branches() {
+        let (got, want, violations) = run_both(&[
+            "function f()\nfor i = 1:10\nfprintf('%d ', collatz(i));\nend\nfprintf('\\n');\nend\nfunction n = collatz(x)\nn = 0;\nwhile x ~= 1\nif mod(x, 2) == 0\nx = x / 2;\nelse\nx = 3 * x + 1;\nend\nn = n + 1;\nend\nend\n",
+        ]);
+        assert_eq!(got, want);
+        assert_eq!(violations, 0);
+    }
+
+    #[test]
+    fn matches_on_matrix_ops() {
+        let (got, want, violations) = run_both(&[
+            "function f()\na = [2 1; 1 3];\nb = [3; 5];\nx = a \\ b;\nfprintf('%.8f %.8f\\n', x(1), x(2));\ny = a';\nfprintf('%g\\n', sum(sum(y)));\n",
+        ]);
+        assert_eq!(got, want);
+        assert_eq!(violations, 0);
+    }
+
+    #[test]
+    fn stack_frame_accounting() {
+        let ast =
+            parse_program(["function f()\na = rand(16, 16);\nfprintf('%.6f\\n', sum(sum(a)));\n"])
+                .unwrap();
+        let compiled = compile(&ast, GctdOptions::default()).unwrap();
+        let mut vm = PlannedVm::new(&compiled);
+        vm.run().unwrap();
+        // The 16x16 double lives on the stack: segment grew past a page.
+        assert!(
+            vm.mem.stack_segment() >= 16 * 16 * 8,
+            "stack segment {}",
+            vm.mem.stack_segment()
+        );
+        assert_eq!(vm.mem.live_heap(), 0, "nothing left on the heap");
+    }
+
+    #[test]
+    fn heap_slots_for_symbolic_sizes() {
+        let ast = parse_program([
+            "function driver()\nkernel(rand(1, 1) * 10 + 5);\nend\nfunction kernel(x)\nn = floor(x);\na = rand(n, n);\nfprintf('%.6f\\n', sum(sum(a)));\nend\n",
+        ])
+        .unwrap();
+        let compiled = compile(&ast, GctdOptions::default()).unwrap();
+        let mut vm = PlannedVm::new(&compiled);
+        vm.run().unwrap();
+        assert_eq!(vm.mem.live_heap(), 0, "heap slots freed at teardown");
+        assert_eq!(vm.plan_violations, 0);
+    }
+
+    #[test]
+    fn example1_chain_reuses_one_heap_slot() {
+        // Paper Example 1 as an executable: four symbolic-shape arrays in
+        // one slot; heap blocks stay at ~1 during the chain.
+        let ast = parse_program([
+            "function driver()\nt3 = chain(rand(32, 32));\nfprintf('%.6f\\n', sum(sum(abs(t3))));\nend\nfunction t3 = chain(t0)\nt1 = t0 - 1.345;\nt2 = 2.788 .* t1;\nt3 = tan(t2);\nend\n",
+        ])
+        .unwrap();
+        let compiled = compile(&ast, GctdOptions::default()).unwrap();
+        let mut vm = PlannedVm::new(&compiled);
+        let out = vm.run().unwrap();
+        let mut interp = Interp::new(&ast);
+        let want = interp.run().unwrap();
+        assert_eq!(out, want);
+        assert_eq!(vm.plan_violations, 0);
+    }
+
+    #[test]
+    fn without_gctd_mode_still_correct() {
+        let ast = parse_program([
+            "function f()\na = rand(6, 6);\nb = a + 1;\nc = b .* 2;\nfprintf('%.8f\\n', sum(sum(c)));\n",
+        ])
+        .unwrap();
+        let on = compile(&ast, GctdOptions::default()).unwrap();
+        let off = compile(
+            &ast,
+            GctdOptions {
+                coalesce: false,
+                ..GctdOptions::default()
+            },
+        )
+        .unwrap();
+        let out_on = PlannedVm::new(&on).run().unwrap();
+        let mut vm_off = PlannedVm::new(&off);
+        let out_off = vm_off.run().unwrap();
+        assert_eq!(out_on, out_off);
+        // The baseline heap-allocates every array; GCTD's plan carries
+        // the arrays in one coalesced stack frame instead.
+        assert!(on.plans.total_stats().stack_bytes_total > 0);
+        assert_eq!(off.plans.total_stats().stack_bytes_total, 0);
+        assert!(vm_off.mem.avg_heap() > 0.0, "baseline lives on the heap");
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+    use crate::compile::compile;
+    use matc_frontend::parser::parse_program;
+    use matc_gctd::GctdOptions;
+
+    #[test]
+    fn deep_recursion_is_caught() {
+        let ast = parse_program([
+            "function f()\nfprintf('%d\\n', r(1));\nend\nfunction y = r(x)\ny = r(x + 1);\nend\n",
+        ])
+        .unwrap();
+        let compiled = compile(&ast, GctdOptions::default()).unwrap();
+        let mut vm = PlannedVm::new(&compiled);
+        let e = vm.run().unwrap_err();
+        assert!(e.message.contains("recursion"), "{e}");
+    }
+
+    #[test]
+    fn runtime_error_propagates_through_calls() {
+        let ast = parse_program([
+            "function f()\nfprintf('%g\\n', g());\nend\nfunction y = g()\na = [1 2];\ny = a(1) / a(2);\nerror('boom');\nend\n",
+        ])
+        .unwrap();
+        let compiled = compile(&ast, GctdOptions::default()).unwrap();
+        let e = PlannedVm::new(&compiled).run().unwrap_err();
+        assert_eq!(e.message, "boom");
+    }
+
+    #[test]
+    fn multi_output_user_call_through_slots() {
+        let ast = parse_program([
+            "function f()\n[a, b, c] = three(2);\nfprintf('%g %g %g\\n', a, b, c);\nend\nfunction [x, y, z] = three(k)\nx = k;\ny = k * k;\nz = k + 10;\nend\n",
+        ])
+        .unwrap();
+        let compiled = compile(&ast, GctdOptions::default()).unwrap();
+        let out = PlannedVm::new(&compiled).run().unwrap();
+        assert_eq!(out, "2 4 12\n");
+    }
+
+    #[test]
+    fn recursive_function_with_arrays() {
+        // Each activation gets its own frame; slots must not leak across
+        // recursion levels.
+        let ast = parse_program([
+            "function f()\nfprintf('%.6f\\n', walk(4));\nend\nfunction s = walk(n)\na = rand(3, 3);\nif n <= 0\ns = sum(sum(a));\nelse\ns = sum(sum(a)) + walk(n - 1);\nend\nend\n",
+        ])
+        .unwrap();
+        let compiled = compile(&ast, GctdOptions::default()).unwrap();
+        let mut vm = PlannedVm::new(&compiled);
+        let out = vm.run().unwrap();
+        let mut interp = crate::interp::Interp::new(&ast);
+        assert_eq!(out, interp.run().unwrap());
+        assert_eq!(vm.plan_violations, 0);
+        assert_eq!(vm.mem.live_heap(), 0);
+    }
+
+    #[test]
+    fn seeded_runs_reproduce() {
+        let ast =
+            parse_program(["function f()\nfprintf('%.12f\\n', sum(sum(rand(4, 4))));\n"]).unwrap();
+        let compiled = compile(&ast, GctdOptions::default()).unwrap();
+        let a = PlannedVm::new(&compiled).with_seed(7).run().unwrap();
+        let b = PlannedVm::new(&compiled).with_seed(7).run().unwrap();
+        let c = PlannedVm::new(&compiled).with_seed(8).run().unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

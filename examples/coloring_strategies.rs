@@ -1,0 +1,78 @@
+//! §5 made runnable: the paper closes by showing GCTD's greedy
+//! lexical-order coloring is not optimal. This example colors the same
+//! program under the three strategies the crate ships — the paper's
+//! lexical greedy, a size-ordered greedy, and an exhaustive
+//! branch-and-bound that minimizes aggregate storage — and prints each
+//! frame layout side by side.
+//!
+//! ```sh
+//! cargo run --example coloring_strategies
+//! ```
+
+use matc::frontend::parse_program;
+use matc::gctd::{ColoringStrategy, GctdOptions, SlotKind};
+use matc::vm::compile::compile;
+
+/// The §5 counterexample, def-ordered so the greedy heuristic stumbles:
+/// `b` (16 B) and `a` (32 B) interfere; `c` (24 B) interferes with
+/// neither. Lexical greedy hands `c` the lowest free color — `b`'s —
+/// and that group then costs max(16, 24) = 24 B next to `a`'s 32 B
+/// (total 56 B). The optimum instead pairs `c` with `a`:
+/// max(32, 24) + 16 = 48 B.
+const PROGRAM: &str = "\
+function f()
+b = rand(1, 2);
+a = rand(2, 2);
+fprintf('%g %g\\n', a(1), b(1));
+c = rand(1, 3);
+fprintf('%g\\n', c(1));
+";
+
+fn frame_bytes(
+    src: &str,
+    strategy: ColoringStrategy,
+) -> Result<(u64, usize), Box<dyn std::error::Error>> {
+    let ast = parse_program([src])?;
+    let compiled = compile(
+        &ast,
+        GctdOptions {
+            coloring: strategy,
+            ..GctdOptions::default()
+        },
+    )?;
+    let mut bytes = 0;
+    let mut slots = 0;
+    for (i, _) in compiled.ir.functions.iter().enumerate() {
+        let plan = compiled.plans.plan(matc::ir::FuncId::new(i));
+        slots += plan.slots.len();
+        for slot in &plan.slots {
+            if let SlotKind::Stack { bytes: b } = slot.kind {
+                bytes += b;
+            }
+        }
+    }
+    Ok((bytes, slots))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("strategy             stack frame   slots");
+    println!("------------------   -----------   -----");
+    for (name, strategy) in [
+        ("lexical greedy", ColoringStrategy::LexicalGreedy),
+        ("size-ordered", ColoringStrategy::SizeOrderedGreedy),
+        (
+            "exhaustive (opt)",
+            ColoringStrategy::Exhaustive { max_nodes: 24 },
+        ),
+    ] {
+        let (bytes, slots) = frame_bytes(PROGRAM, strategy)?;
+        println!("{name:<18}   {bytes:>9} B   {slots:>5}");
+    }
+    println!();
+    println!("The paper's §5 point: the greedy heuristic can assign a small");
+    println!("array a color holding a large one (inflating the frame); the");
+    println!("exhaustive search finds the aggregate-storage optimum. Run the");
+    println!("`strategies` bench binary for the same comparison across the");
+    println!("full 11-benchmark suite.");
+    Ok(())
+}

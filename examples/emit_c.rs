@@ -1,0 +1,26 @@
+//! Emit the mat2c-style C translation (with the GCTD storage plan
+//! applied) for any benchmark of the suite.
+//!
+//! ```sh
+//! cargo run --example emit_c -- crni
+//! ```
+
+use matc::benchsuite::{by_name, Preset};
+use matc::codegen::emit_program;
+use matc::frontend::parse_program;
+use matc::gctd::GctdOptions;
+use matc::vm::compile::compile;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "crni".to_string());
+    let bench =
+        by_name(&name).unwrap_or_else(|| panic!("unknown benchmark `{name}`; try one of Table 1"));
+    let sources = bench.sources(Preset::Test);
+    let refs: Vec<&str> = sources.iter().map(|s| s.as_str()).collect();
+    let ast = parse_program(refs)?;
+    let compiled = compile(&ast, GctdOptions::default())?;
+    print!("{}", emit_program(&compiled));
+    Ok(())
+}

@@ -1,0 +1,77 @@
+//! The paper's flagship benchmark (`fiff`, the 2-D wave equation whose
+//! 451x451 grids dominate Table 2) executed under all three models:
+//! the reference interpreter, the mcc-style mxArray VM, and the
+//! GCTD-planned VM — with the Figure 2/5-style memory and time report.
+//!
+//! ```sh
+//! cargo run --release --example wave_benchmark            # paper scale
+//! MATC_PRESET=test cargo run --example wave_benchmark     # small scale
+//! ```
+
+use matc::benchsuite::{by_name, Preset};
+use matc::frontend::parse_program;
+use matc::gctd::GctdOptions;
+use matc::vm::compile::{compile, lower_for_mcc};
+use matc::vm::{Interp, MccVm, PlannedVm};
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let preset = if std::env::var("MATC_PRESET").as_deref() == Ok("test") {
+        Preset::Test
+    } else {
+        Preset::Paper
+    };
+    let bench = by_name("fiff").expect("fiff exists");
+    let sources = bench.sources(preset);
+    let refs: Vec<&str> = sources.iter().map(|s| s.as_str()).collect();
+    let ast = parse_program(refs)?;
+
+    println!("fiff — {}", bench.synopsis);
+
+    let t = Instant::now();
+    let mut interp = Interp::new(&ast);
+    let out_i = interp.run()?;
+    let wall_i = t.elapsed();
+
+    let mcc_ir = lower_for_mcc(&ast)?;
+    let t = Instant::now();
+    let mut mcc = MccVm::new(&mcc_ir);
+    let out_m = mcc.run()?;
+    let wall_m = t.elapsed();
+
+    let compiled = compile(&ast, GctdOptions::default())?;
+    let t = Instant::now();
+    let mut planned = PlannedVm::new(&compiled);
+    let out_p = planned.run()?;
+    let wall_p = t.elapsed();
+
+    assert_eq!(out_i, out_m, "outputs must agree");
+    assert_eq!(out_i, out_p, "outputs must agree");
+    print!("{out_p}");
+    println!();
+    println!("                     interp      mcc    mat2c");
+    println!(
+        "time (s)            {:8.3} {:8.3} {:8.3}",
+        wall_i.as_secs_f64(),
+        wall_m.as_secs_f64(),
+        wall_p.as_secs_f64()
+    );
+    println!(
+        "avg dynamic data KB {:8.1} {:8.1} {:8.1}",
+        interp.mem.avg_dynamic_data() / 1024.0,
+        mcc.mem.avg_dynamic_data() / 1024.0,
+        planned.mem.avg_dynamic_data() / 1024.0
+    );
+    println!(
+        "avg resident KB     {:8.1} {:8.1} {:8.1}",
+        interp.mem.avg_rss() / 1024.0,
+        mcc.mem.avg_rss() / 1024.0,
+        planned.mem.avg_rss() / 1024.0
+    );
+    println!(
+        "\nmat2c speedup over mcc: {:.1}x; plan violations: {}",
+        wall_m.as_secs_f64() / wall_p.as_secs_f64().max(1e-9),
+        planned.plan_violations
+    );
+    Ok(())
+}

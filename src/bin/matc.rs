@@ -1,0 +1,211 @@
+//! The `matc` command-line driver: compile and run MATLAB programs with
+//! GCTD storage optimization.
+//!
+//! ```text
+//! matc run program.m [helpers.m ...]       execute under the planned VM
+//! matc emit-c program.m [...]              print the C translation
+//! matc plan program.m [...]                print the storage plan
+//! matc stats program.m [...]               print Table-2 style statistics
+//! ```
+//!
+//! Flags: `--no-gctd` disables coalescing (Figure 6 baseline),
+//! `--seed N` sets the RNG seed, `--mcc` runs under the mcc model,
+//! `--interp` runs under the reference interpreter.
+
+use matc::frontend::parse_program;
+use matc::gctd::{GctdOptions, ResizeKind, SlotKind};
+use matc::vm::compile::{compile, lower_for_mcc};
+use matc::vm::{Interp, MccVm, PlannedVm};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: matc <run|emit-c|plan|stats> [--no-gctd] [--seed N] [--mcc|--interp] file.m [more.m ...]\n       matc runtime <dir>   write the mrt C support runtime (mrt.h, mrt.c)"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first().cloned() else {
+        return usage();
+    };
+    let mut files: Vec<String> = Vec::new();
+    let mut no_gctd = false;
+    let mut seed: Option<u64> = None;
+    let mut backend = "planned";
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--no-gctd" => no_gctd = true,
+            "--mcc" => backend = "mcc",
+            "--interp" => backend = "interp",
+            "--seed" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(s) => seed = Some(s),
+                None => return usage(),
+            },
+            f => files.push(f.to_string()),
+        }
+    }
+    if files.is_empty() {
+        return usage();
+    }
+
+    if cmd == "runtime" {
+        let Some(dir) = files.first() else {
+            return usage();
+        };
+        let dir = std::path::Path::new(dir);
+        if let Err(e) = std::fs::create_dir_all(dir)
+            .and_then(|_| std::fs::write(dir.join("mrt.h"), matc::codegen::MRT_H))
+            .and_then(|_| std::fs::write(dir.join("mrt.c"), matc::codegen::MRT_C))
+        {
+            eprintln!("matc: cannot write runtime: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {}/mrt.h and {}/mrt.c", dir.display(), dir.display());
+        return ExitCode::SUCCESS;
+    }
+
+    let mut sources = Vec::new();
+    for f in &files {
+        match std::fs::read_to_string(f) {
+            Ok(s) => sources.push(s),
+            Err(e) => {
+                eprintln!("matc: cannot read {f}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let refs: Vec<&str> = sources.iter().map(|s| s.as_str()).collect();
+    let ast = match parse_program(refs) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("matc: parse error: {}", e.render(&sources[0]));
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let options = GctdOptions {
+        coalesce: !no_gctd,
+        ..GctdOptions::default()
+    };
+
+    match cmd.as_str() {
+        "run" => {
+            let output = match backend {
+                "interp" => {
+                    let mut vm = Interp::new(&ast);
+                    if let Some(s) = seed {
+                        vm = vm.with_seed(s);
+                    }
+                    vm.run()
+                }
+                "mcc" => {
+                    let ir = match lower_for_mcc(&ast) {
+                        Ok(ir) => ir,
+                        Err(e) => {
+                            eprintln!("matc: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    };
+                    let mut vm = MccVm::new(&ir);
+                    if let Some(s) = seed {
+                        vm = vm.with_seed(s);
+                    }
+                    vm.run()
+                }
+                _ => {
+                    let compiled = match compile(&ast, options) {
+                        Ok(c) => c,
+                        Err(e) => {
+                            eprintln!("matc: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    };
+                    let mut vm = PlannedVm::new(&compiled);
+                    if let Some(s) = seed {
+                        vm = vm.with_seed(s);
+                    }
+                    vm.run()
+                }
+            };
+            match output {
+                Ok(out) => {
+                    print!("{out}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("matc: runtime error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        "emit-c" => match compile(&ast, options) {
+            Ok(c) => {
+                print!("{}", matc::codegen::emit_program(&c));
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("matc: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        "plan" => match compile(&ast, options) {
+            Ok(c) => {
+                for (i, func) in c.ir.functions.iter().enumerate() {
+                    let plan = c.plans.plan(matc::ir::FuncId::new(i));
+                    println!("function {}:", func.name);
+                    for (si, slot) in plan.slots.iter().enumerate() {
+                        let kind = match slot.kind {
+                            SlotKind::Stack { bytes } => format!("stack {bytes}B"),
+                            SlotKind::Heap => "heap".to_string(),
+                        };
+                        let members: Vec<String> = slot
+                            .members
+                            .iter()
+                            .map(|v| {
+                                let ann = match plan.resize_of(*v) {
+                                    ResizeKind::NoResize => "",
+                                    ResizeKind::Grow => "+",
+                                    ResizeKind::Resize => "±",
+                                };
+                                format!("{}{}", func.vars.display_name(*v), ann)
+                            })
+                            .collect();
+                        println!(
+                            "  slot {si:3} [{kind}, {:?}] {}",
+                            slot.intrinsic,
+                            members.join(", ")
+                        );
+                    }
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("matc: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        "stats" => match compile(&ast, options) {
+            Ok(c) => {
+                let s = c.plans.total_stats();
+                println!("variables entering GCTD : {}", s.original_vars);
+                println!("static subsumed (s)     : {}", s.static_subsumed);
+                println!("dynamic subsumed (d)    : {}", s.dynamic_subsumed);
+                println!("stack bytes saved       : {}", s.stack_bytes_saved);
+                println!("stack frame total       : {}", s.stack_bytes_total);
+                println!("colors                  : {}", s.colors);
+                println!("slots                   : {}", s.slots);
+                println!("phi coalescings         : {}", s.coalesced_phis);
+                println!("operator conflicts      : {}", s.op_conflicts);
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("matc: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        _ => usage(),
+    }
+}

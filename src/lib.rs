@@ -1,0 +1,39 @@
+//! # matc
+//!
+//! Facade crate for the `matc` workspace — a reproduction of *Static
+//! Array Storage Optimization in MATLAB* (Joisha & Banerjee, PLDI 2003).
+//!
+//! Re-exports the pipeline crates under stable names:
+//!
+//! * [`frontend`] — lexer, AST, parser for the MATLAB subset;
+//! * [`ir`] — single-operator CFG IR with SSA;
+//! * [`passes`] — classic SSA optimizations;
+//! * [`typeinf`] — intrinsic/shape/range inference (symbolic shapes);
+//! * [`gctd`] — the paper's storage-coalescing algorithm;
+//! * [`runtime`] — MATLAB values, builtins, memory accounting;
+//! * [`vm`] — reference interpreter, mcc-model VM, GCTD-planned VM;
+//! * [`codegen`] — the C backend;
+//! * [`benchsuite`] — the 11-program evaluation corpus.
+//!
+//! ```
+//! use matc::vm::{compile::compile, PlannedVm};
+//! use matc::gctd::GctdOptions;
+//!
+//! let ast = matc::frontend::parse_program([
+//!     "function f()\nfprintf('%d\\n', 2 + 2);\n",
+//! ]).unwrap();
+//! let compiled = compile(&ast, GctdOptions::default()).unwrap();
+//! assert_eq!(PlannedVm::new(&compiled).run().unwrap(), "4\n");
+//! ```
+
+#![warn(missing_docs)]
+
+pub use matc_benchsuite as benchsuite;
+pub use matc_codegen as codegen;
+pub use matc_frontend as frontend;
+pub use matc_gctd as gctd;
+pub use matc_ir as ir;
+pub use matc_passes as passes;
+pub use matc_runtime as runtime;
+pub use matc_typeinf as typeinf;
+pub use matc_vm as vm;

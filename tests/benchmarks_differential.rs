@@ -1,0 +1,85 @@
+//! Differential testing across all three executors on the full
+//! 11-benchmark corpus: the reference interpreter's output is the
+//! oracle; the mcc-model VM and the GCTD-planned VM must match it
+//! bitwise, the planned VM with zero plan violations and no storage
+//! leaks. This is the repository's primary end-to-end soundness check
+//! for the GCTD algorithm.
+
+use matc::benchsuite::{all, Preset};
+use matc::frontend::parse_program;
+use matc::gctd::GctdOptions;
+use matc::vm::{compile::compile, compile::lower_for_mcc, Interp, MccVm, PlannedVm};
+
+fn run_all(name: &str) -> (String, String, String) {
+    let bench = matc::benchsuite::by_name(name).unwrap();
+    let sources = bench.sources(Preset::Test);
+    let refs: Vec<&str> = sources.iter().map(|s| s.as_str()).collect();
+    let ast = parse_program(refs).unwrap_or_else(|e| panic!("{name}: parse: {e}"));
+
+    let mut interp = Interp::new(&ast);
+    let want = interp
+        .run()
+        .unwrap_or_else(|e| panic!("{name}: interp: {e}"));
+
+    let mcc_ir = lower_for_mcc(&ast).unwrap_or_else(|e| panic!("{name}: lower: {e}"));
+    let mut mcc = MccVm::new(&mcc_ir);
+    let mcc_out = mcc.run().unwrap_or_else(|e| panic!("{name}: mcc vm: {e}"));
+    assert_eq!(mcc.mem.live_blocks(), 0, "{name}: mcc vm leaked mxArrays");
+
+    let compiled =
+        compile(&ast, GctdOptions::default()).unwrap_or_else(|e| panic!("{name}: compile: {e}"));
+    let mut planned = PlannedVm::new(&compiled);
+    let planned_out = planned
+        .run()
+        .unwrap_or_else(|e| panic!("{name}: planned vm: {e}"));
+    assert_eq!(
+        planned.plan_violations, 0,
+        "{name}: storage plan violated at run time"
+    );
+    assert_eq!(planned.mem.live_heap(), 0, "{name}: planned vm leaked heap");
+
+    (want, mcc_out, planned_out)
+}
+
+macro_rules! differential {
+    ($($name:ident),+ $(,)?) => {
+        $(
+            #[test]
+            fn $name() {
+                let (want, mcc, planned) = run_all(stringify!($name));
+                assert_eq!(mcc, want, concat!(stringify!($name), ": mcc output diverged"));
+                assert_eq!(
+                    planned, want,
+                    concat!(stringify!($name), ": planned output diverged")
+                );
+                assert!(!want.is_empty(), "benchmark produced no output");
+            }
+        )+
+    };
+}
+
+differential!(adpt, capr, clos, crni, diff, dich, edit, fdtd, fiff, nb1d, nb3d);
+
+#[test]
+fn planned_without_gctd_matches_too() {
+    // Figure 6's baseline must still be semantically correct.
+    for bench in all() {
+        let sources = bench.sources(Preset::Test);
+        let refs: Vec<&str> = sources.iter().map(|s| s.as_str()).collect();
+        let ast = parse_program(refs).unwrap();
+        let mut interp = Interp::new(&ast);
+        let want = interp.run().unwrap();
+        let compiled = compile(
+            &ast,
+            GctdOptions {
+                coalesce: false,
+                ..GctdOptions::default()
+            },
+        )
+        .unwrap();
+        let got = PlannedVm::new(&compiled)
+            .run()
+            .unwrap_or_else(|e| panic!("{}: no-gctd vm: {e}", bench.name));
+        assert_eq!(got, want, "{}: no-GCTD output diverged", bench.name);
+    }
+}

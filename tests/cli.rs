@@ -1,0 +1,154 @@
+//! Integration tests for the `matc` command-line driver.
+
+use std::io::Write as _;
+use std::process::Command;
+
+fn matc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_matc"))
+}
+
+fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("matc-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    let mut f = std::fs::File::create(&path).unwrap();
+    f.write_all(contents.as_bytes()).unwrap();
+    path
+}
+
+#[test]
+fn run_executes_a_program() {
+    let p = write_temp("run1.m", "function f\nx = 6 * 7;\nfprintf('%d\\n', x);\n");
+    let out = matc().args(["run"]).arg(&p).output().unwrap();
+    assert!(out.status.success());
+    assert_eq!(String::from_utf8_lossy(&out.stdout), "42\n");
+}
+
+#[test]
+fn run_backends_agree() {
+    let p = write_temp(
+        "run2.m",
+        "function f\na = rand(5, 5);\nfprintf('%.8f\\n', sum(sum(a * a)));\n",
+    );
+    let planned = matc().args(["run"]).arg(&p).output().unwrap();
+    let mcc = matc().args(["run", "--mcc"]).arg(&p).output().unwrap();
+    let interp = matc().args(["run", "--interp"]).arg(&p).output().unwrap();
+    let nogctd = matc().args(["run", "--no-gctd"]).arg(&p).output().unwrap();
+    assert_eq!(planned.stdout, mcc.stdout);
+    assert_eq!(planned.stdout, interp.stdout);
+    assert_eq!(planned.stdout, nogctd.stdout);
+}
+
+#[test]
+fn seed_changes_random_streams() {
+    let p = write_temp("run3.m", "function f\nfprintf('%.12f\\n', rand(1, 1));\n");
+    let a = matc()
+        .args(["run", "--seed", "1"])
+        .arg(&p)
+        .output()
+        .unwrap();
+    let b = matc()
+        .args(["run", "--seed", "2"])
+        .arg(&p)
+        .output()
+        .unwrap();
+    let a2 = matc()
+        .args(["run", "--seed", "1"])
+        .arg(&p)
+        .output()
+        .unwrap();
+    assert_ne!(a.stdout, b.stdout);
+    assert_eq!(a.stdout, a2.stdout);
+}
+
+#[test]
+fn emit_c_and_plan_and_stats() {
+    let p = write_temp(
+        "run4.m",
+        "function f\na = rand(4, 4);\nb = a + 1;\nfprintf('%g\\n', sum(sum(b)));\n",
+    );
+    let c = matc().args(["emit-c"]).arg(&p).output().unwrap();
+    assert!(String::from_utf8_lossy(&c.stdout).contains("int main(void)"));
+    let plan = matc().args(["plan"]).arg(&p).output().unwrap();
+    assert!(String::from_utf8_lossy(&plan.stdout).contains("slot"));
+    let stats = matc().args(["stats"]).arg(&p).output().unwrap();
+    assert!(String::from_utf8_lossy(&stats.stdout).contains("static subsumed"));
+}
+
+#[test]
+fn parse_errors_are_reported_with_position() {
+    let p = write_temp("bad.m", "function f\nx = (1 + ;\n");
+    let out = matc().args(["run"]).arg(&p).output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("parse error"), "{err}");
+    assert!(err.contains("2:"), "line number expected: {err}");
+}
+
+#[test]
+fn runtime_errors_exit_nonzero() {
+    // The failing read must be observable: dead code (and its errors)
+    // is eliminated by the optimizer, as in any optimizing compiler.
+    let p = write_temp("rt.m", "function f\na = [1 2];\nfprintf('%g\\n', a(9));\n");
+    let out = matc().args(["run"]).arg(&p).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("runtime error"));
+}
+
+#[test]
+fn multiple_files_form_one_program() {
+    let d = write_temp("multi_driver.m", "function f\nfprintf('%d\\n', g(5));\n");
+    let g = write_temp("multi_helper.m", "function y = g(x)\ny = x * x;\n");
+    let out = matc().args(["run"]).arg(&d).arg(&g).output().unwrap();
+    assert!(out.status.success());
+    assert_eq!(String::from_utf8_lossy(&out.stdout), "25\n");
+}
+
+#[test]
+fn usage_on_bad_invocation() {
+    let out = matc().output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}
+
+#[test]
+fn runtime_subcommand_enables_native_builds() {
+    let dir = std::env::temp_dir().join("matc-cli-native");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = matc().args(["runtime"]).arg(&dir).output().unwrap();
+    assert!(out.status.success());
+    assert!(dir.join("mrt.h").exists());
+    assert!(dir.join("mrt.c").exists());
+
+    // If a C compiler is present, drive the full native workflow.
+    let cc_ok = Command::new("cc")
+        .arg("--version")
+        .output()
+        .map(|o| o.status.success())
+        .unwrap_or(false);
+    if !cc_ok {
+        return;
+    }
+    let prog = write_temp(
+        "native.m",
+        "function f\ns = 0;\nfor i = 1:100\ns = s + i;\nend\nfprintf('%d\\n', s);\n",
+    );
+    let c = matc().args(["emit-c"]).arg(&prog).output().unwrap();
+    std::fs::write(dir.join("prog.c"), &c.stdout).unwrap();
+    let build = Command::new("cc")
+        .args(["-O1", "-std=c99", "-w", "-o"])
+        .arg(dir.join("prog"))
+        .arg(dir.join("prog.c"))
+        .arg(dir.join("mrt.c"))
+        .arg("-lm")
+        .output()
+        .unwrap();
+    assert!(
+        build.status.success(),
+        "{}",
+        String::from_utf8_lossy(&build.stderr)
+    );
+    let run = Command::new(dir.join("prog")).output().unwrap();
+    assert_eq!(String::from_utf8_lossy(&run.stdout), "5050\n");
+}

@@ -1,0 +1,96 @@
+//! Runtime-error parity: programs that fail must fail under the
+//! reference interpreter AND the planned VM (optimizations may not
+//! erase an *observable* error — design note 12 permits eliding only
+//! dead failing computations).
+
+use matc::frontend::parse_program;
+use matc::gctd::GctdOptions;
+use matc::vm::compile::compile;
+use matc::vm::{Interp, MccVm, PlannedVm};
+
+/// Runs under all three executors and asserts every one errors.
+fn assert_all_error(body: &str) {
+    let src = format!("function f()\n{body}\n");
+    let ast = parse_program([src.as_str()]).unwrap_or_else(|e| panic!("{e}\n{src}"));
+    let mut interp = Interp::new(&ast);
+    let i = interp.run();
+    assert!(i.is_err(), "interp succeeded on:\n{src}\n{:?}", i.unwrap());
+    let compiled = compile(&ast, GctdOptions::default()).unwrap();
+    let mut vm = PlannedVm::new(&compiled);
+    let p = vm.run();
+    assert!(p.is_err(), "planned VM succeeded on:\n{src}");
+    let mut mcc = MccVm::new(&compiled.ir);
+    let m = mcc.run();
+    assert!(m.is_err(), "mcc VM succeeded on:\n{src}");
+}
+
+#[test]
+fn out_of_bounds_read_errors() {
+    assert_all_error("a = [1 2 3];\ndisp(a(7));");
+    assert_all_error("a = zeros(2, 2);\ndisp(a(3, 1));");
+    assert_all_error("a = [1 2 3];\ndisp(a(0));");
+}
+
+#[test]
+fn shape_mismatch_errors() {
+    assert_all_error("a = zeros(2, 3);\nb = zeros(3, 2);\ndisp(a + b);");
+    assert_all_error("a = zeros(2, 3);\nb = zeros(2, 3);\ndisp(a * b);");
+    assert_all_error("disp([1 2; 3 4 5]);");
+    assert_all_error("disp([zeros(2, 2) zeros(3, 3)]);");
+}
+
+#[test]
+fn explicit_error_builtin() {
+    assert_all_error("error('boom');");
+    assert_all_error("x = 1;\nif x > 0\n  error('conditional');\nend\ndisp(x);");
+}
+
+#[test]
+fn undefined_function_rejected_at_compile_time() {
+    // The compiler catches unknown callees during lowering; the AST
+    // interpreter surfaces the same failure at evaluation.
+    let src = "function f()\ndisp(no_such_function(3));\n";
+    let ast = parse_program([src]).unwrap();
+    let err = compile(&ast, GctdOptions::default()).unwrap_err();
+    assert!(
+        format!("{err}").contains("no_such_function"),
+        "unhelpful: {err}"
+    );
+    let mut interp = Interp::new(&ast);
+    assert!(interp.run().is_err());
+}
+
+#[test]
+fn recursion_limit_errors() {
+    // MATLAB's RecursionLimit (100) in every executor. Debug-build
+    // native frames are large, so give the checker a roomy stack.
+    std::thread::Builder::new()
+        .stack_size(64 * 1024 * 1024)
+        .spawn(|| {
+            let body = "disp(down(200));\n\nfunction r = down(k)\nif k <= 0\n  r = 0;\nelse\n  r = down(k - 1);\nend";
+            assert_all_error(body);
+        })
+        .unwrap()
+        .join()
+        .unwrap();
+}
+
+#[test]
+fn transpose_of_nd_errors() {
+    assert_all_error("a = zeros(2, 2, 2);\ndisp(a');");
+}
+
+#[test]
+fn error_after_output_preserves_prefix() {
+    // The interpreter surfaces output produced before the failure;
+    // executors agree on the prefix they emitted.
+    let src = "function f()\nfprintf('before\\n');\na = [1 2];\ndisp(a(9));\n";
+    let ast = parse_program([src]).unwrap();
+    let mut interp = Interp::new(&ast);
+    let err = interp.run().unwrap_err();
+    let msg = format!("{err}");
+    assert!(
+        msg.contains("index") || msg.contains("bounds") || msg.contains("exceeds"),
+        "unhelpful message: {msg}"
+    );
+}

@@ -1,0 +1,243 @@
+//! Assertions on the *shape* of the reproduced evaluation — the
+//! qualitative claims of the paper's §4 that must hold regardless of the
+//! host machine:
+//!
+//! * Table 2: the five fully-inferred benchmarks have `d = 0` (all
+//!   storage statically estimable), and `fiff`'s static reduction is in
+//!   the multi-megabyte range at paper scale;
+//! * Figure 2: mat2c's average dynamic program data never exceeds the
+//!   mcc model's, and the stack peaks sit exactly on the
+//!   stack-allocating benchmarks;
+//! * every benchmark's C translation is structurally sane.
+
+use matc::benchsuite::{all, by_name, Preset};
+use matc::codegen::emit_program;
+use matc::frontend::parse_program;
+use matc::gctd::GctdOptions;
+use matc::vm::compile::{compile, lower_for_mcc};
+use matc::vm::{MccVm, PlannedVm};
+
+fn compiled(name: &str, preset: Preset) -> matc::vm::Compiled {
+    let bench = by_name(name).unwrap();
+    let sources = bench.sources(preset);
+    let refs: Vec<&str> = sources.iter().map(|s| s.as_str()).collect();
+    let ast = parse_program(refs).unwrap();
+    compile(&ast, GctdOptions::default()).unwrap()
+}
+
+#[test]
+fn table2_fully_static_benchmarks_match_paper() {
+    // Table 2: "for five benchmarks, d is 0 ... all of their storage
+    // [is] stack allocated".
+    let paper_d0 = ["clos", "crni", "dich", "fdtd", "fiff"];
+    for b in all() {
+        let c = compiled(b.name, Preset::Test);
+        let stats = c.plans.total_stats();
+        if paper_d0.contains(&b.name) {
+            assert_eq!(
+                stats.dynamic_subsumed, 0,
+                "{}: expected all-static storage (d = 0)",
+                b.name
+            );
+            // And genuinely no heap slots anywhere.
+            let heap_slots: usize = c
+                .plans
+                .plans
+                .iter()
+                .flat_map(|p| p.slots.iter())
+                .filter(|s| matches!(s.kind, matc::gctd::SlotKind::Heap))
+                .count();
+            assert_eq!(heap_slots, 0, "{}: heap slots in a d=0 benchmark", b.name);
+        } else {
+            // The remaining six keep dynamically allocated variables.
+            let heap_slots: usize = c
+                .plans
+                .plans
+                .iter()
+                .flat_map(|p| p.slots.iter())
+                .filter(|s| matches!(s.kind, matc::gctd::SlotKind::Heap))
+                .count();
+            assert!(heap_slots > 0, "{}: expected some dynamic storage", b.name);
+        }
+        assert!(
+            stats.static_subsumed > 0,
+            "{}: no coalescing at all?",
+            b.name
+        );
+    }
+}
+
+#[test]
+fn table2_fiff_reduction_is_megabytes_at_paper_scale() {
+    // The paper reports 12.7 MB of static reduction for fiff (451x451
+    // grids); our reimplementation must be in the same regime.
+    let c = compiled("fiff", Preset::Paper);
+    let kb = c.plans.total_stats().stack_bytes_saved / 1024;
+    assert!(kb > 4_000, "fiff static reduction only {kb} KB");
+
+    // And fdtd, the other bulk benchmark, saves megabytes too.
+    let c2 = compiled("fdtd", Preset::Paper);
+    let kb2 = c2.plans.total_stats().stack_bytes_saved / 1024;
+    assert!(kb2 > 1_000, "fdtd static reduction only {kb2} KB");
+}
+
+#[test]
+fn fig2_mat2c_dynamic_data_never_exceeds_mcc() {
+    for b in all() {
+        let sources = b.sources(Preset::Test);
+        let refs: Vec<&str> = sources.iter().map(|s| s.as_str()).collect();
+        let ast = parse_program(refs).unwrap();
+
+        let mcc_ir = lower_for_mcc(&ast).unwrap();
+        let mut mcc = MccVm::new(&mcc_ir);
+        mcc.run().unwrap();
+
+        let c = compile(&ast, GctdOptions::default()).unwrap();
+        let mut planned = PlannedVm::new(&c);
+        planned.run().unwrap();
+
+        let mcc_dyn = mcc.mem.avg_dynamic_data();
+        let mat2c_dyn = planned.mem.avg_dynamic_data();
+        assert!(
+            mat2c_dyn <= mcc_dyn * 1.05,
+            "{}: mat2c dyn {:.0} exceeds mcc {:.0}",
+            b.name,
+            mat2c_dyn,
+            mcc_dyn
+        );
+    }
+}
+
+#[test]
+fn fig2_stack_peaks_sit_on_stack_allocating_benchmarks() {
+    // §4.5.1: prominent mat2c stack peaks for the fully-static,
+    // array-heavy benchmarks; mcc stays at the initial page.
+    let mut fiff_stack = 0.0;
+    let mut adpt_stack = 0.0;
+    for name in ["fiff", "adpt"] {
+        let sources = by_name(name).unwrap().sources(Preset::Test);
+        let refs: Vec<&str> = sources.iter().map(|s| s.as_str()).collect();
+        let ast = parse_program(refs).unwrap();
+        let c = compile(&ast, GctdOptions::default()).unwrap();
+        let mut vm = PlannedVm::new(&c);
+        vm.run().unwrap();
+        if name == "fiff" {
+            fiff_stack = vm.mem.avg_stack();
+        } else {
+            adpt_stack = vm.mem.avg_stack();
+        }
+    }
+    assert!(
+        fiff_stack > adpt_stack,
+        "fiff (grid arrays on the stack) must out-peak adpt (heap-grown): {fiff_stack} vs {adpt_stack}"
+    );
+}
+
+#[test]
+fn all_benchmarks_emit_structurally_valid_c() {
+    for b in all() {
+        let c = compiled(b.name, Preset::Test);
+        let code = emit_program(&c);
+        assert_eq!(
+            code.matches('{').count(),
+            code.matches('}').count(),
+            "{}: unbalanced braces",
+            b.name
+        );
+        assert!(code.contains("int main(void)"), "{}", b.name);
+        assert!(
+            code.contains(&format!("f_{}_driver", b.name))
+                || code.contains("f_main")
+                || code.contains("static void f_"),
+            "{}: entry missing",
+            b.name
+        );
+    }
+}
+
+#[test]
+fn plan_statistics_are_internally_consistent() {
+    for b in all() {
+        let c = compiled(b.name, Preset::Test);
+        for plan in &c.plans.plans {
+            let members: usize = plan.slots.iter().map(|s| s.members.len()).sum();
+            assert_eq!(members, plan.var_slot.len(), "{}", b.name);
+            // Subsumption counts = members beyond one per slot.
+            let subsumed: usize = plan
+                .slots
+                .iter()
+                .map(|s| s.members.len().saturating_sub(1))
+                .sum();
+            assert_eq!(
+                subsumed,
+                plan.stats.static_subsumed + plan.stats.dynamic_subsumed,
+                "{}",
+                b.name
+            );
+            // No variable appears in two slots.
+            let mut seen = std::collections::HashSet::new();
+            for s in &plan.slots {
+                for m in &s.members {
+                    assert!(seen.insert(*m), "{}: variable in two slots", b.name);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn fig3_mat2c_virtual_memory_below_mcc_everywhere() {
+    // Figure 3's qualitative claim: mat2c's average virtual size is
+    // below mcc's on all 11 benchmarks (the paper reports reductions
+    // throughout).
+    for b in all() {
+        let sources = b.sources(Preset::Test);
+        let refs: Vec<&str> = sources.iter().map(|s| s.as_str()).collect();
+        let ast = parse_program(refs).unwrap();
+
+        let mcc_ir = lower_for_mcc(&ast).unwrap();
+        let mut mcc = MccVm::new(&mcc_ir);
+        mcc.run().unwrap();
+        let c = compile(&ast, GctdOptions::default()).unwrap();
+        let mut planned = PlannedVm::new(&c);
+        planned.run().unwrap();
+
+        assert!(
+            planned.mem.avg_vsize() < mcc.mem.avg_vsize(),
+            "{}: mat2c vsize {:.0} not below mcc {:.0}",
+            b.name,
+            planned.mem.avg_vsize(),
+            mcc.mem.avg_vsize()
+        );
+    }
+}
+
+#[test]
+fn fig4_resident_sets_track_dynamic_data_plus_image() {
+    // Figure 4 internal consistency: rss always sits between the touched
+    // image floor and the full virtual size, for every executor model.
+    for b in all() {
+        let sources = b.sources(Preset::Test);
+        let refs: Vec<&str> = sources.iter().map(|s| s.as_str()).collect();
+        let ast = parse_program(refs).unwrap();
+
+        let mcc_ir = lower_for_mcc(&ast).unwrap();
+        let mut mcc = MccVm::new(&mcc_ir);
+        mcc.run().unwrap();
+        let c = compile(&ast, GctdOptions::default()).unwrap();
+        let mut planned = PlannedVm::new(&c);
+        planned.run().unwrap();
+
+        for (tag, mem) in [("mcc", &mcc.mem), ("mat2c", &planned.mem)] {
+            let rss = mem.avg_rss();
+            assert!(rss > 0.0, "{}: {tag} rss", b.name);
+            assert!(
+                rss <= mem.avg_vsize(),
+                "{}: {tag} rss {:.0} exceeds vsize {:.0}",
+                b.name,
+                rss,
+                mem.avg_vsize()
+            );
+        }
+    }
+}

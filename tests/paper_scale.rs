@@ -1,0 +1,32 @@
+//! Paper-scale end-to-end validation (minutes of runtime — run with
+//! `cargo test --release --test paper_scale -- --ignored`).
+//!
+//! The regular suite exercises everything at the test preset; this one
+//! repeats the differential checks at the evaluation sizes of §4
+//! (fiff on 451×451 grids, etc.), which is also what the report binary
+//! measures.
+
+use matc::benchsuite::{all, Preset};
+use matc::frontend::parse_program;
+use matc::gctd::GctdOptions;
+use matc::vm::compile::compile;
+use matc::vm::{Interp, PlannedVm};
+
+#[test]
+#[ignore = "paper-scale sizes; run explicitly with --ignored in release"]
+fn paper_scale_differential() {
+    for bench in all() {
+        let sources = bench.sources(Preset::Paper);
+        let refs: Vec<&str> = sources.iter().map(|s| s.as_str()).collect();
+        let ast = parse_program(refs).unwrap();
+        let mut interp = Interp::new(&ast);
+        let want = interp
+            .run()
+            .unwrap_or_else(|e| panic!("{}: {e}", bench.name));
+        let compiled = compile(&ast, GctdOptions::default()).unwrap();
+        let mut vm = PlannedVm::new(&compiled);
+        let got = vm.run().unwrap_or_else(|e| panic!("{}: {e}", bench.name));
+        assert_eq!(got, want, "{}", bench.name);
+        assert_eq!(vm.plan_violations, 0, "{}", bench.name);
+    }
+}
