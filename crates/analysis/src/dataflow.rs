@@ -1,0 +1,349 @@
+//! The auditor's own dataflow engine.
+//!
+//! This deliberately re-derives liveness, availability and block
+//! reachability from scratch rather than reusing
+//! `matc_gctd::Dataflow`: an auditor that shares the dataflow engine
+//! of the planner it is checking would inherit its bugs. The engine
+//! here is intentionally simple — ordered sets ([`BTreeSet`]) and
+//! plain iterate-until-stable fixpoints — and, unlike the production
+//! analysis, it materialises **per-instruction** snapshots:
+//!
+//! * [`AuditFlow::live_after`]: the variables live immediately *after*
+//!   instruction `i` of block `b` executes (this is where a definition
+//!   written at `i` could clobber a slot-mate);
+//! * [`AuditFlow::avail_before`]: the variables possibly already
+//!   defined when control reaches instruction `i`.
+//!
+//! One semantic difference from the production interference scan is
+//! intentional: branch-condition uses (`Terminator::used_var`) are
+//! included in liveness here, because a value consumed by a terminator
+//! is still live after the last instruction of its block.
+
+use matc_ir::ids::{BlockId, VarId};
+use matc_ir::instr::InstrKind;
+use matc_ir::FuncIr;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Per-instruction liveness/availability facts for one SSA function.
+#[derive(Debug, Clone)]
+pub struct AuditFlow {
+    /// `live_in[b]`: variables live at entry to block `b`.
+    pub live_in: Vec<BTreeSet<VarId>>,
+    /// `live_out[b]`: variables live at exit of block `b` (φ uses of
+    /// successors attributed to the predecessor edge; function outputs
+    /// live at return blocks).
+    pub live_out: Vec<BTreeSet<VarId>>,
+    /// `avail_in[b]`: variables possibly defined on some path reaching
+    /// the entry of `b` (parameters are available from the start).
+    pub avail_in: Vec<BTreeSet<VarId>>,
+    /// `avail_out[b]`: variables possibly defined at exit of `b`.
+    pub avail_out: Vec<BTreeSet<VarId>>,
+    /// `live_after[b][i]`: variables live right after instruction `i`
+    /// of block `b`, including the block's terminator use.
+    pub live_after: Vec<Vec<BTreeSet<VarId>>>,
+    /// `avail_before[b][i]`: variables possibly defined when control
+    /// reaches instruction `i` of block `b`.
+    pub avail_before: Vec<Vec<BTreeSet<VarId>>>,
+    def_site: BTreeMap<VarId, (BlockId, usize)>,
+    params: BTreeSet<VarId>,
+    reach: Vec<BTreeSet<BlockId>>,
+}
+
+impl AuditFlow {
+    /// Computes all facts for `func`, which must be in SSA form.
+    pub fn compute(func: &FuncIr) -> AuditFlow {
+        assert!(func.in_ssa, "AuditFlow requires SSA form");
+        let n = func.blocks.len();
+        let preds = func.predecessors();
+
+        // Definition sites. Parameters count as defined at position 0
+        // of the entry block, before any instruction.
+        let mut def_site: BTreeMap<VarId, (BlockId, usize)> = BTreeMap::new();
+        let mut params: BTreeSet<VarId> = BTreeSet::new();
+        for p in &func.params {
+            def_site.insert(*p, (func.entry, 0));
+            params.insert(*p);
+        }
+        for b in func.block_ids() {
+            for (i, instr) in func.block(b).instrs.iter().enumerate() {
+                for d in instr.defs() {
+                    def_site.insert(d, (b, i));
+                }
+            }
+        }
+
+        // Block summaries. φ arguments are uses on the incoming edge,
+        // so they land in `phi_out` of the predecessor, not in the
+        // upward-exposed set of the φ's own block.
+        let mut upward: Vec<BTreeSet<VarId>> = vec![BTreeSet::new(); n];
+        let mut defs: Vec<BTreeSet<VarId>> = vec![BTreeSet::new(); n];
+        let mut phi_out: Vec<BTreeSet<VarId>> = vec![BTreeSet::new(); n];
+        for b in func.block_ids() {
+            let blk = func.block(b);
+            for instr in &blk.instrs {
+                if let InstrKind::Phi { dst, args } = &instr.kind {
+                    defs[b.index()].insert(*dst);
+                    for (p, v) in args {
+                        phi_out[p.index()].insert(*v);
+                    }
+                    continue;
+                }
+                for u in instr.uses() {
+                    if !defs[b.index()].contains(&u) {
+                        upward[b.index()].insert(u);
+                    }
+                }
+                for d in instr.defs() {
+                    defs[b.index()].insert(d);
+                }
+            }
+            if let Some(c) = blk.term.used_var() {
+                if !defs[b.index()].contains(&c) {
+                    upward[b.index()].insert(c);
+                }
+            }
+        }
+
+        // Backward liveness, iterated to a fixpoint. Function outputs
+        // are live at the exit of every return block.
+        let mut live_in: Vec<BTreeSet<VarId>> = vec![BTreeSet::new(); n];
+        let mut live_out: Vec<BTreeSet<VarId>> = vec![BTreeSet::new(); n];
+        loop {
+            let mut changed = false;
+            for bi in (0..n).rev() {
+                let b = BlockId::new(bi);
+                let mut out = phi_out[bi].clone();
+                let succs = func.block(b).term.successors();
+                for s in &succs {
+                    out.extend(live_in[s.index()].iter().copied());
+                }
+                if succs.is_empty() {
+                    out.extend(func.ssa_outs.iter().copied());
+                }
+                let mut inn = upward[bi].clone();
+                inn.extend(out.difference(&defs[bi]).copied());
+                if out != live_out[bi] || inn != live_in[bi] {
+                    live_out[bi] = out;
+                    live_in[bi] = inn;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        // Forward may-availability (union over predecessors).
+        let mut avail_in: Vec<BTreeSet<VarId>> = vec![BTreeSet::new(); n];
+        let mut avail_out: Vec<BTreeSet<VarId>> = vec![BTreeSet::new(); n];
+        loop {
+            let mut changed = false;
+            for b in func.block_ids() {
+                let bi = b.index();
+                let mut inn: BTreeSet<VarId> = BTreeSet::new();
+                if b == func.entry {
+                    inn.extend(params.iter().copied());
+                }
+                for p in &preds[bi] {
+                    inn.extend(avail_out[p.index()].iter().copied());
+                }
+                let mut out = inn.clone();
+                out.extend(defs[bi].iter().copied());
+                if inn != avail_in[bi] || out != avail_out[bi] {
+                    avail_in[bi] = inn;
+                    avail_out[bi] = out;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        // Reachability via >= 1 CFG edge (transitive closure).
+        let mut reach: Vec<BTreeSet<BlockId>> = vec![BTreeSet::new(); n];
+        loop {
+            let mut changed = false;
+            for b in func.block_ids() {
+                let mut add: Vec<BlockId> = Vec::new();
+                for s in func.block(b).term.successors() {
+                    if !reach[b.index()].contains(&s) {
+                        add.push(s);
+                    }
+                    for t in &reach[s.index()] {
+                        if !reach[b.index()].contains(t) {
+                            add.push(*t);
+                        }
+                    }
+                }
+                if !add.is_empty() {
+                    reach[b.index()].extend(add);
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        // Per-instruction snapshots. Backward through each block for
+        // liveness: start from live-out plus the terminator use, then
+        // peel instructions off. φ arguments are edge uses, so passing
+        // a φ only removes its destination.
+        let mut live_after: Vec<Vec<BTreeSet<VarId>>> = Vec::with_capacity(n);
+        let mut avail_before: Vec<Vec<BTreeSet<VarId>>> = Vec::with_capacity(n);
+        for b in func.block_ids() {
+            let blk = func.block(b);
+            let m = blk.instrs.len();
+
+            let mut cur = live_out[b.index()].clone();
+            if let Some(c) = blk.term.used_var() {
+                cur.insert(c);
+            }
+            let mut after = vec![BTreeSet::new(); m];
+            for (i, instr) in blk.instrs.iter().enumerate().rev() {
+                after[i] = cur.clone();
+                for d in instr.defs() {
+                    cur.remove(&d);
+                }
+                if !instr.is_phi() {
+                    cur.extend(instr.uses());
+                }
+            }
+            live_after.push(after);
+
+            let mut cur = avail_in[b.index()].clone();
+            let mut before = Vec::with_capacity(m);
+            for instr in &blk.instrs {
+                before.push(cur.clone());
+                cur.extend(instr.defs());
+            }
+            avail_before.push(before);
+        }
+
+        AuditFlow {
+            live_in,
+            live_out,
+            avail_in,
+            avail_out,
+            live_after,
+            avail_before,
+            def_site,
+            params,
+            reach,
+        }
+    }
+
+    /// Whether some execution path leads from a definition of `u` to
+    /// the definition of `v` (reflexively true for `u == v`). This is
+    /// the control-flow side of the storage-size partial order
+    /// (Relation 1, §3.2): `u`'s storage can only be handed to `v` if
+    /// `u` has actually been materialised by the time `v` is defined.
+    pub fn available_at_def(&self, u: VarId, v: VarId) -> bool {
+        if u == v {
+            return true;
+        }
+        let (bu, iu) = match self.def_site.get(&u) {
+            Some(x) => *x,
+            None => return false,
+        };
+        let (bv, iv) = match self.def_site.get(&v) {
+            Some(x) => *x,
+            None => return false,
+        };
+        if bu == bv {
+            let pu = if self.params.contains(&u) { 0 } else { iu + 1 };
+            let pv = if self.params.contains(&v) { 0 } else { iv + 1 };
+            pu <= pv || self.reach[bu.index()].contains(&bv)
+        } else {
+            self.reach[bu.index()].contains(&bv)
+        }
+    }
+
+    /// The definition site of `v`, if it has one (parameters report the
+    /// entry block at index 0).
+    pub fn def_site(&self, v: VarId) -> Option<(BlockId, usize)> {
+        self.def_site.get(&v).copied()
+    }
+
+    /// Whether `v` is a function parameter.
+    pub fn is_param(&self, v: VarId) -> bool {
+        self.params.contains(&v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matc_frontend::parser::parse_program;
+    use matc_ir::build_ssa;
+
+    fn flow(src: &str) -> (FuncIr, AuditFlow) {
+        let ast = parse_program([src]).unwrap();
+        let prog = build_ssa(&ast).unwrap();
+        let f = prog.entry_func().clone();
+        let d = AuditFlow::compute(&f);
+        (f, d)
+    }
+
+    fn var_named(f: &FuncIr, name: &str, version: u32) -> VarId {
+        f.vars
+            .iter()
+            .find(|(_, i)| i.name.as_deref() == Some(name) && i.ssa_version == version)
+            .map(|(v, _)| v)
+            .unwrap_or_else(|| panic!("no {name}.{version} in\n{f}"))
+    }
+
+    #[test]
+    fn straight_line_snapshots() {
+        let (f, d) = flow("function y = f(x)\na = x + 1;\nb = a * 2;\ny = b;\n");
+        let a = var_named(&f, "a", 1);
+        let b = var_named(&f, "b", 1);
+        let (ba, ia) = d.def_site(a).unwrap();
+        // `a` is live right after its own definition (consumed by b's def).
+        assert!(d.live_after[ba.index()][ia].contains(&a));
+        // At b's definition, a is already available.
+        let (bb, ib) = d.def_site(b).unwrap();
+        assert!(d.avail_before[bb.index()][ib].contains(&a));
+        assert!(d.available_at_def(a, b));
+        assert!(!d.available_at_def(b, a));
+    }
+
+    #[test]
+    fn terminator_condition_counts_as_live() {
+        let (f, d) = flow("function y = f(x)\nif x > 0\ny = 1;\nelse\ny = 2;\nend\n");
+        // The branch condition variable must be live after every
+        // instruction that precedes the branch in its block.
+        let mut seen = false;
+        for b in f.block_ids() {
+            if let matc_ir::instr::Terminator::Branch { cond, .. } = f.block(b).term {
+                if let Some(last) = f.block(b).instrs.len().checked_sub(1) {
+                    assert!(
+                        d.live_after[b.index()][last].contains(&cond),
+                        "branch cond live after last instr of {b}:\n{f}"
+                    );
+                    seen = true;
+                }
+            }
+        }
+        assert!(seen, "expected at least one conditional branch:\n{f}");
+    }
+
+    #[test]
+    fn loop_variable_available_via_backedge() {
+        let (f, d) = flow("function s = f(n)\ns = 0;\nfor i = 1:n\ns = s + 1;\nend\n");
+        let s2 = var_named(&f, "s", 2);
+        assert!(d.available_at_def(s2, s2), "loop body def reaches itself");
+    }
+
+    #[test]
+    fn outputs_live_at_return() {
+        let (f, d) = flow("function y = f(x)\ny = x + 1;\n");
+        let ret = f
+            .block_ids()
+            .find(|b| f.block(*b).term.successors().is_empty())
+            .unwrap();
+        assert!(d.live_out[ret.index()].contains(&f.ssa_outs[0]));
+        assert!(d.is_param(f.params[0]));
+    }
+}

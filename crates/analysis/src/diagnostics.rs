@@ -1,0 +1,249 @@
+//! Structured diagnostics shared by the plan auditor and the lints.
+//!
+//! Every finding carries a stable machine-readable code (`A…` for plan
+//! audits, `L…` for lints), a severity, the function it concerns, a
+//! human-readable message and — when the finding maps to source text — a
+//! byte [`Span`]. The sink renders either a human listing or a JSON
+//! array, so `matc audit` can feed both terminals and tooling.
+
+use matc_frontend::span::Span;
+use std::fmt;
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Stylistic or likely-performance problem; does not affect the
+    /// audit's soundness verdict.
+    Warning,
+    /// A violated soundness obligation: the storage plan (or program)
+    /// cannot be trusted as-is.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => f.write_str("warning"),
+            Severity::Error => f.write_str("error"),
+        }
+    }
+}
+
+/// One finding.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Stable code, e.g. `A101` or `L003`.
+    pub code: &'static str,
+    /// Error or warning.
+    pub severity: Severity,
+    /// The function the finding is about.
+    pub func: String,
+    /// Human-readable description.
+    pub message: String,
+    /// Source byte range, when one exists.
+    pub span: Option<Span>,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] {}: {}",
+            self.severity, self.code, self.func, self.message
+        )?;
+        if let Some(s) = self.span {
+            write!(f, " (bytes {}..{})", s.start, s.end)?;
+        }
+        Ok(())
+    }
+}
+
+/// An append-only collection of findings.
+#[derive(Debug, Clone, Default)]
+pub struct Diagnostics {
+    items: Vec<Diagnostic>,
+}
+
+impl Diagnostics {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Diagnostics::default()
+    }
+
+    /// Appends an error-severity finding.
+    pub fn error(
+        &mut self,
+        code: &'static str,
+        func: impl Into<String>,
+        message: impl Into<String>,
+        span: Option<Span>,
+    ) {
+        self.items.push(Diagnostic {
+            code,
+            severity: Severity::Error,
+            func: func.into(),
+            message: message.into(),
+            span,
+        });
+    }
+
+    /// Appends a warning-severity finding.
+    pub fn warning(
+        &mut self,
+        code: &'static str,
+        func: impl Into<String>,
+        message: impl Into<String>,
+        span: Option<Span>,
+    ) {
+        self.items.push(Diagnostic {
+            code,
+            severity: Severity::Warning,
+            func: func.into(),
+            message: message.into(),
+            span,
+        });
+    }
+
+    /// All findings, in emission order.
+    pub fn iter(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.items.iter()
+    }
+
+    /// The number of findings.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether there are no findings at all.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The number of error-severity findings.
+    pub fn error_count(&self) -> usize {
+        self.items
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    /// The number of warning-severity findings.
+    pub fn warning_count(&self) -> usize {
+        self.items
+            .iter()
+            .filter(|d| d.severity == Severity::Warning)
+            .count()
+    }
+
+    /// Whether any finding is an error.
+    pub fn has_errors(&self) -> bool {
+        self.error_count() > 0
+    }
+
+    /// Moves all of `other`'s findings into this sink.
+    pub fn merge(&mut self, other: Diagnostics) {
+        self.items.extend(other.items);
+    }
+
+    /// Renders a human-readable listing, one finding per line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for d in &self.items {
+            out.push_str(&d.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the findings as a JSON array (one object per line), e.g.
+    ///
+    /// ```json
+    /// [
+    ///   {"code":"L001","severity":"warning","func":"f","message":"…","span":{"start":12,"end":20}}
+    /// ]
+    /// ```
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("[");
+        for (i, d) in self.items.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n  {");
+            out.push_str(&format!("\"code\":\"{}\",", d.code));
+            out.push_str(&format!("\"severity\":\"{}\",", d.severity));
+            out.push_str(&format!("\"func\":\"{}\",", json_escape(&d.func)));
+            out.push_str(&format!("\"message\":\"{}\"", json_escape(&d.message)));
+            match d.span {
+                Some(s) => out.push_str(&format!(
+                    ",\"span\":{{\"start\":{},\"end\":{}}}",
+                    s.start, s.end
+                )),
+                None => out.push_str(",\"span\":null"),
+            }
+            out.push('}');
+        }
+        if !self.items.is_empty() {
+            out.push('\n');
+        }
+        out.push(']');
+        out
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_render() {
+        let mut d = Diagnostics::new();
+        d.error("A101", "f", "slot clash", Some(Span::new(3, 9)));
+        d.warning("L001", "f", "unused `x`", None);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.error_count(), 1);
+        assert_eq!(d.warning_count(), 1);
+        assert!(d.has_errors());
+        let r = d.render();
+        assert!(r.contains("error[A101] f: slot clash (bytes 3..9)"), "{r}");
+        assert!(r.contains("warning[L001] f: unused `x`"), "{r}");
+    }
+
+    #[test]
+    fn json_is_escaped_and_structured() {
+        let mut d = Diagnostics::new();
+        d.error("A201", "f", "bad \"quote\"\nnewline", None);
+        let j = d.to_json();
+        assert!(j.contains(r#""message":"bad \"quote\"\nnewline""#), "{j}");
+        assert!(j.contains(r#""span":null"#), "{j}");
+        assert!(j.starts_with('[') && j.ends_with(']'));
+        assert_eq!(Diagnostics::new().to_json(), "[]");
+    }
+
+    #[test]
+    fn merge_concatenates() {
+        let mut a = Diagnostics::new();
+        a.warning("L002", "f", "one", None);
+        let mut b = Diagnostics::new();
+        b.error("A301", "g", "two", None);
+        a.merge(b);
+        assert_eq!(a.len(), 2);
+        assert!(a.has_errors());
+    }
+}

@@ -1,0 +1,352 @@
+//! Frontend lints over the parsed AST.
+//!
+//! These share the [`Diagnostics`] sink with the plan auditor so `matc
+//! audit` reports source-level hygiene and plan soundness in one pass:
+//!
+//! | code | finding |
+//! |------|---------|
+//! | L001 | a variable is assigned but never read |
+//! | L002 | an assignment shadows a builtin function |
+//! | L003 | an array is grown element-by-element inside a loop (§3.2.2's resize-churn case — preallocate instead) |
+//!
+//! All lints are warnings: none affects the soundness verdict.
+
+use crate::diagnostics::Diagnostics;
+use matc_frontend::ast::{Expr, ExprKind, Function, LValue, Program, Stmt, StmtKind};
+use matc_frontend::span::Span;
+use matc_ir::Builtin;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Lints every function of a parsed program.
+pub fn lint_program(ast: &Program) -> Diagnostics {
+    let mut diags = Diagnostics::new();
+    for f in &ast.functions {
+        lint_function(f, &mut diags);
+    }
+    diags
+}
+
+fn lint_function(f: &Function, diags: &mut Diagnostics) {
+    unused_variables(f, diags);
+    shadowed_builtins(f, diags);
+    loop_growth(f, diags);
+}
+
+// ---------------------------------------------------------------------
+// L001 — unused variables
+// ---------------------------------------------------------------------
+
+/// Names written and read across a function body. `For`-loop counters
+/// are not tracked as writes (an unused counter is idiomatic), and an
+/// un-semicolon'd assignment counts as a read — displaying the value is
+/// using it.
+#[derive(Default)]
+struct UseDef {
+    /// First write site per name.
+    writes: BTreeMap<String, Span>,
+    reads: BTreeSet<String>,
+}
+
+impl UseDef {
+    fn read_expr(&mut self, e: &Expr) {
+        match &e.kind {
+            ExprKind::Ident(n) => {
+                self.reads.insert(n.clone());
+            }
+            ExprKind::Apply { name, args } => {
+                // Indexing and calls parse identically; either way the
+                // name's value is consumed.
+                self.reads.insert(name.clone());
+                for a in args {
+                    self.read_expr(a);
+                }
+            }
+            ExprKind::Unary { operand, .. } => self.read_expr(operand),
+            ExprKind::Binary { lhs, rhs, .. } => {
+                self.read_expr(lhs);
+                self.read_expr(rhs);
+            }
+            ExprKind::Range { start, step, stop } => {
+                self.read_expr(start);
+                if let Some(s) = step {
+                    self.read_expr(s);
+                }
+                self.read_expr(stop);
+            }
+            ExprKind::Matrix { rows } => {
+                for row in rows {
+                    for e in row {
+                        self.read_expr(e);
+                    }
+                }
+            }
+            ExprKind::Number(_)
+            | ExprKind::ImagNumber(_)
+            | ExprKind::Str(_)
+            | ExprKind::End
+            | ExprKind::Colon => {}
+        }
+    }
+
+    fn write_lvalue(&mut self, lv: &LValue, span: Span, display: bool) {
+        match lv {
+            LValue::Var(n) => {
+                self.writes.entry(n.clone()).or_insert(span);
+            }
+            LValue::Index { name, args } => {
+                self.writes.entry(name.clone()).or_insert(span);
+                for a in args {
+                    self.read_expr(a);
+                }
+            }
+            LValue::Ignore => {}
+        }
+        if display {
+            if let Some(n) = lv.var_name() {
+                self.reads.insert(n.to_string());
+            }
+        }
+    }
+
+    fn visit(&mut self, stmts: &[Stmt]) {
+        for s in stmts {
+            match &s.kind {
+                StmtKind::Assign { lhs, rhs, display } => {
+                    self.read_expr(rhs);
+                    self.write_lvalue(lhs, s.span, *display);
+                }
+                StmtKind::MultiAssign {
+                    lhss,
+                    args,
+                    display,
+                    ..
+                } => {
+                    for a in args {
+                        self.read_expr(a);
+                    }
+                    for lv in lhss {
+                        self.write_lvalue(lv, s.span, *display);
+                    }
+                }
+                StmtKind::ExprStmt { expr, .. } => self.read_expr(expr),
+                StmtKind::If { arms, else_body } => {
+                    for (cond, body) in arms {
+                        self.read_expr(cond);
+                        self.visit(body);
+                    }
+                    if let Some(body) = else_body {
+                        self.visit(body);
+                    }
+                }
+                StmtKind::While { cond, body } => {
+                    self.read_expr(cond);
+                    self.visit(body);
+                }
+                StmtKind::For { iter, body, .. } => {
+                    // The counter itself is exempt from L001.
+                    self.read_expr(iter);
+                    self.visit(body);
+                }
+                StmtKind::Break | StmtKind::Continue | StmtKind::Return => {}
+            }
+        }
+    }
+}
+
+fn unused_variables(f: &Function, diags: &mut Diagnostics) {
+    let mut ud = UseDef::default();
+    ud.visit(&f.body);
+    for (name, span) in &ud.writes {
+        if ud.reads.contains(name) {
+            continue;
+        }
+        // Outputs are read by the caller; parameters are the caller's
+        // choice to pass.
+        if f.outs.iter().any(|o| o == name) || f.params.iter().any(|p| p == name) {
+            continue;
+        }
+        diags.warning(
+            "L001",
+            &f.name,
+            format!("`{name}` is assigned but never read"),
+            Some(*span),
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// L002 — shadowed builtins
+// ---------------------------------------------------------------------
+
+fn shadowed_builtins(f: &Function, diags: &mut Diagnostics) {
+    let mut flagged: BTreeSet<String> = BTreeSet::new();
+    let mut check = |name: &str, span: Span, diags: &mut Diagnostics, f: &Function| {
+        if Builtin::from_name(name).is_some() && flagged.insert(name.to_string()) {
+            diags.warning(
+                "L002",
+                &f.name,
+                format!("`{name}` shadows the builtin function of the same name"),
+                Some(span),
+            );
+        }
+    };
+    for p in &f.params {
+        check(p, f.span, diags, f);
+    }
+    let mut walk = |stmts: &[Stmt]| {
+        // Iterative worklist: no recursion needed for a flat scan.
+        let mut stack: Vec<&Stmt> = stmts.iter().collect();
+        while let Some(s) = stack.pop() {
+            match &s.kind {
+                StmtKind::Assign { lhs, .. } => {
+                    if let Some(n) = lhs.var_name() {
+                        check(n, s.span, diags, f);
+                    }
+                }
+                StmtKind::MultiAssign { lhss, .. } => {
+                    for lv in lhss {
+                        if let Some(n) = lv.var_name() {
+                            check(n, s.span, diags, f);
+                        }
+                    }
+                }
+                StmtKind::For { var, body, .. } => {
+                    check(var, s.span, diags, f);
+                    stack.extend(body.iter());
+                }
+                StmtKind::If { arms, else_body } => {
+                    for (_, body) in arms {
+                        stack.extend(body.iter());
+                    }
+                    if let Some(body) = else_body {
+                        stack.extend(body.iter());
+                    }
+                }
+                StmtKind::While { body, .. } => stack.extend(body.iter()),
+                _ => {}
+            }
+        }
+    };
+    walk(&f.body);
+}
+
+// ---------------------------------------------------------------------
+// L003 — array growth inside loops
+// ---------------------------------------------------------------------
+
+fn loop_growth(f: &Function, diags: &mut Diagnostics) {
+    let mut initialized: BTreeSet<String> = f.params.iter().cloned().collect();
+    let mut warned: BTreeSet<String> = BTreeSet::new();
+    visit_growth(&f.body, false, &mut initialized, &mut warned, f, diags);
+}
+
+fn visit_growth(
+    stmts: &[Stmt],
+    in_loop: bool,
+    initialized: &mut BTreeSet<String>,
+    warned: &mut BTreeSet<String>,
+    f: &Function,
+    diags: &mut Diagnostics,
+) {
+    for s in stmts {
+        match &s.kind {
+            StmtKind::Assign { lhs, .. } => match lhs {
+                LValue::Var(n) => {
+                    initialized.insert(n.clone());
+                }
+                LValue::Index { name, .. } => {
+                    if in_loop && !initialized.contains(name) && warned.insert(name.clone()) {
+                        diags.warning(
+                            "L003",
+                            &f.name,
+                            format!(
+                                "`{name}` is grown element-by-element inside a loop; preallocate it (e.g. with zeros) before the loop"
+                            ),
+                            Some(s.span),
+                        );
+                    }
+                    initialized.insert(name.clone());
+                }
+                LValue::Ignore => {}
+            },
+            StmtKind::MultiAssign { lhss, .. } => {
+                for lv in lhss {
+                    if let Some(n) = lv.var_name() {
+                        initialized.insert(n.to_string());
+                    }
+                }
+            }
+            StmtKind::If { arms, else_body } => {
+                for (_, body) in arms {
+                    visit_growth(body, in_loop, initialized, warned, f, diags);
+                }
+                if let Some(body) = else_body {
+                    visit_growth(body, in_loop, initialized, warned, f, diags);
+                }
+            }
+            StmtKind::While { body, .. } => {
+                visit_growth(body, true, initialized, warned, f, diags);
+            }
+            StmtKind::For { var, body, .. } => {
+                initialized.insert(var.clone());
+                visit_growth(body, true, initialized, warned, f, diags);
+            }
+            StmtKind::ExprStmt { .. } | StmtKind::Break | StmtKind::Continue | StmtKind::Return => {
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matc_frontend::parser::parse_program;
+
+    fn lint(src: &str) -> Diagnostics {
+        let ast = parse_program([src]).unwrap();
+        lint_program(&ast)
+    }
+
+    fn codes(d: &Diagnostics) -> Vec<&'static str> {
+        d.iter().map(|x| x.code).collect()
+    }
+
+    #[test]
+    fn unused_variable_flagged() {
+        let d = lint("function f(x)\nu = x + 1;\ndisp(x);\n");
+        assert_eq!(codes(&d), vec!["L001"], "{}", d.render());
+    }
+
+    #[test]
+    fn used_display_params_outs_and_counters_are_fine() {
+        // `v` is displayed (no semicolon), outputs and params don't
+        // count, and an unused for-counter is idiomatic.
+        let d = lint("function y = f(x)\nv = x + 1\ny = 2;\nfor i = 1:3\ny = y + 1;\nend\n");
+        assert!(d.is_empty(), "{}", d.render());
+    }
+
+    #[test]
+    fn shadowed_builtin_flagged() {
+        let d = lint("function f(x)\nsum = x + 1;\ndisp(sum);\n");
+        assert_eq!(codes(&d), vec!["L002"], "{}", d.render());
+    }
+
+    #[test]
+    fn loop_growth_flagged_once() {
+        let d = lint("function f(n)\nfor k = 1:n\na(k) = k;\nend\ndisp(a);\n");
+        assert_eq!(codes(&d), vec!["L003"], "{}", d.render());
+    }
+
+    #[test]
+    fn preallocated_loop_writes_are_fine() {
+        let d = lint("function f(n)\na = zeros(1, n);\nfor k = 1:n\na(k) = k;\nend\ndisp(a);\n");
+        assert!(d.is_empty(), "{}", d.render());
+    }
+
+    #[test]
+    fn lints_are_warnings_only() {
+        let d = lint("function f(n)\nfor k = 1:n\na(k) = k;\nend\n");
+        assert!(!d.is_empty());
+        assert!(!d.has_errors());
+    }
+}

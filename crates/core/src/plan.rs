@@ -19,7 +19,7 @@ use matc_ir::ids::{FuncId, VarId};
 use matc_ir::instr::{InstrKind, Op, Operand};
 use matc_ir::{FuncIr, IrProgram};
 use matc_typeinf::{ExprId, Intrinsic, ProgramTypes};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Options for a GCTD run (ablations and the Figure 6 baseline).
 #[derive(Debug, Clone, Copy)]
@@ -116,9 +116,9 @@ pub struct StoragePlan {
     /// All slots.
     pub slots: Vec<SlotInfo>,
     /// Slot index per variable.
-    pub var_slot: HashMap<VarId, usize>,
+    pub var_slot: BTreeMap<VarId, usize>,
     /// Resize annotation per (SSA) definition of heap-slot variables.
-    pub resize: HashMap<VarId, ResizeKind>,
+    pub resize: BTreeMap<VarId, ResizeKind>,
     /// Statistics.
     pub stats: PlanStats,
 }
@@ -302,7 +302,7 @@ pub fn plan_function(
     // Decompose every color class into groups (Phase 2).
     // ------------------------------------------------------------------
     let mut slots: Vec<SlotInfo> = Vec::new();
-    let mut var_slot: HashMap<VarId, usize> = HashMap::new();
+    let mut var_slot: BTreeMap<VarId, usize> = BTreeMap::new();
     let mut static_subsumed = 0usize;
     let mut dynamic_subsumed = 0usize;
     let mut stack_bytes_saved = 0u64;
@@ -404,7 +404,7 @@ pub fn plan_function(
     // ------------------------------------------------------------------
     // Resize annotations for heap-slot definitions.
     // ------------------------------------------------------------------
-    let mut resize: HashMap<VarId, ResizeKind> = HashMap::new();
+    let mut resize: BTreeMap<VarId, ResizeKind> = BTreeMap::new();
     for b in func.block_ids() {
         for instr in &func.block(b).instrs {
             for d in instr.defs() {
@@ -482,7 +482,7 @@ fn plan_without_coalescing(
     sizing: &Sizing,
 ) -> StoragePlan {
     let mut slots = Vec::new();
-    let mut var_slot = HashMap::new();
+    let mut var_slot = BTreeMap::new();
     let mut vars: Vec<VarId> = Vec::new();
     for p in &func.params {
         vars.push(*p);
@@ -514,7 +514,7 @@ fn plan_without_coalescing(
         func_name: func.name.clone(),
         slots,
         var_slot,
-        resize: HashMap::new(),
+        resize: BTreeMap::new(),
         stats,
     }
 }

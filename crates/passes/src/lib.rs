@@ -49,32 +49,46 @@ pub struct OptStats {
 
 /// Runs the full pass pipeline over every function until a fixpoint
 /// (bounded at a handful of rounds — ample for these passes).
+///
+/// Debug builds re-verify SSA invariants after every individual pass
+/// application, so a pass that corrupts the IR is caught immediately and
+/// named, rather than surfacing later as a planner or auditor failure.
 pub fn optimize_program(prog: &mut IrProgram) -> OptStats {
     let mut stats = OptStats::default();
     for f in &mut prog.functions {
         for _ in 0..4 {
             let mut round = 0;
             round += add(&mut stats.constants_folded, fold_constants(f));
+            verify_after(f, "fold_constants");
             round += add(&mut stats.branches_folded, fold_branches(f));
+            verify_after(f, "fold_branches");
             round += add(&mut stats.cse_replaced, eliminate_common_subexpressions(f));
+            verify_after(f, "eliminate_common_subexpressions");
             round += add(&mut stats.copies_propagated, copy_propagate(f));
+            verify_after(f, "copy_propagate");
             round += add(&mut stats.dead_removed, eliminate_dead_code(f));
+            verify_after(f, "eliminate_dead_code");
             if round == 0 {
                 break;
             }
         }
     }
-    debug_assert!(
-        matc_ir::verify_program(prog).is_ok(),
-        "passes broke SSA: {:?}",
-        matc_ir::verify_program(prog)
-    );
     stats
 }
 
 fn add(slot: &mut usize, n: usize) -> usize {
     *slot += n;
     n
+}
+
+/// Debug-only invariant check, attributing any breakage to `pass`.
+#[inline]
+fn verify_after(f: &matc_ir::FuncIr, pass: &str) {
+    if cfg!(debug_assertions) {
+        if let Err(e) = matc_ir::verify_func(f) {
+            panic!("pass `{pass}` broke `{}`: {e}\n{f}", f.name);
+        }
+    }
 }
 
 #[cfg(test)]

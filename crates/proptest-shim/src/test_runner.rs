@@ -1,0 +1,64 @@
+//! Deterministic case runner: configuration and the generation RNG.
+
+/// Subset of proptest's configuration; only `cases` is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test function.
+    pub cases: u32,
+    /// Accepted for source compatibility; unused (no shrinking here).
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+/// xorshift64* generator. Deterministic per test case so failures
+/// reproduce without persistence files; set `MATC_PROPTEST_SEED` to
+/// explore a different stream.
+#[derive(Debug, Clone)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    pub fn new(seed: u64) -> Self {
+        // 0 is a fixed point of xorshift; nudge it off.
+        TestRng(seed ^ 0x9e37_79b9_7f4a_7c15)
+    }
+
+    /// RNG for the `case`-th invocation of a test function.
+    pub fn for_case(case: u32) -> Self {
+        let base = std::env::var("MATC_PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+            .unwrap_or(0x6d61_7463_7365_6564); // "matcseed"
+        TestRng::new(base.wrapping_add(0x5851_f42d_4c95_7f2d_u64.wrapping_mul(u64::from(case) + 1)))
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    pub fn next_bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}

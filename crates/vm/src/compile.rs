@@ -34,6 +34,17 @@ pub fn compile(ast: &Program, options: GctdOptions) -> Result<Compiled, LowerErr
     let opt_stats = optimize_program(&mut ir);
     let mut types = infer_program(&ir);
     let plans = plan_program(&ir, &mut types, options);
+    // Debug builds re-audit every plan with the independent checker
+    // before SSA inversion bakes the sharing decisions into the IR.
+    #[cfg(debug_assertions)]
+    {
+        let findings = matc_analysis::audit_program(&ir, &mut types, &plans);
+        assert!(
+            !findings.has_errors(),
+            "storage plan failed its audit:\n{}",
+            findings.render()
+        );
+    }
     for (i, f) in ir.functions.iter_mut().enumerate() {
         let plan = &plans.plans[i];
         ssa_destruct(f, |dst, src| plan.share_storage(dst, src));

@@ -1,0 +1,21 @@
+# Development gates for the matc workspace. `just check` is the full
+# pre-merge bar: formatting, clippy-clean (warnings are errors), every
+# test, and a clean audit of the benchmark suite.
+
+default: check
+
+check: fmt clippy test audit-bench
+
+fmt:
+    cargo fmt --all -- --check
+
+clippy:
+    cargo clippy --workspace --all-targets -- -D warnings
+
+test:
+    cargo test --workspace -q
+
+# Run the independent storage-plan auditor + lints over all 11
+# benchsuite programs; fails on any error-severity finding.
+audit-bench:
+    cargo run -q --bin matc -- audit-bench

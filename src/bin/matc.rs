@@ -6,23 +6,103 @@
 //! matc emit-c program.m [...]              print the C translation
 //! matc plan program.m [...]                print the storage plan
 //! matc stats program.m [...]               print Table-2 style statistics
+//! matc audit program.m [...]               lint + re-audit the storage plan
+//! matc audit-bench                         audit every benchsuite program
 //! ```
 //!
 //! Flags: `--no-gctd` disables coalescing (Figure 6 baseline),
 //! `--seed N` sets the RNG seed, `--mcc` runs under the mcc model,
-//! `--interp` runs under the reference interpreter.
+//! `--interp` runs under the reference interpreter, `--json` makes
+//! `audit` emit machine-readable findings.
 
+use matc::analysis::{audit_program, lint_program, Diagnostics};
 use matc::frontend::parse_program;
-use matc::gctd::{GctdOptions, ResizeKind, SlotKind};
+use matc::gctd::{plan_program, GctdOptions, ResizeKind, SlotKind};
 use matc::vm::compile::{compile, lower_for_mcc};
 use matc::vm::{Interp, MccVm, PlannedVm};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: matc <run|emit-c|plan|stats> [--no-gctd] [--seed N] [--mcc|--interp] file.m [more.m ...]\n       matc runtime <dir>   write the mrt C support runtime (mrt.h, mrt.c)"
+        "usage: matc <run|emit-c|plan|stats|audit> [--no-gctd] [--seed N] [--mcc|--interp] [--json] file.m [more.m ...]\n       matc audit-bench     audit every benchsuite program's plan\n       matc runtime <dir>   write the mrt C support runtime (mrt.h, mrt.c)"
     );
     ExitCode::from(2)
+}
+
+/// Lints the AST and re-audits the storage plan the planner just built,
+/// returning the merged findings (plan build is independent of `compile`
+/// so corrupted plans can't hide behind the VM's own debug hook). The
+/// boolean is false when lowering failed and no plan could be audited.
+fn audit_sources(ast: &matc::frontend::ast::Program, options: GctdOptions) -> (Diagnostics, bool) {
+    let mut diags = lint_program(ast);
+    match matc::ir::build_ssa(ast) {
+        Ok(mut ir) => {
+            matc::passes::optimize_program(&mut ir);
+            let mut types = matc::typeinf::infer_program(&ir);
+            let plans = plan_program(&ir, &mut types, options);
+            diags.merge(audit_program(&ir, &mut types, &plans));
+            (diags, true)
+        }
+        Err(e) => {
+            eprintln!("matc: {e}");
+            (diags, false)
+        }
+    }
+}
+
+/// `audit` exit policy: warnings inform, errors fail.
+fn report_findings(diags: &Diagnostics, json: bool) -> ExitCode {
+    if json {
+        println!("{}", diags.to_json());
+    } else if diags.is_empty() {
+        println!("no findings");
+    } else {
+        print!("{}", diags.render());
+    }
+    if diags.has_errors() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn audit_bench() -> ExitCode {
+    use matc::benchsuite::{all, Preset};
+    let mut failed = false;
+    for bench in all() {
+        let sources = bench.sources(Preset::Test);
+        let refs: Vec<&str> = sources.iter().map(|s| s.as_str()).collect();
+        let ast = match parse_program(refs) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!(
+                    "matc: {}: parse error: {}",
+                    bench.name,
+                    e.render(&sources[0])
+                );
+                failed = true;
+                continue;
+            }
+        };
+        let (diags, built) = audit_sources(&ast, GctdOptions::default());
+        if diags.is_empty() {
+            println!("{:10} clean", bench.name);
+        } else {
+            println!(
+                "{:10} {} error(s), {} warning(s)",
+                bench.name,
+                diags.error_count(),
+                diags.warning_count()
+            );
+            print!("{}", diags.render());
+        }
+        failed |= !built || diags.has_errors();
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }
 
 fn main() -> ExitCode {
@@ -34,18 +114,23 @@ fn main() -> ExitCode {
     let mut no_gctd = false;
     let mut seed: Option<u64> = None;
     let mut backend = "planned";
+    let mut json = false;
     let mut it = args[1..].iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--no-gctd" => no_gctd = true,
             "--mcc" => backend = "mcc",
             "--interp" => backend = "interp",
+            "--json" => json = true,
             "--seed" => match it.next().and_then(|s| s.parse().ok()) {
                 Some(s) => seed = Some(s),
                 None => return usage(),
             },
             f => files.push(f.to_string()),
         }
+    }
+    if cmd == "audit-bench" {
+        return audit_bench();
     }
     if files.is_empty() {
         return usage();
@@ -187,6 +272,15 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         },
+        "audit" => {
+            let (diags, built) = audit_sources(&ast, options);
+            let code = report_findings(&diags, json);
+            if built {
+                code
+            } else {
+                ExitCode::FAILURE
+            }
+        }
         "stats" => match compile(&ast, options) {
             Ok(c) => {
                 let s = c.plans.total_stats();

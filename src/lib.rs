@@ -10,6 +10,7 @@
 //! * [`passes`] — classic SSA optimizations;
 //! * [`typeinf`] — intrinsic/shape/range inference (symbolic shapes);
 //! * [`gctd`] — the paper's storage-coalescing algorithm;
+//! * [`analysis`] — independent storage-plan auditor + frontend lints;
 //! * [`runtime`] — MATLAB values, builtins, memory accounting;
 //! * [`vm`] — reference interpreter, mcc-model VM, GCTD-planned VM;
 //! * [`codegen`] — the C backend;
@@ -28,6 +29,7 @@
 
 #![warn(missing_docs)]
 
+pub use matc_analysis as analysis;
 pub use matc_benchsuite as benchsuite;
 pub use matc_codegen as codegen;
 pub use matc_frontend as frontend;

@@ -222,6 +222,66 @@ fn symbolic_criterion_enables_example1_reuse() {
 }
 
 #[test]
+fn every_ablation_audits_clean_on_benchmarks() {
+    // The independent plan auditor (matc-analysis) must find nothing —
+    // no errors, no warnings — in any plan the production planner emits,
+    // under every ablation and coloring strategy. The auditor gates its
+    // §2.3 and φ-coalescing checks on the options recorded in the plan,
+    // so even the deliberately-unsound NO_OPSEM ablation audits clean:
+    // what it produces is exactly what its options promise.
+    use matc::analysis::audit_program;
+    use matc::benchsuite::{all, Preset};
+    use matc::gctd::{plan_program, ColoringStrategy};
+    use matc::typeinf::infer_program;
+
+    let variants: Vec<GctdOptions> = vec![
+        GctdOptions::default(),
+        GctdOptions {
+            coalesce: false,
+            ..GctdOptions::default()
+        },
+        GctdOptions {
+            symbolic_criterion: false,
+            ..GctdOptions::default()
+        },
+        GctdOptions {
+            interference: InterferenceOptions {
+                operator_semantics: true,
+                phi_coalescing: false,
+            },
+            ..GctdOptions::default()
+        },
+        NO_OPSEM,
+        GctdOptions {
+            coloring: ColoringStrategy::SizeOrderedGreedy,
+            ..GctdOptions::default()
+        },
+        GctdOptions {
+            coloring: ColoringStrategy::Exhaustive { max_nodes: 14 },
+            ..GctdOptions::default()
+        },
+    ];
+    for bench in all() {
+        let sources = bench.sources(Preset::Test);
+        let refs: Vec<&str> = sources.iter().map(|s| s.as_str()).collect();
+        let ast = parse_program(refs).unwrap();
+        let mut ir = matc::ir::build_ssa(&ast).unwrap();
+        matc::passes::optimize_program(&mut ir);
+        for opts in &variants {
+            let mut types = infer_program(&ir);
+            let plans = plan_program(&ir, &mut types, *opts);
+            let d = audit_program(&ir, &mut types, &plans);
+            assert!(
+                d.is_empty(),
+                "{} under {opts:?} produced findings:\n{}",
+                bench.name,
+                d.render()
+            );
+        }
+    }
+}
+
+#[test]
 fn all_coloring_strategies_stay_sound_on_benchmarks() {
     use matc::benchsuite::{all, Preset};
     use matc::gctd::ColoringStrategy;

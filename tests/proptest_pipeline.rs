@@ -203,6 +203,18 @@ fn check_program(src: &str) {
         .run()
         .unwrap_or_else(|e| panic!("interp: {e}\n{src}"));
 
+    // The independent auditor must bless every generated plan too —
+    // differential execution catches miscompiles that actually fire on
+    // this input; the auditor catches unsound sharing that didn't.
+    {
+        let mut ir = matc::ir::build_ssa(&ast).unwrap();
+        matc::passes::optimize_program(&mut ir);
+        let mut types = matc::typeinf::infer_program(&ir);
+        let plans = matc::gctd::plan_program(&ir, &mut types, GctdOptions::default());
+        let d = matc::analysis::audit_program(&ir, &mut types, &plans);
+        assert!(d.is_empty(), "auditor findings on:\n{src}\n{}", d.render());
+    }
+
     let compiled = compile(&ast, GctdOptions::default()).unwrap();
     let mut vm = PlannedVm::new(&compiled);
     let got = vm.run().unwrap_or_else(|e| panic!("planned: {e}\n{src}"));
