@@ -1,0 +1,596 @@
+//! Content-addressed artifact cache for batch compilation.
+//!
+//! A compilation unit's cache key is the SHA-256 digest of its source
+//! text *and* the complete option set (see [`options_fingerprint`]) —
+//! two compilations agree on the key iff they would produce identical
+//! artifacts, so a hit can serve the stored [`Artifact`] (emitted C,
+//! plan rendering, audit findings, size metrics) without running any
+//! pipeline phase. The cache is two-level: an in-memory map shared by
+//! the batch workers, and an optional on-disk layer (`--cache-dir`)
+//! holding one `<hex-key>.art` file per artifact, written atomically
+//! (temp file + rename) so concurrent batch runs never observe a torn
+//! artifact. Corrupt or truncated files are treated as misses and
+//! overwritten.
+//!
+//! Everything here is `std`-only: the SHA-256 implementation below is
+//! the FIPS 180-4 algorithm transcribed directly (checked against the
+//! standard test vectors), because the build environment is offline and
+//! the workspace takes no external dependencies.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::coloring::ColoringStrategy;
+use crate::plan::GctdOptions;
+
+// ---------------------------------------------------------------------
+// SHA-256 (FIPS 180-4)
+// ---------------------------------------------------------------------
+
+const K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+];
+
+/// Incremental SHA-256 hasher.
+#[derive(Debug, Clone)]
+pub struct Sha256 {
+    state: [u32; 8],
+    buf: [u8; 64],
+    buf_len: usize,
+    total_len: u64,
+}
+
+impl Default for Sha256 {
+    fn default() -> Self {
+        Sha256::new()
+    }
+}
+
+impl Sha256 {
+    /// A fresh hasher.
+    pub fn new() -> Sha256 {
+        Sha256 {
+            state: [
+                0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab,
+                0x5be0cd19,
+            ],
+            buf: [0; 64],
+            buf_len: 0,
+            total_len: 0,
+        }
+    }
+
+    /// Absorbs `data`.
+    pub fn update(&mut self, data: &[u8]) {
+        self.total_len = self.total_len.wrapping_add(data.len() as u64);
+        let mut rest = data;
+        if self.buf_len > 0 {
+            let take = rest.len().min(64 - self.buf_len);
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&rest[..take]);
+            self.buf_len += take;
+            rest = &rest[take..];
+            if self.buf_len == 64 {
+                let block = self.buf;
+                self.compress(&block);
+                self.buf_len = 0;
+            }
+        }
+        while rest.len() >= 64 {
+            let (block, tail) = rest.split_at(64);
+            let mut b = [0u8; 64];
+            b.copy_from_slice(block);
+            self.compress(&b);
+            rest = tail;
+        }
+        if !rest.is_empty() {
+            self.buf[..rest.len()].copy_from_slice(rest);
+            self.buf_len = rest.len();
+        }
+    }
+
+    /// Finishes, returning the 32-byte digest.
+    pub fn finish(mut self) -> [u8; 32] {
+        let bit_len = self.total_len.wrapping_mul(8);
+        self.update(&[0x80]);
+        while self.buf_len != 56 {
+            self.update(&[0]);
+        }
+        // Length goes in directly: buf_len is 56 and compress fires at 64.
+        self.buf[56..64].copy_from_slice(&bit_len.to_be_bytes());
+        let block = self.buf;
+        self.compress(&block);
+        let mut out = [0u8; 32];
+        for (i, w) in self.state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&w.to_be_bytes());
+        }
+        out
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 64];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+        for i in 0..64 {
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ (!e & g);
+            let t1 = h
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(K[i])
+                .wrapping_add(w[i]);
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let t2 = s0.wrapping_add(maj);
+            h = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(t1);
+            d = c;
+            c = b;
+            b = a;
+            a = t1.wrapping_add(t2);
+        }
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+        self.state[4] = self.state[4].wrapping_add(e);
+        self.state[5] = self.state[5].wrapping_add(f);
+        self.state[6] = self.state[6].wrapping_add(g);
+        self.state[7] = self.state[7].wrapping_add(h);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Cache keys
+// ---------------------------------------------------------------------
+
+/// A 256-bit content-addressed cache key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CacheKey([u8; 32]);
+
+impl CacheKey {
+    /// Derives the key of a compilation unit: a digest over a versioned,
+    /// length-prefixed stream of the option fingerprint and every source
+    /// file. Length prefixes make the encoding injective — no two
+    /// distinct `(fingerprint, sources)` inputs share a stream.
+    pub fn compute<'a>(sources: impl IntoIterator<Item = &'a str>, fingerprint: &str) -> CacheKey {
+        let mut h = Sha256::new();
+        h.update(b"matc-cache-v1\0");
+        h.update(&(fingerprint.len() as u64).to_le_bytes());
+        h.update(fingerprint.as_bytes());
+        for src in sources {
+            h.update(&(src.len() as u64).to_le_bytes());
+            h.update(src.as_bytes());
+        }
+        CacheKey(h.finish())
+    }
+
+    /// Lower-case hex rendering (the on-disk file stem).
+    pub fn hex(&self) -> String {
+        let mut s = String::with_capacity(64);
+        for b in self.0 {
+            s.push_str(&format!("{b:02x}"));
+        }
+        s
+    }
+}
+
+/// Canonical, versioned rendering of every option that can change the
+/// compiler's output. **Every field of [`GctdOptions`] must appear
+/// here**; dropping one would let two differently-configured
+/// compilations collide on one cache key (guarded by
+/// `tests/plan_audit.rs`).
+pub fn options_fingerprint(o: &GctdOptions) -> String {
+    let coloring = match o.coloring {
+        ColoringStrategy::LexicalGreedy => "lexical".to_string(),
+        ColoringStrategy::SizeOrderedGreedy => "size".to_string(),
+        ColoringStrategy::Exhaustive { max_nodes } => format!("exhaustive:{max_nodes}"),
+    };
+    format!(
+        "v1;coalesce={};opsem={};phi={};symbolic={};coloring={}",
+        u8::from(o.coalesce),
+        u8::from(o.interference.operator_semantics),
+        u8::from(o.interference.phi_coalescing),
+        u8::from(o.symbolic_criterion),
+        coloring
+    )
+}
+
+// ---------------------------------------------------------------------
+// Artifacts
+// ---------------------------------------------------------------------
+
+/// Everything a batch run needs to serve a unit without recompiling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Artifact {
+    /// The emitted C translation.
+    pub c_code: String,
+    /// The storage-plan rendering (`matc plan` format).
+    pub plan_text: String,
+    /// Audit + lint findings as JSON (`Diagnostics::to_json`).
+    pub audit_json: String,
+    /// Numeric metrics snapshot (sizes, counts — no timings), used to
+    /// refill `UnitMetrics` on a cache hit.
+    pub meta: BTreeMap<String, u64>,
+}
+
+const ARTIFACT_MAGIC: &str = "matc-artifact v1";
+
+impl Artifact {
+    /// A metadata value, zero when absent.
+    pub fn meta_value(&self, key: &str) -> u64 {
+        self.meta.get(key).copied().unwrap_or(0)
+    }
+
+    /// Error-severity audit findings recorded for this artifact.
+    pub fn audit_errors(&self) -> u64 {
+        self.meta_value("audit_errors")
+    }
+
+    /// Serializes to the on-disk format: a magic line, then
+    /// length-prefixed sections (`section <name> <bytes>`), with the
+    /// metadata map as `key value` lines in the `meta` section.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut meta = String::new();
+        for (k, v) in &self.meta {
+            meta.push_str(k);
+            meta.push(' ');
+            meta.push_str(&v.to_string());
+            meta.push('\n');
+        }
+        let mut out = Vec::new();
+        out.extend_from_slice(ARTIFACT_MAGIC.as_bytes());
+        out.push(b'\n');
+        for (name, body) in [
+            ("c", self.c_code.as_str()),
+            ("plan", self.plan_text.as_str()),
+            ("audit", self.audit_json.as_str()),
+            ("meta", meta.as_str()),
+        ] {
+            out.extend_from_slice(format!("section {name} {}\n", body.len()).as_bytes());
+            out.extend_from_slice(body.as_bytes());
+            out.push(b'\n');
+        }
+        out
+    }
+
+    /// Parses the on-disk format; any structural defect is an error (the
+    /// cache treats it as a miss).
+    pub fn from_bytes(bytes: &[u8]) -> Result<Artifact, String> {
+        let mut rest = bytes;
+        let magic = take_line(&mut rest).ok_or("missing magic")?;
+        if magic != ARTIFACT_MAGIC.as_bytes() {
+            return Err("bad magic".to_string());
+        }
+        let mut sections: BTreeMap<String, String> = BTreeMap::new();
+        while !rest.is_empty() {
+            let header = take_line(&mut rest).ok_or("truncated section header")?;
+            let header = std::str::from_utf8(header).map_err(|_| "non-utf8 header")?;
+            let mut parts = header.split(' ');
+            let (kw, name, len) = (parts.next(), parts.next(), parts.next());
+            if kw != Some("section") || parts.next().is_some() {
+                return Err(format!("bad section header: {header}"));
+            }
+            let name = name.ok_or("missing section name")?;
+            let len: usize = len
+                .and_then(|l| l.parse().ok())
+                .ok_or("bad section length")?;
+            if rest.len() < len + 1 || rest[len] != b'\n' {
+                return Err(format!("truncated section {name}"));
+            }
+            let body = std::str::from_utf8(&rest[..len]).map_err(|_| "non-utf8 section")?;
+            sections.insert(name.to_string(), body.to_string());
+            rest = &rest[len + 1..];
+        }
+        let mut get = |k: &str| sections.remove(k).ok_or(format!("missing section {k}"));
+        let c_code = get("c")?;
+        let plan_text = get("plan")?;
+        let audit_json = get("audit")?;
+        let meta_text = get("meta")?;
+        let mut meta = BTreeMap::new();
+        for line in meta_text.lines() {
+            let (k, v) = line.split_once(' ').ok_or("bad meta line")?;
+            let v: u64 = v.parse().map_err(|_| "bad meta value")?;
+            meta.insert(k.to_string(), v);
+        }
+        Ok(Artifact {
+            c_code,
+            plan_text,
+            audit_json,
+            meta,
+        })
+    }
+}
+
+fn take_line<'a>(rest: &mut &'a [u8]) -> Option<&'a [u8]> {
+    let pos = rest.iter().position(|b| *b == b'\n')?;
+    let line = &rest[..pos];
+    *rest = &rest[pos + 1..];
+    Some(line)
+}
+
+// ---------------------------------------------------------------------
+// The cache
+// ---------------------------------------------------------------------
+
+/// Thread-safe two-level (memory + optional disk) artifact cache.
+#[derive(Debug)]
+pub struct ArtifactCache {
+    dir: Option<PathBuf>,
+    mem: Mutex<BTreeMap<CacheKey, Arc<Artifact>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ArtifactCache {
+    /// A purely in-memory cache (dies with the process).
+    pub fn in_memory() -> ArtifactCache {
+        ArtifactCache {
+            dir: None,
+            mem: Mutex::new(BTreeMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// A cache persisted under `dir` (created if absent).
+    ///
+    /// # Errors
+    ///
+    /// Returns the error of creating `dir`.
+    pub fn at_dir(dir: impl Into<PathBuf>) -> io::Result<ArtifactCache> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(ArtifactCache {
+            dir: Some(dir),
+            ..ArtifactCache::in_memory()
+        })
+    }
+
+    /// The disk location, if persistent.
+    pub fn dir(&self) -> Option<&Path> {
+        self.dir.as_deref()
+    }
+
+    /// Looks `key` up (memory first, then disk), counting a hit or miss.
+    pub fn get(&self, key: &CacheKey) -> Option<Arc<Artifact>> {
+        if let Some(a) = self.mem.lock().unwrap().get(key).cloned() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Some(a);
+        }
+        if let Some(dir) = &self.dir {
+            let path = dir.join(format!("{}.art", key.hex()));
+            if let Ok(bytes) = std::fs::read(&path) {
+                if let Ok(a) = Artifact::from_bytes(&bytes) {
+                    let a = Arc::new(a);
+                    self.mem.lock().unwrap().insert(*key, a.clone());
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Some(a);
+                }
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// Stores `artifact` under `key` in memory and (best-effort,
+    /// atomically) on disk.
+    pub fn put(&self, key: &CacheKey, artifact: Arc<Artifact>) {
+        if let Some(dir) = &self.dir {
+            let final_path = dir.join(format!("{}.art", key.hex()));
+            let tmp_path = dir.join(format!(".{}.{}.tmp", key.hex(), std::process::id()));
+            let bytes = artifact.to_bytes();
+            // A failed disk write degrades to a memory-only entry.
+            if std::fs::write(&tmp_path, &bytes).is_ok()
+                && std::fs::rename(&tmp_path, &final_path).is_err()
+            {
+                let _ = std::fs::remove_file(&tmp_path);
+            }
+        }
+        self.mem.lock().unwrap().insert(*key, artifact);
+    }
+
+    /// Hits served since construction.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Misses since construction.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    #[test]
+    fn sha256_matches_fips_vectors() {
+        let d = Sha256::new().finish();
+        assert_eq!(
+            hex(&d),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+        let mut h = Sha256::new();
+        h.update(b"abc");
+        assert_eq!(
+            hex(&h.finish()),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+        let mut h = Sha256::new();
+        h.update(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq");
+        assert_eq!(
+            hex(&h.finish()),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+        // Split updates agree with one-shot hashing (buffer handling).
+        let mut h = Sha256::new();
+        let data = vec![0xabu8; 1000];
+        for chunk in data.chunks(7) {
+            h.update(chunk);
+        }
+        let mut g = Sha256::new();
+        g.update(&data);
+        assert_eq!(h.finish(), g.finish());
+    }
+
+    #[test]
+    fn key_depends_on_sources_boundaries_and_options() {
+        let fp = options_fingerprint(&GctdOptions::default());
+        let a = CacheKey::compute(["ab", "c"], &fp);
+        let b = CacheKey::compute(["a", "bc"], &fp);
+        let c = CacheKey::compute(["ab", "c"], &fp);
+        assert_ne!(a, b, "length prefixes keep file boundaries distinct");
+        assert_eq!(a, c);
+        let no_gctd = options_fingerprint(&GctdOptions {
+            coalesce: false,
+            ..GctdOptions::default()
+        });
+        assert_ne!(CacheKey::compute(["ab", "c"], &no_gctd), a);
+        assert_eq!(a.hex().len(), 64);
+    }
+
+    #[test]
+    fn fingerprint_covers_every_option() {
+        let base = options_fingerprint(&GctdOptions::default());
+        let variants = [
+            GctdOptions {
+                coalesce: false,
+                ..GctdOptions::default()
+            },
+            GctdOptions {
+                symbolic_criterion: false,
+                ..GctdOptions::default()
+            },
+            GctdOptions {
+                interference: crate::InterferenceOptions {
+                    operator_semantics: false,
+                    phi_coalescing: true,
+                },
+                ..GctdOptions::default()
+            },
+            GctdOptions {
+                interference: crate::InterferenceOptions {
+                    operator_semantics: true,
+                    phi_coalescing: false,
+                },
+                ..GctdOptions::default()
+            },
+            GctdOptions {
+                coloring: ColoringStrategy::SizeOrderedGreedy,
+                ..GctdOptions::default()
+            },
+            GctdOptions {
+                coloring: ColoringStrategy::Exhaustive { max_nodes: 9 },
+                ..GctdOptions::default()
+            },
+        ];
+        for v in &variants {
+            assert_ne!(options_fingerprint(v), base, "{v:?} must alter the key");
+        }
+    }
+
+    #[test]
+    fn artifact_roundtrips_including_tricky_bytes() {
+        let mut meta = BTreeMap::new();
+        meta.insert("c_bytes".to_string(), 42u64);
+        meta.insert("slots".to_string(), 3u64);
+        let a = Artifact {
+            c_code: "int main(void) {\n  return 0;\n}\nsection c 999\n".to_string(),
+            plan_text: "slot 0 [heap]\n".to_string(),
+            audit_json: "[]".to_string(),
+            meta,
+        };
+        let b = Artifact::from_bytes(&a.to_bytes()).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(b.meta_value("c_bytes"), 42);
+        assert_eq!(b.meta_value("absent"), 0);
+    }
+
+    #[test]
+    fn corrupt_artifacts_are_rejected() {
+        assert!(Artifact::from_bytes(b"").is_err());
+        assert!(Artifact::from_bytes(b"wrong magic\n").is_err());
+        let a = Artifact {
+            c_code: "x".to_string(),
+            plan_text: String::new(),
+            audit_json: "[]".to_string(),
+            meta: BTreeMap::new(),
+        };
+        let mut bytes = a.to_bytes();
+        bytes.truncate(bytes.len() - 3);
+        assert!(Artifact::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn memory_cache_counts_hits_and_misses() {
+        let cache = ArtifactCache::in_memory();
+        let key = CacheKey::compute(["src"], "fp");
+        assert!(cache.get(&key).is_none());
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+        cache.put(
+            &key,
+            Arc::new(Artifact {
+                c_code: "c".to_string(),
+                plan_text: "p".to_string(),
+                audit_json: "[]".to_string(),
+                meta: BTreeMap::new(),
+            }),
+        );
+        assert!(cache.get(&key).is_some());
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+    }
+
+    #[test]
+    fn disk_cache_roundtrips_across_instances() {
+        let dir = std::env::temp_dir().join(format!("matc-cache-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let key = CacheKey::compute(["function f\n"], "fp");
+        let artifact = Arc::new(Artifact {
+            c_code: "int main(void) { return 0; }\n".to_string(),
+            plan_text: "function f:\n".to_string(),
+            audit_json: "[]".to_string(),
+            meta: BTreeMap::from([("c_bytes".to_string(), 28u64)]),
+        });
+        {
+            let cache = ArtifactCache::at_dir(&dir).unwrap();
+            cache.put(&key, artifact.clone());
+        }
+        let fresh = ArtifactCache::at_dir(&dir).unwrap();
+        let got = fresh.get(&key).expect("disk hit");
+        assert_eq!(*got, *artifact);
+        assert_eq!(fresh.hits(), 1);
+        // Corrupt the stored file: the entry degrades to a miss.
+        let path = dir.join(format!("{}.art", key.hex()));
+        std::fs::write(&path, b"garbage").unwrap();
+        let fresh2 = ArtifactCache::at_dir(&dir).unwrap();
+        assert!(fresh2.get(&key).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

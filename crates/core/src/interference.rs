@@ -327,6 +327,27 @@ impl InterferenceGraph {
     pub fn occurring_count(&self) -> usize {
         self.occurs.iter().filter(|o| **o).count()
     }
+
+    /// The number of nodes (coalesced classes) in the graph.
+    pub fn node_count(&self) -> usize {
+        self.representatives().len()
+    }
+
+    /// The number of distinct interference edges between classes.
+    pub fn edge_count(&self) -> usize {
+        let mut edges = 0;
+        for r in self.representatives() {
+            let mut ns: Vec<VarId> = self
+                .neighbors(r)
+                .map(|n| self.rep(n))
+                .filter(|n| *n > r)
+                .collect();
+            ns.sort_unstable();
+            ns.dedup();
+            edges += ns.len();
+        }
+        edges
+    }
 }
 
 /// Whether `op`'s result may legally be computed in place in operand `k`

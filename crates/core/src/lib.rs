@@ -41,19 +41,23 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod coloring;
 pub mod interference;
 pub mod liveness;
+pub mod metrics;
 pub mod order;
 pub mod plan;
 
+pub use cache::{options_fingerprint, Artifact, ArtifactCache, CacheKey};
 pub use coloring::{Coloring, ColoringStrategy};
 pub use interference::{InterferenceGraph, InterferenceOptions};
 pub use liveness::Dataflow;
+pub use metrics::{BatchReport, CacheOutcome, Phase, PhaseTimer, UnitMetrics};
 pub use order::{decompose_color_class, IndexGroup, SizeClass, Sizing};
 pub use plan::{
-    plan_function, plan_program, GctdOptions, PlanStats, ProgramPlan, ResizeKind, SlotInfo,
-    SlotKind, StoragePlan,
+    plan_function, plan_program, plan_program_with, GctdOptions, PlanStats, ProgramPlan,
+    ResizeKind, SlotInfo, SlotKind, StoragePlan,
 };
 
 #[cfg(test)]

@@ -1,0 +1,499 @@
+//! Phase-level observability for the compilation pipeline.
+//!
+//! Every compilation unit driven through the batch compiler (or any
+//! caller that opts in) carries a [`UnitMetrics`] record: wall time per
+//! [`Phase`], IR and AST sizes, interference-graph node/edge counts,
+//! plan statistics and the cache outcome. [`BatchReport`] aggregates
+//! unit records into the machine-readable JSON emitted by
+//! `matc batch --stats` and the human summary table.
+//!
+//! The module is deliberately dependency-free: timings come from
+//! [`std::time::Instant`], JSON is emitted by hand with deterministic
+//! key order, and recording a phase is a single array store — cheap
+//! enough to leave on in production builds.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use crate::plan::PlanStats;
+
+/// The pipeline phases the batch driver distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Frontend parse (lexer + parser + program assembly).
+    Parse,
+    /// Lowering to the CFG IR and SSA construction.
+    SsaBuild,
+    /// The classic SSA optimization pipeline.
+    Optimize,
+    /// Intrinsic/shape/range inference.
+    TypeInfer,
+    /// Dataflow + interference-graph construction (GCTD Phase 1a).
+    Interference,
+    /// Graph coloring (GCTD Phase 1b).
+    Coloring,
+    /// Color-class decomposition into storage slots (GCTD Phase 2).
+    Decompose,
+    /// The independent storage-plan audit + AST lints.
+    Audit,
+    /// SSA inversion filtered through the storage plan.
+    SsaInvert,
+    /// C code emission.
+    Codegen,
+}
+
+impl Phase {
+    /// Every phase, in pipeline order.
+    pub const ALL: [Phase; 10] = [
+        Phase::Parse,
+        Phase::SsaBuild,
+        Phase::Optimize,
+        Phase::TypeInfer,
+        Phase::Interference,
+        Phase::Coloring,
+        Phase::Decompose,
+        Phase::Audit,
+        Phase::SsaInvert,
+        Phase::Codegen,
+    ];
+
+    /// Stable lower-snake name (the JSON key).
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Parse => "parse",
+            Phase::SsaBuild => "ssa_build",
+            Phase::Optimize => "optimize",
+            Phase::TypeInfer => "type_infer",
+            Phase::Interference => "interference",
+            Phase::Coloring => "coloring",
+            Phase::Decompose => "decompose",
+            Phase::Audit => "audit",
+            Phase::SsaInvert => "ssa_invert",
+            Phase::Codegen => "codegen",
+        }
+    }
+
+    fn index(self) -> usize {
+        Phase::ALL.iter().position(|p| *p == self).unwrap()
+    }
+}
+
+/// Whether a unit's artifacts were served from the cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// No cache was consulted.
+    Bypass,
+    /// Key present: artifacts served without recompiling.
+    Hit,
+    /// Key absent: the unit was compiled and the result stored.
+    Miss,
+}
+
+impl CacheOutcome {
+    /// Stable lower-case name (the JSON value).
+    pub fn name(self) -> &'static str {
+        match self {
+            CacheOutcome::Bypass => "bypass",
+            CacheOutcome::Hit => "hit",
+            CacheOutcome::Miss => "miss",
+        }
+    }
+}
+
+/// A running wall-clock timer for one phase.
+///
+/// ```
+/// use matc_gctd::metrics::{Phase, PhaseTimer, UnitMetrics};
+/// let mut m = UnitMetrics::new("demo");
+/// let t = PhaseTimer::start(Phase::Parse);
+/// // ... do the work ...
+/// t.stop(&mut m);
+/// ```
+#[derive(Debug)]
+pub struct PhaseTimer {
+    phase: Phase,
+    start: Instant,
+}
+
+impl PhaseTimer {
+    /// Starts timing `phase` now.
+    pub fn start(phase: Phase) -> PhaseTimer {
+        PhaseTimer {
+            phase,
+            start: Instant::now(),
+        }
+    }
+
+    /// Stops the timer, adding the elapsed time to `metrics`.
+    pub fn stop(self, metrics: &mut UnitMetrics) {
+        metrics.record(self.phase, self.start.elapsed());
+    }
+}
+
+/// Metrics for one compilation unit (one program through the pipeline).
+#[derive(Debug, Clone)]
+pub struct UnitMetrics {
+    /// The unit's display name (file stem or benchmark name).
+    pub unit: String,
+    /// Accumulated wall time per phase, nanoseconds.
+    phase_nanos: [u64; Phase::ALL.len()],
+    /// AST function count.
+    pub ast_functions: usize,
+    /// AST statement count (recursive).
+    pub ast_statements: usize,
+    /// AST expression count (recursive).
+    pub ast_expressions: usize,
+    /// IR function count.
+    pub ir_functions: usize,
+    /// IR basic-block count.
+    pub ir_blocks: usize,
+    /// IR instruction count (φs included).
+    pub ir_instrs: usize,
+    /// IR variable-table entries.
+    pub ir_vars: usize,
+    /// Total rewrites performed by the optimization pipeline.
+    pub opt_removed: usize,
+    /// Variables with inference facts.
+    pub typeinf_facts: usize,
+    /// Of those, provably scalar.
+    pub typeinf_scalars: usize,
+    /// Interference-graph nodes (coalesced classes), summed over functions.
+    pub interference_nodes: usize,
+    /// Interference-graph edges, summed over functions.
+    pub interference_edges: usize,
+    /// Program-wide storage-plan statistics.
+    pub plan: PlanStats,
+    /// Error-severity audit findings.
+    pub audit_errors: usize,
+    /// Warning-severity audit findings (lints included).
+    pub audit_warnings: usize,
+    /// Emitted C size in bytes.
+    pub c_bytes: usize,
+    /// Emitted C size in lines.
+    pub c_lines: usize,
+    /// Cache outcome for this unit.
+    pub cache: CacheOutcome,
+    /// Compilation error, if the unit failed (parse/lowering).
+    pub error: Option<String>,
+}
+
+impl UnitMetrics {
+    /// Fresh all-zero metrics for `unit`.
+    pub fn new(unit: impl Into<String>) -> UnitMetrics {
+        UnitMetrics {
+            unit: unit.into(),
+            phase_nanos: [0; Phase::ALL.len()],
+            ast_functions: 0,
+            ast_statements: 0,
+            ast_expressions: 0,
+            ir_functions: 0,
+            ir_blocks: 0,
+            ir_instrs: 0,
+            ir_vars: 0,
+            opt_removed: 0,
+            typeinf_facts: 0,
+            typeinf_scalars: 0,
+            interference_nodes: 0,
+            interference_edges: 0,
+            plan: PlanStats::default(),
+            audit_errors: 0,
+            audit_warnings: 0,
+            c_bytes: 0,
+            c_lines: 0,
+            cache: CacheOutcome::Bypass,
+            error: None,
+        }
+    }
+
+    /// Adds `elapsed` to `phase`'s accumulated wall time.
+    pub fn record(&mut self, phase: Phase, elapsed: Duration) {
+        let ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        self.phase_nanos[phase.index()] = self.phase_nanos[phase.index()].saturating_add(ns);
+    }
+
+    /// Times `f` under `phase`.
+    pub fn time<R>(&mut self, phase: Phase, f: impl FnOnce() -> R) -> R {
+        let t = PhaseTimer::start(phase);
+        let r = f();
+        t.stop(self);
+        r
+    }
+
+    /// Accumulated microseconds spent in `phase`.
+    pub fn phase_micros(&self, phase: Phase) -> u64 {
+        self.phase_nanos[phase.index()] / 1_000
+    }
+
+    /// Total microseconds across all phases.
+    pub fn total_micros(&self) -> u64 {
+        self.phase_nanos.iter().map(|n| n / 1_000).sum()
+    }
+
+    /// Whether the unit compiled (no pipeline error).
+    pub fn ok(&self) -> bool {
+        self.error.is_none()
+    }
+
+    /// The unit's JSON object (one element of the report's `units`
+    /// array; see DESIGN.md §6 for the schema).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push('{');
+        let _ = write!(s, "\"unit\":{}", json_string(&self.unit));
+        let _ = write!(
+            s,
+            ",\"status\":{}",
+            json_string(if self.ok() { "ok" } else { "error" })
+        );
+        if let Some(e) = &self.error {
+            let _ = write!(s, ",\"error\":{}", json_string(e));
+        }
+        let _ = write!(s, ",\"cache\":{}", json_string(self.cache.name()));
+        s.push_str(",\"phases_micros\":{");
+        for (i, p) in Phase::ALL.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "\"{}\":{}", p.name(), self.phase_micros(*p));
+        }
+        s.push('}');
+        let _ = write!(
+            s,
+            ",\"ast\":{{\"functions\":{},\"statements\":{},\"expressions\":{}}}",
+            self.ast_functions, self.ast_statements, self.ast_expressions
+        );
+        let _ = write!(
+            s,
+            ",\"ir\":{{\"functions\":{},\"blocks\":{},\"instrs\":{},\"vars\":{}}}",
+            self.ir_functions, self.ir_blocks, self.ir_instrs, self.ir_vars
+        );
+        let _ = write!(s, ",\"opt\":{{\"rewrites\":{}}}", self.opt_removed);
+        let _ = write!(
+            s,
+            ",\"typeinf\":{{\"facts\":{},\"scalars\":{}}}",
+            self.typeinf_facts, self.typeinf_scalars
+        );
+        let _ = write!(
+            s,
+            ",\"interference\":{{\"nodes\":{},\"edges\":{}}}",
+            self.interference_nodes, self.interference_edges
+        );
+        let _ = write!(
+            s,
+            ",\"plan\":{{\"original_vars\":{},\"static_subsumed\":{},\"dynamic_subsumed\":{},\
+             \"stack_bytes_saved\":{},\"stack_bytes_total\":{},\"colors\":{},\
+             \"coalesced_phis\":{},\"op_conflicts\":{},\"slots\":{}}}",
+            self.plan.original_vars,
+            self.plan.static_subsumed,
+            self.plan.dynamic_subsumed,
+            self.plan.stack_bytes_saved,
+            self.plan.stack_bytes_total,
+            self.plan.colors,
+            self.plan.coalesced_phis,
+            self.plan.op_conflicts,
+            self.plan.slots
+        );
+        let _ = write!(
+            s,
+            ",\"audit\":{{\"errors\":{},\"warnings\":{}}}",
+            self.audit_errors, self.audit_warnings
+        );
+        let _ = write!(
+            s,
+            ",\"c\":{{\"bytes\":{},\"lines\":{}}}",
+            self.c_bytes, self.c_lines
+        );
+        s.push('}');
+        s
+    }
+}
+
+/// Aggregated results of one batch run.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// Worker-thread count used.
+    pub jobs: usize,
+    /// End-to-end wall time of the batch, microseconds.
+    pub wall_micros: u64,
+    /// Units served from the cache this run.
+    pub cache_hits: u64,
+    /// Units compiled (cache consulted but absent) this run.
+    pub cache_misses: u64,
+    /// Per-unit metrics, in input order.
+    pub units: Vec<UnitMetrics>,
+}
+
+impl BatchReport {
+    /// Total microseconds spent in `phase` across all units.
+    pub fn phase_total_micros(&self, phase: Phase) -> u64 {
+        self.units.iter().map(|u| u.phase_micros(phase)).sum()
+    }
+
+    /// Units that failed to compile.
+    pub fn failed(&self) -> usize {
+        self.units.iter().filter(|u| !u.ok()).count()
+    }
+
+    /// The full stats document (`matc batch --stats`).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push('{');
+        let _ = write!(s, "\"jobs\":{}", self.jobs);
+        let _ = write!(s, ",\"wall_micros\":{}", self.wall_micros);
+        let _ = write!(
+            s,
+            ",\"cache\":{{\"hits\":{},\"misses\":{}}}",
+            self.cache_hits, self.cache_misses
+        );
+        s.push_str(",\"phase_totals_micros\":{");
+        for (i, p) in Phase::ALL.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "\"{}\":{}", p.name(), self.phase_total_micros(*p));
+        }
+        s.push('}');
+        s.push_str(",\"units\":[");
+        for (i, u) in self.units.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&u.to_json());
+        }
+        s.push_str("]}");
+        s
+    }
+
+    /// The human summary table printed by `matc batch`.
+    pub fn render_table(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "{:<12} {:>8} {:>7} {:>9} {:>7} {:>9}  status",
+            "unit", "time", "cache", "instrs", "slots", "C bytes"
+        );
+        for u in &self.units {
+            let status = match &u.error {
+                Some(e) => format!("error: {e}"),
+                None if u.audit_errors > 0 => format!("{} audit error(s)", u.audit_errors),
+                None => "ok".to_string(),
+            };
+            let _ = writeln!(
+                s,
+                "{:<12} {:>6}us {:>7} {:>9} {:>7} {:>9}  {}",
+                u.unit,
+                u.total_micros(),
+                u.cache.name(),
+                u.ir_instrs,
+                u.plan.slots,
+                u.c_bytes,
+                status
+            );
+        }
+        let _ = writeln!(
+            s,
+            "{} unit(s), {} failed; cache {} hit(s) / {} miss(es); wall {}us on {} job(s)",
+            self.units.len(),
+            self.failed(),
+            self.cache_hits,
+            self.cache_misses,
+            self.wall_micros,
+            self.jobs
+        );
+        s
+    }
+}
+
+/// Escapes `s` as a JSON string literal (with quotes).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phases_have_unique_names_and_indices() {
+        for (i, p) in Phase::ALL.iter().enumerate() {
+            assert_eq!(p.index(), i);
+        }
+        let mut names: Vec<&str> = Phase::ALL.iter().map(|p| p.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Phase::ALL.len());
+    }
+
+    #[test]
+    fn timing_accumulates() {
+        let mut m = UnitMetrics::new("u");
+        m.record(Phase::Parse, Duration::from_micros(30));
+        m.record(Phase::Parse, Duration::from_micros(12));
+        assert_eq!(m.phase_micros(Phase::Parse), 42);
+        assert_eq!(m.total_micros(), 42);
+        let v = m.time(Phase::Codegen, || 7);
+        assert_eq!(v, 7);
+    }
+
+    #[test]
+    fn json_has_expected_fields() {
+        let mut m = UnitMetrics::new("fiff");
+        m.cache = CacheOutcome::Hit;
+        m.c_bytes = 10;
+        let j = m.to_json();
+        assert!(j.contains("\"unit\":\"fiff\""), "{j}");
+        assert!(j.contains("\"cache\":\"hit\""), "{j}");
+        assert!(j.contains("\"phases_micros\""), "{j}");
+        assert!(j.contains("\"interference\""), "{j}");
+        let report = BatchReport {
+            jobs: 2,
+            wall_micros: 5,
+            cache_hits: 1,
+            cache_misses: 0,
+            units: vec![m],
+        };
+        let j = report.to_json();
+        assert!(j.contains("\"jobs\":2"), "{j}");
+        assert!(j.contains("\"phase_totals_micros\""), "{j}");
+        assert!(report.render_table().contains("fiff"));
+    }
+
+    #[test]
+    fn json_strings_escape_controls() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn failed_units_render_as_errors() {
+        let mut m = UnitMetrics::new("bad");
+        m.error = Some("parse error".to_string());
+        assert!(!m.ok());
+        assert!(m.to_json().contains("\"status\":\"error\""));
+        let report = BatchReport {
+            jobs: 1,
+            wall_micros: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            units: vec![m],
+        };
+        assert_eq!(report.failed(), 1);
+        assert!(report.render_table().contains("error: parse error"));
+    }
+}

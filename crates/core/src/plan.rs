@@ -14,12 +14,14 @@
 use crate::coloring::{Coloring, ColoringStrategy};
 use crate::interference::{InterferenceGraph, InterferenceOptions};
 use crate::liveness::Dataflow;
+use crate::metrics::{Phase, UnitMetrics};
 use crate::order::{decompose_color_class, SizeClass, Sizing};
 use matc_ir::ids::{FuncId, VarId};
 use matc_ir::instr::{InstrKind, Op, Operand};
 use matc_ir::{FuncIr, IrProgram};
 use matc_typeinf::{ExprId, Intrinsic, ProgramTypes};
 use std::collections::{BTreeMap, HashMap};
+use std::time::Instant;
 
 /// Options for a GCTD run (ablations and the Figure 6 baseline).
 #[derive(Debug, Clone, Copy)]
@@ -195,6 +197,30 @@ pub fn plan_program(
     ProgramPlan { plans, options }
 }
 
+/// [`plan_program`] with phase observability: per-phase wall times
+/// (interference build, coloring, decomposition) and interference-graph
+/// node/edge totals accumulate into `rec`. Produces exactly the same
+/// plan as the unrecorded entry point.
+pub fn plan_program_with(
+    prog: &IrProgram,
+    types: &mut ProgramTypes,
+    options: GctdOptions,
+    rec: &mut UnitMetrics,
+) -> ProgramPlan {
+    let plans = (0..prog.functions.len())
+        .map(|i| {
+            plan_function_metered(
+                prog.func(FuncId::new(i)),
+                FuncId::new(i),
+                types,
+                options,
+                Some(rec),
+            )
+        })
+        .collect();
+    ProgramPlan { plans, options }
+}
+
 /// Node-level sizing facts for a coalesced interference class.
 struct NodeFacts {
     members: Vec<VarId>,
@@ -214,16 +240,42 @@ pub fn plan_function(
     types: &mut ProgramTypes,
     options: GctdOptions,
 ) -> StoragePlan {
+    plan_function_metered(func, fid, types, options, None)
+}
+
+/// [`plan_function`] with optional phase recording (see
+/// [`plan_program_with`]); the `rec: None` path takes no timestamps.
+fn plan_function_metered(
+    func: &FuncIr,
+    fid: FuncId,
+    types: &mut ProgramTypes,
+    options: GctdOptions,
+    mut rec: Option<&mut UnitMetrics>,
+) -> StoragePlan {
     assert!(func.in_ssa, "GCTD runs on SSA");
+    let t = Instant::now();
     let flow = Dataflow::compute(func);
     let graph = {
         let ftypes = &types.funcs[fid.index()];
         InterferenceGraph::build(func, &flow, ftypes, types, options.interference)
     };
+    if let Some(r) = rec.as_deref_mut() {
+        r.record(Phase::Interference, t.elapsed());
+        r.interference_nodes += graph.node_count();
+        r.interference_edges += graph.edge_count();
+    }
+    let t = Instant::now();
     let sizing = Sizing::compute(func, fid, types);
 
     if !options.coalesce {
-        return plan_without_coalescing(func, &graph, &sizing);
+        let plan = plan_without_coalescing(func, &graph, &sizing);
+        if let Some(r) = rec.as_deref_mut() {
+            r.record(Phase::Decompose, t.elapsed());
+        }
+        return plan;
+    }
+    if let Some(r) = rec.as_deref_mut() {
+        r.record(Phase::Decompose, t.elapsed());
     }
 
     let node_bytes = |rep: matc_ir::ids::VarId| -> u64 {
@@ -240,8 +292,13 @@ pub fn plan_function(
             .max()
             .unwrap_or(0)
     };
+    let t = Instant::now();
     let coloring = Coloring::with_strategy(func, &graph, options.coloring, &node_bytes);
     debug_assert!(coloring.validate(&graph), "improper coloring");
+    if let Some(r) = rec.as_deref_mut() {
+        r.record(Phase::Coloring, t.elapsed());
+    }
+    let t = Instant::now();
 
     // ------------------------------------------------------------------
     // Build node-level facts per class representative.
@@ -462,6 +519,9 @@ pub fn plan_function(
         op_conflicts: graph.op_conflicts,
         slots: slots.len(),
     };
+    if let Some(r) = rec {
+        r.record(Phase::Decompose, t.elapsed());
+    }
     StoragePlan {
         func_name: func.name.clone(),
         slots,

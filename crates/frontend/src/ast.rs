@@ -423,11 +423,158 @@ impl Program {
         self.function(&self.entry)
             .expect("entry function must exist")
     }
+
+    /// Recursive node counts — the frontend's contribution to the batch
+    /// driver's per-unit metrics.
+    pub fn stats(&self) -> AstStats {
+        let mut s = AstStats {
+            functions: self.functions.len(),
+            statements: 0,
+            expressions: 0,
+        };
+        for f in &self.functions {
+            count_stmts(&f.body, &mut s);
+        }
+        s
+    }
+}
+
+/// Node counts of a [`Program`] (see [`Program::stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AstStats {
+    /// Function definitions (the synthesized script `main` included).
+    pub functions: usize,
+    /// Statements, nested bodies included.
+    pub statements: usize,
+    /// Expressions, recursively (subscripts and matrix elements included).
+    pub expressions: usize,
+}
+
+fn count_stmts(body: &[Stmt], s: &mut AstStats) {
+    for stmt in body {
+        s.statements += 1;
+        match &stmt.kind {
+            StmtKind::Assign { lhs, rhs, .. } => {
+                count_lvalue(lhs, s);
+                count_expr(rhs, s);
+            }
+            StmtKind::MultiAssign { lhss, args, .. } => {
+                for l in lhss {
+                    count_lvalue(l, s);
+                }
+                for a in args {
+                    count_expr(a, s);
+                }
+            }
+            StmtKind::ExprStmt { expr, .. } => count_expr(expr, s),
+            StmtKind::If { arms, else_body } => {
+                for (cond, body) in arms {
+                    count_expr(cond, s);
+                    count_stmts(body, s);
+                }
+                if let Some(body) = else_body {
+                    count_stmts(body, s);
+                }
+            }
+            StmtKind::While { cond, body } => {
+                count_expr(cond, s);
+                count_stmts(body, s);
+            }
+            StmtKind::For { iter, body, .. } => {
+                count_expr(iter, s);
+                count_stmts(body, s);
+            }
+            StmtKind::Break | StmtKind::Continue | StmtKind::Return => {}
+        }
+    }
+}
+
+fn count_lvalue(lv: &LValue, s: &mut AstStats) {
+    if let LValue::Index { args, .. } = lv {
+        for a in args {
+            count_expr(a, s);
+        }
+    }
+}
+
+fn count_expr(e: &Expr, s: &mut AstStats) {
+    s.expressions += 1;
+    match &e.kind {
+        ExprKind::Number(_)
+        | ExprKind::ImagNumber(_)
+        | ExprKind::Str(_)
+        | ExprKind::Ident(_)
+        | ExprKind::End
+        | ExprKind::Colon => {}
+        ExprKind::Range { start, step, stop } => {
+            count_expr(start, s);
+            if let Some(step) = step {
+                count_expr(step, s);
+            }
+            count_expr(stop, s);
+        }
+        ExprKind::Unary { operand, .. } => count_expr(operand, s),
+        ExprKind::Binary { lhs, rhs, .. } => {
+            count_expr(lhs, s);
+            count_expr(rhs, s);
+        }
+        ExprKind::Apply { args, .. } => {
+            for a in args {
+                count_expr(a, s);
+            }
+        }
+        ExprKind::Matrix { rows } => {
+            for row in rows {
+                for e in row {
+                    count_expr(e, s);
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn stats_count_nested_nodes() {
+        let body = vec![Stmt::new(
+            StmtKind::While {
+                cond: Expr::ident("x"),
+                body: vec![Stmt::new(
+                    StmtKind::Assign {
+                        lhs: LValue::Var("x".to_string()),
+                        rhs: Expr::new(
+                            ExprKind::Binary {
+                                op: BinOp::Add,
+                                lhs: Box::new(Expr::ident("x")),
+                                rhs: Box::new(Expr::number(1.0)),
+                            },
+                            Span::dummy(),
+                        ),
+                        display: false,
+                    },
+                    Span::dummy(),
+                )],
+            },
+            Span::dummy(),
+        )];
+        let prog = Program {
+            functions: vec![Function {
+                name: "f".to_string(),
+                outs: vec![],
+                params: vec![],
+                body,
+                span: Span::dummy(),
+            }],
+            entry: "f".to_string(),
+        };
+        let s = prog.stats();
+        assert_eq!(s.functions, 1);
+        assert_eq!(s.statements, 2, "while + nested assign");
+        assert_eq!(s.expressions, 4, "cond, binary, x, 1");
+    }
 
     #[test]
     fn binop_classification() {

@@ -47,6 +47,18 @@ pub struct OptStats {
     pub dead_removed: usize,
 }
 
+impl OptStats {
+    /// Total rewrites across all passes (the batch driver's single-number
+    /// optimization metric).
+    pub fn total(&self) -> usize {
+        self.copies_propagated
+            + self.constants_folded
+            + self.branches_folded
+            + self.cse_replaced
+            + self.dead_removed
+    }
+}
+
 /// Runs the full pass pipeline over every function until a fixpoint
 /// (bounded at a handful of rounds — ample for these passes).
 ///

@@ -108,6 +108,14 @@ impl FuncTypes {
         self.facts.get(v.index()).and_then(|f| f.as_ref())
     }
 
+    /// All inferred `(variable, facts)` pairs, in variable order.
+    pub fn iter(&self) -> impl Iterator<Item = (VarId, &VarFacts)> {
+        self.facts
+            .iter()
+            .enumerate()
+            .filter_map(|(i, f)| f.as_ref().map(|f| (VarId::new(i), f)))
+    }
+
     fn set(&mut self, v: VarId, f: VarFacts) {
         if v.index() >= self.facts.len() {
             self.facts.resize(v.index() + 1, None);
@@ -130,6 +138,39 @@ impl ProgramTypes {
     pub fn facts(&self, f: FuncId, v: VarId) -> Option<&VarFacts> {
         self.funcs.get(f.index()).and_then(|ft| ft.get(v))
     }
+
+    /// Program-wide inference counters — the engine's contribution to
+    /// the batch driver's per-unit metrics.
+    pub fn summary(&self) -> TypeSummary {
+        let mut s = TypeSummary {
+            facts: 0,
+            scalars: 0,
+            explicit_shapes: 0,
+        };
+        for ft in &self.funcs {
+            for (_, f) in ft.iter() {
+                s.facts += 1;
+                if f.shape.is_scalar(&self.ctx) {
+                    s.scalars += 1;
+                }
+                if f.shape.is_explicit(&self.ctx) {
+                    s.explicit_shapes += 1;
+                }
+            }
+        }
+        s
+    }
+}
+
+/// Aggregate inference counters (see [`ProgramTypes::summary`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TypeSummary {
+    /// Variables with inference facts.
+    pub facts: usize,
+    /// Of those, provably `1 × 1`.
+    pub scalars: usize,
+    /// Of those, with fully explicit (constant-extent) shapes.
+    pub explicit_shapes: usize,
 }
 
 /// Runs interprocedural inference over an SSA program.

@@ -1,13 +1,15 @@
 //! The full `mat2c`-style compilation pipeline, producing executable IR
 //! plus GCTD storage plans.
 
+use matc_analysis::{audit_program, lint_program, Diagnostics};
 use matc_frontend::ast::Program;
-use matc_gctd::{plan_program, GctdOptions, ProgramPlan};
+use matc_gctd::{plan_program, plan_program_with, GctdOptions, Phase, ProgramPlan, UnitMetrics};
 use matc_ir::ids::FuncId;
 use matc_ir::lower::LowerError;
 use matc_ir::{build_ssa, ssa_destruct, IrProgram};
 use matc_passes::{optimize_program, OptStats};
 use matc_typeinf::{infer_program, ProgramTypes};
+use std::time::Instant;
 
 /// A compiled program: out-of-SSA IR whose φs were replaced by copies
 /// filtered through the storage plan (coalesced copies vanish, §2.2.1).
@@ -30,31 +32,144 @@ pub struct Compiled {
 ///
 /// Returns lowering errors (undefined names, unsupported constructs).
 pub fn compile(ast: &Program, options: GctdOptions) -> Result<Compiled, LowerError> {
-    let mut ir = build_ssa(ast)?;
-    let opt_stats = optimize_program(&mut ir);
-    let mut types = infer_program(&ir);
-    let plans = plan_program(&ir, &mut types, options);
-    // Debug builds re-audit every plan with the independent checker
-    // before SSA inversion bakes the sharing decisions into the IR.
-    #[cfg(debug_assertions)]
-    {
-        let findings = matc_analysis::audit_program(&ir, &mut types, &plans);
-        assert!(
-            !findings.has_errors(),
-            "storage plan failed its audit:\n{}",
-            findings.render()
-        );
+    compile_with(ast, options, None)
+}
+
+/// [`compile`] with phase observability: per-phase wall times (SSA
+/// build, optimization, inference, planning sub-phases, inversion) and
+/// AST/IR/plan sizes accumulate into `rec` when given. Produces exactly
+/// the same program as the unrecorded entry point.
+///
+/// # Errors
+///
+/// Returns lowering errors (undefined names, unsupported constructs).
+pub fn compile_with(
+    ast: &Program,
+    options: GctdOptions,
+    rec: Option<&mut UnitMetrics>,
+) -> Result<Compiled, LowerError> {
+    let (compiled, _) = compile_inner(ast, options, rec, false)?;
+    Ok(compiled)
+}
+
+/// [`compile_with`] plus the independent checkers: AST lints and the
+/// storage-plan audit, run *before* SSA inversion bakes the sharing
+/// decisions into the IR (the auditor needs φs and live SSA names).
+/// The returned [`Diagnostics`] merge both; compilation proceeds even
+/// when the audit errors, so callers can report findings alongside the
+/// artifacts they describe.
+///
+/// # Errors
+///
+/// Returns lowering errors (undefined names, unsupported constructs).
+pub fn compile_audited(
+    ast: &Program,
+    options: GctdOptions,
+    rec: Option<&mut UnitMetrics>,
+) -> Result<(Compiled, Diagnostics), LowerError> {
+    let (compiled, diags) = compile_inner(ast, options, rec, true)?;
+    Ok((
+        compiled,
+        diags.expect("audited pipeline produces diagnostics"),
+    ))
+}
+
+fn compile_inner(
+    ast: &Program,
+    options: GctdOptions,
+    mut rec: Option<&mut UnitMetrics>,
+    want_audit: bool,
+) -> Result<(Compiled, Option<Diagnostics>), LowerError> {
+    if let Some(r) = rec.as_deref_mut() {
+        let s = ast.stats();
+        r.ast_functions = s.functions;
+        r.ast_statements = s.statements;
+        r.ast_expressions = s.expressions;
     }
+
+    let t = Instant::now();
+    let mut ir = build_ssa(ast)?;
+    if let Some(r) = rec.as_deref_mut() {
+        r.record(Phase::SsaBuild, t.elapsed());
+    }
+
+    let t = Instant::now();
+    let opt_stats = optimize_program(&mut ir);
+    if let Some(r) = rec.as_deref_mut() {
+        r.record(Phase::Optimize, t.elapsed());
+        r.opt_removed = opt_stats.total();
+        r.ir_functions = ir.functions.len();
+        r.ir_blocks = ir.functions.iter().map(|f| f.blocks.len()).sum();
+        r.ir_instrs = ir
+            .functions
+            .iter()
+            .flat_map(|f| f.blocks.iter())
+            .map(|b| b.instrs.len())
+            .sum();
+        r.ir_vars = ir.functions.iter().map(|f| f.vars.len()).sum();
+    }
+
+    let t = Instant::now();
+    let mut types = infer_program(&ir);
+    if let Some(r) = rec.as_deref_mut() {
+        r.record(Phase::TypeInfer, t.elapsed());
+        let s = types.summary();
+        r.typeinf_facts = s.facts;
+        r.typeinf_scalars = s.scalars;
+    }
+
+    let plans = match rec.as_deref_mut() {
+        Some(r) => {
+            let p = plan_program_with(&ir, &mut types, options, r);
+            r.plan = p.total_stats();
+            p
+        }
+        None => plan_program(&ir, &mut types, options),
+    };
+
+    let diags = if want_audit {
+        let t = Instant::now();
+        let mut diags = lint_program(ast);
+        diags.merge(audit_program(&ir, &mut types, &plans));
+        if let Some(r) = rec.as_deref_mut() {
+            r.record(Phase::Audit, t.elapsed());
+            r.audit_errors = diags.error_count();
+            r.audit_warnings = diags.warning_count();
+        }
+        Some(diags)
+    } else {
+        // Debug builds re-audit every plan with the independent checker
+        // before SSA inversion bakes the sharing decisions into the IR.
+        #[cfg(debug_assertions)]
+        {
+            let findings = audit_program(&ir, &mut types, &plans);
+            assert!(
+                !findings.has_errors(),
+                "storage plan failed its audit:\n{}",
+                findings.render()
+            );
+        }
+        None
+    };
+
+    let t = Instant::now();
     for (i, f) in ir.functions.iter_mut().enumerate() {
         let plan = &plans.plans[i];
         ssa_destruct(f, |dst, src| plan.share_storage(dst, src));
     }
-    Ok(Compiled {
-        ir,
-        plans,
-        types,
-        opt_stats,
-    })
+    if let Some(r) = rec {
+        r.record(Phase::SsaInvert, t.elapsed());
+    }
+
+    Ok((
+        Compiled {
+            ir,
+            plans,
+            types,
+            opt_stats,
+        },
+        diags,
+    ))
 }
 
 /// Lowers without optimization or planning — the execution substrate for

@@ -39,7 +39,7 @@ pub mod interp;
 pub mod mcc;
 pub mod planned;
 
-pub use compile::{compile, lower_for_mcc, Compiled};
+pub use compile::{compile, compile_audited, compile_with, lower_for_mcc, Compiled};
 pub use interp::Interp;
 pub use mcc::{MccVm, MX_HEADER};
 pub use planned::PlannedVm;

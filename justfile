@@ -4,7 +4,7 @@
 
 default: check
 
-check: fmt clippy test audit-bench
+check: fmt clippy test audit-bench batch-bench
 
 fmt:
     cargo fmt --all -- --check
@@ -19,3 +19,9 @@ test:
 # benchsuite programs; fails on any error-severity finding.
 audit-bench:
     cargo run -q --bin matc -- audit-bench
+
+# Batch-compile the benchsuite under the determinism harness: proves
+# sequential / parallel / per-unit / warm-cache runs byte-identical and
+# reports the parallel + cache speedups. Fails on any mismatch.
+batch-bench:
+    cargo run -q --release --bin matc -- batch --bench --selfcheck --jobs 8

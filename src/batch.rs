@@ -1,0 +1,538 @@
+//! The parallel batch-compilation driver behind `matc batch`.
+//!
+//! A [`Unit`] is one program (driver source plus helper sources); the
+//! driver pushes every unit through the full pipeline — parse → SSA →
+//! passes → inference → GCTD → audit → inversion → C emission — on a
+//! hand-rolled work-stealing [`std::thread`] pool, recording a
+//! [`UnitMetrics`] per unit and assembling a [`BatchReport`].
+//!
+//! Results are optionally served from a content-addressed
+//! [`ArtifactCache`]: the key is a SHA-256 over the unit's sources and
+//! the [`GctdOptions`] fingerprint, so the same sources compiled under
+//! different options occupy distinct entries and an option change can
+//! never alias a stale artifact (see DESIGN.md §6 for the key layout).
+//!
+//! [`selfcheck`] is the determinism harness used by `just batch-bench`
+//! and the test suite: it proves parallel, sequential, per-unit and
+//! warm-cache compilations all produce byte-identical artifacts.
+
+use matc_codegen::emit_program_stats;
+use matc_frontend::parse_program;
+use matc_gctd::{
+    options_fingerprint, Artifact, ArtifactCache, BatchReport, CacheKey, CacheOutcome, GctdOptions,
+    Phase, ResizeKind, SlotKind, UnitMetrics,
+};
+use matc_ir::FuncId;
+use matc_vm::compile::compile_audited;
+use matc_vm::Compiled;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// One compilation unit: a named program made of one or more sources
+/// (driver first, helpers after — the [`parse_program`] convention).
+#[derive(Debug, Clone)]
+pub struct Unit {
+    /// Display name (file stem or benchmark name).
+    pub name: String,
+    /// Source texts, driver first.
+    pub sources: Vec<String>,
+}
+
+impl Unit {
+    /// A unit from a name and its source texts.
+    pub fn new(name: impl Into<String>, sources: Vec<String>) -> Unit {
+        Unit {
+            name: name.into(),
+            sources,
+        }
+    }
+}
+
+/// Batch-driver configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchConfig {
+    /// Worker-thread count (clamped to `1..=units`).
+    pub jobs: usize,
+    /// GCTD options applied to every unit (part of the cache key).
+    pub options: GctdOptions,
+}
+
+impl Default for BatchConfig {
+    fn default() -> BatchConfig {
+        BatchConfig {
+            jobs: 1,
+            options: GctdOptions::default(),
+        }
+    }
+}
+
+/// The result of compiling one unit.
+#[derive(Debug, Clone)]
+pub struct UnitOutcome {
+    /// The unit's display name.
+    pub name: String,
+    /// The compiled artifacts (`None` when the unit failed to compile).
+    pub artifact: Option<Arc<Artifact>>,
+    /// Phase timings, sizes and the cache outcome.
+    pub metrics: UnitMetrics,
+}
+
+/// The result of one batch run: per-unit outcomes in input order plus
+/// the aggregate report.
+#[derive(Debug, Clone)]
+pub struct BatchResult {
+    /// Per-unit outcomes, in input order regardless of worker schedule.
+    pub outcomes: Vec<UnitOutcome>,
+    /// The aggregate report (`matc batch --stats` document).
+    pub report: BatchReport,
+}
+
+impl BatchResult {
+    /// Units that failed to compile.
+    pub fn failed(&self) -> usize {
+        self.report.failed()
+    }
+}
+
+/// Every benchsuite program as a batch unit.
+pub fn bench_units(preset: matc_benchsuite::Preset) -> Vec<Unit> {
+    matc_benchsuite::all()
+        .iter()
+        .map(|b| Unit::new(b.name, b.sources(preset)))
+        .collect()
+}
+
+/// Renders a storage plan as the human text `matc plan` prints (also
+/// the `plan` section of cached artifacts).
+pub fn render_plan(compiled: &Compiled) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for (i, func) in compiled.ir.functions.iter().enumerate() {
+        let plan = compiled.plans.plan(FuncId::new(i));
+        let _ = writeln!(out, "function {}:", func.name);
+        for (si, slot) in plan.slots.iter().enumerate() {
+            let kind = match slot.kind {
+                SlotKind::Stack { bytes } => format!("stack {bytes}B"),
+                SlotKind::Heap => "heap".to_string(),
+            };
+            let members: Vec<String> = slot
+                .members
+                .iter()
+                .map(|v| {
+                    let ann = match plan.resize_of(*v) {
+                        ResizeKind::NoResize => "",
+                        ResizeKind::Grow => "+",
+                        ResizeKind::Resize => "±",
+                    };
+                    format!("{}{}", func.vars.display_name(*v), ann)
+                })
+                .collect();
+            let _ = writeln!(
+                out,
+                "  slot {si:3} [{kind}, {:?}] {}",
+                slot.intrinsic,
+                members.join(", ")
+            );
+        }
+    }
+    out
+}
+
+/// The size counters a cached artifact carries so a cache hit can
+/// repopulate [`UnitMetrics`] without recompiling (phase times stay
+/// zero on hits — the time genuinely wasn't spent).
+fn meta_from_metrics(m: &UnitMetrics) -> BTreeMap<String, u64> {
+    let mut meta = BTreeMap::new();
+    let pairs: [(&str, u64); 21] = [
+        ("ast_functions", m.ast_functions as u64),
+        ("ast_statements", m.ast_statements as u64),
+        ("ast_expressions", m.ast_expressions as u64),
+        ("ir_functions", m.ir_functions as u64),
+        ("ir_blocks", m.ir_blocks as u64),
+        ("ir_instrs", m.ir_instrs as u64),
+        ("ir_vars", m.ir_vars as u64),
+        ("opt_removed", m.opt_removed as u64),
+        ("typeinf_facts", m.typeinf_facts as u64),
+        ("typeinf_scalars", m.typeinf_scalars as u64),
+        ("interference_nodes", m.interference_nodes as u64),
+        ("interference_edges", m.interference_edges as u64),
+        ("plan_original_vars", m.plan.original_vars as u64),
+        ("plan_static_subsumed", m.plan.static_subsumed as u64),
+        ("plan_dynamic_subsumed", m.plan.dynamic_subsumed as u64),
+        ("plan_stack_bytes_saved", m.plan.stack_bytes_saved),
+        ("plan_stack_bytes_total", m.plan.stack_bytes_total),
+        ("plan_colors", u64::from(m.plan.colors)),
+        ("plan_coalesced_phis", m.plan.coalesced_phis as u64),
+        ("plan_op_conflicts", m.plan.op_conflicts as u64),
+        ("plan_slots", m.plan.slots as u64),
+    ];
+    for (k, v) in pairs {
+        meta.insert(k.to_string(), v);
+    }
+    meta.insert("audit_errors".to_string(), m.audit_errors as u64);
+    meta.insert("audit_warnings".to_string(), m.audit_warnings as u64);
+    meta
+}
+
+/// Inverse of [`meta_from_metrics`] for cache hits.
+fn apply_meta(a: &Artifact, m: &mut UnitMetrics) {
+    m.ast_functions = a.meta_value("ast_functions") as usize;
+    m.ast_statements = a.meta_value("ast_statements") as usize;
+    m.ast_expressions = a.meta_value("ast_expressions") as usize;
+    m.ir_functions = a.meta_value("ir_functions") as usize;
+    m.ir_blocks = a.meta_value("ir_blocks") as usize;
+    m.ir_instrs = a.meta_value("ir_instrs") as usize;
+    m.ir_vars = a.meta_value("ir_vars") as usize;
+    m.opt_removed = a.meta_value("opt_removed") as usize;
+    m.typeinf_facts = a.meta_value("typeinf_facts") as usize;
+    m.typeinf_scalars = a.meta_value("typeinf_scalars") as usize;
+    m.interference_nodes = a.meta_value("interference_nodes") as usize;
+    m.interference_edges = a.meta_value("interference_edges") as usize;
+    m.plan.original_vars = a.meta_value("plan_original_vars") as usize;
+    m.plan.static_subsumed = a.meta_value("plan_static_subsumed") as usize;
+    m.plan.dynamic_subsumed = a.meta_value("plan_dynamic_subsumed") as usize;
+    m.plan.stack_bytes_saved = a.meta_value("plan_stack_bytes_saved");
+    m.plan.stack_bytes_total = a.meta_value("plan_stack_bytes_total");
+    m.plan.colors = a.meta_value("plan_colors") as u32;
+    m.plan.coalesced_phis = a.meta_value("plan_coalesced_phis") as usize;
+    m.plan.op_conflicts = a.meta_value("plan_op_conflicts") as usize;
+    m.plan.slots = a.meta_value("plan_slots") as usize;
+    m.audit_errors = a.meta_value("audit_errors") as usize;
+    m.audit_warnings = a.meta_value("audit_warnings") as usize;
+    m.c_bytes = a.c_code.len();
+    m.c_lines = a.c_code.lines().count();
+}
+
+/// Compiles one unit, consulting (and filling) the cache when given.
+///
+/// The whole pipeline runs inside this function, so it is the unit of
+/// parallelism for [`run_batch`] — and also the sequential reference
+/// the determinism tests compare against.
+pub fn compile_unit(
+    unit: &Unit,
+    options: GctdOptions,
+    cache: Option<&ArtifactCache>,
+) -> UnitOutcome {
+    let mut m = UnitMetrics::new(&unit.name);
+    let key = cache.map(|_| {
+        CacheKey::compute(
+            unit.sources.iter().map(|s| s.as_str()),
+            &options_fingerprint(&options),
+        )
+    });
+    if let (Some(c), Some(k)) = (cache, key.as_ref()) {
+        if let Some(artifact) = c.get(k) {
+            m.cache = CacheOutcome::Hit;
+            apply_meta(&artifact, &mut m);
+            return UnitOutcome {
+                name: unit.name.clone(),
+                artifact: Some(artifact),
+                metrics: m,
+            };
+        }
+        m.cache = CacheOutcome::Miss;
+    }
+
+    let t = Instant::now();
+    let parsed = parse_program(unit.sources.iter().map(|s| s.as_str()));
+    m.record(Phase::Parse, t.elapsed());
+    let ast = match parsed {
+        Ok(a) => a,
+        Err(e) => {
+            m.error = Some(format!("parse error: {}", e.render(&unit.sources[0])));
+            return UnitOutcome {
+                name: unit.name.clone(),
+                artifact: None,
+                metrics: m,
+            };
+        }
+    };
+
+    let (compiled, diags) = match compile_audited(&ast, options, Some(&mut m)) {
+        Ok(x) => x,
+        Err(e) => {
+            m.error = Some(e.to_string());
+            return UnitOutcome {
+                name: unit.name.clone(),
+                artifact: None,
+                metrics: m,
+            };
+        }
+    };
+
+    let t = Instant::now();
+    let (c_code, cstats) = emit_program_stats(&compiled);
+    m.record(Phase::Codegen, t.elapsed());
+    m.c_bytes = cstats.bytes;
+    m.c_lines = cstats.lines;
+
+    let artifact = Arc::new(Artifact {
+        c_code,
+        plan_text: render_plan(&compiled),
+        audit_json: diags.to_json(),
+        meta: meta_from_metrics(&m),
+    });
+    if let (Some(c), Some(k)) = (cache, key.as_ref()) {
+        c.put(k, Arc::clone(&artifact));
+    }
+    UnitOutcome {
+        name: unit.name.clone(),
+        artifact: Some(artifact),
+        metrics: m,
+    }
+}
+
+/// Compiles every unit on `config.jobs` worker threads.
+///
+/// The pool is a fixed-membership work-stealing scheduler: each worker
+/// owns a deque seeded round-robin; it pops its own work from the
+/// front and steals from the *back* of its neighbours' deques when
+/// empty. No work is ever added after seeding, so a worker that finds
+/// every deque empty can terminate. Results land in per-unit slots,
+/// making `outcomes` input-ordered (and the emitted artifacts
+/// schedule-independent — the determinism tests rely on this).
+pub fn run_batch(
+    units: &[Unit],
+    config: &BatchConfig,
+    cache: Option<&ArtifactCache>,
+) -> BatchResult {
+    let start = Instant::now();
+    let jobs = config.jobs.max(1).min(units.len().max(1));
+    let options = config.options;
+
+    let queues: Vec<Mutex<VecDeque<usize>>> =
+        (0..jobs).map(|_| Mutex::new(VecDeque::new())).collect();
+    for i in 0..units.len() {
+        queues[i % jobs].lock().unwrap().push_back(i);
+    }
+    let slots: Vec<Mutex<Option<UnitOutcome>>> = units.iter().map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|s| {
+        for w in 0..jobs {
+            let queues = &queues;
+            let slots = &slots;
+            s.spawn(move || loop {
+                let next = queues[w].lock().unwrap().pop_front().or_else(|| {
+                    (1..jobs).find_map(|d| queues[(w + d) % jobs].lock().unwrap().pop_back())
+                });
+                let Some(i) = next else { break };
+                let outcome = compile_unit(&units[i], options, cache);
+                *slots[i].lock().unwrap() = Some(outcome);
+            });
+        }
+    });
+
+    let outcomes: Vec<UnitOutcome> = slots
+        .into_iter()
+        .map(|s| s.into_inner().unwrap().expect("every unit completes"))
+        .collect();
+    let report = BatchReport {
+        jobs,
+        wall_micros: u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX),
+        cache_hits: outcomes
+            .iter()
+            .filter(|o| o.metrics.cache == CacheOutcome::Hit)
+            .count() as u64,
+        cache_misses: outcomes
+            .iter()
+            .filter(|o| o.metrics.cache == CacheOutcome::Miss)
+            .count() as u64,
+        units: outcomes.iter().map(|o| o.metrics.clone()).collect(),
+    };
+    BatchResult { outcomes, report }
+}
+
+/// Serialized artifact bytes per unit — the byte strings the
+/// determinism checks compare (`None` for failed units).
+pub fn artifact_bytes(result: &BatchResult) -> Vec<Option<Vec<u8>>> {
+    result
+        .outcomes
+        .iter()
+        .map(|o| o.artifact.as_ref().map(|a| a.to_bytes()))
+        .collect()
+}
+
+/// The determinism/cache harness behind `matc batch --selfcheck` and
+/// `just batch-bench`.
+///
+/// Proves four properties and reports the parallel speedup:
+///
+/// 1. a parallel run (`jobs` workers) produces byte-identical
+///    artifacts to a sequential run;
+/// 2. compiling each unit alone (fresh `compile_unit`, no pool)
+///    reproduces the same bytes — the pool adds nothing;
+/// 3. a warm-cache rerun serves every unit as a hit with identical
+///    bytes;
+/// 4. unit metadata survives the cache (hit metrics match miss
+///    metrics for every size counter).
+///
+/// # Errors
+///
+/// Returns a description of the first mismatch.
+pub fn selfcheck(units: &[Unit], jobs: usize, options: GctdOptions) -> Result<String, String> {
+    use std::fmt::Write as _;
+    let seq_cfg = BatchConfig { jobs: 1, options };
+    let par_cfg = BatchConfig { jobs, options };
+
+    let seq = run_batch(units, &seq_cfg, None);
+    let par = run_batch(units, &par_cfg, None);
+    let seq_bytes = artifact_bytes(&seq);
+    let par_bytes = artifact_bytes(&par);
+    for (i, unit) in units.iter().enumerate() {
+        if seq_bytes[i] != par_bytes[i] {
+            return Err(format!(
+                "unit `{}`: parallel artifact differs from sequential",
+                unit.name
+            ));
+        }
+        let solo = compile_unit(unit, options, None);
+        if solo.artifact.as_ref().map(|a| a.to_bytes()) != seq_bytes[i] {
+            return Err(format!(
+                "unit `{}`: per-unit artifact differs from batch",
+                unit.name
+            ));
+        }
+    }
+
+    let cache = ArtifactCache::in_memory();
+    let cold = run_batch(units, &par_cfg, Some(&cache));
+    let warm = run_batch(units, &par_cfg, Some(&cache));
+    let cold_bytes = artifact_bytes(&cold);
+    let warm_bytes = artifact_bytes(&warm);
+    for (i, unit) in units.iter().enumerate() {
+        if cold_bytes[i] != seq_bytes[i] {
+            return Err(format!(
+                "unit `{}`: cached-run artifact differs from uncached",
+                unit.name
+            ));
+        }
+        if warm_bytes[i] != cold_bytes[i] {
+            return Err(format!(
+                "unit `{}`: warm-cache artifact differs from cold",
+                unit.name
+            ));
+        }
+        if cold.outcomes[i].artifact.is_some()
+            && warm.outcomes[i].metrics.cache != CacheOutcome::Hit
+        {
+            return Err(format!(
+                "unit `{}`: warm rerun was not a cache hit",
+                unit.name
+            ));
+        }
+        let (c, w) = (&cold.outcomes[i].metrics, &warm.outcomes[i].metrics);
+        if c.ir_instrs != w.ir_instrs
+            || c.plan != w.plan
+            || c.c_bytes != w.c_bytes
+            || c.audit_errors != w.audit_errors
+        {
+            return Err(format!(
+                "unit `{}`: cache-hit metrics differ from compile metrics",
+                unit.name
+            ));
+        }
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "selfcheck ok: {} unit(s) byte-identical across sequential, {}-way parallel, per-unit and warm-cache runs",
+        units.len(),
+        par.report.jobs
+    );
+    let _ = writeln!(
+        out,
+        "  warm cache: {} hit(s), {} miss(es)",
+        warm.report.cache_hits, warm.report.cache_misses
+    );
+    let speedup = seq.report.wall_micros as f64 / par.report.wall_micros.max(1) as f64;
+    let _ = writeln!(
+        out,
+        "  wall: sequential {}us, parallel {}us on {} job(s) ({speedup:.2}x)",
+        seq.report.wall_micros, par.report.wall_micros, par.report.jobs
+    );
+    let cache_speedup = cold.report.wall_micros as f64 / warm.report.wall_micros.max(1) as f64;
+    let _ = writeln!(
+        out,
+        "  cache: cold {}us, warm {}us ({cache_speedup:.2}x)",
+        cold.report.wall_micros, warm.report.wall_micros
+    );
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matc_benchsuite::Preset;
+
+    fn tiny_units(n: usize) -> Vec<Unit> {
+        (0..n)
+            .map(|i| {
+                Unit::new(
+                    format!("u{i}"),
+                    vec![format!(
+                        "function f()\ns = 0;\nfor i = 1:{}\ns = s + i;\nend\nfprintf('%d\\n', s);\n",
+                        10 + i
+                    )],
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pool_completes_every_unit_in_order() {
+        let units = tiny_units(23);
+        let cfg = BatchConfig {
+            jobs: 7,
+            ..BatchConfig::default()
+        };
+        let res = run_batch(&units, &cfg, None);
+        assert_eq!(res.outcomes.len(), 23);
+        for (i, o) in res.outcomes.iter().enumerate() {
+            assert_eq!(o.name, format!("u{i}"));
+            assert!(o.metrics.ok(), "{:?}", o.metrics.error);
+            assert!(o.artifact.is_some());
+            assert_eq!(o.metrics.cache, CacheOutcome::Bypass);
+        }
+    }
+
+    #[test]
+    fn parse_errors_become_unit_errors_not_panics() {
+        let units = vec![
+            Unit::new("bad", vec!["function f()\nx = \"oops\";\n".to_string()]),
+            tiny_units(1).remove(0),
+        ];
+        let res = run_batch(&units, &BatchConfig::default(), None);
+        assert_eq!(res.failed(), 1);
+        assert!(res.outcomes[0].metrics.error.is_some());
+        assert!(res.outcomes[1].metrics.ok());
+    }
+
+    #[test]
+    fn warm_cache_hits_preserve_bytes_and_meta() {
+        let units = tiny_units(4);
+        let cfg = BatchConfig {
+            jobs: 4,
+            ..BatchConfig::default()
+        };
+        let cache = ArtifactCache::in_memory();
+        let cold = run_batch(&units, &cfg, Some(&cache));
+        let warm = run_batch(&units, &cfg, Some(&cache));
+        assert_eq!(cold.report.cache_misses, 4);
+        assert_eq!(warm.report.cache_hits, 4);
+        assert_eq!(artifact_bytes(&cold), artifact_bytes(&warm));
+        for (c, w) in cold.outcomes.iter().zip(&warm.outcomes) {
+            assert_eq!(c.metrics.ir_instrs, w.metrics.ir_instrs);
+            assert_eq!(c.metrics.plan, w.metrics.plan);
+            assert_eq!(c.metrics.c_bytes, w.metrics.c_bytes);
+        }
+    }
+
+    #[test]
+    fn selfcheck_passes_on_benchsuite() {
+        let units = bench_units(Preset::Test);
+        let report = selfcheck(&units, 4, GctdOptions::default()).unwrap();
+        assert!(report.contains("selfcheck ok"), "{report}");
+    }
+}

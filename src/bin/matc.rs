@@ -8,25 +8,170 @@
 //! matc stats program.m [...]               print Table-2 style statistics
 //! matc audit program.m [...]               lint + re-audit the storage plan
 //! matc audit-bench                         audit every benchsuite program
+//! matc batch [units ...]                   parallel batch compilation
 //! ```
 //!
 //! Flags: `--no-gctd` disables coalescing (Figure 6 baseline),
 //! `--seed N` sets the RNG seed, `--mcc` runs under the mcc model,
 //! `--interp` runs under the reference interpreter, `--json` makes
 //! `audit` emit machine-readable findings.
+//!
+//! `batch` units are `driver.m[,helper.m...]` groups (or `--bench` for
+//! the benchsuite); see `usage()` below for its flags.
 
 use matc::analysis::{audit_program, lint_program, Diagnostics};
+use matc::batch::{bench_units, run_batch, selfcheck, BatchConfig, Unit};
 use matc::frontend::parse_program;
-use matc::gctd::{plan_program, GctdOptions, ResizeKind, SlotKind};
+use matc::gctd::plan_program;
+use matc::gctd::{ArtifactCache, GctdOptions, ResizeKind, SlotKind};
 use matc::vm::compile::{compile, lower_for_mcc};
 use matc::vm::{Interp, MccVm, PlannedVm};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: matc <run|emit-c|plan|stats|audit> [--no-gctd] [--seed N] [--mcc|--interp] [--json] file.m [more.m ...]\n       matc audit-bench     audit every benchsuite program's plan\n       matc runtime <dir>   write the mrt C support runtime (mrt.h, mrt.c)"
+        "usage: matc <run|emit-c|plan|stats|audit> [--no-gctd] [--seed N] [--mcc|--interp] [--json] file.m [more.m ...]\n       matc audit-bench     audit every benchsuite program's plan\n       matc runtime <dir>   write the mrt C support runtime (mrt.h, mrt.c)\n       matc batch [--jobs N] [--cache-dir DIR] [--stats FILE] [--emit-dir DIR]\n                  [--no-gctd] [--repeat N] [--bench] [--selfcheck]\n                  [driver.m[,helper.m...] ...]\n                            compile many programs in parallel with caching;\n                            --selfcheck proves parallel/sequential/cached runs\n                            byte-identical and reports the speedup"
     );
     ExitCode::from(2)
+}
+
+/// The `matc batch` subcommand: its own flag grammar (unit specs are
+/// comma-separated file groups, not a flat file list).
+fn batch_cli(args: &[String]) -> ExitCode {
+    let mut jobs = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let mut cache_dir: Option<String> = None;
+    let mut stats_path: Option<String> = None;
+    let mut emit_dir: Option<String> = None;
+    let mut bench = false;
+    let mut no_gctd = false;
+    let mut do_selfcheck = false;
+    let mut repeat = 1usize;
+    let mut specs: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--jobs" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n >= 1 => jobs = n,
+                _ => return usage(),
+            },
+            "--repeat" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n >= 1 => repeat = n,
+                _ => return usage(),
+            },
+            "--cache-dir" => match it.next() {
+                Some(d) => cache_dir = Some(d.clone()),
+                None => return usage(),
+            },
+            "--stats" => match it.next() {
+                Some(p) => stats_path = Some(p.clone()),
+                None => return usage(),
+            },
+            "--emit-dir" => match it.next() {
+                Some(d) => emit_dir = Some(d.clone()),
+                None => return usage(),
+            },
+            "--bench" => bench = true,
+            "--no-gctd" => no_gctd = true,
+            "--selfcheck" => do_selfcheck = true,
+            s if s.starts_with("--") => return usage(),
+            s => specs.push(s.to_string()),
+        }
+    }
+
+    let mut units: Vec<Unit> = Vec::new();
+    if bench {
+        units.extend(bench_units(matc::benchsuite::Preset::Test));
+    }
+    for spec in &specs {
+        let files: Vec<&str> = spec.split(',').collect();
+        let mut sources = Vec::new();
+        for f in &files {
+            match std::fs::read_to_string(f) {
+                Ok(s) => sources.push(s),
+                Err(e) => {
+                    eprintln!("matc: cannot read {f}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        let name = std::path::Path::new(files[0]).file_stem().map_or_else(
+            || files[0].to_string(),
+            |s| s.to_string_lossy().into_owned(),
+        );
+        units.push(Unit::new(name, sources));
+    }
+    if units.is_empty() {
+        eprintln!("matc: batch needs unit specs or --bench");
+        return usage();
+    }
+
+    let options = GctdOptions {
+        coalesce: !no_gctd,
+        ..GctdOptions::default()
+    };
+
+    if do_selfcheck {
+        return match selfcheck(&units, jobs, options) {
+            Ok(report) => {
+                print!("{report}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("matc: batch selfcheck FAILED: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let cache = match &cache_dir {
+        Some(d) => match ArtifactCache::at_dir(d) {
+            Ok(c) => Some(c),
+            Err(e) => {
+                eprintln!("matc: cannot open cache dir {d}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+
+    let config = BatchConfig { jobs, options };
+    let mut last = None;
+    for round in 0..repeat {
+        let res = run_batch(&units, &config, cache.as_ref());
+        if repeat > 1 {
+            println!("— round {} —", round + 1);
+        }
+        print!("{}", res.report.render_table());
+        last = Some(res);
+    }
+    let last = last.expect("repeat >= 1");
+
+    if let Some(dir) = &emit_dir {
+        let dir = std::path::Path::new(dir);
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("matc: cannot create {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+        for o in &last.outcomes {
+            let Some(a) = &o.artifact else { continue };
+            let path = dir.join(format!("{}.c", o.name));
+            if let Err(e) = std::fs::write(&path, &a.c_code) {
+                eprintln!("matc: cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(p) = &stats_path {
+        if let Err(e) = std::fs::write(p, last.report.to_json()) {
+            eprintln!("matc: cannot write {p}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if last.failed() > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }
 
 /// Lints the AST and re-audits the storage plan the planner just built,
@@ -128,6 +273,9 @@ fn main() -> ExitCode {
             },
             f => files.push(f.to_string()),
         }
+    }
+    if cmd == "batch" {
+        return batch_cli(&args[1..]);
     }
     if cmd == "audit-bench" {
         return audit_bench();

@@ -16,6 +16,10 @@
 //! * [`codegen`] — the C backend;
 //! * [`benchsuite`] — the 11-program evaluation corpus.
 //!
+//! [`batch`] (native to this crate) drives many programs through the
+//! pipeline in parallel with content-addressed artifact caching and
+//! per-phase metrics — the engine behind `matc batch`.
+//!
 //! ```
 //! use matc::vm::{compile::compile, PlannedVm};
 //! use matc::gctd::GctdOptions;
@@ -28,6 +32,8 @@
 //! ```
 
 #![warn(missing_docs)]
+
+pub mod batch;
 
 pub use matc_analysis as analysis;
 pub use matc_benchsuite as benchsuite;

@@ -1,0 +1,204 @@
+//! Determinism and cache-correctness harness for the batch driver.
+//!
+//! The batch compiler's contract is that *how* a unit is compiled —
+//! worker count, schedule, pool vs. solo, cache state — never changes
+//! *what* is compiled. These tests pin that contract over the full
+//! benchsuite: parallel runs are byte-identical to sequential runs and
+//! to per-unit invocations, warm caches reproduce cold bytes exactly
+//! (including across cache instances sharing one directory, the
+//! cross-process case), and distinct option sets can never alias one
+//! another's cache entries.
+
+use matc::batch::{artifact_bytes, bench_units, compile_unit, run_batch, BatchConfig, Unit};
+use matc::benchsuite::Preset;
+use matc::gctd::{ArtifactCache, CacheOutcome, ColoringStrategy, GctdOptions, InterferenceOptions};
+use matc::vm::compile::compile;
+
+fn fresh_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("matc-batch-det-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The ablation matrix the cache must keep apart: every `GctdOptions`
+/// field varies in at least one entry.
+fn option_matrix() -> Vec<GctdOptions> {
+    vec![
+        GctdOptions::default(),
+        GctdOptions {
+            coalesce: false,
+            ..GctdOptions::default()
+        },
+        GctdOptions {
+            symbolic_criterion: false,
+            ..GctdOptions::default()
+        },
+        GctdOptions {
+            interference: InterferenceOptions {
+                operator_semantics: true,
+                phi_coalescing: false,
+            },
+            ..GctdOptions::default()
+        },
+        GctdOptions {
+            coloring: ColoringStrategy::SizeOrderedGreedy,
+            ..GctdOptions::default()
+        },
+        GctdOptions {
+            coloring: ColoringStrategy::Exhaustive { max_nodes: 12 },
+            ..GctdOptions::default()
+        },
+    ]
+}
+
+#[test]
+fn parallel_runs_are_byte_identical_to_sequential_and_per_unit() {
+    let units = bench_units(Preset::Test);
+    let options = GctdOptions::default();
+    let seq = run_batch(&units, &BatchConfig { jobs: 1, options }, None);
+    let seq_bytes = artifact_bytes(&seq);
+    assert_eq!(seq.failed(), 0);
+
+    for jobs in [2, 3, 8, 16] {
+        let par = run_batch(&units, &BatchConfig { jobs, options }, None);
+        assert_eq!(
+            artifact_bytes(&par),
+            seq_bytes,
+            "jobs={jobs} changed artifact bytes"
+        );
+    }
+
+    // Per-unit compilation — the `matc emit-c`/`matc plan` path —
+    // reproduces the batch bytes too.
+    for (i, unit) in units.iter().enumerate() {
+        let solo = compile_unit(unit, options, None);
+        assert_eq!(
+            solo.artifact.as_ref().map(|a| a.to_bytes()),
+            seq_bytes[i],
+            "unit `{}` differs solo vs batch",
+            unit.name
+        );
+        let ast = matc::frontend::parse_program(unit.sources.iter().map(|s| s.as_str())).unwrap();
+        let compiled = compile(&ast, options).unwrap();
+        assert_eq!(
+            matc::codegen::emit_program(&compiled),
+            solo.artifact.unwrap().c_code,
+            "unit `{}`: batch C differs from direct emit_program",
+            unit.name
+        );
+    }
+}
+
+#[test]
+fn warm_cache_reproduces_cold_bytes_and_hits_every_unit() {
+    let units = bench_units(Preset::Test);
+    let cfg = BatchConfig {
+        jobs: 8,
+        options: GctdOptions::default(),
+    };
+    let cache = ArtifactCache::in_memory();
+    let cold = run_batch(&units, &cfg, Some(&cache));
+    let warm = run_batch(&units, &cfg, Some(&cache));
+    assert_eq!(cold.report.cache_misses as usize, units.len());
+    assert_eq!(warm.report.cache_hits as usize, units.len());
+    assert_eq!(artifact_bytes(&cold), artifact_bytes(&warm));
+    for o in &warm.outcomes {
+        assert_eq!(o.metrics.cache, CacheOutcome::Hit);
+    }
+}
+
+#[test]
+fn disk_cache_round_trips_across_instances() {
+    // A fresh `ArtifactCache` on the same directory models a second
+    // process: everything must come back as hits with identical bytes.
+    let dir = fresh_dir("disk");
+    let units = bench_units(Preset::Test);
+    let cfg = BatchConfig {
+        jobs: 4,
+        options: GctdOptions::default(),
+    };
+    let cold_bytes = {
+        let cache = ArtifactCache::at_dir(&dir).unwrap();
+        let cold = run_batch(&units, &cfg, Some(&cache));
+        assert_eq!(cold.report.cache_misses as usize, units.len());
+        artifact_bytes(&cold)
+    };
+    let cache = ArtifactCache::at_dir(&dir).unwrap();
+    let warm = run_batch(&units, &cfg, Some(&cache));
+    assert_eq!(
+        warm.report.cache_hits as usize,
+        units.len(),
+        "disk artifacts not found by a fresh cache instance"
+    );
+    assert_eq!(artifact_bytes(&warm), cold_bytes);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn option_sets_never_alias_cache_entries() {
+    // One shared cache, every ablation: each option set's first run
+    // must miss (a hit would mean the key dropped an option flag), and
+    // its rerun must hit with that set's own bytes.
+    let units = bench_units(Preset::Test);
+    let cache = ArtifactCache::in_memory();
+    let mut bytes_per_set = Vec::new();
+    for options in option_matrix() {
+        let cfg = BatchConfig { jobs: 4, options };
+        let cold = run_batch(&units, &cfg, Some(&cache));
+        assert_eq!(
+            cold.report.cache_misses as usize,
+            units.len(),
+            "option set {options:?} aliased a previous set's entries"
+        );
+        let warm = run_batch(&units, &cfg, Some(&cache));
+        assert_eq!(warm.report.cache_hits as usize, units.len());
+        assert_eq!(artifact_bytes(&warm), artifact_bytes(&cold));
+        bytes_per_set.push(artifact_bytes(&cold));
+    }
+    // The ablations genuinely produce different artifacts (otherwise
+    // this test proves nothing): no-GCTD must differ from default.
+    assert_ne!(bytes_per_set[0], bytes_per_set[1]);
+}
+
+#[test]
+fn source_changes_invalidate_the_cache() {
+    let cache = ArtifactCache::in_memory();
+    let options = GctdOptions::default();
+    let cfg = BatchConfig { jobs: 1, options };
+    let a = Unit::new(
+        "a",
+        vec!["function f()\nfprintf('%d\\n', 1 + 1);\n".to_string()],
+    );
+    let mut b = a.clone();
+    b.sources[0] = b.sources[0].replace("1 + 1", "1 + 2");
+    let first = run_batch(std::slice::from_ref(&a), &cfg, Some(&cache));
+    let second = run_batch(std::slice::from_ref(&b), &cfg, Some(&cache));
+    assert_eq!(first.report.cache_misses, 1);
+    assert_eq!(
+        second.report.cache_misses, 1,
+        "edited source must not hit the stale entry"
+    );
+    assert_ne!(artifact_bytes(&first), artifact_bytes(&second));
+}
+
+#[test]
+fn failed_units_are_never_cached() {
+    let cache = ArtifactCache::in_memory();
+    let cfg = BatchConfig {
+        jobs: 1,
+        options: GctdOptions::default(),
+    };
+    let bad = Unit::new(
+        "bad",
+        vec!["function f()\nx = undefined_name;\n".to_string()],
+    );
+    let first = run_batch(std::slice::from_ref(&bad), &cfg, Some(&cache));
+    assert_eq!(first.failed(), 1);
+    let second = run_batch(std::slice::from_ref(&bad), &cfg, Some(&cache));
+    assert_eq!(
+        second.outcomes[0].metrics.cache,
+        CacheOutcome::Miss,
+        "a failure must not be served as a hit"
+    );
+}

@@ -105,6 +105,100 @@ fn multiple_files_form_one_program() {
 }
 
 #[test]
+fn batch_compiles_units_with_cache_and_matches_emit_c() {
+    let dir = std::env::temp_dir().join("matc-cli-batch");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let a = write_temp("batch_a.m", "function f\nfprintf('%d\\n', g(6));\n");
+    let helper = write_temp("batch_a_helper.m", "function y = g(x)\ny = x * 7;\n");
+    let b = write_temp(
+        "batch_b.m",
+        "function f\nm = rand(4, 4);\nfprintf('%.6f\\n', sum(sum(m)));\n",
+    );
+    let spec_a = format!("{},{}", a.display(), helper.display());
+
+    let cold = matc()
+        .args(["batch", "--jobs", "2"])
+        .args(["--cache-dir"])
+        .arg(dir.join("cache"))
+        .args(["--emit-dir"])
+        .arg(dir.join("out"))
+        .args(["--stats"])
+        .arg(dir.join("stats.json"))
+        .arg(&spec_a)
+        .arg(&b)
+        .output()
+        .unwrap();
+    assert!(
+        cold.status.success(),
+        "{}",
+        String::from_utf8_lossy(&cold.stderr)
+    );
+    let table = String::from_utf8_lossy(&cold.stdout);
+    assert!(table.contains("2 unit(s), 0 failed"), "{table}");
+    assert!(table.contains("miss"), "{table}");
+
+    // The batch-emitted C is byte-identical to `matc emit-c`.
+    let direct = matc()
+        .args(["emit-c"])
+        .arg(&a)
+        .arg(&helper)
+        .output()
+        .unwrap();
+    let emitted = std::fs::read(dir.join("out/batch_a.c")).unwrap();
+    assert_eq!(emitted, direct.stdout);
+
+    // The stats document has the advertised shape.
+    let stats = std::fs::read_to_string(dir.join("stats.json")).unwrap();
+    assert!(stats.contains("\"jobs\":2"), "{stats}");
+    assert!(stats.contains("\"phase_totals_micros\""), "{stats}");
+    assert!(stats.contains("\"unit\":\"batch_a\""), "{stats}");
+
+    // A second process over the same cache dir hits every unit and
+    // emits identical bytes.
+    let warm = matc()
+        .args(["batch", "--jobs", "2"])
+        .args(["--cache-dir"])
+        .arg(dir.join("cache"))
+        .args(["--emit-dir"])
+        .arg(dir.join("out2"))
+        .arg(&spec_a)
+        .arg(&b)
+        .output()
+        .unwrap();
+    assert!(warm.status.success());
+    let table = String::from_utf8_lossy(&warm.stdout);
+    assert!(table.contains("cache 2 hit(s) / 0 miss(es)"), "{table}");
+    assert_eq!(
+        std::fs::read(dir.join("out2/batch_a.c")).unwrap(),
+        emitted,
+        "cross-process cache hit changed the emitted C"
+    );
+}
+
+#[test]
+fn batch_selfcheck_passes_and_failures_exit_nonzero() {
+    let good = write_temp("batch_ok.m", "function f\nfprintf('%d\\n', 3 * 3);\n");
+    let out = matc()
+        .args(["batch", "--selfcheck", "--jobs", "4"])
+        .arg(&good)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("selfcheck ok"));
+
+    // A unit that fails to compile fails the batch.
+    let bad = write_temp("batch_bad.m", "function f\nx = (1 + ;\n");
+    let out = matc().args(["batch"]).arg(&bad).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("1 failed"));
+}
+
+#[test]
 fn usage_on_bad_invocation() {
     let out = matc().output().unwrap();
     assert_eq!(out.status.code(), Some(2));

@@ -208,6 +208,83 @@ fn corrupt_var_slot_table_is_a102() {
 }
 
 // ---------------------------------------------------------------------
+// Cached artifacts carry clean audits
+// ---------------------------------------------------------------------
+
+/// Every benchsuite program through the batch driver with a warm
+/// cache, under every ablation: the served artifacts must carry a
+/// clean audit, and each option set must re-verify its *own* cached
+/// artifact (a hit under the wrong options would mean the cache key
+/// dropped an option flag — the audit embedded in the artifact is the
+/// tripwire, since ablated plans differ observably).
+#[test]
+fn cached_plans_audit_clean_under_every_ablation() {
+    use matc::batch::{bench_units, run_batch, BatchConfig};
+    use matc::gctd::{ArtifactCache, CacheOutcome, ColoringStrategy, InterferenceOptions};
+
+    let units = bench_units(Preset::Test);
+    let cache = ArtifactCache::in_memory();
+    let option_sets = [
+        GctdOptions::default(),
+        GctdOptions {
+            coalesce: false,
+            ..GctdOptions::default()
+        },
+        GctdOptions {
+            symbolic_criterion: false,
+            ..GctdOptions::default()
+        },
+        GctdOptions {
+            interference: InterferenceOptions {
+                operator_semantics: true,
+                phi_coalescing: false,
+            },
+            ..GctdOptions::default()
+        },
+        GctdOptions {
+            coloring: ColoringStrategy::SizeOrderedGreedy,
+            ..GctdOptions::default()
+        },
+    ];
+    for options in option_sets {
+        let cfg = BatchConfig { jobs: 4, options };
+        let cold = run_batch(&units, &cfg, Some(&cache));
+        assert_eq!(
+            cold.report.cache_misses as usize,
+            units.len(),
+            "{options:?}: first run under a new option set must miss"
+        );
+        let warm = run_batch(&units, &cfg, Some(&cache));
+        for (o, unit) in warm.outcomes.iter().zip(&units) {
+            assert_eq!(o.metrics.cache, CacheOutcome::Hit, "{}", unit.name);
+            let artifact = o.artifact.as_ref().unwrap();
+            assert_eq!(
+                artifact.audit_errors(),
+                0,
+                "{} under {options:?}: cached plan does not audit clean:\n{}",
+                unit.name,
+                artifact.audit_json
+            );
+            assert!(
+                !artifact.audit_json.contains("\"severity\":\"error\""),
+                "{} under {options:?}: {}",
+                unit.name,
+                artifact.audit_json
+            );
+            // The cached plan text must match a fresh compile under the
+            // same options — the definitive aliasing check.
+            let fresh = matc::batch::compile_unit(unit, options, None);
+            assert_eq!(
+                artifact.plan_text,
+                fresh.artifact.unwrap().plan_text,
+                "{} under {options:?}: cached plan differs from fresh plan",
+                unit.name
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // JSON output sanity
 // ---------------------------------------------------------------------
 

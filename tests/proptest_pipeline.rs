@@ -241,6 +241,50 @@ fn check_program(src: &str) {
     assert_eq!(got_mcc, want, "mcc VM diverged on:\n{src}");
 }
 
+/// The same generated program through the batch driver with a warm
+/// cache: the hit must reproduce the miss byte-for-byte, its embedded
+/// audit must be clean, and flipping an option flag must miss rather
+/// than alias the cached entry. Random programs exercise cache-key
+/// inputs (growth patterns, φ webs, complex promotion) no hand-written
+/// unit ever would.
+fn check_batch_cached(src: &str) {
+    use matc::batch::{compile_unit, Unit};
+    use matc::gctd::{ArtifactCache, CacheOutcome, GctdOptions};
+
+    let unit = Unit::new("generated", vec![src.to_string()]);
+    let cache = ArtifactCache::in_memory();
+    let cold = compile_unit(&unit, GctdOptions::default(), Some(&cache));
+    let warm = compile_unit(&unit, GctdOptions::default(), Some(&cache));
+    assert_eq!(cold.metrics.cache, CacheOutcome::Miss, "{src}");
+    assert_eq!(warm.metrics.cache, CacheOutcome::Hit, "{src}");
+    let cold_art = cold.artifact.expect("generated programs compile");
+    let warm_art = warm.artifact.unwrap();
+    assert_eq!(
+        cold_art.to_bytes(),
+        warm_art.to_bytes(),
+        "cache hit changed artifact bytes on:\n{src}"
+    );
+    assert_eq!(
+        warm_art.audit_errors(),
+        0,
+        "cached plan fails its audit on:\n{src}\n{}",
+        warm_art.audit_json
+    );
+    let off = compile_unit(
+        &unit,
+        GctdOptions {
+            coalesce: false,
+            ..GctdOptions::default()
+        },
+        Some(&cache),
+    );
+    assert_eq!(
+        off.metrics.cache,
+        CacheOutcome::Miss,
+        "option flip aliased the cache on:\n{src}"
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig {
         cases: 48,
@@ -253,6 +297,7 @@ proptest! {
     ) {
         let src = render(&stmts);
         check_program(&src);
+        check_batch_cached(&src);
     }
 }
 
