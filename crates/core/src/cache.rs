@@ -296,7 +296,9 @@ impl Artifact {
             let len: usize = len
                 .and_then(|l| l.parse().ok())
                 .ok_or("bad section length")?;
-            if rest.len() < len + 1 || rest[len] != b'\n' {
+            // `<= len` rather than `< len + 1`: a crafted length of
+            // usize::MAX must read as truncation, not overflow.
+            if rest.len() <= len || rest[len] != b'\n' {
                 return Err(format!("truncated section {name}"));
             }
             let body = std::str::from_utf8(&rest[..len]).map_err(|_| "non-utf8 section")?;
@@ -398,8 +400,13 @@ impl ArtifactCache {
     /// atomically) on disk.
     pub fn put(&self, key: &CacheKey, artifact: Arc<Artifact>) {
         if let Some(dir) = &self.dir {
+            // Tmp names carry a per-write sequence number: two threads
+            // missing on the same key must not share one tmp path, or a
+            // concurrent truncate + rename can publish a torn artifact.
+            static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+            let seq = TMP_SEQ.fetch_add(1, Ordering::Relaxed);
             let final_path = dir.join(format!("{}.art", key.hex()));
-            let tmp_path = dir.join(format!(".{}.{}.tmp", key.hex(), std::process::id()));
+            let tmp_path = dir.join(format!(".{}.{}.{seq}.tmp", key.hex(), std::process::id()));
             let bytes = artifact.to_bytes();
             // A failed disk write degrades to a memory-only entry.
             if std::fs::write(&tmp_path, &bytes).is_ok()
@@ -546,6 +553,15 @@ mod tests {
         let mut bytes = a.to_bytes();
         bytes.truncate(bytes.len() - 3);
         assert!(Artifact::from_bytes(&bytes).is_err());
+        // A crafted usize::MAX section length must degrade to an error,
+        // not overflow the bounds check.
+        let huge = format!("{ARTIFACT_MAGIC}\nsection c {}\nx\n", usize::MAX);
+        assert!(Artifact::from_bytes(huge.as_bytes()).is_err());
+        let exact = format!("{ARTIFACT_MAGIC}\nsection c {}\nxy", 2);
+        assert!(
+            Artifact::from_bytes(exact.as_bytes()).is_err(),
+            "no newline after body"
+        );
     }
 
     #[test]
@@ -591,6 +607,40 @@ mod tests {
         std::fs::write(&path, b"garbage").unwrap();
         let fresh2 = ArtifactCache::at_dir(&dir).unwrap();
         assert!(fresh2.get(&key).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_same_key_puts_never_publish_torn_artifacts() {
+        // Regression: tmp names were keyed by key + pid only, so two
+        // threads missing on one key shared a tmp path and could tear
+        // each other's write. Writers of different sizes make a torn
+        // publish parse as truncated.
+        let dir = std::env::temp_dir().join(format!("matc-cache-race-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = ArtifactCache::at_dir(&dir).unwrap();
+        let key = CacheKey::compute(["src"], "fp");
+        std::thread::scope(|s| {
+            for t in 0..4usize {
+                let cache = &cache;
+                s.spawn(move || {
+                    let a = Arc::new(Artifact {
+                        c_code: format!("// writer {t}\n").repeat(500 * (t + 1)),
+                        plan_text: "p".to_string(),
+                        audit_json: "[]".to_string(),
+                        meta: BTreeMap::new(),
+                    });
+                    for _ in 0..50 {
+                        cache.put(&key, a.clone());
+                    }
+                });
+            }
+        });
+        // Whichever writer won the final rename, the published file
+        // must parse whole (a fresh instance forces the disk read).
+        let fresh = ArtifactCache::at_dir(&dir).unwrap();
+        let got = fresh.get(&key).expect("published artifact parses");
+        assert!(got.c_code.starts_with("// writer "));
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -313,7 +313,11 @@ pub fn run_batch(
             let queues = &queues;
             let slots = &slots;
             s.spawn(move || loop {
-                let next = queues[w].lock().unwrap().pop_front().or_else(|| {
+                // Bind the own-queue pop first so its guard drops before
+                // stealing: holding it while locking neighbours lets two
+                // idle workers steal from each other and deadlock.
+                let own = queues[w].lock().unwrap().pop_front();
+                let next = own.or_else(|| {
                     (1..jobs).find_map(|d| queues[(w + d) % jobs].lock().unwrap().pop_back())
                 });
                 let Some(i) = next else { break };
@@ -494,6 +498,24 @@ mod tests {
             assert!(o.metrics.ok(), "{:?}", o.metrics.error);
             assert!(o.artifact.is_some());
             assert_eq!(o.metrics.cache, CacheOutcome::Bypass);
+        }
+    }
+
+    #[test]
+    fn pool_survives_simultaneous_steal_attempts() {
+        // Regression: workers once held their own queue's lock while
+        // stealing, so idle workers stealing from each other formed a
+        // lock cycle and hung. Warm-cache rounds make every unit
+        // near-instant, so all workers go idle (and steal) together.
+        let units = tiny_units(8);
+        let cfg = BatchConfig {
+            jobs: 8,
+            ..BatchConfig::default()
+        };
+        let cache = ArtifactCache::in_memory();
+        for _ in 0..200 {
+            let res = run_batch(&units, &cfg, Some(&cache));
+            assert_eq!(res.outcomes.len(), 8);
         }
     }
 

@@ -104,6 +104,19 @@ fn batch_cli(args: &[String]) -> ExitCode {
         eprintln!("matc: batch needs unit specs or --bench");
         return usage();
     }
+    // Unit names come from the driver file stem and key the --emit-dir
+    // output files; a/prog.m and b/prog.m would silently overwrite each
+    // other's emitted C, so reject the collision instead.
+    let mut seen = std::collections::HashSet::new();
+    for u in &units {
+        if !seen.insert(u.name.as_str()) {
+            eprintln!(
+                "matc: duplicate unit name {:?}: unit names come from the driver file stem; rename one driver or drop the duplicate",
+                u.name
+            );
+            return ExitCode::FAILURE;
+        }
+    }
 
     let options = GctdOptions {
         coalesce: !no_gctd,
