@@ -20,10 +20,13 @@
 use std::collections::BTreeMap;
 use std::io;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 use crate::coloring::ColoringStrategy;
+use crate::fault::{FaultPlan, FaultSite};
+use crate::isolate::lock_recover;
 use crate::plan::GctdOptions;
 
 // ---------------------------------------------------------------------
@@ -336,13 +339,29 @@ fn take_line<'a>(rest: &mut &'a [u8]) -> Option<&'a [u8]> {
 // The cache
 // ---------------------------------------------------------------------
 
+/// How many times a failed disk write is attempted before the disk
+/// layer is declared unusable (transient faults — a busy filesystem, an
+/// injected [`FaultSite::CacheWrite`] with a finite transient count —
+/// clear within the retries; persistent ones degrade the cache).
+const WRITE_ATTEMPTS: u32 = 3;
+
 /// Thread-safe two-level (memory + optional disk) artifact cache.
+///
+/// Disk-write failures are retried with a short backoff; if a write
+/// still fails after [`WRITE_ATTEMPTS`] tries (read-only cache dir,
+/// full disk), the disk layer is disabled for the rest of the run and
+/// the cache degrades to memory-only. The degradation is recorded once
+/// — drivers surface it to the user via
+/// [`ArtifactCache::degradation_warning`].
 #[derive(Debug)]
 pub struct ArtifactCache {
     dir: Option<PathBuf>,
     mem: Mutex<BTreeMap<CacheKey, Arc<Artifact>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    faults: FaultPlan,
+    disk_disabled: AtomicBool,
+    degradation: Mutex<Option<String>>,
 }
 
 impl ArtifactCache {
@@ -353,6 +372,9 @@ impl ArtifactCache {
             mem: Mutex::new(BTreeMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            faults: FaultPlan::quiet(0),
+            disk_disabled: AtomicBool::new(false),
+            degradation: Mutex::new(None),
         }
     }
 
@@ -375,20 +397,53 @@ impl ArtifactCache {
         self.dir.as_deref()
     }
 
+    /// Attaches a fault-injection plan probing the cache's disk I/O
+    /// (builder style, for tests and the `--faults` harness).
+    pub fn with_faults(mut self, faults: FaultPlan) -> ArtifactCache {
+        self.faults = faults;
+        self
+    }
+
+    /// Whether the disk layer was disabled after persistent write
+    /// failures (the cache is now memory-only).
+    pub fn disk_degraded(&self) -> bool {
+        self.disk_disabled.load(Ordering::Relaxed)
+    }
+
+    /// The one-time warning recorded when the disk layer degraded, if
+    /// it did. Drivers print this once; it never repeats per write.
+    pub fn degradation_warning(&self) -> Option<String> {
+        lock_recover(&self.degradation).clone()
+    }
+
+    /// The disk dir, unless the layer has been disabled by degradation.
+    fn live_dir(&self) -> Option<&Path> {
+        if self.disk_disabled.load(Ordering::Relaxed) {
+            return None;
+        }
+        self.dir.as_deref()
+    }
+
     /// Looks `key` up (memory first, then disk), counting a hit or miss.
     pub fn get(&self, key: &CacheKey) -> Option<Arc<Artifact>> {
-        if let Some(a) = self.mem.lock().unwrap().get(key).cloned() {
+        if let Some(a) = lock_recover(&self.mem).get(key).cloned() {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Some(a);
         }
-        if let Some(dir) = &self.dir {
-            let path = dir.join(format!("{}.art", key.hex()));
-            if let Ok(bytes) = std::fs::read(&path) {
-                if let Ok(a) = Artifact::from_bytes(&bytes) {
-                    let a = Arc::new(a);
-                    self.mem.lock().unwrap().insert(*key, a.clone());
-                    self.hits.fetch_add(1, Ordering::Relaxed);
-                    return Some(a);
+        if let Some(dir) = self.live_dir() {
+            let hex = key.hex();
+            let path = dir.join(format!("{hex}.art"));
+            // Injected read fault: the stored artifact is served torn,
+            // which must degrade to a miss exactly like real corruption.
+            let torn = self.faults.fires(FaultSite::CacheRead, &hex);
+            if !torn {
+                if let Ok(bytes) = std::fs::read(&path) {
+                    if let Ok(a) = Artifact::from_bytes(&bytes) {
+                        let a = Arc::new(a);
+                        lock_recover(&self.mem).insert(*key, a.clone());
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        return Some(a);
+                    }
                 }
             }
         }
@@ -396,26 +451,74 @@ impl ArtifactCache {
         None
     }
 
-    /// Stores `artifact` under `key` in memory and (best-effort,
-    /// atomically) on disk.
+    /// Stores `artifact` under `key` in memory and (atomically, with
+    /// bounded retry) on disk. Persistent disk failure disables the
+    /// disk layer for the rest of the run — see
+    /// [`ArtifactCache::degradation_warning`].
     pub fn put(&self, key: &CacheKey, artifact: Arc<Artifact>) {
-        if let Some(dir) = &self.dir {
-            // Tmp names carry a per-write sequence number: two threads
-            // missing on the same key must not share one tmp path, or a
-            // concurrent truncate + rename can publish a torn artifact.
-            static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
-            let seq = TMP_SEQ.fetch_add(1, Ordering::Relaxed);
-            let final_path = dir.join(format!("{}.art", key.hex()));
-            let tmp_path = dir.join(format!(".{}.{}.{seq}.tmp", key.hex(), std::process::id()));
+        if let Some(dir) = self.live_dir() {
+            let hex = key.hex();
             let bytes = artifact.to_bytes();
-            // A failed disk write degrades to a memory-only entry.
-            if std::fs::write(&tmp_path, &bytes).is_ok()
-                && std::fs::rename(&tmp_path, &final_path).is_err()
-            {
-                let _ = std::fs::remove_file(&tmp_path);
+            let mut last_err = String::new();
+            let mut wrote = false;
+            for attempt in 0..WRITE_ATTEMPTS {
+                if attempt > 0 {
+                    // Short exponential backoff: 1ms, 2ms. Transient
+                    // contention clears; a read-only dir does not.
+                    std::thread::sleep(Duration::from_millis(1 << (attempt - 1)));
+                }
+                match self.write_once(dir, &hex, &bytes, attempt) {
+                    Ok(()) => {
+                        wrote = true;
+                        break;
+                    }
+                    Err(e) => last_err = e.to_string(),
+                }
+            }
+            if !wrote {
+                self.disable_disk(&last_err);
             }
         }
-        self.mem.lock().unwrap().insert(*key, artifact);
+        lock_recover(&self.mem).insert(*key, artifact);
+    }
+
+    /// One atomic write attempt (temp file + rename), with the
+    /// fault-injection probe for `attempt`.
+    fn write_once(&self, dir: &Path, hex: &str, bytes: &[u8], attempt: u32) -> io::Result<()> {
+        if self.faults.write_attempt_fails(hex, attempt) {
+            return Err(io::Error::other(format!(
+                "injected cache-write fault (attempt {attempt})"
+            )));
+        }
+        // Tmp names carry a per-write sequence number: two threads
+        // missing on the same key must not share one tmp path, or a
+        // concurrent truncate + rename can publish a torn artifact.
+        static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+        let seq = TMP_SEQ.fetch_add(1, Ordering::Relaxed);
+        let final_path = dir.join(format!("{hex}.art"));
+        let tmp_path = dir.join(format!(".{hex}.{}.{seq}.tmp", std::process::id()));
+        std::fs::write(&tmp_path, bytes)?;
+        if let Err(e) = std::fs::rename(&tmp_path, &final_path) {
+            let _ = std::fs::remove_file(&tmp_path);
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    /// Degrades the cache to memory-only, recording the warning once.
+    fn disable_disk(&self, last_err: &str) {
+        if self.disk_disabled.swap(true, Ordering::Relaxed) {
+            return; // already degraded; keep the first warning
+        }
+        let dir = self
+            .dir
+            .as_deref()
+            .map(|p| p.display().to_string())
+            .unwrap_or_default();
+        *lock_recover(&self.degradation) = Some(format!(
+            "cache dir `{dir}` is not writable ({last_err} after {WRITE_ATTEMPTS} attempts); \
+             continuing with in-memory caching only"
+        ));
     }
 
     /// Hits served since construction.
@@ -607,6 +710,79 @@ mod tests {
         std::fs::write(&path, b"garbage").unwrap();
         let fresh2 = ArtifactCache::at_dir(&dir).unwrap();
         assert!(fresh2.get(&key).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn tiny_artifact(tag: &str) -> Arc<Artifact> {
+        Arc::new(Artifact {
+            c_code: format!("// {tag}\n"),
+            plan_text: "p".to_string(),
+            audit_json: "[]".to_string(),
+            meta: BTreeMap::new(),
+        })
+    }
+
+    #[test]
+    fn injected_read_fault_degrades_to_miss() {
+        let dir = std::env::temp_dir().join(format!("matc-cache-rfault-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let key = CacheKey::compute(["src"], "fp");
+        ArtifactCache::at_dir(&dir)
+            .unwrap()
+            .put(&key, tiny_artifact("a"));
+        // Fresh instance (empty memory layer) with a 100% read fault:
+        // the intact on-disk artifact must read as torn, i.e. a miss.
+        let faulty = ArtifactCache::at_dir(&dir)
+            .unwrap()
+            .with_faults(FaultPlan::quiet(1).cache_reads(100));
+        assert!(faulty.get(&key).is_none());
+        assert_eq!(faulty.misses(), 1);
+        // Without the fault the same file still serves a hit — the
+        // injection corrupted the read, not the stored artifact.
+        let clean = ArtifactCache::at_dir(&dir).unwrap();
+        assert!(clean.get(&key).is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn transient_write_faults_clear_within_the_retry_budget() {
+        let dir = std::env::temp_dir().join(format!("matc-cache-wfault-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let key = CacheKey::compute(["src"], "fp");
+        let cache = ArtifactCache::at_dir(&dir)
+            .unwrap()
+            .with_faults(FaultPlan::quiet(1).cache_writes(100).transient(2));
+        cache.put(&key, tiny_artifact("retry"));
+        assert!(!cache.disk_degraded(), "two failures, third attempt lands");
+        assert!(cache.degradation_warning().is_none());
+        // The artifact reached disk: a fresh instance reads it back.
+        assert!(ArtifactCache::at_dir(&dir).unwrap().get(&key).is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn persistent_write_failure_degrades_to_memory_only_with_one_warning() {
+        let dir = std::env::temp_dir().join(format!("matc-cache-ro-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let key_a = CacheKey::compute(["a"], "fp");
+        let key_b = CacheKey::compute(["b"], "fp");
+        let cache = ArtifactCache::at_dir(&dir)
+            .unwrap()
+            .with_faults(FaultPlan::quiet(1).cache_writes(100).transient(u8::MAX));
+        cache.put(&key_a, tiny_artifact("a"));
+        assert!(cache.disk_degraded());
+        let warning = cache.degradation_warning().expect("warning recorded");
+        assert!(warning.contains("in-memory caching only"), "{warning}");
+        // Degraded, not broken: memory layer still serves the entry.
+        assert!(cache.get(&key_a).is_some());
+        // Later puts skip disk entirely and keep the first warning.
+        cache.put(&key_b, tiny_artifact("b"));
+        assert_eq!(cache.degradation_warning().as_deref(), Some(&*warning));
+        assert!(cache.get(&key_b).is_some());
+        // Nothing was published to disk.
+        let fresh = ArtifactCache::at_dir(&dir).unwrap();
+        assert!(fresh.get(&key_a).is_none());
+        assert!(fresh.get(&key_b).is_none());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

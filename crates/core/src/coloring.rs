@@ -18,7 +18,7 @@
 
 use crate::interference::InterferenceGraph;
 use matc_ir::ids::VarId;
-use matc_ir::FuncIr;
+use matc_ir::{Budget, BudgetError, FuncIr};
 use std::collections::HashMap;
 
 /// How to color the interference graph.
@@ -47,9 +47,68 @@ pub struct Coloring {
 }
 
 impl Coloring {
-    /// Colors `graph` greedily in definition order.
+    /// Colors `graph` greedily in definition order (parameters first,
+    /// then instruction order).
     pub fn greedy(func: &FuncIr, graph: &InterferenceGraph) -> Coloring {
-        // Definition order: parameters first, then instruction order.
+        let order = Coloring::definition_order(func, graph);
+        let budget = Budget::unlimited();
+        Coloring::greedy_in_order(graph, &order, &budget).expect("unlimited budget cannot trip")
+    }
+
+    /// Colors `graph` with the chosen strategy. `node_bytes` supplies an
+    /// approximate storage size per class representative (used by the
+    /// size-aware strategies; irrelevant for [`ColoringStrategy::LexicalGreedy`]).
+    pub fn with_strategy(
+        func: &FuncIr,
+        graph: &InterferenceGraph,
+        strategy: ColoringStrategy,
+        node_bytes: &dyn Fn(VarId) -> u64,
+    ) -> Coloring {
+        let budget = Budget::unlimited();
+        Coloring::with_strategy_budgeted(func, graph, strategy, node_bytes, &budget)
+            .expect("unlimited budget cannot trip")
+    }
+
+    /// [`Coloring::with_strategy`] under a [`Budget`]: greedy strategies
+    /// charge one fuel unit per node colored; the exhaustive
+    /// branch-and-bound charges one per search node expanded, so a fuel
+    /// limit bounds the §5 "exploration of all possible colorings".
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`BudgetError`] that tripped (no partial coloring).
+    pub fn with_strategy_budgeted(
+        func: &FuncIr,
+        graph: &InterferenceGraph,
+        strategy: ColoringStrategy,
+        node_bytes: &dyn Fn(VarId) -> u64,
+        budget: &Budget,
+    ) -> Result<Coloring, BudgetError> {
+        match strategy {
+            ColoringStrategy::LexicalGreedy => {
+                let order = Coloring::definition_order(func, graph);
+                Coloring::greedy_in_order(graph, &order, budget)
+            }
+            ColoringStrategy::SizeOrderedGreedy => {
+                let mut reps = graph.representatives();
+                reps.sort_by_key(|r| std::cmp::Reverse(node_bytes(*r)));
+                Coloring::greedy_in_order(graph, &reps, budget)
+            }
+            ColoringStrategy::Exhaustive { max_nodes } => {
+                let reps = graph.representatives();
+                if reps.len() > max_nodes {
+                    let mut reps = reps;
+                    reps.sort_by_key(|r| std::cmp::Reverse(node_bytes(*r)));
+                    return Coloring::greedy_in_order(graph, &reps, budget);
+                }
+                Coloring::exhaustive(graph, &reps, node_bytes, budget)
+            }
+        }
+    }
+
+    /// The paper's §2.4 node order: parameters first, then definitions
+    /// in lexical (instruction) order, one entry per class.
+    fn definition_order(func: &FuncIr, graph: &InterferenceGraph) -> Vec<VarId> {
         let mut order: Vec<VarId> = Vec::new();
         let mut seen: HashMap<VarId, ()> = HashMap::new();
         let push = |v: VarId, order: &mut Vec<VarId>, seen: &mut HashMap<VarId, ()>| {
@@ -71,58 +130,19 @@ impl Coloring {
                 }
             }
         }
-
-        let mut color: HashMap<VarId, u32> = HashMap::new();
-        let mut num_colors = 0;
-        for rep in order {
-            let mut used: Vec<bool> = vec![false; num_colors as usize + 1];
-            for n in graph.neighbors(rep) {
-                if let Some(c) = color.get(&graph.rep(n)) {
-                    if (*c as usize) < used.len() {
-                        used[*c as usize] = true;
-                    }
-                }
-            }
-            let c = used.iter().position(|u| !u).expect("always one free slot") as u32;
-            num_colors = num_colors.max(c + 1);
-            color.insert(rep, c);
-        }
-        Coloring { color, num_colors }
-    }
-
-    /// Colors `graph` with the chosen strategy. `node_bytes` supplies an
-    /// approximate storage size per class representative (used by the
-    /// size-aware strategies; irrelevant for [`ColoringStrategy::LexicalGreedy`]).
-    pub fn with_strategy(
-        func: &FuncIr,
-        graph: &InterferenceGraph,
-        strategy: ColoringStrategy,
-        node_bytes: &dyn Fn(VarId) -> u64,
-    ) -> Coloring {
-        match strategy {
-            ColoringStrategy::LexicalGreedy => Coloring::greedy(func, graph),
-            ColoringStrategy::SizeOrderedGreedy => {
-                let mut reps = graph.representatives();
-                reps.sort_by_key(|r| std::cmp::Reverse(node_bytes(*r)));
-                Coloring::greedy_in_order(graph, &reps)
-            }
-            ColoringStrategy::Exhaustive { max_nodes } => {
-                let reps = graph.representatives();
-                if reps.len() > max_nodes {
-                    let mut reps = reps;
-                    reps.sort_by_key(|r| std::cmp::Reverse(node_bytes(*r)));
-                    return Coloring::greedy_in_order(graph, &reps);
-                }
-                Coloring::exhaustive(graph, &reps, node_bytes)
-            }
-        }
+        order
     }
 
     /// Greedy coloring over an explicit node order.
-    fn greedy_in_order(graph: &InterferenceGraph, order: &[VarId]) -> Coloring {
+    fn greedy_in_order(
+        graph: &InterferenceGraph,
+        order: &[VarId],
+        budget: &Budget,
+    ) -> Result<Coloring, BudgetError> {
         let mut color: HashMap<VarId, u32> = HashMap::new();
         let mut num_colors = 0;
         for rep in order {
+            budget.spend(1)?;
             let mut used: Vec<bool> = vec![false; num_colors as usize + 1];
             for n in graph.neighbors(*rep) {
                 if let Some(c) = color.get(&graph.rep(n)) {
@@ -135,7 +155,7 @@ impl Coloring {
             num_colors = num_colors.max(c + 1);
             color.insert(*rep, c);
         }
-        Coloring { color, num_colors }
+        Ok(Coloring { color, num_colors })
     }
 
     /// Branch-and-bound search for the coloring minimizing aggregate
@@ -145,7 +165,8 @@ impl Coloring {
         graph: &InterferenceGraph,
         reps: &[VarId],
         node_bytes: &dyn Fn(VarId) -> u64,
-    ) -> Coloring {
+        budget: &Budget,
+    ) -> Result<Coloring, BudgetError> {
         // Order by decreasing size so pruning bites early.
         let mut order: Vec<VarId> = reps.to_vec();
         order.sort_by_key(|r| std::cmp::Reverse(node_bytes(*r)));
@@ -183,14 +204,16 @@ impl Coloring {
             cost: u64,
             best_cost: &mut u64,
             best_assign: &mut Vec<u32>,
-        ) {
+            budget: &Budget,
+        ) -> Result<(), BudgetError> {
+            budget.spend(1)?;
             if cost >= *best_cost {
-                return; // prune
+                return Ok(()); // prune
             }
             if i == order.len() {
                 *best_cost = cost;
                 *best_assign = assign.clone();
-                return;
+                return Ok(());
             }
             // Try each existing color plus one fresh color (symmetry
             // break: a new color is always the next index).
@@ -220,7 +243,8 @@ impl Coloring {
                     cost + extra,
                     best_cost,
                     best_assign,
-                );
+                    budget,
+                )?;
                 if c == ncols {
                     class_max.pop();
                 } else if class_max[c] == sizes[i] {
@@ -236,6 +260,7 @@ impl Coloring {
                     class_max[c] = prev;
                 }
             }
+            Ok(())
         }
 
         search(
@@ -248,7 +273,8 @@ impl Coloring {
             0,
             &mut best_cost,
             &mut best_assign,
-        );
+            budget,
+        )?;
         let mut color = HashMap::new();
         let mut num_colors = 0;
         for (i, rep) in order.iter().enumerate() {
@@ -256,7 +282,7 @@ impl Coloring {
             num_colors = num_colors.max(c + 1);
             color.insert(*rep, c);
         }
-        Coloring { color, num_colors }
+        Ok(Coloring { color, num_colors })
     }
 
     /// The color of variable `v` (via its class representative).

@@ -1,0 +1,381 @@
+//! Seeded fault injection for the fault-tolerant pipeline.
+//!
+//! A [`FaultPlan`] is a deterministic function of a `u64` seed: every
+//! probe point in the pipeline asks [`FaultPlan::fires`] with a stable
+//! string key (unit name, cache key, phase name…) and gets the same
+//! answer on every run with the same seed — independent of thread
+//! scheduling, iteration order, or how often the probe is reached. That
+//! schedule independence is what makes the `tests/fault_injection.rs`
+//! matrix reproducible on a work-stealing pool.
+//!
+//! Probe sites ([`FaultSite`]):
+//!
+//! * `CacheRead` — a disk-cache read is served corrupted/torn, which
+//!   the cache must degrade to a miss;
+//! * `CacheWrite` — a disk-cache write attempt fails with an I/O error
+//!   (optionally only the first `write_transient` attempts per key, to
+//!   exercise the retry path);
+//! * `PhasePanic` — a phase entry panics, exercising `catch_unwind`
+//!   isolation;
+//! * `AuditViolation` — a synthetic audit error is attached to a
+//!   function's GCTD plan, forcing the mcc-fallback rung of the
+//!   degradation ladder.
+//!
+//! Plans are enabled via the `MATC_FAULTS` environment variable or the
+//! `--faults` CLI flag, both taking the spec grammar of
+//! [`FaultPlan::parse`].
+
+use std::fmt;
+
+/// Environment variable carrying a [`FaultPlan::parse`] spec.
+pub const FAULTS_ENV: &str = "MATC_FAULTS";
+
+/// A pipeline location where faults can be injected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultSite {
+    /// Disk-cache read served corrupted (must degrade to a miss).
+    CacheRead,
+    /// Disk-cache write attempt fails with an I/O error.
+    CacheWrite,
+    /// Injected panic at a phase entry.
+    PhasePanic,
+    /// Synthetic storage-plan audit violation.
+    AuditViolation,
+}
+
+impl FaultSite {
+    fn salt(self) -> u64 {
+        match self {
+            FaultSite::CacheRead => 0x9e37_79b9_7f4a_7c15,
+            FaultSite::CacheWrite => 0xbf58_476d_1ce4_e5b9,
+            FaultSite::PhasePanic => 0x94d0_49bb_1331_11eb,
+            FaultSite::AuditViolation => 0x2545_f491_4f6c_dd1d,
+        }
+    }
+}
+
+/// A deterministic, seed-derived plan of which probe points fire.
+///
+/// Copyable so it can ride inside batch configuration; `fires` is pure,
+/// so one plan can be shared by every worker thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The seed all decisions derive from.
+    pub seed: u64,
+    /// Percentage (0–100) of keyed cache reads served corrupted.
+    pub cache_read_pct: u8,
+    /// Percentage (0–100) of keyed cache writes that fail.
+    pub cache_write_pct: u8,
+    /// Percentage (0–100) of probed phase entries that panic.
+    pub phase_panic_pct: u8,
+    /// Percentage (0–100) of audited functions given a synthetic
+    /// violation.
+    pub audit_violation_pct: u8,
+    /// For faulted cache writes: how many attempts per key fail before
+    /// the write succeeds. `u8::MAX` means every attempt fails
+    /// (persistent fault, e.g. a read-only cache dir).
+    pub write_transient: u8,
+}
+
+impl FaultPlan {
+    /// A plan with the given seed and no faults enabled; compose with
+    /// the builder methods to switch sites on.
+    pub fn quiet(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            cache_read_pct: 0,
+            cache_write_pct: 0,
+            phase_panic_pct: 0,
+            audit_violation_pct: 0,
+            write_transient: u8::MAX,
+        }
+    }
+
+    /// Derives a mixed plan from a seed alone: every 8th seed is a
+    /// fault-free control (the matrix's byte-identity baseline rides
+    /// inside the matrix itself), and the rest pick each site's rate
+    /// from {0, 10, 30, 100} by the seed's hash bits — so a small seed
+    /// range (the 50-case matrix) deterministically covers
+    /// single-site, multi-site and fault-free configurations.
+    pub fn from_seed(seed: u64) -> FaultPlan {
+        if seed.is_multiple_of(8) {
+            return FaultPlan::quiet(seed);
+        }
+        const RATES: [u8; 4] = [0, 10, 30, 100];
+        let h = splitmix64(seed ^ 0x5bf0_3635_dcb2_9359);
+        FaultPlan {
+            seed,
+            cache_read_pct: RATES[(h & 3) as usize],
+            cache_write_pct: RATES[((h >> 2) & 3) as usize],
+            phase_panic_pct: RATES[((h >> 4) & 3) as usize],
+            audit_violation_pct: RATES[((h >> 6) & 3) as usize],
+            write_transient: match (h >> 8) & 3 {
+                0 => u8::MAX, // persistent write failure
+                k => k as u8, // 1–3 failed attempts, then success
+            },
+        }
+    }
+
+    /// Sets the cache-read corruption rate (builder style).
+    pub fn cache_reads(mut self, pct: u8) -> FaultPlan {
+        self.cache_read_pct = pct.min(100);
+        self
+    }
+
+    /// Sets the cache-write failure rate (builder style).
+    pub fn cache_writes(mut self, pct: u8) -> FaultPlan {
+        self.cache_write_pct = pct.min(100);
+        self
+    }
+
+    /// Sets the phase-panic rate (builder style).
+    pub fn panics(mut self, pct: u8) -> FaultPlan {
+        self.phase_panic_pct = pct.min(100);
+        self
+    }
+
+    /// Sets the synthetic audit-violation rate (builder style).
+    pub fn audit_violations(mut self, pct: u8) -> FaultPlan {
+        self.audit_violation_pct = pct.min(100);
+        self
+    }
+
+    /// Sets how many write attempts per faulted key fail before
+    /// succeeding; `u8::MAX` makes the fault persistent.
+    pub fn transient(mut self, attempts: u8) -> FaultPlan {
+        self.write_transient = attempts;
+        self
+    }
+
+    /// Whether any site has a non-zero rate.
+    pub fn any_enabled(&self) -> bool {
+        self.cache_read_pct > 0
+            || self.cache_write_pct > 0
+            || self.phase_panic_pct > 0
+            || self.audit_violation_pct > 0
+    }
+
+    /// Whether the probe at `site` keyed by `key` fires. Deterministic
+    /// in `(seed, site, key)` — never in call order or thread schedule.
+    pub fn fires(&self, site: FaultSite, key: &str) -> bool {
+        let pct = match site {
+            FaultSite::CacheRead => self.cache_read_pct,
+            FaultSite::CacheWrite => self.cache_write_pct,
+            FaultSite::PhasePanic => self.phase_panic_pct,
+            FaultSite::AuditViolation => self.audit_violation_pct,
+        };
+        if pct == 0 {
+            return false;
+        }
+        if pct >= 100 {
+            return true;
+        }
+        let h = splitmix64(self.seed ^ site.salt() ^ fnv1a(key));
+        (h % 100) < pct as u64
+    }
+
+    /// For a faulted cache write: whether the `attempt`-th try (0-based)
+    /// still fails. Combines [`FaultPlan::fires`] at
+    /// [`FaultSite::CacheWrite`] with the transient count, so retry
+    /// loops can distinguish transient from persistent failures.
+    pub fn write_attempt_fails(&self, key: &str, attempt: u32) -> bool {
+        if !self.fires(FaultSite::CacheWrite, key) {
+            return false;
+        }
+        self.write_transient == u8::MAX || attempt < self.write_transient as u32
+    }
+
+    /// Parses a fault spec.
+    ///
+    /// Grammar: either a bare seed (`"42"`) or a comma-separated
+    /// `key=value` list starting from [`FaultPlan::from_seed`] defaults:
+    /// `seed=42,read=10,write=30,panic=0,audit=100,transient=2`.
+    /// `transient=max` makes write faults persistent. A spec without
+    /// `seed` is an error.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for unknown keys, out-of-range
+    /// rates, or a missing seed.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let spec = spec.trim();
+        if let Ok(seed) = spec.parse::<u64>() {
+            return Ok(FaultPlan::from_seed(seed));
+        }
+        let mut seed: Option<u64> = None;
+        let mut overrides: Vec<(String, String)> = Vec::new();
+        for part in spec.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let Some((k, v)) = part.split_once('=') else {
+                return Err(format!("fault spec item `{part}` is not key=value"));
+            };
+            if k == "seed" {
+                seed = Some(
+                    v.parse::<u64>()
+                        .map_err(|_| format!("bad fault seed `{v}`"))?,
+                );
+            } else {
+                overrides.push((k.to_string(), v.to_string()));
+            }
+        }
+        let Some(seed) = seed else {
+            return Err("fault spec needs seed=N (or a bare seed)".to_string());
+        };
+        let mut plan = FaultPlan::from_seed(seed);
+        for (k, v) in overrides {
+            let pct = |v: &str| -> Result<u8, String> {
+                let n: u8 = v.parse().map_err(|_| format!("bad fault rate `{v}`"))?;
+                if n > 100 {
+                    return Err(format!("fault rate `{v}` exceeds 100"));
+                }
+                Ok(n)
+            };
+            match k.as_str() {
+                "read" => plan.cache_read_pct = pct(&v)?,
+                "write" => plan.cache_write_pct = pct(&v)?,
+                "panic" => plan.phase_panic_pct = pct(&v)?,
+                "audit" => plan.audit_violation_pct = pct(&v)?,
+                "transient" => {
+                    plan.write_transient = if v == "max" {
+                        u8::MAX
+                    } else {
+                        v.parse::<u8>()
+                            .map_err(|_| format!("bad transient count `{v}`"))?
+                    }
+                }
+                other => return Err(format!("unknown fault spec key `{other}`")),
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Reads a plan from the `MATC_FAULTS` environment variable.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Ok(None)` when the variable is unset or empty, and the
+    /// parse error when it is set but malformed.
+    pub fn from_env() -> Result<Option<FaultPlan>, String> {
+        match std::env::var(FAULTS_ENV) {
+            Ok(v) if !v.trim().is_empty() => FaultPlan::parse(&v).map(Some),
+            _ => Ok(None),
+        }
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "seed={},read={},write={},panic={},audit={},transient={}",
+            self.seed,
+            self.cache_read_pct,
+            self.cache_write_pct,
+            self.phase_panic_pct,
+            self.audit_violation_pct,
+            if self.write_transient == u8::MAX {
+                "max".to_string()
+            } else {
+                self.write_transient.to_string()
+            }
+        )
+    }
+}
+
+/// SplitMix64 — the standard 64-bit finalizer-style mixer.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a over the key string (stable across platforms and runs).
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_deterministic_and_schedule_independent() {
+        let p = FaultPlan::from_seed(7).cache_reads(50);
+        let first: Vec<bool> = (0..64)
+            .map(|i| p.fires(FaultSite::CacheRead, &format!("unit{i}")))
+            .collect();
+        // Re-query in reverse order: same answers per key.
+        for i in (0..64).rev() {
+            assert_eq!(
+                p.fires(FaultSite::CacheRead, &format!("unit{i}")),
+                first[i as usize]
+            );
+        }
+        assert!(first.iter().any(|b| *b));
+        assert!(first.iter().any(|b| !*b));
+    }
+
+    #[test]
+    fn sites_are_independent() {
+        let p = FaultPlan::quiet(3).panics(100);
+        assert!(p.fires(FaultSite::PhasePanic, "x"));
+        assert!(!p.fires(FaultSite::CacheRead, "x"));
+        assert!(!p.fires(FaultSite::CacheWrite, "x"));
+        assert!(!p.fires(FaultSite::AuditViolation, "x"));
+    }
+
+    #[test]
+    fn transient_write_faults_clear_after_n_attempts() {
+        let p = FaultPlan::quiet(1).cache_writes(100).transient(2);
+        assert!(p.write_attempt_fails("k", 0));
+        assert!(p.write_attempt_fails("k", 1));
+        assert!(!p.write_attempt_fails("k", 2));
+        let persistent = p.transient(u8::MAX);
+        assert!(persistent.write_attempt_fails("k", 1000));
+    }
+
+    #[test]
+    fn parse_round_trips_and_rejects_garbage() {
+        let p = FaultPlan::parse("seed=9,read=10,write=0,panic=100,audit=5,transient=max").unwrap();
+        assert_eq!(p.seed, 9);
+        assert_eq!(p.cache_read_pct, 10);
+        assert_eq!(p.phase_panic_pct, 100);
+        assert_eq!(p.write_transient, u8::MAX);
+        let rendered = p.to_string();
+        assert_eq!(FaultPlan::parse(&rendered).unwrap(), p);
+
+        assert_eq!(FaultPlan::parse("42").unwrap(), FaultPlan::from_seed(42));
+        assert!(FaultPlan::parse("read=10").is_err(), "seed is required");
+        assert!(FaultPlan::parse("seed=1,bogus=2").is_err());
+        assert!(FaultPlan::parse("seed=1,read=101").is_err());
+    }
+
+    #[test]
+    fn seed_mixture_covers_quiet_and_noisy_plans() {
+        let plans: Vec<FaultPlan> = (0..50).map(FaultPlan::from_seed).collect();
+        assert!(plans.iter().any(|p| !p.any_enabled()), "some seeds quiet");
+        assert!(
+            plans.iter().any(|p| p.phase_panic_pct > 0),
+            "some seeds panic"
+        );
+        assert!(
+            plans.iter().any(|p| p.audit_violation_pct > 0),
+            "some seeds inject audit violations"
+        );
+        assert!(
+            plans
+                .iter()
+                .any(|p| p.cache_write_pct > 0 && p.write_transient != u8::MAX),
+            "some seeds exercise the transient-retry path"
+        );
+    }
+}

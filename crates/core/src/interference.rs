@@ -24,7 +24,7 @@ use crate::liveness::Dataflow;
 use matc_frontend::ast::{BinOp, UnOp};
 use matc_ir::ids::VarId;
 use matc_ir::instr::{InstrKind, Op, Operand};
-use matc_ir::{Builtin, FuncIr};
+use matc_ir::{Budget, BudgetError, Builtin, FuncIr};
 use matc_typeinf::{FuncTypes, ProgramTypes};
 use std::collections::HashSet;
 
@@ -76,6 +76,27 @@ impl InterferenceGraph {
         prog_types: &ProgramTypes,
         opts: InterferenceOptions,
     ) -> InterferenceGraph {
+        let budget = Budget::unlimited();
+        InterferenceGraph::build_budgeted(func, flow, types, prog_types, opts, &budget)
+            .expect("unlimited budget cannot trip")
+    }
+
+    /// [`InterferenceGraph::build`] under a [`Budget`]: the backward
+    /// scan charges one fuel unit per instruction visited (plus the
+    /// live-set size, approximating edge insertion work) and observes
+    /// the phase wall-clock deadline.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`BudgetError`] that tripped (no partial graph).
+    pub fn build_budgeted(
+        func: &FuncIr,
+        flow: &Dataflow,
+        types: &FuncTypes,
+        prog_types: &ProgramTypes,
+        opts: InterferenceOptions,
+        budget: &Budget,
+    ) -> Result<InterferenceGraph, BudgetError> {
         let nv = func.vars.len();
         let mut g = InterferenceGraph {
             parent: (0..nv as u32).collect(),
@@ -129,6 +150,7 @@ impl InterferenceGraph {
                 .filter(|v| !g.immediate[v.index()])
                 .collect();
             for instr in func.block(b).instrs.iter().rev() {
+                budget.spend(set.len() as u64 + 1)?;
                 let defs = instr.defs();
                 for d in &defs {
                     if g.immediate[d.index()] {
@@ -240,7 +262,7 @@ impl InterferenceGraph {
                 }
             }
         }
-        g
+        Ok(g)
     }
 
     /// Whether `v` is a code literal (defined by a `Const` instruction)

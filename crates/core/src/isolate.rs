@@ -1,0 +1,122 @@
+//! Panic isolation with quiet message capture.
+//!
+//! [`isolate`] runs a closure under `catch_unwind` and turns a panic
+//! into `Err(message)`. Two details matter for the batch driver:
+//!
+//! * the default panic hook prints a backtrace banner to stderr *before*
+//!   unwinding reaches `catch_unwind`; a batch run surviving dozens of
+//!   injected panics must not spray that noise, so a process-wide hook
+//!   (installed once, chaining to whatever hook was already set) swallows
+//!   the report only while the current thread is inside [`isolate`];
+//! * the panic *message* (payload downcast to `&str`/`String`) is
+//!   preserved so a panicking unit yields a structured, attributable
+//!   error instead of a bare "task panicked".
+
+use std::cell::Cell;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+thread_local! {
+    /// True while the current thread is inside [`isolate`].
+    static SUPPRESS_PANIC_REPORT: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Installs the chaining, suppression-aware hook exactly once.
+fn install_hook() {
+    static INSTALLED: OnceLock<()> = OnceLock::new();
+    INSTALLED.get_or_init(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if SUPPRESS_PANIC_REPORT.with(|s| s.get()) {
+                return; // captured by an isolate() frame on this thread
+            }
+            prev(info);
+        }));
+    });
+}
+
+/// Extracts a human-readable message from a panic payload.
+fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+/// Runs `f`, converting a panic into `Err(panic message)` without
+/// letting the default hook print to stderr. Nested calls are fine; the
+/// innermost frame catches.
+pub fn isolate<T>(f: impl FnOnce() -> T) -> Result<T, String> {
+    install_hook();
+    let was = SUPPRESS_PANIC_REPORT.with(|s| s.replace(true));
+    let result = panic::catch_unwind(AssertUnwindSafe(f));
+    SUPPRESS_PANIC_REPORT.with(|s| s.set(was));
+    result.map_err(|payload| payload_message(payload.as_ref()))
+}
+
+/// Locks `m`, recovering from poisoning.
+///
+/// A mutex is poisoned when a holder panicked; with every fallible
+/// compile wrapped in [`isolate`] the data it guards (work queues,
+/// result maps — never mid-mutation compiler state) is still
+/// consistent, so the right response is to keep going, not to cascade
+/// the panic through every other worker via `lock().unwrap()`.
+pub fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ok_value_passes_through() {
+        assert_eq!(isolate(|| 41 + 1), Ok(42));
+    }
+
+    #[test]
+    fn lock_recover_survives_poisoning() {
+        let m = Mutex::new(7u32);
+        let _ = isolate(|| {
+            let _g = m.lock().unwrap();
+            panic!("poison it");
+        });
+        assert!(m.is_poisoned());
+        assert_eq!(*lock_recover(&m), 7);
+        *lock_recover(&m) += 1;
+        assert_eq!(*lock_recover(&m), 8);
+    }
+
+    #[test]
+    fn panic_message_is_captured() {
+        let err = isolate(|| -> () { panic!("kaboom at {}", "plan") }).unwrap_err();
+        assert_eq!(err, "kaboom at plan");
+        let err = isolate(|| -> () { std::panic::panic_any(7u32) }).unwrap_err();
+        assert!(err.contains("non-string payload"));
+    }
+
+    #[test]
+    fn nested_isolation_restores_suppression() {
+        let outer = isolate(|| {
+            let inner = isolate(|| -> () { panic!("inner") });
+            assert_eq!(inner.unwrap_err(), "inner");
+            "outer ok"
+        });
+        assert_eq!(outer, Ok("outer ok"));
+        // After an isolate() frame unwinds, the flag is back off.
+        assert!(!SUPPRESS_PANIC_REPORT.with(|s| s.get()));
+    }
+
+    #[test]
+    fn threads_do_not_leak_suppression() {
+        let h = std::thread::spawn(|| isolate(|| -> () { panic!("worker died") }));
+        let err = h.join().unwrap().unwrap_err();
+        assert_eq!(err, "worker died");
+    }
+}

@@ -43,7 +43,9 @@
 
 pub mod cache;
 pub mod coloring;
+pub mod fault;
 pub mod interference;
+pub mod isolate;
 pub mod liveness;
 pub mod metrics;
 pub mod order;
@@ -51,13 +53,17 @@ pub mod plan;
 
 pub use cache::{options_fingerprint, Artifact, ArtifactCache, CacheKey};
 pub use coloring::{Coloring, ColoringStrategy};
+pub use fault::{FaultPlan, FaultSite, FAULTS_ENV};
 pub use interference::{InterferenceGraph, InterferenceOptions};
+pub use isolate::{isolate, lock_recover};
 pub use liveness::Dataflow;
-pub use metrics::{BatchReport, CacheOutcome, Phase, PhaseTimer, UnitMetrics};
+pub use metrics::{
+    BatchReport, BudgetEvent, CacheOutcome, DegradationEvent, Phase, PhaseTimer, UnitMetrics,
+};
 pub use order::{decompose_color_class, IndexGroup, SizeClass, Sizing};
 pub use plan::{
-    plan_function, plan_program, plan_program_with, GctdOptions, PlanStats, ProgramPlan,
-    ResizeKind, SlotInfo, SlotKind, StoragePlan,
+    plan_function, plan_function_budgeted, plan_program, plan_program_with, GctdOptions, PlanStats,
+    ProgramPlan, ResizeKind, SlotInfo, SlotKind, StoragePlan,
 };
 
 #[cfg(test)]

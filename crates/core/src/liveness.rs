@@ -9,7 +9,7 @@
 
 use matc_ir::ids::{BlockId, VarId};
 use matc_ir::instr::InstrKind;
-use matc_ir::FuncIr;
+use matc_ir::{Budget, BudgetError, FuncIr};
 use std::collections::HashSet;
 
 /// Per-block liveness and availability sets for one SSA function.
@@ -36,6 +36,18 @@ pub struct Dataflow {
 impl Dataflow {
     /// Runs both analyses.
     pub fn compute(func: &FuncIr) -> Dataflow {
+        let budget = Budget::unlimited();
+        Dataflow::compute_budgeted(func, &budget).expect("unlimited budget cannot trip")
+    }
+
+    /// [`Dataflow::compute`] under a [`Budget`]: each sweep of the three
+    /// while-changed fixpoints (liveness, availability, reachability)
+    /// charges one fuel unit per block and observes the phase deadline.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`BudgetError`] that tripped (no partial results).
+    pub fn compute_budgeted(func: &FuncIr, budget: &Budget) -> Result<Dataflow, BudgetError> {
         let n = func.blocks.len();
         let nv = func.vars.len();
         let preds = func.predecessors();
@@ -99,6 +111,7 @@ impl Dataflow {
             .collect();
         let mut changed = true;
         while changed {
+            budget.spend(n as u64 + 1)?;
             changed = false;
             for bi in (0..func.blocks.len()).rev() {
                 let b = matc_ir::BlockId::new(bi);
@@ -131,6 +144,7 @@ impl Dataflow {
         let mut avail_out: Vec<HashSet<VarId>> = vec![HashSet::new(); n];
         let mut changed = true;
         while changed {
+            budget.spend(n as u64 + 1)?;
             changed = false;
             for b in func.block_ids() {
                 let mut inn: HashSet<VarId> = HashSet::new();
@@ -159,6 +173,7 @@ impl Dataflow {
         let mut reach: Vec<HashSet<BlockId>> = vec![HashSet::new(); n];
         let mut changed = true;
         while changed {
+            budget.spend(n as u64 + 1)?;
             changed = false;
             for b in func.block_ids() {
                 let succs = func.block(b).term.successors();
@@ -182,14 +197,14 @@ impl Dataflow {
             }
         }
 
-        Dataflow {
+        Ok(Dataflow {
             live_in,
             live_out,
             avail_out,
             def_site,
             is_param,
             reach,
-        }
+        })
     }
 
     /// Whether `u` is *available at the definition of* `v` — the

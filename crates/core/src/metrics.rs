@@ -100,6 +100,61 @@ impl CacheOutcome {
     }
 }
 
+/// One rung of the degradation ladder having fired: a function (or the
+/// whole unit) was re-lowered with the conservative all-heap mcc-style
+/// plan instead of its GCTD plan, and why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DegradationEvent {
+    /// The unit the degradation happened in.
+    pub unit: String,
+    /// The function that was degraded; empty for unit-level degradations
+    /// (e.g. an optimizer or type-inference budget trip re-lowering the
+    /// whole unit conservatively).
+    pub func: String,
+    /// Which rung fired: `"plan_panic"`, `"plan_budget"`, `"audit"`,
+    /// `"optimize_budget"`, `"type_infer_budget"`.
+    pub stage: &'static str,
+    /// Human-readable cause (panic message, audit findings, budget
+    /// error).
+    pub reason: String,
+}
+
+impl DegradationEvent {
+    /// The event's JSON object (an element of a unit's `degradations`).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"unit\":{},\"func\":{},\"stage\":{},\"reason\":{}}}",
+            json_string(&self.unit),
+            json_string(&self.func),
+            json_string(self.stage),
+            json_string(&self.reason)
+        )
+    }
+}
+
+/// A phase budget (fuel or wall-clock) having tripped during a unit's
+/// compile; paired with a [`DegradationEvent`] when the trip was
+/// recovered by the ladder.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BudgetEvent {
+    /// The phase that tripped (stable lower-snake name).
+    pub phase: String,
+    /// `"fuel"` or `"wall-clock"`.
+    pub kind: String,
+}
+
+impl BudgetEvent {
+    /// The event's JSON object (an element of a unit's
+    /// `budget_exceeded`).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"phase\":{},\"kind\":{}}}",
+            json_string(&self.phase),
+            json_string(&self.kind)
+        )
+    }
+}
+
 /// A running wall-clock timer for one phase.
 ///
 /// ```
@@ -175,6 +230,10 @@ pub struct UnitMetrics {
     pub cache: CacheOutcome,
     /// Compilation error, if the unit failed (parse/lowering).
     pub error: Option<String>,
+    /// Degradation-ladder rungs that fired for this unit.
+    pub degradations: Vec<DegradationEvent>,
+    /// Phase budgets that tripped for this unit.
+    pub budget_exceeded: Vec<BudgetEvent>,
 }
 
 impl UnitMetrics {
@@ -202,6 +261,8 @@ impl UnitMetrics {
             c_lines: 0,
             cache: CacheOutcome::Bypass,
             error: None,
+            degradations: Vec::new(),
+            budget_exceeded: Vec::new(),
         }
     }
 
@@ -229,9 +290,16 @@ impl UnitMetrics {
         self.phase_nanos.iter().map(|n| n / 1_000).sum()
     }
 
-    /// Whether the unit compiled (no pipeline error).
+    /// Whether the unit compiled (no pipeline error). Degraded units
+    /// are `ok`: they produced a correct (conservatively planned)
+    /// artifact.
     pub fn ok(&self) -> bool {
         self.error.is_none()
+    }
+
+    /// Whether any degradation-ladder rung fired for this unit.
+    pub fn degraded(&self) -> bool {
+        !self.degradations.is_empty()
     }
 
     /// The unit's JSON object (one element of the report's `units`
@@ -240,14 +308,33 @@ impl UnitMetrics {
         let mut s = String::new();
         s.push('{');
         let _ = write!(s, "\"unit\":{}", json_string(&self.unit));
-        let _ = write!(
-            s,
-            ",\"status\":{}",
-            json_string(if self.ok() { "ok" } else { "error" })
-        );
+        let status = if !self.ok() {
+            "error"
+        } else if self.degraded() {
+            "degraded"
+        } else {
+            "ok"
+        };
+        let _ = write!(s, ",\"status\":{}", json_string(status));
         if let Some(e) = &self.error {
             let _ = write!(s, ",\"error\":{}", json_string(e));
         }
+        s.push_str(",\"degradations\":[");
+        for (i, d) in self.degradations.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&d.to_json());
+        }
+        s.push(']');
+        s.push_str(",\"budget_exceeded\":[");
+        for (i, b) in self.budget_exceeded.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&b.to_json());
+        }
+        s.push(']');
         let _ = write!(s, ",\"cache\":{}", json_string(self.cache.name()));
         s.push_str(",\"phases_micros\":{");
         for (i, p) in Phase::ALL.iter().enumerate() {
@@ -334,11 +421,22 @@ impl BatchReport {
         self.units.iter().filter(|u| !u.ok()).count()
     }
 
+    /// Units that compiled but only via the degradation ladder.
+    pub fn degraded(&self) -> usize {
+        self.units.iter().filter(|u| u.ok() && u.degraded()).count()
+    }
+
+    /// The stats document's schema version (`"schema"` in the JSON).
+    /// Bumped from 1 (PR 2) to 2 when per-unit `degradations` and
+    /// `budget_exceeded` arrays and the `"degraded"` status were added.
+    pub const SCHEMA_VERSION: u32 = 2;
+
     /// The full stats document (`matc batch --stats`).
     pub fn to_json(&self) -> String {
         let mut s = String::new();
         s.push('{');
-        let _ = write!(s, "\"jobs\":{}", self.jobs);
+        let _ = write!(s, "\"schema\":{}", Self::SCHEMA_VERSION);
+        let _ = write!(s, ",\"jobs\":{}", self.jobs);
         let _ = write!(s, ",\"wall_micros\":{}", self.wall_micros);
         let _ = write!(
             s,
@@ -376,6 +474,7 @@ impl BatchReport {
             let status = match &u.error {
                 Some(e) => format!("error: {e}"),
                 None if u.audit_errors > 0 => format!("{} audit error(s)", u.audit_errors),
+                None if u.degraded() => format!("degraded ({} event(s))", u.degradations.len()),
                 None => "ok".to_string(),
             };
             let _ = writeln!(
@@ -400,6 +499,10 @@ impl BatchReport {
             self.wall_micros,
             self.jobs
         );
+        let degraded = self.degraded();
+        if degraded > 0 {
+            let _ = writeln!(s, "{degraded} unit(s) degraded to the conservative plan");
+        }
         s
     }
 }
@@ -478,6 +581,49 @@ mod tests {
     fn json_strings_escape_controls() {
         assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
         assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn schema_v2_carries_degradations_and_budget_events() {
+        let mut m = UnitMetrics::new("wobbly");
+        m.degradations.push(DegradationEvent {
+            unit: "wobbly".to_string(),
+            func: "kernel".to_string(),
+            stage: "audit",
+            reason: "A101: slot clobbered".to_string(),
+        });
+        m.budget_exceeded.push(BudgetEvent {
+            phase: "coloring".to_string(),
+            kind: "fuel".to_string(),
+        });
+        assert!(m.ok() && m.degraded());
+        let j = m.to_json();
+        assert!(j.contains("\"status\":\"degraded\""), "{j}");
+        assert!(j.contains("\"degradations\":[{\"unit\":\"wobbly\""), "{j}");
+        assert!(j.contains("\"stage\":\"audit\""), "{j}");
+        assert!(
+            j.contains("\"budget_exceeded\":[{\"phase\":\"coloring\",\"kind\":\"fuel\"}]"),
+            "{j}"
+        );
+        let clean = UnitMetrics::new("clean");
+        let cj = clean.to_json();
+        assert!(cj.contains("\"degradations\":[]"), "{cj}");
+        assert!(cj.contains("\"budget_exceeded\":[]"), "{cj}");
+        let report = BatchReport {
+            jobs: 1,
+            wall_micros: 0,
+            cache_hits: 0,
+            cache_misses: 1,
+            units: vec![m, clean],
+        };
+        assert_eq!(report.degraded(), 1);
+        assert_eq!(report.failed(), 0);
+        let j = report.to_json();
+        assert!(j.starts_with("{\"schema\":2,"), "{j}");
+        assert!(report.render_table().contains("degraded (1 event(s))"));
+        assert!(report
+            .render_table()
+            .contains("1 unit(s) degraded to the conservative plan"));
     }
 
     #[test]

@@ -18,7 +18,7 @@ use crate::metrics::{Phase, UnitMetrics};
 use crate::order::{decompose_color_class, SizeClass, Sizing};
 use matc_ir::ids::{FuncId, VarId};
 use matc_ir::instr::{InstrKind, Op, Operand};
-use matc_ir::{FuncIr, IrProgram};
+use matc_ir::{Budget, BudgetError, FuncIr, IrProgram};
 use matc_typeinf::{ExprId, Intrinsic, ProgramTypes};
 use std::collections::{BTreeMap, HashMap};
 use std::time::Instant;
@@ -207,15 +207,18 @@ pub fn plan_program_with(
     options: GctdOptions,
     rec: &mut UnitMetrics,
 ) -> ProgramPlan {
+    let budget = Budget::unlimited();
     let plans = (0..prog.functions.len())
         .map(|i| {
-            plan_function_metered(
+            plan_function_budgeted(
                 prog.func(FuncId::new(i)),
                 FuncId::new(i),
                 types,
                 options,
+                &budget,
                 Some(rec),
             )
+            .expect("unlimited budget cannot trip")
         })
         .collect();
     ProgramPlan { plans, options }
@@ -240,24 +243,42 @@ pub fn plan_function(
     types: &mut ProgramTypes,
     options: GctdOptions,
 ) -> StoragePlan {
-    plan_function_metered(func, fid, types, options, None)
+    let budget = Budget::unlimited();
+    plan_function_budgeted(func, fid, types, options, &budget, None)
+        .expect("unlimited budget cannot trip")
 }
 
-/// [`plan_function`] with optional phase recording (see
-/// [`plan_program_with`]); the `rec: None` path takes no timestamps.
-fn plan_function_metered(
+/// [`plan_function`] under a [`Budget`] with optional phase recording
+/// (see [`plan_program_with`]; the `rec: None` path takes no
+/// timestamps). The budget's fuel charges cover the dataflow fixpoints,
+/// the interference-graph backward scan, and the coloring search — the
+/// three input-dependent parts of GCTD — under the phase names
+/// `"interference"`, `"coloring"` and `"decompose"`.
+///
+/// # Errors
+///
+/// Returns the [`BudgetError`] that tripped; no partial plan is
+/// produced, so the caller can re-plan the same function with the
+/// conservative all-heap options instead.
+///
+/// # Panics
+///
+/// Panics if `func` is not in SSA form.
+pub fn plan_function_budgeted(
     func: &FuncIr,
     fid: FuncId,
     types: &mut ProgramTypes,
     options: GctdOptions,
+    budget: &Budget,
     mut rec: Option<&mut UnitMetrics>,
-) -> StoragePlan {
+) -> Result<StoragePlan, BudgetError> {
     assert!(func.in_ssa, "GCTD runs on SSA");
     let t = Instant::now();
-    let flow = Dataflow::compute(func);
+    budget.enter_phase("interference");
+    let flow = Dataflow::compute_budgeted(func, budget)?;
     let graph = {
         let ftypes = &types.funcs[fid.index()];
-        InterferenceGraph::build(func, &flow, ftypes, types, options.interference)
+        InterferenceGraph::build_budgeted(func, &flow, ftypes, types, options.interference, budget)?
     };
     if let Some(r) = rec.as_deref_mut() {
         r.record(Phase::Interference, t.elapsed());
@@ -272,7 +293,7 @@ fn plan_function_metered(
         if let Some(r) = rec.as_deref_mut() {
             r.record(Phase::Decompose, t.elapsed());
         }
-        return plan;
+        return Ok(plan);
     }
     if let Some(r) = rec.as_deref_mut() {
         r.record(Phase::Decompose, t.elapsed());
@@ -293,12 +314,15 @@ fn plan_function_metered(
             .unwrap_or(0)
     };
     let t = Instant::now();
-    let coloring = Coloring::with_strategy(func, &graph, options.coloring, &node_bytes);
+    budget.enter_phase("coloring");
+    let coloring =
+        Coloring::with_strategy_budgeted(func, &graph, options.coloring, &node_bytes, budget)?;
     debug_assert!(coloring.validate(&graph), "improper coloring");
     if let Some(r) = rec.as_deref_mut() {
         r.record(Phase::Coloring, t.elapsed());
     }
     let t = Instant::now();
+    budget.enter_phase("decompose");
 
     // ------------------------------------------------------------------
     // Build node-level facts per class representative.
@@ -367,6 +391,9 @@ fn plan_function_metered(
 
     for class in coloring.classes() {
         let n = class.len();
+        // Decomposition compares class nodes pairwise; charge quadratic
+        // work so a fuel limit also bounds Phase 2.
+        budget.spend((n as u64).saturating_mul(n as u64) + 1)?;
         let le = |i: usize, j: usize| -> bool {
             if i == j {
                 return true;
@@ -522,13 +549,13 @@ fn plan_function_metered(
     if let Some(r) = rec {
         r.record(Phase::Decompose, t.elapsed());
     }
-    StoragePlan {
+    Ok(StoragePlan {
         func_name: func.name.clone(),
         slots,
         var_slot,
         resize,
         stats,
-    }
+    })
 }
 
 /// The Figure 6 baseline, "mat2c without GCTD": one heap slot per

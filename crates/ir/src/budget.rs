@@ -1,0 +1,248 @@
+//! Phase budgets: wall-clock timeouts and fuel (abstract work-unit)
+//! limits for the pipeline's fixpoint phases.
+//!
+//! The GCTD pipeline contains several iterative analyses whose running
+//! time is input-dependent: the type-inference lattice iteration, the
+//! interference-graph sweep, and the (optionally exhaustive) coloring
+//! search. A [`Budget`] bounds each of these with two independent
+//! mechanisms:
+//!
+//! * **fuel** — a count of abstract work units (roughly "one instruction
+//!   visited" or "one search node expanded") shared across the whole
+//!   unit compile, decremented via [`Budget::spend`];
+//! * **wall clock** — a per-phase deadline armed by
+//!   [`Budget::enter_phase`] and checked (cheaply, every few dozen
+//!   spends) inside [`Budget::spend`].
+//!
+//! Tripping either limit surfaces a structured [`BudgetError`]
+//! (`PhaseBudgetExceeded` in diagnostics) instead of an unbounded run;
+//! callers feed that error into the degradation ladder (re-lower with
+//! the conservative all-heap plan) rather than aborting the batch.
+//!
+//! A `Budget` is deliberately not `Sync`: each compilation unit runs on
+//! one worker thread and owns its budget.
+
+use std::cell::Cell;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// How often (in spend calls) the wall-clock deadline is re-checked.
+const CLOCK_CHECK_PERIOD: u32 = 64;
+
+/// Which limit a [`BudgetError`] tripped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BudgetKind {
+    /// The fuel (work-unit) allowance ran out.
+    Fuel,
+    /// The per-phase wall-clock deadline passed.
+    WallClock,
+}
+
+impl fmt::Display for BudgetKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BudgetKind::Fuel => write!(f, "fuel"),
+            BudgetKind::WallClock => write!(f, "wall-clock"),
+        }
+    }
+}
+
+/// A phase budget was exceeded; carries the phase that tripped it and
+/// which of the two limits fired.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BudgetError {
+    /// Name of the phase that was running when the budget tripped
+    /// (e.g. `"type_infer"`, `"interference"`, `"coloring"`).
+    pub phase: &'static str,
+    /// Which limit fired.
+    pub kind: BudgetKind,
+}
+
+impl fmt::Display for BudgetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "phase budget exceeded: {} limit hit in {}",
+            self.kind, self.phase
+        )
+    }
+}
+
+impl std::error::Error for BudgetError {}
+
+/// A per-unit compilation budget: optional fuel allowance plus an
+/// optional per-phase wall-clock timeout.
+///
+/// The zero-cost default is [`Budget::unlimited`], whose
+/// [`spend`](Budget::spend) never fails. Interior mutability keeps the
+/// budget usable through shared references threaded down the pipeline.
+#[derive(Debug)]
+pub struct Budget {
+    phase_timeout: Option<Duration>,
+    fuel_limit: Option<u64>,
+    fuel_left: Cell<u64>,
+    deadline: Cell<Option<Instant>>,
+    phase: Cell<&'static str>,
+    tick: Cell<u32>,
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Budget::unlimited()
+    }
+}
+
+impl Budget {
+    /// A budget that never trips; `spend` on it is a cheap no-op.
+    pub fn unlimited() -> Budget {
+        Budget::new(None, None)
+    }
+
+    /// Builds a budget from an optional per-phase wall-clock timeout and
+    /// an optional fuel allowance (abstract work units for the whole
+    /// unit compile).
+    pub fn new(phase_timeout: Option<Duration>, fuel: Option<u64>) -> Budget {
+        Budget {
+            phase_timeout,
+            fuel_limit: fuel,
+            fuel_left: Cell::new(fuel.unwrap_or(u64::MAX)),
+            deadline: Cell::new(None),
+            phase: Cell::new("start"),
+            tick: Cell::new(0),
+        }
+    }
+
+    /// A fresh budget with the same wall-clock timeout but no fuel
+    /// limit — used for the conservative re-lower after a fuel trip, so
+    /// the fallback cannot be starved by the fuel the first attempt
+    /// already burned, while still being bounded in time.
+    pub fn without_fuel(&self) -> Budget {
+        Budget::new(self.phase_timeout, None)
+    }
+
+    /// True when neither limit is configured.
+    pub fn is_unlimited(&self) -> bool {
+        self.phase_timeout.is_none() && self.fuel_limit.is_none()
+    }
+
+    /// Fuel remaining, or `None` when no fuel limit is set.
+    pub fn fuel_left(&self) -> Option<u64> {
+        self.fuel_limit.map(|_| self.fuel_left.get())
+    }
+
+    /// Marks the start of a named phase: re-arms the wall-clock deadline
+    /// (the timeout is per phase, not per unit) and tags subsequent
+    /// budget errors with `name`.
+    pub fn enter_phase(&self, name: &'static str) {
+        self.phase.set(name);
+        self.tick.set(0);
+        if let Some(t) = self.phase_timeout {
+            self.deadline.set(Some(Instant::now() + t));
+        }
+    }
+
+    /// Charges `units` of work against the budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BudgetError`] naming the current phase when the fuel
+    /// allowance is exhausted or the phase deadline has passed.
+    pub fn spend(&self, units: u64) -> Result<(), BudgetError> {
+        if self.fuel_limit.is_some() {
+            let left = self.fuel_left.get();
+            if left < units {
+                self.fuel_left.set(0);
+                return Err(self.trip(BudgetKind::Fuel));
+            }
+            self.fuel_left.set(left - units);
+        }
+        if let Some(deadline) = self.deadline.get() {
+            let t = self.tick.get().wrapping_add(1);
+            self.tick.set(t);
+            if t.is_multiple_of(CLOCK_CHECK_PERIOD) && Instant::now() > deadline {
+                return Err(self.trip(BudgetKind::WallClock));
+            }
+        }
+        Ok(())
+    }
+
+    fn trip(&self, kind: BudgetKind) -> BudgetError {
+        BudgetError {
+            phase: self.phase.get(),
+            kind,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_budget_never_trips() {
+        let b = Budget::unlimited();
+        b.enter_phase("type_infer");
+        for _ in 0..10_000 {
+            b.spend(1_000_000).expect("unlimited budget must not trip");
+        }
+        assert!(b.is_unlimited());
+        assert_eq!(b.fuel_left(), None);
+    }
+
+    #[test]
+    fn fuel_trips_with_phase_name() {
+        let b = Budget::new(None, Some(10));
+        b.enter_phase("coloring");
+        for _ in 0..10 {
+            b.spend(1).unwrap();
+        }
+        let err = b.spend(1).unwrap_err();
+        assert_eq!(
+            err,
+            BudgetError {
+                phase: "coloring",
+                kind: BudgetKind::Fuel
+            }
+        );
+        assert_eq!(b.fuel_left(), Some(0));
+        assert!(err.to_string().contains("coloring"));
+    }
+
+    #[test]
+    fn entering_a_phase_rearms_the_clock_but_not_fuel() {
+        let b = Budget::new(Some(Duration::from_secs(3600)), Some(5));
+        b.enter_phase("interference");
+        b.spend(3).unwrap();
+        b.enter_phase("coloring");
+        assert_eq!(b.fuel_left(), Some(2));
+        let err = b.spend(3).unwrap_err();
+        assert_eq!(err.phase, "coloring");
+        assert_eq!(err.kind, BudgetKind::Fuel);
+    }
+
+    #[test]
+    fn zero_timeout_trips_on_clock_check() {
+        let b = Budget::new(Some(Duration::ZERO), None);
+        b.enter_phase("type_infer");
+        let mut tripped = None;
+        for _ in 0..(CLOCK_CHECK_PERIOD * 2) {
+            if let Err(e) = b.spend(1) {
+                tripped = Some(e);
+                break;
+            }
+        }
+        let e = tripped.expect("zero deadline must trip within one check period");
+        assert_eq!(e.kind, BudgetKind::WallClock);
+        assert_eq!(e.phase, "type_infer");
+    }
+
+    #[test]
+    fn without_fuel_keeps_timeout_only() {
+        let b = Budget::new(Some(Duration::from_millis(5)), Some(1));
+        let relaxed = b.without_fuel();
+        assert_eq!(relaxed.fuel_left(), None);
+        assert!(!relaxed.is_unlimited());
+        relaxed.enter_phase("type_infer");
+        relaxed.spend(100).unwrap();
+    }
+}

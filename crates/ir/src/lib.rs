@@ -28,6 +28,7 @@
 
 #![warn(missing_docs)]
 
+pub mod budget;
 pub mod builtins;
 pub mod cfg;
 pub mod dom;
@@ -38,6 +39,7 @@ pub mod ssa;
 pub mod ssa_out;
 pub mod verify;
 
+pub use budget::{Budget, BudgetError, BudgetKind};
 pub use builtins::Builtin;
 pub use cfg::{Block, FuncIr, IrProgram, VarInfo, VarTable};
 pub use ids::{BlockId, FuncId, VarId};

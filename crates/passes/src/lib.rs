@@ -30,7 +30,7 @@ pub use copy_prop::copy_propagate;
 pub use cse::eliminate_common_subexpressions;
 pub use dce::eliminate_dead_code;
 
-use matc_ir::IrProgram;
+use matc_ir::{Budget, BudgetError, IrProgram};
 
 /// Aggregate statistics from one [`optimize_program`] run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -66,9 +66,32 @@ impl OptStats {
 /// application, so a pass that corrupts the IR is caught immediately and
 /// named, rather than surfacing later as a planner or auditor failure.
 pub fn optimize_program(prog: &mut IrProgram) -> OptStats {
+    let budget = Budget::unlimited();
+    optimize_program_budgeted(prog, &budget).expect("unlimited budget cannot trip")
+}
+
+/// [`optimize_program`] under a [`Budget`]: each optimization round
+/// charges fuel proportional to the function's current instruction
+/// count, and the phase wall-clock deadline (armed under the phase name
+/// `"optimize"`) is observed between rounds.
+///
+/// # Errors
+///
+/// Returns the [`BudgetError`] that tripped. The program may have been
+/// partially rewritten when this happens, but every individual pass ran
+/// to completion, so the IR is always left in a valid (merely
+/// less-optimized) state; callers nevertheless restart from a fresh
+/// lowering on the conservative path to keep artifacts deterministic.
+pub fn optimize_program_budgeted(
+    prog: &mut IrProgram,
+    budget: &Budget,
+) -> Result<OptStats, BudgetError> {
+    budget.enter_phase("optimize");
     let mut stats = OptStats::default();
     for f in &mut prog.functions {
         for _ in 0..4 {
+            let cost: usize = f.blocks.iter().map(|b| b.instrs.len()).sum();
+            budget.spend(cost as u64 + 1)?;
             let mut round = 0;
             round += add(&mut stats.constants_folded, fold_constants(f));
             verify_after(f, "fold_constants");
@@ -85,7 +108,7 @@ pub fn optimize_program(prog: &mut IrProgram) -> OptStats {
             }
         }
     }
-    stats
+    Ok(stats)
 }
 
 fn add(slot: &mut usize, n: usize) -> usize {

@@ -27,7 +27,7 @@ use crate::shape::Shape;
 use matc_frontend::ast::{BinOp, UnOp};
 use matc_ir::ids::{FuncId, VarId};
 use matc_ir::instr::{Const, InstrKind, Op, Operand};
-use matc_ir::{Builtin, FuncIr, IrProgram};
+use matc_ir::{Budget, BudgetError, Builtin, FuncIr, IrProgram};
 use std::collections::HashMap;
 
 /// Everything inferred about one SSA variable.
@@ -195,8 +195,33 @@ pub struct TypeSummary {
 /// assert!(facts.shape.is_explicit(&types.ctx));
 /// ```
 pub fn infer_program(prog: &IrProgram) -> ProgramTypes {
+    let budget = Budget::unlimited();
+    infer_program_budgeted(prog, &budget).expect("unlimited budget cannot trip")
+}
+
+/// [`infer_program`] under a [`Budget`]: the interprocedural fixpoint
+/// charges one fuel unit per instruction transfer and observes the
+/// phase wall-clock deadline (armed here under the phase name
+/// `"type_infer"`).
+///
+/// # Errors
+///
+/// Returns the [`BudgetError`] that tripped; any partially inferred
+/// facts are discarded, so callers either fall back to a conservative
+/// lowering or fail the unit — they never observe half-inferred types.
+///
+/// # Panics
+///
+/// Panics if a function is not in SSA form.
+pub fn infer_program_budgeted(
+    prog: &IrProgram,
+    budget: &Budget,
+) -> Result<ProgramTypes, BudgetError> {
+    budget.enter_phase("type_infer");
     let mut eng = Engine {
         prog,
+        budget,
+        tripped: None,
         cx: ExprCtx::new(),
         summaries: (0..prog.functions.len())
             .map(|_| Summary::default())
@@ -213,7 +238,7 @@ pub fn infer_program(prog: &IrProgram) -> ProgramTypes {
         for round in 0..8 {
             eng.round_changed = false;
             eng.call(entry, args.clone());
-            if !eng.round_changed || round == 7 {
+            if !eng.round_changed || round == 7 || eng.tripped.is_some() {
                 break;
             }
         }
@@ -221,6 +246,9 @@ pub fn infer_program(prog: &IrProgram) -> ProgramTypes {
     // Also analyze never-called functions (dead code) so every function
     // has facts — with unknown arguments.
     for (i, f) in prog.functions.iter().enumerate() {
+        if eng.tripped.is_some() {
+            break;
+        }
         let fid = FuncId::new(i);
         if eng.summaries[i].types.is_none() {
             let args: Vec<VarFacts> = (0..f.params.len())
@@ -229,14 +257,17 @@ pub fn infer_program(prog: &IrProgram) -> ProgramTypes {
             eng.call(fid, args);
         }
     }
-    ProgramTypes {
+    if let Some(err) = eng.tripped {
+        return Err(err);
+    }
+    Ok(ProgramTypes {
         funcs: eng
             .summaries
             .into_iter()
             .map(|s| s.types.unwrap_or_default())
             .collect(),
         ctx: eng.cx,
-    }
+    })
 }
 
 #[derive(Default)]
@@ -251,6 +282,10 @@ struct Summary {
 
 struct Engine<'p> {
     prog: &'p IrProgram,
+    budget: &'p Budget,
+    /// First budget trip observed; once set, all fixpoint loops drain
+    /// without doing further work and the whole inference fails.
+    tripped: Option<BudgetError>,
     cx: ExprCtx,
     summaries: Vec<Summary>,
     in_progress: Vec<bool>,
@@ -258,11 +293,33 @@ struct Engine<'p> {
 }
 
 impl Engine<'_> {
+    /// Charges work against the budget; records the first trip and
+    /// reports `false` so iteration stops.
+    fn charge(&mut self, units: u64) -> bool {
+        if self.tripped.is_some() {
+            return false;
+        }
+        match self.budget.spend(units) {
+            Ok(()) => true,
+            Err(e) => {
+                self.tripped = Some(e);
+                false
+            }
+        }
+    }
+
     /// Records a call to `fid` with `args` facts; (re)analyzes if the
     /// argument join changed; returns the callee's return facts.
     fn call(&mut self, fid: FuncId, args: Vec<VarFacts>) -> Vec<VarFacts> {
         let func = self.prog.func(fid);
         let nouts = func.ssa_outs.len();
+        if self.tripped.is_some() {
+            // Budget already blown: answer with unknowns and unwind the
+            // in-flight fixpoint without further analysis work.
+            return (0..nouts)
+                .map(|_| VarFacts::unknown(&mut self.cx, "budget_tripped"))
+                .collect();
+        }
         // Pad missing arguments with unknowns.
         let mut args = args;
         while args.len() < func.params.len() {
@@ -338,10 +395,13 @@ impl Engine<'_> {
         }
 
         let rpo = func.reverse_postorder();
-        for _iter in 0..10 {
+        'fixpoint: for _iter in 0..10 {
             let mut changed = false;
             for &b in &rpo {
                 for instr in &func.block(b).instrs {
+                    if !self.charge(1) {
+                        break 'fixpoint;
+                    }
                     changed |= body.transfer(self, instr);
                 }
             }

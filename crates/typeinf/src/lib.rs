@@ -36,7 +36,9 @@ pub mod range;
 pub mod shape;
 
 pub use exprs::{ExprCtx, ExprId};
-pub use infer::{infer_program, FuncTypes, ProgramTypes, TypeSummary, VarFacts};
+pub use infer::{
+    infer_program, infer_program_budgeted, FuncTypes, ProgramTypes, TypeSummary, VarFacts,
+};
 pub use intrinsic::Intrinsic;
 pub use range::Range;
 pub use shape::Shape;

@@ -38,8 +38,10 @@ pub mod dispatch;
 pub mod interp;
 pub mod mcc;
 pub mod planned;
+pub mod resilient;
 
 pub use compile::{compile, compile_audited, compile_with, lower_for_mcc, Compiled};
 pub use interp::Interp;
 pub use mcc::{MccVm, MX_HEADER};
 pub use planned::PlannedVm;
+pub use resilient::{compile_resilient, ResilientError};

@@ -4,7 +4,7 @@
 
 default: check
 
-check: fmt clippy test audit-bench batch-bench
+check: fmt clippy test audit-bench batch-bench fault-bench
 
 fmt:
     cargo fmt --all -- --check
@@ -25,3 +25,22 @@ audit-bench:
 # reports the parallel + cache speedups. Fails on any mismatch.
 batch-bench:
     cargo run -q --release --bin matc -- batch --bench --selfcheck --jobs 8
+
+# The fault-tolerance gate (DESIGN.md §7): the 50-seed fault-injection
+# matrix (the forced-fallback differential property runs with the rest
+# of the proptests under `just test`), then two CLI smokes — the
+# benchsuite under 100% injected audit violations must
+# fully compile on the conservative plan (exit 3, not a failure), and
+# a persistently unwritable cache (simulated via write faults, the
+# portable stand-in for a read-only cache dir) must degrade to
+# memory-only caching without failing the batch (exit 0).
+fault-bench:
+    cargo test -q --test fault_injection
+    cargo run -q --release --bin matc -- batch --bench --jobs 4 \
+        --faults seed=0,read=0,write=0,panic=0,audit=100 > /dev/null; \
+        test $? -eq 3
+    d=$(mktemp -d); \
+        cargo run -q --release --bin matc -- batch --bench --jobs 4 \
+        --cache-dir "$d" \
+        --faults seed=0,read=0,write=100,panic=0,audit=0,transient=max \
+        > /dev/null && rm -rf "$d"

@@ -19,15 +19,16 @@
 use matc_codegen::emit_program_stats;
 use matc_frontend::parse_program;
 use matc_gctd::{
-    options_fingerprint, Artifact, ArtifactCache, BatchReport, CacheKey, CacheOutcome, GctdOptions,
-    Phase, ResizeKind, SlotKind, UnitMetrics,
+    isolate, lock_recover, options_fingerprint, Artifact, ArtifactCache, BatchReport, CacheKey,
+    CacheOutcome, FaultPlan, FaultSite, GctdOptions, Phase, ResizeKind, SlotKind, UnitMetrics,
 };
-use matc_ir::FuncId;
-use matc_vm::compile::compile_audited;
+use matc_ir::{Budget, FuncId};
+use matc_vm::compile_resilient;
 use matc_vm::Compiled;
 use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// One compilation unit: a named program made of one or more sources
 /// (driver first, helpers after — the [`parse_program`] convention).
@@ -56,6 +57,16 @@ pub struct BatchConfig {
     pub jobs: usize,
     /// GCTD options applied to every unit (part of the cache key).
     pub options: GctdOptions,
+    /// Stop handing out new units after the first failed one (the
+    /// default keep-going mode drains the whole queue regardless).
+    /// Units never started are reported as `skipped (fail-fast)`.
+    pub fail_fast: bool,
+    /// Per-phase wall-clock timeout in milliseconds (`--phase-timeout-ms`).
+    pub phase_timeout_ms: Option<u64>,
+    /// Fuel (abstract work-unit) allowance per unit compile (`--fuel`).
+    pub fuel: Option<u64>,
+    /// Seeded fault-injection plan (`--faults` / `MATC_FAULTS`).
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for BatchConfig {
@@ -63,6 +74,10 @@ impl Default for BatchConfig {
         BatchConfig {
             jobs: 1,
             options: GctdOptions::default(),
+            fail_fast: false,
+            phase_timeout_ms: None,
+            fuel: None,
+            faults: None,
         }
     }
 }
@@ -206,14 +221,39 @@ fn apply_meta(a: &Artifact, m: &mut UnitMetrics) {
 
 /// Compiles one unit, consulting (and filling) the cache when given.
 ///
-/// The whole pipeline runs inside this function, so it is the unit of
-/// parallelism for [`run_batch`] — and also the sequential reference
-/// the determinism tests compare against.
+/// Equivalent to [`compile_unit_with`] under a default configuration
+/// (no budget, no faults) — the sequential reference the determinism
+/// tests compare against.
 pub fn compile_unit(
     unit: &Unit,
     options: GctdOptions,
     cache: Option<&ArtifactCache>,
 ) -> UnitOutcome {
+    let config = BatchConfig {
+        options,
+        ..BatchConfig::default()
+    };
+    compile_unit_with(unit, &config, cache)
+}
+
+/// Compiles one unit under the full fault-tolerance machinery: the
+/// entire pipeline runs inside [`isolate`] (a panic anywhere — real or
+/// injected — becomes a structured unit error instead of poisoning the
+/// worker pool), phase budgets from `config` feed the degradation
+/// ladder of [`compile_resilient`], and fault probes cover parse and
+/// codegen entry.
+///
+/// Artifacts of units that degraded, tripped a budget, or failed are
+/// **never** written to the cache: the cache key covers sources and
+/// options only, so a degraded (all-heap fallback) artifact stored
+/// under it would be served as the clean GCTD artifact on the next run.
+pub fn compile_unit_with(
+    unit: &Unit,
+    config: &BatchConfig,
+    cache: Option<&ArtifactCache>,
+) -> UnitOutcome {
+    let options = config.options;
+    let faults = config.faults.unwrap_or(FaultPlan::quiet(0));
     let mut m = UnitMetrics::new(&unit.name);
     let key = cache.map(|_| {
         CacheKey::compute(
@@ -234,51 +274,65 @@ pub fn compile_unit(
         m.cache = CacheOutcome::Miss;
     }
 
-    let t = Instant::now();
-    let parsed = parse_program(unit.sources.iter().map(|s| s.as_str()));
-    m.record(Phase::Parse, t.elapsed());
-    let ast = match parsed {
-        Ok(a) => a,
-        Err(e) => {
-            m.error = Some(format!("parse error: {}", e.render(&unit.sources[0])));
-            return UnitOutcome {
-                name: unit.name.clone(),
-                artifact: None,
-                metrics: m,
-            };
+    let outcome = isolate(|| {
+        if faults.fires(FaultSite::PhasePanic, &format!("{}/parse", unit.name)) {
+            panic!("injected fault: panic at `{}/parse`", unit.name);
         }
-    };
+        let t = Instant::now();
+        let parsed = parse_program(unit.sources.iter().map(|s| s.as_str()));
+        m.record(Phase::Parse, t.elapsed());
+        let ast = match parsed {
+            Ok(a) => a,
+            Err(e) => {
+                m.error = Some(format!("parse error: {}", e.render(&unit.sources[0])));
+                return None;
+            }
+        };
 
-    let (compiled, diags) = match compile_audited(&ast, options, Some(&mut m)) {
-        Ok(x) => x,
-        Err(e) => {
-            m.error = Some(e.to_string());
-            return UnitOutcome {
-                name: unit.name.clone(),
-                artifact: None,
-                metrics: m,
-            };
+        let budget = Budget::new(
+            config.phase_timeout_ms.map(Duration::from_millis),
+            config.fuel,
+        );
+        let (compiled, diags) = match compile_resilient(&ast, options, &budget, faults, &mut m) {
+            Ok(x) => x,
+            Err(e) => {
+                m.error = Some(e.to_string());
+                return None;
+            }
+        };
+
+        if faults.fires(FaultSite::PhasePanic, &format!("{}/codegen", unit.name)) {
+            panic!("injected fault: panic at `{}/codegen`", unit.name);
         }
-    };
+        let t = Instant::now();
+        let (c_code, cstats) = emit_program_stats(&compiled);
+        m.record(Phase::Codegen, t.elapsed());
+        m.c_bytes = cstats.bytes;
+        m.c_lines = cstats.lines;
 
-    let t = Instant::now();
-    let (c_code, cstats) = emit_program_stats(&compiled);
-    m.record(Phase::Codegen, t.elapsed());
-    m.c_bytes = cstats.bytes;
-    m.c_lines = cstats.lines;
-
-    let artifact = Arc::new(Artifact {
-        c_code,
-        plan_text: render_plan(&compiled),
-        audit_json: diags.to_json(),
-        meta: meta_from_metrics(&m),
+        Some(Arc::new(Artifact {
+            c_code,
+            plan_text: render_plan(&compiled),
+            audit_json: diags.to_json(),
+            meta: meta_from_metrics(&m),
+        }))
     });
-    if let (Some(c), Some(k)) = (cache, key.as_ref()) {
-        c.put(k, Arc::clone(&artifact));
+    let artifact = match outcome {
+        Ok(a) => a,
+        Err(panic_msg) => {
+            m.error = Some(format!("panic: {panic_msg}"));
+            None
+        }
+    };
+
+    // Only pristine artifacts are cacheable (see the doc above).
+    let pristine = m.error.is_none() && m.degradations.is_empty() && m.budget_exceeded.is_empty();
+    if let (Some(c), Some(k), Some(a), true) = (cache, key.as_ref(), artifact.as_ref(), pristine) {
+        c.put(k, Arc::clone(a));
     }
     UnitOutcome {
         name: unit.name.clone(),
-        artifact: Some(artifact),
+        artifact,
         metrics: m,
     }
 }
@@ -299,37 +353,60 @@ pub fn run_batch(
 ) -> BatchResult {
     let start = Instant::now();
     let jobs = config.jobs.max(1).min(units.len().max(1));
-    let options = config.options;
 
     let queues: Vec<Mutex<VecDeque<usize>>> =
         (0..jobs).map(|_| Mutex::new(VecDeque::new())).collect();
     for i in 0..units.len() {
-        queues[i % jobs].lock().unwrap().push_back(i);
+        lock_recover(&queues[i % jobs]).push_back(i);
     }
     let slots: Vec<Mutex<Option<UnitOutcome>>> = units.iter().map(|_| Mutex::new(None)).collect();
+    let stop = AtomicBool::new(false);
 
     std::thread::scope(|s| {
         for w in 0..jobs {
             let queues = &queues;
             let slots = &slots;
+            let stop = &stop;
             s.spawn(move || loop {
+                if stop.load(Ordering::Relaxed) {
+                    break; // fail-fast: leave remaining units queued
+                }
                 // Bind the own-queue pop first so its guard drops before
                 // stealing: holding it while locking neighbours lets two
                 // idle workers steal from each other and deadlock.
-                let own = queues[w].lock().unwrap().pop_front();
+                let own = lock_recover(&queues[w]).pop_front();
                 let next = own.or_else(|| {
-                    (1..jobs).find_map(|d| queues[(w + d) % jobs].lock().unwrap().pop_back())
+                    (1..jobs).find_map(|d| lock_recover(&queues[(w + d) % jobs]).pop_back())
                 });
                 let Some(i) = next else { break };
-                let outcome = compile_unit(&units[i], options, cache);
-                *slots[i].lock().unwrap() = Some(outcome);
+                let outcome = compile_unit_with(&units[i], config, cache);
+                if config.fail_fast && !outcome.metrics.ok() {
+                    stop.store(true, Ordering::Relaxed);
+                }
+                *lock_recover(&slots[i]) = Some(outcome);
             });
         }
     });
 
     let outcomes: Vec<UnitOutcome> = slots
         .into_iter()
-        .map(|s| s.into_inner().unwrap().expect("every unit completes"))
+        .enumerate()
+        .map(|(i, s)| {
+            let done = s
+                .into_inner()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            done.unwrap_or_else(|| {
+                // Only reachable in fail-fast mode: the unit was never
+                // handed to a worker before the stop flag went up.
+                let mut m = UnitMetrics::new(&units[i].name);
+                m.error = Some("skipped (fail-fast)".to_string());
+                UnitOutcome {
+                    name: units[i].name.clone(),
+                    artifact: None,
+                    metrics: m,
+                }
+            })
+        })
         .collect();
     let report = BatchReport {
         jobs,
@@ -376,8 +453,16 @@ pub fn artifact_bytes(result: &BatchResult) -> Vec<Option<Vec<u8>>> {
 /// Returns a description of the first mismatch.
 pub fn selfcheck(units: &[Unit], jobs: usize, options: GctdOptions) -> Result<String, String> {
     use std::fmt::Write as _;
-    let seq_cfg = BatchConfig { jobs: 1, options };
-    let par_cfg = BatchConfig { jobs, options };
+    let seq_cfg = BatchConfig {
+        jobs: 1,
+        options,
+        ..BatchConfig::default()
+    };
+    let par_cfg = BatchConfig {
+        jobs,
+        options,
+        ..BatchConfig::default()
+    };
 
     let seq = run_batch(units, &seq_cfg, None);
     let par = run_batch(units, &par_cfg, None);
@@ -549,6 +634,135 @@ mod tests {
             assert_eq!(c.metrics.plan, w.metrics.plan);
             assert_eq!(c.metrics.c_bytes, w.metrics.c_bytes);
         }
+    }
+
+    #[test]
+    fn pool_survives_panicking_units_and_reports_them() {
+        // Regression for pool poisoning: before unit-level isolation,
+        // one panicking unit unwound through a worker while it held no
+        // lock but left its queue mutex poisoned for the next
+        // `lock().unwrap()`, cascading the panic into every worker.
+        // With a 100% panic rate, *every* unit panics (at the parse
+        // probe) — far past the two-unit regression threshold — and
+        // the pool must still drain the queue and report each one.
+        let units = tiny_units(6);
+        let cfg = BatchConfig {
+            jobs: 3,
+            faults: Some(FaultPlan::quiet(1).panics(100)),
+            ..BatchConfig::default()
+        };
+        let res = run_batch(&units, &cfg, None);
+        assert_eq!(res.outcomes.len(), 6);
+        assert_eq!(res.failed(), 6);
+        for o in &res.outcomes {
+            let err = o.metrics.error.as_deref().unwrap();
+            assert!(err.starts_with("panic: injected fault"), "{err}");
+            assert!(o.artifact.is_none());
+        }
+    }
+
+    #[test]
+    fn mixed_panic_rate_fails_some_units_and_compiles_the_rest() {
+        let units = tiny_units(8);
+        // Find a seed where the 40% rate panics some units' pipelines
+        // but not others (decisions are keyed per unit/phase, so the
+        // fault set is schedule-independent and known up front).
+        let unit_fails = |p: &FaultPlan, name: &str| {
+            ["parse", "optimize", "type_infer", "codegen"]
+                .iter()
+                .any(|ph| p.fires(FaultSite::PhasePanic, &format!("{name}/{ph}")))
+        };
+        let seed = (0..10_000u64)
+            .find(|s| {
+                let p = FaultPlan::quiet(*s).panics(40);
+                let fails = units.iter().filter(|u| unit_fails(&p, &u.name)).count();
+                (2..=6).contains(&fails)
+            })
+            .expect("a mixed-fate seed exists");
+        let plan = FaultPlan::quiet(seed).panics(40);
+        let cfg = BatchConfig {
+            jobs: 4,
+            faults: Some(plan),
+            ..BatchConfig::default()
+        };
+        let res = run_batch(&units, &cfg, None);
+        for (u, o) in units.iter().zip(&res.outcomes) {
+            if unit_fails(&plan, &u.name) {
+                assert!(o.metrics.error.is_some(), "unit `{}` must fail", u.name);
+            } else {
+                // The unit may still have *degraded* (plan-probe panic)
+                // but it must produce an artifact.
+                assert!(o.artifact.is_some(), "unit `{}` must compile", u.name);
+            }
+        }
+    }
+
+    #[test]
+    fn fail_fast_skips_units_after_the_first_failure() {
+        let mut units = vec![Unit::new(
+            "bad",
+            vec!["function f()\nx = \"oops\";\n".to_string()],
+        )];
+        units.extend(tiny_units(3));
+        let cfg = BatchConfig {
+            jobs: 1,
+            fail_fast: true,
+            ..BatchConfig::default()
+        };
+        let res = run_batch(&units, &cfg, None);
+        assert_eq!(res.outcomes.len(), 4);
+        assert!(res.outcomes[0]
+            .metrics
+            .error
+            .as_deref()
+            .unwrap()
+            .starts_with("parse error"));
+        for o in &res.outcomes[1..] {
+            assert_eq!(o.metrics.error.as_deref(), Some("skipped (fail-fast)"));
+        }
+        // Keep-going mode compiles the healthy units instead.
+        let keep = run_batch(&units, &BatchConfig::default(), None);
+        assert_eq!(keep.failed(), 1);
+    }
+
+    #[test]
+    fn degraded_artifacts_are_never_cached() {
+        let units = tiny_units(2);
+        let cache = ArtifactCache::in_memory();
+        // 100% audit-violation rate: every unit degrades to the
+        // all-heap fallback. Nothing may reach the cache.
+        let faulty_cfg = BatchConfig {
+            jobs: 2,
+            faults: Some(FaultPlan::quiet(3).audit_violations(100)),
+            ..BatchConfig::default()
+        };
+        let degraded = run_batch(&units, &faulty_cfg, Some(&cache));
+        assert_eq!(degraded.failed(), 0, "degraded units still compile");
+        for o in &degraded.outcomes {
+            assert!(!o.metrics.degradations.is_empty());
+            assert!(o.artifact.is_some());
+        }
+        // A clean run over the same cache must miss (nothing was
+        // stored) and produce the full-GCTD artifact, not the fallback.
+        let clean_cfg = BatchConfig {
+            jobs: 2,
+            ..BatchConfig::default()
+        };
+        let clean = run_batch(&units, &clean_cfg, Some(&cache));
+        assert_eq!(
+            clean.report.cache_hits, 0,
+            "degraded artifacts were not cached"
+        );
+        for (d, c) in degraded.outcomes.iter().zip(&clean.outcomes) {
+            assert_ne!(
+                d.artifact.as_ref().unwrap().plan_text,
+                c.artifact.as_ref().unwrap().plan_text,
+                "fallback plan differs from the GCTD plan"
+            );
+        }
+        // And the clean artifacts do get cached.
+        let warm = run_batch(&units, &clean_cfg, Some(&cache));
+        assert_eq!(warm.report.cache_hits, 2);
     }
 
     #[test]

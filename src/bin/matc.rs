@@ -23,14 +23,14 @@ use matc::analysis::{audit_program, lint_program, Diagnostics};
 use matc::batch::{bench_units, run_batch, selfcheck, BatchConfig, Unit};
 use matc::frontend::parse_program;
 use matc::gctd::plan_program;
-use matc::gctd::{ArtifactCache, GctdOptions, ResizeKind, SlotKind};
+use matc::gctd::{ArtifactCache, FaultPlan, GctdOptions, ResizeKind, SlotKind};
 use matc::vm::compile::{compile, lower_for_mcc};
 use matc::vm::{Interp, MccVm, PlannedVm};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: matc <run|emit-c|plan|stats|audit> [--no-gctd] [--seed N] [--mcc|--interp] [--json] file.m [more.m ...]\n       matc audit-bench     audit every benchsuite program's plan\n       matc runtime <dir>   write the mrt C support runtime (mrt.h, mrt.c)\n       matc batch [--jobs N] [--cache-dir DIR] [--stats FILE] [--emit-dir DIR]\n                  [--no-gctd] [--repeat N] [--bench] [--selfcheck]\n                  [driver.m[,helper.m...] ...]\n                            compile many programs in parallel with caching;\n                            --selfcheck proves parallel/sequential/cached runs\n                            byte-identical and reports the speedup"
+        "usage: matc <run|emit-c|plan|stats|audit> [--no-gctd] [--seed N] [--mcc|--interp] [--json] file.m [more.m ...]\n       matc audit-bench     audit every benchsuite program's plan\n       matc runtime <dir>   write the mrt C support runtime (mrt.h, mrt.c)\n       matc batch [--jobs N] [--cache-dir DIR] [--stats FILE] [--emit-dir DIR]\n                  [--no-gctd] [--repeat N] [--bench] [--selfcheck]\n                  [--keep-going|--fail-fast] [--phase-timeout-ms N] [--fuel N]\n                  [--faults SPEC] [driver.m[,helper.m...] ...]\n                            compile many programs in parallel with caching;\n                            --selfcheck proves parallel/sequential/cached runs\n                            byte-identical and reports the speedup;\n                            --faults takes a seeded fault-injection spec\n                            (also read from MATC_FAULTS), e.g.\n                            seed=7,read=10,write=30,panic=0,audit=100,transient=2\n       batch exit codes: 0 all units clean, 1 unit(s) failed, 2 usage,\n                         3 all compiled but some degraded to the\n                         conservative plan"
     );
     ExitCode::from(2)
 }
@@ -45,6 +45,10 @@ fn batch_cli(args: &[String]) -> ExitCode {
     let mut bench = false;
     let mut no_gctd = false;
     let mut do_selfcheck = false;
+    let mut fail_fast = false;
+    let mut phase_timeout_ms: Option<u64> = None;
+    let mut fuel: Option<u64> = None;
+    let mut faults_spec: Option<String> = None;
     let mut repeat = 1usize;
     let mut specs: Vec<String> = Vec::new();
     let mut it = args.iter();
@@ -70,12 +74,47 @@ fn batch_cli(args: &[String]) -> ExitCode {
                 Some(d) => emit_dir = Some(d.clone()),
                 None => return usage(),
             },
+            "--phase-timeout-ms" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n >= 1 => phase_timeout_ms = Some(n),
+                _ => return usage(),
+            },
+            "--fuel" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n >= 1 => fuel = Some(n),
+                _ => return usage(),
+            },
+            "--faults" => match it.next() {
+                Some(s) => faults_spec = Some(s.clone()),
+                None => return usage(),
+            },
             "--bench" => bench = true,
             "--no-gctd" => no_gctd = true,
             "--selfcheck" => do_selfcheck = true,
+            "--fail-fast" => fail_fast = true,
+            "--keep-going" => fail_fast = false,
             s if s.starts_with("--") => return usage(),
             s => specs.push(s.to_string()),
         }
+    }
+
+    // The CLI flag wins over the MATC_FAULTS environment variable.
+    let faults = match faults_spec {
+        Some(spec) => match FaultPlan::parse(&spec) {
+            Ok(p) => Some(p),
+            Err(e) => {
+                eprintln!("matc: bad --faults spec: {e}");
+                return usage();
+            }
+        },
+        None => match FaultPlan::from_env() {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("matc: bad {} value: {e}", matc::gctd::FAULTS_ENV);
+                return usage();
+            }
+        },
+    };
+    if let Some(p) = &faults {
+        eprintln!("matc: fault injection active: {p}");
     }
 
     let mut units: Vec<Unit> = Vec::new();
@@ -138,7 +177,10 @@ fn batch_cli(args: &[String]) -> ExitCode {
 
     let cache = match &cache_dir {
         Some(d) => match ArtifactCache::at_dir(d) {
-            Ok(c) => Some(c),
+            Ok(c) => Some(match faults {
+                Some(p) => c.with_faults(p),
+                None => c,
+            }),
             Err(e) => {
                 eprintln!("matc: cannot open cache dir {d}: {e}");
                 return ExitCode::FAILURE;
@@ -147,14 +189,29 @@ fn batch_cli(args: &[String]) -> ExitCode {
         None => None,
     };
 
-    let config = BatchConfig { jobs, options };
+    let config = BatchConfig {
+        jobs,
+        options,
+        fail_fast,
+        phase_timeout_ms,
+        fuel,
+        faults,
+    };
     let mut last = None;
+    let mut cache_warned = false;
     for round in 0..repeat {
         let res = run_batch(&units, &config, cache.as_ref());
         if repeat > 1 {
             println!("— round {} —", round + 1);
         }
         print!("{}", res.report.render_table());
+        // The disk layer degrades at most once per process; warn once.
+        if !cache_warned {
+            if let Some(w) = cache.as_ref().and_then(|c| c.degradation_warning()) {
+                eprintln!("matc: warning: {w}");
+                cache_warned = true;
+            }
+        }
         last = Some(res);
     }
     let last = last.expect("repeat >= 1");
@@ -182,6 +239,10 @@ fn batch_cli(args: &[String]) -> ExitCode {
     }
     if last.failed() > 0 {
         ExitCode::FAILURE
+    } else if last.report.degraded() > 0 {
+        // Everything compiled, but some units fell back to the
+        // conservative plan — distinguishable from full success.
+        ExitCode::from(3)
     } else {
         ExitCode::SUCCESS
     }

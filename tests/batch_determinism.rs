@@ -56,12 +56,28 @@ fn option_matrix() -> Vec<GctdOptions> {
 fn parallel_runs_are_byte_identical_to_sequential_and_per_unit() {
     let units = bench_units(Preset::Test);
     let options = GctdOptions::default();
-    let seq = run_batch(&units, &BatchConfig { jobs: 1, options }, None);
+    let seq = run_batch(
+        &units,
+        &BatchConfig {
+            jobs: 1,
+            options,
+            ..BatchConfig::default()
+        },
+        None,
+    );
     let seq_bytes = artifact_bytes(&seq);
     assert_eq!(seq.failed(), 0);
 
     for jobs in [2, 3, 8, 16] {
-        let par = run_batch(&units, &BatchConfig { jobs, options }, None);
+        let par = run_batch(
+            &units,
+            &BatchConfig {
+                jobs,
+                options,
+                ..BatchConfig::default()
+            },
+            None,
+        );
         assert_eq!(
             artifact_bytes(&par),
             seq_bytes,
@@ -96,6 +112,7 @@ fn warm_cache_reproduces_cold_bytes_and_hits_every_unit() {
     let cfg = BatchConfig {
         jobs: 8,
         options: GctdOptions::default(),
+        ..BatchConfig::default()
     };
     let cache = ArtifactCache::in_memory();
     let cold = run_batch(&units, &cfg, Some(&cache));
@@ -117,6 +134,8 @@ fn disk_cache_round_trips_across_instances() {
     let cfg = BatchConfig {
         jobs: 4,
         options: GctdOptions::default(),
+
+        ..BatchConfig::default()
     };
     let cold_bytes = {
         let cache = ArtifactCache::at_dir(&dir).unwrap();
@@ -144,7 +163,11 @@ fn option_sets_never_alias_cache_entries() {
     let cache = ArtifactCache::in_memory();
     let mut bytes_per_set = Vec::new();
     for options in option_matrix() {
-        let cfg = BatchConfig { jobs: 4, options };
+        let cfg = BatchConfig {
+            jobs: 4,
+            options,
+            ..BatchConfig::default()
+        };
         let cold = run_batch(&units, &cfg, Some(&cache));
         assert_eq!(
             cold.report.cache_misses as usize,
@@ -165,7 +188,11 @@ fn option_sets_never_alias_cache_entries() {
 fn source_changes_invalidate_the_cache() {
     let cache = ArtifactCache::in_memory();
     let options = GctdOptions::default();
-    let cfg = BatchConfig { jobs: 1, options };
+    let cfg = BatchConfig {
+        jobs: 1,
+        options,
+        ..BatchConfig::default()
+    };
     let a = Unit::new(
         "a",
         vec!["function f()\nfprintf('%d\\n', 1 + 1);\n".to_string()],
@@ -188,6 +215,8 @@ fn failed_units_are_never_cached() {
     let cfg = BatchConfig {
         jobs: 1,
         options: GctdOptions::default(),
+
+        ..BatchConfig::default()
     };
     let bad = Unit::new(
         "bad",

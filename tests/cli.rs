@@ -148,11 +148,19 @@ fn batch_compiles_units_with_cache_and_matches_emit_c() {
     let emitted = std::fs::read(dir.join("out/batch_a.c")).unwrap();
     assert_eq!(emitted, direct.stdout);
 
-    // The stats document has the advertised shape.
+    // The stats document has the advertised shape. The schema-v2
+    // prefix and the always-present per-unit fault-tolerance arrays
+    // are a stability contract (DESIGN.md §6/§7): downstream tooling
+    // keys on them, so this assert must only ever change together with
+    // a schema-version bump.
     let stats = std::fs::read_to_string(dir.join("stats.json")).unwrap();
+    assert!(stats.starts_with("{\"schema\":2,"), "{stats}");
     assert!(stats.contains("\"jobs\":2"), "{stats}");
     assert!(stats.contains("\"phase_totals_micros\""), "{stats}");
     assert!(stats.contains("\"unit\":\"batch_a\""), "{stats}");
+    assert!(stats.contains("\"status\":\"ok\""), "{stats}");
+    assert!(stats.contains("\"degradations\":[]"), "{stats}");
+    assert!(stats.contains("\"budget_exceeded\":[]"), "{stats}");
 
     // A second process over the same cache dir hits every unit and
     // emits identical bytes.
@@ -196,6 +204,66 @@ fn batch_selfcheck_passes_and_failures_exit_nonzero() {
     let out = matc().args(["batch"]).arg(&bad).output().unwrap();
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stdout).contains("1 failed"));
+}
+
+#[test]
+fn batch_faults_flag_degrades_units_and_exits_three() {
+    let dir = std::env::temp_dir().join("matc-cli-faults");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let p = write_temp(
+        "faulty.m",
+        "function f\na = rand(3, 3);\nb = a * a;\nfprintf('%.6f\\n', sum(sum(b)));\n",
+    );
+
+    // 100% synthetic audit violations: every unit compiles, but only
+    // after falling back to the conservative plan — exit code 3.
+    let out = matc()
+        .args([
+            "batch",
+            "--faults",
+            "seed=1,read=0,write=0,panic=0,audit=100",
+        ])
+        .args(["--stats"])
+        .arg(dir.join("stats.json"))
+        .arg(&p)
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(3),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let table = String::from_utf8_lossy(&out.stdout);
+    assert!(table.contains("degraded"), "{table}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("fault injection active"), "{err}");
+    let stats = std::fs::read_to_string(dir.join("stats.json")).unwrap();
+    assert!(stats.contains("\"status\":\"degraded\""), "{stats}");
+    assert!(stats.contains("\"stage\":"), "{stats}");
+
+    // Injected unit panics become structured failures: exit code 1.
+    let out = matc()
+        .args([
+            "batch",
+            "--faults",
+            "seed=1,read=0,write=0,panic=100,audit=0",
+        ])
+        .arg(&p)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("injected fault"));
+
+    // A malformed spec is a usage error.
+    let out = matc()
+        .args(["batch", "--faults", "seed=1,bogus=9"])
+        .arg(&p)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("bad --faults spec"));
 }
 
 #[test]

@@ -1,0 +1,191 @@
+//! The seeded fault-injection matrix of DESIGN.md §7.
+//!
+//! Fifty seed-derived [`matc::gctd::FaultPlan`]s (covering quiet,
+//! single-site and multi-site configurations — see
+//! `FaultPlan::from_seed`) are driven through the parallel batch
+//! pipeline with a disk cache. For every seed, every ladder rung must
+//! land in exactly one of three lawful states:
+//!
+//! * **pristine** — no degradation, no budget event: the artifact is
+//!   byte-identical to the fault-free reference;
+//! * **degraded** — the unit still compiled, its emitted plan passed
+//!   the audit (zero audit errors), and the degradation is recorded in
+//!   the metrics and visible in the stats JSON;
+//! * **failed** — a structured error message, no artifact.
+//!
+//! Never a hang (the test itself would time out), and never a wrong
+//! artifact cached: after each faulty run, a *clean* pass over the same
+//! cache directory must reproduce the fault-free reference bytes for
+//! every unit.
+
+use matc::batch::{artifact_bytes, run_batch, BatchConfig, Unit};
+use matc::gctd::{ArtifactCache, FaultPlan};
+use std::path::PathBuf;
+
+/// Small two-function units: cheap enough for a 50×2-run matrix in
+/// debug builds, but with a helper function so the per-function plan
+/// and audit probes have more than one key to fire on.
+fn matrix_units() -> Vec<Unit> {
+    (0..6)
+        .map(|i| {
+            let driver = format!(
+                "function f()\na = rand(3, 3);\nb = g(a);\ns = 0;\nfor i = 1:{}\ns = s + i;\nend\nb(4, 4) = s;\nfprintf('%.6f\\n', sum(sum(b)));\n",
+                5 + i
+            );
+            let helper = "function y = g(x)\ny = x' * x;\ny = y + 1;\n".to_string();
+            Unit::new(format!("fi{i}"), vec![driver, helper])
+        })
+        .collect()
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("matc-fault-matrix-{tag}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn fifty_seed_matrix_degrades_or_fails_but_never_lies() {
+    let units = matrix_units();
+    let reference = artifact_bytes(&run_batch(&units, &BatchConfig::default(), None));
+    assert!(reference.iter().all(|b| b.is_some()), "units are healthy");
+
+    for seed in 0..50u64 {
+        let plan = FaultPlan::from_seed(seed);
+        let dir = scratch_dir(&seed.to_string());
+        let cache = ArtifactCache::at_dir(&dir).unwrap().with_faults(plan);
+        let cfg = BatchConfig {
+            jobs: 3,
+            faults: Some(plan),
+            ..BatchConfig::default()
+        };
+        let res = run_batch(&units, &cfg, Some(&cache));
+        assert_eq!(
+            res.outcomes.len(),
+            units.len(),
+            "seed {seed}: queue drained"
+        );
+
+        for (i, o) in res.outcomes.iter().enumerate() {
+            let m = &o.metrics;
+            if let Some(err) = &m.error {
+                // Failed: structured message, no artifact.
+                assert!(o.artifact.is_none(), "seed {seed}/{}: {err}", o.name);
+                assert!(!err.is_empty());
+                continue;
+            }
+            let a = o
+                .artifact
+                .as_ref()
+                .unwrap_or_else(|| panic!("seed {seed}/{}: ok unit lacks artifact", o.name));
+            // Degraded or pristine, the emitted plan is always audited.
+            assert_eq!(
+                a.audit_errors(),
+                0,
+                "seed {seed}/{}: emitted plan failed its audit\n{}",
+                o.name,
+                a.audit_json
+            );
+            if m.degradations.is_empty() && m.budget_exceeded.is_empty() {
+                assert_eq!(
+                    Some(a.to_bytes()),
+                    reference[i],
+                    "seed {seed}/{}: unfaulted unit drifted from the reference",
+                    o.name
+                );
+            } else {
+                // Degradations must be visible in the stats document.
+                let j = m.to_json();
+                assert!(
+                    j.contains("\"status\":\"degraded\"") || !m.budget_exceeded.is_empty(),
+                    "seed {seed}/{}: degradation invisible in JSON: {j}",
+                    o.name
+                );
+            }
+        }
+        let report_json = res.report.to_json();
+        assert!(
+            report_json.starts_with("{\"schema\":2,"),
+            "seed {seed}: stats schema drifted"
+        );
+
+        // A clean pass over the same cache directory must serve only
+        // byte-correct artifacts: anything degraded, torn or failed in
+        // the faulty run must have stayed out of the cache.
+        let clean_cache = ArtifactCache::at_dir(&dir).unwrap();
+        let clean = run_batch(&units, &BatchConfig::default(), Some(&clean_cache));
+        assert_eq!(
+            artifact_bytes(&clean),
+            reference,
+            "seed {seed}: the cache served a wrong artifact after the faulty run"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn fuel_starvation_degrades_or_fails_but_never_miscompiles() {
+    let units = matrix_units();
+    let reference = artifact_bytes(&run_batch(&units, &BatchConfig::default(), None));
+
+    for fuel in [1u64, 10, 100, 1_000, 100_000] {
+        let cfg = BatchConfig {
+            jobs: 2,
+            fuel: Some(fuel),
+            ..BatchConfig::default()
+        };
+        let res = run_batch(&units, &cfg, None);
+        for (i, o) in res.outcomes.iter().enumerate() {
+            let m = &o.metrics;
+            if !m.ok() {
+                assert!(
+                    o.artifact.is_none(),
+                    "fuel {fuel}/{}: failed with artifact",
+                    o.name
+                );
+                continue;
+            }
+            let a = o.artifact.as_ref().expect("ok unit has artifact");
+            assert_eq!(
+                a.audit_errors(),
+                0,
+                "fuel {fuel}/{}: unaudited plan",
+                o.name
+            );
+            if m.budget_exceeded.is_empty() {
+                assert!(
+                    m.degradations.is_empty(),
+                    "fuel {fuel}/{}: degraded without a budget event",
+                    o.name
+                );
+                assert_eq!(
+                    Some(a.to_bytes()),
+                    reference[i],
+                    "fuel {fuel}/{}: untripped unit drifted from the reference",
+                    o.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn generous_wall_clock_budget_leaves_the_pipeline_pristine() {
+    // A timeout far above any phase's real cost must never fire: the
+    // budgeted pipeline with headroom is byte-identical to the
+    // unbudgeted one.
+    let units = matrix_units();
+    let reference = artifact_bytes(&run_batch(&units, &BatchConfig::default(), None));
+    let cfg = BatchConfig {
+        jobs: 2,
+        phase_timeout_ms: Some(120_000),
+        ..BatchConfig::default()
+    };
+    let res = run_batch(&units, &cfg, None);
+    for o in &res.outcomes {
+        assert!(o.metrics.ok());
+        assert!(o.metrics.degradations.is_empty());
+        assert!(o.metrics.budget_exceeded.is_empty());
+    }
+    assert_eq!(artifact_bytes(&res), reference);
+}

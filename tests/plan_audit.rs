@@ -247,7 +247,11 @@ fn cached_plans_audit_clean_under_every_ablation() {
         },
     ];
     for options in option_sets {
-        let cfg = BatchConfig { jobs: 4, options };
+        let cfg = BatchConfig {
+            jobs: 4,
+            options,
+            ..BatchConfig::default()
+        };
         let cold = run_batch(&units, &cfg, Some(&cache));
         assert_eq!(
             cold.report.cache_misses as usize,

@@ -285,6 +285,76 @@ fn check_batch_cached(src: &str) {
     );
 }
 
+/// The degradation ladder's correctness claim, checked behaviorally:
+/// a program forced down to the mcc-style all-heap fallback — by a
+/// synthetic audit violation on every function, and separately by fuel
+/// starvation — must produce *exactly* the reference interpreter's
+/// output. The fallback is only an acceptable landing spot because it
+/// is behaviorally identical to the coalesced GCTD plan.
+fn check_forced_fallback(src: &str) {
+    use matc::frontend::parse_program;
+    use matc::gctd::{FaultPlan, GctdOptions, UnitMetrics};
+    use matc::ir::Budget;
+    use matc::vm::{compile_resilient, Interp, PlannedVm};
+
+    let ast = parse_program([src]).unwrap();
+    let want = Interp::new(&ast).run().unwrap();
+
+    // Rung: injected audit violation on every function → per-function
+    // re-lower to the all-heap plan.
+    let mut m = UnitMetrics::new("fallback");
+    let faults = FaultPlan::quiet(11).audit_violations(100);
+    let (compiled, diags) = compile_resilient(
+        &ast,
+        GctdOptions::default(),
+        &Budget::unlimited(),
+        faults,
+        &mut m,
+    )
+    .unwrap_or_else(|e| panic!("forced fallback failed: {e}\n{src}"));
+    assert!(
+        !m.degradations.is_empty(),
+        "no degradation recorded on:\n{src}"
+    );
+    assert_eq!(
+        diags.error_count(),
+        0,
+        "fallback plan fails its audit on:\n{src}\n{}",
+        diags.render()
+    );
+    let mut vm = PlannedVm::new(&compiled);
+    let got = vm
+        .run()
+        .unwrap_or_else(|e| panic!("fallback vm: {e}\n{src}"));
+    assert_eq!(got, want, "mcc-fallback output diverged on:\n{src}");
+    assert_eq!(vm.plan_violations, 0, "fallback plan violations on:\n{src}");
+
+    // Rung: fuel starvation → unit-level conservative re-lower.
+    let mut m2 = UnitMetrics::new("starved");
+    let budget = Budget::new(None, Some(1));
+    let (starved, d2) = compile_resilient(
+        &ast,
+        GctdOptions::default(),
+        &budget,
+        FaultPlan::quiet(0),
+        &mut m2,
+    )
+    .unwrap_or_else(|e| panic!("fuel-starved compile failed: {e}\n{src}"));
+    assert!(
+        !m2.budget_exceeded.is_empty(),
+        "fuel never tripped on:\n{src}"
+    );
+    assert_eq!(
+        d2.error_count(),
+        0,
+        "starved plan fails its audit on:\n{src}"
+    );
+    let got2 = PlannedVm::new(&starved)
+        .run()
+        .unwrap_or_else(|e| panic!("starved vm: {e}\n{src}"));
+    assert_eq!(got2, want, "fuel-starved output diverged on:\n{src}");
+}
+
 proptest! {
     #![proptest_config(ProptestConfig {
         cases: 48,
@@ -298,6 +368,7 @@ proptest! {
         let src = render(&stmts);
         check_program(&src);
         check_batch_cached(&src);
+        check_forced_fallback(&src);
     }
 }
 
