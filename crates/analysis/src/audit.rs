@@ -75,7 +75,11 @@ pub fn audit_function(
     diags: &mut Diagnostics,
 ) {
     assert!(func.in_ssa, "plan audits run on SSA form");
-    let flow = AuditFlow::compute(func);
+    // Predecessor lists are shared by every analysis the audit runs
+    // (the audit dataflow and the A401 re-run of the production
+    // engine) — computed once per function.
+    let preds = func.predecessors();
+    let flow = AuditFlow::compute_with_preds(func, &preds);
     let sizes = AuditSizes::compute(func, fid, types);
 
     check_structure(func, plan, diags);
@@ -87,7 +91,7 @@ pub fn audit_function(
     }
     check_resize_annotations(func, fid, &flow, types, &sizes, plan, diags);
     if options.coalesce && options.interference.phi_coalescing {
-        check_phi_coalescing(func, fid, types, options, plan, diags);
+        check_phi_coalescing(func, fid, types, options, plan, &preds, diags);
     }
 }
 
@@ -709,13 +713,14 @@ fn check_phi_coalescing(
     types: &mut ProgramTypes,
     options: GctdOptions,
     plan: &StoragePlan,
+    preds: &[Vec<matc_ir::BlockId>],
     diags: &mut Diagnostics,
 ) {
     // This check deliberately consults the production interference graph:
     // the question is not "is the plan unsound" but "did the planner
     // leave an SSA-inversion copy on the table without recording a
     // conflict that justifies it".
-    let flow = Dataflow::compute(func);
+    let flow = Dataflow::compute_with_preds(func, preds);
     let graph = {
         let ftypes = &types.funcs[fid.index()];
         InterferenceGraph::build(func, &flow, ftypes, types, options.interference)

@@ -52,9 +52,15 @@ pub struct AuditFlow {
 impl AuditFlow {
     /// Computes all facts for `func`, which must be in SSA form.
     pub fn compute(func: &FuncIr) -> AuditFlow {
+        AuditFlow::compute_with_preds(func, &func.predecessors())
+    }
+
+    /// [`AuditFlow::compute`] with the predecessor lists supplied by
+    /// the caller, so the auditor computes them once per function
+    /// rather than once per analysis phase.
+    pub fn compute_with_preds(func: &FuncIr, preds: &[Vec<BlockId>]) -> AuditFlow {
         assert!(func.in_ssa, "AuditFlow requires SSA form");
         let n = func.blocks.len();
-        let preds = func.predecessors();
 
         // Definition sites. Parameters count as defined at position 0
         // of the entry block, before any instruction.

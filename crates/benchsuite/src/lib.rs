@@ -215,6 +215,60 @@ pub fn all() -> &'static [Benchmark] {
     BENCHMARKS
 }
 
+/// Stage count used by the `paper_scale` unit in the perf gate.
+pub const PAPER_SCALE_STAGES: usize = 80;
+
+/// Generates the `paper_scale` stress program: a single M-function whose
+/// CFG grows linearly with `stages` (each stage contributes an `if`/`else`
+/// diamond, whole-array updates over a rotating window of 12 arrays, and
+/// every fourth stage a small indexing loop). The point is not numerics
+/// but analysis load: hundreds of blocks and SSA names with long, heavily
+/// overlapping live ranges, so the liveness/interference phase dominates
+/// compile time the way the paper's Phase 1 does (§2).
+///
+/// The output is deterministic in `stages` — the perf gate relies on the
+/// same text being regenerated run over run so timings are comparable.
+pub fn paper_scale_source(stages: usize) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    s.push_str("function paper_scale_driver\n");
+    s.push_str("% Synthetic analysis-load generator for the perf gate; not a\n");
+    s.push_str("% paper benchmark. See DESIGN.md section 8.\n");
+    s.push_str("n = 8;\n");
+    for v in 0..12 {
+        let _ = writeln!(s, "x{v} = zeros(n, n);");
+    }
+    s.push_str("s0 = 0;\ns1 = 0;\n");
+    for i in 0..stages {
+        let a = (i * 5 + 1) % 12;
+        let b = (i * 7 + 2) % 12;
+        let c = i % 9 + 1;
+        let d = (i * 3 + 5) % 12;
+        let e = (i * 11 + 4) % 12;
+        let f = (i + 6) % 12;
+        let t = i % 5;
+        let _ = writeln!(s, "% stage {i}");
+        let _ = writeln!(s, "if s0 > {t}");
+        let _ = writeln!(s, "  x{a} = x{b} + {c} * x{d};");
+        let _ = writeln!(s, "  s1 = s1 + sum(sum(x{a}));");
+        let _ = writeln!(s, "else");
+        let _ = writeln!(s, "  x{a} = x{b} - x{d};");
+        let _ = writeln!(s, "  s1 = s1 - 1;");
+        let _ = writeln!(s, "end");
+        let _ = writeln!(s, "x{e} = x{a} .* x{f} + s1;");
+        if i % 4 == 3 {
+            let g = (i * 13 + 7) % 12;
+            let _ = writeln!(s, "for k = 1:4");
+            let _ = writeln!(s, "  x{g}(k, k) = x{g}(k, k) + k;");
+            let _ = writeln!(s, "end");
+        }
+        s.push_str("s0 = s0 + 1;\n");
+    }
+    s.push_str("r = x0 + x1 + x2 + x3 + x4 + x5 + x6 + x7 + x8 + x9 + x10 + x11;\n");
+    s.push_str("fprintf('checksum = %.8f\\n', sum(sum(abs(r))));\n");
+    s
+}
+
 /// Lookup by Table 1 name.
 pub fn by_name(name: &str) -> Option<&'static Benchmark> {
     BENCHMARKS.iter().find(|b| b.name == name)
@@ -272,6 +326,18 @@ mod tests {
                 lines
             );
         }
+    }
+
+    #[test]
+    fn paper_scale_is_deterministic_and_grows_with_stages() {
+        let a = paper_scale_source(10);
+        let b = paper_scale_source(10);
+        assert_eq!(a, b, "generator must be deterministic");
+        let big = paper_scale_source(40);
+        assert!(big.len() > a.len());
+        assert!(a.starts_with("function paper_scale_driver\n"));
+        assert!(a.contains("% stage 9"));
+        assert!(!a.contains("% stage 10"));
     }
 
     #[test]

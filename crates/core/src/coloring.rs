@@ -140,19 +140,28 @@ impl Coloring {
         budget: &Budget,
     ) -> Result<Coloring, BudgetError> {
         let mut color: HashMap<VarId, u32> = HashMap::new();
+        // Dense mirror of `color` for the neighbor scan, plus the
+        // memoized class degree bounding the scratch array: a node of
+        // degree d has at most d distinct neighbor colors, so the
+        // smallest free color is ≤ min(d, colors-used-so-far) and marks
+        // beyond that bound cannot change the choice.
+        let mut color_of: Vec<u32> = vec![u32::MAX; graph.variable_count()];
         let mut num_colors = 0;
+        let mut used: Vec<bool> = Vec::new();
         for rep in order {
             budget.spend(1)?;
-            let mut used: Vec<bool> = vec![false; num_colors as usize + 1];
+            let bound = graph.degree(*rep).min(num_colors as usize) + 1;
+            used.clear();
+            used.resize(bound, false);
             for n in graph.neighbors(*rep) {
-                if let Some(c) = color.get(&graph.rep(n)) {
-                    if (*c as usize) < used.len() {
-                        used[*c as usize] = true;
-                    }
+                let c = color_of[graph.rep(n).index()];
+                if c != u32::MAX && (c as usize) < bound {
+                    used[c as usize] = true;
                 }
             }
             let c = used.iter().position(|u| !u).expect("free slot") as u32;
             num_colors = num_colors.max(c + 1);
+            color_of[rep.index()] = c;
             color.insert(*rep, c);
         }
         Ok(Coloring { color, num_colors })

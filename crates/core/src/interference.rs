@@ -22,11 +22,11 @@
 
 use crate::liveness::Dataflow;
 use matc_frontend::ast::{BinOp, UnOp};
+use matc_ir::bitset::{BitMatrix, BitSet};
 use matc_ir::ids::VarId;
 use matc_ir::instr::{InstrKind, Op, Operand};
 use matc_ir::{Budget, BudgetError, Builtin, FuncIr};
 use matc_typeinf::{FuncTypes, ProgramTypes};
-use std::collections::HashSet;
 
 /// Options controlling graph construction (ablations and Figure 6).
 #[derive(Debug, Clone, Copy)]
@@ -49,12 +49,24 @@ impl Default for InterferenceOptions {
 }
 
 /// The interference graph over coalesced variable classes.
+///
+/// Adjacency is stored as dense bitset rows ([`BitMatrix`], one row per
+/// variable, keyed by class representative): the "definition interferes
+/// with all pairs in the live set" inner loop of the build is a
+/// word-wise OR of the live set into the definition's row. During the
+/// scan the union-find is the identity (φ-coalescing runs strictly
+/// after edge insertion), which is what makes the word-wise form sound.
+/// After coalescing the graph is *finalized*: the union-find is fully
+/// path-compressed and the representative list, per-class member lists
+/// and per-class degrees are memoized (the old `members`/
+/// `representatives` were O(n²) full scans per query).
 #[derive(Debug, Clone)]
 pub struct InterferenceGraph {
-    /// Union-find parent per variable.
+    /// Union-find parent per variable (fully path-compressed after
+    /// [`InterferenceGraph::finalize`]).
     parent: Vec<u32>,
-    /// Adjacency sets, keyed by class representative.
-    adj: Vec<HashSet<u32>>,
+    /// Adjacency bitset rows, keyed by class representative.
+    adj: BitMatrix,
     /// Variables that actually occur (are defined or are parameters).
     occurs: Vec<bool>,
     /// Variables defined by `Const` instructions: they become literals in
@@ -65,6 +77,15 @@ pub struct InterferenceGraph {
     pub op_conflicts: usize,
     /// The number of φ-coalescings performed.
     pub coalesced: usize,
+    /// Memoized class representatives of occurring variables, ascending
+    /// (built by [`InterferenceGraph::finalize`]).
+    reps_cache: Vec<VarId>,
+    /// Memoized member lists, indexed by representative; empty for
+    /// non-representatives.
+    members_cache: Vec<Vec<VarId>>,
+    /// Memoized class degrees (distinct neighbor count), indexed by
+    /// representative.
+    degree: Vec<u32>,
 }
 
 impl InterferenceGraph {
@@ -100,11 +121,14 @@ impl InterferenceGraph {
         let nv = func.vars.len();
         let mut g = InterferenceGraph {
             parent: (0..nv as u32).collect(),
-            adj: vec![HashSet::new(); nv],
+            adj: BitMatrix::new(nv, nv),
             occurs: vec![false; nv],
             immediate: vec![false; nv],
             op_conflicts: 0,
             coalesced: 0,
+            reps_cache: Vec::new(),
+            members_cache: Vec::new(),
+            degree: Vec::new(),
         };
         for p in &func.params {
             g.occurs[p.index()] = true;
@@ -142,24 +166,40 @@ impl InterferenceGraph {
             }
         }
 
-        // Backward scan of each block from live ∩ avail.
+        // Backward scan of each block from live ∩ avail. The working
+        // set is a dense bitset row; its size is maintained
+        // incrementally so the per-instruction budget charge stays the
+        // `set.len() + 1` the set-based engine used.
+        let mut imm_mask = BitSet::new(nv);
+        for (i, imm) in g.immediate.iter().enumerate() {
+            if *imm {
+                imm_mask.insert(i);
+            }
+        }
+        let mut set = BitSet::new(nv);
         for b in func.block_ids() {
-            let mut set: HashSet<VarId> = flow.live_out[b.index()]
-                .intersection(&flow.avail_out[b.index()])
-                .copied()
-                .filter(|v| !g.immediate[v.index()])
-                .collect();
+            set.clear();
+            set.union_words(flow.live_out_bits().row(b.index()));
+            set.intersect_words(flow.avail_out_bits().row(b.index()));
+            set.subtract_words(imm_mask.words());
+            let mut set_len = set.count();
             for instr in func.block(b).instrs.iter().rev() {
-                budget.spend(set.len() as u64 + 1)?;
+                budget.spend(set_len as u64 + 1)?;
                 let defs = instr.defs();
                 for d in &defs {
                     if g.immediate[d.index()] {
                         continue;
                     }
                     g.occurs[d.index()] = true;
-                    for w in &set {
-                        if w != d {
-                            g.add_edge(*d, *w);
+                    // During the scan the union-find is the identity, so
+                    // the class rows coincide with the variable rows and
+                    // the "edge to every member of the live set" loop is
+                    // one word-wise union plus the symmetric single bits.
+                    g.adj.union_row_words(d.index(), set.words());
+                    g.adj.unset(d.index(), d.index());
+                    for w in set.iter() {
+                        if w != d.index() {
+                            g.adj.set(w, d.index());
                         }
                     }
                 }
@@ -176,7 +216,7 @@ impl InterferenceGraph {
                     if let InstrKind::Compute { dst, op, args } = &instr.kind {
                         for (k, a) in args.iter().enumerate() {
                             if let Some(x) = a.as_var() {
-                                if x == *dst || set.contains(&x) || g.immediate[x.index()] {
+                                if x == *dst || set.contains(x.index()) || g.immediate[x.index()] {
                                     continue; // generic rule already applies
                                 }
                                 if !inplace_ok(op, k, args, &is_scalar, &is_vector) {
@@ -189,15 +229,17 @@ impl InterferenceGraph {
                 }
                 // Update the working set.
                 for d in &defs {
-                    set.remove(d);
+                    if set.remove(d.index()) {
+                        set_len -= 1;
+                    }
                 }
                 match &instr.kind {
                     // φ uses live at predecessor ends, not here.
                     InstrKind::Phi { .. } => {}
                     _ => {
                         for u in instr.uses() {
-                            if !g.immediate[u.index()] {
-                                set.insert(u);
+                            if !g.immediate[u.index()] && set.insert(u.index()) {
+                                set_len += 1;
                             }
                         }
                     }
@@ -253,7 +295,7 @@ impl InterferenceGraph {
                             }
                             let rd = g.find(*dst);
                             let rx = g.find(*x);
-                            if rd != rx && !g.adj[rd as usize].contains(&rx) {
+                            if rd != rx && !g.adj.get(rd as usize, rx as usize) {
                                 g.union(rd, rx);
                                 g.coalesced += 1;
                             }
@@ -262,7 +304,33 @@ impl InterferenceGraph {
                 }
             }
         }
+        g.finalize();
         Ok(g)
+    }
+
+    /// Freezes the graph after coalescing: fully path-compresses the
+    /// union-find and memoizes the representative list, per-class
+    /// member lists and degrees, so the per-query O(n) / O(n²) scans
+    /// of `representatives`/`members` become lookups.
+    fn finalize(&mut self) {
+        let nv = self.parent.len();
+        for i in 0..nv {
+            let r = self.find(VarId::new(i));
+            self.parent[i] = r;
+        }
+        let mut members: Vec<Vec<VarId>> = vec![Vec::new(); nv];
+        for i in 0..nv {
+            if self.occurs[i] {
+                members[self.parent[i] as usize].push(VarId::new(i));
+            }
+        }
+        // Ascending because the member scan above runs in id order.
+        self.reps_cache = (0..nv)
+            .filter(|i| !members[*i].is_empty())
+            .map(VarId::new)
+            .collect();
+        self.members_cache = members;
+        self.degree = (0..nv).map(|i| self.adj.count_row(i) as u32).collect();
     }
 
     /// Whether `v` is a code literal (defined by a `Const` instruction)
@@ -291,12 +359,13 @@ impl InterferenceGraph {
     }
 
     fn union(&mut self, a: u32, b: u32) {
-        // Merge b into a, rewiring adjacency.
-        let nbrs: Vec<u32> = self.adj[b as usize].drain().collect();
+        // Merge b into a, rewiring adjacency row b into row a.
+        let nbrs: Vec<usize> = self.adj.iter_row(b as usize).collect();
+        self.adj.clear_row(b as usize);
         for n in nbrs {
-            self.adj[n as usize].remove(&b);
-            self.adj[n as usize].insert(a);
-            self.adj[a as usize].insert(n);
+            self.adj.unset(n, b as usize);
+            self.adj.set(n, a as usize);
+            self.adj.set(a as usize, n);
         }
         self.parent[b as usize] = a;
         self.occurs[a as usize] = self.occurs[a as usize] || self.occurs[b as usize];
@@ -308,46 +377,53 @@ impl InterferenceGraph {
         if ra == rb {
             return;
         }
-        self.adj[ra as usize].insert(rb);
-        self.adj[rb as usize].insert(ra);
+        self.adj.set(ra as usize, rb as usize);
+        self.adj.set(rb as usize, ra as usize);
     }
 
     /// Whether `a` and `b` interfere (i.e. their classes conflict).
     pub fn interferes(&self, a: VarId, b: VarId) -> bool {
         let ra = self.rep(a);
         let rb = self.rep(b);
-        ra != rb && self.adj[ra.index()].contains(&rb.0)
+        ra != rb && self.adj.get(ra.index(), rb.index())
     }
 
-    /// All class representatives of occurring variables, ascending.
+    /// All class representatives of occurring variables, ascending
+    /// (memoized at build time).
     pub fn representatives(&self) -> Vec<VarId> {
-        let mut reps: Vec<VarId> = (0..self.parent.len())
-            .filter(|i| self.occurs[*i])
-            .map(|i| self.rep(VarId::new(i)))
-            .collect();
-        reps.sort();
-        reps.dedup();
-        reps
+        self.reps_cache.clone()
     }
 
-    /// All occurring members of the class represented by `rep`.
+    /// All occurring members of the class represented by `rep`,
+    /// ascending (memoized at build time).
     pub fn members(&self, rep: VarId) -> Vec<VarId> {
-        (0..self.parent.len())
-            .filter(|i| self.occurs[*i])
-            .map(VarId::new)
-            .filter(|v| self.rep(*v) == rep)
-            .collect()
+        self.members_cache
+            .get(rep.index())
+            .cloned()
+            .unwrap_or_default()
     }
 
     /// Neighbor representatives of the class of `rep`.
     pub fn neighbors(&self, rep: VarId) -> impl Iterator<Item = VarId> + '_ {
-        self.adj[self.rep(rep).index()].iter().map(|r| VarId(*r))
+        self.adj.iter_row(self.rep(rep).index()).map(VarId::new)
+    }
+
+    /// The number of distinct neighbor classes of the class of `rep`
+    /// (memoized at build time; the greedy coloring's bound).
+    pub fn degree(&self, rep: VarId) -> usize {
+        self.degree.get(self.rep(rep).index()).copied().unwrap_or(0) as usize
     }
 
     /// The number of occurring variables (the paper's "original variable
     /// count" on entry to GCTD).
     pub fn occurring_count(&self) -> usize {
         self.occurs.iter().filter(|o| **o).count()
+    }
+
+    /// The size of the variable universe the graph was built over
+    /// (occurring or not) — the row count of the adjacency matrix.
+    pub fn variable_count(&self) -> usize {
+        self.parent.len()
     }
 
     /// The number of nodes (coalesced classes) in the graph.
@@ -637,6 +713,33 @@ mod tests {
         let c = var(&f, "c", 1);
         assert!(!g.interferes(c, a), "ablation removes §2.3 conflicts");
         assert_eq!(g.op_conflicts, 0);
+    }
+
+    #[test]
+    fn memoized_queries_match_direct_scans() {
+        let (_, g) = build(
+            "function s = f(n)\ns = 0;\nfor i = 1:n\nif s > 3\ns = s + i;\nelse\ns = s - i;\nend\nend\n",
+            InterferenceOptions::default(),
+        );
+        let reps = g.representatives();
+        for w in reps.windows(2) {
+            assert!(w[0] < w[1], "representatives ascending and deduped");
+        }
+        let mut total = 0;
+        for r in &reps {
+            let ms = g.members(*r);
+            assert!(!ms.is_empty(), "class of {r:?} has members");
+            for m in &ms {
+                assert_eq!(g.rep(*m), *r);
+            }
+            total += ms.len();
+            assert_eq!(
+                g.degree(*r),
+                g.neighbors(*r).count(),
+                "degree cache matches adjacency row"
+            );
+        }
+        assert_eq!(total, g.occurring_count(), "classes partition occurrences");
     }
 
     #[test]

@@ -6,7 +6,19 @@
 //! possible execution path from a definition of v to s") at each
 //! assignment. Both analyses here are the conservative may-variants the
 //! paper describes.
+//!
+//! Since PR 4 the fixpoints run on a dense bitset engine
+//! ([`matc_ir::bitset`]): per-block sets are `u64`-packed rows of a
+//! [`BitMatrix`] and each analysis is a **worklist** algorithm —
+//! liveness seeded from the upward-exposed use summaries and re-examining
+//! predecessors when a block's live-in grows, availability flowing
+//! forward, and reachability as a bitset transitive closure. Change
+//! detection is the in-place `union_returns_changed` the bitset rows
+//! provide, so the steady state of a fixpoint performs no allocation.
+//! The original set-based whole-CFG sweeps are retained verbatim as
+//! [`Dataflow::compute_reference`] for differential testing.
 
+use matc_ir::bitset::{words_for, BitMatrix, BitSet};
 use matc_ir::ids::{BlockId, VarId};
 use matc_ir::instr::InstrKind;
 use matc_ir::{Budget, BudgetError, FuncIr};
@@ -28,9 +40,16 @@ pub struct Dataflow {
     pub def_site: Vec<Option<(BlockId, usize)>>,
     /// Whether the variable is a parameter (defined before instr 0).
     pub is_param: Vec<bool>,
-    /// `reach[a]` contains `b` when a CFG path of length ≥ 1 leads from
-    /// `a` to `b`.
-    reach: Vec<HashSet<BlockId>>,
+    /// Dense rows of `live_out` (block × variable), for word-wise
+    /// consumers like the interference scan.
+    live_out_bits: BitMatrix,
+    /// Dense rows of `avail_out` (block × variable).
+    avail_out_bits: BitMatrix,
+    /// `reach.get(a, b)` when a CFG path of length ≥ 1 leads from `a`
+    /// to `b`.
+    reach: BitMatrix,
+    /// Total worklist visits the three fixpoints performed.
+    iterations: u64,
 }
 
 impl Dataflow {
@@ -40,17 +59,45 @@ impl Dataflow {
         Dataflow::compute_budgeted(func, &budget).expect("unlimited budget cannot trip")
     }
 
-    /// [`Dataflow::compute`] under a [`Budget`]: each sweep of the three
-    /// while-changed fixpoints (liveness, availability, reachability)
-    /// charges one fuel unit per block and observes the phase deadline.
+    /// [`Dataflow::compute`] with the predecessor lists supplied by the
+    /// caller, so a pipeline that already computed
+    /// [`FuncIr::predecessors`] (e.g. the auditor) does not recompute
+    /// them per analysis phase.
+    pub fn compute_with_preds(func: &FuncIr, preds: &[Vec<BlockId>]) -> Dataflow {
+        let budget = Budget::unlimited();
+        Dataflow::compute_budgeted_with_preds(func, preds, &budget)
+            .expect("unlimited budget cannot trip")
+    }
+
+    /// [`Dataflow::compute`] under a [`Budget`]: each fixpoint charges
+    /// one fuel unit per worklist visit (plus a seeding charge of one
+    /// unit per block, matching the old per-sweep cost floor) and
+    /// observes the phase deadline.
     ///
     /// # Errors
     ///
     /// Returns the [`BudgetError`] that tripped (no partial results).
     pub fn compute_budgeted(func: &FuncIr, budget: &Budget) -> Result<Dataflow, BudgetError> {
+        Dataflow::compute_budgeted_with_preds(func, &func.predecessors(), budget)
+    }
+
+    /// [`Dataflow::compute_budgeted`] with caller-supplied predecessor
+    /// lists (see [`Dataflow::compute_with_preds`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`BudgetError`] that tripped (no partial results).
+    pub fn compute_budgeted_with_preds(
+        func: &FuncIr,
+        preds: &[Vec<BlockId>],
+        budget: &Budget,
+    ) -> Result<Dataflow, BudgetError> {
         let n = func.blocks.len();
         let nv = func.vars.len();
-        let preds = func.predecessors();
+        let succs: Vec<Vec<BlockId>> = func
+            .block_ids()
+            .map(|b| func.block(b).term.successors())
+            .collect();
 
         // --- def sites ---
         let mut def_site: Vec<Option<(BlockId, usize)>> = vec![None; nv];
@@ -71,9 +118,186 @@ impl Dataflow {
         // `upward[b]`: used in b before any redefinition (φ uses excluded;
         // they belong to predecessor edges). `defs[b]`: defined in b
         // (including φ destinations).
+        let mut upward = BitMatrix::new(n, nv);
+        let mut defs = BitMatrix::new(n, nv);
+        // φ uses attributed to predecessor blocks.
+        let mut phi_out = BitMatrix::new(n, nv);
+        for b in func.block_ids() {
+            let bi = b.index();
+            let blk = func.block(b);
+            for instr in &blk.instrs {
+                if let InstrKind::Phi { dst, args } = &instr.kind {
+                    defs.set(bi, dst.index());
+                    for (p, v) in args {
+                        phi_out.set(p.index(), v.index());
+                    }
+                    continue;
+                }
+                for u in instr.uses() {
+                    if !defs.get(bi, u.index()) {
+                        upward.set(bi, u.index());
+                    }
+                }
+                for d in instr.defs() {
+                    defs.set(bi, d.index());
+                }
+            }
+            if let Some(c) = blk.term.used_var() {
+                if !defs.get(bi, c.index()) {
+                    upward.set(bi, c.index());
+                }
+            }
+        }
+
+        // Function outputs are live at each return block's exit.
+        let mut outs_row = BitSet::new(nv);
+        for o in &func.ssa_outs {
+            outs_row.insert(o.index());
+        }
+        let is_ret: Vec<bool> = (0..n).map(|bi| succs[bi].is_empty()).collect();
+
+        let mut iterations: u64 = 0;
+
+        // A LIFO worklist with an on-list flag; seeding order is chosen
+        // so pops replay the old deterministic sweep order.
+        let mut on_list = vec![true; n];
+        let mut worklist: Vec<usize>;
+
+        // --- backward liveness worklist ---
+        // live_out[b] = phi_out[b] ∪ ⋃ live_in[succ] (∪ outs at returns);
+        // live_in[b]  = upward[b] ∪ (live_out[b] ∖ defs[b]).
+        // Both sides grow monotonically, so incremental unions suffice;
+        // when live_in[b] grows, b's predecessors are re-examined.
+        let mut live_in_bits = BitMatrix::new(n, nv);
+        let mut live_out_bits = BitMatrix::new(n, nv);
+        let mut scratch = BitSet::new(nv);
+        budget.spend(n as u64 + 1)?;
+        worklist = (0..n).collect(); // pops run n-1, n-2, … like the old reverse sweep
+        while let Some(bi) = worklist.pop() {
+            on_list[bi] = false;
+            iterations += 1;
+            budget.spend(1)?;
+            scratch.clear();
+            scratch.union_words(phi_out.row(bi));
+            for s in &succs[bi] {
+                scratch.union_words(live_in_bits.row(s.index()));
+            }
+            if is_ret[bi] {
+                scratch.union_with(&outs_row);
+            }
+            live_out_bits.union_row_words(bi, scratch.words());
+            scratch.subtract_words(defs.row(bi));
+            scratch.union_words(upward.row(bi));
+            if live_in_bits.union_row_words(bi, scratch.words()) {
+                for p in &preds[bi] {
+                    if !on_list[p.index()] {
+                        on_list[p.index()] = true;
+                        worklist.push(p.index());
+                    }
+                }
+            }
+        }
+
+        // --- forward availability worklist (may-analysis: union) ---
+        let mut avail_out_bits = BitMatrix::new(n, nv);
+        budget.spend(n as u64 + 1)?;
+        worklist = (0..n).rev().collect(); // pops run 0, 1, … like the old forward sweep
+        on_list.fill(true);
+        while let Some(bi) = worklist.pop() {
+            on_list[bi] = false;
+            iterations += 1;
+            budget.spend(1)?;
+            scratch.clear();
+            if bi == func.entry.index() {
+                for p in &func.params {
+                    scratch.insert(p.index());
+                }
+            }
+            for p in &preds[bi] {
+                scratch.union_words(avail_out_bits.row(p.index()));
+            }
+            scratch.union_words(defs.row(bi));
+            if avail_out_bits.union_row_words(bi, scratch.words()) {
+                for s in &succs[bi] {
+                    if !on_list[s.index()] {
+                        on_list[s.index()] = true;
+                        worklist.push(s.index());
+                    }
+                }
+            }
+        }
+
+        // --- block reachability (paths of length ≥ 1) as a bitset
+        // transitive closure: reach[b] = ⋃ over succ s of {s} ∪ reach[s].
+        let mut reach = BitMatrix::new(n, n);
+        for (bi, ss) in succs.iter().enumerate() {
+            for s in ss {
+                reach.set(bi, s.index());
+            }
+        }
+        budget.spend(n as u64 + 1)?;
+        worklist = (0..n).collect();
+        on_list.fill(true);
+        while let Some(bi) = worklist.pop() {
+            on_list[bi] = false;
+            iterations += 1;
+            budget.spend(1)?;
+            let mut changed = false;
+            for s in &succs[bi] {
+                changed |= reach.union_rows(bi, s.index());
+            }
+            if changed {
+                for p in &preds[bi] {
+                    if !on_list[p.index()] {
+                        on_list[p.index()] = true;
+                        worklist.push(p.index());
+                    }
+                }
+            }
+        }
+
+        let to_sets = |m: &BitMatrix| -> Vec<HashSet<VarId>> {
+            (0..n)
+                .map(|bi| m.iter_row(bi).map(VarId::new).collect())
+                .collect()
+        };
+        Ok(Dataflow {
+            live_in: to_sets(&live_in_bits),
+            live_out: to_sets(&live_out_bits),
+            avail_out: to_sets(&avail_out_bits),
+            def_site,
+            is_param,
+            live_out_bits,
+            avail_out_bits,
+            reach,
+            iterations,
+        })
+    }
+
+    /// The original set-based three-sweep implementation, retained as
+    /// the naive reference for differential testing: the worklist
+    /// engine must be set-for-set identical to this on every CFG.
+    pub fn compute_reference(func: &FuncIr) -> Dataflow {
+        let n = func.blocks.len();
+        let nv = func.vars.len();
+        let preds = func.predecessors();
+
+        let mut def_site: Vec<Option<(BlockId, usize)>> = vec![None; nv];
+        let mut is_param = vec![false; nv];
+        for p in &func.params {
+            def_site[p.index()] = Some((func.entry, 0));
+            is_param[p.index()] = true;
+        }
+        for b in func.block_ids() {
+            for (i, instr) in func.block(b).instrs.iter().enumerate() {
+                for d in instr.defs() {
+                    def_site[d.index()] = Some((b, i));
+                }
+            }
+        }
+
         let mut upward: Vec<HashSet<VarId>> = vec![HashSet::new(); n];
         let mut defs: Vec<HashSet<VarId>> = vec![HashSet::new(); n];
-        // φ uses attributed to predecessor blocks.
         let mut phi_out: Vec<HashSet<VarId>> = vec![HashSet::new(); n];
         for b in func.block_ids() {
             let blk = func.block(b);
@@ -101,20 +325,17 @@ impl Dataflow {
             }
         }
 
-        // --- backward liveness fixpoint ---
         let mut live_in: Vec<HashSet<VarId>> = vec![HashSet::new(); n];
         let mut live_out: Vec<HashSet<VarId>> = vec![HashSet::new(); n];
-        // Function outputs are live at the return block's exit.
         let ret_blocks: Vec<BlockId> = func
             .block_ids()
             .filter(|b| func.block(*b).term.successors().is_empty())
             .collect();
         let mut changed = true;
         while changed {
-            budget.spend(n as u64 + 1)?;
             changed = false;
             for bi in (0..func.blocks.len()).rev() {
-                let b = matc_ir::BlockId::new(bi);
+                let b = BlockId::new(bi);
                 let mut out: HashSet<VarId> = phi_out[b.index()].clone();
                 for s in func.block(b).term.successors() {
                     for v in &live_in[s.index()] {
@@ -140,11 +361,9 @@ impl Dataflow {
             }
         }
 
-        // --- forward availability fixpoint (may-analysis: union) ---
         let mut avail_out: Vec<HashSet<VarId>> = vec![HashSet::new(); n];
         let mut changed = true;
         while changed {
-            budget.spend(n as u64 + 1)?;
             changed = false;
             for b in func.block_ids() {
                 let mut inn: HashSet<VarId> = HashSet::new();
@@ -169,11 +388,9 @@ impl Dataflow {
             }
         }
 
-        // --- block reachability (paths of length >= 1) ---
         let mut reach: Vec<HashSet<BlockId>> = vec![HashSet::new(); n];
         let mut changed = true;
         while changed {
-            budget.spend(n as u64 + 1)?;
             changed = false;
             for b in func.block_ids() {
                 let succs = func.block(b).term.successors();
@@ -197,14 +414,33 @@ impl Dataflow {
             }
         }
 
-        Ok(Dataflow {
+        // Pack the reference results into the same dense representation
+        // so every accessor behaves identically to the worklist engine.
+        let mut live_out_bits = BitMatrix::new(n, nv);
+        let mut avail_out_bits = BitMatrix::new(n, nv);
+        let mut reach_bits = BitMatrix::new(n, n);
+        for bi in 0..n {
+            for v in &live_out[bi] {
+                live_out_bits.set(bi, v.index());
+            }
+            for v in &avail_out[bi] {
+                avail_out_bits.set(bi, v.index());
+            }
+            for t in &reach[bi] {
+                reach_bits.set(bi, t.index());
+            }
+        }
+        Dataflow {
             live_in,
             live_out,
             avail_out,
             def_site,
             is_param,
-            reach,
-        })
+            live_out_bits,
+            avail_out_bits,
+            reach: reach_bits,
+            iterations: 0,
+        }
     }
 
     /// Whether `u` is *available at the definition of* `v` — the
@@ -227,15 +463,38 @@ impl Dataflow {
             // Earlier in the same block, or any cycle back to the block.
             let iu = if self.is_param[u.index()] { 0 } else { iu + 1 };
             let iv_pos = if self.is_param[v.index()] { 0 } else { iv + 1 };
-            iu <= iv_pos || self.reach[bu.index()].contains(&bv)
+            iu <= iv_pos || self.reach.get(bu.index(), bv.index())
         } else {
-            self.reach[bu.index()].contains(&bv)
+            self.reach.get(bu.index(), bv.index())
         }
     }
 
     /// Whether block `a` can reach block `b` via ≥ 1 edge.
     pub fn block_reaches(&self, a: BlockId, b: BlockId) -> bool {
-        self.reach[a.index()].contains(&b)
+        self.reach.get(a.index(), b.index())
+    }
+
+    /// The dense live-out rows (block × variable), for word-wise
+    /// consumers like the interference scan.
+    pub fn live_out_bits(&self) -> &BitMatrix {
+        &self.live_out_bits
+    }
+
+    /// The dense avail-out rows (block × variable).
+    pub fn avail_out_bits(&self) -> &BitMatrix {
+        &self.avail_out_bits
+    }
+
+    /// Total worklist visits the three fixpoints performed (zero for
+    /// [`Dataflow::compute_reference`]).
+    pub fn worklist_iterations(&self) -> u64 {
+        self.iterations
+    }
+
+    /// Width in `u64` words of one dense live-set row — the
+    /// "peak live-set words" figure reported by the perf gate.
+    pub fn live_set_words(&self) -> usize {
+        words_for(self.live_out_bits.cols())
     }
 }
 
@@ -331,5 +590,43 @@ mod tests {
         let (db, _) = d.def_site[y1.index()].unwrap();
         // y.1 is consumed within the block; not live out.
         assert!(!d.live_out[db.index()].contains(&y1));
+    }
+
+    #[test]
+    fn worklist_matches_reference_on_branchy_loops() {
+        let (f, d) = flow(
+            "function y = f(x)\ns = 0;\nwhile x > 0\nif s > 3\ns = s + x;\nelse\ns = s - 1;\nend\nx = x - 1;\nend\ny = s;\n",
+        );
+        let r = Dataflow::compute_reference(&f);
+        assert_eq!(d.live_in, r.live_in);
+        assert_eq!(d.live_out, r.live_out);
+        assert_eq!(d.avail_out, r.avail_out);
+        assert_eq!(d.def_site, r.def_site);
+        for a in f.block_ids() {
+            for b in f.block_ids() {
+                assert_eq!(d.block_reaches(a, b), r.block_reaches(a, b), "{a:?}->{b:?}");
+            }
+        }
+        assert!(d.worklist_iterations() > 0);
+    }
+
+    #[test]
+    fn bit_rows_mirror_the_hash_sets() {
+        let (f, d) = flow("function y = f(x)\na = x + 1;\nif x > 0\ny = a;\nelse\ny = x;\nend\n");
+        for b in f.block_ids() {
+            let row: HashSet<VarId> = d
+                .live_out_bits()
+                .iter_row(b.index())
+                .map(VarId::new)
+                .collect();
+            assert_eq!(row, d.live_out[b.index()]);
+            let row: HashSet<VarId> = d
+                .avail_out_bits()
+                .iter_row(b.index())
+                .map(VarId::new)
+                .collect();
+            assert_eq!(row, d.avail_out[b.index()]);
+        }
+        assert!(d.live_set_words() >= 1);
     }
 }

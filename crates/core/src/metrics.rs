@@ -216,6 +216,15 @@ pub struct UnitMetrics {
     pub interference_nodes: usize,
     /// Interference-graph edges, summed over functions.
     pub interference_edges: usize,
+    /// Worklist visits the bitset dataflow fixpoints performed
+    /// (liveness + availability + reachability), summed over functions.
+    pub dataflow_iters: u64,
+    /// Widest dense live-set row, in `u64` words, across functions.
+    pub peak_live_words: u64,
+    /// Wall time of the dataflow fixpoints alone, nanoseconds (a
+    /// sub-slice of the `interference` phase; not restored on cache
+    /// hits, like all timings).
+    pub dataflow_nanos: u64,
     /// Program-wide storage-plan statistics.
     pub plan: PlanStats,
     /// Error-severity audit findings.
@@ -254,6 +263,9 @@ impl UnitMetrics {
             typeinf_scalars: 0,
             interference_nodes: 0,
             interference_edges: 0,
+            dataflow_iters: 0,
+            peak_live_words: 0,
+            dataflow_nanos: 0,
             plan: PlanStats::default(),
             audit_errors: 0,
             audit_warnings: 0,
@@ -362,8 +374,13 @@ impl UnitMetrics {
         );
         let _ = write!(
             s,
-            ",\"interference\":{{\"nodes\":{},\"edges\":{}}}",
-            self.interference_nodes, self.interference_edges
+            ",\"interference\":{{\"nodes\":{},\"edges\":{},\"dataflow_iters\":{},\
+             \"peak_live_words\":{},\"dataflow_micros\":{}}}",
+            self.interference_nodes,
+            self.interference_edges,
+            self.dataflow_iters,
+            self.peak_live_words,
+            self.dataflow_nanos / 1_000
         );
         let _ = write!(
             s,
@@ -428,8 +445,11 @@ impl BatchReport {
 
     /// The stats document's schema version (`"schema"` in the JSON).
     /// Bumped from 1 (PR 2) to 2 when per-unit `degradations` and
-    /// `budget_exceeded` arrays and the `"degraded"` status were added.
-    pub const SCHEMA_VERSION: u32 = 2;
+    /// `budget_exceeded` arrays and the `"degraded"` status were added;
+    /// from 2 to 3 when the bitset dataflow engine's `dataflow_iters`,
+    /// `peak_live_words` and `dataflow_micros` fields joined each
+    /// unit's `interference` object (PR 4).
+    pub const SCHEMA_VERSION: u32 = 3;
 
     /// The full stats document (`matc batch --stats`).
     pub fn to_json(&self) -> String {
@@ -564,6 +584,9 @@ mod tests {
         assert!(j.contains("\"cache\":\"hit\""), "{j}");
         assert!(j.contains("\"phases_micros\""), "{j}");
         assert!(j.contains("\"interference\""), "{j}");
+        assert!(j.contains("\"dataflow_iters\":0"), "{j}");
+        assert!(j.contains("\"peak_live_words\":0"), "{j}");
+        assert!(j.contains("\"dataflow_micros\":0"), "{j}");
         let report = BatchReport {
             jobs: 2,
             wall_micros: 5,
@@ -584,7 +607,7 @@ mod tests {
     }
 
     #[test]
-    fn schema_v2_carries_degradations_and_budget_events() {
+    fn schema_carries_degradations_and_budget_events() {
         let mut m = UnitMetrics::new("wobbly");
         m.degradations.push(DegradationEvent {
             unit: "wobbly".to_string(),
@@ -619,7 +642,7 @@ mod tests {
         assert_eq!(report.degraded(), 1);
         assert_eq!(report.failed(), 0);
         let j = report.to_json();
-        assert!(j.starts_with("{\"schema\":2,"), "{j}");
+        assert!(j.starts_with("{\"schema\":3,"), "{j}");
         assert!(report.render_table().contains("degraded (1 event(s))"));
         assert!(report
             .render_table()

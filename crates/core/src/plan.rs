@@ -276,6 +276,7 @@ pub fn plan_function_budgeted(
     let t = Instant::now();
     budget.enter_phase("interference");
     let flow = Dataflow::compute_budgeted(func, budget)?;
+    let dataflow_elapsed = t.elapsed();
     let graph = {
         let ftypes = &types.funcs[fid.index()];
         InterferenceGraph::build_budgeted(func, &flow, ftypes, types, options.interference, budget)?
@@ -284,6 +285,9 @@ pub fn plan_function_budgeted(
         r.record(Phase::Interference, t.elapsed());
         r.interference_nodes += graph.node_count();
         r.interference_edges += graph.edge_count();
+        r.dataflow_nanos += dataflow_elapsed.as_nanos() as u64;
+        r.dataflow_iters += flow.worklist_iterations();
+        r.peak_live_words = r.peak_live_words.max(flow.live_set_words() as u64);
     }
     let t = Instant::now();
     let sizing = Sizing::compute(func, fid, types);

@@ -100,8 +100,7 @@ impl BenchmarkGroup<'_> {
                 samples.push(bencher.elapsed / bencher.iters);
             }
         }
-        samples.sort();
-        let median = samples.get(samples.len() / 2).copied().unwrap_or_default();
+        let median = median(&mut samples).unwrap_or_default();
         println!(
             "{full_id}: median {median:?} over {} samples",
             samples.len()
@@ -130,6 +129,13 @@ pub fn black_box<T>(x: T) -> T {
     std::hint::black_box(x)
 }
 
+/// The upper median of `samples` (sorts in place; `None` when empty).
+/// Shared by the bench reporter above and the `matc perf-bench` gate.
+pub fn median<T: Ord + Copy>(samples: &mut [T]) -> Option<T> {
+    samples.sort_unstable();
+    samples.get(samples.len() / 2).copied()
+}
+
 #[macro_export]
 macro_rules! criterion_group {
     ($name:ident, $($target:path),+ $(,)?) => {
@@ -147,4 +153,17 @@ macro_rules! criterion_main {
             $( $group(); )+
         }
     };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::median;
+
+    #[test]
+    fn median_picks_the_middle_sample() {
+        assert_eq!(median::<u64>(&mut []), None);
+        assert_eq!(median(&mut [7u64]), Some(7));
+        assert_eq!(median(&mut [3u64, 9, 1]), Some(3));
+        assert_eq!(median(&mut [4u64, 2, 8, 6]), Some(6));
+    }
 }

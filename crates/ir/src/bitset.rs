@@ -1,0 +1,398 @@
+//! Dense bitsets for the dataflow and interference engines.
+//!
+//! The GCTD analyses ([`crate::cfg`] consumers in `matc-gctd`) operate
+//! on sets drawn from two small, fixed universes: SSA variables and CFG
+//! blocks. Both are dense integer ranges, so a word-packed bit
+//! representation beats hashed sets on every operation the fixpoints
+//! perform: union is a handful of `u64` ORs, difference is `AND NOT`,
+//! membership is a shift, and — crucially for worklist algorithms —
+//! *change detection* falls out of the union for free
+//! ([`BitSet::union_with`] returns whether any bit was newly set), so
+//! the steady state of a fixpoint allocates nothing.
+//!
+//! Two types:
+//!
+//! * [`BitSet`] — a single set over `0..len` with set-algebra and
+//!   set-bit iteration;
+//! * [`BitMatrix`] — `rows` independent rows over a shared column
+//!   universe, stored contiguously, with row-to-row union (the shape of
+//!   `live_out[b] ∪= live_in[succ]` and of bitset transitive closure).
+//!
+//! Like the rest of the crate this is dependency-free; it is the
+//! in-tree analogue of the `bit-set`/`fixedbitset` crates, following
+//! the repo's offline-shim convention.
+
+/// Bits per storage word.
+const WORD_BITS: usize = 64;
+
+/// Number of `u64` words needed for `len` bits.
+#[inline]
+pub fn words_for(len: usize) -> usize {
+    len.div_ceil(WORD_BITS)
+}
+
+/// A dense set of `usize` values drawn from a fixed universe `0..len`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BitSet {
+    len: usize,
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    /// An empty set over the universe `0..len`.
+    pub fn new(len: usize) -> BitSet {
+        BitSet {
+            len,
+            words: vec![0; words_for(len)],
+        }
+    }
+
+    /// The universe size this set was created with (not the number of
+    /// set bits — see [`BitSet::count`]).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no bit is set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Number of set bits.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Inserts `i`; returns `true` when the bit was newly set.
+    #[inline]
+    pub fn insert(&mut self, i: usize) -> bool {
+        debug_assert!(i < self.len, "bit {i} out of universe {}", self.len);
+        let (w, m) = (i / WORD_BITS, 1u64 << (i % WORD_BITS));
+        let old = self.words[w];
+        self.words[w] = old | m;
+        old & m == 0
+    }
+
+    /// Removes `i`; returns `true` when the bit was previously set.
+    #[inline]
+    pub fn remove(&mut self, i: usize) -> bool {
+        debug_assert!(i < self.len, "bit {i} out of universe {}", self.len);
+        let (w, m) = (i / WORD_BITS, 1u64 << (i % WORD_BITS));
+        let old = self.words[w];
+        self.words[w] = old & !m;
+        old & m != 0
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        debug_assert!(i < self.len, "bit {i} out of universe {}", self.len);
+        self.words[i / WORD_BITS] & (1u64 << (i % WORD_BITS)) != 0
+    }
+
+    /// Clears every bit.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// `self ∪= other`; returns `true` when any bit was newly set.
+    pub fn union_with(&mut self, other: &BitSet) -> bool {
+        union_into(&mut self.words, &other.words)
+    }
+
+    /// `self ∪= other` where `other` is a raw word row (e.g. a
+    /// [`BitMatrix`] row); returns `true` when any bit was newly set.
+    pub fn union_words(&mut self, other: &[u64]) -> bool {
+        union_into(&mut self.words, other)
+    }
+
+    /// `self ∩= other`.
+    pub fn intersect_words(&mut self, other: &[u64]) {
+        for (d, s) in self.words.iter_mut().zip(other) {
+            *d &= s;
+        }
+    }
+
+    /// `self ∖= other`.
+    pub fn subtract_words(&mut self, other: &[u64]) {
+        for (d, s) in self.words.iter_mut().zip(other) {
+            *d &= !s;
+        }
+    }
+
+    /// The backing words (low bit of word 0 is element 0).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Iterates the set bits in ascending order.
+    pub fn iter(&self) -> SetBits<'_> {
+        SetBits::over(&self.words)
+    }
+}
+
+impl<'a> IntoIterator for &'a BitSet {
+    type Item = usize;
+    type IntoIter = SetBits<'a>;
+    fn into_iter(self) -> SetBits<'a> {
+        self.iter()
+    }
+}
+
+/// `dst ∪= src` over raw word rows; returns `true` when any bit was
+/// newly set. The rows must be the same width.
+#[inline]
+pub fn union_into(dst: &mut [u64], src: &[u64]) -> bool {
+    debug_assert_eq!(dst.len(), src.len(), "row width mismatch");
+    let mut grew = 0u64;
+    for (d, s) in dst.iter_mut().zip(src) {
+        let old = *d;
+        *d = old | s;
+        grew |= *d ^ old;
+    }
+    grew != 0
+}
+
+/// Iterator over the set bits of a word row, ascending.
+#[derive(Debug, Clone)]
+pub struct SetBits<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    current: u64,
+}
+
+impl<'a> SetBits<'a> {
+    /// Iterates the set bits of `words` (low bit of word 0 is bit 0).
+    pub fn over(words: &'a [u64]) -> SetBits<'a> {
+        SetBits {
+            words,
+            word_idx: 0,
+            current: words.first().copied().unwrap_or(0),
+        }
+    }
+}
+
+impl Iterator for SetBits<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        while self.current == 0 {
+            self.word_idx += 1;
+            self.current = *self.words.get(self.word_idx)?;
+        }
+        let bit = self.current.trailing_zeros() as usize;
+        self.current &= self.current - 1;
+        Some(self.word_idx * WORD_BITS + bit)
+    }
+}
+
+/// A fixed-size matrix of bits: `rows` independent [`BitSet`]-like rows
+/// over a shared column universe `0..cols`, stored contiguously.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BitMatrix {
+    rows: usize,
+    cols: usize,
+    words_per_row: usize,
+    data: Vec<u64>,
+}
+
+impl BitMatrix {
+    /// An all-zero matrix with `rows` rows over columns `0..cols`.
+    pub fn new(rows: usize, cols: usize) -> BitMatrix {
+        let words_per_row = words_for(cols);
+        BitMatrix {
+            rows,
+            cols,
+            words_per_row,
+            data: vec![0; rows * words_per_row],
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column universe size.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Words per row (the dense width of one set).
+    pub fn words_per_row(&self) -> usize {
+        self.words_per_row
+    }
+
+    #[inline]
+    fn span(&self, r: usize) -> std::ops::Range<usize> {
+        debug_assert!(r < self.rows, "row {r} out of {}", self.rows);
+        let start = r * self.words_per_row;
+        start..start + self.words_per_row
+    }
+
+    /// The words of row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[u64] {
+        &self.data[self.span(r)]
+    }
+
+    /// The words of row `r`, mutably.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [u64] {
+        let span = self.span(r);
+        &mut self.data[span]
+    }
+
+    /// Sets bit `(r, c)`; returns `true` when it was newly set.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize) -> bool {
+        debug_assert!(c < self.cols, "column {c} out of {}", self.cols);
+        let (w, m) = (c / WORD_BITS, 1u64 << (c % WORD_BITS));
+        let row = self.row_mut(r);
+        let old = row[w];
+        row[w] = old | m;
+        old & m == 0
+    }
+
+    /// Clears bit `(r, c)`; returns `true` when it was previously set.
+    #[inline]
+    pub fn unset(&mut self, r: usize, c: usize) -> bool {
+        debug_assert!(c < self.cols, "column {c} out of {}", self.cols);
+        let (w, m) = (c / WORD_BITS, 1u64 << (c % WORD_BITS));
+        let row = self.row_mut(r);
+        let old = row[w];
+        row[w] = old & !m;
+        old & m != 0
+    }
+
+    /// Tests bit `(r, c)`.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> bool {
+        debug_assert!(c < self.cols, "column {c} out of {}", self.cols);
+        self.row(r)[c / WORD_BITS] & (1u64 << (c % WORD_BITS)) != 0
+    }
+
+    /// `row dst ∪= row src`; returns `true` when any bit was newly set.
+    /// `dst == src` is a no-op returning `false`.
+    pub fn union_rows(&mut self, dst: usize, src: usize) -> bool {
+        if dst == src {
+            return false;
+        }
+        let (d, s) = (self.span(dst), self.span(src));
+        // The spans are disjoint (same width, different start), so a
+        // split borrow around the later of the two is safe.
+        if d.start < s.start {
+            let (head, tail) = self.data.split_at_mut(s.start);
+            union_into(&mut head[d], &tail[..self.words_per_row])
+        } else {
+            let (head, tail) = self.data.split_at_mut(d.start);
+            union_into(&mut tail[..self.words_per_row], &head[s])
+        }
+    }
+
+    /// `row r ∪= words`; returns `true` when any bit was newly set.
+    pub fn union_row_words(&mut self, r: usize, words: &[u64]) -> bool {
+        let span = self.span(r);
+        union_into(&mut self.data[span], words)
+    }
+
+    /// Clears row `r`.
+    pub fn clear_row(&mut self, r: usize) {
+        self.row_mut(r).fill(0);
+    }
+
+    /// Number of set bits in row `r`.
+    pub fn count_row(&self, r: usize) -> usize {
+        self.row(r).iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterates the set bits of row `r` in ascending order.
+    pub fn iter_row(&self, r: usize) -> SetBits<'_> {
+        SetBits::over(self.row(r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains_roundtrip() {
+        let mut s = BitSet::new(130);
+        assert!(s.is_empty());
+        assert!(s.insert(0));
+        assert!(s.insert(129));
+        assert!(s.insert(64));
+        assert!(!s.insert(64), "second insert reports no growth");
+        assert_eq!(s.count(), 3);
+        assert!(s.contains(0) && s.contains(64) && s.contains(129));
+        assert!(!s.contains(1) && !s.contains(128));
+        assert!(s.remove(64));
+        assert!(!s.remove(64));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 129]);
+    }
+
+    #[test]
+    fn union_detects_change_and_is_idempotent() {
+        let mut a = BitSet::new(100);
+        let mut b = BitSet::new(100);
+        b.insert(3);
+        b.insert(99);
+        assert!(a.union_with(&b));
+        assert!(!a.union_with(&b), "second union changes nothing");
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![3, 99]);
+    }
+
+    #[test]
+    fn subtract_and_intersect() {
+        let mut a = BitSet::new(70);
+        for i in [1, 5, 64, 69] {
+            a.insert(i);
+        }
+        let mut mask = BitSet::new(70);
+        mask.insert(5);
+        mask.insert(64);
+        let mut inter = a.clone();
+        inter.intersect_words(mask.words());
+        assert_eq!(inter.iter().collect::<Vec<_>>(), vec![5, 64]);
+        a.subtract_words(mask.words());
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![1, 69]);
+    }
+
+    #[test]
+    fn matrix_rows_are_independent_and_unionable() {
+        let mut m = BitMatrix::new(4, 70);
+        assert!(m.set(0, 69));
+        assert!(!m.set(0, 69));
+        assert!(m.set(2, 1));
+        assert!(!m.get(1, 69));
+        assert!(m.union_rows(1, 0));
+        assert!(!m.union_rows(1, 0));
+        assert!(m.get(1, 69));
+        assert!(m.union_rows(0, 2));
+        assert_eq!(m.iter_row(0).collect::<Vec<_>>(), vec![1, 69]);
+        assert!(!m.union_rows(3, 3), "self-union is a no-op");
+        assert_eq!(m.count_row(1), 1);
+        assert!(m.unset(1, 69));
+        assert_eq!(m.count_row(1), 0);
+    }
+
+    #[test]
+    fn union_rows_works_in_both_directions() {
+        let mut m = BitMatrix::new(3, 128);
+        m.set(2, 127);
+        m.set(0, 0);
+        assert!(m.union_rows(0, 2), "src after dst");
+        assert!(m.union_rows(2, 0), "dst after src");
+        assert_eq!(m.iter_row(2).collect::<Vec<_>>(), vec![0, 127]);
+    }
+
+    #[test]
+    fn empty_universe_is_fine() {
+        let s = BitSet::new(0);
+        assert!(s.is_empty());
+        assert_eq!(s.iter().count(), 0);
+        let m = BitMatrix::new(0, 0);
+        assert_eq!(m.rows(), 0);
+    }
+}

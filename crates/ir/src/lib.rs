@@ -28,6 +28,7 @@
 
 #![warn(missing_docs)]
 
+pub mod bitset;
 pub mod budget;
 pub mod builtins;
 pub mod cfg;
@@ -39,6 +40,7 @@ pub mod ssa;
 pub mod ssa_out;
 pub mod verify;
 
+pub use bitset::{BitMatrix, BitSet};
 pub use budget::{Budget, BudgetError, BudgetKind};
 pub use builtins::Builtin;
 pub use cfg::{Block, FuncIr, IrProgram, VarInfo, VarTable};

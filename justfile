@@ -4,7 +4,7 @@
 
 default: check
 
-check: fmt clippy test audit-bench batch-bench fault-bench
+check: fmt clippy test audit-bench batch-bench fault-bench perf-bench
 
 fmt:
     cargo fmt --all -- --check
@@ -34,6 +34,18 @@ batch-bench:
 # a persistently unwritable cache (simulated via write faults, the
 # portable stand-in for a read-only cache dir) must degrade to
 # memory-only caching without failing the batch (exit 0).
+# The tracked performance gate (DESIGN.md §8): compile the benchsuite
+# plus the paper_scale stress unit, record median phase times / dataflow
+# fixpoint iterations / interference edges per second, and fail on >25%
+# regression vs the committed BENCH_gctd.json baseline. Only the
+# regression threshold gates — wall-clock noise on slower CI machines
+# is absorbed by widening the tolerance, e.g.
+# `MATC_PERF_TOLERANCE=1.0 just perf-bench`, not by editing the
+# baseline. Re-bless after an intentional change with
+# `just perf-bench --bless`.
+perf-bench *ARGS:
+    cargo run -q --release --bin matc -- perf-bench {{ARGS}}
+
 fault-bench:
     cargo test -q --test fault_injection
     cargo run -q --release --bin matc -- batch --bench --jobs 4 \

@@ -159,7 +159,7 @@ pub fn render_plan(compiled: &Compiled) -> String {
 /// zero on hits — the time genuinely wasn't spent).
 fn meta_from_metrics(m: &UnitMetrics) -> BTreeMap<String, u64> {
     let mut meta = BTreeMap::new();
-    let pairs: [(&str, u64); 21] = [
+    let pairs: [(&str, u64); 23] = [
         ("ast_functions", m.ast_functions as u64),
         ("ast_statements", m.ast_statements as u64),
         ("ast_expressions", m.ast_expressions as u64),
@@ -172,6 +172,8 @@ fn meta_from_metrics(m: &UnitMetrics) -> BTreeMap<String, u64> {
         ("typeinf_scalars", m.typeinf_scalars as u64),
         ("interference_nodes", m.interference_nodes as u64),
         ("interference_edges", m.interference_edges as u64),
+        ("dataflow_iters", m.dataflow_iters),
+        ("peak_live_words", m.peak_live_words),
         ("plan_original_vars", m.plan.original_vars as u64),
         ("plan_static_subsumed", m.plan.static_subsumed as u64),
         ("plan_dynamic_subsumed", m.plan.dynamic_subsumed as u64),
@@ -204,6 +206,8 @@ fn apply_meta(a: &Artifact, m: &mut UnitMetrics) {
     m.typeinf_scalars = a.meta_value("typeinf_scalars") as usize;
     m.interference_nodes = a.meta_value("interference_nodes") as usize;
     m.interference_edges = a.meta_value("interference_edges") as usize;
+    m.dataflow_iters = a.meta_value("dataflow_iters");
+    m.peak_live_words = a.meta_value("peak_live_words");
     m.plan.original_vars = a.meta_value("plan_original_vars") as usize;
     m.plan.static_subsumed = a.meta_value("plan_static_subsumed") as usize;
     m.plan.dynamic_subsumed = a.meta_value("plan_dynamic_subsumed") as usize;

@@ -9,6 +9,7 @@
 //! matc audit program.m [...]               lint + re-audit the storage plan
 //! matc audit-bench                         audit every benchsuite program
 //! matc batch [units ...]                   parallel batch compilation
+//! matc perf-bench                          tracked performance gate
 //! ```
 //!
 //! Flags: `--no-gctd` disables coalescing (Figure 6 baseline),
@@ -24,13 +25,14 @@ use matc::batch::{bench_units, run_batch, selfcheck, BatchConfig, Unit};
 use matc::frontend::parse_program;
 use matc::gctd::plan_program;
 use matc::gctd::{ArtifactCache, FaultPlan, GctdOptions, ResizeKind, SlotKind};
+use matc::perf::PerfOptions;
 use matc::vm::compile::{compile, lower_for_mcc};
 use matc::vm::{Interp, MccVm, PlannedVm};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: matc <run|emit-c|plan|stats|audit> [--no-gctd] [--seed N] [--mcc|--interp] [--json] file.m [more.m ...]\n       matc audit-bench     audit every benchsuite program's plan\n       matc runtime <dir>   write the mrt C support runtime (mrt.h, mrt.c)\n       matc batch [--jobs N] [--cache-dir DIR] [--stats FILE] [--emit-dir DIR]\n                  [--no-gctd] [--repeat N] [--bench] [--selfcheck]\n                  [--keep-going|--fail-fast] [--phase-timeout-ms N] [--fuel N]\n                  [--faults SPEC] [driver.m[,helper.m...] ...]\n                            compile many programs in parallel with caching;\n                            --selfcheck proves parallel/sequential/cached runs\n                            byte-identical and reports the speedup;\n                            --faults takes a seeded fault-injection spec\n                            (also read from MATC_FAULTS), e.g.\n                            seed=7,read=10,write=30,panic=0,audit=100,transient=2\n       batch exit codes: 0 all units clean, 1 unit(s) failed, 2 usage,\n                         3 all compiled but some degraded to the\n                         conservative plan"
+        "usage: matc <run|emit-c|plan|stats|audit> [--no-gctd] [--seed N] [--mcc|--interp] [--json] file.m [more.m ...]\n       matc audit-bench     audit every benchsuite program's plan\n       matc runtime <dir>   write the mrt C support runtime (mrt.h, mrt.c)\n       matc batch [--jobs N] [--cache-dir DIR] [--stats FILE] [--emit-dir DIR]\n                  [--no-gctd] [--repeat N] [--bench] [--selfcheck]\n                  [--keep-going|--fail-fast] [--phase-timeout-ms N] [--fuel N]\n                  [--faults SPEC] [driver.m[,helper.m...] ...]\n                            compile many programs in parallel with caching;\n                            --selfcheck proves parallel/sequential/cached runs\n                            byte-identical and reports the speedup;\n                            --faults takes a seeded fault-injection spec\n                            (also read from MATC_FAULTS), e.g.\n                            seed=7,read=10,write=30,panic=0,audit=100,transient=2\n       batch exit codes: 0 all units clean, 1 unit(s) failed, 2 usage,\n                         3 all compiled but some degraded to the\n                         conservative plan\n       matc perf-bench [--samples N] [--warmup N] [--baseline FILE] [--bless]\n                            compile the benchsuite + paper_scale, record\n                            median phase times / fixpoint iterations /\n                            interference edges per second in BENCH_gctd.json,\n                            and fail on >25% regression vs the committed\n                            baseline (tolerance via MATC_PERF_TOLERANCE;\n                            --bless rewrites the baseline)"
     );
     ExitCode::from(2)
 }
@@ -248,6 +250,41 @@ fn batch_cli(args: &[String]) -> ExitCode {
     }
 }
 
+/// The `matc perf-bench` subcommand: measure the tracked perf suite and
+/// bless or gate against the committed baseline (DESIGN.md §8).
+fn perf_bench_cli(args: &[String]) -> ExitCode {
+    let mut opts = PerfOptions::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--samples" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n >= 1 => opts.samples = n,
+                _ => return usage(),
+            },
+            "--warmup" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) => opts.warmup = n,
+                None => return usage(),
+            },
+            "--baseline" => match it.next() {
+                Some(p) => opts.baseline = p.into(),
+                None => return usage(),
+            },
+            "--bless" => opts.bless = true,
+            _ => return usage(),
+        }
+    }
+    match matc::perf::run_gate(&opts) {
+        Ok(report) => {
+            print!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("matc: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 /// Lints the AST and re-audits the storage plan the planner just built,
 /// returning the merged findings (plan build is independent of `compile`
 /// so corrupted plans can't hide behind the VM's own debug hook). The
@@ -353,6 +390,9 @@ fn main() -> ExitCode {
     }
     if cmd == "audit-bench" {
         return audit_bench();
+    }
+    if cmd == "perf-bench" {
+        return perf_bench_cli(&args[1..]);
     }
     if files.is_empty() {
         return usage();

@@ -34,6 +34,7 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod perf;
 
 pub use matc_analysis as analysis;
 pub use matc_benchsuite as benchsuite;

@@ -1,0 +1,465 @@
+//! The `matc perf-bench` gate: a tracked performance benchmark over
+//! the full benchsuite plus the synthetic `paper_scale` stress unit.
+//!
+//! The gate compiles every unit single-threaded (so phase times are
+//! not diluted by scheduling), repeats the run `samples` times after a
+//! warmup, and takes the per-metric median (via the criterion shim's
+//! [`median`]). The result is written to a machine-readable JSON
+//! document — `BENCH_gctd.json` at the repo root — recording phase
+//! times, dataflow fixpoint iterations, interference edges and
+//! edges/second, and the peak dense live-set row width in words (see
+//! DESIGN.md §8 for the schema).
+//!
+//! When a baseline document already exists the run *compares* instead
+//! of rewriting: any gated metric more than `tolerance` (default 25%,
+//! overridable through the [`TOLERANCE_ENV`] environment variable for
+//! slow CI machines) above the baseline fails the gate. `--bless`
+//! rewrites the baseline in place.
+
+use crate::batch::{bench_units, run_batch, BatchConfig, Unit};
+use criterion::median;
+use matc_benchsuite::{paper_scale_source, Preset, PAPER_SCALE_STAGES};
+use matc_gctd::{GctdOptions, Phase};
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Environment variable holding a replacement regression tolerance
+/// (a fraction: `0.25` allows 25% over baseline). CI machines with
+/// noisy or slower clocks can widen the gate without editing the
+/// committed baseline.
+pub const TOLERANCE_ENV: &str = "MATC_PERF_TOLERANCE";
+
+/// Default regression tolerance: 25% over baseline fails.
+pub const DEFAULT_TOLERANCE: f64 = 0.25;
+
+/// Schema version of the `BENCH_gctd.json` document.
+pub const BENCH_SCHEMA: u64 = 1;
+
+/// Default baseline path, relative to the invocation directory.
+pub const DEFAULT_BASELINE: &str = "BENCH_gctd.json";
+
+/// Gate configuration (see [`run_gate`]).
+#[derive(Debug, Clone)]
+pub struct PerfOptions {
+    /// Timed runs per metric (the median is kept).
+    pub samples: usize,
+    /// Untimed runs before sampling starts.
+    pub warmup: usize,
+    /// Baseline document path.
+    pub baseline: PathBuf,
+    /// Rewrite the baseline instead of comparing against it.
+    pub bless: bool,
+}
+
+impl Default for PerfOptions {
+    fn default() -> Self {
+        PerfOptions {
+            samples: 5,
+            warmup: 1,
+            baseline: PathBuf::from(DEFAULT_BASELINE),
+            bless: false,
+        }
+    }
+}
+
+/// One measured (or parsed-from-baseline) benchmark document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchDoc {
+    /// Timed runs the medians were taken over.
+    pub samples: u64,
+    /// Compilation units in the suite (11 paper benchmarks + `paper_scale`).
+    pub units: u64,
+    /// Dataflow worklist visits (liveness + availability + reachability),
+    /// summed over all functions of all units. Deterministic.
+    pub fixpoint_iters: u64,
+    /// Interference-graph edges, summed over units. Deterministic.
+    pub interference_edges: u64,
+    /// Widest dense live-set row, in `u64` words, over all functions.
+    pub peak_live_words: u64,
+    /// Interference edges built per second of interference-phase time.
+    pub edges_per_sec: u64,
+    /// Median microseconds inside the dataflow fixpoints alone.
+    pub dataflow_micros: u64,
+    /// Median per-phase totals, microseconds, in [`Phase::ALL`] order.
+    pub phase_micros: [u64; Phase::ALL.len()],
+    /// Median end-to-end wall time of one suite compilation.
+    pub wall_micros: u64,
+}
+
+impl BenchDoc {
+    /// Renders the document as deterministic, diff-friendly JSON.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "{{");
+        let _ = writeln!(s, "  \"schema\": {},", BENCH_SCHEMA);
+        let _ = writeln!(s, "  \"samples\": {},", self.samples);
+        let _ = writeln!(s, "  \"units\": {},", self.units);
+        let _ = writeln!(s, "  \"fixpoint_iters\": {},", self.fixpoint_iters);
+        let _ = writeln!(s, "  \"interference_edges\": {},", self.interference_edges);
+        let _ = writeln!(s, "  \"peak_live_words\": {},", self.peak_live_words);
+        let _ = writeln!(s, "  \"edges_per_sec\": {},", self.edges_per_sec);
+        let _ = writeln!(s, "  \"dataflow_micros\": {},", self.dataflow_micros);
+        for (i, p) in Phase::ALL.iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "  \"phase_{}_micros\": {},",
+                p.name(),
+                self.phase_micros[i]
+            );
+        }
+        let _ = writeln!(s, "  \"wall_micros\": {}", self.wall_micros);
+        let _ = writeln!(s, "}}");
+        s
+    }
+
+    /// Parses a document previously written by [`BenchDoc::to_json`].
+    pub fn from_json(doc: &str) -> Result<BenchDoc, String> {
+        let get =
+            |key: &str| json_u64(doc, key).ok_or_else(|| format!("baseline is missing \"{key}\""));
+        let schema = get("schema")?;
+        if schema != BENCH_SCHEMA {
+            return Err(format!(
+                "baseline schema {schema} != expected {BENCH_SCHEMA}; \
+                 re-bless with `matc perf-bench --bless`"
+            ));
+        }
+        let mut phase_micros = [0u64; Phase::ALL.len()];
+        for (i, p) in Phase::ALL.iter().enumerate() {
+            phase_micros[i] = get(&format!("phase_{}_micros", p.name()))?;
+        }
+        Ok(BenchDoc {
+            samples: get("samples")?,
+            units: get("units")?,
+            fixpoint_iters: get("fixpoint_iters")?,
+            interference_edges: get("interference_edges")?,
+            peak_live_words: get("peak_live_words")?,
+            edges_per_sec: get("edges_per_sec")?,
+            dataflow_micros: get("dataflow_micros")?,
+            phase_micros,
+            wall_micros: get("wall_micros")?,
+        })
+    }
+
+    fn phase(&self, phase: Phase) -> u64 {
+        self.phase_micros[Phase::ALL.iter().position(|p| *p == phase).unwrap()]
+    }
+}
+
+/// Scans `doc` for `"key": <integer>` (whitespace-tolerant).
+fn json_u64(doc: &str, key: &str) -> Option<u64> {
+    let needle = format!("\"{key}\"");
+    let at = doc.find(&needle)? + needle.len();
+    let rest = doc[at..].trim_start().strip_prefix(':')?.trim_start();
+    let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
+/// The unit list the gate compiles: all paper benchmarks (Test preset)
+/// plus the deterministic `paper_scale` stress generator.
+pub fn gate_units() -> Vec<Unit> {
+    let mut units = bench_units(Preset::Test);
+    units.push(Unit::new(
+        "paper_scale",
+        vec![paper_scale_source(PAPER_SCALE_STAGES)],
+    ));
+    units
+}
+
+/// Compiles the gate suite `warmup + samples` times (single-threaded,
+/// uncached) and returns the median-of-samples document.
+pub fn measure(samples: usize, warmup: usize) -> Result<BenchDoc, String> {
+    let units = gate_units();
+    let config = BatchConfig {
+        jobs: 1,
+        options: GctdOptions::default(),
+        fail_fast: false,
+        phase_timeout_ms: None,
+        fuel: None,
+        faults: None,
+    };
+    let samples = samples.max(1);
+    let mut phase_samples: Vec<Vec<u64>> = vec![Vec::new(); Phase::ALL.len()];
+    let mut dataflow_samples: Vec<u64> = Vec::new();
+    let mut wall_samples: Vec<u64> = Vec::new();
+    let mut counters: Option<(u64, u64, u64)> = None;
+    for round in 0..warmup + samples {
+        let res = run_batch(&units, &config, None);
+        if res.failed() > 0 {
+            let bad: Vec<&str> = res
+                .report
+                .units
+                .iter()
+                .filter(|u| !u.ok())
+                .map(|u| u.unit.as_str())
+                .collect();
+            return Err(format!("unit(s) failed to compile: {}", bad.join(", ")));
+        }
+        if round < warmup {
+            continue;
+        }
+        for (i, p) in Phase::ALL.iter().enumerate() {
+            phase_samples[i].push(res.report.phase_total_micros(*p));
+        }
+        dataflow_samples.push(
+            res.report
+                .units
+                .iter()
+                .map(|u| u.dataflow_nanos / 1_000)
+                .sum(),
+        );
+        wall_samples.push(res.report.wall_micros);
+        let iters: u64 = res.report.units.iter().map(|u| u.dataflow_iters).sum();
+        let edges: u64 = res
+            .report
+            .units
+            .iter()
+            .map(|u| u.interference_edges as u64)
+            .sum();
+        let words = res
+            .report
+            .units
+            .iter()
+            .map(|u| u.peak_live_words)
+            .max()
+            .unwrap_or(0);
+        // The counter triple is deterministic; any drift between
+        // samples means the compiler itself is nondeterministic.
+        match counters {
+            None => counters = Some((iters, edges, words)),
+            Some(prev) if prev != (iters, edges, words) => {
+                return Err(format!(
+                    "nondeterministic counters across samples: {prev:?} vs {:?}",
+                    (iters, edges, words)
+                ));
+            }
+            Some(_) => {}
+        }
+    }
+    let (fixpoint_iters, interference_edges, peak_live_words) = counters.expect("samples >= 1");
+    let mut phase_micros = [0u64; Phase::ALL.len()];
+    for (i, v) in phase_samples.iter_mut().enumerate() {
+        phase_micros[i] = median(v).unwrap_or(0);
+    }
+    let interference_micros = phase_micros[Phase::ALL
+        .iter()
+        .position(|p| *p == Phase::Interference)
+        .unwrap()];
+    Ok(BenchDoc {
+        samples: samples as u64,
+        units: units.len() as u64,
+        fixpoint_iters,
+        interference_edges,
+        peak_live_words,
+        edges_per_sec: interference_edges * 1_000_000 / interference_micros.max(1),
+        dataflow_micros: median(&mut dataflow_samples).unwrap_or(0),
+        phase_micros,
+        wall_micros: median(&mut wall_samples).unwrap_or(0),
+    })
+}
+
+/// One gated metric's comparison outcome.
+#[derive(Debug, Clone)]
+pub struct GateLine {
+    /// Metric name as it appears in the JSON document.
+    pub metric: &'static str,
+    /// Baseline value.
+    pub baseline: u64,
+    /// Freshly measured value.
+    pub current: u64,
+    /// Whether `current` exceeds `baseline * (1 + tolerance)`.
+    pub regressed: bool,
+}
+
+/// Compares the gated metrics of `current` against `baseline`.
+/// Timing metrics and the (deterministic) fixpoint-iteration count are
+/// gated; lower is better for all of them. Pure so it is unit-testable
+/// without timing anything.
+pub fn compare(baseline: &BenchDoc, current: &BenchDoc, tolerance: f64) -> Vec<GateLine> {
+    let gated: [(&'static str, u64, u64); 5] = [
+        (
+            "dataflow_micros",
+            baseline.dataflow_micros,
+            current.dataflow_micros,
+        ),
+        (
+            "phase_interference_micros",
+            baseline.phase(Phase::Interference),
+            current.phase(Phase::Interference),
+        ),
+        (
+            "phase_coloring_micros",
+            baseline.phase(Phase::Coloring),
+            current.phase(Phase::Coloring),
+        ),
+        ("wall_micros", baseline.wall_micros, current.wall_micros),
+        (
+            "fixpoint_iters",
+            baseline.fixpoint_iters,
+            current.fixpoint_iters,
+        ),
+    ];
+    gated
+        .iter()
+        .map(|(metric, b, c)| GateLine {
+            metric,
+            baseline: *b,
+            current: *c,
+            regressed: (*c as f64) > (*b as f64) * (1.0 + tolerance),
+        })
+        .collect()
+}
+
+/// The regression tolerance: [`TOLERANCE_ENV`] if set and parseable,
+/// [`DEFAULT_TOLERANCE`] otherwise.
+pub fn tolerance_from_env() -> Result<f64, String> {
+    match std::env::var(TOLERANCE_ENV) {
+        Ok(v) => v
+            .parse::<f64>()
+            .ok()
+            .filter(|t| t.is_finite() && *t >= 0.0)
+            .ok_or_else(|| format!("bad {TOLERANCE_ENV} value {v:?} (want a fraction like 0.25)")),
+        Err(_) => Ok(DEFAULT_TOLERANCE),
+    }
+}
+
+/// Renders the comparison table.
+pub fn render_gate(lines: &[GateLine], tolerance: f64) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{:26} {:>12} {:>12} {:>8}  gate (+{:.0}%)",
+        "metric",
+        "baseline",
+        "current",
+        "ratio",
+        tolerance * 100.0
+    );
+    for l in lines {
+        let ratio = l.current as f64 / (l.baseline as f64).max(1.0);
+        let _ = writeln!(
+            s,
+            "{:26} {:>12} {:>12} {:>7.2}x  {}",
+            l.metric,
+            l.baseline,
+            l.current,
+            ratio,
+            if l.regressed { "FAIL" } else { "ok" }
+        );
+    }
+    s
+}
+
+/// Runs the full gate: measure, then bless or compare `opts.baseline`.
+/// Returns the human-readable report, or an error describing the
+/// regression (or IO/parse failure).
+pub fn run_gate(opts: &PerfOptions) -> Result<String, String> {
+    let current = measure(opts.samples, opts.warmup)?;
+    let path: &Path = &opts.baseline;
+    let existing = std::fs::read_to_string(path).ok();
+    if opts.bless || existing.is_none() {
+        std::fs::write(path, current.to_json())
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        return Ok(format!(
+            "perf-bench: baseline {} {} ({} units, {} samples; interference {} us, \
+             dataflow {} us, {} fixpoint iters, {} edges, {} edges/s, {} live words)\n",
+            if opts.bless {
+                "blessed to"
+            } else {
+                "written to"
+            },
+            path.display(),
+            current.units,
+            current.samples,
+            current.phase(Phase::Interference),
+            current.dataflow_micros,
+            current.fixpoint_iters,
+            current.interference_edges,
+            current.edges_per_sec,
+            current.peak_live_words,
+        ));
+    }
+    let baseline = BenchDoc::from_json(&existing.expect("checked above"))
+        .map_err(|e| format!("{}: {e}", path.display()))?;
+    let tolerance = tolerance_from_env()?;
+    let lines = compare(&baseline, &current, tolerance);
+    let table = render_gate(&lines, tolerance);
+    let failed: Vec<&str> = lines
+        .iter()
+        .filter(|l| l.regressed)
+        .map(|l| l.metric)
+        .collect();
+    if failed.is_empty() {
+        Ok(format!("perf-bench: PASS vs {}\n{table}", path.display()))
+    } else {
+        Err(format!(
+            "perf-bench: REGRESSION in {} vs {}\n{table}",
+            failed.join(", "),
+            path.display()
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc() -> BenchDoc {
+        BenchDoc {
+            samples: 3,
+            units: 12,
+            fixpoint_iters: 1000,
+            interference_edges: 500,
+            peak_live_words: 4,
+            edges_per_sec: 250_000,
+            dataflow_micros: 100,
+            phase_micros: [10, 20, 30, 40, 50, 60, 70, 80, 90, 100],
+            wall_micros: 2000,
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let d = doc();
+        let j = d.to_json();
+        assert!(j.starts_with("{\n  \"schema\": 1,"), "{j}");
+        assert_eq!(BenchDoc::from_json(&j).unwrap(), d);
+    }
+
+    #[test]
+    fn from_json_rejects_missing_keys_and_bad_schema() {
+        assert!(BenchDoc::from_json("{}").unwrap_err().contains("schema"));
+        let j = doc().to_json().replace("\"schema\": 1", "\"schema\": 9");
+        assert!(BenchDoc::from_json(&j).unwrap_err().contains("schema 9"));
+        let j = doc().to_json().replace("wall_micros", "wall_milliparsecs");
+        assert!(BenchDoc::from_json(&j).unwrap_err().contains("wall_micros"));
+    }
+
+    #[test]
+    fn compare_gates_on_tolerance() {
+        let base = doc();
+        let mut cur = doc();
+        let lines = compare(&base, &cur, 0.25);
+        assert!(lines.iter().all(|l| !l.regressed));
+        // 30% slower dataflow: out of a 25% gate, inside a 50% one.
+        cur.dataflow_micros = 130;
+        let lines = compare(&base, &cur, 0.25);
+        assert_eq!(
+            lines
+                .iter()
+                .filter(|l| l.regressed)
+                .map(|l| l.metric)
+                .collect::<Vec<_>>(),
+            vec!["dataflow_micros"]
+        );
+        assert!(compare(&base, &cur, 0.5).iter().all(|l| !l.regressed));
+        let table = render_gate(&lines, 0.25);
+        assert!(table.contains("FAIL"), "{table}");
+    }
+
+    #[test]
+    fn gate_unit_list_ends_with_paper_scale() {
+        let units = gate_units();
+        assert_eq!(units.last().unwrap().name, "paper_scale");
+        assert_eq!(units.len(), 12);
+    }
+}

@@ -148,19 +148,23 @@ fn batch_compiles_units_with_cache_and_matches_emit_c() {
     let emitted = std::fs::read(dir.join("out/batch_a.c")).unwrap();
     assert_eq!(emitted, direct.stdout);
 
-    // The stats document has the advertised shape. The schema-v2
-    // prefix and the always-present per-unit fault-tolerance arrays
-    // are a stability contract (DESIGN.md §6/§7): downstream tooling
+    // The stats document has the advertised shape. The schema-v3
+    // prefix, the always-present per-unit fault-tolerance arrays, and
+    // the dataflow-engine counters inside `interference` are a
+    // stability contract (DESIGN.md §6/§7/§8): downstream tooling
     // keys on them, so this assert must only ever change together with
     // a schema-version bump.
     let stats = std::fs::read_to_string(dir.join("stats.json")).unwrap();
-    assert!(stats.starts_with("{\"schema\":2,"), "{stats}");
+    assert!(stats.starts_with("{\"schema\":3,"), "{stats}");
     assert!(stats.contains("\"jobs\":2"), "{stats}");
     assert!(stats.contains("\"phase_totals_micros\""), "{stats}");
     assert!(stats.contains("\"unit\":\"batch_a\""), "{stats}");
     assert!(stats.contains("\"status\":\"ok\""), "{stats}");
     assert!(stats.contains("\"degradations\":[]"), "{stats}");
     assert!(stats.contains("\"budget_exceeded\":[]"), "{stats}");
+    assert!(stats.contains("\"dataflow_iters\":"), "{stats}");
+    assert!(stats.contains("\"peak_live_words\":"), "{stats}");
+    assert!(stats.contains("\"dataflow_micros\":"), "{stats}");
 
     // A second process over the same cache dir hits every unit and
     // emits identical bytes.

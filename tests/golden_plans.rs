@@ -1,0 +1,88 @@
+//! Golden storage-plan and audit snapshots for the 11 benchsuite
+//! programs.
+//!
+//! The bitset dataflow engine must be observationally identical to the
+//! set-based one it replaced: every benchmark's storage plan (`matc
+//! plan` rendering) and audit verdict JSON are pinned byte-for-byte
+//! under `tests/golden/`, blessed from the pre-bitset implementation.
+//! Any analysis change that perturbs liveness, availability,
+//! interference, coloring or decomposition shows up here as a
+//! reviewable diff. To accept an intentional change:
+//!
+//! ```text
+//! BLESS=1 cargo test --test golden_plans
+//! ```
+//!
+//! and commit the regenerated files.
+
+use matc::batch::{bench_units, compile_unit};
+use matc::benchsuite::Preset;
+use matc::gctd::GctdOptions;
+use std::path::{Path, PathBuf};
+
+fn check_or_bless(
+    bless: bool,
+    path: &PathBuf,
+    unit: &str,
+    text: &str,
+    mismatches: &mut Vec<String>,
+) {
+    if bless {
+        std::fs::write(path, text).unwrap();
+        return;
+    }
+    match std::fs::read_to_string(path) {
+        Ok(golden) if golden == text => {}
+        Ok(golden) => {
+            let diff_line = golden
+                .lines()
+                .zip(text.lines())
+                .position(|(g, n)| g != n)
+                .map_or(golden.lines().count().min(text.lines().count()) + 1, |i| {
+                    i + 1
+                });
+            mismatches.push(format!(
+                "{unit}: differs from {} starting at line {diff_line} ({} -> {} bytes)",
+                path.display(),
+                golden.len(),
+                text.len()
+            ));
+        }
+        Err(e) => mismatches.push(format!("{unit}: cannot read {}: {e}", path.display())),
+    }
+}
+
+#[test]
+fn benchsuite_plans_and_audits_match_golden_snapshots() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden");
+    let bless = std::env::var_os("BLESS").is_some();
+    if bless {
+        std::fs::create_dir_all(&dir).unwrap();
+    }
+    let mut mismatches = Vec::new();
+    for unit in bench_units(Preset::Test) {
+        let out = compile_unit(&unit, GctdOptions::default(), None);
+        let artifact = out
+            .artifact
+            .unwrap_or_else(|| panic!("`{}` failed: {:?}", unit.name, out.metrics.error));
+        check_or_bless(
+            bless,
+            &dir.join(format!("{}.plan", unit.name)),
+            &unit.name,
+            &artifact.plan_text,
+            &mut mismatches,
+        );
+        check_or_bless(
+            bless,
+            &dir.join(format!("{}.audit.json", unit.name)),
+            &unit.name,
+            &artifact.audit_json,
+            &mut mismatches,
+        );
+    }
+    assert!(
+        mismatches.is_empty(),
+        "golden plan/audit mismatch (rerun with BLESS=1 to accept):\n{}",
+        mismatches.join("\n")
+    );
+}

@@ -285,6 +285,52 @@ fn check_batch_cached(src: &str) {
     );
 }
 
+/// The dense bitset worklist dataflow engine against the retained
+/// naive three-sweep reference (`Dataflow::compute_reference`):
+/// set-for-set identical liveness, availability and reachability on
+/// every function of every generated CFG. This is the direct
+/// differential witness for the PR-4 engine swap — the golden plan
+/// snapshots prove end-to-end byte identity, this proves the dataflow
+/// layer itself.
+fn check_dataflow_reference(src: &str) {
+    use matc::gctd::Dataflow;
+    use matc::ir::BlockId;
+
+    let ast = matc::frontend::parse_program([src]).unwrap();
+    let mut ir = matc::ir::build_ssa(&ast).unwrap();
+    matc::passes::optimize_program(&mut ir);
+    for func in &ir.functions {
+        let fast = Dataflow::compute(func);
+        let naive = Dataflow::compute_reference(func);
+        assert_eq!(fast.live_in, naive.live_in, "live_in diverged on:\n{src}");
+        assert_eq!(
+            fast.live_out, naive.live_out,
+            "live_out diverged on:\n{src}"
+        );
+        assert_eq!(
+            fast.avail_out, naive.avail_out,
+            "avail_out diverged on:\n{src}"
+        );
+        assert_eq!(
+            fast.def_site, naive.def_site,
+            "def_site diverged on:\n{src}"
+        );
+        assert_eq!(
+            fast.is_param, naive.is_param,
+            "is_param diverged on:\n{src}"
+        );
+        for a in 0..func.blocks.len() {
+            for b in 0..func.blocks.len() {
+                assert_eq!(
+                    fast.block_reaches(BlockId::new(a), BlockId::new(b)),
+                    naive.block_reaches(BlockId::new(a), BlockId::new(b)),
+                    "reachability {a}->{b} diverged on:\n{src}"
+                );
+            }
+        }
+    }
+}
+
 /// The degradation ladder's correctness claim, checked behaviorally:
 /// a program forced down to the mcc-style all-heap fallback — by a
 /// synthetic audit violation on every function, and separately by fuel
@@ -367,6 +413,7 @@ proptest! {
     ) {
         let src = render(&stmts);
         check_program(&src);
+        check_dataflow_reference(&src);
         check_batch_cached(&src);
         check_forced_fallback(&src);
     }
