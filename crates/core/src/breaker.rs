@@ -1,0 +1,291 @@
+//! Per-key circuit breakers for the compile service.
+//!
+//! The `matc serve` daemon compiles whatever sources clients send it. A
+//! unit that reliably panics the planner (or reliably fails its audit)
+//! would otherwise burn a worker thread — and a `catch_unwind` ride
+//! through the degradation ladder — on every retry a client throws at
+//! it. A [`BreakerMap`] quarantines such units by their content hash:
+//!
+//! * **Closed** — requests flow; consecutive failures are counted, a
+//!   success resets the count.
+//! * **Open** — after `threshold` *consecutive* failures the key is
+//!   quarantined: requests are rejected structurally (no compile is
+//!   attempted) until `cooldown` has elapsed.
+//! * **Half-open** — after the cooldown, exactly one probe request is
+//!   admitted. Its success closes the breaker; its failure re-opens it
+//!   for another cooldown. Concurrent requests during the probe are
+//!   still rejected, so a flapping unit cannot stampede the pool.
+//!
+//! Time is passed in by the caller (`Instant::now()` at the service
+//! edge), which keeps every transition unit-testable without sleeping.
+
+use crate::isolate::lock_recover;
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Tuning for a [`BreakerMap`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive failures that open the breaker.
+    pub threshold: u32,
+    /// How long an open breaker rejects before admitting a half-open
+    /// probe.
+    pub cooldown: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            threshold: 3,
+            cooldown: Duration::from_millis(250),
+        }
+    }
+}
+
+/// Where a key's breaker currently stands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Requests flow normally.
+    Closed,
+    /// Quarantined: rejecting until the cooldown elapses.
+    Open,
+    /// Cooldown elapsed; one probe is in flight.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Stable lower-case name used in stats JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half-open",
+        }
+    }
+}
+
+/// The admission decision for one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerDecision {
+    /// Closed breaker: run the request.
+    Allow,
+    /// Half-open probe: run the request; its outcome decides the
+    /// breaker's fate, so the caller *must* report it.
+    AllowProbe,
+    /// Open breaker (or probe already in flight): reject without
+    /// compiling.
+    Reject,
+}
+
+#[derive(Debug)]
+struct Breaker {
+    consecutive_failures: u32,
+    state: BreakerState,
+    /// When the breaker last opened; the cooldown counts from here.
+    opened_at: Option<Instant>,
+}
+
+impl Breaker {
+    fn new() -> Breaker {
+        Breaker {
+            consecutive_failures: 0,
+            state: BreakerState::Closed,
+            opened_at: None,
+        }
+    }
+}
+
+/// A map of per-key circuit breakers (keys are unit content hashes).
+///
+/// All methods take `&self`; the map is internally locked so one
+/// instance can be shared across the daemon's worker threads.
+#[derive(Debug)]
+pub struct BreakerMap {
+    config: BreakerConfig,
+    inner: Mutex<HashMap<String, Breaker>>,
+}
+
+impl BreakerMap {
+    /// An empty map with the given tuning.
+    pub fn new(config: BreakerConfig) -> BreakerMap {
+        BreakerMap {
+            config,
+            inner: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Admission check for `key` at time `now`. A key with no history is
+    /// always allowed (no entry is created until a failure is
+    /// recorded).
+    pub fn check(&self, key: &str, now: Instant) -> BreakerDecision {
+        let mut map = lock_recover(&self.inner);
+        let Some(b) = map.get_mut(key) else {
+            return BreakerDecision::Allow;
+        };
+        match b.state {
+            BreakerState::Closed => BreakerDecision::Allow,
+            BreakerState::HalfOpen => BreakerDecision::Reject,
+            BreakerState::Open => {
+                let cooled = b
+                    .opened_at
+                    .is_none_or(|t| now.saturating_duration_since(t) >= self.config.cooldown);
+                if cooled {
+                    b.state = BreakerState::HalfOpen;
+                    BreakerDecision::AllowProbe
+                } else {
+                    BreakerDecision::Reject
+                }
+            }
+        }
+    }
+
+    /// Records a successful compile for `key`: resets the failure count
+    /// and closes the breaker (a successful half-open probe recovers
+    /// the key).
+    pub fn record_success(&self, key: &str) {
+        let mut map = lock_recover(&self.inner);
+        if let Some(b) = map.get_mut(key) {
+            b.consecutive_failures = 0;
+            b.state = BreakerState::Closed;
+            b.opened_at = None;
+        }
+    }
+
+    /// Records a failed compile (panic, audit rejection) for `key` at
+    /// time `now`. A failed half-open probe re-opens immediately; in the
+    /// closed state the `threshold`-th consecutive failure opens the
+    /// breaker.
+    pub fn record_failure(&self, key: &str, now: Instant) {
+        let mut map = lock_recover(&self.inner);
+        let b = map.entry(key.to_string()).or_insert_with(Breaker::new);
+        b.consecutive_failures = b.consecutive_failures.saturating_add(1);
+        match b.state {
+            BreakerState::HalfOpen => {
+                b.state = BreakerState::Open;
+                b.opened_at = Some(now);
+            }
+            BreakerState::Closed if b.consecutive_failures >= self.config.threshold => {
+                b.state = BreakerState::Open;
+                b.opened_at = Some(now);
+            }
+            _ => {}
+        }
+    }
+
+    /// The current state of `key`'s breaker (Closed when unknown).
+    /// Purely observational: unlike [`BreakerMap::check`] it never
+    /// transitions Open → HalfOpen.
+    pub fn state(&self, key: &str) -> BreakerState {
+        lock_recover(&self.inner)
+            .get(key)
+            .map_or(BreakerState::Closed, |b| b.state)
+    }
+
+    /// Count of keys per state, for the stats document:
+    /// `(closed, open, half_open)`. Only keys with recorded history are
+    /// counted.
+    pub fn counts(&self) -> (usize, usize, usize) {
+        let map = lock_recover(&self.inner);
+        let mut c = (0, 0, 0);
+        for b in map.values() {
+            match b.state {
+                BreakerState::Closed => c.0 += 1,
+                BreakerState::Open => c.1 += 1,
+                BreakerState::HalfOpen => c.2 += 1,
+            }
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map(threshold: u32, cooldown_ms: u64) -> BreakerMap {
+        BreakerMap::new(BreakerConfig {
+            threshold,
+            cooldown: Duration::from_millis(cooldown_ms),
+        })
+    }
+
+    #[test]
+    fn unknown_keys_are_allowed_without_creating_state() {
+        let m = map(3, 100);
+        let now = Instant::now();
+        assert_eq!(m.check("k", now), BreakerDecision::Allow);
+        assert_eq!(m.state("k"), BreakerState::Closed);
+        assert_eq!(m.counts(), (0, 0, 0));
+    }
+
+    #[test]
+    fn opens_only_after_threshold_consecutive_failures() {
+        let m = map(3, 100);
+        let now = Instant::now();
+        m.record_failure("k", now);
+        m.record_failure("k", now);
+        assert_eq!(m.check("k", now), BreakerDecision::Allow, "2 < threshold");
+        // A success resets the streak.
+        m.record_success("k");
+        m.record_failure("k", now);
+        m.record_failure("k", now);
+        assert_eq!(m.check("k", now), BreakerDecision::Allow);
+        m.record_failure("k", now);
+        assert_eq!(m.state("k"), BreakerState::Open);
+        assert_eq!(m.check("k", now), BreakerDecision::Reject);
+        assert_eq!(m.counts(), (0, 1, 0));
+    }
+
+    #[test]
+    fn cooldown_admits_one_probe_then_rejects_concurrents() {
+        let m = map(1, 50);
+        let t0 = Instant::now();
+        m.record_failure("k", t0);
+        assert_eq!(m.check("k", t0), BreakerDecision::Reject);
+        let cooled = t0 + Duration::from_millis(50);
+        assert_eq!(m.check("k", cooled), BreakerDecision::AllowProbe);
+        // While the probe is in flight, everyone else is rejected.
+        assert_eq!(m.check("k", cooled), BreakerDecision::Reject);
+        assert_eq!(m.state("k"), BreakerState::HalfOpen);
+    }
+
+    #[test]
+    fn probe_success_closes_and_probe_failure_reopens() {
+        let m = map(1, 50);
+        let t0 = Instant::now();
+        m.record_failure("bad", t0);
+        let cooled = t0 + Duration::from_millis(50);
+        assert_eq!(m.check("bad", cooled), BreakerDecision::AllowProbe);
+        m.record_failure("bad", cooled);
+        assert_eq!(m.state("bad"), BreakerState::Open);
+        assert_eq!(
+            m.check("bad", cooled + Duration::from_millis(1)),
+            BreakerDecision::Reject,
+            "re-opened breaker restarts its cooldown"
+        );
+        let recooled = cooled + Duration::from_millis(50);
+        assert_eq!(m.check("bad", recooled), BreakerDecision::AllowProbe);
+        m.record_success("bad");
+        assert_eq!(m.state("bad"), BreakerState::Closed);
+        assert_eq!(m.check("bad", recooled), BreakerDecision::Allow);
+        assert_eq!(m.counts(), (1, 0, 0));
+    }
+
+    #[test]
+    fn keys_are_independent() {
+        let m = map(1, 1_000);
+        let now = Instant::now();
+        m.record_failure("a", now);
+        assert_eq!(m.check("a", now), BreakerDecision::Reject);
+        assert_eq!(m.check("b", now), BreakerDecision::Allow);
+        assert_eq!(m.counts(), (0, 1, 0));
+    }
+
+    #[test]
+    fn state_names_are_stable_for_stats() {
+        assert_eq!(BreakerState::Closed.name(), "closed");
+        assert_eq!(BreakerState::Open.name(), "open");
+        assert_eq!(BreakerState::HalfOpen.name(), "half-open");
+    }
+}

@@ -22,7 +22,7 @@ use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::coloring::ColoringStrategy;
 use crate::fault::{FaultPlan, FaultSite};
@@ -345,6 +345,35 @@ fn take_line<'a>(rest: &mut &'a [u8]) -> Option<&'a [u8]> {
 /// clear within the retries; persistent ones degrade the cache).
 const WRITE_ATTEMPTS: u32 = 3;
 
+/// Hard cap on the *total* time one `put` may spend sleeping between
+/// write retries. Under the batch pool — and more so under `matc
+/// serve`, where a write retry sits on a request's latency path — a
+/// doomed write must degrade the disk layer quickly rather than stack
+/// up sleeps.
+const WRITE_BACKOFF_CAP: Duration = Duration::from_millis(20);
+
+/// The backoff to sleep before retry `attempt` (1-based), or `None`
+/// when `elapsed` (total time already spent in this key's retry loop)
+/// plus the delay would blow [`WRITE_BACKOFF_CAP`] — the caller then
+/// stops retrying.
+///
+/// The delay is an exponential base (1 ms, 2 ms, …) plus a
+/// deterministic jitter of 0–100% of the base derived from the key
+/// hash: workers that fail on *different* keys at the same instant
+/// desynchronize instead of re-colliding in lockstep, while the same
+/// key retries on a reproducible schedule.
+fn backoff_delay(key: &str, attempt: u32, elapsed: Duration) -> Option<Duration> {
+    let base_micros = 1_000u64 << (attempt.saturating_sub(1)).min(10);
+    let h = crate::fault::splitmix64(crate::fault::fnv1a(key) ^ u64::from(attempt));
+    let jitter_micros = h % (base_micros + 1);
+    let delay = Duration::from_micros(base_micros + jitter_micros);
+    if elapsed + delay > WRITE_BACKOFF_CAP {
+        None
+    } else {
+        Some(delay)
+    }
+}
+
 /// Thread-safe two-level (memory + optional disk) artifact cache.
 ///
 /// Disk-write failures are retried with a short backoff; if a write
@@ -461,11 +490,15 @@ impl ArtifactCache {
             let bytes = artifact.to_bytes();
             let mut last_err = String::new();
             let mut wrote = false;
+            let retry_start = Instant::now();
             for attempt in 0..WRITE_ATTEMPTS {
                 if attempt > 0 {
-                    // Short exponential backoff: 1ms, 2ms. Transient
-                    // contention clears; a read-only dir does not.
-                    std::thread::sleep(Duration::from_millis(1 << (attempt - 1)));
+                    match backoff_delay(&hex, attempt, retry_start.elapsed()) {
+                        Some(delay) => std::thread::sleep(delay),
+                        // Out of time budget: treat like exhausted
+                        // attempts and let the disk layer degrade.
+                        None => break,
+                    }
                 }
                 match self.write_once(dir, &hex, &bytes, attempt) {
                     Ok(()) => {
@@ -784,6 +817,58 @@ mod tests {
         assert!(fresh.get(&key_a).is_none());
         assert!(fresh.get(&key_b).is_none());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn write_backoff_is_jittered_deterministic_and_bounded() {
+        for attempt in 1..=2u32 {
+            let base = Duration::from_micros(1_000 << (attempt - 1));
+            let mut distinct = std::collections::BTreeSet::new();
+            for key in ["k0", "k1", "k2", "k3", "k4", "k5", "k6", "k7"] {
+                let d = backoff_delay(key, attempt, Duration::ZERO)
+                    .expect("zero elapsed never exceeds the cap");
+                assert!(d >= base, "jitter only adds: {d:?} < {base:?}");
+                assert!(d <= base * 2, "jitter is at most 100% of base: {d:?}");
+                assert_eq!(
+                    backoff_delay(key, attempt, Duration::ZERO),
+                    Some(d),
+                    "same key + attempt reproduces the same delay"
+                );
+                distinct.insert(d);
+            }
+            assert!(
+                distinct.len() > 1,
+                "attempt {attempt}: eight keys all backed off in lockstep"
+            );
+        }
+    }
+
+    #[test]
+    fn write_backoff_total_elapsed_is_capped() {
+        // At the cap (or past it) no further delay is granted.
+        assert_eq!(backoff_delay("k", 1, WRITE_BACKOFF_CAP), None);
+        assert_eq!(
+            backoff_delay("k", 1, WRITE_BACKOFF_CAP + Duration::from_secs(1)),
+            None
+        );
+        // Walking the real retry schedule, the summed sleeps of a full
+        // WRITE_ATTEMPTS run always fit under the cap — attempts are
+        // bounded by count *and* by time.
+        for key in ["a", "b", "c"] {
+            let mut elapsed = Duration::ZERO;
+            let mut retries = 0;
+            for attempt in 1..WRITE_ATTEMPTS {
+                match backoff_delay(key, attempt, elapsed) {
+                    Some(d) => {
+                        elapsed += d;
+                        retries += 1;
+                    }
+                    None => break,
+                }
+            }
+            assert!(elapsed <= WRITE_BACKOFF_CAP, "{key}: {elapsed:?}");
+            assert!(retries < WRITE_ATTEMPTS);
+        }
     }
 
     #[test]

@@ -21,6 +21,19 @@
 //!   function's GCTD plan, forcing the mcc-fallback rung of the
 //!   degradation ladder.
 //!
+//! Network-level probe sites, exercised by the `matc serve` daemon's
+//! chaos harness (keys are per-connection/per-request serials, so one
+//! seed reproduces one connection fate schedule):
+//!
+//! * `NetAccept` — an accepted connection is dropped before any byte is
+//!   read (accept failure from the client's point of view);
+//! * `NetDisconnect` — the connection is closed mid-frame, after the
+//!   request was read but before any response byte is written;
+//! * `NetStall` — a slow-loris read: the server stalls between reads of
+//!   the request frame (bounded by its idle timeout);
+//! * `NetTorn` — a torn response: only a prefix of the response frame
+//!   is written before the connection is closed.
+//!
 //! Plans are enabled via the `MATC_FAULTS` environment variable or the
 //! `--faults` CLI flag, both taking the spec grammar of
 //! [`FaultPlan::parse`].
@@ -41,6 +54,14 @@ pub enum FaultSite {
     PhasePanic,
     /// Synthetic storage-plan audit violation.
     AuditViolation,
+    /// Accepted connection dropped before any byte is read.
+    NetAccept,
+    /// Connection closed mid-frame: request read, no response written.
+    NetDisconnect,
+    /// Slow-loris read: the server stalls between request-frame reads.
+    NetStall,
+    /// Torn response: only a prefix of the response frame is written.
+    NetTorn,
 }
 
 impl FaultSite {
@@ -50,6 +71,10 @@ impl FaultSite {
             FaultSite::CacheWrite => 0xbf58_476d_1ce4_e5b9,
             FaultSite::PhasePanic => 0x94d0_49bb_1331_11eb,
             FaultSite::AuditViolation => 0x2545_f491_4f6c_dd1d,
+            FaultSite::NetAccept => 0x6a09_e667_f3bc_c908,
+            FaultSite::NetDisconnect => 0xbb67_ae85_84ca_a73b,
+            FaultSite::NetStall => 0x3c6e_f372_fe94_f82b,
+            FaultSite::NetTorn => 0xa54f_f53a_5f1d_36f1,
         }
     }
 }
@@ -75,6 +100,16 @@ pub struct FaultPlan {
     /// the write succeeds. `u8::MAX` means every attempt fails
     /// (persistent fault, e.g. a read-only cache dir).
     pub write_transient: u8,
+    /// Percentage (0–100) of accepted connections dropped before any
+    /// byte is read.
+    pub net_accept_pct: u8,
+    /// Percentage (0–100) of requests whose connection dies mid-frame
+    /// (request read, no response written).
+    pub net_disconnect_pct: u8,
+    /// Percentage (0–100) of request frames read slow-loris style.
+    pub net_stall_pct: u8,
+    /// Percentage (0–100) of responses torn after a prefix.
+    pub net_torn_pct: u8,
 }
 
 impl FaultPlan {
@@ -88,6 +123,10 @@ impl FaultPlan {
             phase_panic_pct: 0,
             audit_violation_pct: 0,
             write_transient: u8::MAX,
+            net_accept_pct: 0,
+            net_disconnect_pct: 0,
+            net_stall_pct: 0,
+            net_torn_pct: 0,
         }
     }
 
@@ -104,7 +143,6 @@ impl FaultPlan {
         const RATES: [u8; 4] = [0, 10, 30, 100];
         let h = splitmix64(seed ^ 0x5bf0_3635_dcb2_9359);
         FaultPlan {
-            seed,
             cache_read_pct: RATES[(h & 3) as usize],
             cache_write_pct: RATES[((h >> 2) & 3) as usize],
             phase_panic_pct: RATES[((h >> 4) & 3) as usize],
@@ -113,7 +151,35 @@ impl FaultPlan {
                 0 => u8::MAX, // persistent write failure
                 k => k as u8, // 1–3 failed attempts, then success
             },
+            // Network probes stay off: `from_seed` seeds the pipeline
+            // matrix, whose artifacts are pinned per seed.
+            ..FaultPlan::quiet(seed)
         }
+    }
+
+    /// Derives a network-chaos plan from a seed alone, for the serve
+    /// chaos matrix: every 8th seed is a connection-fault-free control,
+    /// and the rest pick each network site's rate from {0, 10, 30, 100}
+    /// by the seed's hash bits, with two of every eight seeds also
+    /// panicking phase entries so the matrix crosses connection faults
+    /// with in-pipeline faults. Pipeline cache/audit faults stay off —
+    /// the daemon under network chaos must serve *correct* artifacts,
+    /// and this keeps the reference bytes seed-independent.
+    pub fn net_from_seed(seed: u64) -> FaultPlan {
+        if seed.is_multiple_of(8) {
+            return FaultPlan::quiet(seed);
+        }
+        const RATES: [u8; 4] = [0, 10, 30, 100];
+        let h = splitmix64(seed ^ 0x1f83_d9ab_fb41_bd6b);
+        let mut plan = FaultPlan::quiet(seed);
+        plan.net_accept_pct = RATES[(h & 3) as usize];
+        plan.net_disconnect_pct = RATES[((h >> 2) & 3) as usize];
+        plan.net_stall_pct = RATES[((h >> 4) & 3) as usize];
+        plan.net_torn_pct = RATES[((h >> 6) & 3) as usize];
+        if seed % 8 >= 6 {
+            plan.phase_panic_pct = RATES[1 + ((h >> 8) & 1) as usize];
+        }
+        plan
     }
 
     /// Sets the cache-read corruption rate (builder style).
@@ -147,12 +213,45 @@ impl FaultPlan {
         self
     }
 
+    /// Sets the accept-drop rate (builder style).
+    pub fn net_accepts(mut self, pct: u8) -> FaultPlan {
+        self.net_accept_pct = pct.min(100);
+        self
+    }
+
+    /// Sets the mid-frame disconnect rate (builder style).
+    pub fn net_disconnects(mut self, pct: u8) -> FaultPlan {
+        self.net_disconnect_pct = pct.min(100);
+        self
+    }
+
+    /// Sets the slow-loris read-stall rate (builder style).
+    pub fn net_stalls(mut self, pct: u8) -> FaultPlan {
+        self.net_stall_pct = pct.min(100);
+        self
+    }
+
+    /// Sets the torn-response rate (builder style).
+    pub fn net_torn(mut self, pct: u8) -> FaultPlan {
+        self.net_torn_pct = pct.min(100);
+        self
+    }
+
     /// Whether any site has a non-zero rate.
     pub fn any_enabled(&self) -> bool {
         self.cache_read_pct > 0
             || self.cache_write_pct > 0
             || self.phase_panic_pct > 0
             || self.audit_violation_pct > 0
+            || self.any_net_enabled()
+    }
+
+    /// Whether any network probe site has a non-zero rate.
+    pub fn any_net_enabled(&self) -> bool {
+        self.net_accept_pct > 0
+            || self.net_disconnect_pct > 0
+            || self.net_stall_pct > 0
+            || self.net_torn_pct > 0
     }
 
     /// Whether the probe at `site` keyed by `key` fires. Deterministic
@@ -163,6 +262,10 @@ impl FaultPlan {
             FaultSite::CacheWrite => self.cache_write_pct,
             FaultSite::PhasePanic => self.phase_panic_pct,
             FaultSite::AuditViolation => self.audit_violation_pct,
+            FaultSite::NetAccept => self.net_accept_pct,
+            FaultSite::NetDisconnect => self.net_disconnect_pct,
+            FaultSite::NetStall => self.net_stall_pct,
+            FaultSite::NetTorn => self.net_torn_pct,
         };
         if pct == 0 {
             return false;
@@ -190,8 +293,9 @@ impl FaultPlan {
     /// Grammar: either a bare seed (`"42"`) or a comma-separated
     /// `key=value` list starting from [`FaultPlan::from_seed`] defaults:
     /// `seed=42,read=10,write=30,panic=0,audit=100,transient=2`.
-    /// `transient=max` makes write faults persistent. A spec without
-    /// `seed` is an error.
+    /// `transient=max` makes write faults persistent. Network probe
+    /// rates take the keys `accept=`, `disconnect=`, `stall=` and
+    /// `torn=` (all default 0). A spec without `seed` is an error.
     ///
     /// # Errors
     ///
@@ -238,6 +342,10 @@ impl FaultPlan {
                 "write" => plan.cache_write_pct = pct(&v)?,
                 "panic" => plan.phase_panic_pct = pct(&v)?,
                 "audit" => plan.audit_violation_pct = pct(&v)?,
+                "accept" => plan.net_accept_pct = pct(&v)?,
+                "disconnect" => plan.net_disconnect_pct = pct(&v)?,
+                "stall" => plan.net_stall_pct = pct(&v)?,
+                "torn" => plan.net_torn_pct = pct(&v)?,
                 "transient" => {
                     plan.write_transient = if v == "max" {
                         u8::MAX
@@ -281,12 +389,21 @@ impl fmt::Display for FaultPlan {
             } else {
                 self.write_transient.to_string()
             }
-        )
+        )?;
+        if self.any_net_enabled() {
+            write!(
+                f,
+                ",accept={},disconnect={},stall={},torn={}",
+                self.net_accept_pct, self.net_disconnect_pct, self.net_stall_pct, self.net_torn_pct
+            )?;
+        }
+        Ok(())
     }
 }
 
-/// SplitMix64 — the standard 64-bit finalizer-style mixer.
-fn splitmix64(mut z: u64) -> u64 {
+/// SplitMix64 — the standard 64-bit finalizer-style mixer. Crate-visible
+/// so the cache's retry jitter can reuse it.
+pub(crate) fn splitmix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
@@ -294,7 +411,7 @@ fn splitmix64(mut z: u64) -> u64 {
 }
 
 /// FNV-1a over the key string (stable across platforms and runs).
-fn fnv1a(s: &str) -> u64 {
+pub(crate) fn fnv1a(s: &str) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for b in s.as_bytes() {
         h ^= *b as u64;
@@ -357,6 +474,75 @@ mod tests {
         assert!(FaultPlan::parse("read=10").is_err(), "seed is required");
         assert!(FaultPlan::parse("seed=1,bogus=2").is_err());
         assert!(FaultPlan::parse("seed=1,read=101").is_err());
+    }
+
+    #[test]
+    fn pipeline_seed_mixture_never_enables_network_probes() {
+        // `from_seed` feeds the pinned pipeline fault matrix; adding the
+        // network sites must not perturb any existing seed's plan.
+        for seed in 0..200 {
+            let p = FaultPlan::from_seed(seed);
+            assert!(!p.any_net_enabled(), "seed {seed} gained a net fault");
+        }
+    }
+
+    #[test]
+    fn net_seed_mixture_covers_all_connection_fates() {
+        let plans: Vec<FaultPlan> = (0..50).map(FaultPlan::net_from_seed).collect();
+        assert!(plans.iter().any(|p| !p.any_enabled()), "some seeds quiet");
+        assert!(plans.iter().any(|p| p.net_accept_pct > 0));
+        assert!(plans.iter().any(|p| p.net_disconnect_pct > 0));
+        assert!(plans.iter().any(|p| p.net_stall_pct > 0));
+        assert!(plans.iter().any(|p| p.net_torn_pct > 0));
+        assert!(
+            plans
+                .iter()
+                .any(|p| p.phase_panic_pct > 0 && p.any_net_enabled()),
+            "some seeds cross net faults with unit panics"
+        );
+        assert!(
+            plans.iter().all(|p| p.cache_read_pct == 0
+                && p.cache_write_pct == 0
+                && p.audit_violation_pct == 0),
+            "net matrix keeps cache/audit probes off"
+        );
+    }
+
+    #[test]
+    fn net_spec_keys_parse_and_round_trip() {
+        let p = FaultPlan::parse("seed=4,accept=10,disconnect=30,stall=5,torn=100").unwrap();
+        assert_eq!(p.net_accept_pct, 10);
+        assert_eq!(p.net_disconnect_pct, 30);
+        assert_eq!(p.net_stall_pct, 5);
+        assert_eq!(p.net_torn_pct, 100);
+        assert!(p.any_net_enabled() && p.any_enabled());
+        let rendered = p.to_string();
+        assert!(
+            rendered.contains("torn=100"),
+            "net rates render: {rendered}"
+        );
+        assert_eq!(FaultPlan::parse(&rendered).unwrap(), p);
+        assert!(FaultPlan::parse("seed=1,stall=101").is_err());
+
+        let quiet = FaultPlan::quiet(3);
+        assert!(
+            !quiet.to_string().contains("accept="),
+            "all-zero net rates stay out of the rendering"
+        );
+        assert_eq!(FaultPlan::parse(&quiet.to_string()).unwrap(), quiet);
+    }
+
+    #[test]
+    fn net_sites_are_independent_of_pipeline_sites() {
+        let p = FaultPlan::quiet(9).net_torn(100);
+        assert!(p.fires(FaultSite::NetTorn, "conn3/req1"));
+        assert!(!p.fires(FaultSite::NetAccept, "conn3/req1"));
+        assert!(!p.fires(FaultSite::PhasePanic, "conn3/req1"));
+        let partial = FaultPlan::quiet(9).net_stalls(50);
+        let fates: Vec<bool> = (0..64)
+            .map(|i| partial.fires(FaultSite::NetStall, &format!("conn{i}")))
+            .collect();
+        assert!(fates.iter().any(|b| *b) && fates.iter().any(|b| !*b));
     }
 
     #[test]

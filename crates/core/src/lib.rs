@@ -41,6 +41,7 @@
 
 #![warn(missing_docs)]
 
+pub mod breaker;
 pub mod cache;
 pub mod coloring;
 pub mod fault;
@@ -51,6 +52,7 @@ pub mod metrics;
 pub mod order;
 pub mod plan;
 
+pub use breaker::{BreakerConfig, BreakerDecision, BreakerMap, BreakerState};
 pub use cache::{options_fingerprint, Artifact, ArtifactCache, CacheKey};
 pub use coloring::{Coloring, ColoringStrategy};
 pub use fault::{FaultPlan, FaultSite, FAULTS_ENV};

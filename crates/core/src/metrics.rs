@@ -448,14 +448,28 @@ impl BatchReport {
     /// `budget_exceeded` arrays and the `"degraded"` status were added;
     /// from 2 to 3 when the bitset dataflow engine's `dataflow_iters`,
     /// `peak_live_words` and `dataflow_micros` fields joined each
-    /// unit's `interference` object (PR 4).
-    pub const SCHEMA_VERSION: u32 = 3;
+    /// unit's `interference` object (PR 4); from 3 to 4 when the
+    /// `"kind"` discriminator (`"batch"` vs `"serve"`) was added so the
+    /// `matc serve` daemon can emit the same document shape extended
+    /// with a `server` object (DESIGN.md §9).
+    pub const SCHEMA_VERSION: u32 = 4;
 
-    /// The full stats document (`matc batch --stats`).
+    /// The full stats document (`matc batch --stats`), `"kind":"batch"`.
     pub fn to_json(&self) -> String {
+        self.to_json_with_kind("batch", "")
+    }
+
+    /// The stats document with an explicit `"kind"` and, when
+    /// `extra` is non-empty, additional top-level members spliced in
+    /// verbatim right after the kind (the serve daemon passes its
+    /// `"server":{…}` object here). `extra` must be either empty or a
+    /// comma-led fragment of valid JSON members.
+    pub fn to_json_with_kind(&self, kind: &str, extra: &str) -> String {
         let mut s = String::new();
         s.push('{');
         let _ = write!(s, "\"schema\":{}", Self::SCHEMA_VERSION);
+        let _ = write!(s, ",\"kind\":{}", json_string(kind));
+        s.push_str(extra);
         let _ = write!(s, ",\"jobs\":{}", self.jobs);
         let _ = write!(s, ",\"wall_micros\":{}", self.wall_micros);
         let _ = write!(
@@ -642,7 +656,12 @@ mod tests {
         assert_eq!(report.degraded(), 1);
         assert_eq!(report.failed(), 0);
         let j = report.to_json();
-        assert!(j.starts_with("{\"schema\":3,"), "{j}");
+        assert!(j.starts_with("{\"schema\":4,\"kind\":\"batch\","), "{j}");
+        let served = report.to_json_with_kind("serve", ",\"server\":{\"queue_depth\":0}");
+        assert!(
+            served.starts_with("{\"schema\":4,\"kind\":\"serve\",\"server\":{\"queue_depth\":0},"),
+            "{served}"
+        );
         assert!(report.render_table().contains("degraded (1 event(s))"));
         assert!(report
             .render_table()

@@ -36,6 +36,11 @@ pub enum BudgetKind {
     Fuel,
     /// The per-phase wall-clock deadline passed.
     WallClock,
+    /// The unit-wide deadline (e.g. a compile-service request deadline)
+    /// passed. Unlike the per-phase timeout it is *not* re-armed by
+    /// [`Budget::enter_phase`]; once it trips the whole request is out
+    /// of time and callers should not fall back to a slower path.
+    Deadline,
 }
 
 impl fmt::Display for BudgetKind {
@@ -43,6 +48,7 @@ impl fmt::Display for BudgetKind {
         match self {
             BudgetKind::Fuel => write!(f, "fuel"),
             BudgetKind::WallClock => write!(f, "wall-clock"),
+            BudgetKind::Deadline => write!(f, "deadline"),
         }
     }
 }
@@ -82,6 +88,8 @@ pub struct Budget {
     fuel_limit: Option<u64>,
     fuel_left: Cell<u64>,
     deadline: Cell<Option<Instant>>,
+    /// Absolute unit-wide deadline (request deadline); never re-armed.
+    hard_deadline: Option<Instant>,
     phase: Cell<&'static str>,
     tick: Cell<u32>,
 }
@@ -107,22 +115,50 @@ impl Budget {
             fuel_limit: fuel,
             fuel_left: Cell::new(fuel.unwrap_or(u64::MAX)),
             deadline: Cell::new(None),
+            hard_deadline: None,
             phase: Cell::new("start"),
             tick: Cell::new(0),
         }
     }
 
-    /// A fresh budget with the same wall-clock timeout but no fuel
-    /// limit — used for the conservative re-lower after a fuel trip, so
-    /// the fallback cannot be starved by the fuel the first attempt
-    /// already burned, while still being bounded in time.
-    pub fn without_fuel(&self) -> Budget {
-        Budget::new(self.phase_timeout, None)
+    /// Attaches an absolute unit-wide deadline (builder style). Unlike
+    /// the per-phase timeout it is never re-armed by
+    /// [`Budget::enter_phase`]; passing it trips
+    /// [`BudgetKind::Deadline`], which the degradation ladder treats as
+    /// fatal — a request that is out of time gains nothing from a
+    /// conservative re-lower. This is how `matc serve` threads each
+    /// request's deadline into the pipeline.
+    pub fn with_deadline(mut self, deadline: Instant) -> Budget {
+        self.hard_deadline = Some(deadline);
+        self
     }
 
-    /// True when neither limit is configured.
+    /// The unit-wide deadline, if one is set.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.hard_deadline
+    }
+
+    /// Whether the unit-wide deadline has already passed.
+    pub fn deadline_expired(&self) -> bool {
+        self.hard_deadline.is_some_and(|d| Instant::now() > d)
+    }
+
+    /// A fresh budget with the same wall-clock timeout (and unit-wide
+    /// deadline) but no fuel limit — used for the conservative re-lower
+    /// after a fuel trip, so the fallback cannot be starved by the fuel
+    /// the first attempt already burned, while still being bounded in
+    /// time.
+    pub fn without_fuel(&self) -> Budget {
+        let b = Budget::new(self.phase_timeout, None);
+        match self.hard_deadline {
+            Some(d) => b.with_deadline(d),
+            None => b,
+        }
+    }
+
+    /// True when no limit of any kind is configured.
     pub fn is_unlimited(&self) -> bool {
-        self.phase_timeout.is_none() && self.fuel_limit.is_none()
+        self.phase_timeout.is_none() && self.fuel_limit.is_none() && self.hard_deadline.is_none()
     }
 
     /// Fuel remaining, or `None` when no fuel limit is set.
@@ -156,11 +192,17 @@ impl Budget {
             }
             self.fuel_left.set(left - units);
         }
-        if let Some(deadline) = self.deadline.get() {
+        if self.deadline.get().is_some() || self.hard_deadline.is_some() {
             let t = self.tick.get().wrapping_add(1);
             self.tick.set(t);
-            if t.is_multiple_of(CLOCK_CHECK_PERIOD) && Instant::now() > deadline {
-                return Err(self.trip(BudgetKind::WallClock));
+            if t.is_multiple_of(CLOCK_CHECK_PERIOD) {
+                let now = Instant::now();
+                if self.hard_deadline.is_some_and(|d| now > d) {
+                    return Err(self.trip(BudgetKind::Deadline));
+                }
+                if self.deadline.get().is_some_and(|d| now > d) {
+                    return Err(self.trip(BudgetKind::WallClock));
+                }
             }
         }
         Ok(())
@@ -234,6 +276,52 @@ mod tests {
         let e = tripped.expect("zero deadline must trip within one check period");
         assert_eq!(e.kind, BudgetKind::WallClock);
         assert_eq!(e.phase, "type_infer");
+    }
+
+    #[test]
+    fn expired_hard_deadline_trips_as_deadline_kind() {
+        let b = Budget::new(None, None).with_deadline(Instant::now() - Duration::from_millis(1));
+        assert!(!b.is_unlimited());
+        assert!(b.deadline_expired());
+        b.enter_phase("type_infer");
+        let mut tripped = None;
+        for _ in 0..(CLOCK_CHECK_PERIOD * 2) {
+            if let Err(e) = b.spend(1) {
+                tripped = Some(e);
+                break;
+            }
+        }
+        let e = tripped.expect("expired deadline must trip within one check period");
+        assert_eq!(e.kind, BudgetKind::Deadline);
+        assert_eq!(e.phase, "type_infer");
+        assert!(e.to_string().contains("deadline"));
+    }
+
+    #[test]
+    fn entering_a_phase_does_not_rearm_the_hard_deadline() {
+        let b = Budget::new(Some(Duration::from_secs(3600)), None)
+            .with_deadline(Instant::now() - Duration::from_millis(1));
+        b.enter_phase("interference");
+        b.enter_phase("coloring");
+        let mut tripped = None;
+        for _ in 0..(CLOCK_CHECK_PERIOD * 2) {
+            if let Err(e) = b.spend(1) {
+                tripped = Some(e);
+                break;
+            }
+        }
+        // The generous per-phase timeout was re-armed, but the hard
+        // deadline still fires.
+        assert_eq!(tripped.expect("deadline fires").kind, BudgetKind::Deadline);
+    }
+
+    #[test]
+    fn without_fuel_preserves_the_hard_deadline() {
+        let d = Instant::now() + Duration::from_secs(5);
+        let b = Budget::new(None, Some(1)).with_deadline(d);
+        let relaxed = b.without_fuel();
+        assert_eq!(relaxed.deadline(), Some(d));
+        assert_eq!(relaxed.fuel_left(), None);
     }
 
     #[test]

@@ -155,6 +155,17 @@ pub fn compile_resilient(
     faults: FaultPlan,
     rec: &mut UnitMetrics,
 ) -> Result<(Compiled, Diagnostics), ResilientError> {
+    // A request whose deadline already passed (queue wait under load)
+    // fails fast before any phase runs: the ladder cannot buy time back.
+    if budget.deadline_expired() {
+        let be = BudgetError {
+            phase: "start",
+            kind: matc_ir::BudgetKind::Deadline,
+        };
+        note_budget(rec, &be);
+        return Err(ResilientError::Budget(be));
+    }
+
     let unit = rec.unit.clone();
     let s = ast.stats();
     rec.ast_functions = s.functions;
@@ -177,6 +188,12 @@ pub fn compile_resilient(
         Ok(s) => s,
         Err(be) => {
             note_budget(rec, &be);
+            if be.kind == matc_ir::BudgetKind::Deadline {
+                // The request deadline has passed: no rung of the
+                // ladder can finish in time, so fail fast instead of
+                // burning more wall clock on the conservative path.
+                return Err(ResilientError::Budget(be));
+            }
             degrade(rec, "", "optimize_budget", be.to_string());
             conservative = true;
             OptStats::default()
@@ -209,9 +226,10 @@ pub fn compile_resilient(
         Ok(ty) => ty,
         Err(be) => {
             note_budget(rec, &be);
-            if conservative {
-                // Already on the cheapest path; a wall-clock trip here
-                // means the unit genuinely cannot be compiled in time.
+            if conservative || be.kind == matc_ir::BudgetKind::Deadline {
+                // Already on the cheapest path (or out of request
+                // deadline); the unit genuinely cannot be compiled in
+                // time.
                 return Err(ResilientError::Budget(be));
             }
             degrade(rec, "", "type_infer_budget", be.to_string());
@@ -263,7 +281,9 @@ pub fn compile_resilient(
             Ok(Ok(p)) => Some(p),
             Ok(Err(be)) => {
                 note_budget(rec, &be);
-                if be.kind == matc_ir::BudgetKind::WallClock && conservative {
+                if (be.kind == matc_ir::BudgetKind::WallClock && conservative)
+                    || be.kind == matc_ir::BudgetKind::Deadline
+                {
                     return Err(ResilientError::Budget(be));
                 }
                 failure = Some(("plan_budget", be.to_string()));
@@ -473,6 +493,41 @@ mod tests {
         let caught = isolate(|| run(&ast, &Budget::unlimited(), FaultPlan::quiet(5).panics(100)));
         let msg = caught.expect_err("100% panic rate fires at optimize");
         assert!(msg.contains("injected fault"), "{msg}");
+    }
+
+    #[test]
+    fn expired_request_deadline_fails_fast_without_degrading() {
+        let ast = sample();
+        let budget = Budget::new(None, None)
+            .with_deadline(std::time::Instant::now() - Duration::from_millis(1));
+        let (res, m) = run(&ast, &budget, FaultPlan::quiet(0));
+        match res {
+            Err(ResilientError::Budget(be)) => {
+                assert_eq!(be.kind, matc_ir::BudgetKind::Deadline);
+            }
+            other => panic!("expected a deadline budget error, got {other:?}"),
+        }
+        assert!(
+            m.degradations.is_empty(),
+            "an out-of-time request must not burn time on the conservative path"
+        );
+        assert_eq!(m.budget_exceeded.len(), 1);
+        assert_eq!(m.budget_exceeded[0].kind, "deadline");
+    }
+
+    #[test]
+    fn generous_deadline_compiles_identically_to_unlimited() {
+        let ast = sample();
+        let budget = Budget::new(None, None)
+            .with_deadline(std::time::Instant::now() + Duration::from_secs(3600));
+        let (res, m) = run(&ast, &budget, FaultPlan::quiet(0));
+        let (compiled, diags) = res.unwrap();
+        assert_eq!(diags.error_count(), 0);
+        assert!(m.degradations.is_empty() && m.budget_exceeded.is_empty());
+        let (reference, _) = run(&ast, &Budget::unlimited(), FaultPlan::quiet(0))
+            .0
+            .unwrap();
+        assert_eq!(compiled.plans.total_stats(), reference.plans.total_stats());
     }
 
     #[test]

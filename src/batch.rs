@@ -67,6 +67,10 @@ pub struct BatchConfig {
     pub fuel: Option<u64>,
     /// Seeded fault-injection plan (`--faults` / `MATC_FAULTS`).
     pub faults: Option<FaultPlan>,
+    /// Absolute unit-wide deadline (a `matc serve` request deadline).
+    /// Unlike the per-phase timeout, tripping it is fatal — the
+    /// degradation ladder does not retry a request that is out of time.
+    pub deadline: Option<Instant>,
 }
 
 impl Default for BatchConfig {
@@ -78,6 +82,7 @@ impl Default for BatchConfig {
             phase_timeout_ms: None,
             fuel: None,
             faults: None,
+            deadline: None,
         }
     }
 }
@@ -293,10 +298,13 @@ pub fn compile_unit_with(
             }
         };
 
-        let budget = Budget::new(
+        let mut budget = Budget::new(
             config.phase_timeout_ms.map(Duration::from_millis),
             config.fuel,
         );
+        if let Some(d) = config.deadline {
+            budget = budget.with_deadline(d);
+        }
         let (compiled, diags) = match compile_resilient(&ast, options, &budget, faults, &mut m) {
             Ok(x) => x,
             Err(e) => {
@@ -767,6 +775,44 @@ mod tests {
         // And the clean artifacts do get cached.
         let warm = run_batch(&units, &clean_cfg, Some(&cache));
         assert_eq!(warm.report.cache_hits, 2);
+    }
+
+    #[test]
+    fn expired_request_deadline_fails_units_without_caching() {
+        let units = tiny_units(2);
+        let cache = ArtifactCache::in_memory();
+        let cfg = BatchConfig {
+            jobs: 2,
+            deadline: Some(Instant::now() - Duration::from_millis(1)),
+            ..BatchConfig::default()
+        };
+        let res = run_batch(&units, &cfg, Some(&cache));
+        assert_eq!(res.failed(), 2);
+        for o in &res.outcomes {
+            let err = o.metrics.error.as_deref().unwrap();
+            assert!(err.contains("deadline"), "{err}");
+            assert!(o.artifact.is_none());
+        }
+        // Deadline-expired attempts must not have published anything.
+        let clean = run_batch(&units, &BatchConfig::default(), Some(&cache));
+        assert_eq!(clean.report.cache_hits, 0);
+        assert_eq!(clean.failed(), 0);
+    }
+
+    #[test]
+    fn generous_request_deadline_is_invisible() {
+        let units = tiny_units(2);
+        let reference = artifact_bytes(&run_batch(&units, &BatchConfig::default(), None));
+        let cfg = BatchConfig {
+            deadline: Some(Instant::now() + Duration::from_secs(3600)),
+            ..BatchConfig::default()
+        };
+        let res = run_batch(&units, &cfg, None);
+        assert_eq!(res.failed(), 0);
+        for o in &res.outcomes {
+            assert!(o.metrics.budget_exceeded.is_empty());
+        }
+        assert_eq!(artifact_bytes(&res), reference);
     }
 
     #[test]

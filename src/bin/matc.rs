@@ -9,6 +9,8 @@
 //! matc audit program.m [...]               lint + re-audit the storage plan
 //! matc audit-bench                         audit every benchsuite program
 //! matc batch [units ...]                   parallel batch compilation
+//! matc serve [--addr A]                    resilient compile-service daemon
+//! matc request [--addr A] file.m [...]     client for a running daemon
 //! matc perf-bench                          tracked performance gate
 //! ```
 //!
@@ -25,14 +27,16 @@ use matc::batch::{bench_units, run_batch, selfcheck, BatchConfig, Unit};
 use matc::frontend::parse_program;
 use matc::gctd::plan_program;
 use matc::gctd::{ArtifactCache, FaultPlan, GctdOptions, ResizeKind, SlotKind};
+use matc::json::Json;
 use matc::perf::PerfOptions;
+use matc::serve::{RequestOptions, ServeConfig};
 use matc::vm::compile::{compile, lower_for_mcc};
 use matc::vm::{Interp, MccVm, PlannedVm};
 use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: matc <run|emit-c|plan|stats|audit> [--no-gctd] [--seed N] [--mcc|--interp] [--json] file.m [more.m ...]\n       matc audit-bench     audit every benchsuite program's plan\n       matc runtime <dir>   write the mrt C support runtime (mrt.h, mrt.c)\n       matc batch [--jobs N] [--cache-dir DIR] [--stats FILE] [--emit-dir DIR]\n                  [--no-gctd] [--repeat N] [--bench] [--selfcheck]\n                  [--keep-going|--fail-fast] [--phase-timeout-ms N] [--fuel N]\n                  [--faults SPEC] [driver.m[,helper.m...] ...]\n                            compile many programs in parallel with caching;\n                            --selfcheck proves parallel/sequential/cached runs\n                            byte-identical and reports the speedup;\n                            --faults takes a seeded fault-injection spec\n                            (also read from MATC_FAULTS), e.g.\n                            seed=7,read=10,write=30,panic=0,audit=100,transient=2\n       batch exit codes: 0 all units clean, 1 unit(s) failed, 2 usage,\n                         3 all compiled but some degraded to the\n                         conservative plan\n       matc perf-bench [--samples N] [--warmup N] [--baseline FILE] [--bless]\n                            compile the benchsuite + paper_scale, record\n                            median phase times / fixpoint iterations /\n                            interference edges per second in BENCH_gctd.json,\n                            and fail on >25% regression vs the committed\n                            baseline (tolerance via MATC_PERF_TOLERANCE;\n                            --bless rewrites the baseline)"
+        "usage: matc <run|emit-c|plan|stats|audit> [--no-gctd] [--seed N] [--mcc|--interp] [--json] file.m [more.m ...]\n       matc audit-bench     audit every benchsuite program's plan\n       matc runtime <dir>   write the mrt C support runtime (mrt.h, mrt.c)\n       matc batch [--jobs N] [--cache-dir DIR] [--stats FILE] [--emit-dir DIR]\n                  [--no-gctd] [--repeat N] [--bench] [--selfcheck]\n                  [--keep-going|--fail-fast] [--phase-timeout-ms N] [--fuel N]\n                  [--faults SPEC] [driver.m[,helper.m...] ...]\n                            compile many programs in parallel with caching;\n                            --selfcheck proves parallel/sequential/cached runs\n                            byte-identical and reports the speedup;\n                            --faults takes a seeded fault-injection spec\n                            (also read from MATC_FAULTS), e.g.\n                            seed=7,read=10,write=30,panic=0,audit=100,transient=2\n       batch exit codes: 0 all units clean, 1 unit(s) failed, 2 usage,\n                         3 all compiled but some degraded to the\n                         conservative plan\n       matc serve [--addr HOST:PORT] [--jobs N] [--queue-cap N] [--high-water N]\n                  [--drain-ms N] [--idle-timeout-ms N] [--cache-dir DIR]\n                  [--breaker-threshold N] [--breaker-cooldown-ms N]\n                  [--phase-timeout-ms N] [--fuel N] [--faults SPEC] [--no-gctd]\n                            newline-delimited-JSON compile daemon (DESIGN.md §9)\n                            with bounded admission (shed at --queue-cap,\n                            degrade to the conservative plan at --high-water),\n                            per-request deadlines, per-unit circuit breakers\n                            and graceful SIGTERM/SIGINT draining;\n                            --faults also accepts the network-chaos keys\n                            accept=,disconnect=,stall=,torn=\n       serve exit codes: 0 drained cleanly, 1 bind/drain failure, 2 usage\n       matc request [--addr HOST:PORT] [--op compile|audit|healthz|stats|shutdown]\n                  [--name NAME] [--deadline-ms N] [--retries N] [--emit]\n                  [driver.m[,helper.m...]]\n                            one request against a running daemon, with capped\n                            jittered exponential backoff and deadline\n                            propagation; prints the response JSON\n       request exit codes: 0 server replied ok:true, 1 rejected/error, 2 usage\n       matc perf-bench [--samples N] [--warmup N] [--baseline FILE] [--bless]\n                            compile the benchsuite + paper_scale, record\n                            median phase times / fixpoint iterations /\n                            interference edges per second in BENCH_gctd.json,\n                            and fail on >25% regression vs the committed\n                            baseline (tolerance via MATC_PERF_TOLERANCE;\n                            --bless rewrites the baseline)"
     );
     ExitCode::from(2)
 }
@@ -198,6 +202,7 @@ fn batch_cli(args: &[String]) -> ExitCode {
         phase_timeout_ms,
         fuel,
         faults,
+        deadline: None,
     };
     let mut last = None;
     let mut cache_warned = false;
@@ -277,6 +282,207 @@ fn perf_bench_cli(args: &[String]) -> ExitCode {
         Ok(report) => {
             print!("{report}");
             ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("matc: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The `matc serve` subcommand: parse flags, run the daemon to
+/// completion (a signal or a `shutdown` request ends it).
+fn serve_cli(args: &[String]) -> ExitCode {
+    let mut cfg = ServeConfig {
+        jobs: std::thread::available_parallelism().map_or(2, |n| n.get()),
+        ..ServeConfig::default()
+    };
+    let mut faults_spec: Option<String> = None;
+    let mut no_gctd = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => match it.next() {
+                Some(v) => cfg.addr = v.clone(),
+                None => return usage(),
+            },
+            "--jobs" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n >= 1 => cfg.jobs = n,
+                _ => return usage(),
+            },
+            "--queue-cap" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n >= 1 => cfg.queue_cap = n,
+                _ => return usage(),
+            },
+            "--high-water" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n >= 1 => cfg.high_water = n,
+                _ => return usage(),
+            },
+            "--drain-ms" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) => cfg.drain_ms = n,
+                None => return usage(),
+            },
+            "--idle-timeout-ms" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n >= 1 => cfg.idle_timeout_ms = n,
+                _ => return usage(),
+            },
+            "--cache-dir" => match it.next() {
+                Some(v) => cfg.cache_dir = Some(v.clone()),
+                None => return usage(),
+            },
+            "--breaker-threshold" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n >= 1 => cfg.breaker.threshold = n,
+                _ => return usage(),
+            },
+            "--breaker-cooldown-ms" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) => cfg.breaker.cooldown = std::time::Duration::from_millis(n),
+                None => return usage(),
+            },
+            "--phase-timeout-ms" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n >= 1 => cfg.phase_timeout_ms = Some(n),
+                _ => return usage(),
+            },
+            "--fuel" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n >= 1 => cfg.fuel = Some(n),
+                _ => return usage(),
+            },
+            "--faults" => match it.next() {
+                Some(v) => faults_spec = Some(v.clone()),
+                None => return usage(),
+            },
+            "--no-gctd" => no_gctd = true,
+            _ => return usage(),
+        }
+    }
+    cfg.options = GctdOptions {
+        coalesce: !no_gctd,
+        ..GctdOptions::default()
+    };
+    cfg.faults = match faults_spec {
+        Some(spec) => match FaultPlan::parse(&spec) {
+            Ok(p) => Some(p),
+            Err(e) => {
+                eprintln!("matc: bad --faults spec: {e}");
+                return usage();
+            }
+        },
+        None => match FaultPlan::from_env() {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("matc: bad {} value: {e}", matc::gctd::FAULTS_ENV);
+                return usage();
+            }
+        },
+    };
+    if let Some(p) = &cfg.faults {
+        eprintln!("matc: fault injection active: {p}");
+    }
+    match matc::serve::serve(cfg) {
+        Ok(summary) => {
+            eprintln!(
+                "matc: served {} request(s) ({} completed, {} shed, {} load-degraded, {} quarantined, {} rejected while draining)",
+                summary.admitted,
+                summary.completed,
+                summary.shed,
+                summary.load_degraded,
+                summary.breaker_rejected,
+                summary.shutdown_rejected
+            );
+            if summary.drained_cleanly {
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("matc: drain deadline exceeded; queued request(s) were rejected");
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("matc: cannot serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// The `matc request` subcommand: one operation against a running
+/// daemon, with retries/backoff/deadline propagation from
+/// [`matc::serve::request_with_retries`].
+fn request_cli(args: &[String]) -> ExitCode {
+    let mut opts = RequestOptions {
+        addr: "127.0.0.1:7433".to_string(),
+        ..RequestOptions::default()
+    };
+    let mut op = "compile".to_string();
+    let mut name: Option<String> = None;
+    let mut emit = false;
+    let mut spec: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => match it.next() {
+                Some(v) => opts.addr = v.clone(),
+                None => return usage(),
+            },
+            "--op" => match it.next() {
+                Some(v) => op = v.clone(),
+                None => return usage(),
+            },
+            "--name" => match it.next() {
+                Some(v) => name = Some(v.clone()),
+                None => return usage(),
+            },
+            "--deadline-ms" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n >= 1 => opts.deadline_ms = Some(n),
+                _ => return usage(),
+            },
+            "--retries" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) => opts.retries = n,
+                None => return usage(),
+            },
+            "--emit" => emit = true,
+            s if s.starts_with("--") => return usage(),
+            s => match spec {
+                None => spec = Some(s.to_string()),
+                Some(_) => return usage(),
+            },
+        }
+    }
+
+    let mut members: Vec<(String, Json)> = vec![("op".to_string(), Json::str(op.as_str()))];
+    if matches!(op.as_str(), "compile" | "audit") {
+        let Some(spec) = spec else {
+            eprintln!("matc: request --op {op} needs a driver.m[,helper.m...] unit spec");
+            return usage();
+        };
+        let files: Vec<&str> = spec.split(',').collect();
+        let mut sources = Vec::new();
+        for f in &files {
+            match std::fs::read_to_string(f) {
+                Ok(s) => sources.push(Json::str(s)),
+                Err(e) => {
+                    eprintln!("matc: cannot read {f}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        let unit_name = name.unwrap_or_else(|| {
+            std::path::Path::new(files[0]).file_stem().map_or_else(
+                || files[0].to_string(),
+                |s| s.to_string_lossy().into_owned(),
+            )
+        });
+        members.push(("name".to_string(), Json::str(unit_name)));
+        members.push(("sources".to_string(), Json::Arr(sources)));
+        if emit {
+            members.push(("emit".to_string(), Json::Bool(true)));
+        }
+    }
+    match matc::serve::request_with_retries(&opts, &Json::Obj(members)) {
+        Ok(resp) => {
+            println!("{}", resp.render());
+            if resp.get("ok").and_then(Json::as_bool) == Some(true) {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
         }
         Err(e) => {
             eprintln!("matc: {e}");
@@ -387,6 +593,12 @@ fn main() -> ExitCode {
     }
     if cmd == "batch" {
         return batch_cli(&args[1..]);
+    }
+    if cmd == "serve" {
+        return serve_cli(&args[1..]);
+    }
+    if cmd == "request" {
+        return request_cli(&args[1..]);
     }
     if cmd == "audit-bench" {
         return audit_bench();

@@ -18,7 +18,11 @@
 //!
 //! [`batch`] (native to this crate) drives many programs through the
 //! pipeline in parallel with content-addressed artifact caching and
-//! per-phase metrics — the engine behind `matc batch`.
+//! per-phase metrics — the engine behind `matc batch`. [`serve`] wraps
+//! the same machinery in a resilient TCP daemon (`matc serve`) with
+//! admission control, request deadlines, circuit breakers and graceful
+//! draining; [`json`] is the dependency-free JSON layer its
+//! newline-delimited protocol speaks.
 //!
 //! ```
 //! use matc::vm::{compile::compile, PlannedVm};
@@ -34,7 +38,9 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod json;
 pub mod perf;
+pub mod serve;
 
 pub use matc_analysis as analysis;
 pub use matc_benchsuite as benchsuite;

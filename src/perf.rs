@@ -17,11 +17,13 @@
 //! rewrites the baseline in place.
 
 use crate::batch::{bench_units, run_batch, BatchConfig, Unit};
+use crate::json::Json;
 use criterion::median;
 use matc_benchsuite::{paper_scale_source, Preset, PAPER_SCALE_STAGES};
 use matc_gctd::{GctdOptions, Phase};
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
 
 /// Environment variable holding a replacement regression tolerance
 /// (a fraction: `0.25` allows 25% over baseline). CI machines with
@@ -32,8 +34,11 @@ pub const TOLERANCE_ENV: &str = "MATC_PERF_TOLERANCE";
 /// Default regression tolerance: 25% over baseline fails.
 pub const DEFAULT_TOLERANCE: f64 = 0.25;
 
-/// Schema version of the `BENCH_gctd.json` document.
-pub const BENCH_SCHEMA: u64 = 1;
+/// Schema version of the `BENCH_gctd.json` document. Version 2 adds
+/// the serve-mode throughput metrics (`serve_rps`, `serve_p50_micros`,
+/// `serve_p99_micros`) measured against an in-process `matc serve`
+/// daemon.
+pub const BENCH_SCHEMA: u64 = 2;
 
 /// Default baseline path, relative to the invocation directory.
 pub const DEFAULT_BASELINE: &str = "BENCH_gctd.json";
@@ -84,6 +89,15 @@ pub struct BenchDoc {
     pub phase_micros: [u64; Phase::ALL.len()],
     /// Median end-to-end wall time of one suite compilation.
     pub wall_micros: u64,
+    /// Serve-mode throughput: compile requests per second against a
+    /// local daemon (first round cold, later rounds cache hits — the
+    /// steady state a long-lived daemon actually serves).
+    pub serve_rps: u64,
+    /// Median (p50) serve request latency, microseconds.
+    pub serve_p50_micros: u64,
+    /// Tail (p99) serve request latency, microseconds — dominated by
+    /// the cold compiles of the first round.
+    pub serve_p99_micros: u64,
 }
 
 impl BenchDoc {
@@ -107,7 +121,10 @@ impl BenchDoc {
                 self.phase_micros[i]
             );
         }
-        let _ = writeln!(s, "  \"wall_micros\": {}", self.wall_micros);
+        let _ = writeln!(s, "  \"wall_micros\": {},", self.wall_micros);
+        let _ = writeln!(s, "  \"serve_rps\": {},", self.serve_rps);
+        let _ = writeln!(s, "  \"serve_p50_micros\": {},", self.serve_p50_micros);
+        let _ = writeln!(s, "  \"serve_p99_micros\": {}", self.serve_p99_micros);
         let _ = writeln!(s, "}}");
         s
     }
@@ -137,6 +154,9 @@ impl BenchDoc {
             dataflow_micros: get("dataflow_micros")?,
             phase_micros,
             wall_micros: get("wall_micros")?,
+            serve_rps: get("serve_rps")?,
+            serve_p50_micros: get("serve_p50_micros")?,
+            serve_p99_micros: get("serve_p99_micros")?,
         })
     }
 
@@ -176,6 +196,7 @@ pub fn measure(samples: usize, warmup: usize) -> Result<BenchDoc, String> {
         phase_timeout_ms: None,
         fuel: None,
         faults: None,
+        deadline: None,
     };
     let samples = samples.max(1);
     let mut phase_samples: Vec<Vec<u64>> = vec![Vec::new(); Phase::ALL.len()];
@@ -244,6 +265,7 @@ pub fn measure(samples: usize, warmup: usize) -> Result<BenchDoc, String> {
         .iter()
         .position(|p| *p == Phase::Interference)
         .unwrap()];
+    let (serve_rps, serve_p50_micros, serve_p99_micros) = measure_serve(samples)?;
     Ok(BenchDoc {
         samples: samples as u64,
         units: units.len() as u64,
@@ -254,7 +276,73 @@ pub fn measure(samples: usize, warmup: usize) -> Result<BenchDoc, String> {
         dataflow_micros: median(&mut dataflow_samples).unwrap_or(0),
         phase_micros,
         wall_micros: median(&mut wall_samples).unwrap_or(0),
+        serve_rps,
+        serve_p50_micros,
+        serve_p99_micros,
     })
+}
+
+/// Serve-mode throughput: `samples` rounds over the 11 paper
+/// benchmarks against an in-process `matc serve` daemon (ephemeral
+/// port, in-memory cache). Returns `(requests/sec, p50 us, p99 us)`
+/// over every request's wire-to-wire latency; the first round compiles
+/// cold, later rounds are cache hits — the daemon's steady state.
+fn measure_serve(samples: usize) -> Result<(u64, u64, u64), String> {
+    let cfg = crate::serve::ServeConfig {
+        jobs: 2,
+        ..crate::serve::ServeConfig::default()
+    };
+    let handle = crate::serve::start(cfg).map_err(|e| format!("cannot start daemon: {e}"))?;
+    let addr = handle.addr().to_string();
+    let units = bench_units(Preset::Test);
+    let mut latencies: Vec<u64> = Vec::new();
+    let started = Instant::now();
+    let run = || -> Result<Vec<u64>, String> {
+        let mut lat = Vec::new();
+        for round in 0..samples.max(1) {
+            for unit in &units {
+                let frame = Json::Obj(vec![
+                    ("op".to_string(), Json::str("compile")),
+                    ("name".to_string(), Json::str(unit.name.as_str())),
+                    (
+                        "sources".to_string(),
+                        Json::Arr(unit.sources.iter().map(Json::str).collect()),
+                    ),
+                ])
+                .render();
+                let t = Instant::now();
+                let line = send_bench_request(&addr, &frame)?;
+                let micros = u64::try_from(t.elapsed().as_micros()).unwrap_or(u64::MAX);
+                let resp = Json::parse(&line)
+                    .map_err(|e| format!("serve-bench: bad response for {}: {e}", unit.name))?;
+                if resp.get("ok").and_then(Json::as_bool) != Some(true)
+                    || resp.get("status").and_then(Json::as_str) != Some("ok")
+                {
+                    return Err(format!(
+                        "serve-bench: request {} round {round} failed: {line}",
+                        unit.name
+                    ));
+                }
+                lat.push(micros);
+            }
+        }
+        Ok(lat)
+    };
+    let result = run();
+    let wall = started.elapsed();
+    handle.shutdown();
+    latencies.extend(result?);
+    latencies.sort_unstable();
+    let pick = |pct: usize| latencies[((latencies.len() - 1) * pct) / 100];
+    let rps = latencies.len() as u64 * 1_000_000
+        / u64::try_from(wall.as_micros()).unwrap_or(u64::MAX).max(1);
+    Ok((rps, pick(50), pick(99)))
+}
+
+/// One serve-bench request over its own connection (connect, write,
+/// read one frame) with a generous hard timeout.
+fn send_bench_request(addr: &str, frame: &str) -> Result<String, String> {
+    crate::serve::send_once(addr, frame, Duration::from_secs(60))
 }
 
 /// One gated metric's comparison outcome.
@@ -272,10 +360,11 @@ pub struct GateLine {
 
 /// Compares the gated metrics of `current` against `baseline`.
 /// Timing metrics and the (deterministic) fixpoint-iteration count are
-/// gated; lower is better for all of them. Pure so it is unit-testable
-/// without timing anything.
+/// gated lower-is-better; serve throughput (`serve_rps`) is gated
+/// higher-is-better (a drop below `baseline * (1 - tolerance)` fails).
+/// Pure so it is unit-testable without timing anything.
 pub fn compare(baseline: &BenchDoc, current: &BenchDoc, tolerance: f64) -> Vec<GateLine> {
-    let gated: [(&'static str, u64, u64); 5] = [
+    let gated: [(&'static str, u64, u64); 6] = [
         (
             "dataflow_micros",
             baseline.dataflow_micros,
@@ -297,8 +386,13 @@ pub fn compare(baseline: &BenchDoc, current: &BenchDoc, tolerance: f64) -> Vec<G
             baseline.fixpoint_iters,
             current.fixpoint_iters,
         ),
+        (
+            "serve_p99_micros",
+            baseline.serve_p99_micros,
+            current.serve_p99_micros,
+        ),
     ];
-    gated
+    let mut lines: Vec<GateLine> = gated
         .iter()
         .map(|(metric, b, c)| GateLine {
             metric,
@@ -306,7 +400,15 @@ pub fn compare(baseline: &BenchDoc, current: &BenchDoc, tolerance: f64) -> Vec<G
             current: *c,
             regressed: (*c as f64) > (*b as f64) * (1.0 + tolerance),
         })
-        .collect()
+        .collect();
+    // Throughput gates in the other direction: slower serving fails.
+    lines.push(GateLine {
+        metric: "serve_rps",
+        baseline: baseline.serve_rps,
+        current: current.serve_rps,
+        regressed: (current.serve_rps as f64) < (baseline.serve_rps as f64) * (1.0 - tolerance),
+    });
+    lines
 }
 
 /// The regression tolerance: [`TOLERANCE_ENV`] if set and parseable,
@@ -361,7 +463,8 @@ pub fn run_gate(opts: &PerfOptions) -> Result<String, String> {
             .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
         return Ok(format!(
             "perf-bench: baseline {} {} ({} units, {} samples; interference {} us, \
-             dataflow {} us, {} fixpoint iters, {} edges, {} edges/s, {} live words)\n",
+             dataflow {} us, {} fixpoint iters, {} edges, {} edges/s, {} live words; \
+             serve {} req/s, p50 {} us, p99 {} us)\n",
             if opts.bless {
                 "blessed to"
             } else {
@@ -376,6 +479,9 @@ pub fn run_gate(opts: &PerfOptions) -> Result<String, String> {
             current.interference_edges,
             current.edges_per_sec,
             current.peak_live_words,
+            current.serve_rps,
+            current.serve_p50_micros,
+            current.serve_p99_micros,
         ));
     }
     let baseline = BenchDoc::from_json(&existing.expect("checked above"))
@@ -414,6 +520,9 @@ mod tests {
             dataflow_micros: 100,
             phase_micros: [10, 20, 30, 40, 50, 60, 70, 80, 90, 100],
             wall_micros: 2000,
+            serve_rps: 40,
+            serve_p50_micros: 15_000,
+            serve_p99_micros: 90_000,
         }
     }
 
@@ -421,14 +530,14 @@ mod tests {
     fn json_round_trips() {
         let d = doc();
         let j = d.to_json();
-        assert!(j.starts_with("{\n  \"schema\": 1,"), "{j}");
+        assert!(j.starts_with("{\n  \"schema\": 2,"), "{j}");
         assert_eq!(BenchDoc::from_json(&j).unwrap(), d);
     }
 
     #[test]
     fn from_json_rejects_missing_keys_and_bad_schema() {
         assert!(BenchDoc::from_json("{}").unwrap_err().contains("schema"));
-        let j = doc().to_json().replace("\"schema\": 1", "\"schema\": 9");
+        let j = doc().to_json().replace("\"schema\": 2", "\"schema\": 9");
         assert!(BenchDoc::from_json(&j).unwrap_err().contains("schema 9"));
         let j = doc().to_json().replace("wall_micros", "wall_milliparsecs");
         assert!(BenchDoc::from_json(&j).unwrap_err().contains("wall_micros"));
@@ -454,6 +563,33 @@ mod tests {
         assert!(compare(&base, &cur, 0.5).iter().all(|l| !l.regressed));
         let table = render_gate(&lines, 0.25);
         assert!(table.contains("FAIL"), "{table}");
+    }
+
+    #[test]
+    fn serve_throughput_gates_higher_is_better() {
+        let base = doc();
+        let mut cur = doc();
+        // Faster serving (more rps, lower latency) must never fail.
+        cur.serve_rps = 80;
+        cur.serve_p99_micros = 50_000;
+        assert!(compare(&base, &cur, 0.25).iter().all(|l| !l.regressed));
+        // A 50% throughput collapse is out of a 25% gate.
+        cur.serve_rps = 20;
+        let regressed: Vec<&str> = compare(&base, &cur, 0.25)
+            .iter()
+            .filter(|l| l.regressed)
+            .map(|l| l.metric)
+            .collect();
+        assert_eq!(regressed, vec!["serve_rps"]);
+        // And a p99 blow-up trips the lower-is-better side.
+        cur.serve_rps = 40;
+        cur.serve_p99_micros = 200_000;
+        let regressed: Vec<&str> = compare(&base, &cur, 0.25)
+            .iter()
+            .filter(|l| l.regressed)
+            .map(|l| l.metric)
+            .collect();
+        assert_eq!(regressed, vec!["serve_p99_micros"]);
     }
 
     #[test]

@@ -1,0 +1,995 @@
+//! The resilient compile-service daemon behind `matc serve`, and the
+//! retrying client behind `matc request`.
+//!
+//! The daemon is a hand-rolled [`std::net`] TCP server speaking
+//! newline-delimited JSON (one request object per line, one response
+//! object per line — see DESIGN.md §9 for the protocol). Requests run
+//! through the same fault-tolerant machinery as `matc batch`
+//! ([`crate::batch::compile_unit_with`]): full-pipeline panic
+//! isolation, the degradation ladder, and the content-addressed
+//! artifact cache — a long-running process amortizes the cache across
+//! every client.
+//!
+//! The robustness surface:
+//!
+//! * **admission control** — a bounded job queue; past the high-water
+//!   mark new compile requests are *degraded* to the conservative
+//!   mcc-style plan (cheaper, still audited), and past the cap they are
+//!   *shed* with a structured 429-style rejection;
+//! * **deadlines** — a request's `deadline_ms` becomes a hard
+//!   [`matc_ir::Budget`] deadline threaded through every phase; an
+//!   out-of-time request fails fast instead of riding the ladder;
+//! * **circuit breakers** — [`matc_gctd::BreakerMap`] keyed by source
+//!   hash quarantines units that repeatedly panic or get their plan
+//!   audit-rejected, with a half-open probe after a cooldown;
+//! * **panic isolation** — per request via the pipeline's
+//!   [`matc_gctd::isolate`]; a panicking unit is a structured error,
+//!   never a dead worker;
+//! * **graceful shutdown** — SIGTERM/SIGINT (or a `shutdown` request)
+//!   stops accepting, drains queued work, and past the drain deadline
+//!   cleanly rejects whatever is still queued;
+//! * **chaos probes** — the seeded [`FaultPlan`] network sites
+//!   (accept drop, mid-frame disconnect, slow-loris stall, torn
+//!   response) fire inside the server's own connection handling, so the
+//!   chaos matrix in `tests/serve_chaos.rs` can prove none of them
+//!   wedge the daemon or corrupt the cache.
+
+use crate::batch::{compile_unit_with, BatchConfig, Unit};
+use crate::json::Json;
+use matc_gctd::{
+    lock_recover, ArtifactCache, BreakerConfig, BreakerDecision, BreakerMap, CacheKey, FaultPlan,
+    FaultSite, GctdOptions, UnitMetrics,
+};
+use matc_gctd::{BatchReport, CacheOutcome};
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Upper bound on one request frame; a peer streaming an unbounded
+/// line must not balloon server memory.
+const MAX_FRAME_BYTES: usize = 8 * 1024 * 1024;
+
+/// How long a worker blocks on the queue condvar before re-checking
+/// the stop flags, and the accept loop's poll period.
+const POLL: Duration = Duration::from_millis(20);
+
+/// How many recent per-unit metric records the stats document retains.
+const RECENT_CAP: usize = 256;
+
+/// `matc serve` configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port; the chosen
+    /// address is printed on startup and available via
+    /// [`ServerHandle::addr`]).
+    pub addr: String,
+    /// Compile-worker thread count.
+    pub jobs: usize,
+    /// Queue length at which new compile requests are shed (429-style).
+    pub queue_cap: usize,
+    /// Queue length at which new compile requests are degraded to the
+    /// conservative no-coalescing plan before shedding kicks in.
+    pub high_water: usize,
+    /// Graceful-shutdown drain budget: queued work still unfinished
+    /// after this many milliseconds is cleanly rejected.
+    pub drain_ms: u64,
+    /// Per-connection idle read timeout (slow-loris bound), ms.
+    pub idle_timeout_ms: u64,
+    /// Circuit-breaker tuning (threshold + cooldown).
+    pub breaker: BreakerConfig,
+    /// GCTD options for normally-admitted requests.
+    pub options: GctdOptions,
+    /// Disk cache directory (memory-only when `None`).
+    pub cache_dir: Option<String>,
+    /// Initial fault plan (pipeline + network chaos probes).
+    pub faults: Option<FaultPlan>,
+    /// Per-phase wall-clock timeout for request compiles, ms.
+    pub phase_timeout_ms: Option<u64>,
+    /// Fuel allowance for request compiles.
+    pub fuel: Option<u64>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            jobs: 2,
+            queue_cap: 64,
+            high_water: 32,
+            drain_ms: 2_000,
+            idle_timeout_ms: 10_000,
+            breaker: BreakerConfig::default(),
+            options: GctdOptions::default(),
+            cache_dir: None,
+            faults: None,
+            phase_timeout_ms: None,
+            fuel: None,
+        }
+    }
+}
+
+/// What the daemon reports when it exits (also the CLI's closing log).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Requests admitted to the queue over the server's lifetime.
+    pub admitted: u64,
+    /// Requests fully compiled (ok, degraded or error — a response was
+    /// produced by the pipeline).
+    pub completed: u64,
+    /// Requests shed by admission control.
+    pub shed: u64,
+    /// Requests degraded to the conservative plan by the high-water
+    /// mark.
+    pub load_degraded: u64,
+    /// Requests rejected by an open circuit breaker.
+    pub breaker_rejected: u64,
+    /// Requests cleanly rejected during shutdown (queued past the
+    /// drain deadline, or arriving while draining).
+    pub shutdown_rejected: u64,
+    /// Whether the drain finished inside the deadline (nothing had to
+    /// be force-rejected from the queue).
+    pub drained_cleanly: bool,
+}
+
+/// One queued compile/audit job.
+struct Job {
+    unit: Unit,
+    config: BatchConfig,
+    breaker_key: String,
+    probe: bool,
+    reply: mpsc::SyncSender<Result<crate::batch::UnitOutcome, String>>,
+}
+
+/// State shared by the accept loop, connection threads and workers.
+struct Shared {
+    cfg: ServeConfig,
+    queue: Mutex<VecDeque<Job>>,
+    queue_cv: Condvar,
+    /// Graceful shutdown requested: stop accepting, drain the queue.
+    stop: AtomicBool,
+    /// Drain deadline passed: workers exit even with work queued.
+    abort: AtomicBool,
+    active: AtomicUsize,
+    cache: Option<ArtifactCache>,
+    breakers: BreakerMap,
+    faults: Mutex<FaultPlan>,
+    recent: Mutex<VecDeque<UnitMetrics>>,
+    started: Instant,
+    conn_serial: AtomicU64,
+    admitted: AtomicU64,
+    completed: AtomicU64,
+    shed: AtomicU64,
+    load_degraded: AtomicU64,
+    breaker_rejected: AtomicU64,
+    shutdown_rejected: AtomicU64,
+    net_faults_fired: AtomicU64,
+}
+
+impl Shared {
+    fn faults_now(&self) -> FaultPlan {
+        *lock_recover(&self.faults)
+    }
+
+    fn note_metrics(&self, m: UnitMetrics) {
+        let mut r = lock_recover(&self.recent);
+        if r.len() == RECENT_CAP {
+            r.pop_front();
+        }
+        r.push_back(m);
+    }
+
+    fn summary(&self, drained_cleanly: bool) -> ServeSummary {
+        ServeSummary {
+            admitted: self.admitted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            load_degraded: self.load_degraded.load(Ordering::Relaxed),
+            breaker_rejected: self.breaker_rejected.load(Ordering::Relaxed),
+            shutdown_rejected: self.shutdown_rejected.load(Ordering::Relaxed),
+            drained_cleanly,
+        }
+    }
+
+    /// The `"server"` object spliced into the schema-v4 stats document.
+    fn server_json(&self) -> String {
+        let (closed, open, half_open) = self.breakers.counts();
+        let (hits, misses) = self
+            .cache
+            .as_ref()
+            .map_or((0, 0), |c| (c.hits(), c.misses()));
+        format!(
+            ",\"server\":{{\"draining\":{},\"queue_depth\":{},\"active\":{},\"admitted\":{},\
+             \"completed\":{},\"shed\":{},\"load_degraded\":{},\"breaker_rejected\":{},\
+             \"shutdown_rejected\":{},\"net_faults_fired\":{},\
+             \"breakers\":{{\"closed\":{closed},\"open\":{open},\"half_open\":{half_open}}},\
+             \"cache\":{{\"hits\":{hits},\"misses\":{misses}}},\"uptime_ms\":{}}}",
+            self.stop.load(Ordering::Relaxed),
+            lock_recover(&self.queue).len(),
+            self.active.load(Ordering::Relaxed),
+            self.admitted.load(Ordering::Relaxed),
+            self.completed.load(Ordering::Relaxed),
+            self.shed.load(Ordering::Relaxed),
+            self.load_degraded.load(Ordering::Relaxed),
+            self.breaker_rejected.load(Ordering::Relaxed),
+            self.shutdown_rejected.load(Ordering::Relaxed),
+            self.net_faults_fired.load(Ordering::Relaxed),
+            self.started.elapsed().as_millis(),
+        )
+    }
+}
+
+/// A running daemon: its bound address plus the handle to stop it.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    main: std::thread::JoinHandle<ServeSummary>,
+}
+
+impl ServerHandle {
+    /// The address the daemon actually bound (resolves `:0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests graceful shutdown and waits for the drain to finish.
+    pub fn shutdown(self) -> ServeSummary {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        self.shared.queue_cv.notify_all();
+        self.join()
+    }
+
+    /// Waits for the daemon to exit on its own (a `shutdown` request or
+    /// a signal).
+    pub fn join(self) -> ServeSummary {
+        self.main.join().unwrap_or(ServeSummary {
+            admitted: 0,
+            completed: 0,
+            shed: 0,
+            load_degraded: 0,
+            breaker_rejected: 0,
+            shutdown_rejected: 0,
+            drained_cleanly: false,
+        })
+    }
+}
+
+/// Binds and starts the daemon in background threads, returning once
+/// the listener is live. The CLI wraps this with [`serve`]; tests use
+/// the handle directly.
+///
+/// # Errors
+///
+/// Returns the bind/configuration error.
+pub fn start(cfg: ServeConfig) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&cfg.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+
+    let cache = match &cfg.cache_dir {
+        Some(d) => {
+            let c = ArtifactCache::at_dir(d)?;
+            Some(match cfg.faults {
+                Some(p) => c.with_faults(p),
+                None => c,
+            })
+        }
+        None => Some(match cfg.faults {
+            Some(p) => ArtifactCache::in_memory().with_faults(p),
+            None => ArtifactCache::in_memory(),
+        }),
+    };
+    let shared = Arc::new(Shared {
+        breakers: BreakerMap::new(cfg.breaker),
+        faults: Mutex::new(cfg.faults.unwrap_or(FaultPlan::quiet(0))),
+        cfg,
+        queue: Mutex::new(VecDeque::new()),
+        queue_cv: Condvar::new(),
+        stop: AtomicBool::new(false),
+        abort: AtomicBool::new(false),
+        active: AtomicUsize::new(0),
+        cache,
+        recent: Mutex::new(VecDeque::new()),
+        started: Instant::now(),
+        conn_serial: AtomicU64::new(0),
+        admitted: AtomicU64::new(0),
+        completed: AtomicU64::new(0),
+        shed: AtomicU64::new(0),
+        load_degraded: AtomicU64::new(0),
+        breaker_rejected: AtomicU64::new(0),
+        shutdown_rejected: AtomicU64::new(0),
+        net_faults_fired: AtomicU64::new(0),
+    });
+
+    let main = {
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || run_server(shared, listener))
+    };
+    Ok(ServerHandle { addr, shared, main })
+}
+
+/// Runs the daemon to completion on the calling thread: binds, prints
+/// the address, serves until a signal or `shutdown` request, drains,
+/// and returns the summary. This is `matc serve`.
+///
+/// # Errors
+///
+/// Returns the bind/configuration error.
+pub fn serve(cfg: ServeConfig) -> io::Result<ServeSummary> {
+    install_signal_handlers();
+    let handle = start(cfg)?;
+    println!("matc: serving on {}", handle.addr());
+    let _ = io::stdout().flush();
+    Ok(handle.join())
+}
+
+/// The accept loop + worker pool + drain coordinator.
+fn run_server(shared: Arc<Shared>, listener: TcpListener) -> ServeSummary {
+    let workers: Vec<_> = (0..shared.cfg.jobs.max(1))
+        .map(|_| {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || worker_loop(&shared))
+        })
+        .collect();
+
+    let mut conns: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    loop {
+        if shared.stop.load(Ordering::SeqCst) || signal_pending() {
+            shared.stop.store(true, Ordering::SeqCst);
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let serial = shared.conn_serial.fetch_add(1, Ordering::Relaxed);
+                let shared = Arc::clone(&shared);
+                conns.push(std::thread::spawn(move || {
+                    handle_connection(&shared, stream, serial);
+                }));
+                // Opportunistically reap finished connection threads so
+                // a long-lived daemon doesn't accumulate handles.
+                conns.retain(|h| !h.is_finished());
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(POLL),
+            Err(_) => std::thread::sleep(POLL),
+        }
+    }
+
+    // Drain: let workers finish queued jobs inside the drain budget.
+    let drain_deadline = Instant::now() + Duration::from_millis(shared.cfg.drain_ms);
+    let mut drained_cleanly = true;
+    loop {
+        let queued = lock_recover(&shared.queue).len();
+        let active = shared.active.load(Ordering::Relaxed);
+        if queued == 0 && active == 0 {
+            break;
+        }
+        if Instant::now() > drain_deadline {
+            // Past the budget: cleanly reject whatever is still queued
+            // (in-flight compiles are left to finish — they are bounded
+            // by their own budgets/deadlines).
+            let mut q = lock_recover(&shared.queue);
+            if !q.is_empty() {
+                drained_cleanly = false;
+            }
+            for job in q.drain(..) {
+                shared.shutdown_rejected.fetch_add(1, Ordering::Relaxed);
+                let _ = job
+                    .reply
+                    .send(Err("shutting down: drain deadline exceeded".to_string()));
+            }
+            drop(q);
+            shared.abort.store(true, Ordering::SeqCst);
+            shared.queue_cv.notify_all();
+        }
+        std::thread::sleep(POLL);
+    }
+    shared.abort.store(true, Ordering::SeqCst);
+    shared.queue_cv.notify_all();
+    for w in workers {
+        let _ = w.join();
+    }
+    for c in conns {
+        let _ = c.join();
+    }
+    shared.summary(drained_cleanly)
+}
+
+/// One compile worker: pops jobs, runs the isolated pipeline, feeds the
+/// breaker, and replies.
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut q = lock_recover(&shared.queue);
+            loop {
+                if let Some(job) = q.pop_front() {
+                    break job;
+                }
+                if shared.abort.load(Ordering::SeqCst)
+                    || (shared.stop.load(Ordering::SeqCst) && q.is_empty())
+                {
+                    return;
+                }
+                let (guard, _) = shared.queue_cv.wait_timeout(q, POLL).unwrap_or_else(|p| {
+                    let (g, t) = p.into_inner();
+                    (g, t)
+                });
+                q = guard;
+            }
+        };
+        shared.active.fetch_add(1, Ordering::SeqCst);
+        let outcome = compile_unit_with(&job.unit, &job.config, shared.cache.as_ref());
+        // Breaker accounting: panics/fatal errors and audit-rejected
+        // plans count as failures; clean and merely-degraded-by-budget
+        // outcomes count as successes.
+        let m = &outcome.metrics;
+        let audit_rejected = m.degradations.iter().any(|d| d.stage == "audit");
+        if m.error.is_some() || audit_rejected {
+            shared
+                .breakers
+                .record_failure(&job.breaker_key, Instant::now());
+        } else {
+            shared.breakers.record_success(&job.breaker_key);
+        }
+        if job.probe && m.error.is_none() && !audit_rejected {
+            // Half-open probe succeeded; nothing extra to do — the
+            // success above already closed the breaker.
+        }
+        shared.completed.fetch_add(1, Ordering::Relaxed);
+        shared.note_metrics(outcome.metrics.clone());
+        let _ = job.reply.send(Ok(outcome));
+        shared.active.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Result of reading one protocol frame.
+enum FrameRead {
+    Line(String),
+    Closed,
+    TimedOut,
+    TooLarge,
+}
+
+/// Reads one newline-terminated frame with an idle timeout, checking
+/// the stop flag between polls so draining connections close promptly.
+fn read_frame(shared: &Shared, stream: &mut TcpStream, buf: &mut Vec<u8>) -> FrameRead {
+    let idle = Duration::from_millis(shared.cfg.idle_timeout_ms.max(1));
+    let start = Instant::now();
+    let mut chunk = [0u8; 4096];
+    loop {
+        if let Some(pos) = buf.iter().position(|b| *b == b'\n') {
+            let line: Vec<u8> = buf.drain(..=pos).collect();
+            let line = String::from_utf8_lossy(&line[..line.len() - 1]).into_owned();
+            return FrameRead::Line(line);
+        }
+        if buf.len() > MAX_FRAME_BYTES {
+            return FrameRead::TooLarge;
+        }
+        // Draining and no complete frame buffered: close instead of
+        // waiting out the idle timeout.
+        if shared.stop.load(Ordering::SeqCst) && buf.is_empty() {
+            return FrameRead::Closed;
+        }
+        if start.elapsed() > idle {
+            return FrameRead::TimedOut;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return FrameRead::Closed,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => return FrameRead::Closed,
+        }
+    }
+}
+
+/// One client connection: frames in, responses out, chaos probes at
+/// every network edge.
+fn handle_connection(shared: &Shared, mut stream: TcpStream, serial: u64) {
+    let conn_key = format!("conn{serial}");
+    if shared.faults_now().fires(FaultSite::NetAccept, &conn_key) {
+        // Injected accept failure: the connection is dropped before a
+        // single byte is read.
+        shared.net_faults_fired.fetch_add(1, Ordering::Relaxed);
+        return;
+    }
+    let _ = stream.set_read_timeout(Some(POLL));
+    let _ = stream.set_nodelay(true);
+    let mut buf: Vec<u8> = Vec::new();
+    let mut req_serial = 0u64;
+    loop {
+        let line = match read_frame(shared, &mut stream, &mut buf) {
+            FrameRead::Line(l) => l,
+            FrameRead::Closed | FrameRead::TimedOut => return,
+            FrameRead::TooLarge => {
+                let _ = write_frame(
+                    &mut stream,
+                    &reject("bad_request", "request frame exceeds 8 MiB").render(),
+                );
+                return;
+            }
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        req_serial += 1;
+        let req_key = format!("conn{serial}/req{req_serial}");
+        let faults = shared.faults_now();
+        if faults.fires(FaultSite::NetStall, &req_key) {
+            // Injected slow-loris pause on this request's read path.
+            // Thread-per-connection keeps other clients unaffected; the
+            // idle timeout bounds the real-client version of this.
+            shared.net_faults_fired.fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(Duration::from_millis(shared.cfg.idle_timeout_ms.min(40)));
+        }
+        let response = process_request(shared, &line);
+        if faults.fires(FaultSite::NetDisconnect, &req_key) {
+            // Injected mid-frame disconnect: request consumed, no
+            // response byte written.
+            shared.net_faults_fired.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        if faults.fires(FaultSite::NetTorn, &req_key) {
+            // Injected torn response: write a strict prefix, then die.
+            shared.net_faults_fired.fetch_add(1, Ordering::Relaxed);
+            let full = format!("{response}\n");
+            let cut = (full.len() / 2).max(1);
+            let _ = stream.write_all(&full.as_bytes()[..cut]);
+            return;
+        }
+        if write_frame(&mut stream, &response).is_err() {
+            return;
+        }
+    }
+}
+
+fn write_frame(stream: &mut TcpStream, response: &str) -> io::Result<()> {
+    stream.write_all(response.as_bytes())?;
+    stream.write_all(b"\n")?;
+    stream.flush()
+}
+
+/// A structured rejection (`ok:false` + machine-readable code).
+fn reject(code: &str, msg: &str) -> Json {
+    Json::Obj(vec![
+        ("ok".to_string(), Json::Bool(false)),
+        ("code".to_string(), Json::str(code)),
+        ("error".to_string(), Json::str(msg)),
+    ])
+}
+
+/// Dispatches one request line to its handler, returning the rendered
+/// response frame (always a single line).
+fn process_request(shared: &Shared, line: &str) -> String {
+    let req = match Json::parse(line) {
+        Ok(v) => v,
+        Err(e) => return reject("bad_request", &format!("malformed frame: {e}")).render(),
+    };
+    let op = req.get("op").and_then(Json::as_str).unwrap_or("");
+    match op {
+        "healthz" => {
+            let draining = shared.stop.load(Ordering::SeqCst);
+            Json::Obj(vec![
+                ("ok".to_string(), Json::Bool(true)),
+                (
+                    "status".to_string(),
+                    Json::str(if draining { "draining" } else { "ok" }),
+                ),
+                (
+                    "queue_depth".to_string(),
+                    Json::num(lock_recover(&shared.queue).len() as u64),
+                ),
+                (
+                    "uptime_ms".to_string(),
+                    Json::num(shared.started.elapsed().as_millis() as u64),
+                ),
+            ])
+            .render()
+        }
+        "stats" => {
+            let recent = lock_recover(&shared.recent);
+            let (hits, misses) = shared
+                .cache
+                .as_ref()
+                .map_or((0, 0), |c| (c.hits(), c.misses()));
+            let report = BatchReport {
+                jobs: shared.cfg.jobs,
+                wall_micros: u64::try_from(shared.started.elapsed().as_micros())
+                    .unwrap_or(u64::MAX),
+                cache_hits: hits,
+                cache_misses: misses,
+                units: recent.iter().cloned().collect(),
+            };
+            report.to_json_with_kind("serve", &shared.server_json())
+        }
+        "shutdown" => {
+            shared.stop.store(true, Ordering::SeqCst);
+            shared.queue_cv.notify_all();
+            Json::Obj(vec![
+                ("ok".to_string(), Json::Bool(true)),
+                ("draining".to_string(), Json::Bool(true)),
+            ])
+            .render()
+        }
+        "set_faults" => {
+            // Test hook: swap the fault plan at runtime so the chaos
+            // matrix can open a breaker under panics, clear the fault,
+            // and watch the half-open probe recover.
+            let spec = req.get("spec").and_then(Json::as_str).unwrap_or("");
+            let plan = if spec.is_empty() {
+                Ok(FaultPlan::quiet(0))
+            } else {
+                FaultPlan::parse(spec)
+            };
+            match plan {
+                Ok(p) => {
+                    *lock_recover(&shared.faults) = p;
+                    Json::Obj(vec![
+                        ("ok".to_string(), Json::Bool(true)),
+                        ("faults".to_string(), Json::str(p.to_string())),
+                    ])
+                    .render()
+                }
+                Err(e) => reject("bad_request", &e).render(),
+            }
+        }
+        "compile" | "audit" => compile_request(shared, &req, op).render(),
+        other => reject("bad_request", &format!("unknown op `{other}`")).render(),
+    }
+}
+
+/// Admission control + queueing + response assembly for `compile` and
+/// `audit` requests.
+fn compile_request(shared: &Shared, req: &Json, op: &str) -> Json {
+    if shared.stop.load(Ordering::SeqCst) {
+        shared.shutdown_rejected.fetch_add(1, Ordering::Relaxed);
+        return reject("shutting_down", "server is draining");
+    }
+    let name = req
+        .get("name")
+        .and_then(Json::as_str)
+        .unwrap_or("request")
+        .to_string();
+    let Some(sources) = req.get("sources").and_then(Json::as_arr) else {
+        return reject("bad_request", "missing `sources` array");
+    };
+    let sources: Vec<String> = sources
+        .iter()
+        .filter_map(|s| s.as_str().map(str::to_string))
+        .collect();
+    if sources.is_empty() {
+        return reject("bad_request", "`sources` must hold at least one string");
+    }
+    let deadline_ms = req.get("deadline_ms").and_then(Json::as_u64);
+    let deadline = deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
+
+    // Circuit breaker, keyed by the sources' content hash (options
+    // excluded: a unit that panics the planner panics it under any
+    // option set worth protecting the pool from).
+    let breaker_key = CacheKey::compute(sources.iter().map(|s| s.as_str()), "breaker-v1").hex();
+    let probe = match shared.breakers.check(&breaker_key, Instant::now()) {
+        BreakerDecision::Allow => false,
+        BreakerDecision::AllowProbe => true,
+        BreakerDecision::Reject => {
+            shared.breaker_rejected.fetch_add(1, Ordering::Relaxed);
+            let mut o = reject(
+                "quarantined",
+                "unit is circuit-broken; retry after cooldown",
+            );
+            if let Json::Obj(m) = &mut o {
+                m.push(("breaker".to_string(), Json::str("open")));
+            }
+            return o;
+        }
+    };
+
+    // Admission: shed past the cap, degrade past the high-water mark.
+    let depth = lock_recover(&shared.queue).len();
+    if depth >= shared.cfg.queue_cap {
+        shared.shed.fetch_add(1, Ordering::Relaxed);
+        let mut o = reject("overloaded", "queue full; retry with backoff");
+        if let Json::Obj(m) = &mut o {
+            m.push(("status".to_string(), Json::num(429)));
+            m.push(("queue_depth".to_string(), Json::num(depth as u64)));
+        }
+        return o;
+    }
+    let load_degraded = depth >= shared.cfg.high_water;
+    let options = if load_degraded {
+        shared.load_degraded.fetch_add(1, Ordering::Relaxed);
+        GctdOptions {
+            coalesce: false,
+            ..shared.cfg.options
+        }
+    } else {
+        shared.cfg.options
+    };
+
+    let config = BatchConfig {
+        jobs: 1,
+        options,
+        fail_fast: false,
+        phase_timeout_ms: shared.cfg.phase_timeout_ms,
+        fuel: shared.cfg.fuel,
+        faults: Some(shared.faults_now()),
+        deadline,
+    };
+    let (tx, rx) = mpsc::sync_channel(1);
+    {
+        let mut q = lock_recover(&shared.queue);
+        q.push_back(Job {
+            unit: Unit::new(name.clone(), sources),
+            config,
+            breaker_key,
+            probe,
+            reply: tx,
+        });
+    }
+    shared.admitted.fetch_add(1, Ordering::Relaxed);
+    shared.queue_cv.notify_one();
+
+    // Wait for the worker; bounded by the request deadline (plus grace
+    // for the fast-fail path) or a generous default.
+    let wait = deadline_ms
+        .map(|ms| Duration::from_millis(ms) + Duration::from_secs(5))
+        .unwrap_or(Duration::from_secs(120));
+    let outcome = match rx.recv_timeout(wait) {
+        Ok(Ok(o)) => o,
+        Ok(Err(msg)) => return reject("shutting_down", &msg),
+        Err(_) => return reject("timeout", "no worker picked the request up in time"),
+    };
+
+    let m = &outcome.metrics;
+    let status = if m.error.is_some() {
+        "error"
+    } else if !m.degradations.is_empty() || !m.budget_exceeded.is_empty() {
+        "degraded"
+    } else {
+        "ok"
+    };
+    let mut members: Vec<(String, Json)> = vec![
+        ("ok".to_string(), Json::Bool(true)),
+        ("unit".to_string(), Json::str(&name)),
+        ("status".to_string(), Json::str(status)),
+        (
+            "cached".to_string(),
+            Json::str(match m.cache {
+                CacheOutcome::Hit => "hit",
+                CacheOutcome::Miss => "miss",
+                CacheOutcome::Bypass => "bypass",
+            }),
+        ),
+        ("degraded_by_load".to_string(), Json::Bool(load_degraded)),
+    ];
+    if let Some(e) = &m.error {
+        members.push(("error".to_string(), Json::str(e)));
+    }
+    if let Some(a) = &outcome.artifact {
+        members.push(("audit_errors".to_string(), Json::num(a.audit_errors())));
+        members.push(("c_bytes".to_string(), Json::num(a.c_code.len() as u64)));
+        if op == "audit" {
+            // The audit findings are themselves a JSON document; embed
+            // them as a value, not a string.
+            let findings = Json::parse(&a.audit_json).unwrap_or_else(|_| Json::str(&a.audit_json));
+            members.push(("findings".to_string(), findings));
+        }
+        if req.get("emit").and_then(Json::as_bool) == Some(true) {
+            members.push(("c".to_string(), Json::str(&a.c_code)));
+            members.push(("plan".to_string(), Json::str(&a.plan_text)));
+        }
+    }
+    Json::Obj(members)
+}
+
+// ---------------------------------------------------------------------
+// Signals
+// ---------------------------------------------------------------------
+
+static SIGNAL_FLAG: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+extern "C" fn on_signal(_sig: i32) {
+    SIGNAL_FLAG.store(true, Ordering::SeqCst);
+}
+
+/// Installs SIGINT/SIGTERM handlers that request graceful shutdown.
+/// Direct libc `signal(2)` FFI — the workspace takes no dependencies,
+/// and an atomic store is async-signal-safe.
+pub fn install_signal_handlers() {
+    #[cfg(unix)]
+    {
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        extern "C" {
+            fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+        }
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+}
+
+fn signal_pending() -> bool {
+    SIGNAL_FLAG.load(Ordering::SeqCst)
+}
+
+// ---------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------
+
+/// `matc request` configuration.
+#[derive(Debug, Clone)]
+pub struct RequestOptions {
+    /// Server address.
+    pub addr: String,
+    /// Additional attempts after the first failure.
+    pub retries: u32,
+    /// End-to-end client deadline; also propagated to the server as the
+    /// request's remaining `deadline_ms`.
+    pub deadline_ms: Option<u64>,
+    /// First backoff step (doubles per attempt, capped, jittered).
+    pub backoff_base_ms: u64,
+    /// Backoff ceiling.
+    pub backoff_cap_ms: u64,
+}
+
+impl Default for RequestOptions {
+    fn default() -> RequestOptions {
+        RequestOptions {
+            addr: String::new(),
+            retries: 3,
+            deadline_ms: None,
+            backoff_base_ms: 25,
+            backoff_cap_ms: 1_000,
+        }
+    }
+}
+
+/// One connect → write frame → read frame exchange.
+///
+/// # Errors
+///
+/// Returns a transport-level description (connect/write/read failure,
+/// or a torn/empty response).
+pub fn send_once(addr: &str, frame: &str, timeout: Duration) -> Result<String, String> {
+    let sock_addr = addr
+        .to_socket_addrs()
+        .map_err(|e| format!("resolve {addr}: {e}"))?
+        .next()
+        .ok_or_else(|| format!("resolve {addr}: no address"))?;
+    let mut stream = TcpStream::connect_timeout(&sock_addr, timeout)
+        .map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(timeout))
+        .map_err(|e| e.to_string())?;
+    let _ = stream.set_nodelay(true);
+    stream
+        .write_all(frame.as_bytes())
+        .and_then(|_| stream.write_all(b"\n"))
+        .map_err(|e| format!("write: {e}"))?;
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let start = Instant::now();
+    loop {
+        if let Some(pos) = buf.iter().position(|b| *b == b'\n') {
+            return Ok(String::from_utf8_lossy(&buf[..pos]).into_owned());
+        }
+        if start.elapsed() > timeout {
+            return Err("read: response timed out".to_string());
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                return Err(if buf.is_empty() {
+                    "read: connection closed before any response".to_string()
+                } else {
+                    // A torn response: bytes arrived but no frame
+                    // terminator — never treat a prefix as an answer.
+                    "read: torn response (connection closed mid-frame)".to_string()
+                });
+            }
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(e) => return Err(format!("read: {e}")),
+        }
+    }
+}
+
+/// Jitter for the client's backoff: deterministic in nothing — seeded
+/// from the OS via [`std::collections::hash_map::RandomState`], so
+/// concurrent clients desynchronize.
+fn client_jitter(attempt: u32, cap: u64) -> u64 {
+    use std::hash::{BuildHasher, Hasher};
+    let mut h = std::collections::hash_map::RandomState::new().build_hasher();
+    h.write_u32(attempt);
+    if cap == 0 {
+        0
+    } else {
+        h.finish() % cap
+    }
+}
+
+/// Sends `payload` with retries, capped exponential backoff with
+/// jitter, and deadline propagation (the server sees the *remaining*
+/// client budget, shrinking per attempt).
+///
+/// Retried: transport failures, torn responses, unparseable frames,
+/// and `overloaded` (shed) rejections. Not retried: every other
+/// structured rejection — the server said no, repeating won't help.
+///
+/// # Errors
+///
+/// Returns the final failure when attempts or the deadline run out.
+pub fn request_with_retries(opts: &RequestOptions, payload: &Json) -> Result<Json, String> {
+    let overall_deadline = opts
+        .deadline_ms
+        .map(|ms| Instant::now() + Duration::from_millis(ms));
+    let mut last_err = String::new();
+    for attempt in 0..=opts.retries {
+        let remaining = match overall_deadline {
+            Some(d) => {
+                let left = d.saturating_duration_since(Instant::now());
+                if left.is_zero() {
+                    return Err(if last_err.is_empty() {
+                        "deadline exceeded before any attempt".to_string()
+                    } else {
+                        format!("deadline exceeded; last error: {last_err}")
+                    });
+                }
+                left
+            }
+            None => Duration::from_secs(120),
+        };
+        // Deadline propagation: the server gets what's left, not the
+        // original budget.
+        let mut frame = payload.clone();
+        if overall_deadline.is_some() {
+            if let Json::Obj(members) = &mut frame {
+                members.retain(|(k, _)| k != "deadline_ms");
+                members.push((
+                    "deadline_ms".to_string(),
+                    Json::num(remaining.as_millis() as u64),
+                ));
+            }
+        }
+        match send_once(&opts.addr, &frame.render(), remaining) {
+            Ok(line) => match Json::parse(&line) {
+                Ok(resp) => {
+                    let code = resp.get("code").and_then(Json::as_str);
+                    if code == Some("overloaded") && attempt < opts.retries {
+                        last_err = "overloaded".to_string();
+                    } else {
+                        return Ok(resp);
+                    }
+                }
+                Err(e) => last_err = format!("unparseable response: {e}"),
+            },
+            Err(e) => last_err = e,
+        }
+        if attempt < opts.retries {
+            let exp = opts
+                .backoff_base_ms
+                .saturating_mul(1u64 << attempt.min(16))
+                .min(opts.backoff_cap_ms);
+            let jitter = client_jitter(attempt, exp.max(1));
+            let mut delay = Duration::from_millis(exp + jitter);
+            if let Some(d) = overall_deadline {
+                delay = delay.min(d.saturating_duration_since(Instant::now()));
+            }
+            std::thread::sleep(delay);
+        }
+    }
+    Err(format!(
+        "request failed after {} attempt(s): {last_err}",
+        opts.retries + 1
+    ))
+}

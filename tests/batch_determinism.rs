@@ -210,6 +210,92 @@ fn source_changes_invalidate_the_cache() {
 }
 
 #[test]
+fn cross_process_cache_contention_converges_to_one_untorn_entry() {
+    // Two real OS processes hammering the same cache key concurrently:
+    // the atomic tmp+rename publish protocol must never let either
+    // process observe a torn artifact, and the directory must converge
+    // to exactly one published entry for the key.
+    let dir = fresh_dir("xproc");
+    let src_path = dir.join("unit.m");
+    std::fs::write(
+        &src_path,
+        "function f()\ns = 0;\nfor i = 1:20\ns = s + i;\nend\nfprintf('%d\\n', s);\n",
+    )
+    .unwrap();
+    let cache_dir = dir.join("cache");
+    let emit_a = dir.join("emit-a");
+    let emit_b = dir.join("emit-b");
+
+    let spawn = |emit: &std::path::Path| {
+        std::process::Command::new(env!("CARGO_BIN_EXE_matc"))
+            .args([
+                "batch",
+                "--jobs",
+                "2",
+                "--repeat",
+                "40",
+                "--cache-dir",
+                cache_dir.to_str().unwrap(),
+                "--emit-dir",
+                emit.to_str().unwrap(),
+                src_path.to_str().unwrap(),
+            ])
+            .stdout(std::process::Stdio::null())
+            .stderr(std::process::Stdio::piped())
+            .spawn()
+            .unwrap()
+    };
+    // Start both before waiting on either so their 40 rounds genuinely
+    // interleave: each round re-reads (and round 1 of each re-writes)
+    // the same key while the sibling does too.
+    let a = spawn(&emit_a);
+    let b = spawn(&emit_b);
+    for (tag, child) in [("a", a), ("b", b)] {
+        let out = child.wait_with_output().unwrap();
+        assert!(
+            out.status.success(),
+            "process {tag} failed (a torn or unreadable artifact would \
+             surface as a compile error or degradation): {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+
+    // Both processes emitted the same C from the shared cache.
+    let c_a = std::fs::read(emit_a.join("unit.c")).unwrap();
+    let c_b = std::fs::read(emit_b.join("unit.c")).unwrap();
+    assert_eq!(c_a, c_b, "processes disagreed about the cached artifact");
+
+    // Exactly one published `.art` entry, and no leaked `.tmp` debris.
+    let mut arts = 0;
+    let mut tmps = 0;
+    for entry in std::fs::read_dir(&cache_dir).unwrap() {
+        let name = entry.unwrap().file_name().to_string_lossy().into_owned();
+        if name.ends_with(".art") {
+            arts += 1;
+        } else {
+            tmps += 1;
+        }
+    }
+    assert_eq!(arts, 1, "the two processes must converge to one entry");
+    assert_eq!(tmps, 0, "unpublished tmp files were leaked");
+
+    // A third reader (in-process) sees a well-formed entry that decodes
+    // to the exact bytes an uncached compile produces.
+    let unit = Unit::new("unit", vec![std::fs::read_to_string(&src_path).unwrap()]);
+    let cache = ArtifactCache::at_dir(&cache_dir).unwrap();
+    let cfg = BatchConfig {
+        jobs: 1,
+        options: GctdOptions::default(),
+        ..BatchConfig::default()
+    };
+    let cached = run_batch(std::slice::from_ref(&unit), &cfg, Some(&cache));
+    assert_eq!(cached.report.cache_hits, 1);
+    let fresh = run_batch(std::slice::from_ref(&unit), &cfg, None);
+    assert_eq!(artifact_bytes(&cached), artifact_bytes(&fresh));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn failed_units_are_never_cached() {
     let cache = ArtifactCache::in_memory();
     let cfg = BatchConfig {

@@ -148,14 +148,17 @@ fn batch_compiles_units_with_cache_and_matches_emit_c() {
     let emitted = std::fs::read(dir.join("out/batch_a.c")).unwrap();
     assert_eq!(emitted, direct.stdout);
 
-    // The stats document has the advertised shape. The schema-v3
-    // prefix, the always-present per-unit fault-tolerance arrays, and
-    // the dataflow-engine counters inside `interference` are a
-    // stability contract (DESIGN.md §6/§7/§8): downstream tooling
-    // keys on them, so this assert must only ever change together with
-    // a schema-version bump.
+    // The stats document has the advertised shape. The schema-v4
+    // prefix (with its `"kind"` discriminator), the always-present
+    // per-unit fault-tolerance arrays, and the dataflow-engine counters
+    // inside `interference` are a stability contract (DESIGN.md
+    // §6/§7/§8/§9): downstream tooling keys on them, so this assert
+    // must only ever change together with a schema-version bump.
     let stats = std::fs::read_to_string(dir.join("stats.json")).unwrap();
-    assert!(stats.starts_with("{\"schema\":3,"), "{stats}");
+    assert!(
+        stats.starts_with("{\"schema\":4,\"kind\":\"batch\","),
+        "{stats}"
+    );
     assert!(stats.contains("\"jobs\":2"), "{stats}");
     assert!(stats.contains("\"phase_totals_micros\""), "{stats}");
     assert!(stats.contains("\"unit\":\"batch_a\""), "{stats}");
@@ -317,4 +320,138 @@ fn runtime_subcommand_enables_native_builds() {
     );
     let run = Command::new(dir.join("prog")).output().unwrap();
     assert_eq!(String::from_utf8_lossy(&run.stdout), "5050\n");
+}
+
+#[test]
+fn serve_and_request_round_trip_over_the_wire() {
+    use std::io::{BufRead as _, BufReader};
+
+    let prog = write_temp(
+        "serve1.m",
+        "function f\ns = 0;\nfor i = 1:12\ns = s + i;\nend\nfprintf('%d\\n', s);\n",
+    );
+    // Ephemeral port: the daemon prints `matc: serving on ADDR` as its
+    // first stdout line; read it back to learn the address.
+    let mut daemon = matc()
+        .args(["serve", "--addr", "127.0.0.1:0", "--jobs", "2"])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+    let mut banner = String::new();
+    BufReader::new(daemon.stdout.as_mut().unwrap())
+        .read_line(&mut banner)
+        .unwrap();
+    let addr = banner
+        .trim()
+        .rsplit(' ')
+        .next()
+        .expect("banner ends with the address")
+        .to_string();
+    assert!(banner.starts_with("matc: serving on "), "{banner}");
+
+    // Cold compile, then a warm cache hit, via the client subcommand.
+    let cold = matc()
+        .args(["request", "--addr", &addr, "--deadline-ms", "30000"])
+        .arg(&prog)
+        .output()
+        .unwrap();
+    assert!(
+        cold.status.success(),
+        "{}",
+        String::from_utf8_lossy(&cold.stderr)
+    );
+    let cold_line = String::from_utf8_lossy(&cold.stdout);
+    assert!(cold_line.contains("\"status\":\"ok\""), "{cold_line}");
+    assert!(cold_line.contains("\"cached\":\"miss\""), "{cold_line}");
+
+    let warm = matc()
+        .args(["request", "--addr", &addr])
+        .arg(&prog)
+        .output()
+        .unwrap();
+    assert!(warm.status.success());
+    assert!(
+        String::from_utf8_lossy(&warm.stdout).contains("\"cached\":\"hit\""),
+        "{}",
+        String::from_utf8_lossy(&warm.stdout)
+    );
+
+    // --emit ships the artifact text inline.
+    let emit = matc()
+        .args(["request", "--addr", &addr, "--op", "audit", "--emit"])
+        .arg(&prog)
+        .output()
+        .unwrap();
+    assert!(emit.status.success());
+    let emit_line = String::from_utf8_lossy(&emit.stdout);
+    assert!(emit_line.contains("\"findings\""), "{emit_line}");
+    assert!(emit_line.contains("int main(void)"), "{emit_line}");
+
+    // healthz and schema-v4 serve stats.
+    let health = matc()
+        .args(["request", "--addr", &addr, "--op", "healthz"])
+        .output()
+        .unwrap();
+    assert!(health.status.success());
+    assert!(
+        String::from_utf8_lossy(&health.stdout).contains("\"status\":\"ok\""),
+        "{}",
+        String::from_utf8_lossy(&health.stdout)
+    );
+    let stats = matc()
+        .args(["request", "--addr", &addr, "--op", "stats"])
+        .output()
+        .unwrap();
+    let stats_line = String::from_utf8_lossy(&stats.stdout);
+    assert!(
+        stats_line.starts_with("{\"schema\":4,\"kind\":\"serve\",\"server\":{"),
+        "{stats_line}"
+    );
+
+    // Graceful shutdown over the wire; the daemon exits 0 (clean drain).
+    let down = matc()
+        .args(["request", "--addr", &addr, "--op", "shutdown"])
+        .output()
+        .unwrap();
+    assert!(down.status.success());
+    let status = daemon.wait().unwrap();
+    assert!(status.success(), "daemon exit: {status:?}");
+}
+
+#[test]
+fn request_against_a_dead_daemon_fails_after_bounded_retries() {
+    let prog = write_temp("serve2.m", "function f\nfprintf('%d\\n', 1);\n");
+    // Port 1 is never listening; two retries with small deadline must
+    // fail fast with exit 1 — not hang.
+    let out = matc()
+        .args([
+            "request",
+            "--addr",
+            "127.0.0.1:1",
+            "--retries",
+            "2",
+            "--deadline-ms",
+            "2000",
+        ])
+        .arg(&prog)
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("matc:"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn serve_usage_errors_exit_2() {
+    let out = matc()
+        .args(["serve", "--queue-cap", "zero"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let out = matc().args(["request", "--op"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
 }
