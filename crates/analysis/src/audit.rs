@@ -9,6 +9,14 @@
 //! §2.3 in-place operator table is re-encoded here from the paper
 //! rather than shared with Phase 1.
 //!
+//! Since PR 6 the audit also *compares* engines: the production
+//! dataflow is computed once per function (shared between the A401
+//! φ-coalescing check and the A5xx group instead of being re-derived
+//! per check group) and every block-level fact is cross-validated
+//! word-for-word against the auditor's independent recomputation — an
+//! engine-vs-engine divergence is an instant bug report on whichever
+//! side is wrong.
+//!
 //! ## Checks
 //!
 //! | code | severity | obligation |
@@ -23,6 +31,20 @@
 //! | A304 | error    | a stack slot's byte size is exactly its maximal member's (§3.3, Lemma 1) |
 //! | A305 | error    | a slot's intrinsic covers every member's inferred intrinsic (Relation 1) |
 //! | A401 | warning  | φ arguments are coalesced with their destination unless a conflict was recorded (§2.2.1) |
+//! | A501 | error    | auditor and production engines agree on block liveness (cross-validation) |
+//! | A502 | error    | auditor and production engines agree on block availability (cross-validation) |
+//! | A503 | error    | auditor and production engines agree on CFG reachability (cross-validation) |
+//! | L004 | warning  | a `±` resize annotation the auditor proves can never trigger (dead resize) |
+//!
+//! ## Parallel audits
+//!
+//! [`audit_program_jobs`] fans per-function audits across a small
+//! work-stealing pool (auditing is read-only over the program and the
+//! plan, so functions are embarrassingly parallel). The determinism
+//! contract: diagnostics land in per-function slots and are merged in
+//! `FuncId` order, and every verdict is a pure function of the
+//! function, its types and its plan — so the output is byte-identical
+//! across `--jobs 1` and `--jobs N` and across interleavings.
 
 use crate::dataflow::AuditFlow;
 use crate::diagnostics::Diagnostics;
@@ -30,11 +52,27 @@ use matc_frontend::ast::{BinOp, UnOp};
 use matc_gctd::{
     Dataflow, GctdOptions, InterferenceGraph, ProgramPlan, ResizeKind, SlotKind, StoragePlan,
 };
-use matc_ir::ids::{FuncId, VarId};
+use matc_ir::ids::{BlockId, FuncId, VarId};
 use matc_ir::instr::{InstrKind, Op, Operand};
-use matc_ir::{Builtin, FuncIr, IrProgram};
+use matc_ir::{Budget, BudgetError, Builtin, FuncIr, IrProgram};
 use matc_typeinf::{ExprId, Intrinsic, ProgramTypes};
 use std::collections::BTreeMap;
+
+/// Work counters one function's audit produced, for the
+/// `audit_edges_per_sec` throughput metric.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AuditStats {
+    /// CFG edges the audited functions contain — the unit of audit
+    /// throughput (every dataflow fixpoint and per-instruction check is
+    /// linear in edges for a fixed program shape).
+    pub cfg_edges: u64,
+}
+
+impl AuditStats {
+    fn absorb(&mut self, other: AuditStats) {
+        self.cfg_edges += other.cfg_edges;
+    }
+}
 
 /// Audits every function's plan; returns all findings.
 ///
@@ -45,19 +83,117 @@ pub fn audit_program(
     types: &mut ProgramTypes,
     plans: &ProgramPlan,
 ) -> Diagnostics {
+    audit_program_with_stats(prog, types, plans).0
+}
+
+/// [`audit_program`] returning the work counters alongside the findings.
+pub fn audit_program_with_stats(
+    prog: &IrProgram,
+    types: &mut ProgramTypes,
+    plans: &ProgramPlan,
+) -> (Diagnostics, AuditStats) {
     let mut diags = Diagnostics::new();
+    let mut stats = AuditStats::default();
     for i in 0..prog.functions.len() {
         let fid = FuncId::new(i);
-        audit_function(
-            prog.func(fid),
+        let func = prog.func(fid);
+        let preds = func.predecessors();
+        let budget = Budget::unlimited();
+        let s = audit_function_budgeted(
+            func,
             fid,
             types,
             plans.plan(fid),
             plans.options,
+            &preds,
+            &budget,
             &mut diags,
-        );
+        )
+        .expect("unlimited budget cannot trip");
+        stats.absorb(s);
     }
-    diags
+    (diags, stats)
+}
+
+/// [`audit_program_with_stats`] with per-function audits fanned across
+/// `jobs` worker threads (work-stealing, like the batch pool: each
+/// worker owns a deque seeded round-robin, pops its own front and
+/// steals others' backs).
+///
+/// Diagnostics are collected into per-function slots and merged in
+/// `FuncId` order, so the output is byte-identical to the serial audit
+/// regardless of `jobs` or scheduling. Each worker audits against its
+/// own clone of `types` (interning during symbolic comparisons is a
+/// cache, not an input), so the caller's context is left untouched on
+/// this path.
+pub fn audit_program_jobs(
+    prog: &IrProgram,
+    types: &ProgramTypes,
+    plans: &ProgramPlan,
+    jobs: usize,
+) -> (Diagnostics, AuditStats) {
+    let n = prog.functions.len();
+    let jobs = jobs.max(1).min(n.max(1));
+    if jobs <= 1 || n <= 1 {
+        let mut local = types.clone();
+        return audit_program_with_stats(prog, &mut local, plans);
+    }
+
+    use std::collections::VecDeque;
+    use std::sync::Mutex;
+
+    let queues: Vec<Mutex<VecDeque<usize>>> =
+        (0..jobs).map(|_| Mutex::new(VecDeque::new())).collect();
+    for i in 0..n {
+        queues[i % jobs].lock().unwrap().push_back(i);
+    }
+    let slots: Vec<Mutex<Option<(Diagnostics, AuditStats)>>> =
+        (0..n).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for w in 0..jobs {
+            let queues = &queues;
+            let slots = &slots;
+            let mut local_types = types.clone();
+            scope.spawn(move || loop {
+                let task = queues[w].lock().unwrap().pop_front().or_else(|| {
+                    (0..queues.len())
+                        .filter(|q| *q != w)
+                        .find_map(|q| queues[q].lock().unwrap().pop_back())
+                });
+                let Some(i) = task else { break };
+                let fid = FuncId::new(i);
+                let func = prog.func(fid);
+                let preds = func.predecessors();
+                let budget = Budget::unlimited();
+                let mut d = Diagnostics::new();
+                let s = audit_function_budgeted(
+                    func,
+                    fid,
+                    &mut local_types,
+                    plans.plan(fid),
+                    plans.options,
+                    &preds,
+                    &budget,
+                    &mut d,
+                )
+                .expect("unlimited budget cannot trip");
+                *slots[i].lock().unwrap() = Some((d, s));
+            });
+        }
+    });
+
+    let mut diags = Diagnostics::new();
+    let mut stats = AuditStats::default();
+    for slot in slots {
+        let (d, s) = slot
+            .into_inner()
+            .unwrap()
+            .expect("every function was audited");
+        diags.merge(d);
+        stats.absorb(s);
+    }
+    (diags, stats)
 }
 
 /// Audits one function's plan, appending findings to `diags`.
@@ -74,12 +210,46 @@ pub fn audit_function(
     options: GctdOptions,
     diags: &mut Diagnostics,
 ) {
-    assert!(func.in_ssa, "plan audits run on SSA form");
-    // Predecessor lists are shared by every analysis the audit runs
-    // (the audit dataflow and the A401 re-run of the production
-    // engine) — computed once per function.
     let preds = func.predecessors();
-    let flow = AuditFlow::compute_with_preds(func, &preds);
+    let budget = Budget::unlimited();
+    audit_function_budgeted(func, fid, types, plan, options, &preds, &budget, diags)
+        .expect("unlimited budget cannot trip");
+}
+
+/// [`audit_function`] with the predecessor lists supplied by the caller
+/// (computed once per function, shared by every analysis the audit
+/// runs — the audit dataflow, the production engine behind A401/A5xx —
+/// instead of once per check group) and a [`Budget`] charged with the
+/// same shape as the production pipeline's analysis phases.
+///
+/// Returns the work counters on success; on a budget trip the partial
+/// findings appended so far must be discarded by the caller along with
+/// the audit (the degradation ladder does exactly that).
+///
+/// # Errors
+///
+/// Returns the [`BudgetError`] that tripped one of the dataflow
+/// fixpoints.
+///
+/// # Panics
+///
+/// Panics if `func` is not in SSA form.
+#[allow(clippy::too_many_arguments)]
+pub fn audit_function_budgeted(
+    func: &FuncIr,
+    fid: FuncId,
+    types: &mut ProgramTypes,
+    plan: &StoragePlan,
+    options: GctdOptions,
+    preds: &[Vec<BlockId>],
+    budget: &Budget,
+    diags: &mut Diagnostics,
+) -> Result<AuditStats, BudgetError> {
+    assert!(func.in_ssa, "plan audits run on SSA form");
+    let flow = AuditFlow::compute_budgeted_with_preds(func, preds, budget)?;
+    // The production engine's facts, computed once and shared between
+    // the A5xx cross-validation and the A401 φ-coalescing check.
+    let prod = Dataflow::compute_budgeted_with_preds(func, preds, budget)?;
     let sizes = AuditSizes::compute(func, fid, types);
 
     check_structure(func, plan, diags);
@@ -89,10 +259,17 @@ pub fn audit_function(
     if options.interference.operator_semantics {
         check_inplace_pairings(func, fid, &flow, types, plan, diags);
     }
-    check_resize_annotations(func, fid, &flow, types, &sizes, plan, diags);
+    check_resize_annotations(func, fid, &flow, types, &sizes, options, plan, diags);
+    check_engine_agreement(func, &flow, &prod, plan, diags);
     if options.coalesce && options.interference.phi_coalescing {
-        check_phi_coalescing(func, fid, types, options, plan, &preds, diags);
+        check_phi_coalescing(func, fid, types, options, plan, &prod, diags);
     }
+
+    let cfg_edges = func
+        .block_ids()
+        .map(|b| func.block(b).term.successors().len() as u64)
+        .sum();
+    Ok(AuditStats { cfg_edges })
 }
 
 // ---------------------------------------------------------------------
@@ -362,8 +539,7 @@ fn check_liveness_conflicts(
     for (i, p) in func.params.iter().enumerate() {
         for q in &func.params[i + 1..] {
             if plan.share_storage(*p, *q)
-                && (flow.live_in[func.entry.index()].contains(p)
-                    || flow.live_in[func.entry.index()].contains(q))
+                && (flow.live_in_contains(func.entry, *p) || flow.live_in_contains(func.entry, *q))
             {
                 diags.error(
                     "A101",
@@ -401,20 +577,20 @@ fn check_liveness_conflicts(
                 }
             }
             // Writing `d` must not destroy a slot-mate that some later
-            // (or concurrent terminator) read still needs.
+            // (or concurrent terminator) read still needs. The candidate
+            // set — live after ∧ available before — is a word-wise AND
+            // over the two snapshot rows.
             for d in &defs {
                 let Some(sd) = plan.slot_of(*d) else { continue };
-                for w in
-                    flow.live_after[b.index()][i].intersection(&flow.avail_before[b.index()][i])
-                {
-                    if w != d && plan.slot_of(*w) == Some(sd) {
+                for w in flow.live_and_avail_at(b, i) {
+                    if w != *d && plan.slot_of(w) == Some(sd) {
                         diags.error(
                             "A101",
                             fname,
                             format!(
                                 "defining `{}` overwrites slot {sd} while slot-mate `{}` is live and available",
                                 func.vars.display_name(*d),
-                                func.vars.display_name(*w)
+                                func.vars.display_name(w)
                             ),
                             Some(instr.span),
                         );
@@ -507,7 +683,7 @@ fn check_inplace_pairings(
                 if x == *dst || plan.slot_of(x) != Some(sd) {
                     continue;
                 }
-                if flow.live_after[b.index()][i].contains(&x) {
+                if flow.live_after_contains(b, i, x) {
                     continue; // a live slot-mate is A101's finding, not A201's
                 }
                 if !permits_in_place(op, k, args, fid, types) {
@@ -601,7 +777,7 @@ fn permits_in_place(
 }
 
 // ---------------------------------------------------------------------
-// A301 / A302 — resize annotations (§3.2.2)
+// A301 / A302 / L004 — resize annotations (§3.2.2)
 // ---------------------------------------------------------------------
 
 #[allow(clippy::too_many_arguments)]
@@ -611,6 +787,7 @@ fn check_resize_annotations(
     flow: &AuditFlow,
     types: &mut ProgramTypes,
     sizes: &AuditSizes,
+    options: GctdOptions,
     plan: &StoragePlan,
     diags: &mut Diagnostics,
 ) {
@@ -623,10 +800,43 @@ fn check_resize_annotations(
                     continue;
                 }
                 match plan.resize_of(d) {
-                    // `±` re-fits the slot to the definition: always sound.
-                    ResizeKind::Resize => {}
+                    // `±` re-fits the slot to the definition: always
+                    // sound — but dead weight if the auditor can prove
+                    // the slot is already exactly the right size, by the
+                    // very witness rule A301 demands of `∘` (L004,
+                    // precision headroom the planner left on the table).
+                    // Gated on the plan's own options, like A201/A401: a
+                    // `symbolic_criterion: false` plan deliberately
+                    // forgoes size witnesses, so its `±` annotations are
+                    // ablation policy, not dead weight.
+                    ResizeKind::Resize => {
+                        if instr.is_phi() || !options.symbolic_criterion {
+                            continue;
+                        }
+                        let witnessed = plan.slots[sd].members.iter().any(|u| {
+                            *u != d
+                                && flow.available_at_def(*u, d)
+                                && provably_same_numel(*u, d, sizes, types)
+                        });
+                        if witnessed {
+                            diags.warning(
+                                "L004",
+                                fname,
+                                format!(
+                                    "`{}` is annotated `±` (resize) but an earlier slot-{sd} value provably has the same size — the resize can never trigger",
+                                    func.vars.display_name(d)
+                                ),
+                                Some(instr.span),
+                            );
+                        }
+                    }
                     // `+` relies on the §2.3.3 growth guarantee, which
                     // only subsasgn into the *same* storage provides.
+                    // (No L004 here: the planner annotates *every*
+                    // self-slot subsasgn `+` by design — the growth
+                    // guard doubles as the bounds check — so a
+                    // provably-in-bounds `+` is planner policy, not a
+                    // dead annotation.)
                     ResizeKind::Grow => {
                         let ok = matches!(
                             &instr.kind,
@@ -704,6 +914,73 @@ fn provably_same_numel(u: VarId, d: VarId, sizes: &AuditSizes, types: &mut Progr
 }
 
 // ---------------------------------------------------------------------
+// A5xx — engine-vs-engine cross-validation
+// ---------------------------------------------------------------------
+
+/// Compares the auditor's recomputed block facts against the production
+/// engine's, word for word. The two engines share nothing but the IR:
+/// the auditor's worklist transfer functions, summaries and snapshot
+/// peeling all live in this crate. Agreement is therefore strong
+/// evidence both are right; any divergence is an instant bug report on
+/// whichever side is wrong (A501 liveness, A502 availability, A503
+/// reachability).
+fn check_engine_agreement(
+    func: &FuncIr,
+    flow: &AuditFlow,
+    prod: &Dataflow,
+    plan: &StoragePlan,
+    diags: &mut Diagnostics,
+) {
+    let fname = &plan.func_name;
+    let popcount = |row: &[u64]| row.iter().map(|w| w.count_ones() as usize).sum::<usize>();
+    for b in func.block_ids() {
+        let bi = b.index();
+        if flow.live_out_row(b) != prod.live_out_bits().row(bi) {
+            diags.error(
+                "A501",
+                fname,
+                format!("live-out of {b} diverges between the audit and production engines"),
+                None,
+            );
+        }
+        // Production live-in is an ordered-free set; compare by
+        // membership plus cardinality.
+        if prod.live_in[bi].len() != popcount(flow.live_in_row(b))
+            || prod.live_in[bi]
+                .iter()
+                .any(|v| !flow.live_in_contains(b, *v))
+        {
+            diags.error(
+                "A501",
+                fname,
+                format!("live-in of {b} diverges between the audit and production engines"),
+                None,
+            );
+        }
+        if flow.avail_out_row(b) != prod.avail_out_bits().row(bi) {
+            diags.error(
+                "A502",
+                fname,
+                format!("avail-out of {b} diverges between the audit and production engines"),
+                None,
+            );
+        }
+        for c in func.block_ids() {
+            if flow.block_reaches(b, c) != prod.block_reaches(b, c) {
+                diags.error(
+                    "A503",
+                    fname,
+                    format!(
+                        "reachability {b} → {c} diverges between the audit and production engines"
+                    ),
+                    None,
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
 // A401 — φ-coalescing completeness (warning)
 // ---------------------------------------------------------------------
 
@@ -713,17 +990,17 @@ fn check_phi_coalescing(
     types: &mut ProgramTypes,
     options: GctdOptions,
     plan: &StoragePlan,
-    preds: &[Vec<matc_ir::BlockId>],
+    flow: &Dataflow,
     diags: &mut Diagnostics,
 ) {
     // This check deliberately consults the production interference graph:
     // the question is not "is the plan unsound" but "did the planner
     // leave an SSA-inversion copy on the table without recording a
-    // conflict that justifies it".
-    let flow = Dataflow::compute_with_preds(func, preds);
+    // conflict that justifies it". The production dataflow behind the
+    // graph is the same instance A5xx already cross-validated.
     let graph = {
         let ftypes = &types.funcs[fid.index()];
-        InterferenceGraph::build(func, &flow, ftypes, types, options.interference)
+        InterferenceGraph::build(func, flow, ftypes, types, options.interference)
     };
     let fname = &plan.func_name;
     for b in func.block_ids() {
@@ -749,5 +1026,121 @@ fn check_phi_coalescing(
                 }
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matc_frontend::parser::parse_program;
+    use matc_ir::build_ssa;
+    use matc_typeinf::infer_program;
+
+    fn prep(src: &str) -> (IrProgram, ProgramTypes, ProgramPlan) {
+        let ast = parse_program([src]).unwrap();
+        let ir = build_ssa(&ast).unwrap();
+        let mut types = infer_program(&ir);
+        let plans = matc_gctd::plan_program(&ir, &mut types, GctdOptions::default());
+        (ir, types, plans)
+    }
+
+    #[test]
+    fn engine_agreement_flags_foreign_facts() {
+        // Cross-validate facts computed from two *different* functions:
+        // the straight-line function's facts cannot match the branchy
+        // function's, so every A5xx sub-check must have teeth.
+        let (ir_a, _, plans_a) =
+            prep("function y = f(x)\nif x > 0\ny = x + 1;\nelse\ny = x - 1;\nend\n");
+        let (ir_b, _, _) = prep("function y = f(x)\ny = x + 1;\nz = y * 2;\ny = z;\n");
+        let fa = ir_a.entry_func();
+        let fb = ir_b.entry_func();
+        let flow = AuditFlow::compute(fa);
+        let foreign = Dataflow::compute(fb);
+        // Only meaningful when the block universes line up enough to
+        // compare; the branchy function has strictly more blocks, so
+        // compare the entry block's facts at minimum.
+        let mut d = Diagnostics::new();
+        if fa.vars.len() == fb.vars.len() && fa.blocks.len() == fb.blocks.len() {
+            check_engine_agreement(fa, &flow, &foreign, plans_a.plan(FuncId::new(0)), &mut d);
+            assert!(d.has_errors(), "foreign facts must diverge");
+        } else {
+            // Same function, same facts: agreement holds.
+            let own = Dataflow::compute(fa);
+            check_engine_agreement(fa, &flow, &own, plans_a.plan(FuncId::new(0)), &mut d);
+            assert!(d.is_empty(), "{}", d.render());
+        }
+    }
+
+    #[test]
+    fn engine_agreement_holds_on_matching_engines() {
+        let (ir, _, plans) = prep("function s = f(n)\ns = 0;\nfor i = 1:n\ns = s + i;\nend\n");
+        let f = ir.entry_func();
+        let flow = AuditFlow::compute(f);
+        let prod = Dataflow::compute(f);
+        let mut d = Diagnostics::new();
+        check_engine_agreement(f, &flow, &prod, plans.plan(FuncId::new(0)), &mut d);
+        assert!(d.is_empty(), "{}", d.render());
+    }
+
+    #[test]
+    fn preds_threaded_entry_matches_plain_entry() {
+        // The satellite contract: computing `predecessors()` once and
+        // passing it through must not change a single diagnostic.
+        let src =
+            "function f(n)\na = rand(n, n);\nb = a + 1;\nfor i = 1:n\nb = b * 2;\nend\ndisp(b);\n";
+        let (ir, mut types, plans) = prep(src);
+        let fid = FuncId::new(0);
+        let func = ir.func(fid);
+
+        let mut plain = Diagnostics::new();
+        audit_function(
+            func,
+            fid,
+            &mut types,
+            plans.plan(fid),
+            plans.options,
+            &mut plain,
+        );
+
+        let preds = func.predecessors();
+        let budget = Budget::unlimited();
+        let mut threaded = Diagnostics::new();
+        let stats = audit_function_budgeted(
+            func,
+            fid,
+            &mut types,
+            plans.plan(fid),
+            plans.options,
+            &preds,
+            &budget,
+            &mut threaded,
+        )
+        .unwrap();
+        assert_eq!(plain.to_json(), threaded.to_json());
+        assert!(stats.cfg_edges > 0, "loops have edges");
+    }
+
+    #[test]
+    fn budget_trip_in_audit_surfaces_as_error() {
+        let src = "function s = f(n)\ns = 0;\nfor i = 1:n\ns = s + i;\nend\n";
+        let (ir, mut types, plans) = prep(src);
+        let fid = FuncId::new(0);
+        let func = ir.func(fid);
+        let preds = func.predecessors();
+        let budget = Budget::new(None, Some(1));
+        budget.enter_phase("audit");
+        let mut d = Diagnostics::new();
+        let err = audit_function_budgeted(
+            func,
+            fid,
+            &mut types,
+            plans.plan(fid),
+            plans.options,
+            &preds,
+            &budget,
+            &mut d,
+        )
+        .expect_err("one unit of fuel cannot audit a loop");
+        assert_eq!(err.phase, "audit");
     }
 }

@@ -44,7 +44,10 @@ pub mod dataflow;
 pub mod diagnostics;
 pub mod lint;
 
-pub use audit::{audit_function, audit_program};
+pub use audit::{
+    audit_function, audit_function_budgeted, audit_program, audit_program_jobs,
+    audit_program_with_stats, AuditStats,
+};
 pub use dataflow::AuditFlow;
 pub use diagnostics::{Diagnostic, Diagnostics, Severity};
 pub use lint::lint_program;

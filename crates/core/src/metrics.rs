@@ -112,7 +112,7 @@ pub struct DegradationEvent {
     /// whole unit conservatively).
     pub func: String,
     /// Which rung fired: `"plan_panic"`, `"plan_budget"`, `"audit"`,
-    /// `"optimize_budget"`, `"type_infer_budget"`.
+    /// `"audit_budget"`, `"optimize_budget"`, `"type_infer_budget"`.
     pub stage: &'static str,
     /// Human-readable cause (panic message, audit findings, budget
     /// error).
@@ -231,6 +231,9 @@ pub struct UnitMetrics {
     pub audit_errors: usize,
     /// Warning-severity audit findings (lints included).
     pub audit_warnings: usize,
+    /// CFG edges the auditor processed (the unit of audit throughput,
+    /// feeding the perf bench's `audit_edges_per_sec`).
+    pub audit_edges: u64,
     /// Emitted C size in bytes.
     pub c_bytes: usize,
     /// Emitted C size in lines.
@@ -269,6 +272,7 @@ impl UnitMetrics {
             plan: PlanStats::default(),
             audit_errors: 0,
             audit_warnings: 0,
+            audit_edges: 0,
             c_bytes: 0,
             c_lines: 0,
             cache: CacheOutcome::Bypass,
@@ -399,8 +403,8 @@ impl UnitMetrics {
         );
         let _ = write!(
             s,
-            ",\"audit\":{{\"errors\":{},\"warnings\":{}}}",
-            self.audit_errors, self.audit_warnings
+            ",\"audit\":{{\"errors\":{},\"warnings\":{},\"edges\":{}}}",
+            self.audit_errors, self.audit_warnings, self.audit_edges
         );
         let _ = write!(
             s,
@@ -451,8 +455,10 @@ impl BatchReport {
     /// unit's `interference` object (PR 4); from 3 to 4 when the
     /// `"kind"` discriminator (`"batch"` vs `"serve"`) was added so the
     /// `matc serve` daemon can emit the same document shape extended
-    /// with a `server` object (DESIGN.md §9).
-    pub const SCHEMA_VERSION: u32 = 4;
+    /// with a `server` object (DESIGN.md §9); from 4 to 5 when the
+    /// bitset audit engine's `edges` counter joined each unit's
+    /// `audit` object (PR 6).
+    pub const SCHEMA_VERSION: u32 = 5;
 
     /// The full stats document (`matc batch --stats`), `"kind":"batch"`.
     pub fn to_json(&self) -> String {
@@ -656,10 +662,10 @@ mod tests {
         assert_eq!(report.degraded(), 1);
         assert_eq!(report.failed(), 0);
         let j = report.to_json();
-        assert!(j.starts_with("{\"schema\":4,\"kind\":\"batch\","), "{j}");
+        assert!(j.starts_with("{\"schema\":5,\"kind\":\"batch\","), "{j}");
         let served = report.to_json_with_kind("serve", ",\"server\":{\"queue_depth\":0}");
         assert!(
-            served.starts_with("{\"schema\":4,\"kind\":\"serve\",\"server\":{\"queue_depth\":0},"),
+            served.starts_with("{\"schema\":5,\"kind\":\"serve\",\"server\":{\"queue_depth\":0},"),
             "{served}"
         );
         assert!(report.render_table().contains("degraded (1 event(s))"));

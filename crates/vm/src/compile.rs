@@ -1,7 +1,7 @@
 //! The full `mat2c`-style compilation pipeline, producing executable IR
 //! plus GCTD storage plans.
 
-use matc_analysis::{audit_program, lint_program, Diagnostics};
+use matc_analysis::{audit_program_with_stats, lint_program, Diagnostics};
 use matc_frontend::ast::Program;
 use matc_gctd::{plan_program, plan_program_with, GctdOptions, Phase, ProgramPlan, UnitMetrics};
 use matc_ir::ids::FuncId;
@@ -130,19 +130,23 @@ fn compile_inner(
     let diags = if want_audit {
         let t = Instant::now();
         let mut diags = lint_program(ast);
-        diags.merge(audit_program(&ir, &mut types, &plans));
+        let (findings, stats) = audit_program_with_stats(&ir, &mut types, &plans);
+        diags.merge(findings);
         if let Some(r) = rec.as_deref_mut() {
             r.record(Phase::Audit, t.elapsed());
             r.audit_errors = diags.error_count();
             r.audit_warnings = diags.warning_count();
+            r.audit_edges = stats.cfg_edges;
         }
         Some(diags)
     } else {
         // Debug builds re-audit every plan with the independent checker
         // before SSA inversion bakes the sharing decisions into the IR.
+        // Same preds-threaded entry as the audited path, so both hooks
+        // exercise identical code.
         #[cfg(debug_assertions)]
         {
-            let findings = audit_program(&ir, &mut types, &plans);
+            let (findings, _stats) = audit_program_with_stats(&ir, &mut types, &plans);
             assert!(
                 !findings.has_errors(),
                 "storage plan failed its audit:\n{}",

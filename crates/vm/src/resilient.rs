@@ -27,7 +27,7 @@
 //! it anchors the bottom of the ladder.
 
 use crate::compile::Compiled;
-use matc_analysis::{audit_function, lint_program, Diagnostics, Severity};
+use matc_analysis::{audit_function_budgeted, lint_program, Diagnostics, Severity};
 use matc_frontend::ast::Program;
 use matc_gctd::{
     isolate, plan_function_budgeted, BudgetEvent, DegradationEvent, FaultPlan, FaultSite,
@@ -295,27 +295,54 @@ pub fn compile_resilient(
             }
         };
 
-        // Rung 2: audit the configured plan; a violation (real or
-        // injected) demotes the function to the fallback.
+        // Rung 2: audit the configured plan under the same budget the
+        // plan ran on; a violation (real or injected) demotes the
+        // function to the fallback, and so does a budget trip — the
+        // audit's partial findings are discarded with it.
+        let preds = ir.func(fid).predecessors();
         if let Some(p) = &plan {
             let t = Instant::now();
             let mut fd = Diagnostics::new();
-            audit_function(ir.func(fid), fid, &mut types, p, plan_options, &mut fd);
+            let audited = audit_function_budgeted(
+                ir.func(fid),
+                fid,
+                &mut types,
+                p,
+                plan_options,
+                &preds,
+                plan_budget,
+                &mut fd,
+            );
             audit_time += t.elapsed();
-            let injected = plan_options.coalesce
-                && faults.fires(FaultSite::AuditViolation, &format!("{unit}/{fname}"));
-            if fd.has_errors() || injected {
-                failure = Some((
-                    "audit",
-                    if fd.has_errors() {
-                        summarize_errors(&fd)
+            match audited {
+                Err(be) => {
+                    note_budget(rec, &be);
+                    if (be.kind == matc_ir::BudgetKind::WallClock && conservative)
+                        || be.kind == matc_ir::BudgetKind::Deadline
+                    {
+                        return Err(ResilientError::Budget(be));
+                    }
+                    failure = Some(("audit_budget", be.to_string()));
+                    plan = None;
+                }
+                Ok(stats) => {
+                    let injected = plan_options.coalesce
+                        && faults.fires(FaultSite::AuditViolation, &format!("{unit}/{fname}"));
+                    if fd.has_errors() || injected {
+                        failure = Some((
+                            "audit",
+                            if fd.has_errors() {
+                                summarize_errors(&fd)
+                            } else {
+                                "injected audit violation".to_string()
+                            },
+                        ));
+                        plan = None;
                     } else {
-                        "injected audit violation".to_string()
-                    },
-                ));
-                plan = None;
-            } else {
-                audit_diags.merge(fd);
+                        rec.audit_edges += stats.cfg_edges;
+                        audit_diags.merge(fd);
+                    }
+                }
             }
         }
 
@@ -347,21 +374,25 @@ pub fn compile_resilient(
                 };
                 let t = Instant::now();
                 let mut fd = Diagnostics::new();
-                audit_function(
+                let audited = audit_function_budgeted(
                     ir.func(fid),
                     fid,
                     &mut types,
                     &fb,
                     fallback_options,
+                    &preds,
+                    &relaxed,
                     &mut fd,
                 );
                 audit_time += t.elapsed();
+                let stats = audited.map_err(ResilientError::Budget)?;
                 if fd.has_errors() {
                     return Err(ResilientError::FallbackAudit {
                         func: fname,
                         detail: summarize_errors(&fd),
                     });
                 }
+                rec.audit_edges += stats.cfg_edges;
                 audit_diags.merge(fd);
                 fb
             }

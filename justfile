@@ -16,7 +16,9 @@ test:
     cargo test --workspace -q
 
 # Run the independent storage-plan auditor + lints over all 11
-# benchsuite programs; fails on any error-severity finding.
+# benchsuite programs and print the reference-vs-worklist dataflow
+# engine before/after timing table (DESIGN.md §10); fails on any
+# error-severity finding.
 audit-bench:
     cargo run -q --bin matc -- audit-bench
 

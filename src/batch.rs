@@ -194,6 +194,7 @@ fn meta_from_metrics(m: &UnitMetrics) -> BTreeMap<String, u64> {
     }
     meta.insert("audit_errors".to_string(), m.audit_errors as u64);
     meta.insert("audit_warnings".to_string(), m.audit_warnings as u64);
+    meta.insert("audit_edges".to_string(), m.audit_edges);
     meta
 }
 
@@ -224,6 +225,7 @@ fn apply_meta(a: &Artifact, m: &mut UnitMetrics) {
     m.plan.slots = a.meta_value("plan_slots") as usize;
     m.audit_errors = a.meta_value("audit_errors") as usize;
     m.audit_warnings = a.meta_value("audit_warnings") as usize;
+    m.audit_edges = a.meta_value("audit_edges");
     m.c_bytes = a.c_code.len();
     m.c_lines = a.c_code.lines().count();
 }

@@ -22,7 +22,7 @@
 //! `batch` units are `driver.m[,helper.m...]` groups (or `--bench` for
 //! the benchsuite); see `usage()` below for its flags.
 
-use matc::analysis::{audit_program, lint_program, Diagnostics};
+use matc::analysis::{audit_program_jobs, lint_program, AuditFlow, Diagnostics};
 use matc::batch::{bench_units, run_batch, selfcheck, BatchConfig, Unit};
 use matc::frontend::parse_program;
 use matc::gctd::plan_program;
@@ -36,7 +36,7 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: matc <run|emit-c|plan|stats|audit> [--no-gctd] [--seed N] [--mcc|--interp] [--json] file.m [more.m ...]\n       matc audit-bench     audit every benchsuite program's plan\n       matc runtime <dir>   write the mrt C support runtime (mrt.h, mrt.c)\n       matc batch [--jobs N] [--cache-dir DIR] [--stats FILE] [--emit-dir DIR]\n                  [--no-gctd] [--repeat N] [--bench] [--selfcheck]\n                  [--keep-going|--fail-fast] [--phase-timeout-ms N] [--fuel N]\n                  [--faults SPEC] [driver.m[,helper.m...] ...]\n                            compile many programs in parallel with caching;\n                            --selfcheck proves parallel/sequential/cached runs\n                            byte-identical and reports the speedup;\n                            --faults takes a seeded fault-injection spec\n                            (also read from MATC_FAULTS), e.g.\n                            seed=7,read=10,write=30,panic=0,audit=100,transient=2\n       batch exit codes: 0 all units clean, 1 unit(s) failed, 2 usage,\n                         3 all compiled but some degraded to the\n                         conservative plan\n       matc serve [--addr HOST:PORT] [--jobs N] [--queue-cap N] [--high-water N]\n                  [--drain-ms N] [--idle-timeout-ms N] [--cache-dir DIR]\n                  [--breaker-threshold N] [--breaker-cooldown-ms N]\n                  [--phase-timeout-ms N] [--fuel N] [--faults SPEC] [--no-gctd]\n                            newline-delimited-JSON compile daemon (DESIGN.md §9)\n                            with bounded admission (shed at --queue-cap,\n                            degrade to the conservative plan at --high-water),\n                            per-request deadlines, per-unit circuit breakers\n                            and graceful SIGTERM/SIGINT draining;\n                            --faults also accepts the network-chaos keys\n                            accept=,disconnect=,stall=,torn=\n       serve exit codes: 0 drained cleanly, 1 bind/drain failure, 2 usage\n       matc request [--addr HOST:PORT] [--op compile|audit|healthz|stats|shutdown]\n                  [--name NAME] [--deadline-ms N] [--retries N] [--emit]\n                  [driver.m[,helper.m...]]\n                            one request against a running daemon, with capped\n                            jittered exponential backoff and deadline\n                            propagation; prints the response JSON\n       request exit codes: 0 server replied ok:true, 1 rejected/error, 2 usage\n       matc perf-bench [--samples N] [--warmup N] [--baseline FILE] [--bless]\n                            compile the benchsuite + paper_scale, record\n                            median phase times / fixpoint iterations /\n                            interference edges per second in BENCH_gctd.json,\n                            and fail on >25% regression vs the committed\n                            baseline (tolerance via MATC_PERF_TOLERANCE;\n                            --bless rewrites the baseline)"
+        "usage: matc <run|emit-c|plan|stats|audit> [--no-gctd] [--seed N] [--mcc|--interp] [--json] [--jobs N] file.m [more.m ...]\n       matc audit [--jobs N] file.m [...]\n                            lint + independently re-check the storage plan:\n                            liveness/sizing checks (A1xx-A4xx), production-\n                            vs-auditor engine agreement (A5xx), and dead\n                            resize-annotation lints (L004); --jobs fans\n                            per-function audits over a work-stealing pool\n                            with byte-identical findings for every N\n       matc audit-bench     audit every benchsuite program's plan and print\n                            a reference-vs-worklist dataflow engine timing\n                            table with per-benchmark speedups\n       matc runtime <dir>   write the mrt C support runtime (mrt.h, mrt.c)\n       matc batch [--jobs N] [--cache-dir DIR] [--stats FILE] [--emit-dir DIR]\n                  [--no-gctd] [--repeat N] [--bench] [--selfcheck]\n                  [--keep-going|--fail-fast] [--phase-timeout-ms N] [--fuel N]\n                  [--faults SPEC] [driver.m[,helper.m...] ...]\n                            compile many programs in parallel with caching;\n                            --selfcheck proves parallel/sequential/cached runs\n                            byte-identical and reports the speedup;\n                            --faults takes a seeded fault-injection spec\n                            (also read from MATC_FAULTS), e.g.\n                            seed=7,read=10,write=30,panic=0,audit=100,transient=2\n       batch exit codes: 0 all units clean, 1 unit(s) failed, 2 usage,\n                         3 all compiled but some degraded to the\n                         conservative plan\n       matc serve [--addr HOST:PORT] [--jobs N] [--queue-cap N] [--high-water N]\n                  [--drain-ms N] [--idle-timeout-ms N] [--cache-dir DIR]\n                  [--breaker-threshold N] [--breaker-cooldown-ms N]\n                  [--phase-timeout-ms N] [--fuel N] [--faults SPEC] [--no-gctd]\n                            newline-delimited-JSON compile daemon (DESIGN.md §9)\n                            with bounded admission (shed at --queue-cap,\n                            degrade to the conservative plan at --high-water),\n                            per-request deadlines, per-unit circuit breakers\n                            and graceful SIGTERM/SIGINT draining;\n                            --faults also accepts the network-chaos keys\n                            accept=,disconnect=,stall=,torn=\n       serve exit codes: 0 drained cleanly, 1 bind/drain failure, 2 usage\n       matc request [--addr HOST:PORT] [--op compile|audit|healthz|stats|shutdown]\n                  [--name NAME] [--deadline-ms N] [--retries N] [--emit]\n                  [driver.m[,helper.m...]]\n                            one request against a running daemon, with capped\n                            jittered exponential backoff and deadline\n                            propagation; prints the response JSON\n       request exit codes: 0 server replied ok:true, 1 rejected/error, 2 usage\n       matc perf-bench [--samples N] [--warmup N] [--baseline FILE] [--bless]\n                            compile the benchsuite + paper_scale, record\n                            median phase times / fixpoint iterations /\n                            interference edges per second in BENCH_gctd.json,\n                            and fail on >25% regression vs the committed\n                            baseline (tolerance via MATC_PERF_TOLERANCE;\n                            --bless rewrites the baseline)"
     );
     ExitCode::from(2)
 }
@@ -495,14 +495,21 @@ fn request_cli(args: &[String]) -> ExitCode {
 /// returning the merged findings (plan build is independent of `compile`
 /// so corrupted plans can't hide behind the VM's own debug hook). The
 /// boolean is false when lowering failed and no plan could be audited.
-fn audit_sources(ast: &matc::frontend::ast::Program, options: GctdOptions) -> (Diagnostics, bool) {
+/// Per-function audits fan out over `jobs` work-stealing workers; the
+/// merged findings are byte-identical for every jobs value.
+fn audit_sources(
+    ast: &matc::frontend::ast::Program,
+    options: GctdOptions,
+    jobs: usize,
+) -> (Diagnostics, bool) {
     let mut diags = lint_program(ast);
     match matc::ir::build_ssa(ast) {
         Ok(mut ir) => {
             matc::passes::optimize_program(&mut ir);
             let mut types = matc::typeinf::infer_program(&ir);
             let plans = plan_program(&ir, &mut types, options);
-            diags.merge(audit_program(&ir, &mut types, &plans));
+            let (findings, _stats) = audit_program_jobs(&ir, &types, &plans, jobs);
+            diags.merge(findings);
             (diags, true)
         }
         Err(e) => {
@@ -530,7 +537,14 @@ fn report_findings(diags: &Diagnostics, json: bool) -> ExitCode {
 
 fn audit_bench() -> ExitCode {
     use matc::benchsuite::{all, Preset};
+    use std::time::Instant;
     let mut failed = false;
+    let mut ref_total = 0u128;
+    let mut fast_total = 0u128;
+    println!(
+        "{:10} {:>12} {:>12} {:>8}  findings",
+        "benchmark", "reference", "worklist", "speedup"
+    );
     for bench in all() {
         let sources = bench.sources(Preset::Test);
         let refs: Vec<&str> = sources.iter().map(|s| s.as_str()).collect();
@@ -546,20 +560,53 @@ fn audit_bench() -> ExitCode {
                 continue;
             }
         };
-        let (diags, built) = audit_sources(&ast, GctdOptions::default());
-        if diags.is_empty() {
-            println!("{:10} clean", bench.name);
+        let (diags, built) = audit_sources(&ast, GctdOptions::default(), 1);
+        // Before/after engine comparison: run the quadratic reference
+        // engine and the dense worklist engine over the same SSA IR.
+        let (ref_us, fast_us) = match matc::ir::build_ssa(&ast) {
+            Ok(mut ir) => {
+                matc::passes::optimize_program(&mut ir);
+                let t = Instant::now();
+                for func in &ir.functions {
+                    let _ = AuditFlow::compute_reference(func);
+                }
+                let ref_us = t.elapsed().as_micros();
+                let t = Instant::now();
+                for func in &ir.functions {
+                    let _ = AuditFlow::compute(func);
+                }
+                (ref_us, t.elapsed().as_micros())
+            }
+            Err(_) => (0, 0),
+        };
+        ref_total += ref_us;
+        fast_total += fast_us;
+        let speedup = ref_us as f64 / (fast_us.max(1)) as f64;
+        let findings = if diags.is_empty() {
+            "clean".to_string()
         } else {
-            println!(
-                "{:10} {} error(s), {} warning(s)",
-                bench.name,
+            format!(
+                "{} error(s), {} warning(s)",
                 diags.error_count(),
                 diags.warning_count()
-            );
+            )
+        };
+        println!(
+            "{:10} {:>10}us {:>10}us {:>7.1}x  {}",
+            bench.name, ref_us, fast_us, speedup, findings
+        );
+        if !diags.is_empty() {
             print!("{}", diags.render());
         }
         failed |= !built || diags.has_errors();
     }
+    println!(
+        "{:10} {:>10}us {:>10}us {:>7.1}x",
+        "total",
+        ref_total,
+        fast_total,
+        ref_total as f64 / (fast_total.max(1)) as f64
+    );
     if failed {
         ExitCode::FAILURE
     } else {
@@ -577,6 +624,7 @@ fn main() -> ExitCode {
     let mut seed: Option<u64> = None;
     let mut backend = "planned";
     let mut json = false;
+    let mut jobs = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut it = args[1..].iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -587,6 +635,10 @@ fn main() -> ExitCode {
             "--seed" => match it.next().and_then(|s| s.parse().ok()) {
                 Some(s) => seed = Some(s),
                 None => return usage(),
+            },
+            "--jobs" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n >= 1 => jobs = n,
+                _ => return usage(),
             },
             f => files.push(f.to_string()),
         }
@@ -747,7 +799,7 @@ fn main() -> ExitCode {
             }
         },
         "audit" => {
-            let (diags, built) = audit_sources(&ast, options);
+            let (diags, built) = audit_sources(&ast, options, jobs);
             let code = report_findings(&diags, json);
             if built {
                 code

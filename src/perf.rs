@@ -7,8 +7,9 @@
 //! [`median`]). The result is written to a machine-readable JSON
 //! document — `BENCH_gctd.json` at the repo root — recording phase
 //! times, dataflow fixpoint iterations, interference edges and
-//! edges/second, and the peak dense live-set row width in words (see
-//! DESIGN.md §8 for the schema).
+//! edges/second, audit CFG edges and audit edges/second, and the peak
+//! dense live-set row width in words (see DESIGN.md §8 for the
+//! schema).
 //!
 //! When a baseline document already exists the run *compares* instead
 //! of rewriting: any gated metric more than `tolerance` (default 25%,
@@ -37,8 +38,11 @@ pub const DEFAULT_TOLERANCE: f64 = 0.25;
 /// Schema version of the `BENCH_gctd.json` document. Version 2 adds
 /// the serve-mode throughput metrics (`serve_rps`, `serve_p50_micros`,
 /// `serve_p99_micros`) measured against an in-process `matc serve`
-/// daemon.
-pub const BENCH_SCHEMA: u64 = 2;
+/// daemon. Version 3 promotes the plan auditor to a first-class gated
+/// phase: `audit_edges` (deterministic CFG-edge count the auditor
+/// processes) and `audit_edges_per_sec` (audit throughput), with
+/// `phase_audit_micros` and `audit_edges_per_sec` joining the gate.
+pub const BENCH_SCHEMA: u64 = 3;
 
 /// Default baseline path, relative to the invocation directory.
 pub const DEFAULT_BASELINE: &str = "BENCH_gctd.json";
@@ -83,6 +87,12 @@ pub struct BenchDoc {
     pub peak_live_words: u64,
     /// Interference edges built per second of interference-phase time.
     pub edges_per_sec: u64,
+    /// CFG edges the plan auditor processed, summed over units.
+    /// Deterministic.
+    pub audit_edges: u64,
+    /// Audit CFG edges processed per second of audit-phase time — the
+    /// auditor's gated throughput metric.
+    pub audit_edges_per_sec: u64,
     /// Median microseconds inside the dataflow fixpoints alone.
     pub dataflow_micros: u64,
     /// Median per-phase totals, microseconds, in [`Phase::ALL`] order.
@@ -112,6 +122,12 @@ impl BenchDoc {
         let _ = writeln!(s, "  \"interference_edges\": {},", self.interference_edges);
         let _ = writeln!(s, "  \"peak_live_words\": {},", self.peak_live_words);
         let _ = writeln!(s, "  \"edges_per_sec\": {},", self.edges_per_sec);
+        let _ = writeln!(s, "  \"audit_edges\": {},", self.audit_edges);
+        let _ = writeln!(
+            s,
+            "  \"audit_edges_per_sec\": {},",
+            self.audit_edges_per_sec
+        );
         let _ = writeln!(s, "  \"dataflow_micros\": {},", self.dataflow_micros);
         for (i, p) in Phase::ALL.iter().enumerate() {
             let _ = writeln!(
@@ -151,6 +167,8 @@ impl BenchDoc {
             interference_edges: get("interference_edges")?,
             peak_live_words: get("peak_live_words")?,
             edges_per_sec: get("edges_per_sec")?,
+            audit_edges: get("audit_edges")?,
+            audit_edges_per_sec: get("audit_edges_per_sec")?,
             dataflow_micros: get("dataflow_micros")?,
             phase_micros,
             wall_micros: get("wall_micros")?,
@@ -202,7 +220,7 @@ pub fn measure(samples: usize, warmup: usize) -> Result<BenchDoc, String> {
     let mut phase_samples: Vec<Vec<u64>> = vec![Vec::new(); Phase::ALL.len()];
     let mut dataflow_samples: Vec<u64> = Vec::new();
     let mut wall_samples: Vec<u64> = Vec::new();
-    let mut counters: Option<(u64, u64, u64)> = None;
+    let mut counters: Option<(u64, u64, u64, u64)> = None;
     for round in 0..warmup + samples {
         let res = run_batch(&units, &config, None);
         if res.failed() > 0 {
@@ -243,20 +261,22 @@ pub fn measure(samples: usize, warmup: usize) -> Result<BenchDoc, String> {
             .map(|u| u.peak_live_words)
             .max()
             .unwrap_or(0);
-        // The counter triple is deterministic; any drift between
+        let audit: u64 = res.report.units.iter().map(|u| u.audit_edges).sum();
+        // The counter tuple is deterministic; any drift between
         // samples means the compiler itself is nondeterministic.
         match counters {
-            None => counters = Some((iters, edges, words)),
-            Some(prev) if prev != (iters, edges, words) => {
+            None => counters = Some((iters, edges, words, audit)),
+            Some(prev) if prev != (iters, edges, words, audit) => {
                 return Err(format!(
                     "nondeterministic counters across samples: {prev:?} vs {:?}",
-                    (iters, edges, words)
+                    (iters, edges, words, audit)
                 ));
             }
             Some(_) => {}
         }
     }
-    let (fixpoint_iters, interference_edges, peak_live_words) = counters.expect("samples >= 1");
+    let (fixpoint_iters, interference_edges, peak_live_words, audit_edges) =
+        counters.expect("samples >= 1");
     let mut phase_micros = [0u64; Phase::ALL.len()];
     for (i, v) in phase_samples.iter_mut().enumerate() {
         phase_micros[i] = median(v).unwrap_or(0);
@@ -265,6 +285,7 @@ pub fn measure(samples: usize, warmup: usize) -> Result<BenchDoc, String> {
         .iter()
         .position(|p| *p == Phase::Interference)
         .unwrap()];
+    let audit_micros = phase_micros[Phase::ALL.iter().position(|p| *p == Phase::Audit).unwrap()];
     let (serve_rps, serve_p50_micros, serve_p99_micros) = measure_serve(samples)?;
     Ok(BenchDoc {
         samples: samples as u64,
@@ -273,6 +294,8 @@ pub fn measure(samples: usize, warmup: usize) -> Result<BenchDoc, String> {
         interference_edges,
         peak_live_words,
         edges_per_sec: interference_edges * 1_000_000 / interference_micros.max(1),
+        audit_edges,
+        audit_edges_per_sec: audit_edges * 1_000_000 / audit_micros.max(1),
         dataflow_micros: median(&mut dataflow_samples).unwrap_or(0),
         phase_micros,
         wall_micros: median(&mut wall_samples).unwrap_or(0),
@@ -360,11 +383,12 @@ pub struct GateLine {
 
 /// Compares the gated metrics of `current` against `baseline`.
 /// Timing metrics and the (deterministic) fixpoint-iteration count are
-/// gated lower-is-better; serve throughput (`serve_rps`) is gated
-/// higher-is-better (a drop below `baseline * (1 - tolerance)` fails).
+/// gated lower-is-better; throughput metrics (`serve_rps`,
+/// `audit_edges_per_sec`) are gated higher-is-better (a drop below
+/// `baseline * (1 - tolerance)` fails).
 /// Pure so it is unit-testable without timing anything.
 pub fn compare(baseline: &BenchDoc, current: &BenchDoc, tolerance: f64) -> Vec<GateLine> {
-    let gated: [(&'static str, u64, u64); 6] = [
+    let gated: [(&'static str, u64, u64); 7] = [
         (
             "dataflow_micros",
             baseline.dataflow_micros,
@@ -379,6 +403,11 @@ pub fn compare(baseline: &BenchDoc, current: &BenchDoc, tolerance: f64) -> Vec<G
             "phase_coloring_micros",
             baseline.phase(Phase::Coloring),
             current.phase(Phase::Coloring),
+        ),
+        (
+            "phase_audit_micros",
+            baseline.phase(Phase::Audit),
+            current.phase(Phase::Audit),
         ),
         ("wall_micros", baseline.wall_micros, current.wall_micros),
         (
@@ -401,12 +430,20 @@ pub fn compare(baseline: &BenchDoc, current: &BenchDoc, tolerance: f64) -> Vec<G
             regressed: (*c as f64) > (*b as f64) * (1.0 + tolerance),
         })
         .collect();
-    // Throughput gates in the other direction: slower serving fails.
+    // Throughput gates in the other direction: slower serving (or a
+    // slower auditor) fails.
     lines.push(GateLine {
         metric: "serve_rps",
         baseline: baseline.serve_rps,
         current: current.serve_rps,
         regressed: (current.serve_rps as f64) < (baseline.serve_rps as f64) * (1.0 - tolerance),
+    });
+    lines.push(GateLine {
+        metric: "audit_edges_per_sec",
+        baseline: baseline.audit_edges_per_sec,
+        current: current.audit_edges_per_sec,
+        regressed: (current.audit_edges_per_sec as f64)
+            < (baseline.audit_edges_per_sec as f64) * (1.0 - tolerance),
     });
     lines
 }
@@ -464,6 +501,7 @@ pub fn run_gate(opts: &PerfOptions) -> Result<String, String> {
         return Ok(format!(
             "perf-bench: baseline {} {} ({} units, {} samples; interference {} us, \
              dataflow {} us, {} fixpoint iters, {} edges, {} edges/s, {} live words; \
+             audit {} us, {} audit edges, {} audit edges/s; \
              serve {} req/s, p50 {} us, p99 {} us)\n",
             if opts.bless {
                 "blessed to"
@@ -479,6 +517,9 @@ pub fn run_gate(opts: &PerfOptions) -> Result<String, String> {
             current.interference_edges,
             current.edges_per_sec,
             current.peak_live_words,
+            current.phase(Phase::Audit),
+            current.audit_edges,
+            current.audit_edges_per_sec,
             current.serve_rps,
             current.serve_p50_micros,
             current.serve_p99_micros,
@@ -517,6 +558,8 @@ mod tests {
             interference_edges: 500,
             peak_live_words: 4,
             edges_per_sec: 250_000,
+            audit_edges: 300,
+            audit_edges_per_sec: 120_000,
             dataflow_micros: 100,
             phase_micros: [10, 20, 30, 40, 50, 60, 70, 80, 90, 100],
             wall_micros: 2000,
@@ -530,14 +573,14 @@ mod tests {
     fn json_round_trips() {
         let d = doc();
         let j = d.to_json();
-        assert!(j.starts_with("{\n  \"schema\": 2,"), "{j}");
+        assert!(j.starts_with("{\n  \"schema\": 3,"), "{j}");
         assert_eq!(BenchDoc::from_json(&j).unwrap(), d);
     }
 
     #[test]
     fn from_json_rejects_missing_keys_and_bad_schema() {
         assert!(BenchDoc::from_json("{}").unwrap_err().contains("schema"));
-        let j = doc().to_json().replace("\"schema\": 2", "\"schema\": 9");
+        let j = doc().to_json().replace("\"schema\": 3", "\"schema\": 9");
         assert!(BenchDoc::from_json(&j).unwrap_err().contains("schema 9"));
         let j = doc().to_json().replace("wall_micros", "wall_milliparsecs");
         assert!(BenchDoc::from_json(&j).unwrap_err().contains("wall_micros"));
@@ -590,6 +633,34 @@ mod tests {
             .map(|l| l.metric)
             .collect();
         assert_eq!(regressed, vec!["serve_p99_micros"]);
+    }
+
+    #[test]
+    fn audit_metrics_gate_both_directions() {
+        let base = doc();
+        let mut cur = doc();
+        // A faster, higher-throughput auditor must never fail.
+        cur.phase_micros[7] = 8; // audit phase
+        cur.audit_edges_per_sec = 1_000_000;
+        assert!(compare(&base, &cur, 0.25).iter().all(|l| !l.regressed));
+        // A slow audit phase trips the lower-is-better gate.
+        cur.phase_micros[7] = 200;
+        cur.audit_edges_per_sec = base.audit_edges_per_sec;
+        let regressed: Vec<&str> = compare(&base, &cur, 0.25)
+            .iter()
+            .filter(|l| l.regressed)
+            .map(|l| l.metric)
+            .collect();
+        assert_eq!(regressed, vec!["phase_audit_micros"]);
+        // A throughput collapse trips the higher-is-better gate.
+        cur.phase_micros[7] = base.phase_micros[7];
+        cur.audit_edges_per_sec = 10_000;
+        let regressed: Vec<&str> = compare(&base, &cur, 0.25)
+            .iter()
+            .filter(|l| l.regressed)
+            .map(|l| l.metric)
+            .collect();
+        assert_eq!(regressed, vec!["audit_edges_per_sec"]);
     }
 
     #[test]

@@ -194,7 +194,7 @@ impl Shared {
         }
     }
 
-    /// The `"server"` object spliced into the schema-v4 stats document.
+    /// The `"server"` object spliced into the schema-v5 stats document.
     fn server_json(&self) -> String {
         let (closed, open, half_open) = self.breakers.counts();
         let (hits, misses) = self

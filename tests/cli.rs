@@ -148,7 +148,7 @@ fn batch_compiles_units_with_cache_and_matches_emit_c() {
     let emitted = std::fs::read(dir.join("out/batch_a.c")).unwrap();
     assert_eq!(emitted, direct.stdout);
 
-    // The stats document has the advertised shape. The schema-v4
+    // The stats document has the advertised shape. The schema-v5
     // prefix (with its `"kind"` discriminator), the always-present
     // per-unit fault-tolerance arrays, and the dataflow-engine counters
     // inside `interference` are a stability contract (DESIGN.md
@@ -156,7 +156,7 @@ fn batch_compiles_units_with_cache_and_matches_emit_c() {
     // must only ever change together with a schema-version bump.
     let stats = std::fs::read_to_string(dir.join("stats.json")).unwrap();
     assert!(
-        stats.starts_with("{\"schema\":4,\"kind\":\"batch\","),
+        stats.starts_with("{\"schema\":5,\"kind\":\"batch\","),
         "{stats}"
     );
     assert!(stats.contains("\"jobs\":2"), "{stats}");
@@ -387,7 +387,7 @@ fn serve_and_request_round_trip_over_the_wire() {
     assert!(emit_line.contains("\"findings\""), "{emit_line}");
     assert!(emit_line.contains("int main(void)"), "{emit_line}");
 
-    // healthz and schema-v4 serve stats.
+    // healthz and schema-v5 serve stats.
     let health = matc()
         .args(["request", "--addr", &addr, "--op", "healthz"])
         .output()
@@ -404,7 +404,7 @@ fn serve_and_request_round_trip_over_the_wire() {
         .unwrap();
     let stats_line = String::from_utf8_lossy(&stats.stdout);
     assert!(
-        stats_line.starts_with("{\"schema\":4,\"kind\":\"serve\",\"server\":{"),
+        stats_line.starts_with("{\"schema\":5,\"kind\":\"serve\",\"server\":{"),
         "{stats_line}"
     );
 

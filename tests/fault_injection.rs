@@ -105,7 +105,7 @@ fn fifty_seed_matrix_degrades_or_fails_but_never_lies() {
         }
         let report_json = res.report.to_json();
         assert!(
-            report_json.starts_with("{\"schema\":4,\"kind\":\"batch\","),
+            report_json.starts_with("{\"schema\":5,\"kind\":\"batch\","),
             "seed {seed}: stats schema drifted"
         );
 
@@ -167,6 +167,104 @@ fn fuel_starvation_degrades_or_fails_but_never_miscompiles() {
             }
         }
     }
+}
+
+#[test]
+fn audit_fuel_starvation_degrades_identically_serial_and_parallel() {
+    // Fuel levels that outlast the planner but die inside the audit
+    // rung (the charges are deterministic, so the band is stable):
+    // the ladder must record an "audit_budget" degradation, re-plan
+    // conservatively, and land every unit in *exactly* the same state
+    // whether the batch ran serial or parallel — structured events and
+    // artifact bytes, not just exit codes. A budget-tripped audit must
+    // also never leave a degraded artifact in the cache.
+    let units = matrix_units();
+    let reference = artifact_bytes(&run_batch(&units, &BatchConfig::default(), None));
+
+    let mut saw_audit_trip = false;
+    for fuel in [320u64, 350, 380] {
+        let dir = scratch_dir(&format!("audit-fuel-{fuel}"));
+        let cache = ArtifactCache::at_dir(&dir).unwrap();
+        let serial = run_batch(
+            &units,
+            &BatchConfig {
+                jobs: 1,
+                fuel: Some(fuel),
+                ..BatchConfig::default()
+            },
+            Some(&cache),
+        );
+        let parallel = run_batch(
+            &units,
+            &BatchConfig {
+                jobs: 3,
+                fuel: Some(fuel),
+                ..BatchConfig::default()
+            },
+            None,
+        );
+
+        for (s, p) in serial.outcomes.iter().zip(&parallel.outcomes) {
+            assert_eq!(s.name, p.name);
+            // Same structured landing state either way: error message,
+            // degradation stages, budget events, artifact bytes.
+            assert_eq!(
+                s.metrics.error, p.metrics.error,
+                "fuel {fuel}/{}: serial and parallel disagree on failure",
+                s.name
+            );
+            let stages = |m: &matc::gctd::UnitMetrics| -> Vec<String> {
+                m.degradations.iter().map(|d| d.stage.to_string()).collect()
+            };
+            assert_eq!(
+                stages(&s.metrics),
+                stages(&p.metrics),
+                "fuel {fuel}/{}: degradation ladders diverged",
+                s.name
+            );
+            assert_eq!(
+                s.metrics.budget_exceeded.len(),
+                p.metrics.budget_exceeded.len(),
+                "fuel {fuel}/{}: budget events diverged",
+                s.name
+            );
+            assert_eq!(
+                s.artifact.as_ref().map(|a| a.to_bytes()),
+                p.artifact.as_ref().map(|a| a.to_bytes()),
+                "fuel {fuel}/{}: artifacts diverged",
+                s.name
+            );
+            if stages(&s.metrics).iter().any(|st| st == "audit_budget") {
+                saw_audit_trip = true;
+                // The audit rung tripped: a budget event must be on
+                // record and whatever plan shipped still audits clean.
+                assert!(!s.metrics.budget_exceeded.is_empty());
+                if let Some(a) = &s.artifact {
+                    assert_eq!(
+                        a.audit_errors(),
+                        0,
+                        "fuel {fuel}/{}: degraded plan shipped unaudited",
+                        s.name
+                    );
+                }
+            }
+        }
+
+        // Nothing the tripped run produced may poison the cache: a
+        // clean pass over the same directory serves reference bytes.
+        let clean_cache = ArtifactCache::at_dir(&dir).unwrap();
+        let clean = run_batch(&units, &BatchConfig::default(), Some(&clean_cache));
+        assert_eq!(
+            artifact_bytes(&clean),
+            reference,
+            "fuel {fuel}: budget-tripped audit left a wrong artifact in the cache"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    assert!(
+        saw_audit_trip,
+        "no fuel level tripped inside the audit rung — the band moved; retune the sweep"
+    );
 }
 
 #[test]

@@ -207,6 +207,101 @@ fn corrupt_var_slot_table_is_a102() {
     );
 }
 
+#[test]
+fn dead_resize_annotation_is_l004() {
+    // `b = a + 1` coalesces into `a`'s heap slot annotated `∘` — the
+    // planner found a same-size witness. Hand-flipping the annotation
+    // to `±` claims a resize that the same witness proves can never
+    // trigger: a dead annotation, reported as warning L004 (never an
+    // error).
+    let src = "function f(n)\na = rand(n, n);\nb = a + 1;\ndisp(b);\n";
+    let (ir, mut types, mut plans) = audit_src(src, GctdOptions::default());
+    let b = var_named(&ir, "b", 1);
+    let plan = &mut plans.plans[0];
+    let slot = plan.var_slot[&b];
+    assert!(matches!(plan.slots[slot].kind, SlotKind::Heap), "{plan:?}");
+    assert_eq!(plan.resize_of(b), ResizeKind::NoResize, "{plan:?}");
+    assert!(
+        plan.slots[slot].members.len() > 1,
+        "b must share a slot for the witness to exist: {plan:?}"
+    );
+    plan.resize.insert(b, ResizeKind::Resize);
+    let d = audit_program(&ir, &mut types, &plans);
+    assert_eq!(codes(&d), vec!["L004"], "{}", d.render());
+    assert!(!d.has_errors(), "L004 is a lint, not an error");
+}
+
+// ---------------------------------------------------------------------
+// Parallel audits are deterministic
+// ---------------------------------------------------------------------
+
+/// Byte-identical findings for every `--jobs` value, on both clean
+/// plans (the whole benchsuite) and a deliberately corrupted
+/// multi-function program where finding *order* across functions is
+/// what the work-stealing pool could scramble.
+#[test]
+fn parallel_audit_is_byte_identical_across_jobs() {
+    use matc::analysis::audit_program_jobs;
+
+    for bench in benchsuite::all() {
+        let (ir, types, plans) = pipeline(&bench.sources(Preset::Test), GctdOptions::default());
+        let (serial, s_stats) = audit_program_jobs(&ir, &types, &plans, 1);
+        for jobs in [2, 4, 8] {
+            let (par, p_stats) = audit_program_jobs(&ir, &types, &plans, jobs);
+            assert_eq!(
+                serial.to_json(),
+                par.to_json(),
+                "{} diverged at jobs={jobs}",
+                bench.name
+            );
+            assert_eq!(s_stats.cfg_edges, p_stats.cfg_edges, "{}", bench.name);
+        }
+    }
+}
+
+#[test]
+fn parallel_audit_orders_findings_like_serial() {
+    use matc::analysis::audit_program_jobs;
+
+    // A driver plus six helpers, then every helper's `r = rand(n, n)`
+    // — a stack slot after constant specialization — gets a bogus
+    // resize annotation: one A102 per function, so the merged report's
+    // cross-function order matters.
+    let mut sources =
+        vec!["function f()\ng1(3);\ng2(3);\ng3(3);\ng4(3);\ng5(3);\ng6(3);\n".to_string()];
+    for k in 1..=6 {
+        sources.push(format!("function g{k}(n)\nr = rand(n, n);\ndisp(r);\n"));
+    }
+    let (ir, types, mut plans) = pipeline(&sources, GctdOptions::default());
+    let mut corrupted = 0;
+    for (fi, func) in ir.functions.iter().enumerate() {
+        if let Some((v, _)) = func
+            .vars
+            .iter()
+            .find(|(_, i)| i.name.as_deref() == Some("r") && i.ssa_version == 1)
+        {
+            plans.plans[fi].resize.insert(v, ResizeKind::NoResize);
+            corrupted += 1;
+        }
+    }
+    assert_eq!(corrupted, 6, "expected to corrupt every helper");
+
+    let (serial, _) = audit_program_jobs(&ir, &types, &plans, 1);
+    assert!(
+        serial.iter().filter(|x| x.code == "A102").count() >= 6,
+        "corruptions must all be caught:\n{}",
+        serial.render()
+    );
+    for jobs in [2, 3, 8] {
+        let (par, _) = audit_program_jobs(&ir, &types, &plans, jobs);
+        assert_eq!(
+            serial.to_json(),
+            par.to_json(),
+            "finding order diverged at jobs={jobs}"
+        );
+    }
+}
+
 // ---------------------------------------------------------------------
 // Cached artifacts carry clean audits
 // ---------------------------------------------------------------------

@@ -331,6 +331,28 @@ fn check_dataflow_reference(src: &str) {
     }
 }
 
+/// The auditor's dense worklist engine against its retained naive
+/// reference (`AuditFlow::compute_reference`): identical block-level
+/// facts, per-instruction live-after/avail-before snapshots, def sites,
+/// params and reachability on every function of every generated CFG.
+/// Same differential-witness shape as `check_dataflow_reference`, for
+/// the PR-6 auditor engine swap.
+fn check_auditflow_reference(src: &str) {
+    use matc::analysis::AuditFlow;
+
+    let ast = matc::frontend::parse_program([src]).unwrap();
+    let mut ir = matc::ir::build_ssa(&ast).unwrap();
+    matc::passes::optimize_program(&mut ir);
+    for func in &ir.functions {
+        let fast = AuditFlow::compute(func);
+        let naive = AuditFlow::compute_reference(func);
+        assert!(
+            fast.facts_eq(&naive),
+            "AuditFlow worklist facts diverged from reference on:\n{src}"
+        );
+    }
+}
+
 /// The degradation ladder's correctness claim, checked behaviorally:
 /// a program forced down to the mcc-style all-heap fallback — by a
 /// synthetic audit violation on every function, and separately by fuel
@@ -414,6 +436,7 @@ proptest! {
         let src = render(&stmts);
         check_program(&src);
         check_dataflow_reference(&src);
+        check_auditflow_reference(&src);
         check_batch_cached(&src);
         check_forced_fallback(&src);
     }
