@@ -43,6 +43,7 @@ pub mod audit;
 pub mod dataflow;
 pub mod diagnostics;
 pub mod lint;
+pub mod shadow;
 
 pub use audit::{
     audit_function, audit_function_budgeted, audit_program, audit_program_jobs,
@@ -51,3 +52,4 @@ pub use audit::{
 pub use dataflow::AuditFlow;
 pub use diagnostics::{Diagnostic, Diagnostics, Severity};
 pub use lint::lint_program;
+pub use shadow::{replay, DefAction, ShadowCounts, ShadowLog, ShadowReport};

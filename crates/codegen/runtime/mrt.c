@@ -53,6 +53,72 @@ void mrt_free(mrt_val *v) {
 void mrt_resize(mrt_val *v, size_t bytes) { (void)v; (void)bytes; }
 void mrt_grow(mrt_val *v, size_t bytes) { (void)v; (void)bytes; }
 
+/* ------------------------------------------------------------------ */
+/* Shadow probes                                                       */
+/* ------------------------------------------------------------------ */
+
+/* Per-(func, slot) storage counters, linear-probed into a fixed table.
+ * Compiled unconditionally but touched only by generated probe calls,
+ * so probe-free builds pay nothing. */
+#define MRT_PROBE_MAX 512
+typedef struct {
+    int used, func, slot, is_stack;
+    size_t cap_bytes, peak_bytes;
+    unsigned long binds, defs[3], frees, last_use;
+} mrt_probe_row;
+static mrt_probe_row probe_rows[MRT_PROBE_MAX];
+static unsigned long probe_tick = 0;
+
+static mrt_probe_row *probe_row(int func, int slot) {
+    size_t h = ((size_t)func * 131u + (size_t)slot) % MRT_PROBE_MAX;
+    for (size_t i = 0; i < MRT_PROBE_MAX; i++) {
+        mrt_probe_row *r = &probe_rows[(h + i) % MRT_PROBE_MAX];
+        if (!r->used) {
+            r->used = 1;
+            r->func = func;
+            r->slot = slot;
+            return r;
+        }
+        if (r->func == func && r->slot == slot) return r;
+    }
+    return &probe_rows[h]; /* table full: merge into the home row */
+}
+
+void mrt_probe_bind(int func, int slot, int is_stack, size_t cap_bytes) {
+    mrt_probe_row *r = probe_row(func, slot);
+    r->is_stack = is_stack;
+    r->cap_bytes = cap_bytes;
+    r->binds++;
+    r->last_use = ++probe_tick;
+}
+
+void mrt_probe_def(int func, int slot, int resize_kind, size_t bytes) {
+    mrt_probe_row *r = probe_row(func, slot);
+    if (resize_kind < 0 || resize_kind > 2) resize_kind = 2;
+    r->defs[resize_kind]++;
+    if (bytes > r->peak_bytes) r->peak_bytes = bytes;
+    r->last_use = ++probe_tick;
+}
+
+void mrt_probe_free(int func, int slot) {
+    mrt_probe_row *r = probe_row(func, slot);
+    r->frees++;
+    r->last_use = ++probe_tick;
+}
+
+void mrt_probe_report(void) {
+    fprintf(stderr, "mrt probes: func slot kind cap peak binds o + +- frees last\n");
+    for (size_t i = 0; i < MRT_PROBE_MAX; i++) {
+        const mrt_probe_row *r = &probe_rows[i];
+        if (!r->used) continue;
+        fprintf(stderr, "mrt probe: %d %d %s %lu %lu %lu %lu %lu %lu %lu %lu\n",
+                r->func, r->slot, r->is_stack ? "stack" : "heap",
+                (unsigned long)r->cap_bytes, (unsigned long)r->peak_bytes,
+                r->binds, r->defs[0], r->defs[1], r->defs[2], r->frees,
+                r->last_use);
+    }
+}
+
 /* Ensures capacity for n elements (and an imaginary buffer if wanted). */
 static void ensure(mrt_val *v, size_t n, int want_im) {
     if (n > v->cap) {

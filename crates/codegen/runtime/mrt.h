@@ -60,4 +60,15 @@ int mrt_istrue(const mrt_val *v);
 /* `x = ...` echo of non-semicolon statements. */
 void mrt_display(const char *name, const mrt_val *v);
 
+/* ------------------------------------------------------------------ */
+/* Shadow probes (emitted only with probes enabled; zero-cost when no
+ * calls are generated). Counters accumulate per (func, slot): binds,
+ * definitions by resize kind (0 `o`, 1 `+`, 2 `+-`), peak payload
+ * bytes, last-use tick and frees. `mrt_probe_report` prints the table
+ * to stderr so differential harnesses can diff it against the plan. */
+void mrt_probe_bind(int func, int slot, int is_stack, size_t cap_bytes);
+void mrt_probe_def(int func, int slot, int resize_kind, size_t bytes);
+void mrt_probe_free(int func, int slot);
+void mrt_probe_report(void);
+
 #endif /* MRT_H */

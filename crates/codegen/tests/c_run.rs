@@ -297,3 +297,71 @@ fn generated_c_handles_wide_matrix_literals() {
     assert!(run.status.success(), "wide-literal binary failed");
     assert_eq!(String::from_utf8_lossy(&run.stdout), want);
 }
+
+/// The probe-instrumented C (DESIGN.md §11) must be a pure observer:
+/// same stdout as the uninstrumented binary on a representative
+/// benchmark, with the `mrt_probe_report()` table on stderr carrying
+/// the per-slot counters.
+#[test]
+fn generated_c_with_probes_matches_and_reports() {
+    use matc_codegen::{emit_program_with, EmitOptions};
+
+    let Some(cc) = find_cc() else {
+        eprintln!("no C compiler found; skipping");
+        return;
+    };
+    let dir = std::env::temp_dir().join("matc-c-run-probes");
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join("mrt.h"), MRT_H).unwrap();
+    std::fs::write(dir.join("mrt.c"), MRT_C).unwrap();
+
+    let bench = matc_benchsuite::by_name("edit").unwrap();
+    let sources = bench.sources(Preset::Test);
+    let refs: Vec<&str> = sources.iter().map(|s| s.as_str()).collect();
+    let ast = parse_program(refs).unwrap();
+    let compiled = compile(&ast, GctdOptions::default()).unwrap();
+
+    let mut outputs = Vec::new();
+    for (name, probes) in [("plain", false), ("probed", true)] {
+        let code = emit_program_with(&compiled, EmitOptions { probes });
+        let c_path = dir.join(format!("{name}.c"));
+        let exe = dir.join(format!("{name}.exe"));
+        std::fs::write(&c_path, code).unwrap();
+        let build = Command::new(cc)
+            .args(["-O1", "-std=c99", "-w", "-o"])
+            .arg(&exe)
+            .arg(&c_path)
+            .arg(dir.join("mrt.c"))
+            .arg("-lm")
+            .output()
+            .unwrap();
+        assert!(
+            build.status.success(),
+            "{name}: C compilation failed:\n{}",
+            String::from_utf8_lossy(&build.stderr)
+        );
+        let run = Command::new(&exe).output().unwrap();
+        assert!(run.status.success(), "{name}: binary failed");
+        outputs.push((
+            run.stdout.clone(),
+            String::from_utf8_lossy(&run.stderr).into_owned(),
+        ));
+    }
+
+    let (plain_out, plain_err) = &outputs[0];
+    let (probed_out, probed_err) = &outputs[1];
+    assert_eq!(plain_out, probed_out, "probes changed program output");
+    assert!(
+        !plain_err.contains("mrt probes:"),
+        "uninstrumented binary printed a probe report:\n{plain_err}"
+    );
+    assert!(
+        probed_err.contains("mrt probes:"),
+        "probed binary printed no report:\n{probed_err}"
+    );
+    // At least one slot row was counted (edit has heap and stack slots).
+    assert!(
+        probed_err.lines().count() > 1,
+        "probe report carries no rows:\n{probed_err}"
+    );
+}

@@ -60,7 +60,8 @@ pub use interference::{InterferenceGraph, InterferenceOptions};
 pub use isolate::{isolate, lock_recover};
 pub use liveness::Dataflow;
 pub use metrics::{
-    BatchReport, BudgetEvent, CacheOutcome, DegradationEvent, Phase, PhaseTimer, UnitMetrics,
+    BatchReport, BudgetEvent, CacheOutcome, DegradationEvent, Phase, PhaseTimer, ShadowStats,
+    UnitMetrics,
 };
 pub use order::{decompose_color_class, IndexGroup, SizeClass, Sizing};
 pub use plan::{

@@ -457,8 +457,11 @@ impl BatchReport {
     /// `matc serve` daemon can emit the same document shape extended
     /// with a `server` object (DESIGN.md §9); from 4 to 5 when the
     /// bitset audit engine's `edges` counter joined each unit's
-    /// `audit` object (PR 6).
-    pub const SCHEMA_VERSION: u32 = 5;
+    /// `audit` object (PR 6); from 5 to 6 when `matc shadow --stats`
+    /// began emitting the same document shape with `"kind":"shadow"`
+    /// and a top-level `shadow` object carrying the plan-vs-reality
+    /// replay counters (PR 7, [`ShadowStats`]).
+    pub const SCHEMA_VERSION: u32 = 6;
 
     /// The full stats document (`matc batch --stats`), `"kind":"batch"`.
     pub fn to_json(&self) -> String {
@@ -544,6 +547,60 @@ impl BatchReport {
             let _ = writeln!(s, "{degraded} unit(s) degraded to the conservative plan");
         }
         s
+    }
+}
+
+/// Aggregate counters of one `matc shadow` run — the top-level
+/// `shadow` object of the schema-v6 stats document
+/// (`{"schema":6,"kind":"shadow","shadow":{…},…}`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShadowStats {
+    /// Units replayed.
+    pub units: usize,
+    /// Function activations observed across all units.
+    pub frames: u64,
+    /// Slot definition events observed.
+    pub defs: u64,
+    /// Distinct slot reads observed.
+    pub reads: u64,
+    /// Heap alloc / realloc / free events observed.
+    pub heap_events: u64,
+    /// The planned VM's plan-violation counter, summed over units.
+    pub plan_violations: u64,
+    /// `∘` definitions observed resizing (soundness).
+    pub s101: usize,
+    /// Stack slots observed overflowing (soundness).
+    pub s102: usize,
+    /// `±` definitions that never resized (precision headroom).
+    pub s103: usize,
+    /// Slot reads outside the auditor's liveness facts.
+    pub s104: usize,
+    /// Equation 2 log-vs-recorder disagreements.
+    pub s105: usize,
+    /// Planned outputs diverging from the reference interpreter.
+    pub s100: usize,
+}
+
+impl ShadowStats {
+    /// The `"shadow":{…}` JSON member, deterministic key order.
+    pub fn to_json(&self) -> String {
+        format!(
+            "\"shadow\":{{\"units\":{},\"frames\":{},\"defs\":{},\"reads\":{},\
+             \"heap_events\":{},\"plan_violations\":{},\"s100\":{},\"s101\":{},\
+             \"s102\":{},\"s103\":{},\"s104\":{},\"s105\":{}}}",
+            self.units,
+            self.frames,
+            self.defs,
+            self.reads,
+            self.heap_events,
+            self.plan_violations,
+            self.s100,
+            self.s101,
+            self.s102,
+            self.s103,
+            self.s104,
+            self.s105
+        )
     }
 }
 
@@ -662,10 +719,10 @@ mod tests {
         assert_eq!(report.degraded(), 1);
         assert_eq!(report.failed(), 0);
         let j = report.to_json();
-        assert!(j.starts_with("{\"schema\":5,\"kind\":\"batch\","), "{j}");
+        assert!(j.starts_with("{\"schema\":6,\"kind\":\"batch\","), "{j}");
         let served = report.to_json_with_kind("serve", ",\"server\":{\"queue_depth\":0}");
         assert!(
-            served.starts_with("{\"schema\":5,\"kind\":\"serve\",\"server\":{\"queue_depth\":0},"),
+            served.starts_with("{\"schema\":6,\"kind\":\"serve\",\"server\":{\"queue_depth\":0},"),
             "{served}"
         );
         assert!(report.render_table().contains("degraded (1 event(s))"));

@@ -48,8 +48,29 @@ pub fn compile_with(
     options: GctdOptions,
     rec: Option<&mut UnitMetrics>,
 ) -> Result<Compiled, LowerError> {
-    let (compiled, _) = compile_inner(ast, options, rec, false)?;
+    let (compiled, _, _) = compile_inner(ast, options, rec, false, false)?;
     Ok(compiled)
+}
+
+/// [`compile`] that also returns the optimized SSA program exactly as
+/// the storage planner saw it — the form *before* SSA inversion bakes
+/// the sharing decisions into the IR. The shadow replay (`matc shadow`)
+/// needs this snapshot: its liveness cross-check (S104) must use the
+/// same CFG and SSA names the auditor's facts were computed over, while
+/// the returned [`Compiled`] still carries the executable, inverted IR.
+///
+/// # Errors
+///
+/// Returns lowering errors (undefined names, unsupported constructs).
+pub fn compile_traced(
+    ast: &Program,
+    options: GctdOptions,
+) -> Result<(Compiled, IrProgram), LowerError> {
+    let (compiled, _, ssa) = compile_inner(ast, options, None, false, true)?;
+    Ok((
+        compiled,
+        ssa.expect("traced pipeline captures the SSA program"),
+    ))
 }
 
 /// [`compile_with`] plus the independent checkers: AST lints and the
@@ -67,19 +88,21 @@ pub fn compile_audited(
     options: GctdOptions,
     rec: Option<&mut UnitMetrics>,
 ) -> Result<(Compiled, Diagnostics), LowerError> {
-    let (compiled, diags) = compile_inner(ast, options, rec, true)?;
+    let (compiled, diags, _) = compile_inner(ast, options, rec, true, false)?;
     Ok((
         compiled,
         diags.expect("audited pipeline produces diagnostics"),
     ))
 }
 
+#[allow(clippy::type_complexity)]
 fn compile_inner(
     ast: &Program,
     options: GctdOptions,
     mut rec: Option<&mut UnitMetrics>,
     want_audit: bool,
-) -> Result<(Compiled, Option<Diagnostics>), LowerError> {
+    want_ssa: bool,
+) -> Result<(Compiled, Option<Diagnostics>, Option<IrProgram>), LowerError> {
     if let Some(r) = rec.as_deref_mut() {
         let s = ast.stats();
         r.ast_functions = s.functions;
@@ -156,6 +179,8 @@ fn compile_inner(
         None
     };
 
+    let ssa_snapshot = want_ssa.then(|| ir.clone());
+
     let t = Instant::now();
     for (i, f) in ir.functions.iter_mut().enumerate() {
         let plan = &plans.plans[i];
@@ -173,6 +198,7 @@ fn compile_inner(
             opt_stats,
         },
         diags,
+        ssa_snapshot,
     ))
 }
 

@@ -10,11 +10,16 @@
 //!
 //! Soundness telemetry: if a definition ever needs more bytes than a
 //! `∘`-annotated slot holds (which a correct plan rules out), the VM
-//! grows the slot anyway and counts a **plan violation** — asserted zero
-//! by the test suite.
+//! grows the slot anyway, counts a **plan violation**, and fails the
+//! run with a hard error once output is collected. Under
+//! [`PlannedVm::with_shadow`] the VM instead *observes*: every slot
+//! definition, read and heap event is appended to a
+//! [`ShadowLog`](matc_analysis::ShadowLog) for the plan-vs-reality
+//! replay (`matc shadow`), and violations are reported, not fatal.
 
 use crate::compile::Compiled;
 use crate::dispatch::{self, Arg, Shared};
+use matc_analysis::shadow::{DefAction, ShadowLog};
 use matc_frontend::ast::BinOp;
 use matc_gctd::{ResizeKind, SlotKind, StoragePlan};
 use matc_ir::ids::{FuncId, VarId};
@@ -69,6 +74,12 @@ pub struct PlannedVm<'p> {
     /// zero for a sound plan.
     pub plan_violations: u64,
     call_depth: usize,
+    /// When observing, the probe log (`None` disables all recording).
+    shadow: Option<ShadowLog>,
+    /// Index of the currently-executing function (for probe events).
+    cur_func: usize,
+    /// Index of the currently-executing block (for probe events).
+    cur_block: usize,
 }
 
 impl<'p> PlannedVm<'p> {
@@ -80,6 +91,9 @@ impl<'p> PlannedVm<'p> {
             mem: MemRecorder::new(ImageModel::mat2c()),
             plan_violations: 0,
             call_depth: 0,
+            shadow: None,
+            cur_func: 0,
+            cur_block: 0,
         }
     }
 
@@ -89,15 +103,41 @@ impl<'p> PlannedVm<'p> {
         self
     }
 
+    /// Enables shadow observation: slot definitions, reads and heap
+    /// events are recorded into a [`ShadowLog`], and plan violations
+    /// are counted instead of failing the run.
+    pub fn with_shadow(mut self) -> Self {
+        self.shadow = Some(ShadowLog::new());
+        self
+    }
+
+    /// Takes the probe log recorded by a [`PlannedVm::with_shadow`]
+    /// run (`None` if observation was never enabled).
+    pub fn take_shadow(&mut self) -> Option<ShadowLog> {
+        self.shadow.take()
+    }
+
     /// Runs the entry function; returns the collected output.
     ///
     /// # Errors
     ///
-    /// Propagates run-time errors.
+    /// Propagates run-time errors — including, outside shadow mode, a
+    /// hard error when any definition violated the storage plan (a `∘`
+    /// slot resized or a stack slot overflowed): a violated plan means
+    /// the generated C would have corrupted memory, so the run cannot
+    /// be trusted in any build profile.
     pub fn run(&mut self) -> Result<String> {
         let entry = self.compiled.entry();
         self.call(entry, vec![])?;
-        Ok(std::mem::take(&mut self.shared.out))
+        let out = std::mem::take(&mut self.shared.out);
+        if self.plan_violations > 0 && self.shadow.is_none() {
+            return err(format!(
+                "storage plan violated {} time(s) at run time (a `∘` slot resized or a \
+                 stack slot overflowed); the plan is unsound for this execution",
+                self.plan_violations
+            ));
+        }
+        Ok(out)
     }
 
     fn call(&mut self, fid: FuncId, args: Vec<Value>) -> Result<Vec<Value>> {
@@ -110,6 +150,12 @@ impl<'p> PlannedVm<'p> {
         }
         let func = self.compiled.ir.func(fid);
         let plan = self.compiled.plans.plan(fid);
+        let (saved_func, saved_block) = (self.cur_func, self.cur_block);
+        self.cur_func = fid.index();
+        self.cur_block = func.entry.index();
+        if let Some(log) = self.shadow.as_mut() {
+            log.record_frame();
+        }
 
         // Build the activation: one fixed stack frame for all stack
         // slots, heap slots start unallocated.
@@ -144,10 +190,16 @@ impl<'p> PlannedVm<'p> {
         for s in &frame.slots {
             if s.charged > 0 {
                 self.mem.heap_free(s.charged);
+                let (t, level) = (self.mem.elapsed(), self.mem.live_heap());
+                if let Some(log) = self.shadow.as_mut() {
+                    log.record_heap_event(t, level);
+                }
             }
         }
         self.mem.stack_pop(frame.stack_bytes);
         self.call_depth -= 1;
+        self.cur_func = saved_func;
+        self.cur_block = saved_block;
         result
     }
 
@@ -164,6 +216,7 @@ impl<'p> PlannedVm<'p> {
             if guard > 500_000_000 {
                 return err("execution exceeded the instruction guard");
             }
+            self.cur_block = block.index();
             for instr in &func.block(block).instrs {
                 self.instr(func, plan, instr, frame)?;
             }
@@ -223,6 +276,7 @@ impl<'p> PlannedVm<'p> {
             value.numel() as u64 * intrinsic.byte_size()
         };
         let slot = &mut frame.slots[si];
+        let action;
         match slot.kind {
             SlotKind::Stack { bytes } => {
                 if needed > bytes {
@@ -230,34 +284,56 @@ impl<'p> PlannedVm<'p> {
                 }
                 slot.value = value;
                 slot.initialized = true;
+                action = DefAction::Stack;
             }
             SlotKind::Heap => {
                 match plan.resize_of(v) {
                     ResizeKind::NoResize => {
                         if slot.charged == 0 {
                             slot.charged = self.mem.heap_alloc(needed);
+                            action = DefAction::Alloc;
                         } else if needed > slot.charged {
                             self.plan_violations += 1;
                             slot.charged = self.mem.heap_realloc(slot.charged, needed);
+                            action = DefAction::Realloc;
+                        } else {
+                            action = DefAction::Reuse;
                         }
                     }
                     ResizeKind::Grow => {
                         if slot.charged == 0 {
                             slot.charged = self.mem.heap_alloc(needed);
+                            action = DefAction::Alloc;
                         } else if needed + matc_runtime::mem::BLOCK_OVERHEAD > slot.charged {
                             slot.charged = self.mem.heap_realloc(slot.charged, needed);
+                            action = DefAction::Realloc;
+                        } else {
+                            action = DefAction::Reuse;
                         }
                     }
                     ResizeKind::Resize => {
                         if slot.charged == 0 {
                             slot.charged = self.mem.heap_alloc(needed);
+                            action = DefAction::Alloc;
                         } else if slot.charged != needed + matc_runtime::mem::BLOCK_OVERHEAD {
                             slot.charged = self.mem.heap_realloc(slot.charged, needed);
+                            action = DefAction::Realloc;
+                        } else {
+                            action = DefAction::Reuse;
                         }
                     }
                 }
                 slot.value = value;
                 slot.initialized = true;
+            }
+        }
+        let fi = self.cur_func;
+        let charged = frame.slots[si].charged;
+        let (t, level) = (self.mem.elapsed(), self.mem.live_heap());
+        if let Some(log) = self.shadow.as_mut() {
+            log.record_def(fi, v.index(), si, needed, charged, action);
+            if matches!(action, DefAction::Alloc | DefAction::Realloc) {
+                log.record_heap_event(t, level);
             }
         }
         Ok(())
@@ -333,8 +409,15 @@ impl<'p> PlannedVm<'p> {
         Ok(())
     }
 
-    fn read_operand(&self, frame: &Frame, plan: &StoragePlan, v: VarId) -> Result<Value> {
-        operand_value(frame, plan, v).cloned()
+    fn read_operand(&mut self, frame: &Frame, plan: &StoragePlan, v: VarId) -> Result<Value> {
+        let value = operand_value(frame, plan, v).cloned()?;
+        if plan.slot_of(v).is_some() {
+            let (fi, bi) = (self.cur_func, self.cur_block);
+            if let Some(log) = self.shadow.as_mut() {
+                log.record_read(fi, bi, v.index());
+            }
+        }
+        Ok(value)
     }
 
     fn gather(

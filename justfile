@@ -4,7 +4,7 @@
 
 default: check
 
-check: fmt clippy test audit-bench batch-bench fault-bench perf-bench
+check: fmt clippy test audit-bench batch-bench fault-bench perf-bench shadow-bench
 
 fmt:
     cargo fmt --all -- --check
@@ -47,6 +47,14 @@ batch-bench:
 # `just perf-bench --bless`.
 perf-bench *ARGS:
     cargo run -q --release --bin matc -- perf-bench {{ARGS}}
+
+# The plan-validating shadow runtime (DESIGN.md §11): run all 11
+# benchsuite programs through both executors with probes on and replay
+# the observed storage behaviour against the static plans. Fails on any
+# soundness diff (S100–S102, S104, S105) or plan violation; S103
+# precision warnings are reported but don't gate.
+shadow-bench:
+    cargo run -q --release --bin matc -- shadow --bench
 
 fault-bench:
     cargo test -q --test fault_injection

@@ -8,6 +8,7 @@
 //! matc stats program.m [...]               print Table-2 style statistics
 //! matc audit program.m [...]               lint + re-audit the storage plan
 //! matc audit-bench                         audit every benchsuite program
+//! matc shadow [--bench] [files ...]        diff observed storage vs the plan
 //! matc batch [units ...]                   parallel batch compilation
 //! matc serve [--addr A]                    resilient compile-service daemon
 //! matc request [--addr A] file.m [...]     client for a running daemon
@@ -36,7 +37,7 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: matc <run|emit-c|plan|stats|audit> [--no-gctd] [--seed N] [--mcc|--interp] [--json] [--jobs N] file.m [more.m ...]\n       matc audit [--jobs N] file.m [...]\n                            lint + independently re-check the storage plan:\n                            liveness/sizing checks (A1xx-A4xx), production-\n                            vs-auditor engine agreement (A5xx), and dead\n                            resize-annotation lints (L004); --jobs fans\n                            per-function audits over a work-stealing pool\n                            with byte-identical findings for every N\n       matc audit-bench     audit every benchsuite program's plan and print\n                            a reference-vs-worklist dataflow engine timing\n                            table with per-benchmark speedups\n       matc runtime <dir>   write the mrt C support runtime (mrt.h, mrt.c)\n       matc batch [--jobs N] [--cache-dir DIR] [--stats FILE] [--emit-dir DIR]\n                  [--no-gctd] [--repeat N] [--bench] [--selfcheck]\n                  [--keep-going|--fail-fast] [--phase-timeout-ms N] [--fuel N]\n                  [--faults SPEC] [driver.m[,helper.m...] ...]\n                            compile many programs in parallel with caching;\n                            --selfcheck proves parallel/sequential/cached runs\n                            byte-identical and reports the speedup;\n                            --faults takes a seeded fault-injection spec\n                            (also read from MATC_FAULTS), e.g.\n                            seed=7,read=10,write=30,panic=0,audit=100,transient=2\n       batch exit codes: 0 all units clean, 1 unit(s) failed, 2 usage,\n                         3 all compiled but some degraded to the\n                         conservative plan\n       matc serve [--addr HOST:PORT] [--jobs N] [--queue-cap N] [--high-water N]\n                  [--drain-ms N] [--idle-timeout-ms N] [--cache-dir DIR]\n                  [--breaker-threshold N] [--breaker-cooldown-ms N]\n                  [--phase-timeout-ms N] [--fuel N] [--faults SPEC] [--no-gctd]\n                            newline-delimited-JSON compile daemon (DESIGN.md §9)\n                            with bounded admission (shed at --queue-cap,\n                            degrade to the conservative plan at --high-water),\n                            per-request deadlines, per-unit circuit breakers\n                            and graceful SIGTERM/SIGINT draining;\n                            --faults also accepts the network-chaos keys\n                            accept=,disconnect=,stall=,torn=\n       serve exit codes: 0 drained cleanly, 1 bind/drain failure, 2 usage\n       matc request [--addr HOST:PORT] [--op compile|audit|healthz|stats|shutdown]\n                  [--name NAME] [--deadline-ms N] [--retries N] [--emit]\n                  [driver.m[,helper.m...]]\n                            one request against a running daemon, with capped\n                            jittered exponential backoff and deadline\n                            propagation; prints the response JSON\n       request exit codes: 0 server replied ok:true, 1 rejected/error, 2 usage\n       matc perf-bench [--samples N] [--warmup N] [--baseline FILE] [--bless]\n                            compile the benchsuite + paper_scale, record\n                            median phase times / fixpoint iterations /\n                            interference edges per second in BENCH_gctd.json,\n                            and fail on >25% regression vs the committed\n                            baseline (tolerance via MATC_PERF_TOLERANCE;\n                            --bless rewrites the baseline)"
+        "usage: matc <run|emit-c|plan|stats|audit> [--no-gctd] [--seed N] [--mcc|--interp] [--json] [--jobs N] file.m [more.m ...]\n       matc audit [--jobs N] file.m [...]\n                            lint + independently re-check the storage plan:\n                            liveness/sizing checks (A1xx-A4xx), production-\n                            vs-auditor engine agreement (A5xx), and dead\n                            resize-annotation lints (L004); --jobs fans\n                            per-function audits over a work-stealing pool\n                            with byte-identical findings for every N\n       matc audit-bench     audit every benchsuite program's plan and print\n                            a reference-vs-worklist dataflow engine timing\n                            table with per-benchmark speedups\n       matc shadow [--bench] [--seed N] [--no-gctd] [--json] [--stats FILE]\n                  [file.m[,helper.m...] ...]\n                            plan-validating shadow run: execute each unit\n                            under both the reference interpreter and the\n                            probed planned VM, replay the probe log against\n                            the storage plan, and report plan-vs-reality\n                            diffs (S100 output divergence, S101 `o` resize,\n                            S102 stack overflow — errors; S103 `+-` never\n                            resized — warning; S104 read outside liveness,\n                            S105 Equation-2 mismatch — errors); --stats\n                            writes the schema-v6 shadow{{}} stats document\n       shadow exit codes: 0 clean (warnings allowed), 1 diff or failure,\n                          2 usage\n       matc runtime <dir>   write the mrt C support runtime (mrt.h, mrt.c)\n       matc batch [--jobs N] [--cache-dir DIR] [--stats FILE] [--emit-dir DIR]\n                  [--no-gctd] [--repeat N] [--bench] [--selfcheck]\n                  [--keep-going|--fail-fast] [--phase-timeout-ms N] [--fuel N]\n                  [--faults SPEC] [driver.m[,helper.m...] ...]\n                            compile many programs in parallel with caching;\n                            --selfcheck proves parallel/sequential/cached runs\n                            byte-identical and reports the speedup;\n                            --faults takes a seeded fault-injection spec\n                            (also read from MATC_FAULTS), e.g.\n                            seed=7,read=10,write=30,panic=0,audit=100,transient=2\n       batch exit codes: 0 all units clean, 1 unit(s) failed, 2 usage,\n                         3 all compiled but some degraded to the\n                         conservative plan\n       matc serve [--addr HOST:PORT] [--jobs N] [--queue-cap N] [--high-water N]\n                  [--drain-ms N] [--idle-timeout-ms N] [--cache-dir DIR]\n                  [--breaker-threshold N] [--breaker-cooldown-ms N]\n                  [--phase-timeout-ms N] [--fuel N] [--faults SPEC] [--no-gctd]\n                            newline-delimited-JSON compile daemon (DESIGN.md §9)\n                            with bounded admission (shed at --queue-cap,\n                            degrade to the conservative plan at --high-water),\n                            per-request deadlines, per-unit circuit breakers\n                            and graceful SIGTERM/SIGINT draining;\n                            --faults also accepts the network-chaos keys\n                            accept=,disconnect=,stall=,torn=\n       serve exit codes: 0 drained cleanly, 1 bind/drain failure, 2 usage\n       matc request [--addr HOST:PORT] [--op compile|audit|healthz|stats|shutdown]\n                  [--name NAME] [--deadline-ms N] [--retries N] [--emit]\n                  [driver.m[,helper.m...]]\n                            one request against a running daemon, with capped\n                            jittered exponential backoff and deadline\n                            propagation; prints the response JSON\n       request exit codes: 0 server replied ok:true, 1 rejected/error, 2 usage\n       matc perf-bench [--samples N] [--warmup N] [--baseline FILE] [--bless]\n                            compile the benchsuite + paper_scale, record\n                            median phase times / fixpoint iterations /\n                            interference edges per second in BENCH_gctd.json,\n                            and fail on >25% regression vs the committed\n                            baseline (tolerance via MATC_PERF_TOLERANCE;\n                            --bless rewrites the baseline)"
     );
     ExitCode::from(2)
 }
@@ -614,6 +615,100 @@ fn audit_bench() -> ExitCode {
     }
 }
 
+/// The `matc shadow` subcommand: unit specs are comma-separated file
+/// groups like `batch`'s, `--bench` adds the benchsuite.
+fn shadow_cli(args: &[String]) -> ExitCode {
+    use matc::shadow::{shadow_unit, stats_document};
+    let mut bench = false;
+    let mut no_gctd = false;
+    let mut json = false;
+    let mut seed: Option<u64> = None;
+    let mut stats_path: Option<String> = None;
+    let mut specs: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--bench" => bench = true,
+            "--no-gctd" => no_gctd = true,
+            "--json" => json = true,
+            "--seed" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(s) => seed = Some(s),
+                None => return usage(),
+            },
+            "--stats" => match it.next() {
+                Some(p) => stats_path = Some(p.clone()),
+                None => return usage(),
+            },
+            s if s.starts_with("--") => return usage(),
+            s => specs.push(s.to_string()),
+        }
+    }
+
+    let mut units: Vec<Unit> = Vec::new();
+    if bench {
+        units.extend(bench_units(matc::benchsuite::Preset::Test));
+    }
+    for spec in &specs {
+        let files: Vec<&str> = spec.split(',').collect();
+        let mut sources = Vec::new();
+        for f in &files {
+            match std::fs::read_to_string(f) {
+                Ok(s) => sources.push(s),
+                Err(e) => {
+                    eprintln!("matc: cannot read {f}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        let name = std::path::Path::new(files[0])
+            .file_stem()
+            .map_or_else(|| files[0].to_string(), |s| s.to_string_lossy().into());
+        units.push(Unit::new(name, sources));
+    }
+    if units.is_empty() {
+        return usage();
+    }
+
+    let options = GctdOptions {
+        coalesce: !no_gctd,
+        ..GctdOptions::default()
+    };
+    let mut stats = matc::gctd::ShadowStats::default();
+    let mut failed = false;
+    for unit in &units {
+        let u = shadow_unit(&unit.name, &unit.sources, options, seed);
+        u.accumulate(&mut stats);
+        failed |= !u.ok();
+        print!("{}", u.render());
+    }
+    println!(
+        "{} unit(s): {} S101, {} S102, {} S103, {} S104, {} S105; {} violation(s)",
+        stats.units,
+        stats.s101,
+        stats.s102,
+        stats.s103,
+        stats.s104,
+        stats.s105,
+        stats.plan_violations
+    );
+
+    let doc = stats_document(&stats);
+    if json {
+        println!("{doc}");
+    }
+    if let Some(p) = stats_path {
+        if let Err(e) = std::fs::write(&p, &doc) {
+            eprintln!("matc: cannot write {p}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first().cloned() else {
@@ -654,6 +749,9 @@ fn main() -> ExitCode {
     }
     if cmd == "audit-bench" {
         return audit_bench();
+    }
+    if cmd == "shadow" {
+        return shadow_cli(&args[1..]);
     }
     if cmd == "perf-bench" {
         return perf_bench_cli(&args[1..]);

@@ -22,7 +22,9 @@
 //! the same machinery in a resilient TCP daemon (`matc serve`) with
 //! admission control, request deadlines, circuit breakers and graceful
 //! draining; [`json`] is the dependency-free JSON layer its
-//! newline-delimited protocol speaks.
+//! newline-delimited protocol speaks. [`shadow`] runs a unit through
+//! both executors and diffs observed storage behaviour against the
+//! static plan — the engine behind `matc shadow`.
 //!
 //! ```
 //! use matc::vm::{compile::compile, PlannedVm};
@@ -41,6 +43,7 @@ pub mod batch;
 pub mod json;
 pub mod perf;
 pub mod serve;
+pub mod shadow;
 
 pub use matc_analysis as analysis;
 pub use matc_benchsuite as benchsuite;

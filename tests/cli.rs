@@ -156,7 +156,7 @@ fn batch_compiles_units_with_cache_and_matches_emit_c() {
     // must only ever change together with a schema-version bump.
     let stats = std::fs::read_to_string(dir.join("stats.json")).unwrap();
     assert!(
-        stats.starts_with("{\"schema\":5,\"kind\":\"batch\","),
+        stats.starts_with("{\"schema\":6,\"kind\":\"batch\","),
         "{stats}"
     );
     assert!(stats.contains("\"jobs\":2"), "{stats}");
@@ -404,7 +404,7 @@ fn serve_and_request_round_trip_over_the_wire() {
         .unwrap();
     let stats_line = String::from_utf8_lossy(&stats.stdout);
     assert!(
-        stats_line.starts_with("{\"schema\":5,\"kind\":\"serve\",\"server\":{"),
+        stats_line.starts_with("{\"schema\":6,\"kind\":\"serve\",\"server\":{"),
         "{stats_line}"
     );
 
@@ -454,4 +454,97 @@ fn serve_usage_errors_exit_2() {
     assert_eq!(out.status.code(), Some(2));
     let out = matc().args(["request", "--op"]).output().unwrap();
     assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn shadow_usage_errors_exit_2() {
+    // No units at all → usage.
+    let out = matc().args(["shadow"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("shadow"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // Unknown flag → usage.
+    let out = matc().args(["shadow", "--frobnicate"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    // --seed without a value → usage.
+    let out = matc().args(["shadow", "--seed"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn shadow_reports_a_clean_unit_and_exits_zero() {
+    let p = write_temp(
+        "shadow1.m",
+        "function f\na = rand(5, 5);\nb = a + 1;\nfprintf('%.8f\\n', sum(sum(b)));\n",
+    );
+    let out = matc().args(["shadow"]).arg(&p).output().unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "{stdout}");
+    assert!(stdout.contains("== shadow1 =="), "{stdout}");
+    assert!(stdout.contains("S100=0 S101=0 S102=0"), "{stdout}");
+    assert!(stdout.contains("eq2: observed="), "{stdout}");
+    assert!(stdout.contains("1 unit(s): 0 S101, 0 S102,"), "{stdout}");
+}
+
+#[test]
+fn shadow_failing_unit_exits_one() {
+    // Out-of-bounds read: both executors fail, the unit is an error.
+    let p = write_temp(
+        "shadow2.m",
+        "function f\na = rand(2, 2);\nfprintf('%g\\n', a(9));\n",
+    );
+    let out = matc().args(["shadow"]).arg(&p).output().unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1), "{stdout}");
+    assert!(stdout.contains("error:"), "{stdout}");
+}
+
+#[test]
+fn shadow_stats_documents_are_schema_v6() {
+    let p = write_temp("shadow3.m", "function f\nfprintf('%d\\n', 2 + 2);\n");
+    let stats_path = std::env::temp_dir()
+        .join("matc-cli-tests")
+        .join("shadow3.stats.json");
+    let out = matc()
+        .args(["shadow", "--json", "--stats"])
+        .arg(&stats_path)
+        .arg(&p)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    // The same document goes to stdout (--json) and the file (--stats),
+    // pinned to the schema-v6 `shadow{}` shape.
+    let prefix = "{\"schema\":6,\"kind\":\"shadow\",\"shadow\":{\"units\":1,";
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.lines().last().unwrap().starts_with(prefix),
+        "{stdout}"
+    );
+    let doc = std::fs::read_to_string(&stats_path).unwrap();
+    assert!(doc.starts_with(prefix), "{doc}");
+    assert!(doc.contains("\"plan_violations\":0"), "{doc}");
+    assert!(doc.contains("\"s105\":0"), "{doc}");
+}
+
+#[test]
+fn shadow_seed_is_deterministic() {
+    let p = write_temp(
+        "shadow4.m",
+        "function f\nfprintf('%.12f\\n', rand(1, 1));\n",
+    );
+    let a = matc()
+        .args(["shadow", "--seed", "7"])
+        .arg(&p)
+        .output()
+        .unwrap();
+    let b = matc()
+        .args(["shadow", "--seed", "7"])
+        .arg(&p)
+        .output()
+        .unwrap();
+    assert_eq!(a.status.code(), Some(0));
+    assert_eq!(a.stdout, b.stdout);
 }

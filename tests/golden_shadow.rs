@@ -1,0 +1,92 @@
+//! Golden shadow-report snapshots for the 11 benchsuite programs.
+//!
+//! Every benchmark's `matc shadow` rendering — frame/def/read/heap
+//! counters, S-code totals, the Equation 2 time-weighted averages and
+//! the full diagnostic list — is pinned byte-for-byte under
+//! `tests/golden/shadow_<name>.txt`. The planned VM runs on logical
+//! clocks with a fixed RNG seed, so the reports are deterministic; any
+//! change to the plans, the VM's storage behaviour or the replay's
+//! classification shows up here as a reviewable diff. To accept an
+//! intentional change:
+//!
+//! ```text
+//! BLESS=1 cargo test --test golden_shadow
+//! ```
+//!
+//! and commit the regenerated files.
+
+use matc::batch::bench_units;
+use matc::benchsuite::Preset;
+use matc::gctd::GctdOptions;
+use matc::shadow::shadow_unit;
+use std::path::{Path, PathBuf};
+
+fn check_or_bless(
+    bless: bool,
+    path: &PathBuf,
+    unit: &str,
+    text: &str,
+    mismatches: &mut Vec<String>,
+) {
+    if bless {
+        std::fs::write(path, text).unwrap();
+        return;
+    }
+    match std::fs::read_to_string(path) {
+        Ok(golden) if golden == text => {}
+        Ok(golden) => {
+            let diff_line = golden
+                .lines()
+                .zip(text.lines())
+                .position(|(g, n)| g != n)
+                .map_or(golden.lines().count().min(text.lines().count()) + 1, |i| {
+                    i + 1
+                });
+            mismatches.push(format!(
+                "{unit}: differs from {} starting at line {diff_line} ({} -> {} bytes)",
+                path.display(),
+                golden.len(),
+                text.len()
+            ));
+        }
+        Err(e) => mismatches.push(format!("{unit}: cannot read {}: {e}", path.display())),
+    }
+}
+
+#[test]
+fn benchsuite_shadow_reports_match_golden_snapshots() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden");
+    let bless = std::env::var_os("BLESS").is_some();
+    if bless {
+        std::fs::create_dir_all(&dir).unwrap();
+    }
+    let mut mismatches = Vec::new();
+    for unit in bench_units(Preset::Test) {
+        let u = shadow_unit(&unit.name, &unit.sources, GctdOptions::default(), None);
+        assert!(
+            u.error.is_none(),
+            "`{}` failed to shadow-run: {:?}",
+            unit.name,
+            u.error
+        );
+        assert!(
+            u.ok(),
+            "`{}` has shadow errors:\n{}",
+            unit.name,
+            u.diags.render()
+        );
+        check_or_bless(
+            bless,
+            &dir.join(format!("shadow_{}.txt", unit.name)),
+            &unit.name,
+            &u.render(),
+            &mut mismatches,
+        );
+    }
+    assert!(
+        mismatches.is_empty(),
+        "shadow reports diverge from golden snapshots \
+         (BLESS=1 to accept intentional changes):\n{}",
+        mismatches.join("\n")
+    );
+}

@@ -423,6 +423,55 @@ fn check_forced_fallback(src: &str) {
     assert_eq!(got2, want, "fuel-starved output diverged on:\n{src}");
 }
 
+/// The shadow runtime's soundness claim on random programs: replaying
+/// the probe log against the production plan must report zero
+/// S101/S102/S104/S105 findings and zero violations, with outputs
+/// matching the interpreter (no S100) — S103 precision warnings are
+/// the only finding a sound plan may earn. Separately, the probe
+/// toggle must be a pure observer: C emission with probes off is
+/// byte-identical to the default emitter, and probes on only *adds*
+/// `mrt_probe_*` calls.
+fn check_shadow(src: &str) {
+    use matc::codegen::{emit_program, emit_program_with, EmitOptions};
+    use matc::gctd::GctdOptions;
+    use matc::shadow::shadow_unit;
+    use matc::vm::compile::compile;
+
+    let unit = shadow_unit(
+        "generated",
+        &[src.to_string()],
+        GctdOptions::default(),
+        None,
+    );
+    assert!(
+        unit.ok(),
+        "shadow findings on:\n{src}\n{:?}\n{}",
+        unit.error,
+        unit.diags.render()
+    );
+    let r = unit.report.as_ref().unwrap();
+    assert_eq!(r.plan_violations, 0, "violations on:\n{src}");
+    assert_eq!(r.counts.s101, 0, "S101 on:\n{src}\n{}", unit.diags.render());
+    assert_eq!(r.counts.s102, 0, "S102 on:\n{src}\n{}", unit.diags.render());
+    assert_eq!(r.counts.s104, 0, "S104 on:\n{src}\n{}", unit.diags.render());
+    assert_eq!(r.counts.s105, 0, "S105 on:\n{src}\n{}", unit.diags.render());
+    assert!(!unit.output_diverged, "S100 on:\n{src}");
+
+    let ast = matc::frontend::parse_program([src]).unwrap();
+    let compiled = compile(&ast, GctdOptions::default()).unwrap();
+    let plain = emit_program(&compiled);
+    let off = emit_program_with(&compiled, EmitOptions::default());
+    assert_eq!(
+        plain, off,
+        "probes-off emission not byte-identical on:\n{src}"
+    );
+    let on = emit_program_with(&compiled, EmitOptions { probes: true });
+    assert!(
+        on.contains("mrt_probe_def(") && on.contains("mrt_probe_report();"),
+        "probes-on emission carries no probe calls on:\n{src}"
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig {
         cases: 48,
@@ -439,6 +488,7 @@ proptest! {
         check_auditflow_reference(&src);
         check_batch_cached(&src);
         check_forced_fallback(&src);
+        check_shadow(&src);
     }
 }
 

@@ -1,0 +1,210 @@
+//! `matc shadow` against deliberately corrupted storage plans.
+//!
+//! Mirrors `tests/plan_audit.rs`: compile a clean unit, break one
+//! invariant of its plan by hand, and check the shadow replay flags the
+//! break with the expected S-code. The static auditor catches these
+//! corruptions symbolically; these tests prove the *dynamic* checker
+//! catches them from observed behaviour alone.
+
+use matc::frontend::ast::Program;
+use matc::frontend::parse_program;
+use matc::gctd::{GctdOptions, ResizeKind, SlotKind};
+use matc::ir::IrProgram;
+use matc::shadow::shadow_compiled;
+use matc::vm::compile::{compile_traced, Compiled};
+use matc::vm::PlannedVm;
+
+/// A program whose entry plan has every shape the corruptions need:
+/// a heap slot with one `∘` and two `+` definitions (the `a(i)` growth
+/// loop), a `±` heap definition, and several fixed-size stack slots.
+const GROWTH: &str = "function f()\n\
+                      a = [];\n\
+                      for i = 1:20\n\
+                      \x20 a(i) = i * 2;\n\
+                      end\n\
+                      a(5) = 99;\n\
+                      fprintf('%d\\n', sum(a));\n";
+
+fn compile_growth() -> (Program, Compiled, IrProgram) {
+    let ast = parse_program([GROWTH]).unwrap();
+    let (compiled, ssa) = compile_traced(&ast, GctdOptions::default()).unwrap();
+    (ast, compiled, ssa)
+}
+
+fn codes(unit: &matc::shadow::ShadowUnit) -> Vec<&'static str> {
+    let mut c: Vec<&'static str> = unit.diags.iter().map(|d| d.code).collect();
+    c.sort_unstable();
+    c.dedup();
+    c
+}
+
+#[test]
+fn clean_growth_program_shadows_clean() {
+    let (ast, compiled, ssa) = compile_growth();
+    let unit = shadow_compiled("grow", &ast, &compiled, &ssa, None);
+    assert!(unit.ok(), "{:?}\n{}", unit.error, unit.diags.render());
+    let r = unit.report.as_ref().unwrap();
+    assert_eq!(r.plan_violations, 0);
+    assert_eq!(r.counts.s101, 0, "{}", unit.diags.render());
+    assert_eq!(r.counts.s102, 0, "{}", unit.diags.render());
+    assert_eq!(r.counts.s104, 0, "{}", unit.diags.render());
+    assert_eq!(r.counts.s105, 0, "{}", unit.diags.render());
+}
+
+// ---------------------------------------------------------------------
+// S101: a `∘` definition resized at run time
+// ---------------------------------------------------------------------
+
+#[test]
+fn corrupt_grow_annotation_to_noresize_is_s101() {
+    let (ast, mut compiled, ssa) = compile_growth();
+    // Rewrite every `+` (grow) definition to claim `∘` (never resizes).
+    // The growth loop reallocs regardless, so the claim is a lie the
+    // replay must catch.
+    let mut flipped = 0;
+    for plan in &mut compiled.plans.plans {
+        for r in plan.resize.values_mut() {
+            if *r == ResizeKind::Grow {
+                *r = ResizeKind::NoResize;
+                flipped += 1;
+            }
+        }
+    }
+    assert!(flipped > 0, "growth program must carry `+` definitions");
+
+    let unit = shadow_compiled("grow-s101", &ast, &compiled, &ssa, None);
+    assert!(unit.error.is_none(), "{:?}", unit.error);
+    assert!(!unit.ok(), "S101 is an error:\n{}", unit.diags.render());
+    let r = unit.report.as_ref().unwrap();
+    assert!(r.counts.s101 >= 1, "{}", unit.diags.render());
+    assert!(r.plan_violations > 0, "the VM also counts the overflow");
+    assert!(codes(&unit).contains(&"S101"), "{}", unit.diags.render());
+    assert!(
+        unit.diags
+            .iter()
+            .any(|d| d.code == "S101" && d.message.contains("observed resizing")),
+        "{}",
+        unit.diags.render()
+    );
+}
+
+// ---------------------------------------------------------------------
+// S102: a stack slot overflowed at run time
+// ---------------------------------------------------------------------
+
+#[test]
+fn corrupt_shrunk_stack_slot_is_s102() {
+    let (ast, mut compiled, ssa) = compile_growth();
+    // Shrink every stack slot of the entry function to zero bytes; any
+    // definition that lands in one now overflows its claimed bounds.
+    let mut shrunk = 0;
+    for slot in &mut compiled.plans.plans[0].slots {
+        if let SlotKind::Stack { bytes } = &mut slot.kind {
+            *bytes = 0;
+            shrunk += 1;
+        }
+    }
+    assert!(shrunk > 0, "growth program must carry stack slots");
+
+    let unit = shadow_compiled("grow-s102", &ast, &compiled, &ssa, None);
+    assert!(unit.error.is_none(), "{:?}", unit.error);
+    assert!(!unit.ok(), "S102 is an error:\n{}", unit.diags.render());
+    let r = unit.report.as_ref().unwrap();
+    assert!(r.counts.s102 >= 1, "{}", unit.diags.render());
+    assert!(r.plan_violations > 0, "the VM also counts the overflow");
+    assert!(codes(&unit).contains(&"S102"), "{}", unit.diags.render());
+    assert!(
+        unit.diags
+            .iter()
+            .any(|d| d.code == "S102" && d.message.contains("observed holding")),
+        "{}",
+        unit.diags.render()
+    );
+}
+
+// ---------------------------------------------------------------------
+// S103: a `±` definition that never actually resizes
+// ---------------------------------------------------------------------
+
+#[test]
+fn corrupt_noresize_annotation_to_resize_is_s103() {
+    let (ast, mut compiled, ssa) = compile_growth();
+    let baseline = {
+        let unit = shadow_compiled("grow", &ast, &compiled, &ssa, None);
+        unit.report.as_ref().unwrap().counts.s103
+    };
+    // Rewrite every heap `∘` definition to claim `±` (resize every
+    // time). The definitions still land in correctly-sized storage, so
+    // they never realloc — dead precision the replay reports as S103.
+    let mut flipped = 0;
+    for plan in &mut compiled.plans.plans {
+        let heap_noresize: Vec<_> = plan
+            .var_slot
+            .iter()
+            .filter(|(v, s)| {
+                plan.slots[**s].kind == SlotKind::Heap
+                    && plan.resize_of(**v) == ResizeKind::NoResize
+            })
+            .map(|(v, _)| *v)
+            .collect();
+        for v in heap_noresize {
+            plan.resize.insert(v, ResizeKind::Resize);
+            flipped += 1;
+        }
+    }
+    assert!(
+        flipped > 0,
+        "growth program must carry heap `∘` definitions"
+    );
+
+    let unit = shadow_compiled("grow-s103", &ast, &compiled, &ssa, None);
+    assert!(unit.error.is_none(), "{:?}", unit.error);
+    assert!(unit.ok(), "S103 stays a warning:\n{}", unit.diags.render());
+    let r = unit.report.as_ref().unwrap();
+    assert!(
+        r.counts.s103 > baseline,
+        "expected more than {baseline} S103 findings:\n{}",
+        unit.diags.render()
+    );
+    assert!(codes(&unit).contains(&"S103"), "{}", unit.diags.render());
+    assert_eq!(r.counts.s101, 0, "{}", unit.diags.render());
+    assert_eq!(r.counts.s102, 0, "{}", unit.diags.render());
+}
+
+// ---------------------------------------------------------------------
+// Satellite: plan violations are a hard error outside shadow mode
+// ---------------------------------------------------------------------
+
+#[test]
+fn plan_violation_hard_errors_without_shadow_and_is_observed_with_it() {
+    let (_ast, mut compiled, _ssa) = compile_growth();
+    for slot in &mut compiled.plans.plans[0].slots {
+        if let SlotKind::Stack { bytes } = &mut slot.kind {
+            *bytes = 0;
+        }
+    }
+
+    // Outside shadow mode a violated plan aborts the run: the plan is
+    // unsound for this execution and the output cannot be trusted.
+    let err = PlannedVm::new(&compiled)
+        .run()
+        .expect_err("a violated plan must not run to completion");
+    let msg = err.to_string();
+    assert!(msg.contains("storage plan violated"), "{msg}");
+    assert!(msg.contains("unsound"), "{msg}");
+
+    // Shadow mode observes instead of aborting, so the replay can
+    // classify what went wrong — and the counter lands in the report.
+    let mut vm = PlannedVm::new(&compiled).with_shadow();
+    vm.run().expect("shadow mode observes violations");
+    assert!(vm.plan_violations > 0);
+}
+
+#[test]
+fn clean_plan_runs_without_violation_error() {
+    let (ast, compiled, _ssa) = compile_growth();
+    let out = PlannedVm::new(&compiled).run().unwrap();
+    let want = matc::vm::Interp::new(&ast).run().unwrap();
+    assert_eq!(out, want);
+    assert_eq!(out, "509\n"); // sum(2:2:40) − a(5)=10 + 99
+}
