@@ -155,6 +155,95 @@ impl Diagnostics {
         out
     }
 
+    /// Serializes the findings to the line-oriented wire format the
+    /// artifact store embeds in per-function fragments: one finding per
+    /// line, tab-separated fields
+    /// `code \t severity \t span \t func \t message` with backslash
+    /// escapes for tabs/newlines and `-` for a missing span.
+    /// [`Diagnostics::from_wire`] inverts it exactly.
+    pub fn to_wire(&self) -> String {
+        let mut out = String::new();
+        for d in &self.items {
+            out.push_str(d.code);
+            out.push('\t');
+            out.push_str(&d.severity.to_string());
+            out.push('\t');
+            match d.span {
+                Some(s) => out.push_str(&format!("{}..{}", s.start, s.end)),
+                None => out.push('-'),
+            }
+            out.push('\t');
+            out.push_str(&wire_escape(&d.func));
+            out.push('\t');
+            out.push_str(&wire_escape(&d.message));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses the [`Diagnostics::to_wire`] format. Codes are interned
+    /// against the static table of codes this build can emit — a cached
+    /// fragment carrying a code this build does not know is from an
+    /// incompatible build and fails to decode (callers treat that like
+    /// a corrupt fragment and recompile).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed line: wrong field
+    /// count, unknown code, unknown severity, or an unparseable span.
+    pub fn from_wire(text: &str) -> Result<Diagnostics, String> {
+        let mut out = Diagnostics::new();
+        for (ln, line) in text.lines().enumerate() {
+            let mut fields = line.splitn(5, '\t');
+            let (Some(code), Some(sev), Some(span), Some(func), Some(message)) = (
+                fields.next(),
+                fields.next(),
+                fields.next(),
+                fields.next(),
+                fields.next(),
+            ) else {
+                return Err(format!("diagnostic line {}: expected 5 fields", ln + 1));
+            };
+            let code = intern_code(code)
+                .ok_or_else(|| format!("diagnostic line {}: unknown code `{code}`", ln + 1))?;
+            let severity = match sev {
+                "error" => Severity::Error,
+                "warning" => Severity::Warning,
+                other => {
+                    return Err(format!(
+                        "diagnostic line {}: unknown severity `{other}`",
+                        ln + 1
+                    ))
+                }
+            };
+            let span = if span == "-" {
+                None
+            } else {
+                let (s, e) = span
+                    .split_once("..")
+                    .ok_or_else(|| format!("diagnostic line {}: bad span `{span}`", ln + 1))?;
+                let s: u32 = s
+                    .parse()
+                    .map_err(|_| format!("diagnostic line {}: bad span start", ln + 1))?;
+                let e: u32 = e
+                    .parse()
+                    .map_err(|_| format!("diagnostic line {}: bad span end", ln + 1))?;
+                if s > e {
+                    return Err(format!("diagnostic line {}: inverted span", ln + 1));
+                }
+                Some(Span::new(s, e))
+            };
+            out.items.push(Diagnostic {
+                code,
+                severity,
+                func: wire_unescape(func),
+                message: wire_unescape(message),
+                span,
+            });
+        }
+        Ok(out)
+    }
+
     /// Renders the findings as a JSON array (one object per line), e.g.
     ///
     /// ```json
@@ -188,6 +277,57 @@ impl Diagnostics {
         out.push(']');
         out
     }
+}
+
+/// Every stable finding code this build can emit (`A…` plan audits,
+/// `L…` lints). [`Diagnostics::from_wire`] interns decoded codes
+/// against this table so `Diagnostic::code` stays `&'static str`.
+const STATIC_CODES: &[&str] = &[
+    "A101", "A102", "A103", "A201", "A301", "A302", "A303", "A304", "A305", "A401", "A501", "A502",
+    "A503", "L001", "L002", "L003", "L004",
+];
+
+fn intern_code(code: &str) -> Option<&'static str> {
+    STATIC_CODES.iter().copied().find(|c| *c == code)
+}
+
+/// Escapes tabs, newlines and backslashes for one wire-format field.
+fn wire_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Inverts [`wire_escape`] (a trailing lone backslash is kept as-is).
+fn wire_unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some(other) => {
+                out.push('\\');
+                out.push(other);
+            }
+            None => out.push('\\'),
+        }
+    }
+    out
 }
 
 /// Escapes a string for embedding in a JSON string literal.
@@ -234,6 +374,60 @@ mod tests {
         assert!(j.contains(r#""span":null"#), "{j}");
         assert!(j.starts_with('[') && j.ends_with(']'));
         assert_eq!(Diagnostics::new().to_json(), "[]");
+    }
+
+    #[test]
+    fn wire_format_roundtrips_exactly() {
+        let mut d = Diagnostics::new();
+        d.error("A101", "f", "slot clash", Some(Span::new(3, 9)));
+        d.warning("L001", "g", "odd\tname \\ with\nescapes", None);
+        let wire = d.to_wire();
+        let back = Diagnostics::from_wire(&wire).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.to_json(), d.to_json(), "roundtrip is lossless");
+        assert_eq!(back.to_wire(), wire, "re-encoding is stable");
+        assert_eq!(Diagnostics::from_wire("").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn wire_format_rejects_unknown_codes_and_garbage() {
+        let err = Diagnostics::from_wire("Z999\terror\t-\tf\tmsg").unwrap_err();
+        assert!(err.contains("unknown code"), "{err}");
+        let err = Diagnostics::from_wire("A101\tfatal\t-\tf\tmsg").unwrap_err();
+        assert!(err.contains("unknown severity"), "{err}");
+        let err = Diagnostics::from_wire("A101\terror\t9..3\tf\tmsg").unwrap_err();
+        assert!(err.contains("inverted span"), "{err}");
+        let err = Diagnostics::from_wire("A101\terror\t-\tf").unwrap_err();
+        assert!(err.contains("expected 5 fields"), "{err}");
+    }
+
+    #[test]
+    fn every_emittable_code_is_in_the_static_table() {
+        // The wire decoder must recognize every code the auditor and
+        // the lints can emit, or warm fragment reads would spuriously
+        // fail. Scan this crate's sources for code literals.
+        for src in [
+            include_str!("audit.rs"),
+            include_str!("lint.rs"),
+            include_str!("diagnostics.rs"),
+        ] {
+            let mut rest = src;
+            while let Some(i) = rest.find('"') {
+                rest = &rest[i + 1..];
+                let Some(j) = rest.find('"') else { break };
+                let lit = &rest[..j];
+                rest = &rest[j + 1..];
+                if lit.len() == 4
+                    && (lit.starts_with('A') || lit.starts_with('L'))
+                    && lit[1..].chars().all(|c| c.is_ascii_digit())
+                {
+                    assert!(
+                        intern_code(lit).is_some(),
+                        "code {lit} missing from STATIC_CODES"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

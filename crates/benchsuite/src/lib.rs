@@ -269,6 +269,85 @@ pub fn paper_scale_source(stages: usize) -> String {
     s
 }
 
+/// Leaf-function count in the multi-function `paper_scale` unit (the
+/// unit compiles to `PAPER_SCALE_MULTI_LEAVES + 1` functions including
+/// the driver).
+pub const PAPER_SCALE_MULTI_LEAVES: usize = 8;
+
+/// Generates the multi-function `paper_scale` variant used by the
+/// incremental-compilation gate: a driver plus
+/// [`PAPER_SCALE_MULTI_LEAVES`] leaf functions, each a self-contained
+/// analysis-load kernel carrying an equal share of `stages`. `tweak`
+/// perturbs one numeric constant inside leaf 0 *without* changing any
+/// function's signature, return type or shape — so recompiling an
+/// edited unit over a warm fragment store must re-plan exactly one
+/// function and reuse every other function's cached fragment
+/// (`tweak == 0` is the pristine baseline). Sources come back
+/// driver-first, one function per M-file, deterministic in both
+/// arguments.
+pub fn paper_scale_multi_sources(stages: usize, tweak: u32) -> Vec<String> {
+    use std::fmt::Write as _;
+    let leaves = PAPER_SCALE_MULTI_LEAVES;
+    let per = stages.div_ceil(leaves).max(1);
+    let mut out = Vec::with_capacity(leaves + 1);
+    let mut d = String::new();
+    d.push_str("function paper_scale_multi_driver\n");
+    d.push_str("% Incremental-compilation gate driver; see DESIGN.md section 12.\n");
+    d.push_str("n = 8;\nacc = 0;\n");
+    for l in 0..leaves {
+        let _ = writeln!(d, "acc = acc + ps_leaf_{l}(n);");
+    }
+    d.push_str("fprintf('checksum = %.8f\\n', acc);\n");
+    out.push(d);
+    for l in 0..leaves {
+        let mut s = String::new();
+        let _ = writeln!(s, "function out = ps_leaf_{l}(n)");
+        let _ = writeln!(s, "% Leaf kernel {l} of the incremental paper_scale unit.");
+        for v in 0..6 {
+            let _ = writeln!(s, "y{v} = zeros(n, n);");
+        }
+        s.push_str("s0 = 0;\ns1 = 0;\n");
+        for i in 0..per {
+            let base = l * per + i;
+            let a = (base * 5 + 1) % 6;
+            let b = (base * 7 + 2) % 6;
+            let c = base % 9 + 1;
+            let w = (base * 3 + 5) % 6;
+            let e = (base * 11 + 4) % 6;
+            let f = (base + 6) % 6;
+            let t = base % 5;
+            let _ = writeln!(s, "if s0 > {t}");
+            let _ = writeln!(s, "  y{a} = y{b} + {c} * y{w};");
+            let _ = writeln!(s, "  s1 = s1 + sum(sum(y{a}));");
+            let _ = writeln!(s, "else");
+            let _ = writeln!(s, "  y{a} = y{b} - y{w};");
+            let _ = writeln!(s, "  s1 = s1 - 1;");
+            let _ = writeln!(s, "end");
+            let _ = writeln!(s, "y{e} = y{a} .* y{f} + s1;");
+            if i % 4 == 3 {
+                let g = (base * 13 + 7) % 6;
+                let _ = writeln!(s, "for k = 1:4");
+                let _ = writeln!(s, "  y{g}(k, k) = y{g}(k, k) + k;");
+                let _ = writeln!(s, "end");
+            }
+            s.push_str("s0 = s0 + 1;\n");
+        }
+        // The "single-function edit" knob: a scalar bias folded into a
+        // dynamic accumulator, so it survives constant propagation and
+        // branch folding (a tweak hidden in a statically-dead branch
+        // would optimize away and the edited leaf's post-optimization
+        // IR — hence its fragment key — would not change). Invisible to
+        // every other function's type facts.
+        let bias = if l == 0 { 1 + tweak as usize } else { 1 };
+        let _ = writeln!(
+            s,
+            "out = s1 + {bias} + sum(sum(y0 + y1 + y2 + y3 + y4 + y5));"
+        );
+        out.push(s);
+    }
+    out
+}
+
 /// Lookup by Table 1 name.
 pub fn by_name(name: &str) -> Option<&'static Benchmark> {
     BENCHMARKS.iter().find(|b| b.name == name)
@@ -338,6 +417,27 @@ mod tests {
         assert!(a.starts_with("function paper_scale_driver\n"));
         assert!(a.contains("% stage 9"));
         assert!(!a.contains("% stage 10"));
+    }
+
+    #[test]
+    fn paper_scale_multi_tweak_touches_exactly_one_leaf() {
+        let base = paper_scale_multi_sources(80, 0);
+        assert_eq!(base, paper_scale_multi_sources(80, 0));
+        assert_eq!(base.len(), PAPER_SCALE_MULTI_LEAVES + 1);
+        assert!(base[0].starts_with("function paper_scale_multi_driver\n"));
+        let edited = paper_scale_multi_sources(80, 3);
+        let differing: Vec<usize> = base
+            .iter()
+            .zip(&edited)
+            .enumerate()
+            .filter(|(_, (a, b))| a != b)
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(
+            differing,
+            vec![1],
+            "tweak must edit leaf 0 and nothing else"
+        );
     }
 
     #[test]

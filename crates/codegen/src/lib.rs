@@ -85,9 +85,30 @@ pub fn emit_program(compiled: &Compiled) -> String {
 /// [`emit_program`] with [`EmitOptions`].
 pub fn emit_program_with(compiled: &Compiled, opts: EmitOptions) -> String {
     let mut out = String::new();
+    out.push_str(&emit_unit_prologue(&compiled.ir.functions));
+    for (i, f) in compiled.ir.functions.iter().enumerate() {
+        let plan = compiled.plans.plan(FuncId::new(i));
+        out.push_str(&emit_function_unit(f, plan, opts.probes.then_some(i)));
+    }
+    out.push_str(&emit_unit_epilogue(
+        &compiled.ir.entry_func().name,
+        opts.probes,
+    ));
+    out
+}
+
+/// The fixed head of an emitted translation unit: the preamble plus one
+/// forward declaration per function, ending in a blank line.
+///
+/// `emit_unit_prologue` + [`emit_function_unit`] for every function in
+/// order + [`emit_unit_epilogue`] concatenate to exactly
+/// [`emit_program_with`]; the incremental batch driver uses the split
+/// form to stitch cached per-function fragments into a whole unit.
+pub fn emit_unit_prologue(functions: &[FuncIr]) -> String {
+    let mut out = String::new();
     out.push_str(PREAMBLE);
     out.push('\n');
-    for f in &compiled.ir.functions {
+    for f in functions {
         let _ = writeln!(
             out,
             "static void f_{}({});",
@@ -96,12 +117,25 @@ pub fn emit_program_with(compiled: &Compiled, opts: EmitOptions) -> String {
         );
     }
     out.push('\n');
-    for (i, f) in compiled.ir.functions.iter().enumerate() {
-        let plan = compiled.plans.plan(FuncId::new(i));
-        emit_function(&mut out, f, plan, opts.probes.then_some(i));
-        out.push('\n');
-    }
-    emit_main(&mut out, compiled, opts);
+    out
+}
+
+/// One function's body (definition plus trailing blank line) as it
+/// appears inside [`emit_program_with`]. `probe_fi` is `Some(function
+/// index)` when shadow probes are on — probe calls embed the index, so
+/// probed fragments are position-dependent.
+pub fn emit_function_unit(f: &FuncIr, plan: &StoragePlan, probe_fi: Option<usize>) -> String {
+    let mut out = String::new();
+    emit_function(&mut out, f, plan, probe_fi);
+    out.push('\n');
+    out
+}
+
+/// The closing `main` of an emitted translation unit (calls the entry
+/// function, then reports probes when enabled).
+pub fn emit_unit_epilogue(entry_name: &str, probes: bool) -> String {
+    let mut out = String::new();
+    emit_main(&mut out, entry_name, probes);
     out
 }
 
@@ -573,11 +607,10 @@ fn un_name(u: UnOp) -> &'static str {
     }
 }
 
-fn emit_main(out: &mut String, compiled: &Compiled, opts: EmitOptions) {
-    let entry = compiled.ir.entry_func();
+fn emit_main(out: &mut String, entry_name: &str, probes: bool) {
     out.push_str("int main(void)\n{\n");
-    let _ = writeln!(out, "    f_{}();", entry.name);
-    if opts.probes {
+    let _ = writeln!(out, "    f_{entry_name}();");
+    if probes {
         out.push_str("    mrt_probe_report();\n");
     }
     out.push_str("    return 0;\n}\n");
@@ -690,6 +723,29 @@ mod tests {
         assert!(on.contains("mrt_probe_def("), "{on}");
         assert!(on.contains("mrt_probe_report();"), "{on}");
         assert!(!plain.contains("mrt_probe_"), "{plain}");
+    }
+
+    #[test]
+    fn part_emission_concatenates_to_whole_program() {
+        // The incremental batch driver stitches cached per-function
+        // fragments between the prologue and epilogue; that is only
+        // sound if the split emitters reproduce emit_program_with
+        // byte for byte.
+        let ast = parse_program(["function f()\nfprintf('%d\\n', g(3) + h(4));\nend\n\
+             function y = g(x)\ny = x * 2;\nend\n\
+             function y = h(x)\na = rand(4, 4);\ny = x + sum(sum(a));\nend\n"])
+        .unwrap();
+        let compiled = compile(&ast, GctdOptions::default()).unwrap();
+        for probes in [false, true] {
+            let whole = emit_program_with(&compiled, EmitOptions { probes });
+            let mut stitched = emit_unit_prologue(&compiled.ir.functions);
+            for (i, f) in compiled.ir.functions.iter().enumerate() {
+                let plan = compiled.plans.plan(FuncId::new(i));
+                stitched.push_str(&emit_function_unit(f, plan, probes.then_some(i)));
+            }
+            stitched.push_str(&emit_unit_epilogue(&compiled.ir.entry_func().name, probes));
+            assert_eq!(whole, stitched, "probes={probes}");
+        }
     }
 
     #[test]

@@ -1,16 +1,41 @@
-//! Content-addressed artifact cache for batch compilation.
+//! Crash-safe, content-addressed artifact store for batch compilation
+//! (DESIGN.md §12).
 //!
 //! A compilation unit's cache key is the SHA-256 digest of its source
 //! text *and* the complete option set (see [`options_fingerprint`]) —
 //! two compilations agree on the key iff they would produce identical
 //! artifacts, so a hit can serve the stored [`Artifact`] (emitted C,
 //! plan rendering, audit findings, size metrics) without running any
-//! pipeline phase. The cache is two-level: an in-memory map shared by
-//! the batch workers, and an optional on-disk layer (`--cache-dir`)
-//! holding one `<hex-key>.art` file per artifact, written atomically
-//! (temp file + rename) so concurrent batch runs never observe a torn
-//! artifact. Corrupt or truncated files are treated as misses and
-//! overwritten.
+//! pipeline phase. Content-addressing is additionally split to
+//! **per-function fragments** ([`Fragment`]: one function's emitted C
+//! body, plan rendering, audit findings and metric deltas), so a warm
+//! recompile after a single-function edit reuses every untouched
+//! fragment instead of recompiling the whole unit.
+//!
+//! The store is two-level: an in-memory map shared by the batch
+//! workers, and an optional on-disk layer (`--cache-dir`) that multiple
+//! OS processes (`matc batch` runs, `matc serve` daemons) may share:
+//!
+//! * `units/<hex>.man` — one unit **manifest** per artifact, stitching
+//!   the unit's fragment set to its composed artifact;
+//! * `frags/<hex>.frag` — content-addressed per-function fragments;
+//! * `corrupt/` — quarantined files that failed integrity verification;
+//! * `store.lease` — an advisory owner-pid lease serializing manifest
+//!   commits across processes (stale leases of dead owners are stolen).
+//!
+//! Every manifest and fragment carries an embedded SHA-256 over its
+//! payload, verified on read: a torn, truncated or bit-flipped file is
+//! **quarantined** to `corrupt/` (moved aside once, counted in stats,
+//! never silently reused) and the unit is transparently recompiled —
+//! the store heals itself instead of erroring. A unit commit is
+//! crash-safe by ordering: fragments are written and fsynced first,
+//! then the manifest is published by an atomic temp-file + rename — a
+//! crash at any point leaves either the old unit or a clean miss
+//! visible, never a hybrid (fragments without a manifest are harmless:
+//! they are content-addressed and only reachable through keys that
+//! prove their contents). Legacy flat `<hex>.art` files from older
+//! stores are still read, with the same quarantine-on-corruption
+//! policy.
 //!
 //! Everything here is `std`-only: the SHA-256 implementation below is
 //! the FIPS 180-4 algorithm transcribed directly (checked against the
@@ -189,6 +214,24 @@ impl CacheKey {
         CacheKey(h.finish())
     }
 
+    /// Derives a key in a caller-chosen domain: a digest over the
+    /// domain tag and a length-prefixed stream of `parts`. Used for
+    /// per-function fragment keys (domain `"matc-frag-v1"`), where the
+    /// parts are the option fingerprint plus canonical renderings of
+    /// the function's optimized IR and inference facts. Domain
+    /// separation keeps fragment keys from ever colliding with unit
+    /// keys.
+    pub fn compute_parts<'a>(domain: &str, parts: impl IntoIterator<Item = &'a str>) -> CacheKey {
+        let mut h = Sha256::new();
+        h.update(domain.as_bytes());
+        h.update(&[0]);
+        for p in parts {
+            h.update(&(p.len() as u64).to_le_bytes());
+            h.update(p.as_bytes());
+        }
+        CacheKey(h.finish())
+    }
+
     /// Lower-case hex rendering (the on-disk file stem).
     pub fn hex(&self) -> String {
         let mut s = String::with_capacity(64);
@@ -336,6 +379,217 @@ fn take_line<'a>(rest: &mut &'a [u8]) -> Option<&'a [u8]> {
 }
 
 // ---------------------------------------------------------------------
+// Fragments
+// ---------------------------------------------------------------------
+
+/// One function's share of a unit artifact: everything a warm recompile
+/// needs to skip that function's plan / audit / SSA-inversion / codegen
+/// work entirely. Fragments are content-addressed by a digest over the
+/// option fingerprint and canonical renderings of the function's
+/// optimized IR and inference facts ([`CacheKey::compute_parts`]), so
+/// equal keys imply equal pipeline inputs — and therefore equal
+/// outputs, which is what makes reuse sound.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fragment {
+    /// The function's emitted C body (one `emit_function` text block).
+    pub body: String,
+    /// The function's storage-plan rendering (`matc plan` section).
+    pub plan_text: String,
+    /// The function's audit findings, wire-serialized
+    /// (`Diagnostics::to_wire`).
+    pub findings: String,
+    /// Per-function metric deltas (plan stats, interference counts,
+    /// audit edges — no timings), summed into `UnitMetrics` on reuse.
+    pub meta: BTreeMap<String, u64>,
+}
+
+const FRAGMENT_MAGIC: &str = "matc-frag v1";
+const MANIFEST_MAGIC: &str = "matc-manifest v1";
+
+impl Fragment {
+    /// Serializes the fragment payload (sections, like [`Artifact`]).
+    fn payload(&self) -> Vec<u8> {
+        let mut meta = String::new();
+        for (k, v) in &self.meta {
+            meta.push_str(k);
+            meta.push(' ');
+            meta.push_str(&v.to_string());
+            meta.push('\n');
+        }
+        let mut out = Vec::new();
+        for (name, body) in [
+            ("body", self.body.as_str()),
+            ("plan", self.plan_text.as_str()),
+            ("findings", self.findings.as_str()),
+            ("meta", meta.as_str()),
+        ] {
+            out.extend_from_slice(format!("section {name} {}\n", body.len()).as_bytes());
+            out.extend_from_slice(body.as_bytes());
+            out.push(b'\n');
+        }
+        out
+    }
+
+    /// Serializes to the on-disk format: magic line, embedded SHA-256
+    /// over the payload, then the payload sections.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        seal(FRAGMENT_MAGIC, &self.payload())
+    }
+
+    /// Parses and integrity-verifies the on-disk format; any structural
+    /// defect or digest mismatch is an error (the store quarantines the
+    /// file).
+    pub fn from_bytes(bytes: &[u8]) -> Result<Fragment, String> {
+        let mut rest = unseal(FRAGMENT_MAGIC, bytes)?;
+        let mut sections: BTreeMap<String, String> = BTreeMap::new();
+        while !rest.is_empty() {
+            let header = take_line(&mut rest).ok_or("truncated section header")?;
+            let header = std::str::from_utf8(header).map_err(|_| "non-utf8 header")?;
+            let mut parts = header.split(' ');
+            let (kw, name, len) = (parts.next(), parts.next(), parts.next());
+            if kw != Some("section") || parts.next().is_some() {
+                return Err(format!("bad section header: {header}"));
+            }
+            let name = name.ok_or("missing section name")?;
+            let len: usize = len
+                .and_then(|l| l.parse().ok())
+                .ok_or("bad section length")?;
+            if rest.len() <= len || rest[len] != b'\n' {
+                return Err(format!("truncated section {name}"));
+            }
+            let body = std::str::from_utf8(&rest[..len]).map_err(|_| "non-utf8 section")?;
+            sections.insert(name.to_string(), body.to_string());
+            rest = &rest[len + 1..];
+        }
+        let mut get = |k: &str| sections.remove(k).ok_or(format!("missing section {k}"));
+        let body = get("body")?;
+        let plan_text = get("plan")?;
+        let findings = get("findings")?;
+        let meta_text = get("meta")?;
+        let mut meta = BTreeMap::new();
+        for line in meta_text.lines() {
+            let (k, v) = line.split_once(' ').ok_or("bad meta line")?;
+            let v: u64 = v.parse().map_err(|_| "bad meta value")?;
+            meta.insert(k.to_string(), v);
+        }
+        Ok(Fragment {
+            body,
+            plan_text,
+            findings,
+            meta,
+        })
+    }
+}
+
+/// Wraps `payload` with a magic line and an embedded SHA-256:
+/// `<magic>\nsha256 <hex>\n<payload>`. The digest covers exactly the
+/// payload bytes, so any torn, truncated or bit-flipped byte after the
+/// header fails verification on read.
+fn seal(magic: &str, payload: &[u8]) -> Vec<u8> {
+    let mut h = Sha256::new();
+    h.update(payload);
+    let digest = h.finish();
+    let mut out = Vec::with_capacity(payload.len() + 80);
+    out.extend_from_slice(magic.as_bytes());
+    out.push(b'\n');
+    out.extend_from_slice(b"sha256 ");
+    for b in digest {
+        out.extend_from_slice(format!("{b:02x}").as_bytes());
+    }
+    out.push(b'\n');
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Verifies a [`seal`]ed document, returning the payload slice.
+fn unseal<'a>(magic: &str, bytes: &'a [u8]) -> Result<&'a [u8], String> {
+    let mut rest = bytes;
+    let got_magic = take_line(&mut rest).ok_or("missing magic")?;
+    if got_magic != magic.as_bytes() {
+        return Err("bad magic".to_string());
+    }
+    let sha_line = take_line(&mut rest).ok_or("missing sha256 line")?;
+    let sha_line = std::str::from_utf8(sha_line).map_err(|_| "non-utf8 sha256 line")?;
+    let hex = sha_line
+        .strip_prefix("sha256 ")
+        .ok_or("bad sha256 line")?
+        .trim();
+    let mut h = Sha256::new();
+    h.update(rest);
+    let digest = h.finish();
+    let mut want = String::with_capacity(64);
+    for b in digest {
+        want.push_str(&format!("{b:02x}"));
+    }
+    if hex != want {
+        return Err("sha256 mismatch (corrupt or torn file)".to_string());
+    }
+    Ok(rest)
+}
+
+/// A decoded unit manifest: the composed artifact plus the hex keys of
+/// the fragments it was stitched from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// The composed unit artifact.
+    pub artifact: Artifact,
+    /// Hex keys of the per-function fragments the unit was built from
+    /// (empty for units cached whole, e.g. by older writers or the
+    /// non-incremental path).
+    pub frags: Vec<String>,
+}
+
+impl Manifest {
+    /// Serializes with the embedded integrity digest.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let artifact = self.artifact.to_bytes();
+        let mut payload = Vec::new();
+        payload.extend_from_slice(format!("frags {}\n", self.frags.len()).as_bytes());
+        for f in &self.frags {
+            payload.extend_from_slice(f.as_bytes());
+            payload.push(b'\n');
+        }
+        payload.extend_from_slice(format!("artifact {}\n", artifact.len()).as_bytes());
+        payload.extend_from_slice(&artifact);
+        seal(MANIFEST_MAGIC, &payload)
+    }
+
+    /// Parses and integrity-verifies a manifest.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Manifest, String> {
+        let mut rest = unseal(MANIFEST_MAGIC, bytes)?;
+        let header = take_line(&mut rest).ok_or("missing frags header")?;
+        let header = std::str::from_utf8(header).map_err(|_| "non-utf8 frags header")?;
+        let n: usize = header
+            .strip_prefix("frags ")
+            .and_then(|l| l.parse().ok())
+            .ok_or("bad frags header")?;
+        if n > 1 << 20 {
+            return Err("implausible fragment count".to_string());
+        }
+        let mut frags = Vec::with_capacity(n);
+        for _ in 0..n {
+            let line = take_line(&mut rest).ok_or("truncated fragment list")?;
+            let line = std::str::from_utf8(line).map_err(|_| "non-utf8 fragment key")?;
+            if line.len() != 64 || !line.bytes().all(|b| b.is_ascii_hexdigit()) {
+                return Err(format!("bad fragment key `{line}`"));
+            }
+            frags.push(line.to_string());
+        }
+        let header = take_line(&mut rest).ok_or("missing artifact header")?;
+        let header = std::str::from_utf8(header).map_err(|_| "non-utf8 artifact header")?;
+        let len: usize = header
+            .strip_prefix("artifact ")
+            .and_then(|l| l.parse().ok())
+            .ok_or("bad artifact header")?;
+        if rest.len() != len {
+            return Err("artifact length mismatch".to_string());
+        }
+        let artifact = Artifact::from_bytes(rest)?;
+        Ok(Manifest { artifact, frags })
+    }
+}
+
+// ---------------------------------------------------------------------
 // The cache
 // ---------------------------------------------------------------------
 
@@ -374,7 +628,111 @@ fn backoff_delay(key: &str, attempt: u32, elapsed: Duration) -> Option<Duration>
     }
 }
 
-/// Thread-safe two-level (memory + optional disk) artifact cache.
+/// How long an acquirer polls a held lease before proceeding without
+/// it. The lease is advisory — manifest publishes are atomic renames
+/// either way — so contention must never block a compile for long.
+const LEASE_RETRY: Duration = Duration::from_millis(25);
+
+/// A lease file untouched for this long is presumed abandoned on
+/// platforms where the owner pid can't be probed (on Linux, a dead
+/// owner is detected immediately via `/proc`).
+const LEASE_STALE: Duration = Duration::from_secs(2);
+
+/// An acquired owner-pid lease on the store (`store.lease`), released
+/// on drop. Serializes manifest commits across OS processes sharing one
+/// cache directory; a crashed owner's lease is stolen once it is
+/// provably stale.
+struct Lease {
+    path: PathBuf,
+}
+
+impl Lease {
+    /// Tries to take the lease, stealing stale ones. Returns `None`
+    /// after [`LEASE_RETRY`] of live contention — the caller proceeds
+    /// unleased (commits stay safe; they're atomic renames).
+    fn acquire(dir: &Path) -> Option<Lease> {
+        let path = dir.join("store.lease");
+        let start = Instant::now();
+        loop {
+            match std::fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&path)
+            {
+                Ok(mut f) => {
+                    use std::io::Write as _;
+                    let _ = write!(f, "{}", std::process::id());
+                    let _ = f.sync_all();
+                    return Some(Lease { path });
+                }
+                Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
+                    if lease_is_stale(&path) {
+                        let _ = std::fs::remove_file(&path);
+                        continue;
+                    }
+                }
+                Err(_) => return None,
+            }
+            if start.elapsed() > LEASE_RETRY {
+                return None;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+}
+
+impl Drop for Lease {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// Whether a held lease provably belongs to nobody: unparseable owner,
+/// a dead owner pid (Linux `/proc` probe), or an untouched file past
+/// the portable staleness bound.
+fn lease_is_stale(path: &Path) -> bool {
+    match std::fs::read_to_string(path) {
+        Ok(s) => match s.trim().parse::<u32>() {
+            Ok(pid) => {
+                if pid != std::process::id()
+                    && cfg!(target_os = "linux")
+                    && !Path::new(&format!("/proc/{pid}")).exists()
+                {
+                    return true;
+                }
+            }
+            Err(_) => return true,
+        },
+        // Vanished between create_new and here: retry the create.
+        Err(_) => return true,
+    }
+    matches!(
+        std::fs::metadata(path)
+            .and_then(|m| m.modified())
+            .map(|t| t.elapsed().unwrap_or(Duration::ZERO)),
+        Ok(age) if age > LEASE_STALE
+    )
+}
+
+/// Point-in-time store counters (schema-v7 stats `store` object).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Whole-unit hits (memory or verified manifest).
+    pub hits: u64,
+    /// Whole-unit misses.
+    pub misses: u64,
+    /// Per-function fragment hits (work skipped on a warm recompile).
+    pub partial_hits: u64,
+    /// Per-function fragment misses.
+    pub frag_misses: u64,
+    /// Files that failed integrity verification and were moved to
+    /// `corrupt/` (never silently reused).
+    pub quarantined: u64,
+}
+
+/// Thread-safe two-level (memory + optional disk) artifact store with
+/// per-function fragments, integrity verification, quarantine and an
+/// advisory cross-process lease (module docs have the full layout).
 ///
 /// Disk-write failures are retried with a short backoff; if a write
 /// still fails after [`WRITE_ATTEMPTS`] tries (read-only cache dir,
@@ -386,11 +744,19 @@ fn backoff_delay(key: &str, attempt: u32, elapsed: Duration) -> Option<Duration>
 pub struct ArtifactCache {
     dir: Option<PathBuf>,
     mem: Mutex<BTreeMap<CacheKey, Arc<Artifact>>>,
+    frag_mem: Mutex<BTreeMap<CacheKey, Arc<Fragment>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    partial_hits: AtomicU64,
+    frag_misses: AtomicU64,
+    quarantined: AtomicU64,
     faults: FaultPlan,
     disk_disabled: AtomicBool,
     degradation: Mutex<Option<String>>,
+    warnings: Mutex<Vec<String>>,
+    /// Serializes commits *within* this process so the on-disk lease
+    /// only ever mediates cross-process contention.
+    commit_lock: Mutex<()>,
 }
 
 impl ArtifactCache {
@@ -399,22 +765,30 @@ impl ArtifactCache {
         ArtifactCache {
             dir: None,
             mem: Mutex::new(BTreeMap::new()),
+            frag_mem: Mutex::new(BTreeMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            partial_hits: AtomicU64::new(0),
+            frag_misses: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
             faults: FaultPlan::quiet(0),
             disk_disabled: AtomicBool::new(false),
             degradation: Mutex::new(None),
+            warnings: Mutex::new(Vec::new()),
+            commit_lock: Mutex::new(()),
         }
     }
 
-    /// A cache persisted under `dir` (created if absent).
+    /// A cache persisted under `dir` (created if absent, together with
+    /// its `units/` and `frags/` tiers).
     ///
     /// # Errors
     ///
-    /// Returns the error of creating `dir`.
+    /// Returns the error of creating `dir` or its tiers.
     pub fn at_dir(dir: impl Into<PathBuf>) -> io::Result<ArtifactCache> {
         let dir = dir.into();
-        std::fs::create_dir_all(&dir)?;
+        std::fs::create_dir_all(dir.join("units"))?;
+        std::fs::create_dir_all(dir.join("frags"))?;
         Ok(ArtifactCache {
             dir: Some(dir),
             ..ArtifactCache::in_memory()
@@ -453,7 +827,11 @@ impl ArtifactCache {
         self.dir.as_deref()
     }
 
-    /// Looks `key` up (memory first, then disk), counting a hit or miss.
+    /// Looks `key` up (memory, then manifest tier, then the legacy flat
+    /// layout), counting a hit or miss. A file that fails integrity
+    /// verification is quarantined to `corrupt/` — moved aside once,
+    /// counted, one structured warning — and reads as a miss, so the
+    /// caller transparently recompiles.
     pub fn get(&self, key: &CacheKey) -> Option<Arc<Artifact>> {
         if let Some(a) = lock_recover(&self.mem).get(key).cloned() {
             self.hits.fetch_add(1, Ordering::Relaxed);
@@ -461,17 +839,36 @@ impl ArtifactCache {
         }
         if let Some(dir) = self.live_dir() {
             let hex = key.hex();
-            let path = dir.join(format!("{hex}.art"));
-            // Injected read fault: the stored artifact is served torn,
-            // which must degrade to a miss exactly like real corruption.
-            let torn = self.faults.fires(FaultSite::CacheRead, &hex);
-            if !torn {
-                if let Ok(bytes) = std::fs::read(&path) {
-                    if let Ok(a) = Artifact::from_bytes(&bytes) {
-                        let a = Arc::new(a);
-                        lock_recover(&self.mem).insert(*key, a.clone());
-                        self.hits.fetch_add(1, Ordering::Relaxed);
-                        return Some(a);
+            // Injected read fault: the stored bytes are served torn,
+            // which must degrade to a miss. The file itself is intact,
+            // so nothing is quarantined.
+            if !self.faults.fires(FaultSite::CacheRead, &hex) {
+                let man_path = dir.join("units").join(format!("{hex}.man"));
+                if let Ok(bytes) = std::fs::read(&man_path) {
+                    match Manifest::from_bytes(&bytes) {
+                        Ok(m) => {
+                            let a = Arc::new(m.artifact);
+                            lock_recover(&self.mem).insert(*key, a.clone());
+                            self.hits.fetch_add(1, Ordering::Relaxed);
+                            return Some(a);
+                        }
+                        Err(why) => self.quarantine(dir, &man_path, &why),
+                    }
+                }
+                // Legacy flat layout from pre-manifest writers: still
+                // served, with the same quarantine-on-corruption policy
+                // (legacy files have no embedded digest; the structural
+                // parser is the integrity check).
+                let legacy = dir.join(format!("{hex}.art"));
+                if let Ok(bytes) = std::fs::read(&legacy) {
+                    match Artifact::from_bytes(&bytes) {
+                        Ok(a) => {
+                            let a = Arc::new(a);
+                            lock_recover(&self.mem).insert(*key, a.clone());
+                            self.hits.fetch_add(1, Ordering::Relaxed);
+                            return Some(a);
+                        }
+                        Err(why) => self.quarantine(dir, &legacy, &why),
                     }
                 }
             }
@@ -480,14 +877,110 @@ impl ArtifactCache {
         None
     }
 
+    /// Looks a per-function fragment up (memory, then `frags/`),
+    /// counting a partial hit or fragment miss. Corrupt fragments are
+    /// quarantined exactly like manifests.
+    pub fn get_fragment(&self, key: &CacheKey) -> Option<Arc<Fragment>> {
+        if let Some(f) = lock_recover(&self.frag_mem).get(key).cloned() {
+            self.partial_hits.fetch_add(1, Ordering::Relaxed);
+            return Some(f);
+        }
+        if let Some(dir) = self.live_dir() {
+            let fhex = key.hex();
+            if !self.faults.fires(FaultSite::CacheRead, &fhex) {
+                let path = dir.join("frags").join(format!("{fhex}.frag"));
+                if let Ok(bytes) = std::fs::read(&path) {
+                    match Fragment::from_bytes(&bytes) {
+                        Ok(f) => {
+                            let f = Arc::new(f);
+                            lock_recover(&self.frag_mem).insert(*key, f.clone());
+                            self.partial_hits.fetch_add(1, Ordering::Relaxed);
+                            return Some(f);
+                        }
+                        Err(why) => self.quarantine(dir, &path, &why),
+                    }
+                }
+            }
+        }
+        self.frag_misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
     /// Stores `artifact` under `key` in memory and (atomically, with
-    /// bounded retry) on disk. Persistent disk failure disables the
-    /// disk layer for the rest of the run — see
+    /// bounded retry) on disk. Equivalent to [`ArtifactCache::put_unit`]
+    /// with no fragments. Persistent disk failure disables the disk
+    /// layer for the rest of the run — see
     /// [`ArtifactCache::degradation_warning`].
     pub fn put(&self, key: &CacheKey, artifact: Arc<Artifact>) {
+        self.put_unit(key, artifact, &[]);
+    }
+
+    /// Commits a unit: fragments first (content-addressed, fsynced),
+    /// then the manifest by an atomic temp-file + rename — the
+    /// crash-safety ordering from the module docs. Commits serialize on
+    /// the in-process lock and the advisory cross-process lease; a
+    /// crash anywhere before the manifest rename leaves the old unit
+    /// (or a clean miss) visible, never a hybrid.
+    pub fn put_unit(
+        &self,
+        key: &CacheKey,
+        artifact: Arc<Artifact>,
+        frags: &[(CacheKey, Arc<Fragment>)],
+    ) {
+        {
+            let mut mem = lock_recover(&self.frag_mem);
+            for (fk, frag) in frags {
+                mem.insert(*fk, frag.clone());
+            }
+        }
         if let Some(dir) = self.live_dir() {
             let hex = key.hex();
-            let bytes = artifact.to_bytes();
+            // In-process commits serialize here, so the on-disk lease
+            // only ever mediates *cross-process* writers.
+            let _guard = lock_recover(&self.commit_lock);
+            let _lease = Lease::acquire(dir);
+            // 1. Fragments, fsynced before the manifest that lists them.
+            //    Content-addressed, so a crash that strands some is
+            //    harmless: unreachable at worst, a warm start at best.
+            let mut listed = Vec::with_capacity(frags.len());
+            for (fk, frag) in frags {
+                let fhex = fk.hex();
+                let path = dir.join("frags").join(format!("{fhex}.frag"));
+                if path.exists() {
+                    listed.push(fhex);
+                    continue;
+                }
+                let mut bytes = frag.to_bytes();
+                if self.faults.fires(FaultSite::StoreFragCorrupt, &fhex) {
+                    // Injected storage rot: flip one payload bit so the
+                    // embedded digest fails on the next read.
+                    if let Some(last) = bytes.last_mut() {
+                        *last ^= 0x01;
+                    }
+                }
+                if write_file_durable(dir, "frags", &fhex, "frag", &bytes).is_ok() {
+                    listed.push(fhex);
+                }
+            }
+            // 2. Simulated writer death between fragment write and
+            //    manifest rename: nothing is published (and nothing
+            //    reaches this process's unit memory) — a fresh reader
+            //    sees either the old unit or a clean miss.
+            if self.faults.fires(FaultSite::StorePutCrash, &hex) {
+                return;
+            }
+            // 3. The manifest commit itself, with bounded retry.
+            let manifest = Manifest {
+                artifact: (*artifact).clone(),
+                frags: listed,
+            };
+            let mut bytes = manifest.to_bytes();
+            if self.faults.fires(FaultSite::StoreTornManifest, &hex) {
+                // Injected torn publish (power loss mid-write): only a
+                // prefix reaches disk. The embedded digest catches it
+                // on the next read and the file is quarantined.
+                bytes.truncate(bytes.len() / 2);
+            }
             let mut last_err = String::new();
             let mut wrote = false;
             let retry_start = Instant::now();
@@ -515,27 +1008,40 @@ impl ArtifactCache {
         lock_recover(&self.mem).insert(*key, artifact);
     }
 
-    /// One atomic write attempt (temp file + rename), with the
-    /// fault-injection probe for `attempt`.
+    /// One atomic manifest write attempt (durable temp file + rename),
+    /// with the fault-injection probe for `attempt`.
     fn write_once(&self, dir: &Path, hex: &str, bytes: &[u8], attempt: u32) -> io::Result<()> {
         if self.faults.write_attempt_fails(hex, attempt) {
             return Err(io::Error::other(format!(
                 "injected cache-write fault (attempt {attempt})"
             )));
         }
-        // Tmp names carry a per-write sequence number: two threads
-        // missing on the same key must not share one tmp path, or a
-        // concurrent truncate + rename can publish a torn artifact.
-        static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
-        let seq = TMP_SEQ.fetch_add(1, Ordering::Relaxed);
-        let final_path = dir.join(format!("{hex}.art"));
-        let tmp_path = dir.join(format!(".{hex}.{}.{seq}.tmp", std::process::id()));
-        std::fs::write(&tmp_path, bytes)?;
-        if let Err(e) = std::fs::rename(&tmp_path, &final_path) {
-            let _ = std::fs::remove_file(&tmp_path);
-            return Err(e);
+        write_file_durable(dir, "units", hex, "man", bytes)
+    }
+
+    /// Moves a file that failed integrity verification into `corrupt/`
+    /// under a unique name, counts it, and records one structured
+    /// warning. The file is never read again — a lost race (another
+    /// process already moved it) counts and warns nowhere.
+    fn quarantine(&self, dir: &Path, path: &Path, why: &str) {
+        static QUAR_SEQ: AtomicU64 = AtomicU64::new(0);
+        let corrupt = dir.join("corrupt");
+        let _ = std::fs::create_dir_all(&corrupt);
+        let name = path
+            .file_name()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "unnamed".to_string());
+        let seq = QUAR_SEQ.fetch_add(1, Ordering::Relaxed);
+        let dest = corrupt.join(format!("{name}.{}.{seq}", std::process::id()));
+        if std::fs::rename(path, &dest).is_ok() {
+            self.quarantined.fetch_add(1, Ordering::Relaxed);
+            lock_recover(&self.warnings).push(format!(
+                "quarantined corrupt store file `{}` -> `{}` ({why}); \
+                 the unit will be recompiled",
+                path.display(),
+                dest.display()
+            ));
         }
-        Ok(())
     }
 
     /// Degrades the cache to memory-only, recording the warning once.
@@ -554,15 +1060,81 @@ impl ArtifactCache {
         ));
     }
 
-    /// Hits served since construction.
+    /// Whole-unit hits served since construction.
     pub fn hits(&self) -> u64 {
         self.hits.load(Ordering::Relaxed)
     }
 
-    /// Misses since construction.
+    /// Whole-unit misses since construction.
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
     }
+
+    /// Per-function fragment hits since construction.
+    pub fn partial_hits(&self) -> u64 {
+        self.partial_hits.load(Ordering::Relaxed)
+    }
+
+    /// Per-function fragment misses since construction.
+    pub fn frag_misses(&self) -> u64 {
+        self.frag_misses.load(Ordering::Relaxed)
+    }
+
+    /// Files quarantined to `corrupt/` since construction.
+    pub fn quarantined(&self) -> u64 {
+        self.quarantined.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time snapshot of every store counter.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits(),
+            misses: self.misses(),
+            partial_hits: self.partial_hits(),
+            frag_misses: self.frag_misses(),
+            quarantined: self.quarantined(),
+        }
+    }
+
+    /// Drains the structured warnings recorded so far (quarantine
+    /// events). Drivers print each once.
+    pub fn drain_warnings(&self) -> Vec<String> {
+        std::mem::take(&mut *lock_recover(&self.warnings))
+    }
+}
+
+/// Writes `bytes` durably to `<dir>/<sub>/<stem>.<ext>`: unique temp
+/// file, `fsync`, then an atomic rename, so a reader never observes a
+/// half-written file under the final name. Tmp names carry a per-write
+/// sequence number: two threads writing the same key must not share one
+/// tmp path, or a concurrent truncate + rename can publish a torn file.
+fn write_file_durable(
+    dir: &Path,
+    sub: &str,
+    stem: &str,
+    ext: &str,
+    bytes: &[u8],
+) -> io::Result<()> {
+    static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+    let seq = TMP_SEQ.fetch_add(1, Ordering::Relaxed);
+    let sub = dir.join(sub);
+    let final_path = sub.join(format!("{stem}.{ext}"));
+    let tmp_path = sub.join(format!(".{stem}.{}.{seq}.tmp", std::process::id()));
+    let mut f = std::fs::File::create(&tmp_path)?;
+    {
+        use std::io::Write as _;
+        if let Err(e) = f.write_all(bytes).and_then(|()| f.sync_all()) {
+            drop(f);
+            let _ = std::fs::remove_file(&tmp_path);
+            return Err(e);
+        }
+    }
+    drop(f);
+    if let Err(e) = std::fs::rename(&tmp_path, &final_path) {
+        let _ = std::fs::remove_file(&tmp_path);
+        return Err(e);
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -738,11 +1310,21 @@ mod tests {
         let got = fresh.get(&key).expect("disk hit");
         assert_eq!(*got, *artifact);
         assert_eq!(fresh.hits(), 1);
-        // Corrupt the stored file: the entry degrades to a miss.
-        let path = dir.join(format!("{}.art", key.hex()));
+        // Corrupt the stored manifest: the entry is quarantined (moved
+        // aside, counted, one warning) and degrades to a miss.
+        let path = dir.join("units").join(format!("{}.man", key.hex()));
         std::fs::write(&path, b"garbage").unwrap();
         let fresh2 = ArtifactCache::at_dir(&dir).unwrap();
         assert!(fresh2.get(&key).is_none());
+        assert_eq!(fresh2.quarantined(), 1);
+        assert!(!path.exists(), "corrupt file moved to corrupt/");
+        let warnings = fresh2.drain_warnings();
+        assert_eq!(warnings.len(), 1, "{warnings:?}");
+        assert!(warnings[0].contains("quarantined"), "{warnings:?}");
+        // Re-read: a plain miss now — quarantine happens exactly once.
+        assert!(fresh2.get(&key).is_none());
+        assert_eq!(fresh2.quarantined(), 1);
+        assert!(fresh2.drain_warnings().is_empty());
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -902,6 +1484,179 @@ mod tests {
         let fresh = ArtifactCache::at_dir(&dir).unwrap();
         let got = fresh.get(&key).expect("published artifact parses");
         assert!(got.c_code.starts_with("// writer "));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn tiny_fragment(tag: &str) -> Arc<Fragment> {
+        Arc::new(Fragment {
+            body: format!("static void f_{tag}(void) {{\n}}\n"),
+            plan_text: format!("function {tag}:\n  slot 0\n"),
+            findings: String::new(),
+            meta: BTreeMap::from([("plan_slots".to_string(), 1u64)]),
+        })
+    }
+
+    #[test]
+    fn fragment_and_manifest_roundtrip_and_detect_every_bit_flip() {
+        let frag = (*tiny_fragment("g")).clone();
+        let bytes = frag.to_bytes();
+        assert_eq!(Fragment::from_bytes(&bytes).unwrap(), frag);
+        // Any single flipped bit — header or payload — fails parsing or
+        // the embedded digest; nothing corrupt ever parses.
+        for i in 0..bytes.len() {
+            let mut b = bytes.clone();
+            b[i] ^= 0x40;
+            assert!(
+                Fragment::from_bytes(&b).is_err(),
+                "flip at byte {i} accepted"
+            );
+        }
+        assert!(Fragment::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+
+        let man = Manifest {
+            artifact: (*tiny_artifact("m")).clone(),
+            frags: vec![CacheKey::compute(["f"], "fp").hex()],
+        };
+        let bytes = man.to_bytes();
+        assert_eq!(Manifest::from_bytes(&bytes).unwrap(), man);
+        let mut torn = bytes.clone();
+        torn.truncate(bytes.len() / 2);
+        assert!(Manifest::from_bytes(&torn).is_err(), "torn prefix accepted");
+        let mut flipped = bytes.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x01;
+        assert!(Manifest::from_bytes(&flipped).is_err());
+    }
+
+    #[test]
+    fn corrupt_legacy_artifact_is_quarantined_once_with_one_warning() {
+        let dir = std::env::temp_dir().join(format!("matc-cache-quar-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = ArtifactCache::at_dir(&dir).unwrap();
+        let key = CacheKey::compute(["legacy"], "fp");
+        // Hand-corrupted flat file where pre-manifest writers put
+        // artifacts: it must be moved aside once, not retried forever.
+        let legacy = dir.join(format!("{}.art", key.hex()));
+        std::fs::write(&legacy, b"not an artifact").unwrap();
+        assert!(cache.get(&key).is_none());
+        assert_eq!(cache.quarantined(), 1);
+        assert!(!legacy.exists(), "corrupt file left in place");
+        assert_eq!(std::fs::read_dir(dir.join("corrupt")).unwrap().count(), 1);
+        let warnings = cache.drain_warnings();
+        assert_eq!(warnings.len(), 1, "{warnings:?}");
+        assert!(warnings[0].contains(".art"), "{warnings:?}");
+        // Second read: a clean miss, no second quarantine or warning.
+        assert!(cache.get(&key).is_none());
+        assert_eq!(cache.quarantined(), 1);
+        assert!(cache.drain_warnings().is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn put_unit_fragments_roundtrip_across_instances() {
+        let dir = std::env::temp_dir().join(format!("matc-cache-frag-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let key = CacheKey::compute(["unit"], "fp");
+        let fk = CacheKey::compute_parts("matc-frag-v1", ["fp", "ir of g"]);
+        let frag = tiny_fragment("g");
+        {
+            let cache = ArtifactCache::at_dir(&dir).unwrap();
+            cache.put_unit(&key, tiny_artifact("u"), &[(fk, frag.clone())]);
+        }
+        // A fresh instance (fresh process) serves both tiers off disk.
+        let fresh = ArtifactCache::at_dir(&dir).unwrap();
+        assert!(fresh.get(&key).is_some());
+        assert_eq!(*fresh.get_fragment(&fk).expect("fragment hit"), *frag);
+        assert_eq!(
+            fresh.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 0,
+                partial_hits: 1,
+                frag_misses: 0,
+                quarantined: 0,
+            }
+        );
+        // Unknown fragment key: a counted fragment miss.
+        let other = CacheKey::compute_parts("matc-frag-v1", ["other"]);
+        assert!(fresh.get_fragment(&other).is_none());
+        assert_eq!(fresh.frag_misses(), 1);
+        // The lease never outlives its commit.
+        assert!(!dir.join("store.lease").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn put_crash_publishes_nothing_and_torn_manifest_heals() {
+        let dir = std::env::temp_dir().join(format!("matc-cache-crash-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let key = CacheKey::compute(["unit"], "fp");
+        let old = tiny_artifact("old");
+        ArtifactCache::at_dir(&dir).unwrap().put(&key, old.clone());
+        // A writer dying between fragment write and manifest rename
+        // publishes nothing: a fresh process still sees the old unit.
+        let crashing = ArtifactCache::at_dir(&dir)
+            .unwrap()
+            .with_faults(FaultPlan::quiet(1).put_crashes(100));
+        crashing.put(&key, tiny_artifact("new"));
+        let fresh = ArtifactCache::at_dir(&dir).unwrap();
+        assert_eq!(*fresh.get(&key).expect("old unit intact"), *old);
+        // A torn manifest publish fails its embedded digest on the next
+        // read, is quarantined, and reads as a clean miss.
+        let tearing = ArtifactCache::at_dir(&dir)
+            .unwrap()
+            .with_faults(FaultPlan::quiet(1).torn_manifests(100));
+        tearing.put(&key, tiny_artifact("newer"));
+        let fresh2 = ArtifactCache::at_dir(&dir).unwrap();
+        assert!(fresh2.get(&key).is_none(), "torn manifest must not serve");
+        assert_eq!(fresh2.quarantined(), 1);
+        // Self-healing: the recompiled unit commits and serves again.
+        fresh2.put(&key, tiny_artifact("healed"));
+        let fresh3 = ArtifactCache::at_dir(&dir).unwrap();
+        assert_eq!(fresh3.get(&key).unwrap().c_code, "// healed\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_fragment_corruption_quarantines_on_read_and_reheals() {
+        let dir = std::env::temp_dir().join(format!("matc-cache-rot-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let key = CacheKey::compute(["unit"], "fp");
+        let fk = CacheKey::compute_parts("matc-frag-v1", ["fp", "ir of g"]);
+        let frag = tiny_fragment("g");
+        let corrupting = ArtifactCache::at_dir(&dir)
+            .unwrap()
+            .with_faults(FaultPlan::quiet(1).frag_corruptions(100));
+        corrupting.put_unit(&key, tiny_artifact("u"), &[(fk, frag.clone())]);
+        // Fresh process: the manifest is fine, but the rotted fragment
+        // fails its digest, is quarantined, and reads as a miss — never
+        // served corrupt.
+        let fresh = ArtifactCache::at_dir(&dir).unwrap();
+        assert!(fresh.get(&key).is_some(), "manifest unaffected by rot");
+        assert!(fresh.get_fragment(&fk).is_none());
+        assert_eq!((fresh.quarantined(), fresh.frag_misses()), (1, 1));
+        // Healing: a clean rewrite of the same fragment serves again.
+        fresh.put_unit(&key, tiny_artifact("u"), &[(fk, frag.clone())]);
+        let fresh2 = ArtifactCache::at_dir(&dir).unwrap();
+        assert_eq!(*fresh2.get_fragment(&fk).unwrap(), *frag);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_lease_is_stolen_and_live_lease_is_respected() {
+        let dir = std::env::temp_dir().join(format!("matc-cache-lease-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        // An unparseable owner is provably stale: stolen immediately.
+        std::fs::write(dir.join("store.lease"), b"not-a-pid").unwrap();
+        let held = Lease::acquire(&dir).expect("stale lease stolen");
+        // A live lease (fresh, owned by a running pid) is respected:
+        // the contender times out and proceeds unleased instead of
+        // stealing or blocking.
+        assert!(Lease::acquire(&dir).is_none());
+        drop(held);
+        assert!(!dir.join("store.lease").exists(), "released on drop");
+        assert!(Lease::acquire(&dir).is_some());
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

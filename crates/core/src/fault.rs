@@ -34,6 +34,21 @@
 //! * `NetTorn` — a torn response: only a prefix of the response frame
 //!   is written before the connection is closed.
 //!
+//! Artifact-store probe sites, exercised by the crash-consistency
+//! matrix over the fragment/manifest store (DESIGN.md §12; keys are
+//! fragment/unit hashes, so one seed reproduces one corruption
+//! schedule):
+//!
+//! * `StoreFragCorrupt` — a fragment is bit-flipped on its way to disk,
+//!   so the embedded SHA-256 must catch it on read and quarantine it;
+//! * `StoreTornManifest` — only a prefix of a unit manifest reaches
+//!   disk (a torn write/rename), which integrity verification must
+//!   degrade to a miss, never a hybrid unit;
+//! * `StorePutCrash` — the writer "crashes" between committing its
+//!   fragments and renaming the manifest: fragments land, the manifest
+//!   never does, and a fresh process must see either the complete old
+//!   unit or a clean miss.
+//!
 //! Plans are enabled via the `MATC_FAULTS` environment variable or the
 //! `--faults` CLI flag, both taking the spec grammar of
 //! [`FaultPlan::parse`].
@@ -62,6 +77,13 @@ pub enum FaultSite {
     NetStall,
     /// Torn response: only a prefix of the response frame is written.
     NetTorn,
+    /// Store fragment bit-flipped on its way to disk (caught by the
+    /// embedded SHA-256 on read, then quarantined).
+    StoreFragCorrupt,
+    /// Only a prefix of a unit manifest reaches disk (torn write).
+    StoreTornManifest,
+    /// Writer crash between fragment commit and manifest rename.
+    StorePutCrash,
 }
 
 impl FaultSite {
@@ -75,6 +97,9 @@ impl FaultSite {
             FaultSite::NetDisconnect => 0xbb67_ae85_84ca_a73b,
             FaultSite::NetStall => 0x3c6e_f372_fe94_f82b,
             FaultSite::NetTorn => 0xa54f_f53a_5f1d_36f1,
+            FaultSite::StoreFragCorrupt => 0x510e_527f_ade6_82d1,
+            FaultSite::StoreTornManifest => 0x9b05_688c_2b3e_6c1f,
+            FaultSite::StorePutCrash => 0x5be0_cd19_137e_2179,
         }
     }
 }
@@ -110,6 +135,13 @@ pub struct FaultPlan {
     pub net_stall_pct: u8,
     /// Percentage (0–100) of responses torn after a prefix.
     pub net_torn_pct: u8,
+    /// Percentage (0–100) of store fragments bit-flipped on write.
+    pub store_frag_corrupt_pct: u8,
+    /// Percentage (0–100) of unit manifests torn after a prefix.
+    pub store_torn_manifest_pct: u8,
+    /// Percentage (0–100) of unit puts that crash between fragment
+    /// commit and manifest rename.
+    pub store_put_crash_pct: u8,
 }
 
 impl FaultPlan {
@@ -127,6 +159,9 @@ impl FaultPlan {
             net_disconnect_pct: 0,
             net_stall_pct: 0,
             net_torn_pct: 0,
+            store_frag_corrupt_pct: 0,
+            store_torn_manifest_pct: 0,
+            store_put_crash_pct: 0,
         }
     }
 
@@ -178,6 +213,31 @@ impl FaultPlan {
         plan.net_torn_pct = RATES[((h >> 6) & 3) as usize];
         if seed % 8 >= 6 {
             plan.phase_panic_pct = RATES[1 + ((h >> 8) & 1) as usize];
+        }
+        plan
+    }
+
+    /// Derives a store-chaos plan from a seed alone, for the artifact
+    /// store's crash-consistency matrix: every 8th seed is a fault-free
+    /// control, and the rest pick each store site's rate from
+    /// {0, 10, 30, 100} by the seed's hash bits, with two of every
+    /// eight seeds also corrupting legacy cache reads so the matrix
+    /// crosses write-side corruption with read-side corruption.
+    /// Pipeline panic/audit faults stay off — the store matrix pins
+    /// healed units byte-identical to the fault-free reference, which
+    /// requires the *compiles* themselves to stay pristine.
+    pub fn store_from_seed(seed: u64) -> FaultPlan {
+        if seed.is_multiple_of(8) {
+            return FaultPlan::quiet(seed);
+        }
+        const RATES: [u8; 4] = [0, 10, 30, 100];
+        let h = splitmix64(seed ^ 0x7137_4491_23ef_65cd);
+        let mut plan = FaultPlan::quiet(seed);
+        plan.store_frag_corrupt_pct = RATES[(h & 3) as usize];
+        plan.store_torn_manifest_pct = RATES[((h >> 2) & 3) as usize];
+        plan.store_put_crash_pct = RATES[((h >> 4) & 3) as usize];
+        if seed % 8 >= 6 {
+            plan.cache_read_pct = RATES[1 + ((h >> 6) & 1) as usize];
         }
         plan
     }
@@ -237,6 +297,25 @@ impl FaultPlan {
         self
     }
 
+    /// Sets the fragment write-corruption rate (builder style).
+    pub fn frag_corruptions(mut self, pct: u8) -> FaultPlan {
+        self.store_frag_corrupt_pct = pct.min(100);
+        self
+    }
+
+    /// Sets the torn-manifest rate (builder style).
+    pub fn torn_manifests(mut self, pct: u8) -> FaultPlan {
+        self.store_torn_manifest_pct = pct.min(100);
+        self
+    }
+
+    /// Sets the crash-between-fragment-and-manifest rate (builder
+    /// style).
+    pub fn put_crashes(mut self, pct: u8) -> FaultPlan {
+        self.store_put_crash_pct = pct.min(100);
+        self
+    }
+
     /// Whether any site has a non-zero rate.
     pub fn any_enabled(&self) -> bool {
         self.cache_read_pct > 0
@@ -244,6 +323,7 @@ impl FaultPlan {
             || self.phase_panic_pct > 0
             || self.audit_violation_pct > 0
             || self.any_net_enabled()
+            || self.any_store_enabled()
     }
 
     /// Whether any network probe site has a non-zero rate.
@@ -252,6 +332,13 @@ impl FaultPlan {
             || self.net_disconnect_pct > 0
             || self.net_stall_pct > 0
             || self.net_torn_pct > 0
+    }
+
+    /// Whether any artifact-store probe site has a non-zero rate.
+    pub fn any_store_enabled(&self) -> bool {
+        self.store_frag_corrupt_pct > 0
+            || self.store_torn_manifest_pct > 0
+            || self.store_put_crash_pct > 0
     }
 
     /// Whether the probe at `site` keyed by `key` fires. Deterministic
@@ -266,6 +353,9 @@ impl FaultPlan {
             FaultSite::NetDisconnect => self.net_disconnect_pct,
             FaultSite::NetStall => self.net_stall_pct,
             FaultSite::NetTorn => self.net_torn_pct,
+            FaultSite::StoreFragCorrupt => self.store_frag_corrupt_pct,
+            FaultSite::StoreTornManifest => self.store_torn_manifest_pct,
+            FaultSite::StorePutCrash => self.store_put_crash_pct,
         };
         if pct == 0 {
             return false;
@@ -295,7 +385,9 @@ impl FaultPlan {
     /// `seed=42,read=10,write=30,panic=0,audit=100,transient=2`.
     /// `transient=max` makes write faults persistent. Network probe
     /// rates take the keys `accept=`, `disconnect=`, `stall=` and
-    /// `torn=` (all default 0). A spec without `seed` is an error.
+    /// `torn=`; artifact-store probe rates take `fragcorrupt=`,
+    /// `manifesttorn=` and `putcrash=` (all default 0). A spec without
+    /// `seed` is an error.
     ///
     /// # Errors
     ///
@@ -346,6 +438,9 @@ impl FaultPlan {
                 "disconnect" => plan.net_disconnect_pct = pct(&v)?,
                 "stall" => plan.net_stall_pct = pct(&v)?,
                 "torn" => plan.net_torn_pct = pct(&v)?,
+                "fragcorrupt" => plan.store_frag_corrupt_pct = pct(&v)?,
+                "manifesttorn" => plan.store_torn_manifest_pct = pct(&v)?,
+                "putcrash" => plan.store_put_crash_pct = pct(&v)?,
                 "transient" => {
                     plan.write_transient = if v == "max" {
                         u8::MAX
@@ -395,6 +490,13 @@ impl fmt::Display for FaultPlan {
                 f,
                 ",accept={},disconnect={},stall={},torn={}",
                 self.net_accept_pct, self.net_disconnect_pct, self.net_stall_pct, self.net_torn_pct
+            )?;
+        }
+        if self.any_store_enabled() {
+            write!(
+                f,
+                ",fragcorrupt={},manifesttorn={},putcrash={}",
+                self.store_frag_corrupt_pct, self.store_torn_manifest_pct, self.store_put_crash_pct
             )?;
         }
         Ok(())
@@ -484,6 +586,77 @@ mod tests {
             let p = FaultPlan::from_seed(seed);
             assert!(!p.any_net_enabled(), "seed {seed} gained a net fault");
         }
+    }
+
+    #[test]
+    fn pipeline_and_net_mixtures_never_enable_store_probes() {
+        // Both pinned matrices predate the store sites; adding them
+        // must not perturb any existing seed's plan.
+        for seed in 0..200 {
+            assert!(
+                !FaultPlan::from_seed(seed).any_store_enabled(),
+                "from_seed {seed} gained a store fault"
+            );
+            assert!(
+                !FaultPlan::net_from_seed(seed).any_store_enabled(),
+                "net_from_seed {seed} gained a store fault"
+            );
+        }
+    }
+
+    #[test]
+    fn store_seed_mixture_covers_all_corruption_fates() {
+        let plans: Vec<FaultPlan> = (0..50).map(FaultPlan::store_from_seed).collect();
+        assert!(plans.iter().any(|p| !p.any_enabled()), "some seeds quiet");
+        assert!(plans.iter().any(|p| p.store_frag_corrupt_pct > 0));
+        assert!(plans.iter().any(|p| p.store_torn_manifest_pct > 0));
+        assert!(plans.iter().any(|p| p.store_put_crash_pct > 0));
+        assert!(
+            plans
+                .iter()
+                .any(|p| p.cache_read_pct > 0 && p.any_store_enabled()),
+            "some seeds cross write-side with read-side corruption"
+        );
+        assert!(
+            plans
+                .iter()
+                .all(|p| p.phase_panic_pct == 0 && p.audit_violation_pct == 0),
+            "store matrix keeps the compiles themselves pristine"
+        );
+    }
+
+    #[test]
+    fn store_spec_keys_parse_and_round_trip() {
+        let p = FaultPlan::parse("seed=4,fragcorrupt=10,manifesttorn=30,putcrash=100").unwrap();
+        assert_eq!(p.store_frag_corrupt_pct, 10);
+        assert_eq!(p.store_torn_manifest_pct, 30);
+        assert_eq!(p.store_put_crash_pct, 100);
+        assert!(p.any_store_enabled() && p.any_enabled());
+        let rendered = p.to_string();
+        assert!(
+            rendered.contains("putcrash=100"),
+            "store rates render: {rendered}"
+        );
+        assert_eq!(FaultPlan::parse(&rendered).unwrap(), p);
+        assert!(FaultPlan::parse("seed=1,fragcorrupt=101").is_err());
+        assert!(
+            !FaultPlan::quiet(3).to_string().contains("fragcorrupt="),
+            "all-zero store rates stay out of the rendering"
+        );
+    }
+
+    #[test]
+    fn store_sites_are_independent_of_pipeline_sites() {
+        let p = FaultPlan::quiet(9).put_crashes(100);
+        assert!(p.fires(FaultSite::StorePutCrash, "deadbeef"));
+        assert!(!p.fires(FaultSite::StoreFragCorrupt, "deadbeef"));
+        assert!(!p.fires(FaultSite::StoreTornManifest, "deadbeef"));
+        assert!(!p.fires(FaultSite::CacheWrite, "deadbeef"));
+        let partial = FaultPlan::quiet(9).frag_corruptions(50);
+        let fates: Vec<bool> = (0..64)
+            .map(|i| partial.fires(FaultSite::StoreFragCorrupt, &format!("frag{i}")))
+            .collect();
+        assert!(fates.iter().any(|b| *b) && fates.iter().any(|b| !*b));
     }
 
     #[test]

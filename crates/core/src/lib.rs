@@ -53,7 +53,7 @@ pub mod order;
 pub mod plan;
 
 pub use breaker::{BreakerConfig, BreakerDecision, BreakerMap, BreakerState};
-pub use cache::{options_fingerprint, Artifact, ArtifactCache, CacheKey};
+pub use cache::{options_fingerprint, Artifact, ArtifactCache, CacheKey, CacheStats, Fragment};
 pub use coloring::{Coloring, ColoringStrategy};
 pub use fault::{FaultPlan, FaultSite, FAULTS_ENV};
 pub use interference::{InterferenceGraph, InterferenceOptions};

@@ -87,6 +87,10 @@ pub enum CacheOutcome {
     Hit,
     /// Key absent: the unit was compiled and the result stored.
     Miss,
+    /// Unit key absent, but per-function fragments served part of the
+    /// compile — a warm recompile after an edit that reused every
+    /// untouched function's stored plan/codegen work.
+    Partial,
 }
 
 impl CacheOutcome {
@@ -96,6 +100,7 @@ impl CacheOutcome {
             CacheOutcome::Bypass => "bypass",
             CacheOutcome::Hit => "hit",
             CacheOutcome::Miss => "miss",
+            CacheOutcome::Partial => "partial",
         }
     }
 }
@@ -427,6 +432,15 @@ pub struct BatchReport {
     pub cache_hits: u64,
     /// Units compiled (cache consulted but absent) this run.
     pub cache_misses: u64,
+    /// Per-function fragments served from the store this run (the
+    /// incremental-compilation counter: each one is a function whose
+    /// plan/audit/codegen work was skipped).
+    pub cache_partial_hits: u64,
+    /// Per-function fragment misses this run.
+    pub cache_frag_misses: u64,
+    /// Store files that failed integrity verification and were
+    /// quarantined to `corrupt/` this run.
+    pub cache_quarantined: u64,
     /// Per-unit metrics, in input order.
     pub units: Vec<UnitMetrics>,
 }
@@ -460,8 +474,12 @@ impl BatchReport {
     /// `audit` object (PR 6); from 5 to 6 when `matc shadow --stats`
     /// began emitting the same document shape with `"kind":"shadow"`
     /// and a top-level `shadow` object carrying the plan-vs-reality
-    /// replay counters (PR 7, [`ShadowStats`]).
-    pub const SCHEMA_VERSION: u32 = 6;
+    /// replay counters (PR 7, [`ShadowStats`]); from 6 to 7 when the
+    /// crash-safe artifact store's counters (`partial_hits`,
+    /// `frag_misses`, `quarantined`) joined the top-level `cache`
+    /// object and the per-unit `cache` value gained `"partial"`
+    /// (PR 8, function-granular incremental compilation).
+    pub const SCHEMA_VERSION: u32 = 7;
 
     /// The full stats document (`matc batch --stats`), `"kind":"batch"`.
     pub fn to_json(&self) -> String {
@@ -483,8 +501,13 @@ impl BatchReport {
         let _ = write!(s, ",\"wall_micros\":{}", self.wall_micros);
         let _ = write!(
             s,
-            ",\"cache\":{{\"hits\":{},\"misses\":{}}}",
-            self.cache_hits, self.cache_misses
+            ",\"cache\":{{\"hits\":{},\"misses\":{},\"partial_hits\":{},\
+             \"frag_misses\":{},\"quarantined\":{}}}",
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_partial_hits,
+            self.cache_frag_misses,
+            self.cache_quarantined
         );
         s.push_str(",\"phase_totals_micros\":{");
         for (i, p) in Phase::ALL.iter().enumerate() {
@@ -542,6 +565,20 @@ impl BatchReport {
             self.wall_micros,
             self.jobs
         );
+        if self.cache_partial_hits > 0 {
+            let _ = writeln!(
+                s,
+                "{} per-function fragment(s) reused incrementally",
+                self.cache_partial_hits
+            );
+        }
+        if self.cache_quarantined > 0 {
+            let _ = writeln!(
+                s,
+                "{} corrupt store file(s) quarantined and recompiled",
+                self.cache_quarantined
+            );
+        }
         let degraded = self.degraded();
         if degraded > 0 {
             let _ = writeln!(s, "{degraded} unit(s) degraded to the conservative plan");
@@ -551,8 +588,8 @@ impl BatchReport {
 }
 
 /// Aggregate counters of one `matc shadow` run — the top-level
-/// `shadow` object of the schema-v6 stats document
-/// (`{"schema":6,"kind":"shadow","shadow":{…},…}`).
+/// `shadow` object of the schema-v7 stats document
+/// (`{"schema":7,"kind":"shadow","shadow":{…},…}`).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ShadowStats {
     /// Units replayed.
@@ -669,6 +706,9 @@ mod tests {
             wall_micros: 5,
             cache_hits: 1,
             cache_misses: 0,
+            cache_partial_hits: 3,
+            cache_frag_misses: 1,
+            cache_quarantined: 2,
             units: vec![m],
         };
         let j = report.to_json();
@@ -714,15 +754,18 @@ mod tests {
             wall_micros: 0,
             cache_hits: 0,
             cache_misses: 1,
+            cache_partial_hits: 0,
+            cache_frag_misses: 0,
+            cache_quarantined: 0,
             units: vec![m, clean],
         };
         assert_eq!(report.degraded(), 1);
         assert_eq!(report.failed(), 0);
         let j = report.to_json();
-        assert!(j.starts_with("{\"schema\":6,\"kind\":\"batch\","), "{j}");
+        assert!(j.starts_with("{\"schema\":7,\"kind\":\"batch\","), "{j}");
         let served = report.to_json_with_kind("serve", ",\"server\":{\"queue_depth\":0}");
         assert!(
-            served.starts_with("{\"schema\":6,\"kind\":\"serve\",\"server\":{\"queue_depth\":0},"),
+            served.starts_with("{\"schema\":7,\"kind\":\"serve\",\"server\":{\"queue_depth\":0},"),
             "{served}"
         );
         assert!(report.render_table().contains("degraded (1 event(s))"));
@@ -742,6 +785,9 @@ mod tests {
             wall_micros: 0,
             cache_hits: 0,
             cache_misses: 0,
+            cache_partial_hits: 0,
+            cache_frag_misses: 0,
+            cache_quarantined: 0,
             units: vec![m],
         };
         assert_eq!(report.failed(), 1);

@@ -488,6 +488,53 @@ impl ExprCtx {
         }
     }
 
+    /// Renders `id` canonically and **arena-independently**: symbols
+    /// are numbered by first occurrence in the walk (`renumber` is
+    /// shared by the caller across every expression of one function)
+    /// and annotated with their debug name and sign flag instead of
+    /// their global arena index. Two fact sets that render identically
+    /// are isomorphic under a symbol renaming preserving names and
+    /// nonnegativity — the equivalence the incremental store's
+    /// per-function fragment keys are built on (equal rendering ⇒
+    /// equal planning/audit behavior).
+    pub fn render_canonical(
+        &self,
+        id: ExprId,
+        renumber: &mut HashMap<SymId, usize>,
+        out: &mut String,
+    ) {
+        use std::fmt::Write as _;
+        match self.node(id) {
+            ExprNode::Const(v) => {
+                let _ = write!(out, "{v}");
+            }
+            ExprNode::Sym(s) => {
+                let next = renumber.len();
+                let n = *renumber.entry(*s).or_insert(next);
+                let flag = if self.sym_nonneg[s.0 as usize] {
+                    '+'
+                } else {
+                    '?'
+                };
+                let _ = write!(out, "s{n}{flag}{}", self.sym_names[s.0 as usize]);
+            }
+            ExprNode::Add(ops) | ExprNode::Mul(ops) | ExprNode::Max(ops) => {
+                out.push_str(match self.node(id) {
+                    ExprNode::Add(_) => "add(",
+                    ExprNode::Mul(_) => "mul(",
+                    _ => "max(",
+                });
+                for (i, op) in ops.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    self.render_canonical(*op, renumber, out);
+                }
+                out.push(')');
+            }
+        }
+    }
+
     /// The number of interned nodes (diagnostics).
     pub fn len(&self) -> usize {
         self.nodes.len()

@@ -160,6 +160,55 @@ impl ProgramTypes {
         }
         s
     }
+
+    /// Canonical, arena-independent rendering of one function's
+    /// inference facts (see [`ExprCtx::render_canonical`]): every
+    /// variable's intrinsic, shape, range and symbolic value/bound,
+    /// with symbols renumbered by first occurrence *within this
+    /// function*. Two functions rendering identically plan, audit and
+    /// emit identically — this string is a fragment-key ingredient of
+    /// the incremental artifact store.
+    pub fn canonical_func_facts(&self, f: FuncId) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let mut renumber = HashMap::new();
+        let Some(ft) = self.funcs.get(f.index()) else {
+            return out;
+        };
+        for (v, facts) in ft.iter() {
+            let _ = write!(out, "v{}: t={:?} shape=", v.index(), facts.intrinsic);
+            match &facts.shape {
+                Shape::Tuple(dims) => {
+                    out.push('(');
+                    for (i, d) in dims.iter().enumerate() {
+                        if i > 0 {
+                            out.push(',');
+                        }
+                        self.ctx.render_canonical(*d, &mut renumber, &mut out);
+                    }
+                    out.push(')');
+                }
+                Shape::Any(e) => {
+                    out.push_str("any[");
+                    self.ctx.render_canonical(*e, &mut renumber, &mut out);
+                    out.push(']');
+                }
+            }
+            let _ = write!(out, " range={:?}", facts.range);
+            out.push_str(" value=");
+            match facts.value {
+                Some(e) => self.ctx.render_canonical(e, &mut renumber, &mut out),
+                None => out.push('-'),
+            }
+            out.push_str(" maxval=");
+            match facts.maxval {
+                Some(e) => self.ctx.render_canonical(e, &mut renumber, &mut out),
+                None => out.push('-'),
+            }
+            out.push('\n');
+        }
+        out
+    }
 }
 
 /// Aggregate inference counters (see [`ProgramTypes::summary`]).

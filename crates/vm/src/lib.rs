@@ -44,4 +44,7 @@ pub use compile::{compile, compile_audited, compile_with, lower_for_mcc, Compile
 pub use interp::Interp;
 pub use mcc::{MccVm, MX_HEADER};
 pub use planned::PlannedVm;
-pub use resilient::{compile_resilient, ResilientError};
+pub use resilient::{
+    assemble_compiled, compile_front, compile_function, compile_resilient, FrontHalf,
+    ResilientError,
+};

@@ -35,11 +35,11 @@ use matc_gctd::{
 };
 use matc_ir::ids::FuncId;
 use matc_ir::lower::LowerError;
-use matc_ir::{build_ssa, ssa_destruct, Budget, BudgetError};
+use matc_ir::{build_ssa, ssa_destruct, Budget, BudgetError, IrProgram};
 use matc_passes::{optimize_program_budgeted, OptStats};
-use matc_typeinf::infer_program_budgeted;
+use matc_typeinf::{infer_program_budgeted, ProgramTypes};
 use std::fmt;
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
 /// Why a unit could not be compiled even with every ladder rung taken.
 #[derive(Debug)]
@@ -155,6 +155,58 @@ pub fn compile_resilient(
     faults: FaultPlan,
     rec: &mut UnitMetrics,
 ) -> Result<(Compiled, Diagnostics), ResilientError> {
+    let mut front = compile_front(ast, options, budget, &faults, rec)?;
+    let mut plans_vec: Vec<StoragePlan> = Vec::with_capacity(front.ir.functions.len());
+    let mut audit_diags = Diagnostics::new();
+    for i in 0..front.ir.functions.len() {
+        let (plan, fd) = compile_function(&mut front, FuncId::new(i), budget, &faults, rec)?;
+        audit_diags.merge(fd);
+        plans_vec.push(plan);
+    }
+    Ok(assemble_compiled(ast, front, plans_vec, audit_diags, rec))
+}
+
+/// The unit-level half of the pipeline, everything that runs *before*
+/// per-function planning: SSA build, the optimizer, and type inference,
+/// with the unit-level rungs of the degradation ladder applied. The
+/// incremental batch driver runs this half unconditionally (it is what
+/// fragment cache keys are computed from), then compiles only the
+/// functions whose fragments miss.
+pub struct FrontHalf {
+    /// The optimized (or, in conservative mode, freshly re-lowered)
+    /// SSA program, before SSA destruction.
+    pub ir: IrProgram,
+    /// Inferred types. Planning one function only appends interned
+    /// expressions to this context; it never rewrites another
+    /// function's facts, which is what makes per-function caching
+    /// sound.
+    pub types: ProgramTypes,
+    /// Optimizer statistics for the whole unit.
+    pub opt_stats: OptStats,
+    /// Whether a unit-level budget trip forced conservative mode
+    /// (all-heap plans from unoptimized SSA).
+    pub conservative: bool,
+    /// The planning options actually in effect (the all-heap fallback
+    /// configuration when [`FrontHalf::conservative`] is set).
+    pub plan_options: GctdOptions,
+    fallback_options: GctdOptions,
+    unit: String,
+}
+
+/// Runs the front half of [`compile_resilient`] (see [`FrontHalf`]).
+///
+/// # Errors
+///
+/// Fails only for the unit-level reasons [`compile_resilient`] does:
+/// lowering errors, expired deadlines, or budget exhaustion already on
+/// the conservative path.
+pub fn compile_front(
+    ast: &Program,
+    options: GctdOptions,
+    budget: &Budget,
+    faults: &FaultPlan,
+    rec: &mut UnitMetrics,
+) -> Result<FrontHalf, ResilientError> {
     // A request whose deadline already passed (queue wait under load)
     // fails fast before any phase runs: the ladder cannot buy time back.
     if budget.deadline_expired() {
@@ -183,7 +235,7 @@ pub fn compile_resilient(
     let mut conservative = false;
 
     let t = Instant::now();
-    maybe_panic(&faults, &format!("{unit}/optimize"));
+    maybe_panic(faults, &format!("{unit}/optimize"));
     let opt_stats = match optimize_program_budgeted(&mut ir, budget) {
         Ok(s) => s,
         Err(be) => {
@@ -220,9 +272,9 @@ pub fn compile_resilient(
     let relaxed = budget.without_fuel();
 
     let t = Instant::now();
-    maybe_panic(&faults, &format!("{unit}/type_infer"));
+    maybe_panic(faults, &format!("{unit}/type_infer"));
     let infer_budget = if conservative { &relaxed } else { budget };
-    let mut types = match infer_program_budgeted(&ir, infer_budget) {
+    let types = match infer_program_budgeted(&ir, infer_budget) {
         Ok(ty) => ty,
         Err(be) => {
             note_budget(rec, &be);
@@ -243,10 +295,10 @@ pub fn compile_resilient(
     rec.typeinf_facts = ts.facts;
     rec.typeinf_scalars = ts.scalars;
 
-    // Per-function planning ladder. `fallback_options` is the mcc-style
-    // all-heap configuration — [`plan_function_budgeted`] short-circuits
-    // to `plan_without_coalescing` when `coalesce` is off, so the
-    // fallback never runs the coloring machinery that failed.
+    // `fallback_options` is the mcc-style all-heap configuration —
+    // [`plan_function_budgeted`] short-circuits to
+    // `plan_without_coalescing` when `coalesce` is off, so the fallback
+    // never runs the coloring machinery that failed.
     let fallback_options = GctdOptions {
         coalesce: false,
         ..options
@@ -256,149 +308,199 @@ pub fn compile_resilient(
     } else {
         options
     };
-    let mut plans_vec: Vec<StoragePlan> = Vec::with_capacity(ir.functions.len());
-    let mut audit_diags = Diagnostics::new();
-    let mut audit_time = Duration::ZERO;
-    for i in 0..ir.functions.len() {
-        let fid = FuncId::new(i);
-        let fname = ir.func(fid).name.clone();
-        let plan_budget = if conservative { &relaxed } else { budget };
+    Ok(FrontHalf {
+        ir,
+        types,
+        opt_stats,
+        conservative,
+        plan_options,
+        fallback_options,
+        unit,
+    })
+}
 
-        // Rung 1: the configured plan, isolated and budgeted.
-        let attempt = isolate(|| {
-            maybe_panic(&faults, &format!("{unit}/{fname}/plan"));
-            plan_function_budgeted(
-                ir.func(fid),
-                fid,
-                &mut types,
-                plan_options,
-                plan_budget,
-                Some(rec),
-            )
-        });
-        let mut failure: Option<(&'static str, String)> = None;
-        let mut plan = match attempt {
-            Ok(Ok(p)) => Some(p),
-            Ok(Err(be)) => {
+/// Plans and audits one function through the per-function rungs of the
+/// degradation ladder (configured plan → audit → all-heap fallback).
+/// Returns the emitted plan together with that function's audit
+/// findings; the caller merges the findings across functions.
+///
+/// # Errors
+///
+/// Fails only when no rung can produce a sound plan for this function
+/// — budget exhaustion on the conservative path, or a fallback plan
+/// that panics or fails its own audit.
+pub fn compile_function(
+    front: &mut FrontHalf,
+    fid: FuncId,
+    budget: &Budget,
+    faults: &FaultPlan,
+    rec: &mut UnitMetrics,
+) -> Result<(StoragePlan, Diagnostics), ResilientError> {
+    let FrontHalf {
+        ir,
+        types,
+        conservative,
+        plan_options,
+        fallback_options,
+        unit,
+        ..
+    } = front;
+    let (conservative, plan_options, fallback_options) =
+        (*conservative, *plan_options, *fallback_options);
+    let relaxed = budget.without_fuel();
+    let fname = ir.func(fid).name.clone();
+    let plan_budget = if conservative { &relaxed } else { budget };
+
+    // Rung 1: the configured plan, isolated and budgeted.
+    let attempt = isolate(|| {
+        maybe_panic(faults, &format!("{unit}/{fname}/plan"));
+        plan_function_budgeted(
+            ir.func(fid),
+            fid,
+            types,
+            plan_options,
+            plan_budget,
+            Some(rec),
+        )
+    });
+    let mut failure: Option<(&'static str, String)> = None;
+    let mut plan = match attempt {
+        Ok(Ok(p)) => Some(p),
+        Ok(Err(be)) => {
+            note_budget(rec, &be);
+            if (be.kind == matc_ir::BudgetKind::WallClock && conservative)
+                || be.kind == matc_ir::BudgetKind::Deadline
+            {
+                return Err(ResilientError::Budget(be));
+            }
+            failure = Some(("plan_budget", be.to_string()));
+            None
+        }
+        Err(msg) => {
+            failure = Some(("plan_panic", msg));
+            None
+        }
+    };
+
+    // Rung 2: audit the configured plan under the same budget the
+    // plan ran on; a violation (real or injected) demotes the
+    // function to the fallback, and so does a budget trip — the
+    // audit's partial findings are discarded with it.
+    let preds = ir.func(fid).predecessors();
+    let mut audit_diags = Diagnostics::new();
+    if let Some(p) = &plan {
+        let t = Instant::now();
+        let mut fd = Diagnostics::new();
+        let audited = audit_function_budgeted(
+            ir.func(fid),
+            fid,
+            types,
+            p,
+            plan_options,
+            &preds,
+            plan_budget,
+            &mut fd,
+        );
+        rec.record(Phase::Audit, t.elapsed());
+        match audited {
+            Err(be) => {
                 note_budget(rec, &be);
                 if (be.kind == matc_ir::BudgetKind::WallClock && conservative)
                     || be.kind == matc_ir::BudgetKind::Deadline
                 {
                     return Err(ResilientError::Budget(be));
                 }
-                failure = Some(("plan_budget", be.to_string()));
-                None
+                failure = Some(("audit_budget", be.to_string()));
+                plan = None;
             }
-            Err(msg) => {
-                failure = Some(("plan_panic", msg));
-                None
+            Ok(stats) => {
+                let injected = plan_options.coalesce
+                    && faults.fires(FaultSite::AuditViolation, &format!("{unit}/{fname}"));
+                if fd.has_errors() || injected {
+                    failure = Some((
+                        "audit",
+                        if fd.has_errors() {
+                            summarize_errors(&fd)
+                        } else {
+                            "injected audit violation".to_string()
+                        },
+                    ));
+                    plan = None;
+                } else {
+                    rec.audit_edges += stats.cfg_edges;
+                    audit_diags.merge(fd);
+                }
             }
-        };
+        }
+    }
 
-        // Rung 2: audit the configured plan under the same budget the
-        // plan ran on; a violation (real or injected) demotes the
-        // function to the fallback, and so does a budget trip — the
-        // audit's partial findings are discarded with it.
-        let preds = ir.func(fid).predecessors();
-        if let Some(p) = &plan {
+    // Rung 3: the all-heap fallback, re-audited before use.
+    let plan = match plan {
+        Some(p) => p,
+        None => {
+            let (stage, reason) = failure.expect("missing plan implies a recorded failure");
+            degrade(rec, &fname, stage, reason);
+            let fb = isolate(|| {
+                plan_function_budgeted(ir.func(fid), fid, types, fallback_options, &relaxed, None)
+            });
+            let fb = match fb {
+                Ok(Ok(p)) => p,
+                Ok(Err(be)) => return Err(ResilientError::Budget(be)),
+                Err(message) => {
+                    return Err(ResilientError::FallbackPanic {
+                        func: fname,
+                        message,
+                    })
+                }
+            };
             let t = Instant::now();
             let mut fd = Diagnostics::new();
             let audited = audit_function_budgeted(
                 ir.func(fid),
                 fid,
-                &mut types,
-                p,
-                plan_options,
+                types,
+                &fb,
+                fallback_options,
                 &preds,
-                plan_budget,
+                &relaxed,
                 &mut fd,
             );
-            audit_time += t.elapsed();
-            match audited {
-                Err(be) => {
-                    note_budget(rec, &be);
-                    if (be.kind == matc_ir::BudgetKind::WallClock && conservative)
-                        || be.kind == matc_ir::BudgetKind::Deadline
-                    {
-                        return Err(ResilientError::Budget(be));
-                    }
-                    failure = Some(("audit_budget", be.to_string()));
-                    plan = None;
-                }
-                Ok(stats) => {
-                    let injected = plan_options.coalesce
-                        && faults.fires(FaultSite::AuditViolation, &format!("{unit}/{fname}"));
-                    if fd.has_errors() || injected {
-                        failure = Some((
-                            "audit",
-                            if fd.has_errors() {
-                                summarize_errors(&fd)
-                            } else {
-                                "injected audit violation".to_string()
-                            },
-                        ));
-                        plan = None;
-                    } else {
-                        rec.audit_edges += stats.cfg_edges;
-                        audit_diags.merge(fd);
-                    }
-                }
-            }
-        }
-
-        // Rung 3: the all-heap fallback, re-audited before use.
-        let plan = match plan {
-            Some(p) => p,
-            None => {
-                let (stage, reason) = failure.expect("missing plan implies a recorded failure");
-                degrade(rec, &fname, stage, reason);
-                let fb = isolate(|| {
-                    plan_function_budgeted(
-                        ir.func(fid),
-                        fid,
-                        &mut types,
-                        fallback_options,
-                        &relaxed,
-                        None,
-                    )
+            rec.record(Phase::Audit, t.elapsed());
+            let stats = audited.map_err(ResilientError::Budget)?;
+            if fd.has_errors() {
+                return Err(ResilientError::FallbackAudit {
+                    func: fname,
+                    detail: summarize_errors(&fd),
                 });
-                let fb = match fb {
-                    Ok(Ok(p)) => p,
-                    Ok(Err(be)) => return Err(ResilientError::Budget(be)),
-                    Err(message) => {
-                        return Err(ResilientError::FallbackPanic {
-                            func: fname,
-                            message,
-                        })
-                    }
-                };
-                let t = Instant::now();
-                let mut fd = Diagnostics::new();
-                let audited = audit_function_budgeted(
-                    ir.func(fid),
-                    fid,
-                    &mut types,
-                    &fb,
-                    fallback_options,
-                    &preds,
-                    &relaxed,
-                    &mut fd,
-                );
-                audit_time += t.elapsed();
-                let stats = audited.map_err(ResilientError::Budget)?;
-                if fd.has_errors() {
-                    return Err(ResilientError::FallbackAudit {
-                        func: fname,
-                        detail: summarize_errors(&fd),
-                    });
-                }
-                rec.audit_edges += stats.cfg_edges;
-                audit_diags.merge(fd);
-                fb
             }
-        };
-        plans_vec.push(plan);
-    }
+            rec.audit_edges += stats.cfg_edges;
+            audit_diags.merge(fd);
+            fb
+        }
+    };
+    Ok((plan, audit_diags))
+}
+
+/// The back half of [`compile_resilient`]: lints, merges the
+/// per-function audit findings, records the plan totals, destroys SSA
+/// form under the plans' sharing relation, and packages the
+/// [`Compiled`] unit. The incremental batch driver only reaches this
+/// point on full recompiles; composed partial hits stitch cached
+/// fragments instead.
+pub fn assemble_compiled(
+    ast: &Program,
+    front: FrontHalf,
+    plans_vec: Vec<StoragePlan>,
+    audit_diags: Diagnostics,
+    rec: &mut UnitMetrics,
+) -> (Compiled, Diagnostics) {
+    let FrontHalf {
+        mut ir,
+        types,
+        opt_stats,
+        plan_options,
+        ..
+    } = front;
     let plans = ProgramPlan {
         plans: plans_vec,
         options: plan_options,
@@ -408,7 +510,7 @@ pub fn compile_resilient(
     let t = Instant::now();
     let mut diags = lint_program(ast);
     diags.merge(audit_diags);
-    rec.record(Phase::Audit, audit_time + t.elapsed());
+    rec.record(Phase::Audit, t.elapsed());
     rec.audit_errors = diags.error_count();
     rec.audit_warnings = diags.warning_count();
 
@@ -419,7 +521,7 @@ pub fn compile_resilient(
     }
     rec.record(Phase::SsaInvert, t.elapsed());
 
-    Ok((
+    (
         Compiled {
             ir,
             plans,
@@ -427,7 +529,7 @@ pub fn compile_resilient(
             opt_stats,
         },
         diags,
-    ))
+    )
 }
 
 #[cfg(test)]
@@ -435,6 +537,7 @@ mod tests {
     use super::*;
     use crate::compile::compile_audited;
     use matc_frontend::parser::parse_program;
+    use std::time::Duration;
 
     fn sample() -> Program {
         parse_program([

@@ -4,7 +4,7 @@
 
 default: check
 
-check: fmt clippy test audit-bench batch-bench fault-bench perf-bench shadow-bench
+check: fmt clippy test audit-bench batch-bench fault-bench perf-bench shadow-bench cache-bench
 
 fmt:
     cargo fmt --all -- --check
@@ -55,6 +55,15 @@ perf-bench *ARGS:
 # precision warnings are reported but don't gate.
 shadow-bench:
     cargo run -q --release --bin matc -- shadow --bench
+
+# The incremental-compilation gate (DESIGN.md §12): cold-compile the
+# multi-function paper_scale unit into a fresh artifact store, edit one
+# function, and prove the warm recompile re-plans only that function —
+# every other function's fragment is served from the store (partial-hit
+# counter == functions − 1) and the stitched artifact is byte-identical
+# to an uncached compile of the edited unit.
+cache-bench:
+    cargo run -q --release --bin matc -- cache-bench
 
 fault-bench:
     cargo test -q --test fault_injection

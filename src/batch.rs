@@ -16,15 +16,17 @@
 //! and the test suite: it proves parallel, sequential, per-unit and
 //! warm-cache compilations all produce byte-identical artifacts.
 
-use matc_codegen::emit_program_stats;
+use matc_analysis::{lint_program, Diagnostics};
+use matc_codegen::{emit_function_unit, emit_unit_epilogue, emit_unit_prologue};
 use matc_frontend::parse_program;
 use matc_gctd::{
     isolate, lock_recover, options_fingerprint, Artifact, ArtifactCache, BatchReport, CacheKey,
-    CacheOutcome, FaultPlan, FaultSite, GctdOptions, Phase, ResizeKind, SlotKind, UnitMetrics,
+    CacheOutcome, FaultPlan, FaultSite, Fragment, GctdOptions, Phase, PlanStats, ResizeKind,
+    SlotKind, StoragePlan, UnitMetrics,
 };
-use matc_ir::{Budget, FuncId};
-use matc_vm::compile_resilient;
+use matc_ir::{ssa_destruct, Budget, FuncId, FuncIr};
 use matc_vm::Compiled;
+use matc_vm::{compile_front, compile_function};
 use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
@@ -126,35 +128,43 @@ pub fn bench_units(preset: matc_benchsuite::Preset) -> Vec<Unit> {
 /// Renders a storage plan as the human text `matc plan` prints (also
 /// the `plan` section of cached artifacts).
 pub fn render_plan(compiled: &Compiled) -> String {
-    use std::fmt::Write as _;
     let mut out = String::new();
     for (i, func) in compiled.ir.functions.iter().enumerate() {
-        let plan = compiled.plans.plan(FuncId::new(i));
-        let _ = writeln!(out, "function {}:", func.name);
-        for (si, slot) in plan.slots.iter().enumerate() {
-            let kind = match slot.kind {
-                SlotKind::Stack { bytes } => format!("stack {bytes}B"),
-                SlotKind::Heap => "heap".to_string(),
-            };
-            let members: Vec<String> = slot
-                .members
-                .iter()
-                .map(|v| {
-                    let ann = match plan.resize_of(*v) {
-                        ResizeKind::NoResize => "",
-                        ResizeKind::Grow => "+",
-                        ResizeKind::Resize => "±",
-                    };
-                    format!("{}{}", func.vars.display_name(*v), ann)
-                })
-                .collect();
-            let _ = writeln!(
-                out,
-                "  slot {si:3} [{kind}, {:?}] {}",
-                slot.intrinsic,
-                members.join(", ")
-            );
-        }
+        out.push_str(&render_func_plan(func, compiled.plans.plan(FuncId::new(i))));
+    }
+    out
+}
+
+/// One function's section of [`render_plan`] — the unit text is the
+/// concatenation of these, which lets cached per-function fragments
+/// carry their own plan text.
+pub fn render_func_plan(func: &FuncIr, plan: &StoragePlan) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "function {}:", func.name);
+    for (si, slot) in plan.slots.iter().enumerate() {
+        let kind = match slot.kind {
+            SlotKind::Stack { bytes } => format!("stack {bytes}B"),
+            SlotKind::Heap => "heap".to_string(),
+        };
+        let members: Vec<String> = slot
+            .members
+            .iter()
+            .map(|v| {
+                let ann = match plan.resize_of(*v) {
+                    ResizeKind::NoResize => "",
+                    ResizeKind::Grow => "+",
+                    ResizeKind::Resize => "±",
+                };
+                format!("{}{}", func.vars.display_name(*v), ann)
+            })
+            .collect();
+        let _ = writeln!(
+            out,
+            "  slot {si:3} [{kind}, {:?}] {}",
+            slot.intrinsic,
+            members.join(", ")
+        );
     }
     out
 }
@@ -230,6 +240,94 @@ fn apply_meta(a: &Artifact, m: &mut UnitMetrics) {
     m.c_lines = a.c_code.lines().count();
 }
 
+/// The per-function metric deltas a fragment carries: planner and
+/// auditor counters only — no timings, so a composed partial-hit
+/// artifact is byte-identical to a cold compile's.
+fn frag_meta(fm: &UnitMetrics, ps: &PlanStats) -> BTreeMap<String, u64> {
+    let mut meta = BTreeMap::new();
+    let pairs: [(&str, u64); 14] = [
+        ("interference_nodes", fm.interference_nodes as u64),
+        ("interference_edges", fm.interference_edges as u64),
+        ("dataflow_iters", fm.dataflow_iters),
+        ("peak_live_words", fm.peak_live_words),
+        ("audit_edges", fm.audit_edges),
+        ("plan_original_vars", ps.original_vars as u64),
+        ("plan_static_subsumed", ps.static_subsumed as u64),
+        ("plan_dynamic_subsumed", ps.dynamic_subsumed as u64),
+        ("plan_stack_bytes_saved", ps.stack_bytes_saved),
+        ("plan_stack_bytes_total", ps.stack_bytes_total),
+        ("plan_colors", u64::from(ps.colors)),
+        ("plan_coalesced_phis", ps.coalesced_phis as u64),
+        ("plan_op_conflicts", ps.op_conflicts as u64),
+        ("plan_slots", ps.slots as u64),
+    ];
+    for (k, v) in pairs {
+        meta.insert(k.to_string(), v);
+    }
+    meta
+}
+
+/// Folds a reused fragment's metric deltas into the unit's metrics,
+/// mirroring what compiling the function fresh would have accumulated.
+fn apply_frag_meta(meta: &BTreeMap<String, u64>, m: &mut UnitMetrics, plan_total: &mut PlanStats) {
+    let g = |k: &str| meta.get(k).copied().unwrap_or(0);
+    m.interference_nodes += g("interference_nodes") as usize;
+    m.interference_edges += g("interference_edges") as usize;
+    m.dataflow_iters += g("dataflow_iters");
+    m.peak_live_words = m.peak_live_words.max(g("peak_live_words"));
+    m.audit_edges += g("audit_edges");
+    absorb_plan_stats(
+        plan_total,
+        &PlanStats {
+            original_vars: g("plan_original_vars") as usize,
+            static_subsumed: g("plan_static_subsumed") as usize,
+            dynamic_subsumed: g("plan_dynamic_subsumed") as usize,
+            stack_bytes_saved: g("plan_stack_bytes_saved"),
+            stack_bytes_total: g("plan_stack_bytes_total"),
+            colors: g("plan_colors") as u32,
+            coalesced_phis: g("plan_coalesced_phis") as usize,
+            op_conflicts: g("plan_op_conflicts") as usize,
+            slots: g("plan_slots") as usize,
+        },
+    );
+}
+
+/// Sums one function's plan stats into the unit total, exactly like
+/// [`matc_gctd::ProgramPlan::total_stats`] does.
+fn absorb_plan_stats(t: &mut PlanStats, s: &PlanStats) {
+    t.original_vars += s.original_vars;
+    t.static_subsumed += s.static_subsumed;
+    t.dynamic_subsumed += s.dynamic_subsumed;
+    t.stack_bytes_saved += s.stack_bytes_saved;
+    t.stack_bytes_total += s.stack_bytes_total;
+    t.colors += s.colors;
+    t.coalesced_phis += s.coalesced_phis;
+    t.op_conflicts += s.op_conflicts;
+    t.slots += s.slots;
+}
+
+/// Merges the scratch metrics of one function's compile into the unit
+/// metrics. Fragments need exact *per-function* counter values (a
+/// running maximum like `peak_live_words` cannot be un-merged later),
+/// so per-function compiles record into a scratch [`UnitMetrics`]
+/// first and fold in here.
+fn merge_func_metrics(m: &mut UnitMetrics, fm: &UnitMetrics) {
+    for ph in Phase::ALL {
+        let us = fm.phase_micros(ph);
+        if us > 0 {
+            m.record(ph, Duration::from_micros(us));
+        }
+    }
+    m.interference_nodes += fm.interference_nodes;
+    m.interference_edges += fm.interference_edges;
+    m.dataflow_iters += fm.dataflow_iters;
+    m.dataflow_nanos += fm.dataflow_nanos;
+    m.peak_live_words = m.peak_live_words.max(fm.peak_live_words);
+    m.audit_edges += fm.audit_edges;
+    m.degradations.extend(fm.degradations.iter().cloned());
+    m.budget_exceeded.extend(fm.budget_exceeded.iter().cloned());
+}
+
 /// Compiles one unit, consulting (and filling) the cache when given.
 ///
 /// Equivalent to [`compile_unit_with`] under a default configuration
@@ -251,13 +349,24 @@ pub fn compile_unit(
 /// entire pipeline runs inside [`isolate`] (a panic anywhere — real or
 /// injected — becomes a structured unit error instead of poisoning the
 /// worker pool), phase budgets from `config` feed the degradation
-/// ladder of [`compile_resilient`], and fault probes cover parse and
-/// codegen entry.
+/// ladder of [`compile_front`]/[`compile_function`], and fault probes
+/// cover parse and codegen entry.
+///
+/// The pipeline is driven function by function: after the shared front
+/// half (parse → SSA → passes → inference), each function is planned,
+/// audited, destructed and emitted on its own, and the unit artifact is
+/// stitched from the per-function pieces (byte-identical to whole-unit
+/// emission — `matc-codegen` proves the concatenation identity). With a
+/// cache attached and no budget limits in play, each function is first
+/// looked up as a *fragment* keyed by its optimized IR and inference
+/// facts, so editing one function of a unit recompiles only that
+/// function ([`CacheOutcome::Partial`]).
 ///
 /// Artifacts of units that degraded, tripped a budget, or failed are
-/// **never** written to the cache: the cache key covers sources and
-/// options only, so a degraded (all-heap fallback) artifact stored
-/// under it would be served as the clean GCTD artifact on the next run.
+/// **never** written to the cache (whole or fragments): the cache key
+/// covers sources and options only, so a degraded (all-heap fallback)
+/// artifact stored under it would be served as the clean GCTD artifact
+/// on the next run.
 pub fn compile_unit_with(
     unit: &Unit,
     config: &BatchConfig,
@@ -307,8 +416,8 @@ pub fn compile_unit_with(
         if let Some(d) = config.deadline {
             budget = budget.with_deadline(d);
         }
-        let (compiled, diags) = match compile_resilient(&ast, options, &budget, faults, &mut m) {
-            Ok(x) => x,
+        let mut front = match compile_front(&ast, options, &budget, &faults, &mut m) {
+            Ok(f) => f,
             Err(e) => {
                 m.error = Some(e.to_string());
                 return None;
@@ -318,31 +427,147 @@ pub fn compile_unit_with(
         if faults.fires(FaultSite::PhasePanic, &format!("{}/codegen", unit.name)) {
             panic!("injected fault: panic at `{}/codegen`", unit.name);
         }
-        let t = Instant::now();
-        let (c_code, cstats) = emit_program_stats(&compiled);
-        m.record(Phase::Codegen, t.elapsed());
-        m.c_bytes = cstats.bytes;
-        m.c_lines = cstats.lines;
 
-        Some(Arc::new(Artifact {
-            c_code,
-            plan_text: render_plan(&compiled),
-            audit_json: diags.to_json(),
-            meta: meta_from_metrics(&m),
-        }))
+        // Fragments are only consulted (and later written) when the
+        // compile is fully budget-free and the front half stayed on the
+        // configured path: a budgeted run may degrade per function, and
+        // serving a clean fragment where the budget would have bitten
+        // must not change what a budgeted compile produces.
+        let incremental = cache.is_some()
+            && config.fuel.is_none()
+            && config.phase_timeout_ms.is_none()
+            && config.deadline.is_none()
+            && !front.conservative;
+        let fingerprint = options_fingerprint(&options);
+
+        let n = front.ir.functions.len();
+        let mut frags: Vec<(CacheKey, Arc<Fragment>)> = Vec::with_capacity(n);
+        let mut bodies = String::new();
+        let mut plan_text = String::new();
+        let t = Instant::now();
+        let mut diags = lint_program(&ast);
+        m.record(Phase::Audit, t.elapsed());
+        let mut plan_total = PlanStats::default();
+        let mut frag_hits = 0usize;
+
+        for i in 0..n {
+            let fid = FuncId::new(i);
+            let fkey = if incremental {
+                // Equal fragment keys ⇒ equal optimized IR, equal
+                // inference facts (canonically renumbered) and equal
+                // options ⇒ identical plan, audit and emitted body.
+                let ir_text = format!("{:?}", front.ir.func(fid));
+                let facts = front.types.canonical_func_facts(fid);
+                Some(CacheKey::compute_parts(
+                    "matc-frag-v1",
+                    [
+                        fingerprint.as_str(),
+                        "probes=0",
+                        ir_text.as_str(),
+                        facts.as_str(),
+                    ],
+                ))
+            } else {
+                None
+            };
+
+            if let Some(k) = &fkey {
+                if let Some(frag) = cache.expect("incremental implies cache").get_fragment(k) {
+                    // A fragment whose findings fail to decode is from
+                    // an incompatible build (its integrity hash is
+                    // fine); recompile and overwrite it instead.
+                    if let Ok(fd) = Diagnostics::from_wire(&frag.findings) {
+                        frag_hits += 1;
+                        bodies.push_str(&frag.body);
+                        plan_text.push_str(&frag.plan_text);
+                        diags.merge(fd);
+                        apply_frag_meta(&frag.meta, &mut m, &mut plan_total);
+                        frags.push((*k, frag));
+                        continue;
+                    }
+                }
+            }
+
+            // Fragment miss (or ineligible): compile the function. A
+            // scratch metrics record keeps the per-function counter
+            // values exact for the fragment it produces.
+            let mut fm = UnitMetrics::new(&unit.name);
+            let (plan, fd) = match compile_function(&mut front, fid, &budget, &faults, &mut fm) {
+                Ok(x) => x,
+                Err(e) => {
+                    merge_func_metrics(&mut m, &fm);
+                    m.error = Some(e.to_string());
+                    return None;
+                }
+            };
+            let func = &mut front.ir.functions[i];
+            let t = Instant::now();
+            ssa_destruct(func, |dst, src| plan.share_storage(dst, src));
+            fm.record(Phase::SsaInvert, t.elapsed());
+            let t = Instant::now();
+            let body = emit_function_unit(func, &plan, None);
+            fm.record(Phase::Codegen, t.elapsed());
+            let fplan_text = render_func_plan(func, &plan);
+
+            absorb_plan_stats(&mut plan_total, &plan.stats);
+            bodies.push_str(&body);
+            plan_text.push_str(&fplan_text);
+            if let Some(k) = fkey {
+                if fm.degradations.is_empty() && fm.budget_exceeded.is_empty() {
+                    frags.push((
+                        k,
+                        Arc::new(Fragment {
+                            body,
+                            plan_text: fplan_text,
+                            findings: fd.to_wire(),
+                            meta: frag_meta(&fm, &plan.stats),
+                        }),
+                    ));
+                }
+            }
+            diags.merge(fd);
+            merge_func_metrics(&mut m, &fm);
+        }
+
+        let t = Instant::now();
+        let mut c_code = emit_unit_prologue(&front.ir.functions);
+        c_code.push_str(&bodies);
+        c_code.push_str(&emit_unit_epilogue(&front.ir.entry_func().name, false));
+        m.record(Phase::Codegen, t.elapsed());
+        m.c_bytes = c_code.len();
+        m.c_lines = c_code.lines().count();
+        m.plan = plan_total;
+        m.audit_errors = diags.error_count();
+        m.audit_warnings = diags.warning_count();
+        if frag_hits > 0 {
+            m.cache = CacheOutcome::Partial;
+        }
+
+        Some((
+            Arc::new(Artifact {
+                c_code,
+                plan_text,
+                audit_json: diags.to_json(),
+                meta: meta_from_metrics(&m),
+            }),
+            frags,
+        ))
     });
-    let artifact = match outcome {
-        Ok(a) => a,
+    let (artifact, frags) = match outcome {
+        Ok(Some((a, f))) => (Some(a), f),
+        Ok(None) => (None, Vec::new()),
         Err(panic_msg) => {
             m.error = Some(format!("panic: {panic_msg}"));
-            None
+            (None, Vec::new())
         }
     };
 
-    // Only pristine artifacts are cacheable (see the doc above).
+    // Only pristine artifacts are cacheable (see the doc above). The
+    // fragments and the unit manifest commit together — fragments
+    // first, fsynced, then the manifest that stitches them.
     let pristine = m.error.is_none() && m.degradations.is_empty() && m.budget_exceeded.is_empty();
     if let (Some(c), Some(k), Some(a), true) = (cache, key.as_ref(), artifact.as_ref(), pristine) {
-        c.put(k, Arc::clone(a));
+        c.put_unit(k, Arc::clone(a), &frags);
     }
     UnitOutcome {
         name: unit.name.clone(),
@@ -367,6 +592,9 @@ pub fn run_batch(
 ) -> BatchResult {
     let start = Instant::now();
     let jobs = config.jobs.max(1).min(units.len().max(1));
+    // Store counters are cumulative over the cache's lifetime; the
+    // report carries this run's delta.
+    let store_before = cache.map(|c| c.stats()).unwrap_or_default();
 
     let queues: Vec<Mutex<VecDeque<usize>>> =
         (0..jobs).map(|_| Mutex::new(VecDeque::new())).collect();
@@ -422,6 +650,7 @@ pub fn run_batch(
             })
         })
         .collect();
+    let store = cache.map(|c| c.stats()).unwrap_or_default();
     let report = BatchReport {
         jobs,
         wall_micros: u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX),
@@ -431,8 +660,11 @@ pub fn run_batch(
             .count() as u64,
         cache_misses: outcomes
             .iter()
-            .filter(|o| o.metrics.cache == CacheOutcome::Miss)
+            .filter(|o| matches!(o.metrics.cache, CacheOutcome::Miss | CacheOutcome::Partial))
             .count() as u64,
+        cache_partial_hits: store.partial_hits.saturating_sub(store_before.partial_hits),
+        cache_frag_misses: store.frag_misses.saturating_sub(store_before.frag_misses),
+        cache_quarantined: store.quarantined.saturating_sub(store_before.quarantined),
         units: outcomes.iter().map(|o| o.metrics.clone()).collect(),
     };
     BatchResult { outcomes, report }

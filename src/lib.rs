@@ -24,7 +24,10 @@
 //! draining; [`json`] is the dependency-free JSON layer its
 //! newline-delimited protocol speaks. [`shadow`] runs a unit through
 //! both executors and diffs observed storage behaviour against the
-//! static plan — the engine behind `matc shadow`.
+//! static plan — the engine behind `matc shadow`. [`cache_bench`] is
+//! the incremental-compilation gate behind `matc cache-bench`: edit one
+//! function of a multi-function unit and prove every other function's
+//! fragment is reused from the store.
 //!
 //! ```
 //! use matc::vm::{compile::compile, PlannedVm};
@@ -40,6 +43,7 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod cache_bench;
 pub mod json;
 pub mod perf;
 pub mod serve;

@@ -194,19 +194,23 @@ impl Shared {
         }
     }
 
-    /// The `"server"` object spliced into the schema-v5 stats document.
+    /// The `"server"` object spliced into the schema-v7 stats document.
     fn server_json(&self) -> String {
         let (closed, open, half_open) = self.breakers.counts();
-        let (hits, misses) = self
-            .cache
-            .as_ref()
-            .map_or((0, 0), |c| (c.hits(), c.misses()));
+        let store = self.cache.as_ref().map(|c| c.stats()).unwrap_or_default();
+        let (hits, misses, partial, quarantined) = (
+            store.hits,
+            store.misses,
+            store.partial_hits,
+            store.quarantined,
+        );
         format!(
             ",\"server\":{{\"draining\":{},\"queue_depth\":{},\"active\":{},\"admitted\":{},\
              \"completed\":{},\"shed\":{},\"load_degraded\":{},\"breaker_rejected\":{},\
              \"shutdown_rejected\":{},\"net_faults_fired\":{},\
              \"breakers\":{{\"closed\":{closed},\"open\":{open},\"half_open\":{half_open}}},\
-             \"cache\":{{\"hits\":{hits},\"misses\":{misses}}},\"uptime_ms\":{}}}",
+             \"cache\":{{\"hits\":{hits},\"misses\":{misses},\"partial_hits\":{partial},\
+             \"quarantined\":{quarantined}}},\"uptime_ms\":{}}}",
             self.stop.load(Ordering::Relaxed),
             lock_recover(&self.queue).len(),
             self.active.load(Ordering::Relaxed),
@@ -593,16 +597,16 @@ fn process_request(shared: &Shared, line: &str) -> String {
         }
         "stats" => {
             let recent = lock_recover(&shared.recent);
-            let (hits, misses) = shared
-                .cache
-                .as_ref()
-                .map_or((0, 0), |c| (c.hits(), c.misses()));
+            let store = shared.cache.as_ref().map(|c| c.stats()).unwrap_or_default();
             let report = BatchReport {
                 jobs: shared.cfg.jobs,
                 wall_micros: u64::try_from(shared.started.elapsed().as_micros())
                     .unwrap_or(u64::MAX),
-                cache_hits: hits,
-                cache_misses: misses,
+                cache_hits: store.hits,
+                cache_misses: store.misses,
+                cache_partial_hits: store.partial_hits,
+                cache_frag_misses: store.frag_misses,
+                cache_quarantined: store.quarantined,
                 units: recent.iter().cloned().collect(),
             };
             report.to_json_with_kind("serve", &shared.server_json())
@@ -761,6 +765,7 @@ fn compile_request(shared: &Shared, req: &Json, op: &str) -> Json {
             Json::str(match m.cache {
                 CacheOutcome::Hit => "hit",
                 CacheOutcome::Miss => "miss",
+                CacheOutcome::Partial => "partial",
                 CacheOutcome::Bypass => "bypass",
             }),
         ),

@@ -265,19 +265,36 @@ fn cross_process_cache_contention_converges_to_one_untorn_entry() {
     let c_b = std::fs::read(emit_b.join("unit.c")).unwrap();
     assert_eq!(c_a, c_b, "processes disagreed about the cached artifact");
 
-    // Exactly one published `.art` entry, and no leaked `.tmp` debris.
-    let mut arts = 0;
-    let mut tmps = 0;
-    for entry in std::fs::read_dir(&cache_dir).unwrap() {
-        let name = entry.unwrap().file_name().to_string_lossy().into_owned();
-        if name.ends_with(".art") {
-            arts += 1;
-        } else {
-            tmps += 1;
-        }
-    }
-    assert_eq!(arts, 1, "the two processes must converge to one entry");
-    assert_eq!(tmps, 0, "unpublished tmp files were leaked");
+    // Exactly one published unit manifest, one content-addressed
+    // fragment for the unit's single function, and no leaked `.tmp`
+    // debris anywhere in the store.
+    let count = |sub: &str, ext: &str| -> usize {
+        std::fs::read_dir(cache_dir.join(sub))
+            .unwrap()
+            .filter(|e| {
+                e.as_ref()
+                    .unwrap()
+                    .file_name()
+                    .to_string_lossy()
+                    .ends_with(ext)
+            })
+            .count()
+    };
+    assert_eq!(
+        count("units", ".man"),
+        1,
+        "the two processes must converge to one manifest"
+    );
+    assert_eq!(
+        count("frags", ".frag"),
+        1,
+        "one function, one content-addressed fragment"
+    );
+    assert_eq!(
+        count("units", ".tmp") + count("frags", ".tmp"),
+        0,
+        "unpublished tmp files were leaked"
+    );
 
     // A third reader (in-process) sees a well-formed entry that decodes
     // to the exact bytes an uncached compile produces.
@@ -293,6 +310,52 @@ fn cross_process_cache_contention_converges_to_one_untorn_entry() {
     let fresh = run_batch(std::slice::from_ref(&unit), &cfg, None);
     assert_eq!(artifact_bytes(&cached), artifact_bytes(&fresh));
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn single_function_edit_reuses_all_untouched_fragments() {
+    // The incremental-compilation contract: editing one function of a
+    // multi-function unit re-plans exactly that function; every other
+    // function's fragment is served from the store, and the stitched
+    // artifact is byte-identical to an uncached compile of the edited
+    // unit.
+    use matc::benchsuite::{paper_scale_multi_sources, PAPER_SCALE_MULTI_LEAVES};
+    let cache = ArtifactCache::in_memory();
+    let cfg = BatchConfig {
+        jobs: 1,
+        options: GctdOptions::default(),
+        ..BatchConfig::default()
+    };
+    let base = Unit::new("ps", paper_scale_multi_sources(24, 0));
+    let cold = run_batch(std::slice::from_ref(&base), &cfg, Some(&cache));
+    assert_eq!(cold.failed(), 0);
+    assert_eq!(cold.report.cache_misses, 1);
+
+    let edited = Unit::new("ps", paper_scale_multi_sources(24, 5));
+    let warm = run_batch(std::slice::from_ref(&edited), &cfg, Some(&cache));
+    assert_eq!(warm.failed(), 0);
+    assert_eq!(
+        warm.outcomes[0].metrics.cache,
+        CacheOutcome::Partial,
+        "edited unit over a warm fragment store must be a partial hit"
+    );
+    let funcs = (PAPER_SCALE_MULTI_LEAVES + 1) as u64;
+    assert_eq!(
+        warm.report.cache_partial_hits,
+        funcs - 1,
+        "every untouched function's fragment must be reused"
+    );
+    assert_eq!(
+        warm.report.cache_frag_misses, 1,
+        "exactly the edited function recompiles"
+    );
+
+    let fresh = run_batch(std::slice::from_ref(&edited), &cfg, None);
+    assert_eq!(
+        artifact_bytes(&warm),
+        artifact_bytes(&fresh),
+        "stitched partial-hit artifact differs from an uncached compile"
+    );
 }
 
 #[test]

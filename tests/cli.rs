@@ -148,7 +148,7 @@ fn batch_compiles_units_with_cache_and_matches_emit_c() {
     let emitted = std::fs::read(dir.join("out/batch_a.c")).unwrap();
     assert_eq!(emitted, direct.stdout);
 
-    // The stats document has the advertised shape. The schema-v5
+    // The stats document has the advertised shape. The schema-v7
     // prefix (with its `"kind"` discriminator), the always-present
     // per-unit fault-tolerance arrays, and the dataflow-engine counters
     // inside `interference` are a stability contract (DESIGN.md
@@ -156,7 +156,7 @@ fn batch_compiles_units_with_cache_and_matches_emit_c() {
     // must only ever change together with a schema-version bump.
     let stats = std::fs::read_to_string(dir.join("stats.json")).unwrap();
     assert!(
-        stats.starts_with("{\"schema\":6,\"kind\":\"batch\","),
+        stats.starts_with("{\"schema\":7,\"kind\":\"batch\","),
         "{stats}"
     );
     assert!(stats.contains("\"jobs\":2"), "{stats}");
@@ -168,6 +168,10 @@ fn batch_compiles_units_with_cache_and_matches_emit_c() {
     assert!(stats.contains("\"dataflow_iters\":"), "{stats}");
     assert!(stats.contains("\"peak_live_words\":"), "{stats}");
     assert!(stats.contains("\"dataflow_micros\":"), "{stats}");
+    // Schema v7: the artifact store's counters in the cache object.
+    assert!(stats.contains("\"partial_hits\":0"), "{stats}");
+    assert!(stats.contains("\"frag_misses\":"), "{stats}");
+    assert!(stats.contains("\"quarantined\":0"), "{stats}");
 
     // A second process over the same cache dir hits every unit and
     // emits identical bytes.
@@ -387,7 +391,7 @@ fn serve_and_request_round_trip_over_the_wire() {
     assert!(emit_line.contains("\"findings\""), "{emit_line}");
     assert!(emit_line.contains("int main(void)"), "{emit_line}");
 
-    // healthz and schema-v5 serve stats.
+    // healthz and schema-v7 serve stats.
     let health = matc()
         .args(["request", "--addr", &addr, "--op", "healthz"])
         .output()
@@ -404,7 +408,7 @@ fn serve_and_request_round_trip_over_the_wire() {
         .unwrap();
     let stats_line = String::from_utf8_lossy(&stats.stdout);
     assert!(
-        stats_line.starts_with("{\"schema\":6,\"kind\":\"serve\",\"server\":{"),
+        stats_line.starts_with("{\"schema\":7,\"kind\":\"serve\",\"server\":{"),
         "{stats_line}"
     );
 
@@ -503,7 +507,7 @@ fn shadow_failing_unit_exits_one() {
 }
 
 #[test]
-fn shadow_stats_documents_are_schema_v6() {
+fn shadow_stats_documents_are_schema_v7() {
     let p = write_temp("shadow3.m", "function f\nfprintf('%d\\n', 2 + 2);\n");
     let stats_path = std::env::temp_dir()
         .join("matc-cli-tests")
@@ -516,8 +520,8 @@ fn shadow_stats_documents_are_schema_v6() {
         .unwrap();
     assert_eq!(out.status.code(), Some(0));
     // The same document goes to stdout (--json) and the file (--stats),
-    // pinned to the schema-v6 `shadow{}` shape.
-    let prefix = "{\"schema\":6,\"kind\":\"shadow\",\"shadow\":{\"units\":1,";
+    // pinned to the schema-v7 `shadow{}` shape.
+    let prefix = "{\"schema\":7,\"kind\":\"shadow\",\"shadow\":{\"units\":1,";
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(
         stdout.lines().last().unwrap().starts_with(prefix),

@@ -17,6 +17,16 @@
 //! artifact cached: after each faulty run, a *clean* pass over the same
 //! cache directory must reproduce the fault-free reference bytes for
 //! every unit.
+//!
+//! A second fifty-seed matrix (`FaultPlan::store_from_seed`) targets
+//! the artifact store itself — fragment bit-rot on the way to disk,
+//! torn manifest publishes, writer death between the fragment writes
+//! and the manifest rename — and pins the self-healing story: corrupt
+//! files are quarantined (never silently reused), recompiles heal the
+//! store in place, and a healed store serves every unit as a clean,
+//! byte-correct hit. A separate harness SIGKILLs real `matc batch`
+//! processes mid-commit and proves a fresh process always sees either
+//! the complete old unit or a clean miss — never a hybrid.
 
 use matc::batch::{artifact_bytes, run_batch, BatchConfig, Unit};
 use matc::gctd::{ArtifactCache, FaultPlan};
@@ -105,7 +115,7 @@ fn fifty_seed_matrix_degrades_or_fails_but_never_lies() {
         }
         let report_json = res.report.to_json();
         assert!(
-            report_json.starts_with("{\"schema\":6,\"kind\":\"batch\","),
+            report_json.starts_with("{\"schema\":7,\"kind\":\"batch\","),
             "seed {seed}: stats schema drifted"
         );
 
@@ -121,6 +131,226 @@ fn fifty_seed_matrix_degrades_or_fails_but_never_lies() {
         );
         let _ = std::fs::remove_dir_all(&dir);
     }
+}
+
+#[test]
+fn store_chaos_matrix_quarantines_heals_and_never_poisons() {
+    // Fifty seed-derived store-fault plans (fragment corruption, torn
+    // manifests, writer death mid-commit, plus legacy read rot on some
+    // seeds). Store faults never touch the pipeline, so *every* faulty
+    // run must still produce reference bytes for every unit — the store
+    // degrades to recompiles, never to wrong artifacts. Afterwards a
+    // clean pass must quarantine whatever rotted (with one structured
+    // warning per file), heal the store by republishing, and leave a
+    // second clean pass serving every unit as a byte-correct hit.
+    let units = matrix_units();
+    let reference = artifact_bytes(&run_batch(&units, &BatchConfig::default(), None));
+    let mut saw_quarantine = false;
+
+    for seed in 0..50u64 {
+        let plan = FaultPlan::store_from_seed(seed);
+        let dir = scratch_dir(&format!("store-{seed}"));
+        let cfg = BatchConfig {
+            jobs: 3,
+            faults: Some(plan),
+            ..BatchConfig::default()
+        };
+        // Two faulty rounds over one store: round 2 reads back whatever
+        // rot round 1 committed to disk.
+        let faulty_cache = ArtifactCache::at_dir(&dir).unwrap().with_faults(plan);
+        for round in 1..=2 {
+            let res = run_batch(&units, &cfg, Some(&faulty_cache));
+            assert_eq!(
+                artifact_bytes(&res),
+                reference,
+                "seed {seed} round {round}: store faults changed compile output"
+            );
+            for o in &res.outcomes {
+                assert!(
+                    o.metrics.error.is_none() && o.metrics.degradations.is_empty(),
+                    "seed {seed} round {round}/{}: store faults must stay out of the pipeline",
+                    o.name
+                );
+            }
+        }
+        drop(faulty_cache);
+
+        // Clean pass: corrupt files are quarantined and recompiled
+        // around, one structured warning per quarantined file, and the
+        // served bytes are the reference.
+        let clean_cache = ArtifactCache::at_dir(&dir).unwrap();
+        let clean = run_batch(&units, &BatchConfig::default(), Some(&clean_cache));
+        assert_eq!(
+            artifact_bytes(&clean),
+            reference,
+            "seed {seed}: the store served a wrong artifact after the faulty rounds"
+        );
+        let warnings = clean_cache.drain_warnings();
+        assert_eq!(
+            clean.report.cache_quarantined as usize,
+            warnings.len(),
+            "seed {seed}: quarantine counter and warnings disagree: {warnings:?}"
+        );
+        if clean.report.cache_quarantined > 0 {
+            saw_quarantine = true;
+            let corrupt = std::fs::read_dir(dir.join("corrupt"))
+                .map(|d| d.count())
+                .unwrap_or(0);
+            assert!(
+                corrupt >= clean.report.cache_quarantined as usize,
+                "seed {seed}: quarantined files missing from corrupt/"
+            );
+        }
+
+        // Self-heal: the clean pass republished everything it had to
+        // recompile, so a second clean instance sees a fully healthy
+        // store — all hits, nothing further quarantined.
+        let healed_cache = ArtifactCache::at_dir(&dir).unwrap();
+        let healed = run_batch(&units, &BatchConfig::default(), Some(&healed_cache));
+        assert_eq!(
+            healed.report.cache_hits as usize,
+            units.len(),
+            "seed {seed}: store not healed in place"
+        );
+        assert_eq!(
+            healed.report.cache_quarantined, 0,
+            "seed {seed}: healed store still quarantining"
+        );
+        assert_eq!(artifact_bytes(&healed), reference);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    assert!(
+        saw_quarantine,
+        "no seed quarantined anything — the store matrix is not exercising corruption"
+    );
+}
+
+/// Copies the published store files (`units/`, `frags/`) so each kill
+/// seed starts from the same pre-populated golden store.
+fn copy_store(src: &std::path::Path, dst: &std::path::Path) {
+    for sub in ["units", "frags"] {
+        let to = dst.join(sub);
+        std::fs::create_dir_all(&to).unwrap();
+        let Ok(entries) = std::fs::read_dir(src.join(sub)) else {
+            continue;
+        };
+        for e in entries {
+            let e = e.unwrap();
+            std::fs::copy(e.path(), to.join(e.file_name())).unwrap();
+        }
+    }
+}
+
+#[test]
+fn kill_mid_put_leaves_complete_old_unit_or_clean_miss() {
+    // Fifty real `matc batch` OS processes, each SIGKILLed at a
+    // different point of its run over a store pre-populated with the
+    // *old* version of every unit. The crash-safety ordering (fragments
+    // fsynced, then one atomic manifest rename) means a fresh process
+    // must afterwards see, for every key, either a complete entry or a
+    // clean miss: the old units all survive as byte-correct hits, the
+    // new units recompile to reference bytes, and nothing — ever — is
+    // quarantined, because a kill can strand debris but can never tear
+    // a published file.
+    let old_units = matrix_units();
+    let new_units: Vec<Unit> = old_units
+        .iter()
+        .map(|u| {
+            let mut u2 = u.clone();
+            u2.sources[0] = u2.sources[0].replace("s = 0;", "s = 2;");
+            u2
+        })
+        .collect();
+    let old_reference = artifact_bytes(&run_batch(&old_units, &BatchConfig::default(), None));
+    let new_reference = artifact_bytes(&run_batch(&new_units, &BatchConfig::default(), None));
+    assert_ne!(old_reference, new_reference, "the edit must change bytes");
+
+    // Golden store: the old version of every unit, published cleanly.
+    let golden = scratch_dir("kill-golden");
+    {
+        let cache = ArtifactCache::at_dir(&golden).unwrap();
+        let res = run_batch(&old_units, &BatchConfig::default(), Some(&cache));
+        assert_eq!(res.failed(), 0);
+    }
+
+    // The new sources on disk, as the child processes will see them.
+    let src_dir = scratch_dir("kill-src");
+    std::fs::create_dir_all(&src_dir).unwrap();
+    let mut specs = Vec::new();
+    for (i, u) in new_units.iter().enumerate() {
+        let driver = src_dir.join(format!("fi{i}.m"));
+        let helper = src_dir.join(format!("h{i}.m"));
+        std::fs::write(&driver, &u.sources[0]).unwrap();
+        std::fs::write(&helper, &u.sources[1]).unwrap();
+        specs.push(format!("{},{}", driver.display(), helper.display()));
+    }
+
+    let spawn = |cache_dir: &std::path::Path| {
+        std::process::Command::new(env!("CARGO_BIN_EXE_matc"))
+            .arg("batch")
+            .args(["--jobs", "1", "--cache-dir"])
+            .arg(cache_dir)
+            .args(&specs)
+            .stdout(std::process::Stdio::null())
+            .stderr(std::process::Stdio::null())
+            .spawn()
+            .unwrap()
+    };
+
+    // Seed 0 runs to completion and calibrates the kill window; later
+    // seeds die at delays spread across that window, so kills land
+    // before the first publish, between publishes, and mid-write.
+    let start = std::time::Instant::now();
+    let full_run_us = {
+        let dir = scratch_dir("kill-0");
+        copy_store(&golden, &dir);
+        let status = spawn(&dir).wait().unwrap();
+        assert!(status.success(), "uninterrupted child failed");
+        let _ = std::fs::remove_dir_all(&dir);
+        start.elapsed().as_micros().max(10_000) as u64
+    };
+
+    for seed in 1..50u64 {
+        let dir = scratch_dir(&format!("kill-{seed}"));
+        copy_store(&golden, &dir);
+        let mut child = spawn(&dir);
+        std::thread::sleep(std::time::Duration::from_micros(seed * full_run_us / 49));
+        let _ = child.kill();
+        let _ = child.wait();
+
+        // Fresh process over the killed store: every old unit survives
+        // as a byte-correct hit…
+        let cache = ArtifactCache::at_dir(&dir).unwrap();
+        let old = run_batch(&old_units, &BatchConfig::default(), Some(&cache));
+        assert_eq!(
+            old.report.cache_hits as usize,
+            old_units.len(),
+            "seed {seed}: a kill mid-commit damaged a previously published unit"
+        );
+        assert_eq!(
+            artifact_bytes(&old),
+            old_reference,
+            "seed {seed}: old unit bytes drifted"
+        );
+        // …every new unit is a complete entry or a clean miss (the
+        // recompile converges to reference bytes either way), and
+        // nothing is quarantined: kills strand debris, they never tear
+        // a published file.
+        let new = run_batch(&new_units, &BatchConfig::default(), Some(&cache));
+        assert_eq!(
+            artifact_bytes(&new),
+            new_reference,
+            "seed {seed}: new unit bytes drifted after the kill"
+        );
+        assert_eq!(
+            old.report.cache_quarantined + new.report.cache_quarantined,
+            0,
+            "seed {seed}: a SIGKILL produced a torn published file"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    let _ = std::fs::remove_dir_all(&golden);
+    let _ = std::fs::remove_dir_all(&src_dir);
 }
 
 #[test]
