@@ -714,7 +714,7 @@ fn lease_is_stale(path: &Path) -> bool {
     )
 }
 
-/// Point-in-time store counters (schema-v7 stats `store` object).
+/// Point-in-time store counters (schema-v8 stats `store` object).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Whole-unit hits (memory or verified manifest).

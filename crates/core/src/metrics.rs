@@ -478,8 +478,13 @@ impl BatchReport {
     /// crash-safe artifact store's counters (`partial_hits`,
     /// `frag_misses`, `quarantined`) joined the top-level `cache`
     /// object and the per-unit `cache` value gained `"partial"`
-    /// (PR 8, function-granular incremental compilation).
-    pub const SCHEMA_VERSION: u32 = 7;
+    /// (PR 8, function-granular incremental compilation); from 7 to 8
+    /// when the event-driven serve reactor's counters (`backend`,
+    /// `conns_accepted`, `conns_open`, `frames_in`, `responses_out`,
+    /// `pipelined_peak`, `write_overflow_disconnects`, `wakeups`)
+    /// joined the `server` object as a nested `reactor` object
+    /// (PR 9, epoll readiness loop + request pipelining).
+    pub const SCHEMA_VERSION: u32 = 8;
 
     /// The full stats document (`matc batch --stats`), `"kind":"batch"`.
     pub fn to_json(&self) -> String {
@@ -588,8 +593,8 @@ impl BatchReport {
 }
 
 /// Aggregate counters of one `matc shadow` run — the top-level
-/// `shadow` object of the schema-v7 stats document
-/// (`{"schema":7,"kind":"shadow","shadow":{…},…}`).
+/// `shadow` object of the schema-v8 stats document
+/// (`{"schema":8,"kind":"shadow","shadow":{…},…}`).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ShadowStats {
     /// Units replayed.
@@ -762,10 +767,10 @@ mod tests {
         assert_eq!(report.degraded(), 1);
         assert_eq!(report.failed(), 0);
         let j = report.to_json();
-        assert!(j.starts_with("{\"schema\":7,\"kind\":\"batch\","), "{j}");
+        assert!(j.starts_with("{\"schema\":8,\"kind\":\"batch\","), "{j}");
         let served = report.to_json_with_kind("serve", ",\"server\":{\"queue_depth\":0}");
         assert!(
-            served.starts_with("{\"schema\":7,\"kind\":\"serve\",\"server\":{\"queue_depth\":0},"),
+            served.starts_with("{\"schema\":8,\"kind\":\"serve\",\"server\":{\"queue_depth\":0},"),
             "{served}"
         );
         assert!(report.render_table().contains("degraded (1 event(s))"));

@@ -38,9 +38,11 @@ batch-bench:
 # memory-only caching without failing the batch (exit 0).
 # The tracked performance gate (DESIGN.md §8): compile the benchsuite
 # plus the paper_scale stress unit, record median phase times / dataflow
-# fixpoint iterations / interference edges per second, and fail on >25%
-# regression vs the committed BENCH_gctd.json baseline. Only the
-# regression threshold gates — wall-clock noise on slower CI machines
+# fixpoint iterations / interference edges per second, drive the serve
+# reactor with 32 concurrent pipelined connections (serve_rps gates
+# higher-is-better, serve_p99_micros lower-is-better; DESIGN.md §13),
+# and fail on >25% regression vs the committed BENCH_gctd.json
+# baseline. Only the regression threshold gates — wall-clock noise on slower CI machines
 # is absorbed by widening the tolerance, e.g.
 # `MATC_PERF_TOLERANCE=1.0 just perf-bench`, not by editing the
 # baseline. Re-bless after an intentional change with

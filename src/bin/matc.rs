@@ -39,7 +39,7 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: matc <run|emit-c|plan|stats|audit> [--no-gctd] [--seed N] [--mcc|--interp] [--json] [--jobs N] file.m [more.m ...]\n       matc audit [--jobs N] file.m [...]\n                            lint + independently re-check the storage plan:\n                            liveness/sizing checks (A1xx-A4xx), production-\n                            vs-auditor engine agreement (A5xx), and dead\n                            resize-annotation lints (L004); --jobs fans\n                            per-function audits over a work-stealing pool\n                            with byte-identical findings for every N\n       matc audit-bench     audit every benchsuite program's plan and print\n                            a reference-vs-worklist dataflow engine timing\n                            table with per-benchmark speedups\n       matc shadow [--bench] [--seed N] [--no-gctd] [--json] [--stats FILE]\n                  [file.m[,helper.m...] ...]\n                            plan-validating shadow run: execute each unit\n                            under both the reference interpreter and the\n                            probed planned VM, replay the probe log against\n                            the storage plan, and report plan-vs-reality\n                            diffs (S100 output divergence, S101 `o` resize,\n                            S102 stack overflow — errors; S103 `+-` never\n                            resized — warning; S104 read outside liveness,\n                            S105 Equation-2 mismatch — errors); --stats\n                            writes the schema-v7 shadow{{}} stats document\n       shadow exit codes: 0 clean (warnings allowed), 1 diff or failure,\n                          2 usage\n       matc runtime <dir>   write the mrt C support runtime (mrt.h, mrt.c)\n       matc batch [--jobs N] [--cache-dir DIR] [--stats FILE] [--emit-dir DIR]\n                  [--no-gctd] [--repeat N] [--bench] [--selfcheck]\n                  [--keep-going|--fail-fast] [--phase-timeout-ms N] [--fuel N]\n                  [--faults SPEC] [driver.m[,helper.m...] ...]\n                            compile many programs in parallel with caching;\n                            --selfcheck proves parallel/sequential/cached runs\n                            byte-identical and reports the speedup;\n                            --faults takes a seeded fault-injection spec\n                            (also read from MATC_FAULTS), e.g.\n                            seed=7,read=10,write=30,panic=0,audit=100,transient=2\n       batch exit codes: 0 all units clean, 1 unit(s) failed, 2 usage,\n                         3 all compiled but some degraded to the\n                         conservative plan\n       matc serve [--addr HOST:PORT] [--jobs N] [--queue-cap N] [--high-water N]\n                  [--drain-ms N] [--idle-timeout-ms N] [--cache-dir DIR]\n                  [--breaker-threshold N] [--breaker-cooldown-ms N]\n                  [--phase-timeout-ms N] [--fuel N] [--faults SPEC] [--no-gctd]\n                            newline-delimited-JSON compile daemon (DESIGN.md §9)\n                            with bounded admission (shed at --queue-cap,\n                            degrade to the conservative plan at --high-water),\n                            per-request deadlines, per-unit circuit breakers\n                            and graceful SIGTERM/SIGINT draining;\n                            --faults also accepts the network-chaos keys\n                            accept=,disconnect=,stall=,torn=\n       serve exit codes: 0 drained cleanly, 1 bind/drain failure, 2 usage\n       matc request [--addr HOST:PORT] [--op compile|audit|healthz|stats|shutdown]\n                  [--name NAME] [--deadline-ms N] [--retries N] [--emit]\n                  [driver.m[,helper.m...]]\n                            one request against a running daemon, with capped\n                            jittered exponential backoff and deadline\n                            propagation; prints the response JSON\n       request exit codes: 0 server replied ok:true, 1 rejected/error, 2 usage\n       matc perf-bench [--samples N] [--warmup N] [--baseline FILE] [--bless]\n                            compile the benchsuite + paper_scale, record\n                            median phase times / fixpoint iterations /\n                            interference edges per second in BENCH_gctd.json,\n                            and fail on >25% regression vs the committed\n                            baseline (tolerance via MATC_PERF_TOLERANCE;\n                            --bless rewrites the baseline)\n       matc cache-bench [--stages N] [--cache-dir DIR]\n                            incremental-compilation gate: cold-compile the\n                            multi-function paper_scale unit, edit one\n                            function, and prove the warm recompile re-plans\n                            only that function, reuses every other cached\n                            fragment, and stitches a byte-identical artifact"
+        "usage: matc <run|emit-c|plan|stats|audit> [--no-gctd] [--seed N] [--mcc|--interp] [--json] [--jobs N] file.m [more.m ...]\n       matc audit [--jobs N] file.m [...]\n                            lint + independently re-check the storage plan:\n                            liveness/sizing checks (A1xx-A4xx), production-\n                            vs-auditor engine agreement (A5xx), and dead\n                            resize-annotation lints (L004); --jobs fans\n                            per-function audits over a work-stealing pool\n                            with byte-identical findings for every N\n       matc audit-bench     audit every benchsuite program's plan and print\n                            a reference-vs-worklist dataflow engine timing\n                            table with per-benchmark speedups\n       matc shadow [--bench] [--seed N] [--no-gctd] [--json] [--stats FILE]\n                  [file.m[,helper.m...] ...]\n                            plan-validating shadow run: execute each unit\n                            under both the reference interpreter and the\n                            probed planned VM, replay the probe log against\n                            the storage plan, and report plan-vs-reality\n                            diffs (S100 output divergence, S101 `o` resize,\n                            S102 stack overflow — errors; S103 `+-` never\n                            resized — warning; S104 read outside liveness,\n                            S105 Equation-2 mismatch — errors); --stats\n                            writes the schema-v8 shadow{{}} stats document\n       shadow exit codes: 0 clean (warnings allowed), 1 diff or failure,\n                          2 usage\n       matc runtime <dir>   write the mrt C support runtime (mrt.h, mrt.c)\n       matc batch [--jobs N] [--cache-dir DIR] [--stats FILE] [--emit-dir DIR]\n                  [--no-gctd] [--repeat N] [--bench] [--selfcheck]\n                  [--keep-going|--fail-fast] [--phase-timeout-ms N] [--fuel N]\n                  [--faults SPEC] [driver.m[,helper.m...] ...]\n                            compile many programs in parallel with caching;\n                            --selfcheck proves parallel/sequential/cached runs\n                            byte-identical and reports the speedup;\n                            --faults takes a seeded fault-injection spec\n                            (also read from MATC_FAULTS), e.g.\n                            seed=7,read=10,write=30,panic=0,audit=100,transient=2\n       batch exit codes: 0 all units clean, 1 unit(s) failed, 2 usage,\n                         3 all compiled but some degraded to the\n                         conservative plan\n       matc serve [--addr HOST:PORT] [--jobs N] [--queue-cap N] [--high-water N]\n                  [--drain-ms N] [--idle-timeout-ms N] [--cache-dir DIR]\n                  [--breaker-threshold N] [--breaker-cooldown-ms N]\n                  [--phase-timeout-ms N] [--fuel N] [--faults SPEC] [--no-gctd]\n                  [--max-write-buf BYTES] [--poll-backend]\n                            newline-delimited-JSON compile daemon (DESIGN.md §9,\n                            §13): a single epoll/poll reactor thread drives\n                            every pipelined connection, with bounded admission\n                            (shed at --queue-cap, degrade to the conservative\n                            plan at --high-water), per-request deadlines,\n                            per-unit circuit breakers, write-buffer\n                            backpressure (--max-write-buf) and graceful\n                            SIGTERM/SIGINT draining; --poll-backend forces the\n                            portable poll(2) loop (also MATC_SERVE_BACKEND=poll);\n                            --faults also accepts the network-chaos keys\n                            accept=,disconnect=,stall=,torn=\n       serve exit codes: 0 drained cleanly, 1 bind/drain failure, 2 usage\n       matc request [--addr HOST:PORT] [--op compile|audit|healthz|stats|shutdown]\n                  [--name NAME] [--deadline-ms N] [--retries N] [--emit]\n                  [--pipeline N] [driver.m[,helper.m...]]\n                            one request against a running daemon, with capped\n                            jittered exponential backoff and deadline\n                            propagation; prints the response JSON;\n                            --pipeline N sends N copies down one persistent\n                            connection before reading, printing the responses\n                            in request order (no retries)\n       request exit codes: 0 server replied ok:true, 1 rejected/error, 2 usage\n       matc perf-bench [--samples N] [--warmup N] [--baseline FILE] [--bless]\n                            compile the benchsuite + paper_scale, record\n                            median phase times / fixpoint iterations /\n                            interference edges per second in BENCH_gctd.json,\n                            and fail on >25% regression vs the committed\n                            baseline (tolerance via MATC_PERF_TOLERANCE;\n                            --bless rewrites the baseline)\n       matc cache-bench [--stages N] [--cache-dir DIR]\n                            incremental-compilation gate: cold-compile the\n                            multi-function paper_scale unit, edit one\n                            function, and prove the warm recompile re-plans\n                            only that function, reuses every other cached\n                            fragment, and stitches a byte-identical artifact"
     );
     ExitCode::from(2)
 }
@@ -385,6 +385,11 @@ fn serve_cli(args: &[String]) -> ExitCode {
                 Some(n) if n >= 1 => cfg.fuel = Some(n),
                 _ => return usage(),
             },
+            "--max-write-buf" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n >= 1 => cfg.max_write_buf = n,
+                _ => return usage(),
+            },
+            "--poll-backend" => cfg.force_poll = true,
             "--faults" => match it.next() {
                 Some(v) => faults_spec = Some(v.clone()),
                 None => return usage(),
@@ -476,6 +481,10 @@ fn request_cli(args: &[String]) -> ExitCode {
                 Some(n) => opts.retries = n,
                 None => return usage(),
             },
+            "--pipeline" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n >= 1 => opts.pipeline = n,
+                _ => return usage(),
+            },
             "--emit" => emit = true,
             s if s.starts_with("--") => return usage(),
             s => match spec {
@@ -513,6 +522,34 @@ fn request_cli(args: &[String]) -> ExitCode {
         if emit {
             members.push(("emit".to_string(), Json::Bool(true)));
         }
+    }
+    if opts.pipeline > 1 {
+        // Pipelined mode: N copies of the request down one persistent
+        // connection before reading anything; responses print in
+        // request order. No retry loop — the point is the raw wire
+        // discipline.
+        let frame = Json::Obj(members).render();
+        let frames = vec![frame; opts.pipeline];
+        let timeout = std::time::Duration::from_millis(opts.deadline_ms.unwrap_or(120_000));
+        return match matc::serve::send_pipelined(&opts.addr, &frames, timeout) {
+            Ok(lines) => {
+                let mut all_ok = true;
+                for line in &lines {
+                    println!("{line}");
+                    all_ok &= Json::parse(line)
+                        .is_ok_and(|r| r.get("ok").and_then(Json::as_bool) == Some(true));
+                }
+                if all_ok {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                }
+            }
+            Err(e) => {
+                eprintln!("matc: {e}");
+                ExitCode::FAILURE
+            }
+        };
     }
     match matc::serve::request_with_retries(&opts, &Json::Obj(members)) {
         Ok(resp) => {

@@ -9,8 +9,32 @@
 //! use. Numbers are kept as `f64` — protocol payloads carry counts and
 //! millisecond durations, all far inside the exactly-representable
 //! integer range.
+//!
+//! Since the serve reactor rewrite the framing layer is zero-copy:
+//! [`scan_frame`] finds the next `\n` over a connection's read buffer
+//! without copying (callers track the already-scanned offset so a
+//! slow-arriving frame is never rescanned), [`Json::parse_bytes`]
+//! parses a frame in place from the buffer slice, and
+//! [`Json::render_to`] appends a rendered response directly to a
+//! connection's write buffer — no per-request `String` allocation or
+//! `BufReader` line copy anywhere on the hot path.
 
 use std::fmt::Write as _;
+
+/// Finds the next frame terminator (`\n`) in `buf`, scanning only
+/// `buf[from..]`. Returns its absolute index.
+///
+/// The reactor calls this with `from` set to wherever the previous
+/// scan stopped, so each buffered byte is examined exactly once no
+/// matter how many reads a frame trickles in over.
+#[must_use]
+pub fn scan_frame(buf: &[u8], from: usize) -> Option<usize> {
+    let start = from.min(buf.len());
+    buf[start..]
+        .iter()
+        .position(|b| *b == b'\n')
+        .map(|i| start + i)
+}
 
 /// A parsed JSON value.
 #[derive(Debug, Clone, PartialEq)]
@@ -51,15 +75,35 @@ impl Json {
         Ok(v)
     }
 
+    /// Parses one complete JSON document directly from a byte slice —
+    /// the zero-copy entry point for protocol frames scanned out of a
+    /// connection buffer by [`scan_frame`]. Identical grammar and
+    /// error behaviour to [`Json::parse`], plus a UTF-8 check (the
+    /// wire hands us bytes, not `str`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a byte-offset-tagged message for malformed input or
+    /// invalid UTF-8.
+    pub fn parse_bytes(frame: &[u8]) -> Result<Json, String> {
+        let text = std::str::from_utf8(frame)
+            .map_err(|e| format!("invalid UTF-8 at byte {}", e.valid_up_to()))?;
+        Json::parse(text)
+    }
+
     /// Renders the value as compact JSON (no whitespace, keys in
     /// insertion order — deterministic for identical values).
     pub fn render(&self) -> String {
         let mut s = String::new();
-        self.render_into(&mut s);
+        self.render_to(&mut s);
         s
     }
 
-    fn render_into(&self, s: &mut String) {
+    /// Renders the value as compact JSON appended to `s` — the
+    /// zero-copy sibling of [`Json::render`], used by the serve
+    /// reactor to emit responses straight into a connection's write
+    /// buffer.
+    pub fn render_to(&self, s: &mut String) {
         match self {
             Json::Null => s.push_str("null"),
             Json::Bool(b) => s.push_str(if *b { "true" } else { "false" }),
@@ -77,7 +121,7 @@ impl Json {
                     if i > 0 {
                         s.push(',');
                     }
-                    v.render_into(s);
+                    v.render_to(s);
                 }
                 s.push(']');
             }
@@ -89,7 +133,7 @@ impl Json {
                     }
                     escape_into(k, s);
                     s.push(':');
-                    v.render_into(s);
+                    v.render_to(s);
                 }
                 s.push('}');
             }
@@ -455,6 +499,45 @@ mod tests {
         assert!(Json::parse(&bomb).is_err());
         let nested = format!("{}1{}", "[".repeat(63), "]".repeat(63));
         assert!(Json::parse(&nested).is_ok());
+    }
+
+    #[test]
+    fn scan_frame_resumes_where_it_stopped() {
+        let mut buf: Vec<u8> = b"{\"op\":\"healthz\"}".to_vec();
+        // No terminator yet: nothing found regardless of offset.
+        assert_eq!(scan_frame(&buf, 0), None);
+        let scanned = buf.len();
+        // The frame completes across a later read; scanning from the
+        // recorded offset still finds the newline (which may land
+        // anywhere at or after it).
+        buf.extend_from_slice(b"\n{\"op\":");
+        assert_eq!(scan_frame(&buf, scanned), Some(scanned));
+        assert_eq!(scan_frame(&buf, 0), Some(scanned), "absolute index");
+        // Past-the-end offsets are clamped, not a panic.
+        assert_eq!(scan_frame(&buf, buf.len() + 10), None);
+        // Two frames back-to-back: each scan picks up after the last.
+        let two = b"{\"a\":1}\n{\"b\":2}\n";
+        let first = scan_frame(two, 0).unwrap();
+        assert_eq!(first, 7);
+        assert_eq!(scan_frame(two, first + 1), Some(15));
+    }
+
+    #[test]
+    fn parse_bytes_matches_parse_and_rejects_bad_utf8() {
+        let frame = br#"{"op":"compile","sources":["function f()\n"]}"#;
+        assert_eq!(
+            Json::parse_bytes(frame).unwrap(),
+            Json::parse(std::str::from_utf8(frame).unwrap()).unwrap()
+        );
+        let err = Json::parse_bytes(&[b'{', 0xff, b'}']).unwrap_err();
+        assert!(err.contains("UTF-8"), "{err}");
+    }
+
+    #[test]
+    fn render_to_appends_without_clearing() {
+        let mut out = String::from("prefix:");
+        Json::num(7).render_to(&mut out);
+        assert_eq!(out, "prefix:7");
     }
 
     #[test]

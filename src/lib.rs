@@ -48,6 +48,7 @@ pub mod json;
 pub mod perf;
 pub mod serve;
 pub mod shadow;
+mod sys;
 
 pub use matc_analysis as analysis;
 pub use matc_benchsuite as benchsuite;

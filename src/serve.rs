@@ -1,12 +1,24 @@
 //! The resilient compile-service daemon behind `matc serve`, and the
 //! retrying client behind `matc request`.
 //!
-//! The daemon is a hand-rolled [`std::net`] TCP server speaking
-//! newline-delimited JSON (one request object per line, one response
-//! object per line — see DESIGN.md §9 for the protocol). Requests run
-//! through the same fault-tolerant machinery as `matc batch`
-//! ([`crate::batch::compile_unit_with`]): full-pipeline panic
-//! isolation, the degradation ladder, and the content-addressed
+//! Since the event-driven rewrite the daemon is a single-threaded
+//! **reactor**: one thread drives every connection through a
+//! level-triggered readiness loop (`src/sys.rs` — epoll on Linux, a
+//! portable `poll(2)` fallback elsewhere), with per-connection state
+//! machines over growable read/write buffers. Framing is zero-copy:
+//! [`crate::json::scan_frame`] finds newline terminators over the
+//! connection buffer (resuming where the last scan stopped) and
+//! [`Json::parse_bytes`] parses each frame in place — no per-request
+//! `String` or `BufReader` line copy. Connections are persistent and
+//! **pipelined**: a client may put many frames in flight; responses
+//! are written back strictly in request order through a per-connection
+//! slot queue. Compile work fans onto a work-stealing worker pool (the
+//! `matc batch` discipline) and comes back through a completion queue
+//! + wake pipe — no per-request or per-connection threads anywhere.
+//!
+//! Requests run through the same fault-tolerant machinery as
+//! `matc batch` ([`crate::batch::compile_unit_with`]): full-pipeline
+//! panic isolation, the degradation ladder, and the content-addressed
 //! artifact cache — a long-running process amortizes the cache across
 //! every client.
 //!
@@ -16,6 +28,9 @@
 //!   mark new compile requests are *degraded* to the conservative
 //!   mcc-style plan (cheaper, still audited), and past the cap they are
 //!   *shed* with a structured 429-style rejection;
+//! * **backpressure** — a slow-reading client cannot wedge the reactor
+//!   or balloon server memory: past `max_write_buf` unsent bytes the
+//!   connection is dropped with a structured warning;
 //! * **deadlines** — a request's `deadline_ms` becomes a hard
 //!   [`matc_ir::Budget`] deadline threaded through every phase; an
 //!   out-of-time request fails fast instead of riding the ladder;
@@ -23,19 +38,25 @@
 //!   hash quarantines units that repeatedly panic or get their plan
 //!   audit-rejected, with a half-open probe after a cooldown;
 //! * **panic isolation** — per request via the pipeline's
-//!   [`matc_gctd::isolate`]; a panicking unit is a structured error,
-//!   never a dead worker;
+//!   [`matc_gctd::isolate`], and per connection in the reactor's event
+//!   dispatch; a panicking unit (or conversation) is a structured
+//!   error, never a dead daemon;
 //! * **graceful shutdown** — SIGTERM/SIGINT (or a `shutdown` request)
-//!   stops accepting, drains queued work, and past the drain deadline
-//!   cleanly rejects whatever is still queued;
+//!   stops accepting, drains queued work, flushes buffered responses,
+//!   and past the drain deadline cleanly rejects whatever is still
+//!   queued;
 //! * **chaos probes** — the seeded [`FaultPlan`] network sites
 //!   (accept drop, mid-frame disconnect, slow-loris stall, torn
-//!   response) fire inside the server's own connection handling, so the
-//!   chaos matrix in `tests/serve_chaos.rs` can prove none of them
-//!   wedge the daemon or corrupt the cache.
+//!   response) fire as *reactor-level* injections at the same
+//!   deterministic keys as the old thread-per-connection server
+//!   (`conn{serial}`, `conn{serial}/req{n}`), so the chaos matrix in
+//!   `tests/serve_chaos.rs` can prove none of them wedge the daemon or
+//!   corrupt the cache. A stall never sleeps the reactor — it defers
+//!   that one connection's frame processing by a timestamp.
 
-use crate::batch::{compile_unit_with, BatchConfig, Unit};
-use crate::json::Json;
+use crate::batch::{compile_unit_with, BatchConfig, Unit, UnitOutcome};
+use crate::json::{self, Json};
+use crate::sys::{self, Event, Poller, WakePipe, EV_READ, EV_WRITE};
 use matc_gctd::{
     lock_recover, ArtifactCache, BreakerConfig, BreakerDecision, BreakerMap, CacheKey, FaultPlan,
     FaultSite, GctdOptions, UnitMetrics,
@@ -45,7 +66,6 @@ use std::collections::VecDeque;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -53,12 +73,30 @@ use std::time::{Duration, Instant};
 /// line must not balloon server memory.
 const MAX_FRAME_BYTES: usize = 8 * 1024 * 1024;
 
-/// How long a worker blocks on the queue condvar before re-checking
-/// the stop flags, and the accept loop's poll period.
+/// Reactor tick / worker condvar re-check period, and the accept
+/// backlog poll bound. The wake pipe makes completions immediate; this
+/// only bounds stop-flag and stall-expiry latency.
 const POLL: Duration = Duration::from_millis(20);
 
 /// How many recent per-unit metric records the stats document retains.
 const RECENT_CAP: usize = 256;
+
+/// Bytes read from a socket per `read(2)` call.
+const READ_CHUNK: usize = 16 * 1024;
+
+/// Reads serviced per readable event before yielding to other
+/// connections (level-triggered epoll re-reports leftovers).
+const READ_ROUNDS: usize = 8;
+
+/// Consumed-prefix length past which a connection buffer is compacted.
+const COMPACT_AT: usize = 64 * 1024;
+
+/// Poller token of the listening socket.
+const TOK_LISTENER: u64 = 0;
+/// Poller token of the wake pipe's read end.
+const TOK_WAKE: u64 = 1;
+/// First connection token; connection N lives at `TOK_BASE + N`.
+const TOK_BASE: u64 = 2;
 
 /// `matc serve` configuration.
 #[derive(Debug, Clone)]
@@ -77,7 +115,9 @@ pub struct ServeConfig {
     /// Graceful-shutdown drain budget: queued work still unfinished
     /// after this many milliseconds is cleanly rejected.
     pub drain_ms: u64,
-    /// Per-connection idle read timeout (slow-loris bound), ms.
+    /// Per-connection idle read timeout (slow-loris bound), ms. The
+    /// clock runs only while nothing is in flight on the connection —
+    /// a long compile never trips it.
     pub idle_timeout_ms: u64,
     /// Circuit-breaker tuning (threshold + cooldown).
     pub breaker: BreakerConfig,
@@ -91,6 +131,16 @@ pub struct ServeConfig {
     pub phase_timeout_ms: Option<u64>,
     /// Fuel allowance for request compiles.
     pub fuel: Option<u64>,
+    /// Per-connection write-buffer cap, bytes. A slow-reading client
+    /// whose unsent responses exceed this is disconnected with a
+    /// structured warning instead of growing server memory.
+    pub max_write_buf: usize,
+    /// Force the portable `poll(2)` backend even where epoll is
+    /// available (also selectable via `MATC_SERVE_BACKEND=poll`).
+    pub force_poll: bool,
+    /// Test hook: shrink accepted sockets' kernel send buffer
+    /// (`SO_SNDBUF`) so backpressure tests jam with kilobytes.
+    pub sndbuf: Option<usize>,
 }
 
 impl Default for ServeConfig {
@@ -108,6 +158,9 @@ impl Default for ServeConfig {
             faults: None,
             phase_timeout_ms: None,
             fuel: None,
+            max_write_buf: 32 * 1024 * 1024,
+            force_poll: false,
+            sndbuf: None,
         }
     }
 }
@@ -135,25 +188,140 @@ pub struct ServeSummary {
     pub drained_cleanly: bool,
 }
 
+/// What happens to a response on the wire — decided at dispatch time
+/// from the fault plan, applied when the response reaches the write
+/// buffer.
+#[derive(Debug, Clone, Copy)]
+enum RespFate {
+    /// Written normally.
+    Normal,
+    /// Injected mid-frame disconnect: the request was consumed (the
+    /// compile runs, the cache fills) but no response byte is written
+    /// and the connection closes.
+    Disconnect,
+    /// Injected torn response: a strict prefix is written, then close.
+    Torn,
+}
+
+/// Where a queued job's response goes: connection slab index, the
+/// generation guarding against slot reuse, and the in-order sequence
+/// number of its response slot.
+#[derive(Debug, Clone, Copy)]
+struct ConnRef {
+    idx: usize,
+    gen: u64,
+    seq: u64,
+}
+
 /// One queued compile/audit job.
 struct Job {
     unit: Unit,
     config: BatchConfig,
     breaker_key: String,
     probe: bool,
-    reply: mpsc::SyncSender<Result<crate::batch::UnitOutcome, String>>,
+    /// `true` for the `audit` op (embeds findings in the response).
+    audit: bool,
+    emit: bool,
+    name: String,
+    load_degraded: bool,
+    dest: ConnRef,
+    fate: RespFate,
 }
 
-/// State shared by the accept loop, connection threads and workers.
+/// A finished job's rendered response, routed back to the reactor.
+struct Completion {
+    idx: usize,
+    gen: u64,
+    seq: u64,
+    line: String,
+    fate: RespFate,
+}
+
+/// The work-stealing compile pool (the PR 2 `run_batch` discipline,
+/// made persistent): per-worker deques, pop-own-front / steal-back,
+/// a shared condvar for sleep, and an atomic depth for admission.
+struct Pool {
+    queues: Vec<Mutex<VecDeque<Job>>>,
+    depth: AtomicUsize,
+    active: AtomicUsize,
+    rr: AtomicUsize,
+    sleep: Mutex<()>,
+    cv: Condvar,
+}
+
+impl Pool {
+    fn new(workers: usize) -> Pool {
+        Pool {
+            queues: (0..workers.max(1))
+                .map(|_| Mutex::new(VecDeque::new()))
+                .collect(),
+            depth: AtomicUsize::new(0),
+            active: AtomicUsize::new(0),
+            rr: AtomicUsize::new(0),
+            sleep: Mutex::new(()),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn depth(&self) -> usize {
+        self.depth.load(Ordering::SeqCst)
+    }
+
+    fn push(&self, job: Job) {
+        let i = self.rr.fetch_add(1, Ordering::Relaxed) % self.queues.len();
+        lock_recover(&self.queues[i]).push_back(job);
+        self.depth.fetch_add(1, Ordering::SeqCst);
+        // Notify under the sleep lock so a worker between its depth
+        // re-check and its wait cannot miss the wakeup.
+        let _g = lock_recover(&self.sleep);
+        self.cv.notify_one();
+    }
+
+    /// Pops own-queue front, else steals another queue's back. The own
+    /// lock is dropped before any steal attempt — never hold two queue
+    /// locks. `active` is raised *before* `depth` drops so
+    /// `depth + active` never transiently hides an in-hand job from
+    /// the drain coordinator.
+    fn pop(&self, me: usize) -> Option<Job> {
+        if let Some(job) = lock_recover(&self.queues[me]).pop_front() {
+            self.active.fetch_add(1, Ordering::SeqCst);
+            self.depth.fetch_sub(1, Ordering::SeqCst);
+            return Some(job);
+        }
+        let n = self.queues.len();
+        for k in 1..n {
+            let i = (me + k) % n;
+            if let Some(job) = lock_recover(&self.queues[i]).pop_back() {
+                self.active.fetch_add(1, Ordering::SeqCst);
+                self.depth.fetch_sub(1, Ordering::SeqCst);
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    /// Empties every queue (drain-deadline force-reject path).
+    fn drain_all(&self) -> Vec<Job> {
+        let mut out = Vec::new();
+        for q in &self.queues {
+            let mut q = lock_recover(q);
+            while let Some(job) = q.pop_front() {
+                self.depth.fetch_sub(1, Ordering::SeqCst);
+                out.push(job);
+            }
+        }
+        out
+    }
+}
+
+/// State shared by the reactor and the worker pool.
 struct Shared {
     cfg: ServeConfig,
-    queue: Mutex<VecDeque<Job>>,
-    queue_cv: Condvar,
+    pool: Pool,
     /// Graceful shutdown requested: stop accepting, drain the queue.
     stop: AtomicBool,
     /// Drain deadline passed: workers exit even with work queued.
     abort: AtomicBool,
-    active: AtomicUsize,
     cache: Option<ArtifactCache>,
     breakers: BreakerMap,
     faults: Mutex<FaultPlan>,
@@ -167,6 +335,21 @@ struct Shared {
     breaker_rejected: AtomicU64,
     shutdown_rejected: AtomicU64,
     net_faults_fired: AtomicU64,
+    /// Finished jobs waiting for the reactor to route their responses.
+    completions: Mutex<Vec<Completion>>,
+    /// The reactor's doorbell (write: workers, read: poller).
+    wake: WakePipe,
+    /// Gate so at most one doorbell byte is outstanding per tick.
+    wake_pending: AtomicBool,
+    /// Poller backend name, for the stats census.
+    backend: &'static str,
+    conns_accepted: AtomicU64,
+    conns_open: AtomicU64,
+    frames_in: AtomicU64,
+    responses_out: AtomicU64,
+    pipelined_peak: AtomicU64,
+    write_overflow_disconnects: AtomicU64,
+    wakeups: AtomicU64,
 }
 
 impl Shared {
@@ -182,6 +365,15 @@ impl Shared {
         r.push_back(m);
     }
 
+    /// Routes a finished job back to the reactor, ringing the doorbell
+    /// at most once per reactor tick.
+    fn complete(&self, c: Completion) {
+        lock_recover(&self.completions).push(c);
+        if !self.wake_pending.swap(true, Ordering::SeqCst) {
+            self.wake.wake();
+        }
+    }
+
     fn summary(&self, drained_cleanly: bool) -> ServeSummary {
         ServeSummary {
             admitted: self.admitted.load(Ordering::Relaxed),
@@ -194,7 +386,8 @@ impl Shared {
         }
     }
 
-    /// The `"server"` object spliced into the schema-v7 stats document.
+    /// The `"server"` object spliced into the schema-v8 stats document
+    /// (v8 added the `reactor{}` counters).
     fn server_json(&self) -> String {
         let (closed, open, half_open) = self.breakers.counts();
         let store = self.cache.as_ref().map(|c| c.stats()).unwrap_or_default();
@@ -208,12 +401,15 @@ impl Shared {
             ",\"server\":{{\"draining\":{},\"queue_depth\":{},\"active\":{},\"admitted\":{},\
              \"completed\":{},\"shed\":{},\"load_degraded\":{},\"breaker_rejected\":{},\
              \"shutdown_rejected\":{},\"net_faults_fired\":{},\
+             \"reactor\":{{\"backend\":\"{}\",\"conns_accepted\":{},\"conns_open\":{},\
+             \"frames_in\":{},\"responses_out\":{},\"pipelined_peak\":{},\
+             \"write_overflow_disconnects\":{},\"wakeups\":{}}},\
              \"breakers\":{{\"closed\":{closed},\"open\":{open},\"half_open\":{half_open}}},\
              \"cache\":{{\"hits\":{hits},\"misses\":{misses},\"partial_hits\":{partial},\
              \"quarantined\":{quarantined}}},\"uptime_ms\":{}}}",
             self.stop.load(Ordering::Relaxed),
-            lock_recover(&self.queue).len(),
-            self.active.load(Ordering::Relaxed),
+            self.pool.depth(),
+            self.pool.active.load(Ordering::SeqCst),
             self.admitted.load(Ordering::Relaxed),
             self.completed.load(Ordering::Relaxed),
             self.shed.load(Ordering::Relaxed),
@@ -221,6 +417,14 @@ impl Shared {
             self.breaker_rejected.load(Ordering::Relaxed),
             self.shutdown_rejected.load(Ordering::Relaxed),
             self.net_faults_fired.load(Ordering::Relaxed),
+            self.backend,
+            self.conns_accepted.load(Ordering::Relaxed),
+            self.conns_open.load(Ordering::Relaxed),
+            self.frames_in.load(Ordering::Relaxed),
+            self.responses_out.load(Ordering::Relaxed),
+            self.pipelined_peak.load(Ordering::Relaxed),
+            self.write_overflow_disconnects.load(Ordering::Relaxed),
+            self.wakeups.load(Ordering::Relaxed),
             self.started.elapsed().as_millis(),
         )
     }
@@ -242,7 +446,7 @@ impl ServerHandle {
     /// Requests graceful shutdown and waits for the drain to finish.
     pub fn shutdown(self) -> ServeSummary {
         self.shared.stop.store(true, Ordering::SeqCst);
-        self.shared.queue_cv.notify_all();
+        self.shared.pool.cv.notify_all();
         self.join()
     }
 
@@ -261,17 +465,47 @@ impl ServerHandle {
     }
 }
 
+#[cfg(unix)]
+fn fd_of_stream(s: &TcpStream, _fallback: u64) -> i32 {
+    use std::os::fd::AsRawFd;
+    s.as_raw_fd()
+}
+
+#[cfg(not(unix))]
+fn fd_of_stream(_s: &TcpStream, fallback: u64) -> i32 {
+    fallback as i32
+}
+
+#[cfg(unix)]
+fn fd_of_listener(l: &TcpListener, _fallback: u64) -> i32 {
+    use std::os::fd::AsRawFd;
+    l.as_raw_fd()
+}
+
+#[cfg(not(unix))]
+fn fd_of_listener(_l: &TcpListener, fallback: u64) -> i32 {
+    fallback as i32
+}
+
 /// Binds and starts the daemon in background threads, returning once
 /// the listener is live. The CLI wraps this with [`serve`]; tests use
 /// the handle directly.
 ///
 /// # Errors
 ///
-/// Returns the bind/configuration error.
+/// Returns the bind/configuration error (including poller or wake-pipe
+/// setup failures).
 pub fn start(cfg: ServeConfig) -> io::Result<ServerHandle> {
     let listener = TcpListener::bind(&cfg.addr)?;
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
+
+    let force_poll = cfg.force_poll
+        || std::env::var("MATC_SERVE_BACKEND")
+            .map(|v| v == "poll")
+            .unwrap_or(false);
+    let poller = Poller::new(force_poll)?;
+    let wake = WakePipe::new()?;
 
     let cache = match &cfg.cache_dir {
         Some(d) => {
@@ -289,12 +523,10 @@ pub fn start(cfg: ServeConfig) -> io::Result<ServerHandle> {
     let shared = Arc::new(Shared {
         breakers: BreakerMap::new(cfg.breaker),
         faults: Mutex::new(cfg.faults.unwrap_or(FaultPlan::quiet(0))),
+        pool: Pool::new(cfg.jobs),
         cfg,
-        queue: Mutex::new(VecDeque::new()),
-        queue_cv: Condvar::new(),
         stop: AtomicBool::new(false),
         abort: AtomicBool::new(false),
-        active: AtomicUsize::new(0),
         cache,
         recent: Mutex::new(VecDeque::new()),
         started: Instant::now(),
@@ -306,11 +538,22 @@ pub fn start(cfg: ServeConfig) -> io::Result<ServerHandle> {
         breaker_rejected: AtomicU64::new(0),
         shutdown_rejected: AtomicU64::new(0),
         net_faults_fired: AtomicU64::new(0),
+        completions: Mutex::new(Vec::new()),
+        wake,
+        wake_pending: AtomicBool::new(false),
+        backend: poller.backend(),
+        conns_accepted: AtomicU64::new(0),
+        conns_open: AtomicU64::new(0),
+        frames_in: AtomicU64::new(0),
+        responses_out: AtomicU64::new(0),
+        pipelined_peak: AtomicU64::new(0),
+        write_overflow_disconnects: AtomicU64::new(0),
+        wakeups: AtomicU64::new(0),
     });
 
     let main = {
         let shared = Arc::clone(&shared);
-        std::thread::spawn(move || run_server(shared, listener))
+        std::thread::spawn(move || run_server(shared, listener, poller))
     };
     Ok(ServerHandle { addr, shared, main })
 }
@@ -330,100 +573,54 @@ pub fn serve(cfg: ServeConfig) -> io::Result<ServeSummary> {
     Ok(handle.join())
 }
 
-/// The accept loop + worker pool + drain coordinator.
-fn run_server(shared: Arc<Shared>, listener: TcpListener) -> ServeSummary {
+/// Spawns the worker pool, runs the reactor, then joins everything.
+fn run_server(shared: Arc<Shared>, listener: TcpListener, poller: Poller) -> ServeSummary {
     let workers: Vec<_> = (0..shared.cfg.jobs.max(1))
-        .map(|_| {
+        .map(|w| {
             let shared = Arc::clone(&shared);
-            std::thread::spawn(move || worker_loop(&shared))
+            std::thread::spawn(move || worker_loop(&shared, w))
         })
         .collect();
 
-    let mut conns: Vec<std::thread::JoinHandle<()>> = Vec::new();
-    loop {
-        if shared.stop.load(Ordering::SeqCst) || signal_pending() {
-            shared.stop.store(true, Ordering::SeqCst);
-            break;
-        }
-        match listener.accept() {
-            Ok((stream, _)) => {
-                let serial = shared.conn_serial.fetch_add(1, Ordering::Relaxed);
-                let shared = Arc::clone(&shared);
-                conns.push(std::thread::spawn(move || {
-                    handle_connection(&shared, stream, serial);
-                }));
-                // Opportunistically reap finished connection threads so
-                // a long-lived daemon doesn't accumulate handles.
-                conns.retain(|h| !h.is_finished());
-            }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(POLL),
-            Err(_) => std::thread::sleep(POLL),
-        }
-    }
+    let mut reactor = Reactor {
+        shared: Arc::clone(&shared),
+        poller,
+        listener: Some(listener),
+        conns: Vec::new(),
+        free: Vec::new(),
+        next_gen: 0,
+    };
+    let drained_cleanly = reactor.run();
+    drop(reactor);
 
-    // Drain: let workers finish queued jobs inside the drain budget.
-    let drain_deadline = Instant::now() + Duration::from_millis(shared.cfg.drain_ms);
-    let mut drained_cleanly = true;
-    loop {
-        let queued = lock_recover(&shared.queue).len();
-        let active = shared.active.load(Ordering::Relaxed);
-        if queued == 0 && active == 0 {
-            break;
-        }
-        if Instant::now() > drain_deadline {
-            // Past the budget: cleanly reject whatever is still queued
-            // (in-flight compiles are left to finish — they are bounded
-            // by their own budgets/deadlines).
-            let mut q = lock_recover(&shared.queue);
-            if !q.is_empty() {
-                drained_cleanly = false;
-            }
-            for job in q.drain(..) {
-                shared.shutdown_rejected.fetch_add(1, Ordering::Relaxed);
-                let _ = job
-                    .reply
-                    .send(Err("shutting down: drain deadline exceeded".to_string()));
-            }
-            drop(q);
-            shared.abort.store(true, Ordering::SeqCst);
-            shared.queue_cv.notify_all();
-        }
-        std::thread::sleep(POLL);
-    }
     shared.abort.store(true, Ordering::SeqCst);
-    shared.queue_cv.notify_all();
+    shared.pool.cv.notify_all();
     for w in workers {
         let _ = w.join();
-    }
-    for c in conns {
-        let _ = c.join();
     }
     shared.summary(drained_cleanly)
 }
 
-/// One compile worker: pops jobs, runs the isolated pipeline, feeds the
-/// breaker, and replies.
-fn worker_loop(shared: &Shared) {
+/// One compile worker: pops (or steals) jobs, runs the isolated
+/// pipeline, feeds the breaker, renders the response, and hands it to
+/// the reactor through the completion queue.
+fn worker_loop(shared: &Shared, me: usize) {
     loop {
-        let job = {
-            let mut q = lock_recover(&shared.queue);
-            loop {
-                if let Some(job) = q.pop_front() {
-                    break job;
-                }
-                if shared.abort.load(Ordering::SeqCst)
-                    || (shared.stop.load(Ordering::SeqCst) && q.is_empty())
-                {
-                    return;
-                }
-                let (guard, _) = shared.queue_cv.wait_timeout(q, POLL).unwrap_or_else(|p| {
-                    let (g, t) = p.into_inner();
-                    (g, t)
-                });
-                q = guard;
+        let Some(job) = shared.pool.pop(me) else {
+            let guard = lock_recover(&shared.pool.sleep);
+            if shared.pool.depth() > 0 {
+                continue;
             }
+            if shared.abort.load(Ordering::SeqCst) || shared.stop.load(Ordering::SeqCst) {
+                return;
+            }
+            let _ = shared
+                .pool
+                .cv
+                .wait_timeout(guard, POLL)
+                .unwrap_or_else(|p| p.into_inner());
+            continue;
         };
-        shared.active.fetch_add(1, Ordering::SeqCst);
         let outcome = compile_unit_with(&job.unit, &job.config, shared.cache.as_ref());
         // Breaker accounting: panics/fatal errors and audit-rejected
         // plans count as failures; clean and merely-degraded-by-budget
@@ -443,119 +640,704 @@ fn worker_loop(shared: &Shared) {
         }
         shared.completed.fetch_add(1, Ordering::Relaxed);
         shared.note_metrics(outcome.metrics.clone());
-        let _ = job.reply.send(Ok(outcome));
-        shared.active.fetch_sub(1, Ordering::SeqCst);
+        let line = render_outcome(&job, &outcome);
+        shared.complete(Completion {
+            idx: job.dest.idx,
+            gen: job.dest.gen,
+            seq: job.dest.seq,
+            line,
+            fate: job.fate,
+        });
+        shared.pool.active.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
-/// Result of reading one protocol frame.
-enum FrameRead {
-    Line(String),
-    Closed,
-    TimedOut,
-    TooLarge,
+/// Response assembly for a finished compile/audit job (identical wire
+/// shape to the pre-reactor server).
+fn render_outcome(job: &Job, outcome: &UnitOutcome) -> String {
+    let m = &outcome.metrics;
+    let status = if m.error.is_some() {
+        "error"
+    } else if !m.degradations.is_empty() || !m.budget_exceeded.is_empty() {
+        "degraded"
+    } else {
+        "ok"
+    };
+    let mut members: Vec<(String, Json)> = vec![
+        ("ok".to_string(), Json::Bool(true)),
+        ("unit".to_string(), Json::str(&job.name)),
+        ("status".to_string(), Json::str(status)),
+        (
+            "cached".to_string(),
+            Json::str(match m.cache {
+                CacheOutcome::Hit => "hit",
+                CacheOutcome::Miss => "miss",
+                CacheOutcome::Partial => "partial",
+                CacheOutcome::Bypass => "bypass",
+            }),
+        ),
+        (
+            "degraded_by_load".to_string(),
+            Json::Bool(job.load_degraded),
+        ),
+    ];
+    if let Some(e) = &m.error {
+        members.push(("error".to_string(), Json::str(e)));
+    }
+    if let Some(a) = &outcome.artifact {
+        members.push(("audit_errors".to_string(), Json::num(a.audit_errors())));
+        members.push(("c_bytes".to_string(), Json::num(a.c_code.len() as u64)));
+        if job.audit {
+            // The audit findings are themselves a JSON document; embed
+            // them as a value, not a string.
+            let findings = Json::parse(&a.audit_json).unwrap_or_else(|_| Json::str(&a.audit_json));
+            members.push(("findings".to_string(), findings));
+        }
+        if job.emit {
+            members.push(("c".to_string(), Json::str(&a.c_code)));
+            members.push(("plan".to_string(), Json::str(&a.plan_text)));
+        }
+    }
+    Json::Obj(members).render()
 }
 
-/// Reads one newline-terminated frame with an idle timeout, checking
-/// the stop flag between polls so draining connections close promptly.
-fn read_frame(shared: &Shared, stream: &mut TcpStream, buf: &mut Vec<u8>) -> FrameRead {
-    let idle = Duration::from_millis(shared.cfg.idle_timeout_ms.max(1));
-    let start = Instant::now();
-    let mut chunk = [0u8; 4096];
-    loop {
-        if let Some(pos) = buf.iter().position(|b| *b == b'\n') {
-            let line: Vec<u8> = buf.drain(..=pos).collect();
-            let line = String::from_utf8_lossy(&line[..line.len() - 1]).into_owned();
-            return FrameRead::Line(line);
+// ---------------------------------------------------------------------
+// Reactor
+// ---------------------------------------------------------------------
+
+/// A response slot in a connection's in-order pipeline: `resp` is
+/// `None` while the job is still in flight.
+struct Slot {
+    seq: u64,
+    resp: Option<Resp>,
+}
+
+/// A completed response, with its wire fate already decided.
+enum Resp {
+    Line(String),
+    Silent,
+    Torn(String),
+}
+
+fn wrap_fate(line: String, fate: RespFate) -> Resp {
+    match fate {
+        RespFate::Normal => Resp::Line(line),
+        RespFate::Disconnect => Resp::Silent,
+        RespFate::Torn => Resp::Torn(line),
+    }
+}
+
+/// Per-connection state machine.
+struct Conn {
+    stream: TcpStream,
+    gen: u64,
+    serial: u64,
+    /// Read buffer; `rstart..` is unconsumed, `scanned..` unexamined.
+    rbuf: Vec<u8>,
+    rstart: usize,
+    scanned: usize,
+    /// Write buffer; `wstart..` is unsent.
+    wbuf: Vec<u8>,
+    wstart: usize,
+    /// In-order response slots (the pipelining invariant lives here).
+    pending: VecDeque<Slot>,
+    next_seq: u64,
+    req_serial: u64,
+    /// Refreshed on frame consumption and response writes — not raw
+    /// reads, so a byte-trickling slow loris still times out.
+    last_activity: Instant,
+    /// Injected stall: frame processing is deferred until this passes.
+    stall_until: Option<Instant>,
+    /// The first frame after a stall skips its (already-fired) stall
+    /// check instead of re-firing forever.
+    stall_grace: bool,
+    /// Peer closed its write side; serve what's in flight, then close.
+    eof: bool,
+    /// Flush buffered responses, then close (torn/oversize/injected).
+    close_after_flush: bool,
+    /// Current poller interest includes writability.
+    want_write: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream, gen: u64, serial: u64) -> Conn {
+        Conn {
+            stream,
+            gen,
+            serial,
+            rbuf: Vec::new(),
+            rstart: 0,
+            scanned: 0,
+            wbuf: Vec::new(),
+            wstart: 0,
+            pending: VecDeque::new(),
+            next_seq: 0,
+            req_serial: 0,
+            last_activity: Instant::now(),
+            stall_until: None,
+            stall_grace: false,
+            eof: false,
+            close_after_flush: false,
+            want_write: false,
         }
-        if buf.len() > MAX_FRAME_BYTES {
-            return FrameRead::TooLarge;
+    }
+
+    fn unsent(&self) -> usize {
+        self.wbuf.len() - self.wstart
+    }
+}
+
+/// What a dispatched frame produced.
+enum Dispatch {
+    /// Response known immediately (fast ops, rejections).
+    Immediate(String),
+    /// A job was queued; the slot fills via the completion queue.
+    Queued,
+}
+
+/// The reactor: poller + listener + connection slab, all on one thread.
+struct Reactor {
+    shared: Arc<Shared>,
+    poller: Poller,
+    listener: Option<TcpListener>,
+    conns: Vec<Option<Conn>>,
+    free: Vec<usize>,
+    next_gen: u64,
+}
+
+impl Reactor {
+    /// The readiness loop. Returns `drained_cleanly`.
+    fn run(&mut self) -> bool {
+        if let Some(l) = &self.listener {
+            let fd = fd_of_listener(l, TOK_LISTENER);
+            if self.poller.register(fd, TOK_LISTENER, EV_READ).is_err() {
+                return false;
+            }
         }
-        // Draining and no complete frame buffered: close instead of
-        // waiting out the idle timeout.
-        if shared.stop.load(Ordering::SeqCst) && buf.is_empty() {
-            return FrameRead::Closed;
+        if self.shared.wake.read_fd() >= 0 {
+            let _ = self
+                .poller
+                .register(self.shared.wake.read_fd(), TOK_WAKE, EV_READ);
         }
-        if start.elapsed() > idle {
-            return FrameRead::TimedOut;
+
+        let mut events: Vec<Event> = Vec::new();
+        let mut drained_cleanly = true;
+        let mut drain_deadline: Option<Instant> = None;
+        let mut force_rejected = false;
+        loop {
+            if signal_pending() {
+                self.shared.stop.store(true, Ordering::SeqCst);
+            }
+            let stopping = self.shared.stop.load(Ordering::SeqCst);
+            if stopping && drain_deadline.is_none() {
+                drain_deadline =
+                    Some(Instant::now() + Duration::from_millis(self.shared.cfg.drain_ms));
+                if let Some(l) = self.listener.take() {
+                    self.poller.deregister(fd_of_listener(&l, TOK_LISTENER));
+                }
+                self.shared.pool.cv.notify_all();
+            }
+
+            // Tick bound: the poll period, shortened to the nearest
+            // injected-stall expiry so stalled frames resume promptly.
+            let now = Instant::now();
+            let mut timeout = POLL;
+            for c in self.conns.iter().flatten() {
+                if let Some(t) = c.stall_until {
+                    timeout = timeout.min(t.saturating_duration_since(now));
+                }
+            }
+            let tmo_ms = i32::try_from(timeout.as_millis()).unwrap_or(i32::MAX);
+            if self.poller.wait(&mut events, tmo_ms).is_err() {
+                std::thread::sleep(POLL);
+            }
+
+            for &ev in &events {
+                match ev.token {
+                    TOK_LISTENER => self.on_accept(),
+                    TOK_WAKE => {
+                        self.shared.wakeups.fetch_add(1, Ordering::Relaxed);
+                        self.shared.wake_pending.store(false, Ordering::SeqCst);
+                        self.shared.wake.drain();
+                    }
+                    t => {
+                        let idx = (t - TOK_BASE) as usize;
+                        self.on_conn_event(idx, ev);
+                    }
+                }
+            }
+
+            // Route finished jobs (checked every tick: the doorbell is
+            // a sleep-breaker, not the source of truth).
+            let done: Vec<Completion> =
+                std::mem::take(&mut *lock_recover(&self.shared.completions));
+            for c in done {
+                self.on_completion(c);
+            }
+
+            // Resume connections whose injected stall expired.
+            let now = Instant::now();
+            for idx in 0..self.conns.len() {
+                let expired = matches!(
+                    self.conns[idx].as_ref(),
+                    Some(c) if c.stall_until.is_some_and(|t| t <= now)
+                );
+                if expired {
+                    if let Some(c) = self.conns[idx].as_mut() {
+                        c.stall_until = None;
+                    }
+                    self.process_frames(idx);
+                }
+            }
+
+            self.sweep(stopping);
+
+            if stopping {
+                let dl = drain_deadline.unwrap_or(now);
+                if !force_rejected && Instant::now() > dl {
+                    // Past the budget: cleanly reject whatever is still
+                    // queued (in-flight compiles are left to finish —
+                    // they are bounded by their own budgets/deadlines).
+                    let leftovers = self.shared.pool.drain_all();
+                    if !leftovers.is_empty() {
+                        drained_cleanly = false;
+                    }
+                    for job in leftovers {
+                        self.shared
+                            .shutdown_rejected
+                            .fetch_add(1, Ordering::Relaxed);
+                        let line =
+                            reject("shutting_down", "shutting down: drain deadline exceeded")
+                                .render();
+                        self.on_completion(Completion {
+                            idx: job.dest.idx,
+                            gen: job.dest.gen,
+                            seq: job.dest.seq,
+                            line,
+                            fate: job.fate,
+                        });
+                    }
+                    self.shared.abort.store(true, Ordering::SeqCst);
+                    self.shared.pool.cv.notify_all();
+                    force_rejected = true;
+                }
+                let quiesced = self.shared.pool.depth() == 0
+                    && self.shared.pool.active.load(Ordering::SeqCst) == 0
+                    && lock_recover(&self.shared.completions).is_empty()
+                    && self
+                        .conns
+                        .iter()
+                        .flatten()
+                        .all(|c| c.pending.is_empty() && c.unsent() == 0);
+                if quiesced {
+                    break;
+                }
+                // Hard cutoff: a peer refusing to drain its responses
+                // must not hold the daemon open forever.
+                if Instant::now() > dl + Duration::from_secs(2) {
+                    break;
+                }
+            }
         }
-        match stream.read(&mut chunk) {
-            Ok(0) => return FrameRead::Closed,
-            Ok(n) => buf.extend_from_slice(&chunk[..n]),
-            Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+
+        for idx in 0..self.conns.len() {
+            self.kill(idx);
+        }
+        drained_cleanly
+    }
+
+    /// Accepts the whole backlog (nonblocking), applying the NetAccept
+    /// chaos probe per connection.
+    fn on_accept(&mut self) {
+        loop {
+            let Some(listener) = self.listener.as_ref() else {
+                return;
+            };
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let serial = self.shared.conn_serial.fetch_add(1, Ordering::Relaxed);
+                    self.shared.conns_accepted.fetch_add(1, Ordering::Relaxed);
+                    let conn_key = format!("conn{serial}");
+                    if self
+                        .shared
+                        .faults_now()
+                        .fires(FaultSite::NetAccept, &conn_key)
+                    {
+                        // Injected accept failure: dropped before a
+                        // single byte is read.
+                        self.shared.net_faults_fired.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    let idx = self.free.pop().unwrap_or_else(|| {
+                        self.conns.push(None);
+                        self.conns.len() - 1
+                    });
+                    let token = TOK_BASE + idx as u64;
+                    if let Some(n) = self.shared.cfg.sndbuf {
+                        let _ = sys::set_sndbuf(fd_of_stream(&stream, token), n);
+                    }
+                    if self
+                        .poller
+                        .register(fd_of_stream(&stream, token), token, EV_READ)
+                        .is_err()
+                    {
+                        self.free.push(idx);
+                        continue;
+                    }
+                    self.next_gen += 1;
+                    self.shared.conns_open.fetch_add(1, Ordering::Relaxed);
+                    self.conns[idx] = Some(Conn::new(stream, self.next_gen, serial));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(_) => return,
+            }
+        }
+    }
+
+    /// One connection's readiness event, with per-connection panic
+    /// isolation: a poisoned conversation is closed, not fatal.
+    fn on_conn_event(&mut self, idx: usize, ev: Event) {
+        if self.conns.get(idx).is_none_or(|c| c.is_none()) {
+            return;
+        }
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if ev.readable {
+                self.on_readable(idx);
+            }
+            if ev.writable {
+                self.flush_conn(idx);
+            }
+        }));
+        if outcome.is_err() {
+            eprintln!("matc: warning: connection handler panicked; closing that connection");
+            self.kill(idx);
+        }
+    }
+
+    /// Drains the socket into the read buffer (bounded per tick for
+    /// fairness), then processes any completed frames.
+    fn on_readable(&mut self, idx: usize) {
+        let mut kill = false;
+        {
+            let Some(conn) = self.conns.get_mut(idx).and_then(Option::as_mut) else {
+                return;
+            };
+            for _ in 0..READ_ROUNDS {
+                let len = conn.rbuf.len();
+                if len - conn.rstart > MAX_FRAME_BYTES {
+                    break; // oversize frame: let process_frames reject it
+                }
+                conn.rbuf.resize(len + READ_CHUNK, 0);
+                match conn.stream.read(&mut conn.rbuf[len..]) {
+                    Ok(0) => {
+                        conn.rbuf.truncate(len);
+                        conn.eof = true;
+                        break;
+                    }
+                    Ok(n) => conn.rbuf.truncate(len + n),
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        conn.rbuf.truncate(len);
+                        break;
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {
+                        conn.rbuf.truncate(len);
+                    }
+                    Err(_) => {
+                        conn.rbuf.truncate(len);
+                        kill = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if kill {
+            self.kill(idx);
+            return;
+        }
+        self.process_frames(idx);
+    }
+
+    /// Scans and dispatches every complete frame in the read buffer,
+    /// honouring injected stalls, then flushes.
+    fn process_frames(&mut self, idx: usize) {
+        let shared = Arc::clone(&self.shared);
+        loop {
+            let Some(conn) = self.conns.get_mut(idx).and_then(Option::as_mut) else {
+                return;
+            };
+            if conn.close_after_flush {
+                break;
+            }
+            if let Some(t) = conn.stall_until {
+                if Instant::now() < t {
+                    break;
+                }
+                conn.stall_until = None;
+            }
+            // Compact the consumed prefix so long-lived pipelined
+            // connections don't grow their buffers without bound.
+            if conn.rstart == conn.rbuf.len() && conn.rstart > 0 {
+                conn.rbuf.clear();
+                conn.rstart = 0;
+                conn.scanned = 0;
+            } else if conn.rstart > COMPACT_AT {
+                conn.rbuf.drain(..conn.rstart);
+                conn.scanned -= conn.rstart;
+                conn.rstart = 0;
+            }
+            let Some(nl) = json::scan_frame(&conn.rbuf, conn.scanned.max(conn.rstart)) else {
+                conn.scanned = conn.rbuf.len();
+                if conn.rbuf.len() - conn.rstart > MAX_FRAME_BYTES {
+                    let seq = conn.next_seq;
+                    conn.next_seq += 1;
+                    conn.pending.push_back(Slot {
+                        seq,
+                        resp: Some(Resp::Line(
+                            reject("bad_request", "request frame exceeds 8 MiB").render(),
+                        )),
+                    });
+                    conn.close_after_flush = true;
+                    conn.rbuf.clear();
+                    conn.rstart = 0;
+                    conn.scanned = 0;
+                }
+                break;
+            };
+            // Blank lines are frame separators, not requests.
+            if conn.rbuf[conn.rstart..nl]
+                .iter()
+                .all(u8::is_ascii_whitespace)
             {
+                conn.rstart = nl + 1;
+                conn.scanned = nl + 1;
+                conn.last_activity = Instant::now();
                 continue;
             }
-            Err(_) => return FrameRead::Closed,
-        }
-    }
-}
-
-/// One client connection: frames in, responses out, chaos probes at
-/// every network edge.
-fn handle_connection(shared: &Shared, mut stream: TcpStream, serial: u64) {
-    let conn_key = format!("conn{serial}");
-    if shared.faults_now().fires(FaultSite::NetAccept, &conn_key) {
-        // Injected accept failure: the connection is dropped before a
-        // single byte is read.
-        shared.net_faults_fired.fetch_add(1, Ordering::Relaxed);
-        return;
-    }
-    let _ = stream.set_read_timeout(Some(POLL));
-    let _ = stream.set_nodelay(true);
-    let mut buf: Vec<u8> = Vec::new();
-    let mut req_serial = 0u64;
-    loop {
-        let line = match read_frame(shared, &mut stream, &mut buf) {
-            FrameRead::Line(l) => l,
-            FrameRead::Closed | FrameRead::TimedOut => return,
-            FrameRead::TooLarge => {
-                let _ = write_frame(
-                    &mut stream,
-                    &reject("bad_request", "request frame exceeds 8 MiB").render(),
+            let faults = shared.faults_now();
+            let req_key = format!("conn{}/req{}", conn.serial, conn.req_serial + 1);
+            if !conn.stall_grace && faults.fires(FaultSite::NetStall, &req_key) {
+                // Injected slow-loris pause on this request's read
+                // path: defer this connection's frame processing —
+                // never the reactor — until the stall passes.
+                shared.net_faults_fired.fetch_add(1, Ordering::Relaxed);
+                conn.stall_until = Some(
+                    Instant::now() + Duration::from_millis(shared.cfg.idle_timeout_ms.min(40)),
                 );
-                return;
+                conn.stall_grace = true;
+                break;
             }
-        };
-        if line.trim().is_empty() {
-            continue;
+            conn.stall_grace = false;
+            conn.req_serial += 1;
+            conn.last_activity = Instant::now();
+            shared.frames_in.fetch_add(1, Ordering::Relaxed);
+            let fate = if faults.fires(FaultSite::NetDisconnect, &req_key) {
+                shared.net_faults_fired.fetch_add(1, Ordering::Relaxed);
+                RespFate::Disconnect
+            } else if faults.fires(FaultSite::NetTorn, &req_key) {
+                shared.net_faults_fired.fetch_add(1, Ordering::Relaxed);
+                RespFate::Torn
+            } else {
+                RespFate::Normal
+            };
+            let seq = conn.next_seq;
+            conn.next_seq += 1;
+            let dest = ConnRef {
+                idx,
+                gen: conn.gen,
+                seq,
+            };
+            let frame_start = conn.rstart;
+            conn.rstart = nl + 1;
+            conn.scanned = nl + 1;
+            let disp = dispatch(&shared, &conn.rbuf[frame_start..nl], dest, fate);
+            match disp {
+                Dispatch::Immediate(line) => conn.pending.push_back(Slot {
+                    seq,
+                    resp: Some(wrap_fate(line, fate)),
+                }),
+                Dispatch::Queued => conn.pending.push_back(Slot { seq, resp: None }),
+            }
+            shared
+                .pipelined_peak
+                .fetch_max(conn.pending.len() as u64, Ordering::Relaxed);
         }
-        req_serial += 1;
-        let req_key = format!("conn{serial}/req{req_serial}");
-        let faults = shared.faults_now();
-        if faults.fires(FaultSite::NetStall, &req_key) {
-            // Injected slow-loris pause on this request's read path.
-            // Thread-per-connection keeps other clients unaffected; the
-            // idle timeout bounds the real-client version of this.
-            shared.net_faults_fired.fetch_add(1, Ordering::Relaxed);
-            std::thread::sleep(Duration::from_millis(shared.cfg.idle_timeout_ms.min(40)));
+        self.flush_conn(idx);
+    }
+
+    /// Fills a queued response slot and flushes whatever is now ready.
+    fn on_completion(&mut self, c: Completion) {
+        let idx = c.idx;
+        {
+            let Some(conn) = self.conns.get_mut(idx).and_then(Option::as_mut) else {
+                return; // connection died; response discarded
+            };
+            if conn.gen != c.gen {
+                return; // slot reused by a newer connection
+            }
+            let Some(slot) = conn.pending.iter_mut().find(|s| s.seq == c.seq) else {
+                return; // slot dropped by an earlier torn/disconnect
+            };
+            slot.resp = Some(wrap_fate(c.line, c.fate));
         }
-        let response = process_request(shared, &line);
-        if faults.fires(FaultSite::NetDisconnect, &req_key) {
-            // Injected mid-frame disconnect: request consumed, no
-            // response byte written.
-            shared.net_faults_fired.fetch_add(1, Ordering::Relaxed);
-            return;
+        self.flush_conn(idx);
+    }
+
+    /// Moves completed in-order responses into the write buffer,
+    /// writes as much as the socket accepts, enforces the write-buffer
+    /// cap, and manages write-interest registration.
+    fn flush_conn(&mut self, idx: usize) {
+        let mut kill = false;
+        let mut overflow = 0u64;
+        {
+            let Some(conn) = self.conns.get_mut(idx).and_then(Option::as_mut) else {
+                return;
+            };
+            // Responses leave strictly in request order: stop at the
+            // first still-in-flight slot.
+            while let Some(front) = conn.pending.front() {
+                if front.resp.is_none() {
+                    break;
+                }
+                let slot = conn.pending.pop_front().expect("front exists");
+                match slot.resp.expect("checked above") {
+                    Resp::Line(s) => {
+                        conn.wbuf.extend_from_slice(s.as_bytes());
+                        conn.wbuf.push(b'\n');
+                        self.shared.responses_out.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Resp::Silent => {
+                        // Injected mid-frame disconnect: requests up to
+                        // here answered, this one consumed silently,
+                        // everything after it dropped.
+                        conn.close_after_flush = true;
+                        conn.pending.clear();
+                        break;
+                    }
+                    Resp::Torn(s) => {
+                        // Injected torn response: a strict prefix, then
+                        // the connection dies.
+                        let mut full = s.into_bytes();
+                        full.push(b'\n');
+                        let cut = (full.len() / 2).max(1);
+                        conn.wbuf.extend_from_slice(&full[..cut]);
+                        conn.close_after_flush = true;
+                        conn.pending.clear();
+                        break;
+                    }
+                }
+            }
+            let mut progressed = false;
+            loop {
+                if conn.wstart >= conn.wbuf.len() {
+                    break;
+                }
+                match conn.stream.write(&conn.wbuf[conn.wstart..]) {
+                    Ok(0) => {
+                        kill = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        conn.wstart += n;
+                        conn.last_activity = Instant::now();
+                        progressed = true;
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        kill = true;
+                        break;
+                    }
+                }
+            }
+            if !kill {
+                if conn.wstart == conn.wbuf.len() {
+                    conn.wbuf.clear();
+                    conn.wstart = 0;
+                } else if conn.wstart > COMPACT_AT {
+                    conn.wbuf.drain(..conn.wstart);
+                    conn.wstart = 0;
+                }
+                let unsent = conn.unsent();
+                if unsent > self.shared.cfg.max_write_buf.max(1) && !progressed {
+                    // Backpressure: over the cap AND the socket took
+                    // nothing this flush — a stalled reader forfeits
+                    // the connection rather than growing server
+                    // memory. A reader that is still draining is
+                    // never cut, even mid-oversized-response.
+                    overflow = conn.serial + 1; // +1 so conn0 is truthy
+                    kill = true;
+                } else {
+                    let want_write = unsent > 0;
+                    if want_write != conn.want_write {
+                        conn.want_write = want_write;
+                        let token = TOK_BASE + idx as u64;
+                        let interest = if want_write {
+                            EV_READ | EV_WRITE
+                        } else {
+                            EV_READ
+                        };
+                        let fd = fd_of_stream(&conn.stream, token);
+                        let _ = self.poller.modify(fd, token, interest);
+                    }
+                    if unsent == 0
+                        && (conn.close_after_flush || (conn.eof && conn.pending.is_empty()))
+                    {
+                        kill = true;
+                    }
+                }
+            }
         }
-        if faults.fires(FaultSite::NetTorn, &req_key) {
-            // Injected torn response: write a strict prefix, then die.
-            shared.net_faults_fired.fetch_add(1, Ordering::Relaxed);
-            let full = format!("{response}\n");
-            let cut = (full.len() / 2).max(1);
-            let _ = stream.write_all(&full.as_bytes()[..cut]);
-            return;
+        if overflow > 0 {
+            self.shared
+                .write_overflow_disconnects
+                .fetch_add(1, Ordering::Relaxed);
+            eprintln!(
+                "matc: warning: conn{} exceeded the {}-byte write-buffer cap (stalled reader); disconnecting",
+                overflow - 1,
+                self.shared.cfg.max_write_buf
+            );
         }
-        if write_frame(&mut stream, &response).is_err() {
-            return;
+        if kill {
+            self.kill(idx);
         }
     }
-}
 
-fn write_frame(stream: &mut TcpStream, response: &str) -> io::Result<()> {
-    stream.write_all(response.as_bytes())?;
-    stream.write_all(b"\n")?;
-    stream.flush()
+    /// Closes idle, finished, and (during drain) quiescent connections.
+    fn sweep(&mut self, stopping: bool) {
+        let idle = Duration::from_millis(self.shared.cfg.idle_timeout_ms.max(1));
+        let now = Instant::now();
+        let mut doomed: Vec<usize> = Vec::new();
+        for (idx, slot) in self.conns.iter().enumerate() {
+            let Some(c) = slot else { continue };
+            let drained = c.pending.is_empty() && c.unsent() == 0;
+            if drained
+                && (stopping
+                    || c.eof
+                    || c.close_after_flush
+                    || now.saturating_duration_since(c.last_activity) > idle)
+            {
+                doomed.push(idx);
+            }
+        }
+        for idx in doomed {
+            self.kill(idx);
+        }
+    }
+
+    /// Removes a connection: deregisters, closes, frees the slab slot.
+    fn kill(&mut self, idx: usize) {
+        let Some(conn) = self.conns.get_mut(idx).and_then(Option::take) else {
+            return;
+        };
+        let fd = fd_of_stream(&conn.stream, TOK_BASE + idx as u64);
+        self.poller.deregister(fd);
+        self.free.push(idx);
+        self.shared.conns_open.fetch_sub(1, Ordering::Relaxed);
+    }
 }
 
 /// A structured rejection (`ok:false` + machine-readable code).
@@ -567,33 +1349,39 @@ fn reject(code: &str, msg: &str) -> Json {
     ])
 }
 
-/// Dispatches one request line to its handler, returning the rendered
-/// response frame (always a single line).
-fn process_request(shared: &Shared, line: &str) -> String {
-    let req = match Json::parse(line) {
+/// Dispatches one request frame: fast ops answer immediately, compile
+/// and audit ride admission control onto the worker pool.
+fn dispatch(shared: &Shared, frame: &[u8], dest: ConnRef, fate: RespFate) -> Dispatch {
+    let req = match Json::parse_bytes(frame) {
         Ok(v) => v,
-        Err(e) => return reject("bad_request", &format!("malformed frame: {e}")).render(),
+        Err(e) => {
+            return Dispatch::Immediate(
+                reject("bad_request", &format!("malformed frame: {e}")).render(),
+            )
+        }
     };
     let op = req.get("op").and_then(Json::as_str).unwrap_or("");
     match op {
         "healthz" => {
             let draining = shared.stop.load(Ordering::SeqCst);
-            Json::Obj(vec![
-                ("ok".to_string(), Json::Bool(true)),
-                (
-                    "status".to_string(),
-                    Json::str(if draining { "draining" } else { "ok" }),
-                ),
-                (
-                    "queue_depth".to_string(),
-                    Json::num(lock_recover(&shared.queue).len() as u64),
-                ),
-                (
-                    "uptime_ms".to_string(),
-                    Json::num(shared.started.elapsed().as_millis() as u64),
-                ),
-            ])
-            .render()
+            Dispatch::Immediate(
+                Json::Obj(vec![
+                    ("ok".to_string(), Json::Bool(true)),
+                    (
+                        "status".to_string(),
+                        Json::str(if draining { "draining" } else { "ok" }),
+                    ),
+                    (
+                        "queue_depth".to_string(),
+                        Json::num(shared.pool.depth() as u64),
+                    ),
+                    (
+                        "uptime_ms".to_string(),
+                        Json::num(shared.started.elapsed().as_millis() as u64),
+                    ),
+                ])
+                .render(),
+            )
         }
         "stats" => {
             let recent = lock_recover(&shared.recent);
@@ -609,16 +1397,18 @@ fn process_request(shared: &Shared, line: &str) -> String {
                 cache_quarantined: store.quarantined,
                 units: recent.iter().cloned().collect(),
             };
-            report.to_json_with_kind("serve", &shared.server_json())
+            Dispatch::Immediate(report.to_json_with_kind("serve", &shared.server_json()))
         }
         "shutdown" => {
             shared.stop.store(true, Ordering::SeqCst);
-            shared.queue_cv.notify_all();
-            Json::Obj(vec![
-                ("ok".to_string(), Json::Bool(true)),
-                ("draining".to_string(), Json::Bool(true)),
-            ])
-            .render()
+            shared.pool.cv.notify_all();
+            Dispatch::Immediate(
+                Json::Obj(vec![
+                    ("ok".to_string(), Json::Bool(true)),
+                    ("draining".to_string(), Json::Bool(true)),
+                ])
+                .render(),
+            )
         }
         "set_faults" => {
             // Test hook: swap the fault plan at runtime so the chaos
@@ -630,7 +1420,7 @@ fn process_request(shared: &Shared, line: &str) -> String {
             } else {
                 FaultPlan::parse(spec)
             };
-            match plan {
+            Dispatch::Immediate(match plan {
                 Ok(p) => {
                     *lock_recover(&shared.faults) = p;
                     Json::Obj(vec![
@@ -640,19 +1430,26 @@ fn process_request(shared: &Shared, line: &str) -> String {
                     .render()
                 }
                 Err(e) => reject("bad_request", &e).render(),
-            }
+            })
         }
-        "compile" | "audit" => compile_request(shared, &req, op).render(),
-        other => reject("bad_request", &format!("unknown op `{other}`")).render(),
+        "compile" | "audit" => compile_dispatch(shared, &req, op, dest, fate),
+        other => {
+            Dispatch::Immediate(reject("bad_request", &format!("unknown op `{other}`")).render())
+        }
     }
 }
 
-/// Admission control + queueing + response assembly for `compile` and
-/// `audit` requests.
-fn compile_request(shared: &Shared, req: &Json, op: &str) -> Json {
+/// Admission control + queueing for `compile` and `audit` requests.
+fn compile_dispatch(
+    shared: &Shared,
+    req: &Json,
+    op: &str,
+    dest: ConnRef,
+    fate: RespFate,
+) -> Dispatch {
     if shared.stop.load(Ordering::SeqCst) {
         shared.shutdown_rejected.fetch_add(1, Ordering::Relaxed);
-        return reject("shutting_down", "server is draining");
+        return Dispatch::Immediate(reject("shutting_down", "server is draining").render());
     }
     let name = req
         .get("name")
@@ -660,17 +1457,21 @@ fn compile_request(shared: &Shared, req: &Json, op: &str) -> Json {
         .unwrap_or("request")
         .to_string();
     let Some(sources) = req.get("sources").and_then(Json::as_arr) else {
-        return reject("bad_request", "missing `sources` array");
+        return Dispatch::Immediate(reject("bad_request", "missing `sources` array").render());
     };
     let sources: Vec<String> = sources
         .iter()
         .filter_map(|s| s.as_str().map(str::to_string))
         .collect();
     if sources.is_empty() {
-        return reject("bad_request", "`sources` must hold at least one string");
+        return Dispatch::Immediate(
+            reject("bad_request", "`sources` must hold at least one string").render(),
+        );
     }
-    let deadline_ms = req.get("deadline_ms").and_then(Json::as_u64);
-    let deadline = deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
+    let deadline = req
+        .get("deadline_ms")
+        .and_then(Json::as_u64)
+        .map(|ms| Instant::now() + Duration::from_millis(ms));
 
     // Circuit breaker, keyed by the sources' content hash (options
     // excluded: a unit that panics the planner panics it under any
@@ -688,12 +1489,12 @@ fn compile_request(shared: &Shared, req: &Json, op: &str) -> Json {
             if let Json::Obj(m) = &mut o {
                 m.push(("breaker".to_string(), Json::str("open")));
             }
-            return o;
+            return Dispatch::Immediate(o.render());
         }
     };
 
     // Admission: shed past the cap, degrade past the high-water mark.
-    let depth = lock_recover(&shared.queue).len();
+    let depth = shared.pool.depth();
     if depth >= shared.cfg.queue_cap {
         shared.shed.fetch_add(1, Ordering::Relaxed);
         let mut o = reject("overloaded", "queue full; retry with backoff");
@@ -701,7 +1502,7 @@ fn compile_request(shared: &Shared, req: &Json, op: &str) -> Json {
             m.push(("status".to_string(), Json::num(429)));
             m.push(("queue_depth".to_string(), Json::num(depth as u64)));
         }
-        return o;
+        return Dispatch::Immediate(o.render());
     }
     let load_degraded = depth >= shared.cfg.high_water;
     let options = if load_degraded {
@@ -723,72 +1524,20 @@ fn compile_request(shared: &Shared, req: &Json, op: &str) -> Json {
         faults: Some(shared.faults_now()),
         deadline,
     };
-    let (tx, rx) = mpsc::sync_channel(1);
-    {
-        let mut q = lock_recover(&shared.queue);
-        q.push_back(Job {
-            unit: Unit::new(name.clone(), sources),
-            config,
-            breaker_key,
-            probe,
-            reply: tx,
-        });
-    }
+    shared.pool.push(Job {
+        unit: Unit::new(name.clone(), sources),
+        config,
+        breaker_key,
+        probe,
+        audit: op == "audit",
+        emit: req.get("emit").and_then(Json::as_bool) == Some(true),
+        name,
+        load_degraded,
+        dest,
+        fate,
+    });
     shared.admitted.fetch_add(1, Ordering::Relaxed);
-    shared.queue_cv.notify_one();
-
-    // Wait for the worker; bounded by the request deadline (plus grace
-    // for the fast-fail path) or a generous default.
-    let wait = deadline_ms
-        .map(|ms| Duration::from_millis(ms) + Duration::from_secs(5))
-        .unwrap_or(Duration::from_secs(120));
-    let outcome = match rx.recv_timeout(wait) {
-        Ok(Ok(o)) => o,
-        Ok(Err(msg)) => return reject("shutting_down", &msg),
-        Err(_) => return reject("timeout", "no worker picked the request up in time"),
-    };
-
-    let m = &outcome.metrics;
-    let status = if m.error.is_some() {
-        "error"
-    } else if !m.degradations.is_empty() || !m.budget_exceeded.is_empty() {
-        "degraded"
-    } else {
-        "ok"
-    };
-    let mut members: Vec<(String, Json)> = vec![
-        ("ok".to_string(), Json::Bool(true)),
-        ("unit".to_string(), Json::str(&name)),
-        ("status".to_string(), Json::str(status)),
-        (
-            "cached".to_string(),
-            Json::str(match m.cache {
-                CacheOutcome::Hit => "hit",
-                CacheOutcome::Miss => "miss",
-                CacheOutcome::Partial => "partial",
-                CacheOutcome::Bypass => "bypass",
-            }),
-        ),
-        ("degraded_by_load".to_string(), Json::Bool(load_degraded)),
-    ];
-    if let Some(e) = &m.error {
-        members.push(("error".to_string(), Json::str(e)));
-    }
-    if let Some(a) = &outcome.artifact {
-        members.push(("audit_errors".to_string(), Json::num(a.audit_errors())));
-        members.push(("c_bytes".to_string(), Json::num(a.c_code.len() as u64)));
-        if op == "audit" {
-            // The audit findings are themselves a JSON document; embed
-            // them as a value, not a string.
-            let findings = Json::parse(&a.audit_json).unwrap_or_else(|_| Json::str(&a.audit_json));
-            members.push(("findings".to_string(), findings));
-        }
-        if req.get("emit").and_then(Json::as_bool) == Some(true) {
-            members.push(("c".to_string(), Json::str(&a.c_code)));
-            members.push(("plan".to_string(), Json::str(&a.plan_text)));
-        }
-    }
-    Json::Obj(members)
+    Dispatch::Queued
 }
 
 // ---------------------------------------------------------------------
@@ -842,6 +1591,9 @@ pub struct RequestOptions {
     pub backoff_base_ms: u64,
     /// Backoff ceiling.
     pub backoff_cap_ms: u64,
+    /// Pipeline fan-out: send this many copies of the request on one
+    /// connection before reading any response (1 = plain request).
+    pub pipeline: usize,
 }
 
 impl Default for RequestOptions {
@@ -852,6 +1604,7 @@ impl Default for RequestOptions {
             deadline_ms: None,
             backoff_base_ms: 25,
             backoff_cap_ms: 1_000,
+            pipeline: 1,
         }
     }
 }
@@ -863,6 +1616,33 @@ impl Default for RequestOptions {
 /// Returns a transport-level description (connect/write/read failure,
 /// or a torn/empty response).
 pub fn send_once(addr: &str, frame: &str, timeout: Duration) -> Result<String, String> {
+    let mut out = Vec::with_capacity(1);
+    send_pipelined_with(
+        addr,
+        std::slice::from_ref(&frame.to_string()),
+        timeout,
+        |_, l| {
+            out.push(l.to_string());
+        },
+    )?;
+    out.pop().ok_or_else(|| "read: no response".to_string())
+}
+
+/// Connects once, writes every frame back-to-back (one syscall), then
+/// reads responses in order, invoking `on_response(index, line)` as
+/// each arrives — the pipelined transport under [`send_pipelined`],
+/// the perf bench's latency probe, and `matc request --pipeline`.
+///
+/// # Errors
+///
+/// Returns a transport-level description (connect/write/read failure,
+/// a torn response, or a timeout before every response arrived).
+pub fn send_pipelined_with<F: FnMut(usize, &str)>(
+    addr: &str,
+    frames: &[String],
+    timeout: Duration,
+    mut on_response: F,
+) -> Result<(), String> {
     let sock_addr = addr
         .to_socket_addrs()
         .map_err(|e| format!("resolve {addr}: {e}"))?
@@ -871,27 +1651,49 @@ pub fn send_once(addr: &str, frame: &str, timeout: Duration) -> Result<String, S
     let mut stream = TcpStream::connect_timeout(&sock_addr, timeout)
         .map_err(|e| format!("connect {addr}: {e}"))?;
     stream
-        .set_read_timeout(Some(timeout))
+        .set_read_timeout(Some(POLL))
         .map_err(|e| e.to_string())?;
     let _ = stream.set_nodelay(true);
+    let mut wire = String::new();
+    for f in frames {
+        wire.push_str(f);
+        wire.push('\n');
+    }
     stream
-        .write_all(frame.as_bytes())
-        .and_then(|_| stream.write_all(b"\n"))
+        .write_all(wire.as_bytes())
         .map_err(|e| format!("write: {e}"))?;
-    let mut buf = Vec::new();
-    let mut chunk = [0u8; 4096];
+
+    let mut buf: Vec<u8> = Vec::new();
+    let mut consumed = 0usize;
+    let mut scanned = 0usize;
+    let mut got = 0usize;
+    let mut chunk = [0u8; 16 * 1024];
     let start = Instant::now();
-    loop {
-        if let Some(pos) = buf.iter().position(|b| *b == b'\n') {
-            return Ok(String::from_utf8_lossy(&buf[..pos]).into_owned());
+    while got < frames.len() {
+        while let Some(nl) = json::scan_frame(&buf, scanned.max(consumed)) {
+            let line = String::from_utf8_lossy(&buf[consumed..nl]).into_owned();
+            consumed = nl + 1;
+            scanned = consumed;
+            on_response(got, &line);
+            got += 1;
+            if got == frames.len() {
+                return Ok(());
+            }
         }
+        scanned = buf.len();
         if start.elapsed() > timeout {
-            return Err("read: response timed out".to_string());
+            return Err(format!(
+                "read: timed out after {got} of {} response(s)",
+                frames.len()
+            ));
         }
         match stream.read(&mut chunk) {
             Ok(0) => {
-                return Err(if buf.is_empty() {
-                    "read: connection closed before any response".to_string()
+                return Err(if buf.len() == consumed {
+                    format!(
+                        "read: connection closed after {got} of {} response(s)",
+                        frames.len()
+                    )
                 } else {
                     // A torn response: bytes arrived but no frame
                     // terminator — never treat a prefix as an answer.
@@ -907,6 +1709,23 @@ pub fn send_once(addr: &str, frame: &str, timeout: Duration) -> Result<String, S
             Err(e) => return Err(format!("read: {e}")),
         }
     }
+    Ok(())
+}
+
+/// Sends every frame on one connection before reading anything, then
+/// returns the response lines in request order.
+///
+/// # Errors
+///
+/// Propagates [`send_pipelined_with`]'s transport errors.
+pub fn send_pipelined(
+    addr: &str,
+    frames: &[String],
+    timeout: Duration,
+) -> Result<Vec<String>, String> {
+    let mut out = Vec::with_capacity(frames.len());
+    send_pipelined_with(addr, frames, timeout, |_, l| out.push(l.to_string()))?;
+    Ok(out)
 }
 
 /// Jitter for the client's backoff: deterministic in nothing — seeded

@@ -13,7 +13,7 @@
 //!    diffs (S101–S105), and the orchestrator adds S100 when the two
 //!    executors' outputs diverge;
 //! 4. counters aggregate into [`ShadowStats`] — the `shadow{}` object
-//!    of the schema-v7 stats document.
+//!    of the schema-v8 stats document.
 //!
 //! The corruption tests drive [`shadow_compiled`] directly with
 //! deliberately mutated plans to prove each S-code fires.
@@ -200,8 +200,8 @@ pub fn shadow_unit(
     shadow_compiled(name, &ast, &compiled, &ssa, seed)
 }
 
-/// The schema-v7 stats document of a shadow run:
-/// `{"schema":7,"kind":"shadow","shadow":{…}}`.
+/// The schema-v8 stats document of a shadow run:
+/// `{"schema":8,"kind":"shadow","shadow":{…}}`.
 pub fn stats_document(stats: &ShadowStats) -> String {
     format!(
         "{{\"schema\":{},\"kind\":\"shadow\",{}}}",
@@ -229,7 +229,7 @@ mod tests {
     }
 
     #[test]
-    fn stats_document_carries_schema_v7_prefix() {
+    fn stats_document_carries_schema_v8_prefix() {
         let mut stats = ShadowStats::default();
         let u = shadow_unit(
             "unit",
@@ -240,7 +240,7 @@ mod tests {
         u.accumulate(&mut stats);
         let doc = stats_document(&stats);
         assert!(
-            doc.starts_with("{\"schema\":7,\"kind\":\"shadow\",\"shadow\":{\"units\":1,"),
+            doc.starts_with("{\"schema\":8,\"kind\":\"shadow\",\"shadow\":{\"units\":1,"),
             "{doc}"
         );
         assert!(doc.contains("\"s101\":0"), "{doc}");

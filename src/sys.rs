@@ -1,0 +1,584 @@
+//! Minimal readiness-notification layer for the serve reactor.
+//!
+//! The workspace takes no external crates, so this is a hand-rolled
+//! wrapper over the two relevant kernel interfaces, declared directly
+//! (the same idiom as the `signal(2)` FFI in `src/serve.rs`):
+//!
+//! * **epoll** on Linux — `epoll_create1`/`epoll_ctl`/`epoll_wait`,
+//!   level-triggered, the production backend;
+//! * **poll(2)** everywhere else on Unix — a portable fallback that
+//!   rebuilds its `pollfd` array per wait; O(n) per tick but with
+//!   identical level-triggered semantics, so the reactor above is
+//!   backend-oblivious. `MATC_SERVE_BACKEND=poll` (or
+//!   `ServeConfig::force_poll`) selects it on Linux too, which is how
+//!   the test suite exercises both paths on one machine.
+//!
+//! On non-Unix targets a degenerate spin backend reports every
+//! registered fd ready each tick; the nonblocking sockets above turn
+//! that into correct (if unfashionable) polling behaviour.
+//!
+//! [`WakePipe`] is the reactor's cross-thread doorbell: compile
+//! workers finishing a job write one byte, the reactor's poller sees
+//! the read end become readable and drains it. An atomic "already
+//! rung" gate on the serve side keeps the pipe from ever filling.
+
+use std::io;
+#[cfg(unix)]
+use std::os::fd::RawFd;
+#[cfg(not(unix))]
+type RawFd = i32;
+
+/// Interest in readability (bit for [`Poller::register`]).
+pub(crate) const EV_READ: u32 = 0b01;
+/// Interest in writability (bit for [`Poller::register`]).
+pub(crate) const EV_WRITE: u32 = 0b10;
+
+/// One readiness event out of [`Poller::wait`].
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Event {
+    /// The token the fd was registered under.
+    pub token: u64,
+    /// Readable now (or peer hung up / error — reads won't block).
+    pub readable: bool,
+    /// Writable now.
+    pub writable: bool,
+}
+
+#[cfg(unix)]
+mod ffi {
+    #![allow(non_camel_case_types)]
+    pub type c_int = i32;
+    pub type c_short = i16;
+    pub type c_ulong = u64;
+
+    // epoll_event carries a 64-bit user token right after the event
+    // mask; the x86_64 kernel ABI packs it (no padding), other
+    // architectures align it naturally.
+    #[cfg(target_os = "linux")]
+    #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+    #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+    #[derive(Clone, Copy)]
+    pub struct epoll_event {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    pub struct pollfd {
+        pub fd: c_int,
+        pub events: c_short,
+        pub revents: c_short,
+    }
+
+    extern "C" {
+        #[cfg(target_os = "linux")]
+        pub fn epoll_create1(flags: c_int) -> c_int;
+        #[cfg(target_os = "linux")]
+        pub fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut epoll_event) -> c_int;
+        #[cfg(target_os = "linux")]
+        pub fn epoll_wait(
+            epfd: c_int,
+            events: *mut epoll_event,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+        pub fn poll(fds: *mut pollfd, nfds: c_ulong, timeout: c_int) -> c_int;
+        pub fn pipe(fds: *mut c_int) -> c_int;
+        pub fn read(fd: c_int, buf: *mut u8, count: usize) -> isize;
+        pub fn write(fd: c_int, buf: *const u8, count: usize) -> isize;
+        pub fn close(fd: c_int) -> c_int;
+        #[cfg(target_os = "linux")]
+        pub fn setsockopt(
+            fd: c_int,
+            level: c_int,
+            optname: c_int,
+            optval: *const c_int,
+            optlen: u32,
+        ) -> c_int;
+    }
+
+    pub const POLLIN: c_short = 0x001;
+    pub const POLLOUT: c_short = 0x004;
+    pub const POLLERR: c_short = 0x008;
+    pub const POLLHUP: c_short = 0x010;
+    pub const POLLNVAL: c_short = 0x020;
+
+    #[cfg(target_os = "linux")]
+    pub const EPOLL_CLOEXEC: c_int = 0o2000000;
+    #[cfg(target_os = "linux")]
+    pub const EPOLL_CTL_ADD: c_int = 1;
+    #[cfg(target_os = "linux")]
+    pub const EPOLL_CTL_DEL: c_int = 2;
+    #[cfg(target_os = "linux")]
+    pub const EPOLL_CTL_MOD: c_int = 3;
+    #[cfg(target_os = "linux")]
+    pub const EPOLLIN: u32 = 0x001;
+    #[cfg(target_os = "linux")]
+    pub const EPOLLOUT: u32 = 0x004;
+    #[cfg(target_os = "linux")]
+    pub const EPOLLERR: u32 = 0x008;
+    #[cfg(target_os = "linux")]
+    pub const EPOLLHUP: u32 = 0x010;
+    #[cfg(target_os = "linux")]
+    pub const EPOLLRDHUP: u32 = 0x2000;
+}
+
+/// The readiness poller: epoll where available, poll(2) as the
+/// portable fallback, spin on non-Unix. Level-triggered in every
+/// backend — the reactor re-arms nothing and simply reads/writes
+/// until `WouldBlock`.
+pub(crate) enum Poller {
+    /// Linux epoll instance (owned fd).
+    #[cfg(target_os = "linux")]
+    Epoll(EpollPoller),
+    /// Portable poll(2) fallback (registration list rebuilt per wait).
+    #[cfg(unix)]
+    Poll(PollPoller),
+    /// Non-Unix degenerate backend: everything is always ready.
+    #[cfg(not(unix))]
+    Spin(Vec<(RawFd, u64, u32)>),
+}
+
+impl Poller {
+    /// Opens the best backend for this platform; `force_poll` selects
+    /// the poll(2) fallback on Linux (tests drive both paths).
+    pub fn new(force_poll: bool) -> io::Result<Poller> {
+        #[cfg(target_os = "linux")]
+        {
+            if !force_poll {
+                return EpollPoller::new().map(Poller::Epoll);
+            }
+            Ok(Poller::Poll(PollPoller::default()))
+        }
+        #[cfg(all(unix, not(target_os = "linux")))]
+        {
+            let _ = force_poll;
+            Ok(Poller::Poll(PollPoller::default()))
+        }
+        #[cfg(not(unix))]
+        {
+            let _ = force_poll;
+            Ok(Poller::Spin(Vec::new()))
+        }
+    }
+
+    /// The backend's wire name (surfaced in the stats census).
+    pub fn backend(&self) -> &'static str {
+        match self {
+            #[cfg(target_os = "linux")]
+            Poller::Epoll(_) => "epoll",
+            #[cfg(unix)]
+            Poller::Poll(_) => "poll",
+            #[cfg(not(unix))]
+            Poller::Spin(_) => "spin",
+        }
+    }
+
+    /// Starts watching `fd` under `token` for `interest`
+    /// (`EV_READ`/`EV_WRITE` bits).
+    pub fn register(&mut self, fd: RawFd, token: u64, interest: u32) -> io::Result<()> {
+        match self {
+            #[cfg(target_os = "linux")]
+            Poller::Epoll(p) => p.ctl(ffi::EPOLL_CTL_ADD, fd, token, interest),
+            #[cfg(unix)]
+            Poller::Poll(p) => {
+                p.regs.retain(|r| r.0 != fd);
+                p.regs.push((fd, token, interest));
+                Ok(())
+            }
+            #[cfg(not(unix))]
+            Poller::Spin(regs) => {
+                regs.retain(|r| r.0 != fd);
+                regs.push((fd, token, interest));
+                Ok(())
+            }
+        }
+    }
+
+    /// Changes the interest set for an already-registered `fd`.
+    pub fn modify(&mut self, fd: RawFd, token: u64, interest: u32) -> io::Result<()> {
+        match self {
+            #[cfg(target_os = "linux")]
+            Poller::Epoll(p) => p.ctl(ffi::EPOLL_CTL_MOD, fd, token, interest),
+            #[cfg(unix)]
+            Poller::Poll(p) => {
+                for r in &mut p.regs {
+                    if r.0 == fd {
+                        *r = (fd, token, interest);
+                    }
+                }
+                Ok(())
+            }
+            #[cfg(not(unix))]
+            Poller::Spin(regs) => {
+                for r in regs.iter_mut() {
+                    if r.0 == fd {
+                        *r = (fd, token, interest);
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Stops watching `fd`. Call *before* closing the fd.
+    pub fn deregister(&mut self, fd: RawFd) {
+        match self {
+            #[cfg(target_os = "linux")]
+            Poller::Epoll(p) => {
+                let _ = p.ctl(ffi::EPOLL_CTL_DEL, fd, 0, 0);
+            }
+            #[cfg(unix)]
+            Poller::Poll(p) => p.regs.retain(|r| r.0 != fd),
+            #[cfg(not(unix))]
+            Poller::Spin(regs) => regs.retain(|r| r.0 != fd),
+        }
+    }
+
+    /// Blocks up to `timeout_ms` for readiness, appending events to
+    /// `out` (cleared first). A signal interruption reports zero
+    /// events rather than an error — the reactor's loop re-checks its
+    /// stop flags on every tick anyway.
+    pub fn wait(&mut self, out: &mut Vec<Event>, timeout_ms: i32) -> io::Result<()> {
+        out.clear();
+        match self {
+            #[cfg(target_os = "linux")]
+            Poller::Epoll(p) => p.wait(out, timeout_ms),
+            #[cfg(unix)]
+            Poller::Poll(p) => p.wait(out, timeout_ms),
+            #[cfg(not(unix))]
+            Poller::Spin(regs) => {
+                std::thread::sleep(std::time::Duration::from_millis(
+                    timeout_ms.clamp(0, 5) as u64
+                ));
+                for (_, token, interest) in regs.iter() {
+                    out.push(Event {
+                        token: *token,
+                        readable: interest & EV_READ != 0,
+                        writable: interest & EV_WRITE != 0,
+                    });
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Owned epoll instance.
+#[cfg(target_os = "linux")]
+pub(crate) struct EpollPoller {
+    epfd: RawFd,
+}
+
+#[cfg(target_os = "linux")]
+impl EpollPoller {
+    fn new() -> io::Result<EpollPoller> {
+        // SAFETY: plain syscall, no pointers.
+        let epfd = unsafe { ffi::epoll_create1(ffi::EPOLL_CLOEXEC) };
+        if epfd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(EpollPoller { epfd })
+    }
+
+    fn ctl(&mut self, op: ffi::c_int, fd: RawFd, token: u64, interest: u32) -> io::Result<()> {
+        let mut mask = ffi::EPOLLRDHUP;
+        if interest & EV_READ != 0 {
+            mask |= ffi::EPOLLIN;
+        }
+        if interest & EV_WRITE != 0 {
+            mask |= ffi::EPOLLOUT;
+        }
+        let mut ev = ffi::epoll_event {
+            events: mask,
+            data: token,
+        };
+        // SAFETY: `ev` outlives the call; DEL ignores the event ptr.
+        let rc = unsafe { ffi::epoll_ctl(self.epfd, op, fd, &mut ev) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    fn wait(&mut self, out: &mut Vec<Event>, timeout_ms: i32) -> io::Result<()> {
+        let mut evs = [ffi::epoll_event { events: 0, data: 0 }; 64];
+        // SAFETY: the buffer is valid for 64 entries for the call.
+        let n = unsafe { ffi::epoll_wait(self.epfd, evs.as_mut_ptr(), 64, timeout_ms) };
+        if n < 0 {
+            let e = io::Error::last_os_error();
+            if e.kind() == io::ErrorKind::Interrupted {
+                return Ok(());
+            }
+            return Err(e);
+        }
+        for ev in evs.iter().take(n as usize) {
+            // Copy out of the (possibly packed) struct before use.
+            let mask = ev.events;
+            let token = ev.data;
+            out.push(Event {
+                token,
+                readable: mask & (ffi::EPOLLIN | ffi::EPOLLERR | ffi::EPOLLHUP | ffi::EPOLLRDHUP)
+                    != 0,
+                writable: mask & (ffi::EPOLLOUT | ffi::EPOLLERR | ffi::EPOLLHUP) != 0,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(target_os = "linux")]
+impl Drop for EpollPoller {
+    fn drop(&mut self) {
+        // SAFETY: fd owned by this struct, closed exactly once.
+        unsafe { ffi::close(self.epfd) };
+    }
+}
+
+/// Portable poll(2) backend: a flat registration list, one `pollfd`
+/// array rebuilt per wait.
+#[cfg(unix)]
+#[derive(Default)]
+pub(crate) struct PollPoller {
+    regs: Vec<(RawFd, u64, u32)>,
+}
+
+#[cfg(unix)]
+impl PollPoller {
+    fn wait(&mut self, out: &mut Vec<Event>, timeout_ms: i32) -> io::Result<()> {
+        let mut fds: Vec<ffi::pollfd> = self
+            .regs
+            .iter()
+            .map(|(fd, _, interest)| {
+                let mut ev: ffi::c_short = 0;
+                if interest & EV_READ != 0 {
+                    ev |= ffi::POLLIN;
+                }
+                if interest & EV_WRITE != 0 {
+                    ev |= ffi::POLLOUT;
+                }
+                ffi::pollfd {
+                    fd: *fd,
+                    events: ev,
+                    revents: 0,
+                }
+            })
+            .collect();
+        // SAFETY: the array is valid for `len` entries for the call.
+        let n = unsafe { ffi::poll(fds.as_mut_ptr(), fds.len() as ffi::c_ulong, timeout_ms) };
+        if n < 0 {
+            let e = io::Error::last_os_error();
+            if e.kind() == io::ErrorKind::Interrupted {
+                return Ok(());
+            }
+            return Err(e);
+        }
+        for (pfd, (_, token, _)) in fds.iter().zip(self.regs.iter()) {
+            let r = pfd.revents;
+            if r == 0 {
+                continue;
+            }
+            out.push(Event {
+                token: *token,
+                readable: r & (ffi::POLLIN | ffi::POLLERR | ffi::POLLHUP | ffi::POLLNVAL) != 0,
+                writable: r & (ffi::POLLOUT | ffi::POLLERR | ffi::POLLHUP | ffi::POLLNVAL) != 0,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// The reactor's cross-thread doorbell: a pipe whose read end lives in
+/// the poller. Worker threads [`WakePipe::wake`]; the reactor
+/// [`WakePipe::drain`]s after the read end polls readable.
+pub(crate) struct WakePipe {
+    read_fd: RawFd,
+    write_fd: RawFd,
+}
+
+impl WakePipe {
+    /// Opens the pipe pair.
+    pub fn new() -> io::Result<WakePipe> {
+        #[cfg(unix)]
+        {
+            let mut fds = [0i32; 2];
+            // SAFETY: fds is a valid 2-slot buffer.
+            if unsafe { ffi::pipe(fds.as_mut_ptr()) } < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(WakePipe {
+                read_fd: fds[0],
+                write_fd: fds[1],
+            })
+        }
+        #[cfg(not(unix))]
+        {
+            // The spin backend never blocks, so the doorbell is moot.
+            Ok(WakePipe {
+                read_fd: -1,
+                write_fd: -1,
+            })
+        }
+    }
+
+    /// The fd to register with the poller under `EV_READ`.
+    pub fn read_fd(&self) -> RawFd {
+        self.read_fd
+    }
+
+    /// Rings the doorbell (one byte; callers gate on an atomic so the
+    /// pipe never fills and this never blocks).
+    pub fn wake(&self) {
+        #[cfg(unix)]
+        {
+            // SAFETY: one-byte write from a valid buffer.
+            unsafe { ffi::write(self.write_fd, [1u8].as_ptr(), 1) };
+        }
+    }
+
+    /// Drains buffered doorbell bytes (called only after the read end
+    /// polled readable, so the blocking read returns immediately).
+    pub fn drain(&self) {
+        #[cfg(unix)]
+        {
+            let mut buf = [0u8; 64];
+            // SAFETY: read into a valid 64-byte buffer.
+            unsafe { ffi::read(self.read_fd, buf.as_mut_ptr(), buf.len()) };
+        }
+    }
+}
+
+impl Drop for WakePipe {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        {
+            // SAFETY: both fds owned here, closed exactly once.
+            unsafe {
+                ffi::close(self.read_fd);
+                ffi::close(self.write_fd);
+            }
+        }
+    }
+}
+
+/// Shrinks a socket's kernel send buffer (`SO_SNDBUF`). The
+/// backpressure regression test uses this to make a stalled reader
+/// jam the connection with kilobytes instead of megabytes; a no-op
+/// off Linux (the test is Linux-gated).
+pub(crate) fn set_sndbuf(fd: RawFd, bytes: usize) -> io::Result<()> {
+    #[cfg(target_os = "linux")]
+    {
+        const SOL_SOCKET: ffi::c_int = 1;
+        const SO_SNDBUF: ffi::c_int = 7;
+        let val = bytes as ffi::c_int;
+        // SAFETY: optval points at a live c_int of the stated size.
+        let rc = unsafe {
+            ffi::setsockopt(
+                fd,
+                SOL_SOCKET,
+                SO_SNDBUF,
+                &val,
+                std::mem::size_of::<ffi::c_int>() as u32,
+            )
+        };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        let _ = (fd, bytes);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read as _, Write as _};
+    use std::net::{TcpListener, TcpStream};
+    #[cfg(unix)]
+    use std::os::fd::AsRawFd;
+
+    #[cfg(unix)]
+    fn backend_round_trip(force_poll: bool) {
+        let mut poller = Poller::new(force_poll).unwrap();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.set_nonblocking(true).unwrap();
+        poller.register(listener.as_raw_fd(), 1, EV_READ).unwrap();
+
+        let mut events = Vec::new();
+        poller.wait(&mut events, 0).unwrap();
+        assert!(events.is_empty(), "nothing connected yet");
+
+        let mut client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        poller.wait(&mut events, 1_000).unwrap();
+        assert!(
+            events.iter().any(|e| e.token == 1 && e.readable),
+            "{}: listener must poll readable on pending accept",
+            poller.backend()
+        );
+        let (mut server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+        poller
+            .register(server.as_raw_fd(), 2, EV_READ | EV_WRITE)
+            .unwrap();
+
+        client.write_all(b"ping").unwrap();
+        poller.wait(&mut events, 1_000).unwrap();
+        let ev = events.iter().find(|e| e.token == 2).expect("conn event");
+        assert!(ev.readable && ev.writable);
+        let mut buf = [0u8; 8];
+        assert_eq!(server.read(&mut buf).unwrap(), 4);
+
+        // Narrow interest to read-only: no spurious writable events.
+        poller.modify(server.as_raw_fd(), 2, EV_READ).unwrap();
+        poller.wait(&mut events, 0).unwrap();
+        assert!(events.iter().all(|e| e.token != 2 || !e.writable));
+
+        poller.deregister(server.as_raw_fd());
+        client.write_all(b"x").unwrap();
+        poller.wait(&mut events, 50).unwrap();
+        assert!(events.iter().all(|e| e.token != 2), "deregistered fd");
+    }
+
+    #[test]
+    #[cfg(unix)]
+    fn default_backend_round_trips() {
+        backend_round_trip(false);
+    }
+
+    #[test]
+    #[cfg(unix)]
+    fn poll_fallback_round_trips() {
+        backend_round_trip(true);
+    }
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn force_poll_selects_the_fallback() {
+        assert_eq!(Poller::new(false).unwrap().backend(), "epoll");
+        assert_eq!(Poller::new(true).unwrap().backend(), "poll");
+    }
+
+    #[test]
+    #[cfg(unix)]
+    fn wake_pipe_rings_through_both_backends() {
+        for force_poll in [false, true] {
+            let mut poller = Poller::new(force_poll).unwrap();
+            let pipe = WakePipe::new().unwrap();
+            poller.register(pipe.read_fd(), 9, EV_READ).unwrap();
+            let mut events = Vec::new();
+            poller.wait(&mut events, 0).unwrap();
+            assert!(events.is_empty());
+            pipe.wake();
+            poller.wait(&mut events, 1_000).unwrap();
+            assert!(events.iter().any(|e| e.token == 9 && e.readable));
+            pipe.drain();
+            poller.wait(&mut events, 0).unwrap();
+            assert!(events.is_empty(), "drained doorbell is quiet");
+        }
+    }
+}

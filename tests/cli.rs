@@ -148,7 +148,7 @@ fn batch_compiles_units_with_cache_and_matches_emit_c() {
     let emitted = std::fs::read(dir.join("out/batch_a.c")).unwrap();
     assert_eq!(emitted, direct.stdout);
 
-    // The stats document has the advertised shape. The schema-v7
+    // The stats document has the advertised shape. The schema-v8
     // prefix (with its `"kind"` discriminator), the always-present
     // per-unit fault-tolerance arrays, and the dataflow-engine counters
     // inside `interference` are a stability contract (DESIGN.md
@@ -156,7 +156,7 @@ fn batch_compiles_units_with_cache_and_matches_emit_c() {
     // must only ever change together with a schema-version bump.
     let stats = std::fs::read_to_string(dir.join("stats.json")).unwrap();
     assert!(
-        stats.starts_with("{\"schema\":7,\"kind\":\"batch\","),
+        stats.starts_with("{\"schema\":8,\"kind\":\"batch\","),
         "{stats}"
     );
     assert!(stats.contains("\"jobs\":2"), "{stats}");
@@ -391,7 +391,7 @@ fn serve_and_request_round_trip_over_the_wire() {
     assert!(emit_line.contains("\"findings\""), "{emit_line}");
     assert!(emit_line.contains("int main(void)"), "{emit_line}");
 
-    // healthz and schema-v7 serve stats.
+    // healthz and schema-v8 serve stats.
     let health = matc()
         .args(["request", "--addr", &addr, "--op", "healthz"])
         .output()
@@ -408,11 +408,83 @@ fn serve_and_request_round_trip_over_the_wire() {
         .unwrap();
     let stats_line = String::from_utf8_lossy(&stats.stdout);
     assert!(
-        stats_line.starts_with("{\"schema\":7,\"kind\":\"serve\",\"server\":{"),
+        stats_line.starts_with("{\"schema\":8,\"kind\":\"serve\",\"server\":{"),
         "{stats_line}"
     );
 
     // Graceful shutdown over the wire; the daemon exits 0 (clean drain).
+    let down = matc()
+        .args(["request", "--addr", &addr, "--op", "shutdown"])
+        .output()
+        .unwrap();
+    assert!(down.status.success());
+    let status = daemon.wait().unwrap();
+    assert!(status.success(), "daemon exit: {status:?}");
+}
+
+#[test]
+fn request_pipeline_preserves_response_order() {
+    use std::io::{BufRead as _, BufReader};
+    use std::time::Duration;
+
+    let prog = write_temp(
+        "serve_pipe.m",
+        "function f\ns = 0;\nfor i = 1:30\ns = s + i * i;\nend\nfprintf('%d\\n', s);\n",
+    );
+    let mut daemon = matc()
+        .args(["serve", "--addr", "127.0.0.1:0", "--jobs", "2"])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+    let mut banner = String::new();
+    BufReader::new(daemon.stdout.as_mut().unwrap())
+        .read_line(&mut banner)
+        .unwrap();
+    let addr = banner.trim().rsplit(' ').next().unwrap().to_string();
+
+    // The CLI flag: 3 copies of one compile request down a single
+    // persistent connection, responses printed in request order.
+    let out = matc()
+        .args(["request", "--addr", &addr, "--pipeline", "3"])
+        .arg(&prog)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let lines: Vec<String> = String::from_utf8_lossy(&out.stdout)
+        .lines()
+        .map(str::to_string)
+        .collect();
+    assert_eq!(lines.len(), 3, "{lines:?}");
+    for line in &lines {
+        assert!(line.contains("\"ok\":true"), "{line}");
+        assert!(line.contains("\"unit\":\"serve_pipe\""), "{line}");
+    }
+
+    // Ordering under mixed latencies: a slow compile pipelined ahead
+    // of instant healthz ops must still answer first — responses
+    // leave in request order, not completion order.
+    let src = std::fs::read_to_string(&prog).unwrap();
+    let compile = matc::json::Json::Obj(vec![
+        ("op".to_string(), matc::json::Json::str("compile")),
+        ("name".to_string(), matc::json::Json::str("ordered")),
+        (
+            "sources".to_string(),
+            matc::json::Json::Arr(vec![matc::json::Json::str(src)]),
+        ),
+    ])
+    .render();
+    let healthz = "{\"op\":\"healthz\"}".to_string();
+    let frames = vec![compile, healthz.clone(), healthz];
+    let lines = matc::serve::send_pipelined(&addr, &frames, Duration::from_secs(30)).unwrap();
+    assert_eq!(lines.len(), 3);
+    assert!(lines[0].contains("\"unit\":\"ordered\""), "{}", lines[0]);
+    assert!(lines[1].contains("\"uptime_ms\""), "{}", lines[1]);
+    assert!(lines[2].contains("\"uptime_ms\""), "{}", lines[2]);
+
     let down = matc()
         .args(["request", "--addr", &addr, "--op", "shutdown"])
         .output()
@@ -507,7 +579,7 @@ fn shadow_failing_unit_exits_one() {
 }
 
 #[test]
-fn shadow_stats_documents_are_schema_v7() {
+fn shadow_stats_documents_are_schema_v8() {
     let p = write_temp("shadow3.m", "function f\nfprintf('%d\\n', 2 + 2);\n");
     let stats_path = std::env::temp_dir()
         .join("matc-cli-tests")
@@ -520,8 +592,8 @@ fn shadow_stats_documents_are_schema_v7() {
         .unwrap();
     assert_eq!(out.status.code(), Some(0));
     // The same document goes to stdout (--json) and the file (--stats),
-    // pinned to the schema-v7 `shadow{}` shape.
-    let prefix = "{\"schema\":7,\"kind\":\"shadow\",\"shadow\":{\"units\":1,";
+    // pinned to the schema-v8 `shadow{}` shape.
+    let prefix = "{\"schema\":8,\"kind\":\"shadow\",\"shadow\":{\"units\":1,";
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(
         stdout.lines().last().unwrap().starts_with(prefix),

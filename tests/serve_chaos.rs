@@ -411,6 +411,7 @@ fn client_retries_through_chaos_with_deadline_propagation() {
         deadline_ms: Some(20_000),
         backoff_base_ms: 1,
         backoff_cap_ms: 20,
+        ..RequestOptions::default()
     };
     let payload = Json::Obj(vec![
         ("op".to_string(), Json::str("compile")),
@@ -471,5 +472,178 @@ fn expired_deadline_is_a_structured_failure_not_a_hang() {
     let resp = Json::parse(&line).unwrap();
     assert_eq!(resp.get("status").and_then(Json::as_str), Some("ok"));
     assert_eq!(resp.get("cached").and_then(Json::as_str), Some("miss"));
+    handle.shutdown();
+}
+
+#[test]
+fn torn_frame_mid_pipeline_kills_only_that_connection() {
+    use matc::gctd::FaultSite;
+    use matc::serve::send_pipelined;
+    use std::io::{BufRead as _, BufReader, Write as _};
+    use std::net::TcpStream;
+
+    // fires() is deterministic per (plan, key) and connection serials
+    // are assigned in accept order, so we can pick a seed where the
+    // victim connection's first request tears while the bystander
+    // connection's whole pipeline stays clean.
+    let plan = (0..10_000u64)
+        .find_map(|seed| {
+            let p = FaultPlan::quiet(seed).net_torn(40);
+            let victim_tears = p.fires(FaultSite::NetTorn, "conn1/req1");
+            let bystander_clean =
+                (1..=4).all(|r| !p.fires(FaultSite::NetTorn, &format!("conn0/req{r}")));
+            (victim_tears && bystander_clean).then_some(p)
+        })
+        .expect("some seed tears conn1/req1 and spares conn0");
+
+    let units = chaos_units();
+    let handle = start(ServeConfig {
+        jobs: 2,
+        faults: Some(plan),
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let addr = handle.addr().to_string();
+
+    // Bystander connects first (serial 0) and pipelines two compiles
+    // down its persistent connection without reading yet.
+    let mut bystander = TcpStream::connect(&addr).unwrap();
+    bystander
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let mut wire = String::new();
+    wire.push_str(&compile_frame(&units[0], false));
+    wire.push('\n');
+    wire.push_str(&compile_frame(&units[1], false));
+    wire.push('\n');
+    bystander.write_all(wire.as_bytes()).unwrap();
+
+    // Victim connects second (serial 1) and pipelines three requests;
+    // its first response tears mid-frame and the connection dies,
+    // dropping the rest of its pipeline.
+    let healthz = "{\"op\":\"healthz\"}".to_string();
+    let frames = vec![healthz.clone(), healthz.clone(), healthz];
+    let err = send_pipelined(&addr, &frames, Duration::from_secs(20))
+        .expect_err("the victim's first response must tear");
+    assert!(err.contains("torn"), "{err}");
+
+    // The bystander's queued responses still flush, in order, complete.
+    let mut reader = BufReader::new(&bystander);
+    for unit in &units[..2] {
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let resp = Json::parse(line.trim())
+            .unwrap_or_else(|e| panic!("bystander got a garbled frame {line:?}: {e}"));
+        assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true), "{line}");
+        assert_eq!(
+            resp.get("unit").and_then(Json::as_str),
+            Some(unit.name.as_str()),
+            "responses out of order: {line}"
+        );
+    }
+
+    let summary = handle.shutdown();
+    assert!(summary.drained_cleanly);
+    assert_eq!(summary.completed, 2, "both bystander compiles finished");
+}
+
+#[cfg(target_os = "linux")]
+#[test]
+fn stalled_reader_is_disconnected_at_the_write_buffer_cap() {
+    use std::io::Write as _;
+    use std::net::TcpStream;
+    use std::time::Instant;
+
+    let unit = chaos_units().remove(0);
+    // Tiny kernel send buffer + tiny userspace cap: a reader that
+    // never drains jams within kilobytes instead of megabytes.
+    let handle = start(ServeConfig {
+        jobs: 2,
+        queue_cap: 1_000,
+        high_water: 1_000,
+        max_write_buf: 64 * 1024,
+        sndbuf: Some(8 * 1024),
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let addr = handle.addr().to_string();
+
+    // A stalled reader: pipeline hundreds of emit requests (the
+    // response carries the whole C artifact) and never read a byte.
+    let stalled = TcpStream::connect(&addr).unwrap();
+    stalled
+        .set_write_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut wire = String::new();
+    for _ in 0..400 {
+        wire.push_str(&compile_frame(&unit, true));
+        wire.push('\n');
+    }
+    let mut s = &stalled;
+    // The server may kill the connection while we are still writing;
+    // an EPIPE/reset here just means the cap already tripped.
+    let _ = s.write_all(wire.as_bytes());
+
+    // From a second connection, watch the reactor census until the
+    // overflow disconnect is recorded.
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let mut overflows = 0;
+    while Instant::now() < deadline {
+        let line = send_once(&addr, "{\"op\":\"stats\"}", Duration::from_secs(10))
+            .expect("a stalled bystander must never wedge the reactor");
+        let resp = Json::parse(&line).unwrap();
+        overflows = stat_u64(&resp, &["server", "reactor", "write_overflow_disconnects"]);
+        if overflows >= 1 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    assert!(
+        overflows >= 1,
+        "write-buffer cap never tripped for the stalled reader"
+    );
+    drop(stalled);
+    handle.shutdown();
+}
+
+#[test]
+fn poll_backend_serves_pipelined_requests_end_to_end() {
+    use matc::serve::send_pipelined;
+
+    // The portable poll(2) fallback must speak the same protocol,
+    // ordering and census as the epoll fast path.
+    let units = chaos_units();
+    let handle = start(ServeConfig {
+        jobs: 2,
+        force_poll: true,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let addr = handle.addr().to_string();
+    let frames: Vec<String> = units.iter().map(|u| compile_frame(u, false)).collect();
+    let lines = send_pipelined(&addr, &frames, Duration::from_secs(30)).unwrap();
+    assert_eq!(lines.len(), units.len());
+    for (unit, line) in units.iter().zip(&lines) {
+        let resp = Json::parse(line).unwrap();
+        assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true), "{line}");
+        assert_eq!(
+            resp.get("unit").and_then(Json::as_str),
+            Some(unit.name.as_str()),
+            "poll backend broke response ordering: {line}"
+        );
+    }
+    let stats = send_once(&addr, "{\"op\":\"stats\"}", Duration::from_secs(10)).unwrap();
+    let resp = Json::parse(&stats).unwrap();
+    assert_eq!(
+        resp.get("server")
+            .and_then(|s| s.get("reactor"))
+            .and_then(|r| r.get("backend"))
+            .and_then(Json::as_str),
+        Some("poll")
+    );
+    assert!(
+        stat_u64(&resp, &["server", "reactor", "pipelined_peak"]) >= 2,
+        "{stats}"
+    );
     handle.shutdown();
 }
