@@ -714,7 +714,7 @@ fn lease_is_stale(path: &Path) -> bool {
     )
 }
 
-/// Point-in-time store counters (schema-v8 stats `store` object).
+/// Point-in-time store counters (schema-v9 stats `store` object).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Whole-unit hits (memory or verified manifest).
@@ -728,6 +728,9 @@ pub struct CacheStats {
     /// Files that failed integrity verification and were moved to
     /// `corrupt/` (never silently reused).
     pub quarantined: u64,
+    /// Stranded `.tmp` debris files removed on store open (left by a
+    /// writer that crashed mid-publish, past the lease-staleness bound).
+    pub swept: u64,
 }
 
 /// Thread-safe two-level (memory + optional disk) artifact store with
@@ -750,6 +753,7 @@ pub struct ArtifactCache {
     partial_hits: AtomicU64,
     frag_misses: AtomicU64,
     quarantined: AtomicU64,
+    swept: AtomicU64,
     faults: FaultPlan,
     disk_disabled: AtomicBool,
     degradation: Mutex<Option<String>>,
@@ -771,6 +775,7 @@ impl ArtifactCache {
             partial_hits: AtomicU64::new(0),
             frag_misses: AtomicU64::new(0),
             quarantined: AtomicU64::new(0),
+            swept: AtomicU64::new(0),
             faults: FaultPlan::quiet(0),
             disk_disabled: AtomicBool::new(false),
             degradation: Mutex::new(None),
@@ -780,7 +785,10 @@ impl ArtifactCache {
     }
 
     /// A cache persisted under `dir` (created if absent, together with
-    /// its `units/` and `frags/` tiers).
+    /// its `units/` and `frags/` tiers). Stranded `.tmp` debris from a
+    /// writer that crashed mid-publish is swept on open — only files
+    /// past the lease-staleness bound, since a fresh one may belong to
+    /// a live writer mid-commit.
     ///
     /// # Errors
     ///
@@ -789,10 +797,13 @@ impl ArtifactCache {
         let dir = dir.into();
         std::fs::create_dir_all(dir.join("units"))?;
         std::fs::create_dir_all(dir.join("frags"))?;
-        Ok(ArtifactCache {
+        let swept = sweep_stale_tmp(&dir);
+        let cache = ArtifactCache {
             dir: Some(dir),
             ..ArtifactCache::in_memory()
-        })
+        };
+        cache.swept.store(swept, Ordering::Relaxed);
+        Ok(cache)
     }
 
     /// The disk location, if persistent.
@@ -944,6 +955,9 @@ impl ArtifactCache {
             //    harmless: unreachable at worst, a warm start at best.
             let mut listed = Vec::with_capacity(frags.len());
             for (fk, frag) in frags {
+                if self.disk_disabled.load(Ordering::Relaxed) {
+                    break;
+                }
                 let fhex = fk.hex();
                 let path = dir.join("frags").join(format!("{fhex}.frag"));
                 if path.exists() {
@@ -958,9 +972,16 @@ impl ArtifactCache {
                         *last ^= 0x01;
                     }
                 }
-                if write_file_durable(dir, "frags", &fhex, "frag", &bytes).is_ok() {
+                if self.write_frag(dir, &fhex, &bytes) {
                     listed.push(fhex);
                 }
+            }
+            // Fragment publish degraded the disk (e.g. ENOSPC): skip
+            // the manifest — it would list fragments that never became
+            // durable — and keep serving the unit from memory.
+            if self.disk_disabled.load(Ordering::Relaxed) {
+                lock_recover(&self.mem).insert(*key, artifact);
+                return;
             }
             // 2. Simulated writer death between fragment write and
             //    manifest rename: nothing is published (and nothing
@@ -1009,14 +1030,49 @@ impl ArtifactCache {
     }
 
     /// One atomic manifest write attempt (durable temp file + rename),
-    /// with the fault-injection probe for `attempt`.
+    /// with the fault-injection probes for `attempt`.
     fn write_once(&self, dir: &Path, hex: &str, bytes: &[u8], attempt: u32) -> io::Result<()> {
         if self.faults.write_attempt_fails(hex, attempt) {
             return Err(io::Error::other(format!(
                 "injected cache-write fault (attempt {attempt})"
             )));
         }
+        if self.faults.fires(FaultSite::StoreFull, hex) {
+            // Disk-full is persistent within a commit: every attempt
+            // fails, so the retry ladder exhausts and degrades cleanly.
+            return Err(io::Error::new(
+                io::ErrorKind::StorageFull,
+                "injected disk-full fault (ENOSPC)",
+            ));
+        }
         write_file_durable(dir, "units", hex, "man", bytes)
+    }
+
+    /// Publishes one content-addressed fragment with the same bounded
+    /// retry ladder as manifests. Exhausted retries (read-only dir,
+    /// `ENOSPC`) degrade the disk layer — one structured warning, then
+    /// memory-only caching — instead of surfacing an error.
+    fn write_frag(&self, dir: &Path, fhex: &str, bytes: &[u8]) -> bool {
+        let mut last_err = String::new();
+        let retry_start = Instant::now();
+        for attempt in 0..WRITE_ATTEMPTS {
+            if attempt > 0 {
+                match backoff_delay(fhex, attempt, retry_start.elapsed()) {
+                    Some(delay) => std::thread::sleep(delay),
+                    None => break,
+                }
+            }
+            if self.faults.fires(FaultSite::StoreFull, fhex) {
+                last_err = "injected disk-full fault (ENOSPC)".to_string();
+                continue;
+            }
+            match write_file_durable(dir, "frags", fhex, "frag", bytes) {
+                Ok(()) => return true,
+                Err(e) => last_err = e.to_string(),
+            }
+        }
+        self.disable_disk(&last_err);
+        false
     }
 
     /// Moves a file that failed integrity verification into `corrupt/`
@@ -1085,6 +1141,11 @@ impl ArtifactCache {
         self.quarantined.load(Ordering::Relaxed)
     }
 
+    /// Stranded stale `.tmp` files swept when the store was opened.
+    pub fn swept(&self) -> u64 {
+        self.swept.load(Ordering::Relaxed)
+    }
+
     /// A point-in-time snapshot of every store counter.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
@@ -1093,6 +1154,7 @@ impl ArtifactCache {
             partial_hits: self.partial_hits(),
             frag_misses: self.frag_misses(),
             quarantined: self.quarantined(),
+            swept: self.swept(),
         }
     }
 
@@ -1101,6 +1163,36 @@ impl ArtifactCache {
     pub fn drain_warnings(&self) -> Vec<String> {
         std::mem::take(&mut *lock_recover(&self.warnings))
     }
+}
+
+/// Removes stranded `.tmp` debris under `units/` and `frags/`: the
+/// dot-prefixed temp files a crashed writer left behind, but only those
+/// untouched past the lease-staleness bound — a fresh one may belong to
+/// a live writer mid-publish and must never be deleted from under it.
+/// Returns how many files were removed.
+fn sweep_stale_tmp(dir: &Path) -> u64 {
+    let mut swept = 0;
+    for sub in ["units", "frags"] {
+        let Ok(entries) = std::fs::read_dir(dir.join(sub)) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if !(name.starts_with('.') && name.ends_with(".tmp")) {
+                continue;
+            }
+            let stale = entry
+                .metadata()
+                .and_then(|m| m.modified())
+                .map(|t| t.elapsed().unwrap_or(Duration::ZERO) > LEASE_STALE)
+                .unwrap_or(false);
+            if stale && std::fs::remove_file(entry.path()).is_ok() {
+                swept += 1;
+            }
+        }
+    }
+    swept
 }
 
 /// Writes `bytes` durably to `<dir>/<sub>/<stem>.<ext>`: unique temp
@@ -1575,6 +1667,7 @@ mod tests {
                 partial_hits: 1,
                 frag_misses: 0,
                 quarantined: 0,
+                swept: 0,
             }
         );
         // Unknown fragment key: a counted fragment miss.
@@ -1583,6 +1676,76 @@ mod tests {
         assert_eq!(fresh.frag_misses(), 1);
         // The lease never outlives its commit.
         assert!(!dir.join("store.lease").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disk_full_degrades_to_memory_only_not_an_error() {
+        let dir = std::env::temp_dir().join(format!("matc-cache-enospc-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let key = CacheKey::compute(["unit"], "fp");
+        let fk = CacheKey::compute_parts("matc-frag-v1", ["fp", "ir of g"]);
+        let cache = ArtifactCache::at_dir(&dir)
+            .unwrap()
+            .with_faults(FaultPlan::quiet(1).store_fulls(100));
+        // A full disk during fragment publish degrades — one structured
+        // warning, memory-only from here — instead of erroring out.
+        cache.put_unit(&key, tiny_artifact("u"), &[(fk, tiny_fragment("g"))]);
+        assert!(cache.disk_degraded());
+        let warning = cache.degradation_warning().expect("warning recorded");
+        assert!(warning.contains("in-memory caching only"), "{warning}");
+        assert!(warning.contains("ENOSPC"), "{warning}");
+        // Degraded, not broken: both tiers still serve from memory.
+        assert!(cache.get(&key).is_some());
+        assert!(cache.get_fragment(&fk).is_some());
+        // Nothing partial reached disk — no manifest, no fragment.
+        let fresh = ArtifactCache::at_dir(&dir).unwrap();
+        assert!(fresh.get(&key).is_none());
+        assert_eq!(std::fs::read_dir(dir.join("frags")).unwrap().count(), 0);
+        // A whole-unit put (no fragments) degrades the same way.
+        let dir2 = std::env::temp_dir().join(format!("matc-cache-enospc2-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir2);
+        let cache2 = ArtifactCache::at_dir(&dir2)
+            .unwrap()
+            .with_faults(FaultPlan::quiet(1).store_fulls(100));
+        cache2.put(&key, tiny_artifact("v"));
+        assert!(cache2.disk_degraded());
+        assert!(cache2.get(&key).is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&dir2);
+    }
+
+    #[test]
+    fn store_open_sweeps_stale_tmp_debris_but_never_fresh_ones() {
+        let dir = std::env::temp_dir().join(format!("matc-cache-sweep-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(dir.join("units")).unwrap();
+        std::fs::create_dir_all(dir.join("frags")).unwrap();
+        // A crashed writer's debris: stale tmp files in both tiers,
+        // backdated past the lease-staleness bound.
+        let stale_unit = dir.join("units").join(".deadbeef.1.0.tmp");
+        let stale_frag = dir.join("frags").join(".cafebabe.1.1.tmp");
+        // A live writer's in-flight tmp (fresh mtime) plus a published
+        // file: neither may be touched.
+        let fresh_tmp = dir.join("units").join(".feedface.2.0.tmp");
+        let published = dir.join("units").join("deadbeef.man");
+        for p in [&stale_unit, &stale_frag, &fresh_tmp, &published] {
+            std::fs::write(p, b"bytes").unwrap();
+        }
+        let old = std::time::SystemTime::now() - (LEASE_STALE + Duration::from_secs(8));
+        for p in [&stale_unit, &stale_frag] {
+            let f = std::fs::OpenOptions::new().write(true).open(p).unwrap();
+            f.set_times(std::fs::FileTimes::new().set_modified(old))
+                .unwrap();
+        }
+        let cache = ArtifactCache::at_dir(&dir).unwrap();
+        assert_eq!(cache.swept(), 2);
+        assert_eq!(cache.stats().swept, 2);
+        assert!(!stale_unit.exists() && !stale_frag.exists());
+        assert!(fresh_tmp.exists(), "live writer's tmp swept from under it");
+        assert!(published.exists());
+        // Reopening after the sweep finds nothing stale.
+        assert_eq!(ArtifactCache::at_dir(&dir).unwrap().swept(), 0);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -47,7 +47,10 @@
 //! * `StorePutCrash` — the writer "crashes" between committing its
 //!   fragments and renaming the manifest: fragments land, the manifest
 //!   never does, and a fresh process must see either the complete old
-//!   unit or a clean miss.
+//!   unit or a clean miss;
+//! * `StoreFull` — a durable write fails as if the disk were full
+//!   (`ENOSPC`), which the store must degrade to memory-only caching
+//!   with a single structured warning rather than an error.
 //!
 //! Plans are enabled via the `MATC_FAULTS` environment variable or the
 //! `--faults` CLI flag, both taking the spec grammar of
@@ -84,6 +87,8 @@ pub enum FaultSite {
     StoreTornManifest,
     /// Writer crash between fragment commit and manifest rename.
     StorePutCrash,
+    /// Durable store write fails as if the disk were full (`ENOSPC`).
+    StoreFull,
 }
 
 impl FaultSite {
@@ -100,6 +105,7 @@ impl FaultSite {
             FaultSite::StoreFragCorrupt => 0x510e_527f_ade6_82d1,
             FaultSite::StoreTornManifest => 0x9b05_688c_2b3e_6c1f,
             FaultSite::StorePutCrash => 0x5be0_cd19_137e_2179,
+            FaultSite::StoreFull => 0x428a_2f98_d728_ae22,
         }
     }
 }
@@ -142,6 +148,9 @@ pub struct FaultPlan {
     /// Percentage (0–100) of unit puts that crash between fragment
     /// commit and manifest rename.
     pub store_put_crash_pct: u8,
+    /// Percentage (0–100) of durable store writes that fail as if the
+    /// disk were full (`ENOSPC`).
+    pub store_full_pct: u8,
 }
 
 impl FaultPlan {
@@ -162,6 +171,7 @@ impl FaultPlan {
             store_frag_corrupt_pct: 0,
             store_torn_manifest_pct: 0,
             store_put_crash_pct: 0,
+            store_full_pct: 0,
         }
     }
 
@@ -186,8 +196,8 @@ impl FaultPlan {
                 0 => u8::MAX, // persistent write failure
                 k => k as u8, // 1–3 failed attempts, then success
             },
-            // Network probes stay off: `from_seed` seeds the pipeline
-            // matrix, whose artifacts are pinned per seed.
+            // Network/store probes stay off: `from_seed` seeds the
+            // pipeline matrix, whose artifacts are pinned per seed.
             ..FaultPlan::quiet(seed)
         }
     }
@@ -316,6 +326,12 @@ impl FaultPlan {
         self
     }
 
+    /// Sets the disk-full durable-write failure rate (builder style).
+    pub fn store_fulls(mut self, pct: u8) -> FaultPlan {
+        self.store_full_pct = pct.min(100);
+        self
+    }
+
     /// Whether any site has a non-zero rate.
     pub fn any_enabled(&self) -> bool {
         self.cache_read_pct > 0
@@ -339,6 +355,7 @@ impl FaultPlan {
         self.store_frag_corrupt_pct > 0
             || self.store_torn_manifest_pct > 0
             || self.store_put_crash_pct > 0
+            || self.store_full_pct > 0
     }
 
     /// Whether the probe at `site` keyed by `key` fires. Deterministic
@@ -356,6 +373,7 @@ impl FaultPlan {
             FaultSite::StoreFragCorrupt => self.store_frag_corrupt_pct,
             FaultSite::StoreTornManifest => self.store_torn_manifest_pct,
             FaultSite::StorePutCrash => self.store_put_crash_pct,
+            FaultSite::StoreFull => self.store_full_pct,
         };
         if pct == 0 {
             return false;
@@ -386,8 +404,8 @@ impl FaultPlan {
     /// `transient=max` makes write faults persistent. Network probe
     /// rates take the keys `accept=`, `disconnect=`, `stall=` and
     /// `torn=`; artifact-store probe rates take `fragcorrupt=`,
-    /// `manifesttorn=` and `putcrash=` (all default 0). A spec without
-    /// `seed` is an error.
+    /// `manifesttorn=`, `putcrash=` and `storefull=` (all default 0).
+    /// A spec without `seed` is an error.
     ///
     /// # Errors
     ///
@@ -441,6 +459,7 @@ impl FaultPlan {
                 "fragcorrupt" => plan.store_frag_corrupt_pct = pct(&v)?,
                 "manifesttorn" => plan.store_torn_manifest_pct = pct(&v)?,
                 "putcrash" => plan.store_put_crash_pct = pct(&v)?,
+                "storefull" => plan.store_full_pct = pct(&v)?,
                 "transient" => {
                     plan.write_transient = if v == "max" {
                         u8::MAX
@@ -495,17 +514,21 @@ impl fmt::Display for FaultPlan {
         if self.any_store_enabled() {
             write!(
                 f,
-                ",fragcorrupt={},manifesttorn={},putcrash={}",
-                self.store_frag_corrupt_pct, self.store_torn_manifest_pct, self.store_put_crash_pct
+                ",fragcorrupt={},manifesttorn={},putcrash={},storefull={}",
+                self.store_frag_corrupt_pct,
+                self.store_torn_manifest_pct,
+                self.store_put_crash_pct,
+                self.store_full_pct
             )?;
         }
         Ok(())
     }
 }
 
-/// SplitMix64 — the standard 64-bit finalizer-style mixer. Crate-visible
-/// so the cache's retry jitter can reuse it.
-pub(crate) fn splitmix64(mut z: u64) -> u64 {
+/// SplitMix64 — the standard 64-bit finalizer-style mixer. Public so
+/// the cache's retry jitter and the deterministic simulation's RNG can
+/// reuse it.
+pub fn splitmix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
@@ -513,7 +536,7 @@ pub(crate) fn splitmix64(mut z: u64) -> u64 {
 }
 
 /// FNV-1a over the key string (stable across platforms and runs).
-pub(crate) fn fnv1a(s: &str) -> u64 {
+pub fn fnv1a(s: &str) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for b in s.as_bytes() {
         h ^= *b as u64;
@@ -643,6 +666,21 @@ mod tests {
             !FaultPlan::quiet(3).to_string().contains("fragcorrupt="),
             "all-zero store rates stay out of the rendering"
         );
+    }
+
+    #[test]
+    fn store_full_site_parses_and_stays_out_of_seed_mixtures() {
+        let p = FaultPlan::parse("seed=5,storefull=100").unwrap();
+        assert_eq!(p.store_full_pct, 100);
+        assert!(p.fires(FaultSite::StoreFull, "cu0"));
+        assert!(!p.fires(FaultSite::StorePutCrash, "cu0"));
+        let rendered = p.to_string();
+        assert!(rendered.contains("storefull=100"), "renders: {rendered}");
+        assert_eq!(FaultPlan::parse(&rendered).unwrap(), p);
+        // The pinned store matrix predates this site: no seed may gain it.
+        for seed in 0..200 {
+            assert_eq!(FaultPlan::store_from_seed(seed).store_full_pct, 0);
+        }
     }
 
     #[test]

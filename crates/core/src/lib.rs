@@ -55,7 +55,7 @@ pub mod plan;
 pub use breaker::{BreakerConfig, BreakerDecision, BreakerMap, BreakerState};
 pub use cache::{options_fingerprint, Artifact, ArtifactCache, CacheKey, CacheStats, Fragment};
 pub use coloring::{Coloring, ColoringStrategy};
-pub use fault::{FaultPlan, FaultSite, FAULTS_ENV};
+pub use fault::{fnv1a, splitmix64, FaultPlan, FaultSite, FAULTS_ENV};
 pub use interference::{InterferenceGraph, InterferenceOptions};
 pub use isolate::{isolate, lock_recover};
 pub use liveness::Dataflow;

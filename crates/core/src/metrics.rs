@@ -483,8 +483,12 @@ impl BatchReport {
     /// `conns_accepted`, `conns_open`, `frames_in`, `responses_out`,
     /// `pipelined_peak`, `write_overflow_disconnects`, `wakeups`)
     /// joined the `server` object as a nested `reactor` object
-    /// (PR 9, epoll readiness loop + request pipelining).
-    pub const SCHEMA_VERSION: u32 = 8;
+    /// (PR 9, epoll readiness loop + request pipelining); from 8 to 9
+    /// when `accept_errors` (transient `accept()` failures absorbed by
+    /// the one-tick backoff) joined the server `reactor` object and
+    /// `swept` (stale `.tmp` debris removed on store open) joined the
+    /// server `cache` object (PR 10, deterministic simulation testing).
+    pub const SCHEMA_VERSION: u32 = 9;
 
     /// The full stats document (`matc batch --stats`), `"kind":"batch"`.
     pub fn to_json(&self) -> String {
@@ -593,8 +597,8 @@ impl BatchReport {
 }
 
 /// Aggregate counters of one `matc shadow` run — the top-level
-/// `shadow` object of the schema-v8 stats document
-/// (`{"schema":8,"kind":"shadow","shadow":{…},…}`).
+/// `shadow` object of the schema-v9 stats document
+/// (`{"schema":9,"kind":"shadow","shadow":{…},…}`).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ShadowStats {
     /// Units replayed.
@@ -767,10 +771,10 @@ mod tests {
         assert_eq!(report.degraded(), 1);
         assert_eq!(report.failed(), 0);
         let j = report.to_json();
-        assert!(j.starts_with("{\"schema\":8,\"kind\":\"batch\","), "{j}");
+        assert!(j.starts_with("{\"schema\":9,\"kind\":\"batch\","), "{j}");
         let served = report.to_json_with_kind("serve", ",\"server\":{\"queue_depth\":0}");
         assert!(
-            served.starts_with("{\"schema\":8,\"kind\":\"serve\",\"server\":{\"queue_depth\":0},"),
+            served.starts_with("{\"schema\":9,\"kind\":\"serve\",\"server\":{\"queue_depth\":0},"),
             "{served}"
         );
         assert!(report.render_table().contains("degraded (1 event(s))"));

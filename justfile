@@ -4,7 +4,7 @@
 
 default: check
 
-check: fmt clippy test audit-bench batch-bench fault-bench perf-bench shadow-bench cache-bench
+check: fmt clippy test audit-bench batch-bench fault-bench sim-bench perf-bench shadow-bench cache-bench
 
 fmt:
     cargo fmt --all -- --check
@@ -66,6 +66,18 @@ shadow-bench:
 # to an uncached compile of the edited unit.
 cache-bench:
     cargo run -q --release --bin matc -- cache-bench
+
+# The deterministic-simulation gate (DESIGN.md §14): the real serve
+# reactor on a virtual clock against an in-memory seeded network. A
+# 1000-seed schedule exploration plus the pinned regression seeds, each
+# seed run twice with byte-identical traces required and all five
+# invariants (no wedge, in-order pipelining, write-buffer cap, clean
+# drain, no cache poisoning) checked every virtual tick. A failure
+# prints the seed, the greedily shrunk failing configuration and the
+# replayable trace (`matc simulate --replay SEED`).
+sim-bench:
+    cargo run -q --release --bin matc -- simulate --seeds 1000 \
+        --seed-file tests/sim_seeds.txt
 
 fault-bench:
     cargo test -q --test fault_injection

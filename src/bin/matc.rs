@@ -12,6 +12,7 @@
 //! matc batch [units ...]                   parallel batch compilation
 //! matc serve [--addr A]                    resilient compile-service daemon
 //! matc request [--addr A] file.m [...]     client for a running daemon
+//! matc simulate [--seeds N]                deterministic reactor simulation
 //! matc perf-bench                          tracked performance gate
 //! matc cache-bench                         incremental-compilation gate
 //! ```
@@ -39,7 +40,7 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: matc <run|emit-c|plan|stats|audit> [--no-gctd] [--seed N] [--mcc|--interp] [--json] [--jobs N] file.m [more.m ...]\n       matc audit [--jobs N] file.m [...]\n                            lint + independently re-check the storage plan:\n                            liveness/sizing checks (A1xx-A4xx), production-\n                            vs-auditor engine agreement (A5xx), and dead\n                            resize-annotation lints (L004); --jobs fans\n                            per-function audits over a work-stealing pool\n                            with byte-identical findings for every N\n       matc audit-bench     audit every benchsuite program's plan and print\n                            a reference-vs-worklist dataflow engine timing\n                            table with per-benchmark speedups\n       matc shadow [--bench] [--seed N] [--no-gctd] [--json] [--stats FILE]\n                  [file.m[,helper.m...] ...]\n                            plan-validating shadow run: execute each unit\n                            under both the reference interpreter and the\n                            probed planned VM, replay the probe log against\n                            the storage plan, and report plan-vs-reality\n                            diffs (S100 output divergence, S101 `o` resize,\n                            S102 stack overflow — errors; S103 `+-` never\n                            resized — warning; S104 read outside liveness,\n                            S105 Equation-2 mismatch — errors); --stats\n                            writes the schema-v8 shadow{{}} stats document\n       shadow exit codes: 0 clean (warnings allowed), 1 diff or failure,\n                          2 usage\n       matc runtime <dir>   write the mrt C support runtime (mrt.h, mrt.c)\n       matc batch [--jobs N] [--cache-dir DIR] [--stats FILE] [--emit-dir DIR]\n                  [--no-gctd] [--repeat N] [--bench] [--selfcheck]\n                  [--keep-going|--fail-fast] [--phase-timeout-ms N] [--fuel N]\n                  [--faults SPEC] [driver.m[,helper.m...] ...]\n                            compile many programs in parallel with caching;\n                            --selfcheck proves parallel/sequential/cached runs\n                            byte-identical and reports the speedup;\n                            --faults takes a seeded fault-injection spec\n                            (also read from MATC_FAULTS), e.g.\n                            seed=7,read=10,write=30,panic=0,audit=100,transient=2\n       batch exit codes: 0 all units clean, 1 unit(s) failed, 2 usage,\n                         3 all compiled but some degraded to the\n                         conservative plan\n       matc serve [--addr HOST:PORT] [--jobs N] [--queue-cap N] [--high-water N]\n                  [--drain-ms N] [--idle-timeout-ms N] [--cache-dir DIR]\n                  [--breaker-threshold N] [--breaker-cooldown-ms N]\n                  [--phase-timeout-ms N] [--fuel N] [--faults SPEC] [--no-gctd]\n                  [--max-write-buf BYTES] [--poll-backend]\n                            newline-delimited-JSON compile daemon (DESIGN.md §9,\n                            §13): a single epoll/poll reactor thread drives\n                            every pipelined connection, with bounded admission\n                            (shed at --queue-cap, degrade to the conservative\n                            plan at --high-water), per-request deadlines,\n                            per-unit circuit breakers, write-buffer\n                            backpressure (--max-write-buf) and graceful\n                            SIGTERM/SIGINT draining; --poll-backend forces the\n                            portable poll(2) loop (also MATC_SERVE_BACKEND=poll);\n                            --faults also accepts the network-chaos keys\n                            accept=,disconnect=,stall=,torn=\n       serve exit codes: 0 drained cleanly, 1 bind/drain failure, 2 usage\n       matc request [--addr HOST:PORT] [--op compile|audit|healthz|stats|shutdown]\n                  [--name NAME] [--deadline-ms N] [--retries N] [--emit]\n                  [--pipeline N] [driver.m[,helper.m...]]\n                            one request against a running daemon, with capped\n                            jittered exponential backoff and deadline\n                            propagation; prints the response JSON;\n                            --pipeline N sends N copies down one persistent\n                            connection before reading, printing the responses\n                            in request order (no retries)\n       request exit codes: 0 server replied ok:true, 1 rejected/error, 2 usage\n       matc perf-bench [--samples N] [--warmup N] [--baseline FILE] [--bless]\n                            compile the benchsuite + paper_scale, record\n                            median phase times / fixpoint iterations /\n                            interference edges per second in BENCH_gctd.json,\n                            and fail on >25% regression vs the committed\n                            baseline (tolerance via MATC_PERF_TOLERANCE;\n                            --bless rewrites the baseline)\n       matc cache-bench [--stages N] [--cache-dir DIR]\n                            incremental-compilation gate: cold-compile the\n                            multi-function paper_scale unit, edit one\n                            function, and prove the warm recompile re-plans\n                            only that function, reuses every other cached\n                            fragment, and stitches a byte-identical artifact"
+        "usage: matc <run|emit-c|plan|stats|audit> [--no-gctd] [--seed N] [--mcc|--interp] [--json] [--jobs N] file.m [more.m ...]\n       matc audit [--jobs N] file.m [...]\n                            lint + independently re-check the storage plan:\n                            liveness/sizing checks (A1xx-A4xx), production-\n                            vs-auditor engine agreement (A5xx), and dead\n                            resize-annotation lints (L004); --jobs fans\n                            per-function audits over a work-stealing pool\n                            with byte-identical findings for every N\n       matc audit-bench     audit every benchsuite program's plan and print\n                            a reference-vs-worklist dataflow engine timing\n                            table with per-benchmark speedups\n       matc shadow [--bench] [--seed N] [--no-gctd] [--json] [--stats FILE]\n                  [file.m[,helper.m...] ...]\n                            plan-validating shadow run: execute each unit\n                            under both the reference interpreter and the\n                            probed planned VM, replay the probe log against\n                            the storage plan, and report plan-vs-reality\n                            diffs (S100 output divergence, S101 `o` resize,\n                            S102 stack overflow — errors; S103 `+-` never\n                            resized — warning; S104 read outside liveness,\n                            S105 Equation-2 mismatch — errors); --stats\n                            writes the schema-v9 shadow{{}} stats document\n       shadow exit codes: 0 clean (warnings allowed), 1 diff or failure,\n                          2 usage\n       matc runtime <dir>   write the mrt C support runtime (mrt.h, mrt.c)\n       matc batch [--jobs N] [--cache-dir DIR] [--stats FILE] [--emit-dir DIR]\n                  [--no-gctd] [--repeat N] [--bench] [--selfcheck]\n                  [--keep-going|--fail-fast] [--phase-timeout-ms N] [--fuel N]\n                  [--faults SPEC] [driver.m[,helper.m...] ...]\n                            compile many programs in parallel with caching;\n                            --selfcheck proves parallel/sequential/cached runs\n                            byte-identical and reports the speedup;\n                            --faults takes a seeded fault-injection spec\n                            (also read from MATC_FAULTS), e.g.\n                            seed=7,read=10,write=30,panic=0,audit=100,transient=2\n       batch exit codes: 0 all units clean, 1 unit(s) failed, 2 usage,\n                         3 all compiled but some degraded to the\n                         conservative plan\n       matc serve [--addr HOST:PORT] [--jobs N] [--queue-cap N] [--high-water N]\n                  [--drain-ms N] [--idle-timeout-ms N] [--cache-dir DIR]\n                  [--breaker-threshold N] [--breaker-cooldown-ms N]\n                  [--phase-timeout-ms N] [--fuel N] [--faults SPEC] [--no-gctd]\n                  [--max-write-buf BYTES] [--poll-backend]\n                            newline-delimited-JSON compile daemon (DESIGN.md §9,\n                            §13): a single epoll/poll reactor thread drives\n                            every pipelined connection, with bounded admission\n                            (shed at --queue-cap, degrade to the conservative\n                            plan at --high-water), per-request deadlines,\n                            per-unit circuit breakers, write-buffer\n                            backpressure (--max-write-buf) and graceful\n                            SIGTERM/SIGINT draining; --poll-backend forces the\n                            portable poll(2) loop (also MATC_SERVE_BACKEND=poll);\n                            --faults also accepts the network-chaos keys\n                            accept=,disconnect=,stall=,torn= and the\n                            store-degradation key storefull=\n       serve exit codes: 0 drained cleanly, 1 bind/drain failure, 2 usage\n       matc simulate [--seeds N] [--seed-file FILE] [--replay SEED] [--faults SPEC]\n                            deterministic simulation of the serve reactor\n                            (DESIGN.md \u{a7}14): the real reactor state machines\n                            run against an in-memory seeded network on a\n                            virtual clock; each seed derives a workload and\n                            fault schedule, runs twice, and must produce\n                            byte-identical traces while holding the five\n                            invariants (no wedge, in-order pipelining,\n                            write-buffer cap, clean drain, no cache\n                            poisoning); failures print the seed, a greedily\n                            shrunk failing configuration and the replayable\n                            trace; --replay reruns one seed and prints it\n       simulate exit codes: 0 all seeds clean, 1 violation or replay\n                            mismatch, 2 usage\n       matc request [--addr HOST:PORT] [--op compile|audit|healthz|stats|shutdown]\n                  [--name NAME] [--deadline-ms N] [--retries N] [--emit]\n                  [--pipeline N] [driver.m[,helper.m...]]\n                            one request against a running daemon, with capped\n                            jittered exponential backoff and deadline\n                            propagation; prints the response JSON;\n                            --pipeline N sends N copies down one persistent\n                            connection before reading, printing the responses\n                            in request order (no retries)\n       request exit codes: 0 server replied ok:true, 1 rejected/error, 2 usage\n       matc perf-bench [--samples N] [--warmup N] [--baseline FILE] [--bless]\n                            compile the benchsuite + paper_scale, record\n                            median phase times / fixpoint iterations /\n                            interference edges per second in BENCH_gctd.json,\n                            and fail on >25% regression vs the committed\n                            baseline (tolerance via MATC_PERF_TOLERANCE;\n                            --bless rewrites the baseline)\n       matc cache-bench [--stages N] [--cache-dir DIR]\n                            incremental-compilation gate: cold-compile the\n                            multi-function paper_scale unit, edit one\n                            function, and prove the warm recompile re-plans\n                            only that function, reuses every other cached\n                            fragment, and stitches a byte-identical artifact"
     );
     ExitCode::from(2)
 }
@@ -446,6 +447,145 @@ fn serve_cli(args: &[String]) -> ExitCode {
     }
 }
 
+/// The `matc simulate` subcommand: deterministic simulation of the
+/// serve reactor (DESIGN.md §14). Runs a seeded matrix, executing
+/// every seed twice and requiring byte-identical traces; on an
+/// invariant violation, prints the seed, the greedily shrunk
+/// configuration that still fails, and the replayable trace.
+fn simulate_cli(args: &[String]) -> ExitCode {
+    let mut seeds: Vec<u64> = Vec::new();
+    let mut count: Option<u64> = None;
+    let mut replay: Option<u64> = None;
+    let mut faults_spec: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seeds" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n >= 1 => count = Some(n),
+                _ => return usage(),
+            },
+            "--seed-file" => match it.next() {
+                Some(path) => match std::fs::read_to_string(path) {
+                    Ok(body) => {
+                        for line in body.lines() {
+                            let line = line.trim();
+                            if line.is_empty() || line.starts_with('#') {
+                                continue;
+                            }
+                            match line.parse() {
+                                Ok(s) => seeds.push(s),
+                                Err(_) => {
+                                    eprintln!("matc: bad seed in {path}: {line:?}");
+                                    return usage();
+                                }
+                            }
+                        }
+                    }
+                    Err(e) => {
+                        eprintln!("matc: cannot read {path}: {e}");
+                        return usage();
+                    }
+                },
+                None => return usage(),
+            },
+            "--replay" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(s) => replay = Some(s),
+                None => return usage(),
+            },
+            "--faults" => match it.next() {
+                Some(v) => faults_spec = Some(v.clone()),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    let mut tweaks = matc::sim::SimTweaks::default();
+    if let Some(spec) = faults_spec {
+        match FaultPlan::parse(&spec) {
+            Ok(p) => tweaks.plan = Some(p),
+            Err(e) => {
+                eprintln!("matc: bad --faults spec: {e}");
+                return usage();
+            }
+        }
+    }
+
+    if let Some(seed) = replay {
+        let rep = matc::sim::run_seed_with(seed, &tweaks);
+        println!("{}", rep.trace);
+        return match rep.violation {
+            Some(v) => {
+                eprintln!("matc: seed {seed}: {v}");
+                ExitCode::FAILURE
+            }
+            None => {
+                eprintln!(
+                    "matc: seed {seed}: clean ({} response(s), {} tick(s))",
+                    rep.responses, rep.ticks
+                );
+                ExitCode::SUCCESS
+            }
+        };
+    }
+
+    if let Some(n) = count {
+        seeds.extend(0..n);
+    }
+    if seeds.is_empty() {
+        eprintln!("matc: simulate needs --seeds N, --seed-file FILE or --replay SEED");
+        return usage();
+    }
+    seeds.sort_unstable();
+    seeds.dedup();
+
+    let started = std::time::Instant::now();
+    let mut violations = 0usize;
+    let mut mismatches = 0usize;
+    let mut responses = 0u64;
+    for &seed in &seeds {
+        let a = matc::sim::run_seed_with(seed, &tweaks);
+        let b = matc::sim::run_seed_with(seed, &tweaks);
+        responses += a.responses;
+        if a.trace != b.trace {
+            mismatches += 1;
+            eprintln!("matc: seed {seed}: NONDETERMINISTIC — two runs diverged");
+            for (i, (la, lb)) in a.trace.lines().zip(b.trace.lines()).enumerate() {
+                if la != lb {
+                    eprintln!("  first divergence at trace line {i}:\n  - {la}\n  + {lb}");
+                    break;
+                }
+            }
+            continue;
+        }
+        if let Some(v) = &a.violation {
+            violations += 1;
+            eprintln!("matc: seed {seed}: {v}");
+            let (shrunk, min_rep) = matc::sim::shrink(seed, &tweaks);
+            eprintln!("  shrunk to: {}", matc::sim::describe_tweaks(seed, &shrunk));
+            eprintln!(
+                "  minimal failure: {}",
+                min_rep.violation.as_deref().unwrap_or("(no longer fails)")
+            );
+            eprintln!("  replay: matc simulate --replay {seed}");
+            for line in a.trace.lines() {
+                eprintln!("  | {line}");
+            }
+        }
+    }
+    eprintln!(
+        "matc: simulated {} seed(s) x2 in {:.2}s ({responses} client response(s); {} violation(s), {} replay mismatch(es))",
+        seeds.len(),
+        started.elapsed().as_secs_f64(),
+        violations,
+        mismatches
+    );
+    if violations + mismatches > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 /// The `matc request` subcommand: one operation against a running
 /// daemon, with retries/backoff/deadline propagation from
 /// [`matc::serve::request_with_retries`].
@@ -821,6 +961,9 @@ fn main() -> ExitCode {
     }
     if cmd == "request" {
         return request_cli(&args[1..]);
+    }
+    if cmd == "simulate" {
+        return simulate_cli(&args[1..]);
     }
     if cmd == "audit-bench" {
         return audit_bench();

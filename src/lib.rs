@@ -27,7 +27,11 @@
 //! static plan — the engine behind `matc shadow`. [`cache_bench`] is
 //! the incremental-compilation gate behind `matc cache-bench`: edit one
 //! function of a multi-function unit and prove every other function's
-//! fragment is reused from the store.
+//! fragment is reused from the store. [`sim`] runs the *real* serve
+//! reactor inside a deterministic single-threaded simulation — virtual
+//! time, in-memory network, seeded fault schedules, byte-identical
+//! replay — the engine behind `matc simulate`; [`sys`] holds the
+//! readiness/clock seams both worlds implement.
 //!
 //! ```
 //! use matc::vm::{compile::compile, PlannedVm};
@@ -48,7 +52,8 @@ pub mod json;
 pub mod perf;
 pub mod serve;
 pub mod shadow;
-mod sys;
+pub mod sim;
+pub mod sys;
 
 pub use matc_analysis as analysis;
 pub use matc_benchsuite as benchsuite;

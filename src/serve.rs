@@ -56,14 +56,17 @@
 
 use crate::batch::{compile_unit_with, BatchConfig, Unit, UnitOutcome};
 use crate::json::{self, Json};
-use crate::sys::{self, Event, Poller, WakePipe, EV_READ, EV_WRITE};
+use crate::sys::{
+    Accepted, Clock, ConnIo, ConnObs, Event, NetSource, Poller, RealNet, WakePipe, EV_READ,
+    EV_WRITE,
+};
 use matc_gctd::{
     lock_recover, ArtifactCache, BreakerConfig, BreakerDecision, BreakerMap, CacheKey, FaultPlan,
     FaultSite, GctdOptions, UnitMetrics,
 };
 use matc_gctd::{BatchReport, CacheOutcome};
 use std::collections::VecDeque;
-use std::io::{self, Read, Write};
+use std::io::{self, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -141,6 +144,10 @@ pub struct ServeConfig {
     /// Test hook: shrink accepted sockets' kernel send buffer
     /// (`SO_SNDBUF`) so backpressure tests jam with kilobytes.
     pub sndbuf: Option<usize>,
+    /// Time source for every server-side deadline, cooldown and timer:
+    /// the system clock in production, a virtual clock under
+    /// `matc simulate` and deterministic timing tests.
+    pub clock: Clock,
 }
 
 impl Default for ServeConfig {
@@ -161,6 +168,7 @@ impl Default for ServeConfig {
             max_write_buf: 32 * 1024 * 1024,
             force_poll: false,
             sndbuf: None,
+            clock: Clock::system(),
         }
     }
 }
@@ -214,7 +222,7 @@ struct ConnRef {
 }
 
 /// One queued compile/audit job.
-struct Job {
+pub(crate) struct Job {
     unit: Unit,
     config: BatchConfig,
     breaker_key: String,
@@ -226,6 +234,14 @@ struct Job {
     load_degraded: bool,
     dest: ConnRef,
     fate: RespFate,
+}
+
+impl Job {
+    /// The request's unit name (simulation traces label scheduled
+    /// compiles with it).
+    pub(crate) fn unit_name(&self) -> &str {
+        &self.name
+    }
 }
 
 /// A finished job's rendered response, routed back to the reactor.
@@ -240,7 +256,7 @@ struct Completion {
 /// The work-stealing compile pool (the PR 2 `run_batch` discipline,
 /// made persistent): per-worker deques, pop-own-front / steal-back,
 /// a shared condvar for sleep, and an atomic depth for admission.
-struct Pool {
+pub(crate) struct Pool {
     queues: Vec<Mutex<VecDeque<Job>>>,
     depth: AtomicUsize,
     active: AtomicUsize,
@@ -282,7 +298,7 @@ impl Pool {
     /// locks. `active` is raised *before* `depth` drops so
     /// `depth + active` never transiently hides an in-hand job from
     /// the drain coordinator.
-    fn pop(&self, me: usize) -> Option<Job> {
+    pub(crate) fn pop(&self, me: usize) -> Option<Job> {
         if let Some(job) = lock_recover(&self.queues[me]).pop_front() {
             self.active.fetch_add(1, Ordering::SeqCst);
             self.depth.fetch_sub(1, Ordering::SeqCst);
@@ -314,16 +330,18 @@ impl Pool {
     }
 }
 
-/// State shared by the reactor and the worker pool.
-struct Shared {
-    cfg: ServeConfig,
-    pool: Pool,
+/// State shared by the reactor and the worker pool (and read by the
+/// simulation harness, which is why the load-bearing fields are
+/// crate-visible).
+pub(crate) struct Shared {
+    pub(crate) cfg: ServeConfig,
+    pub(crate) pool: Pool,
     /// Graceful shutdown requested: stop accepting, drain the queue.
-    stop: AtomicBool,
+    pub(crate) stop: AtomicBool,
     /// Drain deadline passed: workers exit even with work queued.
-    abort: AtomicBool,
-    cache: Option<ArtifactCache>,
-    breakers: BreakerMap,
+    pub(crate) abort: AtomicBool,
+    pub(crate) cache: Option<ArtifactCache>,
+    pub(crate) breakers: BreakerMap,
     faults: Mutex<FaultPlan>,
     recent: Mutex<VecDeque<UnitMetrics>>,
     started: Instant,
@@ -340,7 +358,10 @@ struct Shared {
     /// The reactor's doorbell (write: workers, read: poller).
     wake: WakePipe,
     /// Gate so at most one doorbell byte is outstanding per tick.
-    wake_pending: AtomicBool,
+    /// Crate-visible: the simulated net source reports the wake token
+    /// readable exactly when this is set, so the reactor's blocking
+    /// drain always finds its byte.
+    pub(crate) wake_pending: AtomicBool,
     /// Poller backend name, for the stats census.
     backend: &'static str,
     conns_accepted: AtomicU64,
@@ -350,9 +371,17 @@ struct Shared {
     pipelined_peak: AtomicU64,
     write_overflow_disconnects: AtomicU64,
     wakeups: AtomicU64,
+    /// Transient `listener.accept()` failures absorbed by the one-tick
+    /// accept backoff (`EMFILE`-style fd exhaustion and friends).
+    pub(crate) accept_errors: AtomicU64,
 }
 
 impl Shared {
+    /// The current instant on the server's (possibly virtual) clock.
+    pub(crate) fn now(&self) -> Instant {
+        self.cfg.clock.now()
+    }
+
     fn faults_now(&self) -> FaultPlan {
         *lock_recover(&self.faults)
     }
@@ -374,7 +403,7 @@ impl Shared {
         }
     }
 
-    fn summary(&self, drained_cleanly: bool) -> ServeSummary {
+    pub(crate) fn summary(&self, drained_cleanly: bool) -> ServeSummary {
         ServeSummary {
             admitted: self.admitted.load(Ordering::Relaxed),
             completed: self.completed.load(Ordering::Relaxed),
@@ -386,16 +415,18 @@ impl Shared {
         }
     }
 
-    /// The `"server"` object spliced into the schema-v8 stats document
-    /// (v8 added the `reactor{}` counters).
+    /// The `"server"` object spliced into the schema-v9 stats document
+    /// (v8 added the `reactor{}` counters; v9 added
+    /// `reactor.accept_errors` and `cache.swept`).
     fn server_json(&self) -> String {
         let (closed, open, half_open) = self.breakers.counts();
         let store = self.cache.as_ref().map(|c| c.stats()).unwrap_or_default();
-        let (hits, misses, partial, quarantined) = (
+        let (hits, misses, partial, quarantined, swept) = (
             store.hits,
             store.misses,
             store.partial_hits,
             store.quarantined,
+            store.swept,
         );
         format!(
             ",\"server\":{{\"draining\":{},\"queue_depth\":{},\"active\":{},\"admitted\":{},\
@@ -403,10 +434,10 @@ impl Shared {
              \"shutdown_rejected\":{},\"net_faults_fired\":{},\
              \"reactor\":{{\"backend\":\"{}\",\"conns_accepted\":{},\"conns_open\":{},\
              \"frames_in\":{},\"responses_out\":{},\"pipelined_peak\":{},\
-             \"write_overflow_disconnects\":{},\"wakeups\":{}}},\
+             \"write_overflow_disconnects\":{},\"wakeups\":{},\"accept_errors\":{}}},\
              \"breakers\":{{\"closed\":{closed},\"open\":{open},\"half_open\":{half_open}}},\
              \"cache\":{{\"hits\":{hits},\"misses\":{misses},\"partial_hits\":{partial},\
-             \"quarantined\":{quarantined}}},\"uptime_ms\":{}}}",
+             \"quarantined\":{quarantined},\"swept\":{swept}}},\"uptime_ms\":{}}}",
             self.stop.load(Ordering::Relaxed),
             self.pool.depth(),
             self.pool.active.load(Ordering::SeqCst),
@@ -425,7 +456,10 @@ impl Shared {
             self.pipelined_peak.load(Ordering::Relaxed),
             self.write_overflow_disconnects.load(Ordering::Relaxed),
             self.wakeups.load(Ordering::Relaxed),
-            self.started.elapsed().as_millis(),
+            self.accept_errors.load(Ordering::Relaxed),
+            self.now()
+                .saturating_duration_since(self.started)
+                .as_millis(),
         )
     }
 }
@@ -465,26 +499,59 @@ impl ServerHandle {
     }
 }
 
-#[cfg(unix)]
-fn fd_of_stream(s: &TcpStream, _fallback: u64) -> i32 {
-    use std::os::fd::AsRawFd;
-    s.as_raw_fd()
-}
-
-#[cfg(not(unix))]
-fn fd_of_stream(_s: &TcpStream, fallback: u64) -> i32 {
-    fallback as i32
-}
-
-#[cfg(unix)]
-fn fd_of_listener(l: &TcpListener, _fallback: u64) -> i32 {
-    use std::os::fd::AsRawFd;
-    l.as_raw_fd()
-}
-
-#[cfg(not(unix))]
-fn fd_of_listener(_l: &TcpListener, fallback: u64) -> i32 {
-    fallback as i32
+/// Builds the [`Shared`] state block for a given backend — the one
+/// construction path for the production server and the simulation.
+///
+/// # Errors
+///
+/// Returns wake-pipe or cache-directory setup failures.
+pub(crate) fn make_shared(cfg: ServeConfig, backend: &'static str) -> io::Result<Arc<Shared>> {
+    let wake = WakePipe::new()?;
+    let cache = match &cfg.cache_dir {
+        Some(d) => {
+            let c = ArtifactCache::at_dir(d)?;
+            Some(match cfg.faults {
+                Some(p) => c.with_faults(p),
+                None => c,
+            })
+        }
+        None => Some(match cfg.faults {
+            Some(p) => ArtifactCache::in_memory().with_faults(p),
+            None => ArtifactCache::in_memory(),
+        }),
+    };
+    let started = cfg.clock.now();
+    Ok(Arc::new(Shared {
+        breakers: BreakerMap::new(cfg.breaker),
+        faults: Mutex::new(cfg.faults.unwrap_or(FaultPlan::quiet(0))),
+        pool: Pool::new(cfg.jobs),
+        cfg,
+        stop: AtomicBool::new(false),
+        abort: AtomicBool::new(false),
+        cache,
+        recent: Mutex::new(VecDeque::new()),
+        started,
+        conn_serial: AtomicU64::new(0),
+        admitted: AtomicU64::new(0),
+        completed: AtomicU64::new(0),
+        shed: AtomicU64::new(0),
+        load_degraded: AtomicU64::new(0),
+        breaker_rejected: AtomicU64::new(0),
+        shutdown_rejected: AtomicU64::new(0),
+        net_faults_fired: AtomicU64::new(0),
+        completions: Mutex::new(Vec::new()),
+        wake,
+        wake_pending: AtomicBool::new(false),
+        backend,
+        conns_accepted: AtomicU64::new(0),
+        conns_open: AtomicU64::new(0),
+        frames_in: AtomicU64::new(0),
+        responses_out: AtomicU64::new(0),
+        pipelined_peak: AtomicU64::new(0),
+        write_overflow_disconnects: AtomicU64::new(0),
+        wakeups: AtomicU64::new(0),
+        accept_errors: AtomicU64::new(0),
+    }))
 }
 
 /// Binds and starts the daemon in background threads, returning once
@@ -505,55 +572,14 @@ pub fn start(cfg: ServeConfig) -> io::Result<ServerHandle> {
             .map(|v| v == "poll")
             .unwrap_or(false);
     let poller = Poller::new(force_poll)?;
-    let wake = WakePipe::new()?;
-
-    let cache = match &cfg.cache_dir {
-        Some(d) => {
-            let c = ArtifactCache::at_dir(d)?;
-            Some(match cfg.faults {
-                Some(p) => c.with_faults(p),
-                None => c,
-            })
-        }
-        None => Some(match cfg.faults {
-            Some(p) => ArtifactCache::in_memory().with_faults(p),
-            None => ArtifactCache::in_memory(),
-        }),
-    };
-    let shared = Arc::new(Shared {
-        breakers: BreakerMap::new(cfg.breaker),
-        faults: Mutex::new(cfg.faults.unwrap_or(FaultPlan::quiet(0))),
-        pool: Pool::new(cfg.jobs),
-        cfg,
-        stop: AtomicBool::new(false),
-        abort: AtomicBool::new(false),
-        cache,
-        recent: Mutex::new(VecDeque::new()),
-        started: Instant::now(),
-        conn_serial: AtomicU64::new(0),
-        admitted: AtomicU64::new(0),
-        completed: AtomicU64::new(0),
-        shed: AtomicU64::new(0),
-        load_degraded: AtomicU64::new(0),
-        breaker_rejected: AtomicU64::new(0),
-        shutdown_rejected: AtomicU64::new(0),
-        net_faults_fired: AtomicU64::new(0),
-        completions: Mutex::new(Vec::new()),
-        wake,
-        wake_pending: AtomicBool::new(false),
-        backend: poller.backend(),
-        conns_accepted: AtomicU64::new(0),
-        conns_open: AtomicU64::new(0),
-        frames_in: AtomicU64::new(0),
-        responses_out: AtomicU64::new(0),
-        pipelined_peak: AtomicU64::new(0),
-        write_overflow_disconnects: AtomicU64::new(0),
-        wakeups: AtomicU64::new(0),
-    });
+    let backend = poller.backend();
+    let sndbuf = cfg.sndbuf;
+    let shared = make_shared(cfg, backend)?;
+    let net = RealNet::new(poller, listener, sndbuf);
 
     let main = {
         let shared = Arc::clone(&shared);
-        std::thread::spawn(move || run_server(shared, listener, poller))
+        std::thread::spawn(move || run_server(shared, net))
     };
     Ok(ServerHandle { addr, shared, main })
 }
@@ -574,7 +600,7 @@ pub fn serve(cfg: ServeConfig) -> io::Result<ServeSummary> {
 }
 
 /// Spawns the worker pool, runs the reactor, then joins everything.
-fn run_server(shared: Arc<Shared>, listener: TcpListener, poller: Poller) -> ServeSummary {
+fn run_server<N: NetSource>(shared: Arc<Shared>, net: N) -> ServeSummary {
     let workers: Vec<_> = (0..shared.cfg.jobs.max(1))
         .map(|w| {
             let shared = Arc::clone(&shared);
@@ -582,14 +608,7 @@ fn run_server(shared: Arc<Shared>, listener: TcpListener, poller: Poller) -> Ser
         })
         .collect();
 
-    let mut reactor = Reactor {
-        shared: Arc::clone(&shared),
-        poller,
-        listener: Some(listener),
-        conns: Vec::new(),
-        free: Vec::new(),
-        next_gen: 0,
-    };
+    let mut reactor = Reactor::new(Arc::clone(&shared), net);
     let drained_cleanly = reactor.run();
     drop(reactor);
 
@@ -621,35 +640,43 @@ fn worker_loop(shared: &Shared, me: usize) {
                 .unwrap_or_else(|p| p.into_inner());
             continue;
         };
-        let outcome = compile_unit_with(&job.unit, &job.config, shared.cache.as_ref());
-        // Breaker accounting: panics/fatal errors and audit-rejected
-        // plans count as failures; clean and merely-degraded-by-budget
-        // outcomes count as successes.
-        let m = &outcome.metrics;
-        let audit_rejected = m.degradations.iter().any(|d| d.stage == "audit");
-        if m.error.is_some() || audit_rejected {
-            shared
-                .breakers
-                .record_failure(&job.breaker_key, Instant::now());
-        } else {
-            shared.breakers.record_success(&job.breaker_key);
-        }
-        if job.probe && m.error.is_none() && !audit_rejected {
-            // Half-open probe succeeded; nothing extra to do — the
-            // success above already closed the breaker.
-        }
-        shared.completed.fetch_add(1, Ordering::Relaxed);
-        shared.note_metrics(outcome.metrics.clone());
-        let line = render_outcome(&job, &outcome);
-        shared.complete(Completion {
-            idx: job.dest.idx,
-            gen: job.dest.gen,
-            seq: job.dest.seq,
-            line,
-            fate: job.fate,
-        });
-        shared.pool.active.fetch_sub(1, Ordering::SeqCst);
+        run_job(shared, job);
     }
+}
+
+/// Executes one popped job to completion: the isolated compile, breaker
+/// accounting, response rendering, and the completion hand-off. Shared
+/// between [`worker_loop`] and the simulation (which runs jobs inline
+/// at deterministic virtual instants instead of on the pool threads).
+pub(crate) fn run_job(shared: &Shared, job: Job) {
+    let outcome = compile_unit_with(&job.unit, &job.config, shared.cache.as_ref());
+    // Breaker accounting: panics/fatal errors and audit-rejected
+    // plans count as failures; clean and merely-degraded-by-budget
+    // outcomes count as successes.
+    let m = &outcome.metrics;
+    let audit_rejected = m.degradations.iter().any(|d| d.stage == "audit");
+    if m.error.is_some() || audit_rejected {
+        shared
+            .breakers
+            .record_failure(&job.breaker_key, shared.now());
+    } else {
+        shared.breakers.record_success(&job.breaker_key);
+    }
+    if job.probe && m.error.is_none() && !audit_rejected {
+        // Half-open probe succeeded; nothing extra to do — the
+        // success above already closed the breaker.
+    }
+    shared.completed.fetch_add(1, Ordering::Relaxed);
+    shared.note_metrics(outcome.metrics.clone());
+    let line = render_outcome(&job, &outcome);
+    shared.complete(Completion {
+        idx: job.dest.idx,
+        gen: job.dest.gen,
+        seq: job.dest.seq,
+        line,
+        fate: job.fate,
+    });
+    shared.pool.active.fetch_sub(1, Ordering::SeqCst);
 }
 
 /// Response assembly for a finished compile/audit job (identical wire
@@ -727,9 +754,10 @@ fn wrap_fate(line: String, fate: RespFate) -> Resp {
     }
 }
 
-/// Per-connection state machine.
-struct Conn {
-    stream: TcpStream,
+/// Per-connection state machine, generic over the stream type so the
+/// identical code runs against real sockets and simulated pipes.
+struct Conn<S> {
+    stream: S,
     gen: u64,
     serial: u64,
     /// Read buffer; `rstart..` is unconsumed, `scanned..` unexamined.
@@ -759,8 +787,8 @@ struct Conn {
     want_write: bool,
 }
 
-impl Conn {
-    fn new(stream: TcpStream, gen: u64, serial: u64) -> Conn {
+impl<S> Conn<S> {
+    fn new(stream: S, gen: u64, serial: u64, now: Instant) -> Conn<S> {
         Conn {
             stream,
             gen,
@@ -773,7 +801,7 @@ impl Conn {
             pending: VecDeque::new(),
             next_seq: 0,
             req_serial: 0,
-            last_activity: Instant::now(),
+            last_activity: now,
             stall_until: None,
             stall_grace: false,
             eof: false,
@@ -795,29 +823,46 @@ enum Dispatch {
     Queued,
 }
 
-/// The reactor: poller + listener + connection slab, all on one thread.
-struct Reactor {
+/// The reactor: net source + connection slab, all on one thread.
+pub(crate) struct Reactor<N: NetSource> {
     shared: Arc<Shared>,
-    poller: Poller,
-    listener: Option<TcpListener>,
-    conns: Vec<Option<Conn>>,
+    net: N,
+    conns: Vec<Option<Conn<N::Conn>>>,
     free: Vec<usize>,
     next_gen: u64,
+    /// Accept-error backoff: the listener is parked until this passes.
+    accept_pause_until: Option<Instant>,
 }
 
-impl Reactor {
-    /// The readiness loop. Returns `drained_cleanly`.
-    fn run(&mut self) -> bool {
-        if let Some(l) = &self.listener {
-            let fd = fd_of_listener(l, TOK_LISTENER);
-            if self.poller.register(fd, TOK_LISTENER, EV_READ).is_err() {
-                return false;
-            }
+impl<N: NetSource> Reactor<N> {
+    /// Builds a reactor over `net` (not yet initialized — `run` does
+    /// that).
+    pub(crate) fn new(shared: Arc<Shared>, net: N) -> Reactor<N> {
+        Reactor {
+            shared,
+            net,
+            conns: Vec::new(),
+            free: Vec::new(),
+            next_gen: 0,
+            accept_pause_until: None,
         }
-        if self.shared.wake.read_fd() >= 0 {
-            let _ = self
-                .poller
-                .register(self.shared.wake.read_fd(), TOK_WAKE, EV_READ);
+    }
+
+    /// Consumes the reactor, handing back its net source. The
+    /// simulation harness uses this to recover the recorded trace and
+    /// invariant verdicts after `run` returns.
+    pub(crate) fn into_net(self) -> N {
+        self.net
+    }
+
+    /// The readiness loop. Returns `drained_cleanly`.
+    pub(crate) fn run(&mut self) -> bool {
+        if self
+            .net
+            .init(TOK_LISTENER, TOK_WAKE, self.shared.wake.read_fd())
+            .is_err()
+        {
+            return false;
         }
 
         let mut events: Vec<Event> = Vec::new();
@@ -831,26 +876,35 @@ impl Reactor {
             let stopping = self.shared.stop.load(Ordering::SeqCst);
             if stopping && drain_deadline.is_none() {
                 drain_deadline =
-                    Some(Instant::now() + Duration::from_millis(self.shared.cfg.drain_ms));
-                if let Some(l) = self.listener.take() {
-                    self.poller.deregister(fd_of_listener(&l, TOK_LISTENER));
-                }
+                    Some(self.shared.now() + Duration::from_millis(self.shared.cfg.drain_ms));
+                self.net.stop_listening();
+                self.accept_pause_until = None;
                 self.shared.pool.cv.notify_all();
             }
 
             // Tick bound: the poll period, shortened to the nearest
             // injected-stall expiry so stalled frames resume promptly.
-            let now = Instant::now();
+            let now = self.shared.now();
+            if let Some(t) = self.accept_pause_until {
+                if now >= t {
+                    // Backoff over: resume accepting; level-triggered
+                    // readiness re-reports any waiting backlog, but try
+                    // once now so nobody waits a full tick.
+                    self.accept_pause_until = None;
+                    self.net.set_listener_enabled(true);
+                    self.on_accept();
+                }
+            }
             let mut timeout = POLL;
             for c in self.conns.iter().flatten() {
                 if let Some(t) = c.stall_until {
                     timeout = timeout.min(t.saturating_duration_since(now));
                 }
             }
-            let tmo_ms = i32::try_from(timeout.as_millis()).unwrap_or(i32::MAX);
-            if self.poller.wait(&mut events, tmo_ms).is_err() {
-                std::thread::sleep(POLL);
+            if let Some(t) = self.accept_pause_until {
+                timeout = timeout.min(t.saturating_duration_since(now));
             }
+            self.net.wait(&mut events, timeout);
 
             for &ev in &events {
                 match ev.token {
@@ -876,7 +930,7 @@ impl Reactor {
             }
 
             // Resume connections whose injected stall expired.
-            let now = Instant::now();
+            let now = self.shared.now();
             for idx in 0..self.conns.len() {
                 let expired = matches!(
                     self.conns[idx].as_ref(),
@@ -892,9 +946,26 @@ impl Reactor {
 
             self.sweep(stopping);
 
+            if self.net.wants_tick_obs() {
+                let obs: Vec<ConnObs> = self
+                    .conns
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(idx, slot)| {
+                        slot.as_ref().map(|c| ConnObs {
+                            token: TOK_BASE + idx as u64,
+                            serial: c.serial,
+                            unsent: c.unsent(),
+                            pending: c.pending.len(),
+                        })
+                    })
+                    .collect();
+                self.net.observe_tick(&obs);
+            }
+
             if stopping {
                 let dl = drain_deadline.unwrap_or(now);
-                if !force_rejected && Instant::now() > dl {
+                if !force_rejected && self.shared.now() > dl {
                     // Past the budget: cleanly reject whatever is still
                     // queued (in-flight compiles are left to finish —
                     // they are bounded by their own budgets/deadlines).
@@ -934,7 +1005,7 @@ impl Reactor {
                 }
                 // Hard cutoff: a peer refusing to drain its responses
                 // must not hold the daemon open forever.
-                if Instant::now() > dl + Duration::from_secs(2) {
+                if self.shared.now() > dl + Duration::from_secs(2) {
                     break;
                 }
             }
@@ -947,14 +1018,17 @@ impl Reactor {
     }
 
     /// Accepts the whole backlog (nonblocking), applying the NetAccept
-    /// chaos probe per connection.
+    /// chaos probe per connection. A transient accept *error*
+    /// (`EMFILE`/`ENFILE` fd exhaustion, a handshake the kernel
+    /// surfaces as an error) parks the listener for one tick instead
+    /// of tearing down the reactor.
     fn on_accept(&mut self) {
+        if self.accept_pause_until.is_some() {
+            return;
+        }
         loop {
-            let Some(listener) = self.listener.as_ref() else {
-                return;
-            };
-            match listener.accept() {
-                Ok((stream, _)) => {
+            match self.net.accept() {
+                Accepted::Conn(stream) => {
                     let serial = self.shared.conn_serial.fetch_add(1, Ordering::Relaxed);
                     self.shared.conns_accepted.fetch_add(1, Ordering::Relaxed);
                     let conn_key = format!("conn{serial}");
@@ -968,32 +1042,30 @@ impl Reactor {
                         self.shared.net_faults_fired.fetch_add(1, Ordering::Relaxed);
                         continue;
                     }
-                    if stream.set_nonblocking(true).is_err() {
-                        continue;
-                    }
-                    let _ = stream.set_nodelay(true);
                     let idx = self.free.pop().unwrap_or_else(|| {
                         self.conns.push(None);
                         self.conns.len() - 1
                     });
                     let token = TOK_BASE + idx as u64;
-                    if let Some(n) = self.shared.cfg.sndbuf {
-                        let _ = sys::set_sndbuf(fd_of_stream(&stream, token), n);
-                    }
-                    if self
-                        .poller
-                        .register(fd_of_stream(&stream, token), token, EV_READ)
-                        .is_err()
-                    {
+                    if self.net.register_conn(&stream, token, EV_READ).is_err() {
                         self.free.push(idx);
                         continue;
                     }
                     self.next_gen += 1;
                     self.shared.conns_open.fetch_add(1, Ordering::Relaxed);
-                    self.conns[idx] = Some(Conn::new(stream, self.next_gen, serial));
+                    self.conns[idx] =
+                        Some(Conn::new(stream, self.next_gen, serial, self.shared.now()));
                 }
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
-                Err(_) => return,
+                Accepted::Empty => return,
+                Accepted::Error => {
+                    self.shared.accept_errors.fetch_add(1, Ordering::Relaxed);
+                    self.accept_pause_until = Some(self.shared.now() + POLL);
+                    // Park the listener so level-triggered readiness
+                    // doesn't spin the loop on a condition (fd
+                    // exhaustion) that accepting cannot fix.
+                    self.net.set_listener_enabled(false);
+                    return;
+                }
             }
         }
     }
@@ -1073,7 +1145,7 @@ impl Reactor {
                 break;
             }
             if let Some(t) = conn.stall_until {
-                if Instant::now() < t {
+                if shared.now() < t {
                     break;
                 }
                 conn.stall_until = None;
@@ -1114,7 +1186,7 @@ impl Reactor {
             {
                 conn.rstart = nl + 1;
                 conn.scanned = nl + 1;
-                conn.last_activity = Instant::now();
+                conn.last_activity = shared.now();
                 continue;
             }
             let faults = shared.faults_now();
@@ -1124,15 +1196,14 @@ impl Reactor {
                 // path: defer this connection's frame processing —
                 // never the reactor — until the stall passes.
                 shared.net_faults_fired.fetch_add(1, Ordering::Relaxed);
-                conn.stall_until = Some(
-                    Instant::now() + Duration::from_millis(shared.cfg.idle_timeout_ms.min(40)),
-                );
+                conn.stall_until =
+                    Some(shared.now() + Duration::from_millis(shared.cfg.idle_timeout_ms.min(40)));
                 conn.stall_grace = true;
                 break;
             }
             conn.stall_grace = false;
             conn.req_serial += 1;
-            conn.last_activity = Instant::now();
+            conn.last_activity = shared.now();
             shared.frames_in.fetch_add(1, Ordering::Relaxed);
             let fate = if faults.fires(FaultSite::NetDisconnect, &req_key) {
                 shared.net_faults_fired.fetch_add(1, Ordering::Relaxed);
@@ -1242,7 +1313,7 @@ impl Reactor {
                     }
                     Ok(n) => {
                         conn.wstart += n;
-                        conn.last_activity = Instant::now();
+                        conn.last_activity = self.shared.now();
                         progressed = true;
                     }
                     Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
@@ -1280,12 +1351,15 @@ impl Reactor {
                         } else {
                             EV_READ
                         };
-                        let fd = fd_of_stream(&conn.stream, token);
-                        let _ = self.poller.modify(fd, token, interest);
+                        self.net.modify_conn(&conn.stream, token, interest);
                     }
                     if unsent == 0
-                        && (conn.close_after_flush || (conn.eof && conn.pending.is_empty()))
+                        && (conn.close_after_flush
+                            || (conn.eof && conn.pending.is_empty() && conn.stall_until.is_none()))
                     {
+                        // A stalled frame still owes a response even
+                        // after EOF — a half-closing pipelined client
+                        // must not lose it to an injected stall.
                         kill = true;
                     }
                 }
@@ -1309,11 +1383,14 @@ impl Reactor {
     /// Closes idle, finished, and (during drain) quiescent connections.
     fn sweep(&mut self, stopping: bool) {
         let idle = Duration::from_millis(self.shared.cfg.idle_timeout_ms.max(1));
-        let now = Instant::now();
+        let now = self.shared.now();
         let mut doomed: Vec<usize> = Vec::new();
         for (idx, slot) in self.conns.iter().enumerate() {
             let Some(c) = slot else { continue };
-            let drained = c.pending.is_empty() && c.unsent() == 0;
+            // A deferred (stalled) frame is work the connection still
+            // owes a response for, even though nothing is pending yet
+            // — a half-closing pipelined client must not lose it.
+            let drained = c.pending.is_empty() && c.unsent() == 0 && c.stall_until.is_none();
             if drained
                 && (stopping
                     || c.eof
@@ -1333,8 +1410,8 @@ impl Reactor {
         let Some(conn) = self.conns.get_mut(idx).and_then(Option::take) else {
             return;
         };
-        let fd = fd_of_stream(&conn.stream, TOK_BASE + idx as u64);
-        self.poller.deregister(fd);
+        self.net
+            .deregister_conn(&conn.stream, TOK_BASE + idx as u64);
         self.free.push(idx);
         self.shared.conns_open.fetch_sub(1, Ordering::Relaxed);
     }
@@ -1377,7 +1454,12 @@ fn dispatch(shared: &Shared, frame: &[u8], dest: ConnRef, fate: RespFate) -> Dis
                     ),
                     (
                         "uptime_ms".to_string(),
-                        Json::num(shared.started.elapsed().as_millis() as u64),
+                        Json::num(
+                            shared
+                                .now()
+                                .saturating_duration_since(shared.started)
+                                .as_millis() as u64,
+                        ),
                     ),
                 ])
                 .render(),
@@ -1388,8 +1470,13 @@ fn dispatch(shared: &Shared, frame: &[u8], dest: ConnRef, fate: RespFate) -> Dis
             let store = shared.cache.as_ref().map(|c| c.stats()).unwrap_or_default();
             let report = BatchReport {
                 jobs: shared.cfg.jobs,
-                wall_micros: u64::try_from(shared.started.elapsed().as_micros())
-                    .unwrap_or(u64::MAX),
+                wall_micros: u64::try_from(
+                    shared
+                        .now()
+                        .saturating_duration_since(shared.started)
+                        .as_micros(),
+                )
+                .unwrap_or(u64::MAX),
                 cache_hits: store.hits,
                 cache_misses: store.misses,
                 cache_partial_hits: store.partial_hits,
@@ -1471,13 +1558,13 @@ fn compile_dispatch(
     let deadline = req
         .get("deadline_ms")
         .and_then(Json::as_u64)
-        .map(|ms| Instant::now() + Duration::from_millis(ms));
+        .map(|ms| shared.now() + Duration::from_millis(ms));
 
     // Circuit breaker, keyed by the sources' content hash (options
     // excluded: a unit that panics the planner panics it under any
     // option set worth protecting the pool from).
     let breaker_key = CacheKey::compute(sources.iter().map(|s| s.as_str()), "breaker-v1").hex();
-    let probe = match shared.breakers.check(&breaker_key, Instant::now()) {
+    let probe = match shared.breakers.check(&breaker_key, shared.now()) {
         BreakerDecision::Allow => false,
         BreakerDecision::AllowProbe => true,
         BreakerDecision::Reject => {
@@ -1594,6 +1681,11 @@ pub struct RequestOptions {
     /// Pipeline fan-out: send this many copies of the request on one
     /// connection before reading any response (1 = plain request).
     pub pipeline: usize,
+    /// Time source for the retry/backoff/deadline bookkeeping. A
+    /// virtual clock makes the backoff schedule instant and
+    /// deterministic (transport-level socket timeouts stay real — they
+    /// guard against a hung peer, not a slow one).
+    pub clock: Clock,
 }
 
 impl Default for RequestOptions {
@@ -1605,6 +1697,7 @@ impl Default for RequestOptions {
             backoff_base_ms: 25,
             backoff_cap_ms: 1_000,
             pipeline: 1,
+            clock: Clock::system(),
         }
     }
 }
@@ -1687,7 +1780,7 @@ pub fn send_pipelined_with<F: FnMut(usize, &str)>(
                 frames.len()
             ));
         }
-        match stream.read(&mut chunk) {
+        match std::io::Read::read(&mut stream, &mut chunk) {
             Ok(0) => {
                 return Err(if buf.len() == consumed {
                     format!(
@@ -1756,12 +1849,12 @@ fn client_jitter(attempt: u32, cap: u64) -> u64 {
 pub fn request_with_retries(opts: &RequestOptions, payload: &Json) -> Result<Json, String> {
     let overall_deadline = opts
         .deadline_ms
-        .map(|ms| Instant::now() + Duration::from_millis(ms));
+        .map(|ms| opts.clock.now() + Duration::from_millis(ms));
     let mut last_err = String::new();
     for attempt in 0..=opts.retries {
         let remaining = match overall_deadline {
             Some(d) => {
-                let left = d.saturating_duration_since(Instant::now());
+                let left = d.saturating_duration_since(opts.clock.now());
                 if left.is_zero() {
                     return Err(if last_err.is_empty() {
                         "deadline exceeded before any attempt".to_string()
@@ -1807,9 +1900,9 @@ pub fn request_with_retries(opts: &RequestOptions, payload: &Json) -> Result<Jso
             let jitter = client_jitter(attempt, exp.max(1));
             let mut delay = Duration::from_millis(exp + jitter);
             if let Some(d) = overall_deadline {
-                delay = delay.min(d.saturating_duration_since(Instant::now()));
+                delay = delay.min(d.saturating_duration_since(opts.clock.now()));
             }
-            std::thread::sleep(delay);
+            opts.clock.sleep(delay);
         }
     }
     Err(format!(

@@ -13,7 +13,7 @@
 //!    diffs (S101–S105), and the orchestrator adds S100 when the two
 //!    executors' outputs diverge;
 //! 4. counters aggregate into [`ShadowStats`] — the `shadow{}` object
-//!    of the schema-v8 stats document.
+//!    of the schema-v9 stats document.
 //!
 //! The corruption tests drive [`shadow_compiled`] directly with
 //! deliberately mutated plans to prove each S-code fires.
@@ -200,7 +200,7 @@ pub fn shadow_unit(
     shadow_compiled(name, &ast, &compiled, &ssa, seed)
 }
 
-/// The schema-v8 stats document of a shadow run:
+/// The schema-v9 stats document of a shadow run:
 /// `{"schema":8,"kind":"shadow","shadow":{…}}`.
 pub fn stats_document(stats: &ShadowStats) -> String {
     format!(
@@ -240,7 +240,7 @@ mod tests {
         u.accumulate(&mut stats);
         let doc = stats_document(&stats);
         assert!(
-            doc.starts_with("{\"schema\":8,\"kind\":\"shadow\",\"shadow\":{\"units\":1,"),
+            doc.starts_with("{\"schema\":9,\"kind\":\"shadow\",\"shadow\":{\"units\":1,"),
             "{doc}"
         );
         assert!(doc.contains("\"s101\":0"), "{doc}");

@@ -21,12 +21,24 @@
 //! workers finishing a job write one byte, the reactor's poller sees
 //! the read end become readable and drains it. An atomic "already
 //! rung" gate on the serve side keeps the pipe from ever filling.
+//!
+//! Two seams on top of the raw pollers make the reactor simulable
+//! (DESIGN.md §14): [`Clock`] abstracts monotonic time (system in
+//! production, virtual under `matc simulate`), and [`NetSource`] +
+//! [`ConnIo`] abstract the listener/poller/socket surface the reactor
+//! touches. [`RealNet`] is the production implementation over
+//! [`Poller`] and a nonblocking `TcpListener`; `src/sim.rs` provides
+//! the deterministic in-memory one.
 
 use std::io;
+use std::net::{TcpListener, TcpStream};
 #[cfg(unix)]
-use std::os::fd::RawFd;
+use std::os::fd::{AsRawFd, RawFd};
 #[cfg(not(unix))]
 type RawFd = i32;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Interest in readability (bit for [`Poller::register`]).
 pub(crate) const EV_READ: u32 = 0b01;
@@ -494,11 +506,305 @@ pub(crate) fn set_sndbuf(fd: RawFd, bytes: usize) -> io::Result<()> {
     }
 }
 
+/// A monotonic time source for the serve reactor and its client:
+/// the system clock in production, a virtual clock under the
+/// deterministic simulation (`matc simulate`) and timing tests.
+///
+/// The virtual variant anchors at an arbitrary base [`Instant`]
+/// captured at construction and adds an atomically advanced offset,
+/// so every piece of `Instant` arithmetic in the reactor — request
+/// deadlines, breaker cooldowns, stall and idle timers, drain
+/// windows, client retry backoff — works unchanged. Advancing time is
+/// one atomic add; nothing ever sleeps.
+#[derive(Clone, Debug, Default)]
+pub struct Clock {
+    virt: Option<Arc<VirtualClock>>,
+}
+
+#[derive(Debug)]
+struct VirtualClock {
+    base: Instant,
+    offset_micros: AtomicU64,
+}
+
+impl Clock {
+    /// The production clock: `now()` is `Instant::now()`, `sleep()`
+    /// really sleeps.
+    pub fn system() -> Clock {
+        Clock { virt: None }
+    }
+
+    /// A virtual clock starting at offset zero. Clones share the
+    /// offset, so the simulation harness and the reactor observe the
+    /// same timeline.
+    pub fn simulated() -> Clock {
+        Clock {
+            virt: Some(Arc::new(VirtualClock {
+                base: Instant::now(),
+                offset_micros: AtomicU64::new(0),
+            })),
+        }
+    }
+
+    /// True for the virtual variant.
+    pub fn is_virtual(&self) -> bool {
+        self.virt.is_some()
+    }
+
+    /// The current instant on this clock's timeline.
+    pub fn now(&self) -> Instant {
+        match &self.virt {
+            Some(v) => v.base + Duration::from_micros(v.offset_micros.load(Ordering::Relaxed)),
+            None => Instant::now(),
+        }
+    }
+
+    /// Microseconds since the virtual epoch (0 on the system clock —
+    /// only the simulation trace uses this).
+    pub fn micros(&self) -> u64 {
+        match &self.virt {
+            Some(v) => v.offset_micros.load(Ordering::Relaxed),
+            None => 0,
+        }
+    }
+
+    /// Advances a virtual clock by `d`; a no-op on the system clock
+    /// (real time advances itself).
+    pub fn advance(&self, d: Duration) {
+        if let Some(v) = &self.virt {
+            v.offset_micros
+                .fetch_add(d.as_micros() as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Sleeps for `d` on the system clock; advances the timeline by
+    /// `d` instantly on a virtual one (this is what makes client
+    /// retry backoff free under simulation).
+    pub fn sleep(&self, d: Duration) {
+        match &self.virt {
+            Some(_) => self.advance(d),
+            None => std::thread::sleep(d),
+        }
+    }
+}
+
+/// The byte-stream side of a served connection — the two calls the
+/// reactor issues against a socket. `WouldBlock` means "not now",
+/// `Ok(0)` from read means EOF, any other error kills the connection.
+pub(crate) trait ConnIo {
+    /// Nonblocking read into `buf`.
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize>;
+    /// Nonblocking write from `buf`, returning bytes accepted.
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize>;
+}
+
+impl ConnIo for TcpStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        io::Read::read(self, buf)
+    }
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        io::Write::write(self, buf)
+    }
+}
+
+/// Outcome of one [`NetSource::accept`] attempt.
+pub(crate) enum Accepted<C> {
+    /// A new connection, already nonblocking with transport options
+    /// applied.
+    Conn(C),
+    /// Backlog empty — stop accepting this tick.
+    Empty,
+    /// Transient accept failure (`EMFILE`/`ENFILE`, aborted handshake
+    /// the kernel surfaces as an error, …). The reactor backs off one
+    /// tick instead of tearing down.
+    Error,
+}
+
+/// Per-connection snapshot handed to [`NetSource::observe_tick`]: the
+/// simulation's invariant checker reads these; production ignores
+/// them.
+pub(crate) struct ConnObs {
+    /// Poller token the connection is registered under.
+    pub token: u64,
+    /// Monotonic connection serial (fault-plan key `conn{serial}`).
+    pub serial: u64,
+    /// Bytes queued but not yet accepted by the transport.
+    pub unsent: usize,
+    /// In-flight pipelined requests (slots not yet retired).
+    pub pending: usize,
+}
+
+/// Everything the reactor needs from "the network": readiness
+/// notification, the listener, and per-connection registration. The
+/// production implementation is [`RealNet`]; the simulation provides
+/// an in-memory deterministic one, and the reactor itself is generic
+/// over this trait so both run the identical state machines.
+pub(crate) trait NetSource {
+    /// The connection stream type.
+    type Conn: ConnIo;
+
+    /// Registers the listener under `listener_token` and the wake
+    /// pipe's read end under `wake_token`.
+    fn init(&mut self, listener_token: u64, wake_token: u64, wake_fd: RawFd) -> io::Result<()>;
+
+    /// Permanently closes the listener (drain mode).
+    fn stop_listening(&mut self);
+
+    /// Temporarily parks / resumes the listener without closing it
+    /// (accept-error backoff). Level-triggered readiness re-reports
+    /// the pending backlog once re-enabled.
+    fn set_listener_enabled(&mut self, enabled: bool);
+
+    /// Accepts one pending connection.
+    fn accept(&mut self) -> Accepted<Self::Conn>;
+
+    /// Starts watching `conn` under `token` for `interest`.
+    fn register_conn(&mut self, conn: &Self::Conn, token: u64, interest: u32) -> io::Result<()>;
+
+    /// Changes the interest set for a registered connection.
+    fn modify_conn(&mut self, conn: &Self::Conn, token: u64, interest: u32);
+
+    /// Stops watching a connection (call before dropping it).
+    fn deregister_conn(&mut self, conn: &Self::Conn, token: u64);
+
+    /// Blocks up to `timeout` for readiness, filling `out` (cleared
+    /// first). Backend errors are absorbed (the reactor just ticks).
+    fn wait(&mut self, out: &mut Vec<Event>, timeout: Duration);
+
+    /// True when the backend wants per-tick connection snapshots.
+    fn wants_tick_obs(&self) -> bool {
+        false
+    }
+
+    /// Receives the per-tick snapshots when [`Self::wants_tick_obs`]
+    /// returns true.
+    fn observe_tick(&mut self, _conns: &[ConnObs]) {}
+}
+
+/// Raw fd of a stream (token-keyed fallback off Unix, where the spin
+/// backend ignores fds anyway).
+#[cfg(unix)]
+fn fd_of_stream(s: &TcpStream) -> RawFd {
+    s.as_raw_fd()
+}
+#[cfg(not(unix))]
+fn fd_of_stream(_s: &TcpStream) -> RawFd {
+    0
+}
+
+/// The production [`NetSource`]: a [`Poller`] plus a nonblocking
+/// `TcpListener`, with new sockets switched to nonblocking +
+/// `TCP_NODELAY` and optionally a shrunken `SO_SNDBUF` before the
+/// reactor sees them.
+pub(crate) struct RealNet {
+    poller: Poller,
+    listener: Option<TcpListener>,
+    listener_token: u64,
+    listener_parked: bool,
+    sndbuf: Option<usize>,
+}
+
+impl RealNet {
+    /// Wraps an already-bound nonblocking listener.
+    pub fn new(poller: Poller, listener: TcpListener, sndbuf: Option<usize>) -> RealNet {
+        RealNet {
+            poller,
+            listener: Some(listener),
+            listener_token: 0,
+            listener_parked: false,
+            sndbuf,
+        }
+    }
+
+    #[cfg(unix)]
+    fn listener_fd(&self) -> Option<RawFd> {
+        self.listener.as_ref().map(|l| l.as_raw_fd())
+    }
+    #[cfg(not(unix))]
+    fn listener_fd(&self) -> Option<RawFd> {
+        self.listener.as_ref().map(|_| 0)
+    }
+}
+
+impl NetSource for RealNet {
+    type Conn = TcpStream;
+
+    fn init(&mut self, listener_token: u64, wake_token: u64, wake_fd: RawFd) -> io::Result<()> {
+        self.listener_token = listener_token;
+        if let Some(fd) = self.listener_fd() {
+            self.poller.register(fd, listener_token, EV_READ)?;
+        }
+        if wake_fd >= 0 {
+            self.poller.register(wake_fd, wake_token, EV_READ)?;
+        }
+        Ok(())
+    }
+
+    fn stop_listening(&mut self) {
+        if let Some(fd) = self.listener_fd() {
+            if !self.listener_parked {
+                self.poller.deregister(fd);
+            }
+        }
+        self.listener = None;
+    }
+
+    fn set_listener_enabled(&mut self, enabled: bool) {
+        let Some(fd) = self.listener_fd() else { return };
+        if enabled && self.listener_parked {
+            let _ = self.poller.register(fd, self.listener_token, EV_READ);
+            self.listener_parked = false;
+        } else if !enabled && !self.listener_parked {
+            self.poller.deregister(fd);
+            self.listener_parked = true;
+        }
+    }
+
+    fn accept(&mut self) -> Accepted<TcpStream> {
+        let Some(listener) = &self.listener else {
+            return Accepted::Empty;
+        };
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if stream.set_nonblocking(true).is_err() {
+                    return Accepted::Error;
+                }
+                let _ = stream.set_nodelay(true);
+                if let Some(bytes) = self.sndbuf {
+                    let _ = set_sndbuf(fd_of_stream(&stream), bytes);
+                }
+                Accepted::Conn(stream)
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Accepted::Empty,
+            Err(_) => Accepted::Error,
+        }
+    }
+
+    fn register_conn(&mut self, conn: &TcpStream, token: u64, interest: u32) -> io::Result<()> {
+        self.poller.register(fd_of_stream(conn), token, interest)
+    }
+
+    fn modify_conn(&mut self, conn: &TcpStream, token: u64, interest: u32) {
+        let _ = self.poller.modify(fd_of_stream(conn), token, interest);
+    }
+
+    fn deregister_conn(&mut self, conn: &TcpStream, _token: u64) {
+        self.poller.deregister(fd_of_stream(conn));
+    }
+
+    fn wait(&mut self, out: &mut Vec<Event>, timeout: Duration) {
+        let ms = timeout.as_millis().min(i32::MAX as u128) as i32;
+        if self.poller.wait(out, ms).is_err() {
+            // A broken poller would spin the loop; pace it instead.
+            std::thread::sleep(timeout.min(Duration::from_millis(20)));
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::io::{Read as _, Write as _};
-    use std::net::{TcpListener, TcpStream};
+    use std::io::Write as _;
     #[cfg(unix)]
     use std::os::fd::AsRawFd;
 
@@ -531,7 +837,7 @@ mod tests {
         let ev = events.iter().find(|e| e.token == 2).expect("conn event");
         assert!(ev.readable && ev.writable);
         let mut buf = [0u8; 8];
-        assert_eq!(server.read(&mut buf).unwrap(), 4);
+        assert_eq!(std::io::Read::read(&mut server, &mut buf).unwrap(), 4);
 
         // Narrow interest to read-only: no spurious writable events.
         poller.modify(server.as_raw_fd(), 2, EV_READ).unwrap();

@@ -148,7 +148,7 @@ fn batch_compiles_units_with_cache_and_matches_emit_c() {
     let emitted = std::fs::read(dir.join("out/batch_a.c")).unwrap();
     assert_eq!(emitted, direct.stdout);
 
-    // The stats document has the advertised shape. The schema-v8
+    // The stats document has the advertised shape. The schema-v9
     // prefix (with its `"kind"` discriminator), the always-present
     // per-unit fault-tolerance arrays, and the dataflow-engine counters
     // inside `interference` are a stability contract (DESIGN.md
@@ -156,7 +156,7 @@ fn batch_compiles_units_with_cache_and_matches_emit_c() {
     // must only ever change together with a schema-version bump.
     let stats = std::fs::read_to_string(dir.join("stats.json")).unwrap();
     assert!(
-        stats.starts_with("{\"schema\":8,\"kind\":\"batch\","),
+        stats.starts_with("{\"schema\":9,\"kind\":\"batch\","),
         "{stats}"
     );
     assert!(stats.contains("\"jobs\":2"), "{stats}");
@@ -391,7 +391,7 @@ fn serve_and_request_round_trip_over_the_wire() {
     assert!(emit_line.contains("\"findings\""), "{emit_line}");
     assert!(emit_line.contains("int main(void)"), "{emit_line}");
 
-    // healthz and schema-v8 serve stats.
+    // healthz and schema-v9 serve stats.
     let health = matc()
         .args(["request", "--addr", &addr, "--op", "healthz"])
         .output()
@@ -408,7 +408,7 @@ fn serve_and_request_round_trip_over_the_wire() {
         .unwrap();
     let stats_line = String::from_utf8_lossy(&stats.stdout);
     assert!(
-        stats_line.starts_with("{\"schema\":8,\"kind\":\"serve\",\"server\":{"),
+        stats_line.starts_with("{\"schema\":9,\"kind\":\"serve\",\"server\":{"),
         "{stats_line}"
     );
 
@@ -592,8 +592,8 @@ fn shadow_stats_documents_are_schema_v8() {
         .unwrap();
     assert_eq!(out.status.code(), Some(0));
     // The same document goes to stdout (--json) and the file (--stats),
-    // pinned to the schema-v8 `shadow{}` shape.
-    let prefix = "{\"schema\":8,\"kind\":\"shadow\",\"shadow\":{\"units\":1,";
+    // pinned to the schema-v9 `shadow{}` shape.
+    let prefix = "{\"schema\":9,\"kind\":\"shadow\",\"shadow\":{\"units\":1,";
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(
         stdout.lines().last().unwrap().starts_with(prefix),

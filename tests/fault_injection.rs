@@ -115,7 +115,7 @@ fn fifty_seed_matrix_degrades_or_fails_but_never_lies() {
         }
         let report_json = res.report.to_json();
         assert!(
-            report_json.starts_with("{\"schema\":8,\"kind\":\"batch\","),
+            report_json.starts_with("{\"schema\":9,\"kind\":\"batch\","),
             "seed {seed}: stats schema drifted"
         );
 

@@ -25,6 +25,7 @@ use matc::batch::{compile_unit, Unit};
 use matc::gctd::{BreakerConfig, FaultPlan, GctdOptions};
 use matc::json::Json;
 use matc::serve::{send_once, start, RequestOptions, ServeConfig};
+use matc::sys::Clock;
 use std::time::Duration;
 
 fn fresh_dir(tag: &str) -> std::path::PathBuf {
@@ -237,12 +238,17 @@ fn stat_u64(resp: &Json, path: &[&str]) -> u64 {
 #[test]
 fn breaker_quarantines_a_panicking_unit_then_half_open_recovers_it() {
     let unit = chaos_units().remove(0);
+    // The daemon runs on a virtual clock: the breaker cooldown elapses
+    // only when this test advances time, never by wall-clock accident —
+    // microsecond-deterministic on any machine.
+    let clock = Clock::simulated();
     let handle = start(ServeConfig {
         jobs: 1,
         breaker: BreakerConfig {
             threshold: 3,
             cooldown: Duration::from_millis(200),
         },
+        clock: clock.clone(),
         ..ServeConfig::default()
     })
     .unwrap();
@@ -301,8 +307,9 @@ fn breaker_quarantines_a_panicking_unit_then_half_open_recovers_it() {
     );
 
     // After the cooldown the next request is the half-open probe; the
-    // now-healthy unit compiles and the breaker closes for good.
-    std::thread::sleep(Duration::from_millis(400));
+    // now-healthy unit compiles and the breaker closes for good. The
+    // cooldown passes by advancing virtual time, not by sleeping.
+    clock.advance(Duration::from_millis(400));
     let resp = send(&compile_frame(&unit, false));
     assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true), "probe");
     assert_eq!(resp.get("status").and_then(Json::as_str), Some("ok"));
@@ -405,12 +412,17 @@ fn client_retries_through_chaos_with_deadline_propagation() {
         ..ServeConfig::default()
     })
     .unwrap();
+    // The retry loop's backoff and deadline arithmetic run on a
+    // virtual clock: every backoff advances simulated time instead of
+    // sleeping, so the budget math is deterministic to the microsecond
+    // and the test never waits on a real timer.
     let opts = RequestOptions {
         addr: handle.addr().to_string(),
         retries: 12,
         deadline_ms: Some(20_000),
         backoff_base_ms: 1,
         backoff_cap_ms: 20,
+        clock: Clock::simulated(),
         ..RequestOptions::default()
     };
     let payload = Json::Obj(vec![

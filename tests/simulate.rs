@@ -1,0 +1,110 @@
+//! Integration gate for the deterministic serve-reactor simulation
+//! (`matc simulate`, DESIGN.md §14).
+//!
+//! The pinned matrix in `tests/sim_seeds.txt` runs every seed twice
+//! through [`matc::sim::run_seed`] — the exact engine behind the CLI —
+//! and requires byte-identical traces with no invariant violation.
+//! Separate tests pin the transient-accept-error backoff path and the
+//! scripted mid-run shutdown drain.
+
+use matc::gctd::FaultPlan;
+use matc::sim::{run_seed, run_seed_with, SimTweaks};
+
+/// The pinned seed list the CLI matrix and CI both run.
+fn pinned_seeds() -> Vec<u64> {
+    include_str!("sim_seeds.txt")
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(|l| l.parse().expect("sim_seeds.txt holds integers"))
+        .collect()
+}
+
+#[test]
+fn pinned_seed_matrix_is_clean_and_replays_byte_identically() {
+    let seeds = pinned_seeds();
+    assert!(seeds.len() >= 32, "the pinned matrix must stay substantial");
+    let mut responses = 0u64;
+    let mut shutdowns = 0usize;
+    for &seed in &seeds {
+        let a = run_seed(seed);
+        assert_eq!(
+            a.violation, None,
+            "seed {seed} violated an invariant:\n{}",
+            a.trace
+        );
+        let b = run_seed(seed);
+        assert_eq!(a.trace, b.trace, "seed {seed} must replay byte-identically");
+        responses += a.responses;
+        shutdowns += usize::from(a.shutdown_mid);
+    }
+    // The matrix must genuinely exercise the reactor, not no-op.
+    assert!(responses > 100, "matrix looks idle: {responses} responses");
+    assert!(shutdowns > 0, "matrix must include mid-run shutdowns");
+}
+
+#[test]
+fn quiet_seed_serves_every_client_and_drains_cleanly() {
+    // Seed 16 is a quiet control (all network fault rates zero), so the
+    // full-delivery invariant is armed inside run_seed itself; assert
+    // the positive outcomes on top.
+    let rep = run_seed(16);
+    assert_eq!(rep.violation, None, "trace:\n{}", rep.trace);
+    assert!(rep.drained_cleanly);
+    assert_eq!(rep.summary.completed, rep.summary.admitted);
+    assert_eq!(rep.plan.net_accept_pct, 0, "seed 16 must stay quiet");
+}
+
+#[test]
+fn transient_accept_errors_back_off_and_lose_nothing() {
+    // Five EMFILE-style accept failures against a quiet two-client
+    // pipelined workload: the reactor must absorb each with a one-tick
+    // listener pause (counted in the stats census), then serve every
+    // request.
+    let tweaks = SimTweaks {
+        plan: Some(FaultPlan::quiet(21)),
+        clients: Some(2),
+        requests: Some(3),
+        shutdown_mid: Some(false),
+        accept_errors: 5,
+    };
+    let rep = run_seed_with(21, &tweaks);
+    assert_eq!(rep.violation, None, "trace:\n{}", rep.trace);
+    assert_eq!(rep.accept_errors, 5, "every injected failure is counted");
+    assert_eq!(rep.responses, 6, "both clients get all three responses");
+    let rerun = run_seed_with(21, &tweaks);
+    assert_eq!(rep.trace, rerun.trace);
+}
+
+#[test]
+fn mid_run_shutdown_drains_cleanly_under_faults() {
+    // Force the scripted shutdown client on a seed that also carries
+    // network faults: whatever the clients experience, the drain must
+    // finish inside its budget and the breaker/cache state stay sound.
+    let tweaks = SimTweaks {
+        shutdown_mid: Some(true),
+        ..SimTweaks::default()
+    };
+    let rep = run_seed_with(9, &tweaks);
+    assert_eq!(rep.violation, None, "trace:\n{}", rep.trace);
+    assert!(rep.shutdown_mid);
+    assert!(rep.drained_cleanly, "trace:\n{}", rep.trace);
+}
+
+#[test]
+fn stalled_request_on_a_half_closed_connection_is_still_answered() {
+    // Regression pin for the bug the simulation found: with stall=100
+    // a client that half-closes after its pipelined burst used to lose
+    // the stalled request — the EOF sweep judged the connection
+    // drained while the deferred frame still owed a response.
+    let tweaks = SimTweaks {
+        plan: Some(FaultPlan::quiet(476).net_stalls(100)),
+        clients: Some(1),
+        requests: Some(1),
+        shutdown_mid: Some(false),
+        accept_errors: 0,
+    };
+    let rep = run_seed_with(476, &tweaks);
+    assert_eq!(rep.violation, None, "trace:\n{}", rep.trace);
+    assert_eq!(rep.responses, 1, "the stalled request must be answered");
+}
